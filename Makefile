@@ -1,0 +1,35 @@
+GO ?= go
+
+.PHONY: all build test race cover bench fuzz experiments tools clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) vet ./...
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tail -1
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+fuzz:
+	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/xmltree/
+	$(GO) test -fuzz=FuzzParseFilter -fuzztime=30s ./internal/filter/
+
+experiments:
+	$(GO) run ./cmd/xfragbench -exp all
+
+tools:
+	$(GO) build -o bin/ ./cmd/...
+
+clean:
+	rm -rf bin cover.out

@@ -1,0 +1,77 @@
+// Command xfragbench regenerates every table and figure of the paper
+// plus the projected performance study (see DESIGN.md's
+// per-experiment index and EXPERIMENTS.md for recorded results).
+//
+// Usage:
+//
+//	xfragbench -exp table1        # one experiment
+//	xfragbench -exp all           # everything
+//	xfragbench -list              # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+var experiments = []struct {
+	id   string
+	desc string
+	run  func() string
+}{
+	{"table1", "Table 1: candidate fragment sets of the running query", bench.Table1},
+	{"fig2", "Figure 2: keyword-split variations", bench.Figure2},
+	{"fig3", "Figure 3: fragment/pairwise/powerset join examples", bench.Figure3},
+	{"fig4", "Figure 4: fragment set reduction", bench.Figure4},
+	{"fig5", "Figure 5: query evaluation trees (push-down)", bench.Figure5},
+	{"fig6", "Figure 6: anti-monotonic filters", bench.Figure6},
+	{"fig7", "Figure 7: filter without the anti-monotonic property", bench.Figure7},
+	{"fig8", "Figure 8: running query end to end vs. SLCA", bench.Figure8},
+	{"perf-strategies", "strategy sweep over size × frequency × β", func() string {
+		return bench.FormatStrategyRows(bench.StrategySweep(bench.DefaultStrategySweep()))
+	}},
+	{"perf-rf", "reduction-factor cost trade-off (crossover v)", func() string {
+		return bench.FormatRFRows(bench.RFSweep(7))
+	}},
+	{"perf-scale", "push-down latency vs. document size", func() string {
+		return bench.FormatScaleRows(bench.ScaleSweep(7))
+	}},
+	{"perf-slca", "SLCA baseline vs. fragment algebra", func() string {
+		return bench.FormatSLCARows(bench.SLCAComparison(7))
+	}},
+	{"perf-rel", "native vs. relational-substrate executor", func() string {
+		return bench.FormatRelRows(bench.RelComparison(7))
+	}},
+	{"perf-effect", "retrieval effectiveness vs. planted gold fragments", func() string {
+		return bench.FormatEffectivenessRows(bench.Effectiveness(7))
+	}},
+}
+
+func main() {
+	exp := flag.String("exp", "all", "experiment ID to run (see -list)")
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments {
+			fmt.Printf("%-16s  %s\n", e.id, e.desc)
+		}
+		return
+	}
+	ran := false
+	for _, e := range experiments {
+		if *exp != "all" && e.id != *exp {
+			continue
+		}
+		ran = true
+		fmt.Printf("==== %s ====\n", e.id)
+		fmt.Println(e.run())
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "xfragbench: unknown experiment %q (use -list)\n", *exp)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,91 @@
+// Command xfraggen emits synthetic document-centric XML corpora for
+// benchmarking and experimentation (the substitute for the real
+// collections the paper never names — it reports no experiments).
+//
+// Usage:
+//
+//	xfraggen -sections 6 -fanout 4 -depth 3 -seed 7 > corpus.xml
+//	xfraggen -plant "xquery:5,optimization:8" -seed 7 > corpus.xml
+//	xfraggen -figure1 > figure1.xml     # the paper's example document
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/docgen"
+	"repro/internal/snapshot"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "xfraggen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		sections = flag.Int("sections", 5, "number of top-level sections")
+		fanout   = flag.Int("fanout", 5, "mean fan-out of structural nodes")
+		depth    = flag.Int("depth", 3, "structural levels below the root")
+		vocab    = flag.Int("vocab", 1000, "distinct filler terms")
+		zipf     = flag.Float64("zipf", 1.1, "Zipf skew (> 1)")
+		parLen   = flag.Int("parlen", 15, "tokens per paragraph")
+		seed     = flag.Int64("seed", 1, "generation seed")
+		plant    = flag.String("plant", "", "terms to plant: 'term:count,term:count'")
+		figure1  = flag.Bool("figure1", false, "emit the paper's Figure 1 document and exit")
+		stats    = flag.Bool("stats", false, "print document statistics to stderr")
+		snap     = flag.String("snap", "", "also write a binary snapshot to this path (reload with xfragserver -snapshot)")
+	)
+	flag.Parse()
+
+	if *figure1 {
+		d := docgen.FigureOne()
+		if *stats {
+			fmt.Fprintf(os.Stderr, "figure1: %d nodes\n", d.Len())
+		}
+		if *snap != "" {
+			if err := snapshot.SaveFile(*snap, d); err != nil {
+				return err
+			}
+		}
+		return d.WriteXML(os.Stdout)
+	}
+
+	cfg := docgen.Config{
+		Seed: *seed, Sections: *sections, MeanFanout: *fanout, Depth: *depth,
+		VocabSize: *vocab, ZipfS: *zipf, ParLength: *parLen,
+	}
+	if *plant != "" {
+		cfg.Plant = map[string]int{}
+		for _, part := range strings.Split(*plant, ",") {
+			term, cntStr, ok := strings.Cut(strings.TrimSpace(part), ":")
+			if !ok || term == "" {
+				return fmt.Errorf("bad -plant entry %q (want term:count)", part)
+			}
+			cnt, err := strconv.Atoi(cntStr)
+			if err != nil || cnt < 0 {
+				return fmt.Errorf("bad -plant count in %q", part)
+			}
+			cfg.Plant[term] = cnt
+		}
+	}
+	d, err := docgen.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	if *stats {
+		fmt.Fprintf(os.Stderr, "generated: %d nodes, %d distinct terms, %d term occurrences\n",
+			d.Len(), d.Stats().Distinct(), d.Stats().Total())
+	}
+	if *snap != "" {
+		if err := snapshot.SaveFile(*snap, d); err != nil {
+			return err
+		}
+	}
+	return d.WriteXML(os.Stdout)
+}

@@ -1,0 +1,94 @@
+// Command xfragserver serves a collection of XML documents as a JSON
+// keyword-search API (see internal/httpapi for the endpoints).
+//
+// Usage:
+//
+//	xfragserver -addr :8080 doc1.xml doc2.xml
+//	xfragserver -paper -addr :8080          # serve the Figure 1 document
+//
+// Endpoints:
+//
+//	GET  /healthz
+//	GET  /api/docs
+//	POST /api/docs                {"name": "...", "xml": "<...>"}
+//	GET  /api/search?q=xquery+optimization&filter=size<=3&strategy=auto&limit=10
+//	GET  /api/explain?q=...&filter=...&strategy=push-down
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/collection"
+	"repro/internal/docgen"
+	"repro/internal/httpapi"
+	"repro/internal/snapshot"
+	"repro/internal/xmltree"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	paper := flag.Bool("paper", false, "preload the paper's Figure 1 document")
+	snap := flag.String("snapshot", "", "preload documents from a snapshot file (see internal/snapshot)")
+	flag.Parse()
+
+	coll := collection.New()
+	if *paper {
+		if err := coll.Add(docgen.FigureOne()); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *snap != "" {
+		docs, err := snapshot.LoadFile(*snap)
+		if err != nil {
+			log.Fatalf("snapshot %s: %v", *snap, err)
+		}
+		for _, d := range docs {
+			if err := coll.Add(d); err != nil {
+				log.Fatalf("snapshot %s: %v", *snap, err)
+			}
+		}
+	}
+	for _, path := range flag.Args() {
+		doc, err := xmltree.ParseFile(path)
+		if err != nil {
+			log.Fatalf("load %s: %v", path, err)
+		}
+		if err := coll.Add(doc); err != nil {
+			log.Fatalf("add %s: %v", path, err)
+		}
+	}
+	st := coll.Stats()
+	fmt.Printf("xfragserver: %d document(s), %d nodes, %d postings — listening on %s\n",
+		st.Documents, st.Nodes, st.Postings, *addr)
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           httpapi.New(coll),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	// Graceful shutdown on SIGINT/SIGTERM: in-flight searches finish,
+	// then the listener closes.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case <-ctx.Done():
+		fmt.Println("xfragserver: shutting down")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutCtx); err != nil {
+			log.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package bench
+
+import (
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/docgen"
+	"repro/internal/filter"
+	"repro/internal/index"
+	"repro/internal/inex"
+	"repro/internal/lca"
+	"repro/internal/query"
+	"repro/internal/xmltree"
+)
+
+// EffectivenessRow is one system's score in the perf-effect
+// experiment.
+type EffectivenessRow struct {
+	Name string
+	M    inex.Metrics
+}
+
+// Effectiveness runs the effectiveness experiment the paper motivates
+// but never executes (its Section 1 claim is exactly that the algebra
+// retrieves meaningful fragments that smallest-subtree semantics
+// misses): plant topic clusters in a synthetic corpus with the
+// minimal connecting fragment as gold, then score the algebra at
+// several filter settings against SLCA (as roots and as whole
+// subtrees) and ELCA with INEX-style metrics.
+func Effectiveness(seed int64) []EffectivenessRow {
+	cfg := docgen.Config{
+		Seed: seed, Sections: 8, MeanFanout: 4, Depth: 3, VocabSize: 500,
+	}
+	clusters := []docgen.Cluster{{Terms: []string{"goldterma", "goldtermb"}, Count: 12}}
+	doc, golds, err := docgen.GenerateWithGold(cfg, clusters)
+	if err != nil {
+		panic(err)
+	}
+	x := index.New(doc)
+	terms := []string{"goldterma", "goldtermb"}
+	gold := make([]core.Fragment, len(golds))
+	maxGoldSize := 0
+	for i, g := range golds {
+		f, err := core.NewFragment(doc, g.FragmentIDs)
+		if err != nil {
+			panic(err)
+		}
+		gold[i] = f
+		if f.Size() > maxGoldSize {
+			maxGoldSize = f.Size()
+		}
+	}
+
+	var rows []EffectivenessRow
+	for _, beta := range []int{maxGoldSize, maxGoldSize + 2} {
+		q := query.MustNew(terms, filter.MaxSize(beta))
+		res, err := query.Evaluate(x, q, query.Options{Strategy: cost.PushDown})
+		if err != nil {
+			panic(err)
+		}
+		rows = append(rows, EffectivenessRow{
+			Name: "algebra β=" + strconv.Itoa(beta),
+			M:    inex.Evaluate(res.Answers.Fragments(), gold),
+		})
+	}
+	// Algebra presenting only maximal targets (overlaps hidden, §5).
+	q := query.MustNew(terms, filter.MaxSize(maxGoldSize))
+	res, err := query.Evaluate(x, q, query.Options{Strategy: cost.PushDown})
+	if err != nil {
+		panic(err)
+	}
+	rows = append(rows, EffectivenessRow{
+		Name: "algebra targets-only",
+		M:    inex.Evaluate(core.Maximal(res.Answers).Fragments(), gold),
+	})
+
+	slcaRoots := lca.SLCA(x, terms)
+	rows = append(rows,
+		EffectivenessRow{Name: "slca roots", M: inex.Evaluate(inex.NodeAnswers(doc, slcaRoots), gold)},
+		EffectivenessRow{Name: "slca subtrees", M: inex.Evaluate(inex.SubtreeAnswers(doc, slcaRoots), gold)},
+		EffectivenessRow{Name: "elca subtrees", M: inex.Evaluate(inex.SubtreeAnswers(doc, lca.ELCA(x, terms)), gold)},
+	)
+	// XRank: ranked ELCAs, taking the top |gold| answers as subtrees
+	// (the element-retrieval presentation XRank uses).
+	xr := lca.XRank(x, terms, lca.DefaultXRankOptions())
+	if len(xr) > len(gold) {
+		xr = xr[:len(gold)]
+	}
+	var xrRoots []xmltree.NodeID
+	for _, r := range xr {
+		xrRoots = append(xrRoots, r.Node)
+	}
+	rows = append(rows, EffectivenessRow{
+		Name: "xrank top-k subtrees",
+		M:    inex.Evaluate(inex.SubtreeAnswers(doc, xrRoots), gold),
+	})
+	return rows
+}
+
+// FormatEffectivenessRows renders the comparison.
+func FormatEffectivenessRows(rows []EffectivenessRow) string {
+	var sb strings.Builder
+	sb.WriteString("perf-effect: retrieval effectiveness vs. gold-standard planted fragments\n\n")
+	conv := make([]struct {
+		Name string
+		M    inex.Metrics
+	}, len(rows))
+	for i, r := range rows {
+		conv[i] = struct {
+			Name string
+			M    inex.Metrics
+		}{r.Name, r.M}
+	}
+	sb.WriteString(inex.Report(conv))
+	sb.WriteString("\nexact/cover: fraction of gold fragments returned exactly / contained in an answer\nP/R/F1: node-level, overlap-deduplicated\n")
+	return sb.String()
+}

@@ -1,0 +1,230 @@
+package bench
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/cost"
+)
+
+func TestTable1Output(t *testing.T) {
+	out := Table1()
+	for _, want := range []string{
+		"⟨n16,n17,n18⟩",
+		"⟨n0,n1,n14,n16,n17,n18,n79,n80,n81⟩",
+		"final answer set (4 fragments)",
+		"{⟨n17⟩, ⟨n16,n17⟩, ⟨n16,n18⟩, ⟨n16,n17,n18⟩}",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Table1 output missing %q:\n%s", want, out)
+		}
+	}
+	// 11 numbered rows.
+	if !strings.Contains(out, "\n11   ") {
+		t.Fatalf("Table1 must have 11 rows:\n%s", out)
+	}
+}
+
+func TestFigureOutputs(t *testing.T) {
+	checks := map[string][]string{
+		Figure3(): {"⟨n3,n4,n5,n6,n7,n9⟩", "powerset produces more"},
+		Figure4(): {"⊖(F)   = {⟨n1⟩, ⟨n5⟩, ⟨n7⟩}", "true"},
+		Figure5(): {"push-down", "σ size<=3"},
+		Figure6(): {"size<=3", "height<=2", "true", "false"},
+		Figure7(): {"not anti-monotonic", "true", "false"},
+		Figure8(): {"[n17]", "target fragment ⟨n16,n17,n18⟩ retrieved:  true", "excluded:      true"},
+		Figure2(): {"algebra answers", "slca"},
+	}
+	for out, wants := range checks {
+		if strings.HasPrefix(out, "error:") {
+			t.Fatalf("experiment failed: %s", out)
+		}
+		for _, w := range wants {
+			if !strings.Contains(out, w) {
+				t.Fatalf("output missing %q:\n%s", w, out)
+			}
+		}
+	}
+}
+
+func TestStrategySweepShape(t *testing.T) {
+	cfg := StrategySweepConfig{
+		Sections:    []int{2},
+		Frequencies: []int{3, 6},
+		Betas:       []int{3},
+		Seed:        7,
+	}
+	rows := StrategySweep(cfg)
+	if len(rows) != 2*1*4 {
+		t.Fatalf("rows = %d, want 8", len(rows))
+	}
+	// Per (freq, β) group: all feasible strategies agree on answers,
+	// and push-down does no more joins than any other feasible one.
+	byKey := map[[2]int][]StrategyRow{}
+	for _, r := range rows {
+		k := [2]int{r.Frequency, r.Beta}
+		byKey[k] = append(byKey[k], r)
+	}
+	for k, group := range byKey {
+		var push *StrategyRow
+		for i := range group {
+			if group[i].Strategy == cost.PushDown {
+				push = &group[i]
+			}
+		}
+		if push == nil || push.Err != "" {
+			t.Fatalf("%v: push-down must always be feasible", k)
+		}
+		for _, r := range group {
+			if r.Err != "" {
+				continue
+			}
+			if r.Answers != push.Answers {
+				t.Fatalf("%v: %v answers=%d, push-down=%d", k, r.Strategy, r.Answers, push.Answers)
+			}
+			if push.Joins > r.Joins {
+				t.Fatalf("%v: push-down joins %d exceed %v's %d", k, push.Joins, r.Strategy, r.Joins)
+			}
+		}
+	}
+	if !strings.Contains(FormatStrategyRows(rows), "push-down") {
+		t.Fatal("formatting lost strategies")
+	}
+}
+
+func TestRFSweepShape(t *testing.T) {
+	rows := RFSweep(7)
+	if len(rows) < 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// RF-sorted; set reduction must win at the top end, checking at
+	// the bottom (the Section 5 trade-off).
+	for i := 1; i < len(rows); i++ {
+		if rows[i-1].RF > rows[i].RF {
+			t.Fatal("rows not sorted by RF")
+		}
+	}
+	if !rows[len(rows)-1].CheckingBetter == false {
+		t.Fatalf("highest-RF row should favor set reduction: %+v", rows[len(rows)-1])
+	}
+	if !rows[0].CheckingBetter {
+		t.Fatalf("zero-RF row should favor checking: %+v", rows[0])
+	}
+	out := FormatRFRows(rows)
+	if !strings.Contains(out, "crossover") {
+		t.Fatal("format missing crossover note")
+	}
+}
+
+func TestSLCAComparisonShape(t *testing.T) {
+	rows := SLCAComparison(7)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if !r.AlgebraTarget {
+			t.Fatalf("algebra must cover filter-compatible SLCA answers: %+v", r)
+		}
+	}
+	if !strings.Contains(FormatSLCARows(rows), "covers-slca") {
+		t.Fatal("format missing column")
+	}
+}
+
+func TestRelComparisonShape(t *testing.T) {
+	rows := RelComparison(7)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Agree {
+			t.Fatalf("relational executor disagreed: %+v", r)
+		}
+	}
+	if !strings.Contains(FormatRelRows(rows), "agree") {
+		t.Fatal("format missing column")
+	}
+}
+
+func TestEffectivenessShape(t *testing.T) {
+	rows := Effectiveness(7)
+	if len(rows) != 7 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]EffectivenessRow{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	alg := rows[0] // algebra at β = max gold size
+	if alg.M.ExactRecall != 1 || alg.M.CoverRecall != 1 {
+		t.Fatalf("algebra must recall every gold fragment exactly: %+v", alg.M)
+	}
+	slcaRoots := byName["slca roots"]
+	if slcaRoots.M.ExactRecall != 0 {
+		t.Fatalf("slca roots should not match multi-node gold exactly: %+v", slcaRoots.M)
+	}
+	if slcaRoots.M.NodeRecall >= alg.M.NodeRecall {
+		t.Fatal("algebra must beat slca roots on node recall")
+	}
+	slcaSub := byName["slca subtrees"]
+	if slcaSub.M.NodePrecision >= alg.M.NodePrecision {
+		t.Fatal("algebra must beat slca subtrees on node precision")
+	}
+	if alg.M.F1 <= slcaRoots.M.F1 || alg.M.F1 <= slcaSub.M.F1 {
+		t.Fatal("algebra must win on F1")
+	}
+	out := FormatEffectivenessRows(rows)
+	if !strings.Contains(out, "algebra β=") || !strings.Contains(out, "slca subtrees") {
+		t.Fatalf("format missing rows:\n%s", out)
+	}
+}
+
+func TestScaleSweepShape(t *testing.T) {
+	rows := ScaleSweep(7)
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Nodes <= rows[i-1].Nodes {
+			t.Fatal("sizes must increase")
+		}
+	}
+	// Query latency must not grow with document size beyond noise: the
+	// largest document's joins must not exceed the smallest's.
+	if rows[len(rows)-1].Joins > rows[0].Joins*4 {
+		t.Fatalf("join count grew with size: %v vs %v", rows[len(rows)-1].Joins, rows[0].Joins)
+	}
+	if !strings.Contains(FormatScaleRows(rows), "index build") {
+		t.Fatal("format missing column")
+	}
+}
+
+// TestDeterministicExperimentGoldens pins the text output of every
+// deterministic experiment against committed golden files, so the
+// reproduced tables and figures cannot drift silently. Regenerate
+// with: for e in table1 fig3 fig4 fig5 fig6 fig7; do
+// go run ./cmd/xfragbench -exp $e | tail -n +2 > internal/bench/testdata/$e.golden; done
+func TestDeterministicExperimentGoldens(t *testing.T) {
+	cases := map[string]func() string{
+		"table1": Table1,
+		"fig3":   Figure3,
+		"fig4":   Figure4,
+		"fig5":   Figure5,
+		"fig6":   Figure6,
+		"fig7":   Figure7,
+	}
+	for name, run := range cases {
+		t.Run(name, func(t *testing.T) {
+			golden, err := os.ReadFile("testdata/" + name + ".golden")
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The CLI prints the experiment output followed by a blank
+			// line; the golden was captured the same way.
+			if got := run() + "\n"; got != string(golden) {
+				t.Fatalf("%s output drifted from golden:\n--- got ---\n%s--- want ---\n%s", name, got, golden)
+			}
+		})
+	}
+}

@@ -1,0 +1,246 @@
+// Package collection scales the engine from one document to a corpus,
+// backing the paper's closing claim that the model "can accommodate a
+// very large collection of XML documents" (Section 7). Documents are
+// indexed independently; a query fans out across them concurrently
+// (fragments never span documents — Definition 2 ties a fragment to
+// one tree) and results merge into a single ranked list.
+package collection
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/query"
+	"repro/internal/ranking"
+	"repro/internal/textutil"
+	"repro/internal/xmltree"
+)
+
+// Collection is a set of named, indexed documents. Add documents
+// first, then query; Add and Search must not run concurrently with
+// each other, but any number of Searches may run in parallel.
+type Collection struct {
+	mu      sync.RWMutex
+	engines map[string]*engine.Engine
+	order   []string // insertion order, for deterministic iteration
+}
+
+// New returns an empty collection.
+func New() *Collection {
+	return &Collection{engines: make(map[string]*engine.Engine)}
+}
+
+// Add indexes doc under its document name. It returns an error if the
+// name is already taken.
+func (c *Collection) Add(doc *xmltree.Document) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	name := doc.Name()
+	if _, dup := c.engines[name]; dup {
+		return fmt.Errorf("collection: duplicate document %q", name)
+	}
+	c.engines[name] = engine.New(doc)
+	c.order = append(c.order, name)
+	return nil
+}
+
+// AddXML parses and indexes an XML document held in a string.
+func (c *Collection) AddXML(name, xml string) error {
+	doc, err := xmltree.ParseString(name, xml)
+	if err != nil {
+		return err
+	}
+	return c.Add(doc)
+}
+
+// Remove drops the named document from the collection, reporting
+// whether it was present.
+func (c *Collection) Remove(name string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.engines[name]; !ok {
+		return false
+	}
+	delete(c.engines, name)
+	for i, n := range c.order {
+		if n == name {
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+// Len returns the number of documents.
+func (c *Collection) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.engines)
+}
+
+// Names returns the document names in insertion order.
+func (c *Collection) Names() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return append([]string(nil), c.order...)
+}
+
+// Engine returns the per-document engine, or nil if absent.
+func (c *Collection) Engine(name string) *engine.Engine {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.engines[name]
+}
+
+// Hit is one answer fragment of a collection-wide search.
+type Hit struct {
+	// Document is the name of the document the fragment belongs to.
+	Document string
+	Fragment core.Fragment
+	// Score is the ranking score (comparable across documents: IDF is
+	// per-document, so scores are a heuristic merge, as in federated
+	// retrieval).
+	Score float64
+}
+
+// Result is a merged collection search result.
+type Result struct {
+	// Hits in descending score order.
+	Hits []Hit
+	// PerDocument maps document name → its evaluation statistics.
+	PerDocument map[string]query.Stats
+	// Errors maps document name → evaluation error (e.g. budget
+	// exceeded on one pathological document); other documents still
+	// contribute hits.
+	Errors map[string]error
+}
+
+// Search evaluates the keyword/filter query on every document
+// concurrently and merges the ranked results. opts applies to every
+// per-document evaluation.
+func (c *Collection) Search(keywords, filterSpec string, opts query.Options) (*Result, error) {
+	q, err := query.Parse(keywords, filterSpec)
+	if err != nil {
+		return nil, err
+	}
+	return c.Run(q, opts)
+}
+
+// Run evaluates a prebuilt query across the collection.
+func (c *Collection) Run(q query.Query, opts query.Options) (*Result, error) {
+	c.mu.RLock()
+	names := append([]string(nil), c.order...)
+	engines := make([]*engine.Engine, len(names))
+	for i, n := range names {
+		engines[i] = c.engines[n]
+	}
+	c.mu.RUnlock()
+
+	type docResult struct {
+		name  string
+		stats query.Stats
+		hits  []Hit
+		err   error
+	}
+	results := make([]docResult, len(names))
+	var wg sync.WaitGroup
+	for i := range names {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			eng := engines[i]
+			ans, err := eng.Run(q, opts)
+			if err != nil {
+				results[i] = docResult{name: names[i], err: err}
+				return
+			}
+			r := ranking.New(eng.Index(), normalizedTerms(q), ranking.DefaultWeights())
+			var hits []Hit
+			for _, s := range r.Rank(ans.Result.Answers) {
+				hits = append(hits, Hit{Document: names[i], Fragment: s.Fragment, Score: s.Score})
+			}
+			results[i] = docResult{name: names[i], stats: ans.Result.Stats, hits: hits}
+		}(i)
+	}
+	wg.Wait()
+
+	out := &Result{PerDocument: make(map[string]query.Stats)}
+	for _, r := range results {
+		if r.err != nil {
+			if out.Errors == nil {
+				out.Errors = make(map[string]error)
+			}
+			out.Errors[r.name] = r.err
+			continue
+		}
+		out.PerDocument[r.name] = r.stats
+		out.Hits = append(out.Hits, r.hits...)
+	}
+	sort.SliceStable(out.Hits, func(i, j int) bool {
+		if out.Hits[i].Score != out.Hits[j].Score {
+			return out.Hits[i].Score > out.Hits[j].Score
+		}
+		return out.Hits[i].Document < out.Hits[j].Document
+	})
+	return out, nil
+}
+
+// normalizedTerms flattens the query's groups into the plain terms
+// the ranker scores on: disjunction alternatives count individually
+// and phrases contribute their words.
+func normalizedTerms(q query.Query) []string {
+	groups := q.Groups
+	if groups == nil {
+		for _, t := range q.Terms {
+			groups = append(groups, []string{t})
+		}
+	}
+	var raw []string
+	for _, alts := range groups {
+		for _, alt := range alts {
+			if query.IsPhrase(alt) {
+				raw = append(raw, query.PhraseWords(alt)...)
+				continue
+			}
+			raw = append(raw, alt)
+		}
+	}
+	return textutil.NormalizeTerms(raw)
+}
+
+// Stats summarizes the collection.
+type Stats struct {
+	Documents int
+	Nodes     int
+	Terms     int
+	Postings  int
+}
+
+// Stats aggregates document and index sizes across the collection.
+func (c *Collection) Stats() Stats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	s := Stats{Documents: len(c.engines)}
+	for _, eng := range c.engines {
+		s.Nodes += eng.Document().Len()
+		s.Terms += eng.Index().Size()
+		s.Postings += eng.Index().Postings()
+	}
+	return s
+}
+
+// DocFreq returns how many documents contain term at least once.
+func (c *Collection) DocFreq(term string) int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	n := 0
+	for _, eng := range c.engines {
+		if eng.Index().DocFreq(term) > 0 {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,217 @@
+package collection
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/docgen"
+	"repro/internal/query"
+)
+
+func testCollection(t testing.TB) *Collection {
+	t.Helper()
+	c := New()
+	if err := c.Add(docgen.FigureOne()); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddXML("second.xml",
+		`<doc><sec><par>XQuery engines love optimization work</par></sec><sec><par>nothing here</par></sec></doc>`); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddXML("unrelated.xml",
+		`<doc><par>completely different topics</par></doc>`); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestSearchAcrossDocuments(t *testing.T) {
+	c := testCollection(t)
+	res, err := c.Search("xquery optimization", "size<=3", query.Options{Auto: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Errors) != 0 {
+		t.Fatalf("unexpected errors: %v", res.Errors)
+	}
+	// Figure 1 contributes 4 answers; second.xml contributes ⟨n2⟩
+	// (both terms in one paragraph); unrelated.xml contributes none.
+	byDoc := map[string]int{}
+	for _, h := range res.Hits {
+		byDoc[h.Document]++
+	}
+	if byDoc["figure1.xml"] != 4 {
+		t.Fatalf("figure1 hits = %d, want 4 (%v)", byDoc["figure1.xml"], byDoc)
+	}
+	if byDoc["second.xml"] != 1 {
+		t.Fatalf("second.xml hits = %d, want 1", byDoc["second.xml"])
+	}
+	if byDoc["unrelated.xml"] != 0 {
+		t.Fatal("unrelated.xml must not match")
+	}
+	// Scores descend.
+	for i := 1; i < len(res.Hits); i++ {
+		if res.Hits[i-1].Score < res.Hits[i].Score {
+			t.Fatal("hits not sorted by score")
+		}
+	}
+	// Stats per contributing document.
+	if _, ok := res.PerDocument["figure1.xml"]; !ok {
+		t.Fatal("missing per-document stats")
+	}
+}
+
+func TestAddDuplicateName(t *testing.T) {
+	c := New()
+	if err := c.Add(docgen.FigureOne()); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Add(docgen.FigureOne()); err == nil {
+		t.Fatal("duplicate name must error")
+	}
+	if err := c.AddXML("bad.xml", "<unclosed"); err == nil {
+		t.Fatal("bad XML must error")
+	}
+}
+
+func TestNamesAndStats(t *testing.T) {
+	c := testCollection(t)
+	names := c.Names()
+	if len(names) != 3 || names[0] != "figure1.xml" {
+		t.Fatalf("Names = %v", names)
+	}
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	st := c.Stats()
+	if st.Documents != 3 || st.Nodes < 82 || st.Terms == 0 || st.Postings == 0 {
+		t.Fatalf("Stats = %+v", st)
+	}
+	if c.Engine("figure1.xml") == nil || c.Engine("nope") != nil {
+		t.Fatal("Engine lookup wrong")
+	}
+	if c.DocFreq("xquery") != 2 {
+		t.Fatalf("DocFreq(xquery) = %d, want 2", c.DocFreq("xquery"))
+	}
+}
+
+func TestPerDocumentError(t *testing.T) {
+	c := New()
+	if err := c.Add(docgen.FigureOne()); err != nil {
+		t.Fatal(err)
+	}
+	// Plant a pathological document: the same term on many scattered
+	// nodes with no filter makes the unfiltered strategy exceed a tiny
+	// budget — only for that document.
+	d, err := docgen.Generate(docgen.Config{
+		Seed: 5, Sections: 4, MeanFanout: 4, Depth: 3, VocabSize: 50,
+		Plant: map[string]int{"xquery": 14, "optimization": 14},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Add(d); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Search("xquery optimization", "", query.Options{Strategy: 2 /* SetReduction */, MaxFragments: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Errors) != 1 {
+		t.Fatalf("errors = %v, want exactly the synthetic document to fail", res.Errors)
+	}
+	for name, e := range res.Errors {
+		if name == "figure1.xml" {
+			t.Fatal("figure1 should have succeeded")
+		}
+		if !errors.Is(e, core.ErrBudgetExceeded) {
+			t.Fatalf("error = %v, want budget exceeded", e)
+		}
+	}
+	// The healthy document still contributed.
+	found := false
+	for _, h := range res.Hits {
+		if h.Document == "figure1.xml" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("healthy document must still produce hits")
+	}
+}
+
+func TestConcurrentSearches(t *testing.T) {
+	c := testCollection(t)
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := c.Search("xquery optimization", "size<=3", query.Options{Auto: true})
+			if err == nil && len(res.Hits) != 5 {
+				err = fmt.Errorf("hits = %d, want 5", len(res.Hits))
+			}
+			errs[i] = err
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestSearchBadQuery(t *testing.T) {
+	c := testCollection(t)
+	if _, err := c.Search("", "", query.Options{}); err == nil {
+		t.Fatal("empty query must error")
+	}
+	if _, err := c.Search("x", "garbage<=", query.Options{}); err == nil {
+		t.Fatal("bad filter must error")
+	}
+}
+
+func TestEmptyCollection(t *testing.T) {
+	c := New()
+	res, err := c.Search("anything", "", query.Options{Auto: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Hits) != 0 {
+		t.Fatal("empty collection must return no hits")
+	}
+}
+
+func TestRemove(t *testing.T) {
+	c := testCollection(t)
+	if !c.Remove("second.xml") {
+		t.Fatal("Remove must report presence")
+	}
+	if c.Remove("second.xml") {
+		t.Fatal("second Remove must report absence")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	names := c.Names()
+	for _, n := range names {
+		if n == "second.xml" {
+			t.Fatal("removed name still listed")
+		}
+	}
+	// Searches no longer see the removed document.
+	res, err := c.Search("xquery optimization", "size<=3", query.Options{Auto: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range res.Hits {
+		if h.Document == "second.xml" {
+			t.Fatal("removed document still contributes hits")
+		}
+	}
+}

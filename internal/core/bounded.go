@@ -1,0 +1,141 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBudgetExceeded reports that an operation was aborted because its
+// result grew past the caller's fragment budget. The powerset join
+// family is worst-case exponential in its input (Section 3.1 calls
+// the naive algorithm "impractical for a large value of |F|"); the
+// bounded variants let an engine fail fast with a diagnostic instead
+// of computing for hours, steering users toward a (push-down-capable)
+// filter.
+var ErrBudgetExceeded = errors.New("core: fragment budget exceeded")
+
+func budgetError(op string, budget int) error {
+	return fmt.Errorf("%w: %s grew past %d fragments; add or tighten an anti-monotonic filter", ErrBudgetExceeded, op, budget)
+}
+
+// PairwiseJoinBounded is PairwiseJoin aborting with ErrBudgetExceeded
+// once the result would exceed maxFragments.
+func PairwiseJoinBounded(f1, f2 *Set, maxFragments int) (*Set, error) {
+	out := &Set{}
+	for _, a := range f1.frags {
+		for _, b := range f2.frags {
+			out.Add(Join(a, b))
+			if out.Len() > maxFragments {
+				return nil, budgetError("pairwise join", maxFragments)
+			}
+		}
+	}
+	return out, nil
+}
+
+// SelfJoinTimesBounded is SelfJoinTimes with a fragment budget.
+func SelfJoinTimesBounded(f *Set, n, maxFragments int) (*Set, error) {
+	if n < 1 {
+		panic("core: SelfJoinTimesBounded requires n >= 1")
+	}
+	acc := f.Clone()
+	if acc.Len() > maxFragments {
+		return nil, budgetError("self join", maxFragments)
+	}
+	frontier := f.Fragments()
+	for i := 1; i < n && len(frontier) > 0; i++ {
+		var next []Fragment
+		for _, a := range frontier {
+			for _, b := range f.Fragments() {
+				if j := Join(a, b); acc.Add(j) {
+					next = append(next, j)
+					if acc.Len() > maxFragments {
+						return nil, budgetError("self join", maxFragments)
+					}
+				}
+			}
+		}
+		frontier = next
+	}
+	return acc, nil
+}
+
+// FixedPointBounded computes F⁺ with Theorem 1's iteration budget and
+// a fragment budget.
+func FixedPointBounded(f *Set, maxFragments int) (*Set, error) {
+	k := Reduce(f).Len()
+	if k < 1 {
+		k = 1
+	}
+	return SelfJoinTimesBounded(f, k, maxFragments)
+}
+
+// FixedPointNaiveBounded computes F⁺ with fixed-point checking and a
+// fragment budget.
+func FixedPointNaiveBounded(f *Set, maxFragments int) (*Set, error) {
+	acc := f.Clone()
+	if acc.Len() > maxFragments {
+		return nil, budgetError("fixed point", maxFragments)
+	}
+	frontier := f.Fragments()
+	for len(frontier) > 0 {
+		var next []Fragment
+		for _, a := range frontier {
+			for _, b := range f.Fragments() {
+				if j := Join(a, b); acc.Add(j) {
+					next = append(next, j)
+					if acc.Len() > maxFragments {
+						return nil, budgetError("fixed point", maxFragments)
+					}
+				}
+			}
+		}
+		frontier = next
+	}
+	return acc, nil
+}
+
+// FilteredFixedPointBounded computes σ_Pa(F⁺) with push-down and a
+// fragment budget. With a selective anti-monotonic predicate the
+// budget is rarely hit — which is the paper's optimization story.
+func FilteredFixedPointBounded(f *Set, pred func(Fragment) bool, maxFragments int) (*Set, error) {
+	base := f.Select(pred)
+	acc := base.Clone()
+	if acc.Len() > maxFragments {
+		return nil, budgetError("filtered fixed point", maxFragments)
+	}
+	frontier := base.Fragments()
+	for len(frontier) > 0 {
+		var next []Fragment
+		for _, a := range frontier {
+			for _, b := range base.Fragments() {
+				j := Join(a, b)
+				if pred(j) && acc.Add(j) {
+					next = append(next, j)
+					if acc.Len() > maxFragments {
+						return nil, budgetError("filtered fixed point", maxFragments)
+					}
+				}
+			}
+		}
+		frontier = next
+	}
+	return acc, nil
+}
+
+// PairwiseJoinFilteredBounded is PairwiseJoinFiltered with a fragment
+// budget.
+func PairwiseJoinFilteredBounded(f1, f2 *Set, pred func(Fragment) bool, maxFragments int) (*Set, error) {
+	out := &Set{}
+	for _, a := range f1.frags {
+		for _, b := range f2.frags {
+			if j := Join(a, b); pred(j) {
+				out.Add(j)
+				if out.Len() > maxFragments {
+					return nil, budgetError("filtered pairwise join", maxFragments)
+				}
+			}
+		}
+	}
+	return out, nil
+}

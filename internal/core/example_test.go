@@ -1,0 +1,50 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/docgen"
+)
+
+// ExampleJoin reproduces the paper's Figure 3(b) join.
+func ExampleJoin() {
+	d := docgen.FigureThree()
+	f1 := core.MustFragment(d, 4, 5)
+	f2 := core.MustFragment(d, 7, 9)
+	fmt.Println(core.Join(f1, f2))
+	// Output: ⟨n3,n4,n5,n6,n7,n9⟩
+}
+
+// ExampleReduce reproduces the paper's Figure 4 set reduction.
+func ExampleReduce() {
+	d := docgen.FigureFour()
+	F := core.NewSet(
+		core.MustFragment(d, 1), core.MustFragment(d, 3), core.MustFragment(d, 5),
+		core.MustFragment(d, 6), core.MustFragment(d, 7),
+	)
+	fmt.Println(core.Reduce(F))
+	fmt.Println("iterations:", core.FixedPointIterations(F))
+	// Output:
+	// {⟨n1⟩, ⟨n5⟩, ⟨n7⟩}
+	// iterations: 3
+}
+
+// ExamplePowersetJoin shows the running example's candidate count.
+func ExamplePowersetJoin() {
+	d := docgen.FigureOne()
+	F1 := core.NodeFragments(d, d.NodesWithKeyword("xquery"))
+	F2 := core.NodeFragments(d, d.NodesWithKeyword("optimization"))
+	result, _ := core.PowersetJoin(F1, F2)
+	fmt.Println("unique fragments:", result.Len())
+	// Output: unique fragments: 7
+}
+
+// ExampleFilteredFixedPoint shows push-down keeping the answer small.
+func ExampleFilteredFixedPoint() {
+	d := docgen.FigureOne()
+	F2 := core.NodeFragments(d, d.NodesWithKeyword("optimization"))
+	small := core.FilteredFixedPoint(F2, func(f core.Fragment) bool { return f.Size() <= 2 })
+	fmt.Println(small)
+	// Output: {⟨n16⟩, ⟨n17⟩, ⟨n81⟩, ⟨n16,n17⟩}
+}

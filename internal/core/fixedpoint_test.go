@@ -1,0 +1,209 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/docgen"
+)
+
+// TestReduceFigure4 reproduces the paper's Figure 4:
+// ⊖({⟨n1⟩,⟨n3⟩,⟨n5⟩,⟨n6⟩,⟨n7⟩}) = {⟨n1⟩,⟨n5⟩,⟨n7⟩} because
+// ⟨n3⟩ ⊆ ⟨n1⟩⋈⟨n5⟩ and ⟨n6⟩ ⊆ ⟨n1⟩⋈⟨n7⟩.
+func TestReduceFigure4(t *testing.T) {
+	d := docgen.FigureFour()
+	F := NewSet(
+		MustFragment(d, 1), MustFragment(d, 3), MustFragment(d, 5),
+		MustFragment(d, 6), MustFragment(d, 7),
+	)
+	got := Reduce(F)
+	want := NewSet(MustFragment(d, 1), MustFragment(d, 5), MustFragment(d, 7))
+	if !got.Equal(want) {
+		t.Fatalf("⊖(F) = %v, want %v", got, want)
+	}
+	// "Since the cardinality of the reduced set is 3, ((F⋈F)⋈F) should
+	// give the fixed point" — i.e. ⋈_3(F) = F⁺.
+	if k := FixedPointIterations(F); k != 3 {
+		t.Fatalf("iteration budget = %d, want 3", k)
+	}
+	if !SelfJoinTimes(F, 3).Equal(FixedPointNaive(F)) {
+		t.Fatal("⋈_3(F) must equal the fixed point")
+	}
+}
+
+// TestReduceEliminationWitnesses verifies the two eliminations Figure 4
+// names, directly.
+func TestReduceEliminationWitnesses(t *testing.T) {
+	d := docgen.FigureFour()
+	n1, n3, n5, n6, n7 := MustFragment(d, 1), MustFragment(d, 3), MustFragment(d, 5), MustFragment(d, 6), MustFragment(d, 7)
+	if !n3.SubsetOf(Join(n1, n5)) {
+		t.Fatal("⟨n3⟩ ⊆ ⟨n1⟩⋈⟨n5⟩ must hold")
+	}
+	if !n6.SubsetOf(Join(n1, n7)) {
+		t.Fatal("⟨n6⟩ ⊆ ⟨n1⟩⋈⟨n7⟩ must hold")
+	}
+}
+
+func TestReduceSmallSets(t *testing.T) {
+	d := docgen.FigureThree()
+	// |F| <= 2 is returned unchanged (Theorem 1's trivial case).
+	one := NewSet(MustFragment(d, 4))
+	if !Reduce(one).Equal(one) {
+		t.Fatal("singleton must reduce to itself")
+	}
+	two := NewSet(MustFragment(d, 4), MustFragment(d, 9))
+	if !Reduce(two).Equal(two) {
+		t.Fatal("pair must reduce to itself")
+	}
+}
+
+// TestReduceSection42 checks the running example's reductions:
+// ⊖(F2) = {f17, f81} while F1 is already reduced (Section 4.2).
+func TestReduceSection42(t *testing.T) {
+	d := docgen.FigureOne()
+	F1 := NewSet(MustFragment(d, 17), MustFragment(d, 18))
+	F2 := NewSet(MustFragment(d, 16), MustFragment(d, 17), MustFragment(d, 81))
+	if got := Reduce(F1); !got.Equal(F1) {
+		t.Fatalf("⊖(F1) = %v, want F1 unchanged", got)
+	}
+	gotF2 := Reduce(F2)
+	want := NewSet(MustFragment(d, 17), MustFragment(d, 81))
+	if !gotF2.Equal(want) {
+		t.Fatalf("⊖(F2) = %v, want {⟨n17⟩, ⟨n81⟩}", gotF2)
+	}
+	// Hence both fixed points need 2 iterations: Fi⁺ = Fi ⋈ Fi.
+	if FixedPointIterations(F1) != 2 || FixedPointIterations(F2) != 2 {
+		t.Fatal("both budgets must be 2 per Section 4.2")
+	}
+	if !FixedPoint(F1).Equal(PairwiseJoin(F1, F1)) {
+		t.Fatal("F1⁺ must equal F1⋈F1")
+	}
+	if !FixedPoint(F2).Equal(PairwiseJoin(F2, F2)) {
+		t.Fatal("F2⁺ must equal F2⋈F2")
+	}
+}
+
+// TestReduceMutualElimination is the regression for the Definition 10
+// reading documented on Reduce: under simultaneous elimination,
+// ⟨a,b⟩ and ⟨parent,a,b⟩ can eliminate each other through joins with a
+// third fragment, and the resulting budget breaks Theorem 1. The
+// iterative reduction must keep one of them.
+func TestReduceMutualElimination(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	d := buildRandomDoc(t, rng, 70)
+	F := NewSet(
+		MustFragment(d, 24, 25),
+		MustFragment(d, 46, 47),
+		MustFragment(d, 64, 65),
+		MustFragment(d, 63, 64, 65),
+	)
+	k := Reduce(F).Len()
+	if !SelfJoinTimes(F, k).Equal(FixedPointNaive(F)) {
+		t.Fatalf("budget %d does not reach the fixed point", k)
+	}
+	if !FixedPoint(F).Equal(FixedPointNaive(F)) {
+		t.Fatal("FixedPoint must agree with the naive computation")
+	}
+}
+
+// TestFixedPointStress compares the Theorem 1-budgeted fixed point
+// with the checking-based one across many random documents and sets.
+func TestFixedPointStress(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		d := buildRandomDoc(t, rng, 30+rng.Intn(120))
+		for i := 0; i < 10; i++ {
+			F := randomSet(t, rng, d, 1+rng.Intn(7), 1+rng.Intn(4))
+			naive := FixedPointNaive(F)
+			budg := FixedPoint(F)
+			if !naive.Equal(budg) {
+				t.Fatalf("seed=%d iter=%d |F|=%d |⊖|=%d: naive=%d budget=%d\nF=%v",
+					seed, i, F.Len(), Reduce(F).Len(), naive.Len(), budg.Len(), F)
+			}
+		}
+	}
+}
+
+// TestFixedPointProperties checks the closure laws: F ⊆ F⁺, F⁺ closed
+// under ⋈, and (F⁺)⁺ = F⁺.
+func TestFixedPointProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	d := buildRandomDoc(t, rng, 60)
+	for i := 0; i < 15; i++ {
+		F := randomSet(t, rng, d, 1+rng.Intn(5), 3)
+		fp := FixedPoint(F)
+		for _, f := range F.Fragments() {
+			if !fp.Contains(f) {
+				t.Fatalf("F ⊄ F⁺: missing %v", f)
+			}
+		}
+		if !PairwiseJoin(fp, fp).Equal(fp) {
+			t.Fatal("F⁺ must be closed under pairwise join")
+		}
+		if !FixedPoint(fp).Equal(fp) {
+			t.Fatal("(F⁺)⁺ must equal F⁺")
+		}
+	}
+}
+
+// TestFilteredFixedPoint checks the push-down identity
+// FilteredFixedPoint(F, Pa) = σ_Pa(F⁺) for anti-monotonic predicates.
+func TestFilteredFixedPoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	d := buildRandomDoc(t, rng, 60)
+	preds := []struct {
+		name string
+		pred func(Fragment) bool
+	}{
+		{"size<=3", func(f Fragment) bool { return f.Size() <= 3 }},
+		{"size<=6", func(f Fragment) bool { return f.Size() <= 6 }},
+		{"height<=2", func(f Fragment) bool { return f.Height() <= 2 }},
+		{"width<=10", func(f Fragment) bool { return f.Width() <= 10 }},
+	}
+	for i := 0; i < 10; i++ {
+		F := randomSet(t, rng, d, 1+rng.Intn(5), 3)
+		for _, p := range preds {
+			want := FixedPointNaive(F).Select(p.pred)
+			got := FilteredFixedPoint(F, p.pred)
+			if !got.Equal(want) {
+				t.Fatalf("%s: filtered fixed point = %v, want %v", p.name, got, want)
+			}
+		}
+	}
+}
+
+func TestReductionFactor(t *testing.T) {
+	d := docgen.FigureOne()
+	F2 := NewSet(MustFragment(d, 16), MustFragment(d, 17), MustFragment(d, 81))
+	// ⊖(F2) = 2 of 3 → RF = 1/3.
+	if got, want := ReductionFactor(F2), 1.0/3.0; got != want {
+		t.Fatalf("RF = %v, want %v", got, want)
+	}
+	if got := ReductionFactor(NewSet()); got != 0 {
+		t.Fatalf("RF of empty set = %v, want 0", got)
+	}
+	F1 := NewSet(MustFragment(d, 17), MustFragment(d, 18))
+	if got := ReductionFactor(F1); got != 0 {
+		t.Fatalf("RF of irreducible set = %v, want 0", got)
+	}
+}
+
+// TestFigure4FixedPointByBudget is the Figure 4 claim end to end:
+// with |⊖(F)| = 3, ((F⋈F)⋈F) gives F⁺ and a fourth iteration adds
+// nothing.
+func TestFigure4FixedPointByBudget(t *testing.T) {
+	d := docgen.FigureFour()
+	F := NewSet(
+		MustFragment(d, 1), MustFragment(d, 3), MustFragment(d, 5),
+		MustFragment(d, 6), MustFragment(d, 7),
+	)
+	three := SelfJoinTimes(F, 3)
+	four := SelfJoinTimes(F, 4)
+	if !three.Equal(four) {
+		t.Fatal("⋈_4(F) must add nothing beyond ⋈_3(F)")
+	}
+	two := SelfJoinTimes(F, 2)
+	if two.Equal(three) {
+		t.Fatal("⋈_2(F) should not yet be the fixed point in Figure 4")
+	}
+}

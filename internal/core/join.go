@@ -1,0 +1,136 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/xmltree"
+)
+
+// joinCount instruments the algebra: it counts every fragment join
+// performed process-wide. The benchmark harness uses it as a
+// machine-independent work metric when comparing evaluation strategies
+// (the paper argues in joins avoided, not milliseconds).
+var joinCount atomic.Uint64
+
+// JoinCount returns the number of fragment joins performed since the
+// last ResetJoinCount.
+func JoinCount() uint64 { return joinCount.Load() }
+
+// ResetJoinCount zeroes the process-wide join counter.
+func ResetJoinCount() { joinCount.Store(0) }
+
+// Join computes the fragment join f1 ⋈ f2 (Definition 4): the minimal
+// fragment of the shared document that contains both f1 and f2. In a
+// tree the minimal connected subgraph containing a node set is the
+// union of the set with the paths from each node to the set's lowest
+// common ancestor; since f1 and f2 are themselves connected, it
+// suffices to connect their roots to the LCA of the two roots.
+//
+// The operation is idempotent, commutative, associative and absorbing
+// (Section 2.2); those properties are exercised by the package's
+// property tests.
+func Join(f1, f2 Fragment) Fragment {
+	if f1.doc != f2.doc {
+		panic("core: Join across documents")
+	}
+	if f1.doc == nil {
+		panic("core: Join of zero Fragment")
+	}
+	joinCount.Add(1)
+	// Absorption fast paths: f1 ⋈ f2 = f1 when f2 ⊆ f1 (and vice
+	// versa). These also cover idempotency.
+	if f2.SubsetOf(f1) {
+		return f1
+	}
+	if f1.SubsetOf(f2) {
+		return f2
+	}
+	d := f1.doc
+	r1, r2 := f1.Root(), f2.Root()
+	l := d.LCA(r1, r2)
+
+	// Gather the connecting paths, excluding nodes already implied by
+	// the fragments' own roots.
+	extra := make([]xmltree.NodeID, 0, d.Depth(r1)+d.Depth(r2)-2*d.Depth(l)+1)
+	for v := r1; v != l; v = d.Parent(v) {
+		extra = append(extra, v)
+	}
+	for v := r2; v != l; v = d.Parent(v) {
+		extra = append(extra, v)
+	}
+	extra = append(extra, l)
+
+	ids := mergeIDs(f1.ids, f2.ids, extra)
+	return Fragment{doc: d, ids: ids}
+}
+
+// JoinAll folds Join over all fragments: ⋈{f1,…,fn} = f1 ⋈ … ⋈ fn
+// (the n-ary form used by Definition 6). It panics on an empty slice.
+func JoinAll(fs []Fragment) Fragment {
+	if len(fs) == 0 {
+		panic("core: JoinAll of empty slice")
+	}
+	acc := fs[0]
+	for _, f := range fs[1:] {
+		acc = Join(acc, f)
+	}
+	return acc
+}
+
+// mergeIDs merges two sorted ID slices and one small unsorted slice
+// into a fresh sorted duplicate-free slice.
+func mergeIDs(a, b, extra []xmltree.NodeID) []xmltree.NodeID {
+	out := make([]xmltree.NodeID, 0, len(a)+len(b)+len(extra))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	for _, id := range extra {
+		out = insertSorted(out, id)
+	}
+	return out
+}
+
+// insertSorted inserts id into the sorted slice s unless present.
+func insertSorted(s []xmltree.NodeID, id xmltree.NodeID) []xmltree.NodeID {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s[mid] < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(s) && s[lo] == id {
+		return s
+	}
+	s = append(s, 0)
+	copy(s[lo+1:], s[lo:])
+	s[lo] = id
+	return s
+}
+
+// validateSameDoc panics unless every fragment belongs to doc; used by
+// set-level operations to fail fast on mixed inputs.
+func validateSameDoc(doc *xmltree.Document, fs []Fragment) {
+	for _, f := range fs {
+		if f.doc != doc {
+			panic(fmt.Sprintf("core: fragment %v belongs to a different document", f))
+		}
+	}
+}

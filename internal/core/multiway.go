@@ -1,0 +1,108 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+)
+
+// MultiPowersetJoin generalizes the powerset fragment join to m ≥ 1
+// operand sets: it yields ⋈(F1' ∪ … ∪ Fm') for every choice of
+// non-empty subsets Fi' ⊆ Fi, evaluated literally. Definition 6 is the
+// m = 2 case; the m-ary form is well defined because pairwise join is
+// associative and commutative. Exponential and bounded like
+// PowersetJoin; use MultiPowersetJoinFixedPoint for real inputs.
+func MultiPowersetJoin(sets []*Set) (*Set, error) {
+	rows, err := MultiPowersetJoinTrace(sets, nil)
+	if err != nil {
+		return nil, err
+	}
+	out := &Set{}
+	for _, r := range rows {
+		out.Add(r.Result)
+	}
+	return out, nil
+}
+
+// MultiPowersetJoinFixedPoint computes the m-ary powerset join through
+// the Theorem 2 equivalence, extended associatively:
+// F1 ⋈* … ⋈* Fm = F1⁺ ⋈ … ⋈ Fm⁺. The extension is sound because
+// F1⁺ ⋈ F2⁺ is itself closed under fragment join, so taking its fixed
+// point again adds nothing.
+func MultiPowersetJoinFixedPoint(sets []*Set) *Set {
+	if len(sets) == 0 {
+		return &Set{}
+	}
+	acc := FixedPoint(sets[0])
+	for _, s := range sets[1:] {
+		acc = PairwiseJoin(acc, FixedPoint(s))
+	}
+	return acc
+}
+
+// MultiPowersetJoinTrace generalizes PowersetJoinTrace to m operand
+// sets: one row per distinct candidate union intersecting every
+// operand, ordered by candidate size then lexicographically.
+func MultiPowersetJoinTrace(sets []*Set, pred func(Fragment) bool) ([]Candidate, error) {
+	if len(sets) == 0 {
+		return nil, nil
+	}
+	pool := &Set{}
+	for _, s := range sets {
+		if s.Len() == 0 {
+			return nil, nil
+		}
+		pool.AddAll(s)
+	}
+	np := pool.Len()
+	if np > maxLiteralPowerset {
+		return nil, fmt.Errorf("core: powerset trace pool of %d fragments exceeds bound %d", np, maxLiteralPowerset)
+	}
+	operandMasks := make([]uint64, len(sets))
+	for si, s := range sets {
+		for i := 0; i < np; i++ {
+			if s.Contains(pool.At(i)) {
+				operandMasks[si] |= 1 << i
+			}
+		}
+	}
+	var masks []uint64
+	for m := uint64(1); m < 1<<np; m++ {
+		ok := true
+		for _, om := range operandMasks {
+			if m&om == 0 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			masks = append(masks, m)
+		}
+	}
+	sort.Slice(masks, func(i, j int) bool {
+		ci, cj := bits.OnesCount64(masks[i]), bits.OnesCount64(masks[j])
+		if ci != cj {
+			return ci < cj
+		}
+		return masks[i] < masks[j]
+	})
+	seen := make(map[string]bool)
+	rows := make([]Candidate, 0, len(masks))
+	for _, m := range masks {
+		var inputs []Fragment
+		for i := 0; i < np; i++ {
+			if m&(1<<i) != 0 {
+				inputs = append(inputs, pool.At(i))
+			}
+		}
+		res := JoinAll(inputs)
+		k := res.Key()
+		row := Candidate{Inputs: inputs, Result: res, Duplicate: seen[k]}
+		if pred != nil {
+			row.Filtered = !pred(res)
+		}
+		seen[k] = true
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

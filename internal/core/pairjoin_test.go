@@ -1,0 +1,147 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/docgen"
+)
+
+// TestPairwiseJoinFigure3 reproduces Figure 3(c): for
+// F1 = {f11, f12} and F2 = {f21, f22}, F1 ⋈ F2 yields the four
+// pairwise joins.
+func TestPairwiseJoinFigure3(t *testing.T) {
+	d := docgen.FigureThree()
+	f11 := MustFragment(d, 4, 5)
+	f12 := MustFragment(d, 7, 9)
+	f21 := MustFragment(d, 6, 7)
+	f22 := MustFragment(d, 1)
+	F1 := NewSet(f11, f12)
+	F2 := NewSet(f21, f22)
+	got := PairwiseJoin(F1, F2)
+	want := NewSet(Join(f11, f21), Join(f11, f22), Join(f12, f21), Join(f12, f22))
+	if !got.Equal(want) {
+		t.Fatalf("F1⋈F2 = %v, want %v", got, want)
+	}
+}
+
+func TestPairwiseJoinCommutative(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	d := buildRandomDoc(t, rng, 60)
+	for i := 0; i < 30; i++ {
+		F1 := randomSet(t, rng, d, 1+rng.Intn(5), 4)
+		F2 := randomSet(t, rng, d, 1+rng.Intn(5), 4)
+		if !PairwiseJoin(F1, F2).Equal(PairwiseJoin(F2, F1)) {
+			t.Fatalf("pairwise join not commutative for %v, %v", F1, F2)
+		}
+	}
+}
+
+func TestPairwiseJoinAssociative(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	d := buildRandomDoc(t, rng, 60)
+	for i := 0; i < 20; i++ {
+		F1 := randomSet(t, rng, d, 1+rng.Intn(4), 3)
+		F2 := randomSet(t, rng, d, 1+rng.Intn(4), 3)
+		F3 := randomSet(t, rng, d, 1+rng.Intn(4), 3)
+		left := PairwiseJoin(PairwiseJoin(F1, F2), F3)
+		right := PairwiseJoin(F1, PairwiseJoin(F2, F3))
+		if !left.Equal(right) {
+			t.Fatalf("pairwise join not associative:\n(F1⋈F2)⋈F3 = %v\nF1⋈(F2⋈F3) = %v", left, right)
+		}
+	}
+}
+
+// TestPairwiseJoinMonotone checks F ⊆ F ⋈ F (Section 2.2).
+func TestPairwiseJoinMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	d := buildRandomDoc(t, rng, 60)
+	for i := 0; i < 30; i++ {
+		F := randomSet(t, rng, d, 1+rng.Intn(6), 4)
+		self := PairwiseJoin(F, F)
+		for _, f := range F.Fragments() {
+			if !self.Contains(f) {
+				t.Fatalf("monotonicity violated: %v ∉ F⋈F", f)
+			}
+		}
+	}
+}
+
+// TestPairwiseJoinDistributesOverUnion checks
+// F1 ⋈ (F2 ∪ F3) = (F1 ⋈ F2) ∪ (F1 ⋈ F3).
+func TestPairwiseJoinDistributesOverUnion(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	d := buildRandomDoc(t, rng, 60)
+	for i := 0; i < 20; i++ {
+		F1 := randomSet(t, rng, d, 1+rng.Intn(4), 3)
+		F2 := randomSet(t, rng, d, 1+rng.Intn(4), 3)
+		F3 := randomSet(t, rng, d, 1+rng.Intn(4), 3)
+		left := PairwiseJoin(F1, Union(F2, F3))
+		right := Union(PairwiseJoin(F1, F2), PairwiseJoin(F1, F3))
+		if !left.Equal(right) {
+			t.Fatalf("distributive law violated")
+		}
+	}
+}
+
+// TestPairwiseJoinNotIdempotent preserves the paper's observation that
+// F ⋈ F ≠ F in general, with a concrete counterexample: two sibling
+// leaves join to a fragment outside F.
+func TestPairwiseJoinNotIdempotent(t *testing.T) {
+	d := docgen.FigureThree()
+	F := NewSet(MustFragment(d, 4), MustFragment(d, 5))
+	self := PairwiseJoin(F, F)
+	if self.Equal(F) {
+		t.Fatal("expected F⋈F ≠ F for sibling singletons")
+	}
+	if !self.Contains(MustFragment(d, 4, 5)) {
+		t.Fatal("F⋈F must contain the joined pair ⟨n4,n5⟩")
+	}
+}
+
+func TestPairwiseJoinFiltered(t *testing.T) {
+	d := docgen.FigureOne()
+	F1 := NewSet(MustFragment(d, 17), MustFragment(d, 18))
+	F2 := NewSet(MustFragment(d, 16), MustFragment(d, 81))
+	pred := func(f Fragment) bool { return f.Size() <= 3 }
+	got := PairwiseJoinFiltered(F1, F2, pred)
+	want := PairwiseJoin(F1, F2).Select(pred)
+	if !got.Equal(want) {
+		t.Fatalf("filtered join = %v, want %v", got, want)
+	}
+	// The big joins through n81 must be gone.
+	for _, f := range got.Fragments() {
+		if f.Size() > 3 {
+			t.Fatalf("filtered join leaked %v", f)
+		}
+	}
+}
+
+func TestSelfJoinTimes(t *testing.T) {
+	d := docgen.FigureOne()
+	F := NewSet(MustFragment(d, 16), MustFragment(d, 17), MustFragment(d, 81))
+	if got := SelfJoinTimes(F, 1); !got.Equal(F) {
+		t.Fatalf("⋈_1(F) = %v, want F", got)
+	}
+	two := SelfJoinTimes(F, 2)
+	if !two.Contains(Join(MustFragment(d, 16), MustFragment(d, 81))) {
+		t.Fatal("⋈_2(F) must contain f16⋈f81")
+	}
+	// ⋈_n is increasing.
+	three := SelfJoinTimes(F, 3)
+	for _, f := range two.Fragments() {
+		if !three.Contains(f) {
+			t.Fatalf("⋈_3(F) must contain all of ⋈_2(F); missing %v", f)
+		}
+	}
+}
+
+func TestSelfJoinTimesPanicsOnZero(t *testing.T) {
+	d := docgen.FigureThree()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SelfJoinTimes(F, 0) should panic")
+		}
+	}()
+	SelfJoinTimes(NewSet(MustFragment(d, 1)), 0)
+}

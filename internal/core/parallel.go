@@ -1,0 +1,112 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Parallel variants of the join-heavy operations. Fragment join is a
+// pure function over an immutable document, so the outer loop of a
+// pairwise join parallelizes embarrassingly: workers join disjoint
+// stripes of the left operand and the results merge into one
+// deduplicated set. Answer sets are identical to the sequential
+// variants (Set equality is order-insensitive); only insertion order
+// may differ, and canonical presentation uses Set.Sorted anyway.
+
+// ResolveWorkers normalizes a worker-count option: values < 1 mean
+// GOMAXPROCS.
+func ResolveWorkers(n int) int {
+	if n < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// PairwiseJoinFilteredParallel computes σ-filtered F1 ⋈ F2 with the
+// given number of workers. workers <= 1 falls back to the sequential
+// implementation. The fragment budget is enforced on the merged
+// result (workers may transiently materialize up to one stripe past
+// it).
+func PairwiseJoinFilteredParallel(f1, f2 *Set, pred func(Fragment) bool, workers, maxFragments int) (*Set, error) {
+	if workers <= 1 || f1.Len() < 2*workers {
+		return PairwiseJoinFilteredBounded(f1, f2, pred, maxFragments)
+	}
+	chunks := stripeJoin(f1.Fragments(), f2.Fragments(), pred, workers)
+	out := &Set{}
+	for _, chunk := range chunks {
+		for _, f := range chunk {
+			out.Add(f)
+			if out.Len() > maxFragments {
+				return nil, budgetError("parallel pairwise join", maxFragments)
+			}
+		}
+	}
+	return out, nil
+}
+
+// FilteredFixedPointParallel computes σ_Pa(F⁺) semi-naively with
+// parallel frontier expansion. workers <= 1 falls back to the
+// sequential implementation.
+func FilteredFixedPointParallel(f *Set, pred func(Fragment) bool, workers, maxFragments int) (*Set, error) {
+	if workers <= 1 {
+		return FilteredFixedPointBounded(f, pred, maxFragments)
+	}
+	base := f.Select(pred)
+	acc := base.Clone()
+	if acc.Len() > maxFragments {
+		return nil, budgetError("parallel filtered fixed point", maxFragments)
+	}
+	frontier := base.Fragments()
+	for len(frontier) > 0 {
+		chunks := stripeJoin(frontier, base.Fragments(), pred, workers)
+		var next []Fragment
+		for _, chunk := range chunks {
+			for _, j := range chunk {
+				if acc.Add(j) {
+					next = append(next, j)
+					if acc.Len() > maxFragments {
+						return nil, budgetError("parallel filtered fixed point", maxFragments)
+					}
+				}
+			}
+		}
+		frontier = next
+	}
+	return acc, nil
+}
+
+// stripeJoin fans the cross product left × right over workers, each
+// joining its stripe of left against all of right and keeping the
+// pred-passing results (locally deduplicated to shrink the merge).
+func stripeJoin(left, right []Fragment, pred func(Fragment) bool, workers int) [][]Fragment {
+	if workers > len(left) {
+		workers = len(left)
+	}
+	chunks := make([][]Fragment, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			seen := make(map[string]bool)
+			var local []Fragment
+			for i := w; i < len(left); i += workers {
+				for _, b := range right {
+					j := Join(left[i], b)
+					if !pred(j) {
+						continue
+					}
+					k := j.Key()
+					if seen[k] {
+						continue
+					}
+					seen[k] = true
+					local = append(local, j)
+				}
+			}
+			chunks[w] = local
+		}(w)
+	}
+	wg.Wait()
+	return chunks
+}

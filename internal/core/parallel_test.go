@@ -1,0 +1,62 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func TestParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	d := buildRandomDoc(t, rng, 150)
+	const big = 1 << 20
+	preds := []func(Fragment) bool{
+		func(f Fragment) bool { return f.Size() <= 4 },
+		func(f Fragment) bool { return f.Height() <= 2 },
+		func(Fragment) bool { return true },
+	}
+	for trial := 0; trial < 10; trial++ {
+		F1 := randomSet(t, rng, d, 2+rng.Intn(10), 3)
+		F2 := randomSet(t, rng, d, 2+rng.Intn(10), 3)
+		for _, pred := range preds {
+			for _, workers := range []int{1, 2, 4, 7} {
+				pj, err := PairwiseJoinFilteredParallel(F1, F2, pred, workers, big)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !pj.Equal(PairwiseJoinFiltered(F1, F2, pred)) {
+					t.Fatalf("parallel pairwise (w=%d) differs", workers)
+				}
+				fp, err := FilteredFixedPointParallel(F1, pred, workers, big)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !fp.Equal(FilteredFixedPoint(F1, pred)) {
+					t.Fatalf("parallel fixed point (w=%d) differs", workers)
+				}
+			}
+		}
+	}
+}
+
+func TestParallelBudgetTrips(t *testing.T) {
+	F := scatteredSet(t, 12)
+	all := func(Fragment) bool { return true }
+	if _, err := FilteredFixedPointParallel(F, all, 4, 100); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("parallel fixed point must trip: %v", err)
+	}
+	G := FixedPointNaive(NewSet(F.At(0), F.At(1), F.At(2)))
+	H := FixedPointNaive(F)
+	if _, err := PairwiseJoinFilteredParallel(G, H, all, 4, 10); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("parallel pairwise must trip: %v", err)
+	}
+}
+
+func TestResolveWorkers(t *testing.T) {
+	if ResolveWorkers(3) != 3 {
+		t.Fatal("explicit count must pass through")
+	}
+	if ResolveWorkers(0) < 1 || ResolveWorkers(-5) < 1 {
+		t.Fatal("non-positive counts resolve to GOMAXPROCS")
+	}
+}

@@ -1,0 +1,261 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/docgen"
+)
+
+// figure1Seeds returns F1 = σ_{keyword=XQuery}(F) = {f17, f18} and
+// F2 = σ_{keyword=optimization}(F) = {f16, f17, f81} as in Section 4.
+func figure1Seeds(t testing.TB) (*Set, *Set) {
+	t.Helper()
+	d := docgen.FigureOne()
+	F1 := NodeFragments(d, d.NodesWithKeyword("xquery"))
+	F2 := NodeFragments(d, d.NodesWithKeyword("optimization"))
+	if got := F1.String(); got != "{⟨n17⟩, ⟨n18⟩}" {
+		t.Fatalf("F1 = %v, want {⟨n17⟩, ⟨n18⟩}", got)
+	}
+	if got := F2.String(); got != "{⟨n16⟩, ⟨n17⟩, ⟨n81⟩}" {
+		t.Fatalf("F2 = %v, want {⟨n16⟩, ⟨n17⟩, ⟨n81⟩}", got)
+	}
+	return F1, F2
+}
+
+// TestTable1 reproduces the paper's Table 1 in full: the 11 unique
+// candidate fragment sets of F1 ⋈* F2, the fragment each produces,
+// the 4 duplicate rows, the 5 filtered rows (under size ≤ 3), and the
+// final 4-fragment answer set.
+func TestTable1(t *testing.T) {
+	F1, F2 := figure1Seeds(t)
+	d := F1.At(0).Document()
+	f := func(ids ...int) Fragment { return MustFragment(d, mustIDs(ids...)...) }
+
+	pred := func(fr Fragment) bool { return fr.Size() <= 3 }
+	rows, err := PowersetJoinTrace(F1, F2, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 11 {
+		t.Fatalf("candidate fragment sets = %d, want 11 (Table 1)", len(rows))
+	}
+
+	// Expected outputs per Table 1 (row keys are the result fragments).
+	type expect struct {
+		result    Fragment
+		filtered  bool
+		uniqueCnt int // times this result must appear as non-duplicate
+		totalCnt  int // total rows producing this result
+	}
+	expects := []expect{
+		{f(16, 17, 18), false, 1, 2},                      // rows 1, 8
+		{f(16, 17), false, 1, 1},                          // row 2
+		{f(16, 18), false, 1, 1},                          // row 3
+		{f(17), false, 1, 1},                              // row 4
+		{f(0, 1, 14, 16, 17, 79, 80, 81), true, 1, 2},     // rows 5, 9
+		{f(0, 1, 14, 16, 18, 79, 80, 81), true, 1, 2},     // rows 6, 10
+		{f(0, 1, 14, 16, 17, 18, 79, 80, 81), true, 1, 2}, // rows 7, 11
+	}
+	sumTotal := 0
+	for _, e := range expects {
+		unique, total := 0, 0
+		for _, r := range rows {
+			if !r.Result.Equal(e.result) {
+				continue
+			}
+			total++
+			if !r.Duplicate {
+				unique++
+			}
+			if r.Filtered != e.filtered {
+				t.Errorf("row %v: Filtered = %v, want %v", r.Result, r.Filtered, e.filtered)
+			}
+		}
+		if unique != e.uniqueCnt || total != e.totalCnt {
+			t.Errorf("result %v: unique=%d total=%d, want %d/%d", e.result, unique, total, e.uniqueCnt, e.totalCnt)
+		}
+		sumTotal += total
+	}
+	if sumTotal != 11 {
+		t.Fatalf("expected results cover %d rows, want all 11", sumTotal)
+	}
+
+	// Duplicate count: Table 1 rows 8–11.
+	dups := 0
+	for _, r := range rows {
+		if r.Duplicate {
+			dups++
+		}
+	}
+	if dups != 4 {
+		t.Fatalf("duplicate rows = %d, want 4", dups)
+	}
+
+	// Final answer set: unique, unfiltered → exactly the paper's 4.
+	answers := NewSet()
+	for _, r := range rows {
+		if !r.Duplicate && !r.Filtered {
+			answers.Add(r.Result)
+		}
+	}
+	want := NewSet(f(16, 17, 18), f(16, 17), f(16, 18), f(17))
+	if !answers.Equal(want) {
+		t.Fatalf("answer set = %v, want %v", answers, want)
+	}
+}
+
+// TestTable1PaperLayout checks SortCandidatesPaperStyle puts the 7
+// unique rows first and the 4 duplicates last, as Table 1 lays out.
+func TestTable1PaperLayout(t *testing.T) {
+	F1, F2 := figure1Seeds(t)
+	pred := func(fr Fragment) bool { return fr.Size() <= 3 }
+	rows, err := PowersetJoinTrace(F1, F2, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	SortCandidatesPaperStyle(rows)
+	for i, r := range rows {
+		if i < 7 && r.Duplicate {
+			t.Fatalf("row %d is duplicate; uniques must come first", i+1)
+		}
+		if i >= 7 && !r.Duplicate {
+			t.Fatalf("row %d is unique; duplicates must come last", i+1)
+		}
+	}
+	// Within uniques: unfiltered (the 4 answers) before filtered.
+	for i := 0; i < 4; i++ {
+		if rows[i].Filtered {
+			t.Fatalf("row %d filtered; answers must lead", i+1)
+		}
+	}
+	for i := 4; i < 7; i++ {
+		if !rows[i].Filtered {
+			t.Fatalf("row %d unfiltered; filtered uniques follow answers", i+1)
+		}
+	}
+}
+
+// TestPowersetJoinFigure3 reproduces Figure 3(d): the powerset join
+// produces strictly more fragments than the pairwise join of the same
+// operands (Figure 3(c)).
+func TestPowersetJoinFigure3(t *testing.T) {
+	d := docgen.FigureThree()
+	F1 := NewSet(MustFragment(d, 4, 5), MustFragment(d, 7, 9))
+	F2 := NewSet(MustFragment(d, 6, 7), MustFragment(d, 1))
+	pair := PairwiseJoin(F1, F2)
+	power, err := PowersetJoin(F1, F2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range pair.Fragments() {
+		if !power.Contains(f) {
+			t.Fatalf("⋈* missing pairwise result %v", f)
+		}
+	}
+	if power.Len() <= pair.Len() {
+		t.Fatalf("⋈* produced %d ≤ pairwise %d; Figure 3(d) shows more", power.Len(), pair.Len())
+	}
+}
+
+// TestPowersetEqualsTheorem2 is Theorem 2 on the running example:
+// F1 ⋈* F2 = F1⁺ ⋈ F2⁺.
+func TestPowersetEqualsTheorem2OnFigure1(t *testing.T) {
+	F1, F2 := figure1Seeds(t)
+	literal, err := PowersetJoin(F1, F2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaFP := PowersetJoinFixedPoint(F1, F2)
+	if !literal.Equal(viaFP) {
+		t.Fatalf("Theorem 2 violated:\nliteral = %v\nfixed-point = %v", literal, viaFP)
+	}
+	// Section 4.2 spells out the fixed points.
+	d := F1.At(0).Document()
+	f := func(ids ...int) Fragment { return MustFragment(d, mustIDs(ids...)...) }
+	F1p := FixedPoint(F1)
+	wantF1p := NewSet(f(17), f(18), f(16, 17, 18))
+	if !F1p.Equal(wantF1p) {
+		t.Fatalf("F1⁺ = %v, want %v", F1p, wantF1p)
+	}
+	F2p := FixedPoint(F2)
+	wantF2p := NewSet(
+		f(16), f(17), f(81),
+		f(16, 17),
+		Join(f(16), f(81)),
+		Join(f(17), f(81)),
+		JoinAll([]Fragment{f(16), f(17), f(81)}),
+	)
+	if !F2p.Equal(wantF2p) {
+		t.Fatalf("F2⁺ = %v, want %v", F2p, wantF2p)
+	}
+}
+
+// TestPowersetEqualsTheorem2Random is Theorem 2 on random inputs.
+func TestPowersetEqualsTheorem2Random(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	d := buildRandomDoc(t, rng, 70)
+	for i := 0; i < 25; i++ {
+		F1 := randomSet(t, rng, d, 1+rng.Intn(4), 3)
+		F2 := randomSet(t, rng, d, 1+rng.Intn(4), 3)
+		literal, err := PowersetJoin(F1, F2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		viaFP := PowersetJoinFixedPoint(F1, F2)
+		if !literal.Equal(viaFP) {
+			t.Fatalf("Theorem 2 violated for F1=%v F2=%v:\nliteral=%v\nfp=%v", F1, F2, literal, viaFP)
+		}
+	}
+}
+
+func TestPowersetJoinBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	d := buildRandomDoc(t, rng, 200)
+	big := randomSet(t, rng, d, 15, 2)
+	other := randomSet(t, rng, d, 15, 2)
+	if _, err := PowersetJoin(big, other); err == nil {
+		t.Fatal("literal powerset join beyond the bound must refuse")
+	}
+	if _, err := PowersetJoinTrace(big, other, nil); err == nil {
+		t.Fatal("powerset trace beyond the bound must refuse")
+	}
+}
+
+func TestPowersetJoinEmptyOperand(t *testing.T) {
+	d := docgen.FigureThree()
+	F := NewSet(MustFragment(d, 1))
+	got, err := PowersetJoin(F, NewSet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 0 {
+		t.Fatalf("⋈* with empty operand = %v, want empty", got)
+	}
+}
+
+// TestMultiPowersetThreeWay checks the m-ary extension against the
+// two-way definition composed associatively.
+func TestMultiPowersetThreeWay(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	d := buildRandomDoc(t, rng, 50)
+	for i := 0; i < 10; i++ {
+		F1 := randomSet(t, rng, d, 1+rng.Intn(3), 2)
+		F2 := randomSet(t, rng, d, 1+rng.Intn(3), 2)
+		F3 := randomSet(t, rng, d, 1+rng.Intn(3), 2)
+		multi, err := MultiPowersetJoin([]*Set{F1, F2, F3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		viaFP := MultiPowersetJoinFixedPoint([]*Set{F1, F2, F3})
+		if !multi.Equal(viaFP) {
+			t.Fatalf("m-ary Theorem 2 violated:\nliteral=%v\nfp=%v", multi, viaFP)
+		}
+		// Composing two-way: (F1 ⋈* F2) ⋈* F3 via fixed points.
+		step := PowersetJoinFixedPoint(F1, F2)
+		composed := PairwiseJoin(step, FixedPoint(F3))
+		if !multi.Equal(composed) {
+			t.Fatalf("associative composition mismatch:\nmulti=%v\ncomposed=%v", multi, composed)
+		}
+	}
+}

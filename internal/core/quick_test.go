@@ -1,0 +1,245 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xmltree"
+)
+
+// quickDoc is the shared random document property tests draw
+// fragments from; testing/quick generators need a fixed universe.
+var (
+	quickDocOnce sync.Once
+	quickDocVal  *xmltree.Document
+)
+
+func quickDoc(t testing.TB) *xmltree.Document {
+	quickDocOnce.Do(func() {
+		rng := rand.New(rand.NewSource(99))
+		quickDocVal = buildRandomDoc(t, rng, 150)
+	})
+	return quickDocVal
+}
+
+// genFragment draws a random connected fragment of quickDocVal using
+// the generator's rand source, independent of the testing helpers.
+func genFragment(r *rand.Rand, maxSize int) Fragment {
+	d := quickDocVal
+	start := xmltree.NodeID(r.Intn(d.Len()))
+	member := map[xmltree.NodeID]bool{start: true}
+	ids := []xmltree.NodeID{start}
+	target := 1 + r.Intn(maxSize)
+	for len(ids) < target {
+		seed := ids[r.Intn(len(ids))]
+		var cands []xmltree.NodeID
+		if p := d.Parent(seed); p != xmltree.InvalidNode && !member[p] {
+			cands = append(cands, p)
+		}
+		for _, c := range d.Children(seed) {
+			if !member[c] {
+				cands = append(cands, c)
+			}
+		}
+		if len(cands) == 0 {
+			break
+		}
+		pick := cands[r.Intn(len(cands))]
+		member[pick] = true
+		ids = append(ids, pick)
+	}
+	f, err := NewFragment(d, ids)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// quickFrag adapts Fragment to testing/quick's Generator interface.
+type quickFrag struct{ F Fragment }
+
+// Generate implements quick.Generator.
+func (quickFrag) Generate(r *rand.Rand, size int) reflect.Value {
+	if size < 1 {
+		size = 1
+	}
+	if size > 8 {
+		size = 8
+	}
+	return reflect.ValueOf(quickFrag{F: genFragment(r, size)})
+}
+
+// quickFragSet adapts *Set to quick.Generator.
+type quickFragSet struct{ S *Set }
+
+// Generate implements quick.Generator.
+func (quickFragSet) Generate(r *rand.Rand, size int) reflect.Value {
+	s := NewSet()
+	n := 1 + r.Intn(5)
+	for i := 0; i < n; i++ {
+		s.Add(genFragment(r, 4))
+	}
+	return reflect.ValueOf(quickFragSet{S: s})
+}
+
+var quickCfg = &quick.Config{MaxCount: 200}
+
+func TestQuickJoinCommutative(t *testing.T) {
+	quickDoc(t)
+	prop := func(a, b quickFrag) bool {
+		return Join(a.F, b.F).Equal(Join(b.F, a.F))
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickJoinAssociative(t *testing.T) {
+	quickDoc(t)
+	prop := func(a, b, c quickFrag) bool {
+		return Join(Join(a.F, b.F), c.F).Equal(Join(a.F, Join(b.F, c.F)))
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickJoinIdempotent(t *testing.T) {
+	quickDoc(t)
+	prop := func(a quickFrag) bool {
+		return Join(a.F, a.F).Equal(a.F)
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickJoinAbsorbsSubfragments(t *testing.T) {
+	quickDoc(t)
+	// Lemma 1: f ⊆ f ⋈ f', and absorption: if f' ⊆ f then f⋈f' = f.
+	prop := func(a, b quickFrag) bool {
+		j := Join(a.F, b.F)
+		if !a.F.SubsetOf(j) || !b.F.SubsetOf(j) {
+			return false
+		}
+		if b.F.SubsetOf(a.F) && !j.Equal(a.F) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickJoinProducesValidFragments(t *testing.T) {
+	quickDoc(t)
+	prop := func(a, b quickFrag) bool {
+		j := Join(a.F, b.F)
+		_, err := NewFragment(j.Document(), j.IDs())
+		return err == nil && j.Root() == j.IDs()[0]
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickPairwiseJoinLaws(t *testing.T) {
+	quickDoc(t)
+	prop := func(x, y quickFragSet) bool {
+		xy := PairwiseJoin(x.S, y.S)
+		yx := PairwiseJoin(y.S, x.S)
+		if !xy.Equal(yx) {
+			return false
+		}
+		// Monotonicity: F ⊆ F ⋈ F.
+		self := PairwiseJoin(x.S, x.S)
+		for _, f := range x.S.Fragments() {
+			if !self.Contains(f) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDistributiveLaw(t *testing.T) {
+	quickDoc(t)
+	prop := func(x, y, z quickFragSet) bool {
+		left := PairwiseJoin(x.S, Union(y.S, z.S))
+		right := Union(PairwiseJoin(x.S, y.S), PairwiseJoin(x.S, z.S))
+		return left.Equal(right)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickTheorem1(t *testing.T) {
+	quickDoc(t)
+	prop := func(x quickFragSet) bool {
+		return FixedPoint(x.S).Equal(FixedPointNaive(x.S))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickTheorem2(t *testing.T) {
+	quickDoc(t)
+	prop := func(x, y quickFragSet) bool {
+		if x.S.Len()+y.S.Len() > 10 {
+			return true // keep the literal evaluation tractable
+		}
+		literal, err := PowersetJoin(x.S, y.S)
+		if err != nil {
+			return true
+		}
+		return literal.Equal(PowersetJoinFixedPoint(x.S, y.S))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickTheorem3(t *testing.T) {
+	quickDoc(t)
+	// σ_Pa(F1 ⋈ F2) = σ_Pa(σ_Pa(F1) ⋈ σ_Pa(F2)) for the size filter.
+	prop := func(x, y quickFragSet, betaRaw uint8) bool {
+		beta := 1 + int(betaRaw)%8
+		pa := func(f Fragment) bool { return f.Size() <= beta }
+		left := PairwiseJoin(x.S, y.S).Select(pa)
+		right := PairwiseJoin(x.S.Select(pa), y.S.Select(pa)).Select(pa)
+		return left.Equal(right)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSubsetOfMatchesNaive(t *testing.T) {
+	quickDoc(t)
+	prop := func(a, b quickFrag) bool {
+		want := true
+		set := make(map[xmltree.NodeID]bool)
+		for _, id := range b.F.IDs() {
+			set[id] = true
+		}
+		for _, id := range a.F.IDs() {
+			if !set[id] {
+				want = false
+				break
+			}
+		}
+		return a.F.SubsetOf(b.F) == want
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/xmltree"
+)
+
+// Set is a set of fragments of one document. Fragments are
+// deduplicated by value (Fragment.Key) and iteration order is
+// insertion order, which keeps evaluation deterministic and lets the
+// Table 1 reproduction present results in a stable order.
+//
+// The zero Set is empty and ready to use.
+type Set struct {
+	frags []Fragment
+	index map[string]int
+}
+
+// NewSet builds a set from the given fragments, deduplicating.
+func NewSet(fs ...Fragment) *Set {
+	s := &Set{}
+	for _, f := range fs {
+		s.Add(f)
+	}
+	return s
+}
+
+// NodeSet returns the fragment set F = nodes(D): one single-node
+// fragment per document node (Section 2.3's starting set).
+func NodeSet(d *xmltree.Document) *Set {
+	s := &Set{
+		frags: make([]Fragment, 0, d.Len()),
+		index: make(map[string]int, d.Len()),
+	}
+	for id := xmltree.NodeID(0); int(id) < d.Len(); id++ {
+		s.Add(NodeFragment(d, id))
+	}
+	return s
+}
+
+// NodeFragments builds a set of single-node fragments from ids.
+func NodeFragments(d *xmltree.Document, ids []xmltree.NodeID) *Set {
+	s := &Set{}
+	for _, id := range ids {
+		s.Add(NodeFragment(d, id))
+	}
+	return s
+}
+
+// Add inserts f, reporting whether it was not already present.
+func (s *Set) Add(f Fragment) bool {
+	if f.IsZero() {
+		panic("core: Add of zero Fragment")
+	}
+	if s.index == nil {
+		s.index = make(map[string]int)
+	}
+	k := f.Key()
+	if _, dup := s.index[k]; dup {
+		return false
+	}
+	s.index[k] = len(s.frags)
+	s.frags = append(s.frags, f)
+	return true
+}
+
+// AddAll inserts every fragment of t into s and reports how many were
+// new.
+func (s *Set) AddAll(t *Set) int {
+	added := 0
+	for _, f := range t.frags {
+		if s.Add(f) {
+			added++
+		}
+	}
+	return added
+}
+
+// Contains reports whether f ∈ s.
+func (s *Set) Contains(f Fragment) bool {
+	if s.index == nil {
+		return false
+	}
+	_, ok := s.index[f.Key()]
+	return ok
+}
+
+// Len returns |s|.
+func (s *Set) Len() int { return len(s.frags) }
+
+// Fragments returns the fragments in insertion order. The slice is
+// shared; callers must not modify it.
+func (s *Set) Fragments() []Fragment { return s.frags }
+
+// At returns the i-th fragment in insertion order.
+func (s *Set) At(i int) Fragment { return s.frags[i] }
+
+// Clone returns an independent copy of s.
+func (s *Set) Clone() *Set {
+	c := &Set{
+		frags: make([]Fragment, len(s.frags)),
+		index: make(map[string]int, len(s.index)),
+	}
+	copy(c.frags, s.frags)
+	for k, v := range s.index {
+		c.index[k] = v
+	}
+	return c
+}
+
+// Equal reports whether s and t contain exactly the same fragments
+// (order-insensitive).
+func (s *Set) Equal(t *Set) bool {
+	if s.Len() != t.Len() {
+		return false
+	}
+	for _, f := range s.frags {
+		if !t.Contains(f) {
+			return false
+		}
+	}
+	return true
+}
+
+// Union returns s ∪ t as a new set.
+func Union(s, t *Set) *Set {
+	u := s.Clone()
+	u.AddAll(t)
+	return u
+}
+
+// Select is the selection operation σ_P(F) (Definition 3): the subset
+// of fragments satisfying pred.
+func (s *Set) Select(pred func(Fragment) bool) *Set {
+	out := &Set{}
+	for _, f := range s.frags {
+		if pred(f) {
+			out.Add(f)
+		}
+	}
+	return out
+}
+
+// Sorted returns the fragments ordered canonically: by size, then by
+// node IDs lexicographically. Presentation layers use it for stable
+// output; the set itself is order-preserving.
+func (s *Set) Sorted() []Fragment {
+	out := make([]Fragment, len(s.frags))
+	copy(out, s.frags)
+	sort.Slice(out, func(i, j int) bool { return lessFragments(out[i], out[j]) })
+	return out
+}
+
+func lessFragments(a, b Fragment) bool {
+	if len(a.ids) != len(b.ids) {
+		return len(a.ids) < len(b.ids)
+	}
+	for i := range a.ids {
+		if a.ids[i] != b.ids[i] {
+			return a.ids[i] < b.ids[i]
+		}
+	}
+	return false
+}
+
+// String renders the set as {⟨…⟩, ⟨…⟩, …} in canonical order.
+func (s *Set) String() string {
+	var sb strings.Builder
+	sb.WriteString("{")
+	for i, f := range s.Sorted() {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(f.String())
+	}
+	sb.WriteString("}")
+	return sb.String()
+}

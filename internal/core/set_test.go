@@ -1,0 +1,137 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/docgen"
+)
+
+func TestSetDeduplicates(t *testing.T) {
+	d := docgen.FigureOne()
+	s := NewSet()
+	if !s.Add(MustFragment(d, 17)) {
+		t.Fatal("first Add should report new")
+	}
+	if s.Add(MustFragment(d, 17)) {
+		t.Fatal("second Add of same fragment should report duplicate")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s.Len())
+	}
+	// Same node set built differently is still a duplicate.
+	f1 := MustFragment(d, 16, 17, 18)
+	f2 := Join(MustFragment(d, 17), MustFragment(d, 18))
+	s.Add(f1)
+	if s.Add(f2) {
+		t.Fatal("equal fragments from different constructions must dedup")
+	}
+}
+
+func TestSetInsertionOrderAndSorted(t *testing.T) {
+	d := docgen.FigureOne()
+	s := NewSet(
+		MustFragment(d, 16, 17, 18),
+		MustFragment(d, 17),
+		MustFragment(d, 16, 17),
+	)
+	frags := s.Fragments()
+	if !frags[0].Equal(MustFragment(d, 16, 17, 18)) {
+		t.Fatal("Fragments must preserve insertion order")
+	}
+	sorted := s.Sorted()
+	if !sorted[0].Equal(MustFragment(d, 17)) || sorted[0].Size() != 1 {
+		t.Fatalf("Sorted[0] = %v, want smallest first", sorted[0])
+	}
+	if !sorted[2].Equal(MustFragment(d, 16, 17, 18)) {
+		t.Fatalf("Sorted[2] = %v, want largest last", sorted[2])
+	}
+}
+
+func TestNodeSet(t *testing.T) {
+	d := docgen.FigureThree()
+	s := NodeSet(d)
+	if s.Len() != d.Len() {
+		t.Fatalf("NodeSet size = %d, want %d", s.Len(), d.Len())
+	}
+	for _, f := range s.Fragments() {
+		if f.Size() != 1 {
+			t.Fatalf("NodeSet member %v is not a single node", f)
+		}
+	}
+}
+
+func TestSetEqualAndClone(t *testing.T) {
+	d := docgen.FigureOne()
+	a := NewSet(MustFragment(d, 17), MustFragment(d, 16, 17))
+	b := NewSet(MustFragment(d, 16, 17), MustFragment(d, 17)) // different order
+	if !a.Equal(b) {
+		t.Fatal("Equal must be order-insensitive")
+	}
+	c := a.Clone()
+	c.Add(MustFragment(d, 18))
+	if a.Equal(c) {
+		t.Fatal("Clone must be independent")
+	}
+	if a.Len() != 2 || c.Len() != 3 {
+		t.Fatalf("unexpected sizes a=%d c=%d", a.Len(), c.Len())
+	}
+}
+
+func TestSetUnion(t *testing.T) {
+	d := docgen.FigureOne()
+	a := NewSet(MustFragment(d, 17), MustFragment(d, 18))
+	b := NewSet(MustFragment(d, 18), MustFragment(d, 81))
+	u := Union(a, b)
+	if u.Len() != 3 {
+		t.Fatalf("union size = %d, want 3", u.Len())
+	}
+	for _, f := range append(a.Fragments(), b.Fragments()...) {
+		if !u.Contains(f) {
+			t.Fatalf("union missing %v", f)
+		}
+	}
+}
+
+func TestSelect(t *testing.T) {
+	d := docgen.FigureOne()
+	s := NewSet(
+		MustFragment(d, 17),
+		MustFragment(d, 16, 17),
+		MustFragment(d, 16, 17, 18),
+		MustFragment(d, 0, 1, 14, 16, 17, 79, 80, 81),
+	)
+	got := s.Select(func(f Fragment) bool { return f.Size() <= 3 })
+	if got.Len() != 3 {
+		t.Fatalf("σ_{size≤3} kept %d fragments, want 3", got.Len())
+	}
+	if got.Contains(MustFragment(d, 0, 1, 14, 16, 17, 79, 80, 81)) {
+		t.Fatal("selection must drop the 8-node fragment")
+	}
+	// Definition 3: σ_P(F) ⊆ F.
+	for _, f := range got.Fragments() {
+		if !s.Contains(f) {
+			t.Fatalf("selection invented fragment %v", f)
+		}
+	}
+}
+
+func TestSetString(t *testing.T) {
+	d := docgen.FigureOne()
+	s := NewSet(MustFragment(d, 17), MustFragment(d, 16, 17))
+	if got, want := s.String(), "{⟨n17⟩, ⟨n16,n17⟩}"; got != want {
+		t.Fatalf("String = %q, want %q", got, want)
+	}
+}
+
+func TestEmptySet(t *testing.T) {
+	s := NewSet()
+	if s.Len() != 0 {
+		t.Fatal("empty set must have length 0")
+	}
+	if got := s.String(); got != "{}" {
+		t.Fatalf("String = %q, want {}", got)
+	}
+	if !s.Equal(NewSet()) {
+		t.Fatal("empty sets must be equal")
+	}
+}

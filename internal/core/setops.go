@@ -1,0 +1,57 @@
+package core
+
+// Additional set operations rounding out the algebra's set layer.
+// Union lives in set.go; these are its companions, all returning
+// fresh sets.
+
+// Intersect returns s ∩ t.
+func Intersect(s, t *Set) *Set {
+	small, large := s, t
+	if small.Len() > large.Len() {
+		small, large = large, small
+	}
+	out := &Set{}
+	for _, f := range small.Fragments() {
+		if large.Contains(f) {
+			out.Add(f)
+		}
+	}
+	return out
+}
+
+// Difference returns s − t.
+func Difference(s, t *Set) *Set {
+	out := &Set{}
+	for _, f := range s.Fragments() {
+		if !t.Contains(f) {
+			out.Add(f)
+		}
+	}
+	return out
+}
+
+// Subsumed returns the fragments of s that are proper sub-fragments
+// of some other fragment of s — the "overlapping answers" of the
+// paper's Section 5. Maximal(s) = s − Subsumed(s).
+func Subsumed(s *Set) *Set {
+	frags := s.Sorted() // ascending size: supersets come later
+	out := &Set{}
+	for i, f := range frags {
+		for j := len(frags) - 1; j > i; j-- {
+			if len(frags[j].IDs()) <= len(f.IDs()) {
+				break
+			}
+			if f.SubsetOf(frags[j]) {
+				out.Add(f)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Maximal returns the fragments of s not properly contained in any
+// other fragment of s — the presentation targets of Section 5.
+func Maximal(s *Set) *Set {
+	return Difference(s, Subsumed(s))
+}

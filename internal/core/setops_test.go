@@ -1,0 +1,59 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/docgen"
+)
+
+func TestIntersectDifference(t *testing.T) {
+	d := docgen.FigureOne()
+	a := NewSet(MustFragment(d, 17), MustFragment(d, 18), MustFragment(d, 16, 17))
+	b := NewSet(MustFragment(d, 18), MustFragment(d, 16, 17), MustFragment(d, 81))
+	inter := Intersect(a, b)
+	if inter.Len() != 2 || !inter.Contains(MustFragment(d, 18)) || !inter.Contains(MustFragment(d, 16, 17)) {
+		t.Fatalf("Intersect = %v", inter)
+	}
+	if !Intersect(a, b).Equal(Intersect(b, a)) {
+		t.Fatal("Intersect must be commutative")
+	}
+	diff := Difference(a, b)
+	if diff.Len() != 1 || !diff.Contains(MustFragment(d, 17)) {
+		t.Fatalf("Difference = %v", diff)
+	}
+	if Difference(a, a).Len() != 0 {
+		t.Fatal("s − s must be empty")
+	}
+	// Identity: (a∩b) ∪ (a−b) = a.
+	if !Union(Intersect(a, b), Difference(a, b)).Equal(a) {
+		t.Fatal("set identity violated")
+	}
+}
+
+func TestSubsumedAndMaximal(t *testing.T) {
+	d := docgen.FigureOne()
+	s := NewSet(
+		MustFragment(d, 17),
+		MustFragment(d, 16, 17),
+		MustFragment(d, 16, 18),
+		MustFragment(d, 16, 17, 18),
+	)
+	sub := Subsumed(s)
+	want := NewSet(MustFragment(d, 17), MustFragment(d, 16, 17), MustFragment(d, 16, 18))
+	if !sub.Equal(want) {
+		t.Fatalf("Subsumed = %v, want %v", sub, want)
+	}
+	max := Maximal(s)
+	if max.Len() != 1 || !max.Contains(MustFragment(d, 16, 17, 18)) {
+		t.Fatalf("Maximal = %v", max)
+	}
+	// Partition: Subsumed ∪ Maximal = s, disjoint.
+	if !Union(sub, max).Equal(s) || Intersect(sub, max).Len() != 0 {
+		t.Fatal("Subsumed/Maximal must partition the set")
+	}
+	// Disjoint same-size fragments are all maximal.
+	disj := NewSet(MustFragment(d, 17), MustFragment(d, 18), MustFragment(d, 81))
+	if Subsumed(disj).Len() != 0 || !Maximal(disj).Equal(disj) {
+		t.Fatal("disjoint singletons are all maximal")
+	}
+}

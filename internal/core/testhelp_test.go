@@ -1,0 +1,114 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/xmltree"
+)
+
+// buildRandomDoc builds a random rooted ordered tree with n nodes.
+// Each node's parent is chosen uniformly among earlier nodes, which
+// respects the builder's pre-order discipline only when children
+// attach to the most recent rightmost chain — so instead we grow a
+// shape first and emit it in pre-order.
+func buildRandomDoc(t testing.TB, rng *rand.Rand, n int) *xmltree.Document {
+	t.Helper()
+	if n < 1 {
+		n = 1
+	}
+	// children[i] lists the children of logical node i; parents are
+	// uniform over already-created logical nodes.
+	children := make([][]int, n)
+	for i := 1; i < n; i++ {
+		p := rng.Intn(i)
+		children[p] = append(children[p], i)
+	}
+	b := xmltree.NewBuilder("random", "root", "")
+	var emit func(logical int, parent xmltree.NodeID)
+	emit = func(logical int, parent xmltree.NodeID) {
+		for _, c := range children[logical] {
+			id := b.AddNode(parent, "node", "")
+			emit(c, id)
+		}
+	}
+	emit(0, 0)
+	return b.Build()
+}
+
+// randomFragment picks a random connected fragment of d with roughly
+// the given target size: start from a random node and repeatedly add
+// the parent or a child of a random member.
+func randomFragment(t testing.TB, rng *rand.Rand, d *xmltree.Document, target int) Fragment {
+	t.Helper()
+	start := xmltree.NodeID(rng.Intn(d.Len()))
+	member := map[xmltree.NodeID]bool{start: true}
+	ids := []xmltree.NodeID{start}
+	for len(ids) < target {
+		seed := ids[rng.Intn(len(ids))]
+		var cands []xmltree.NodeID
+		if p := d.Parent(seed); p != xmltree.InvalidNode && !member[p] {
+			cands = append(cands, p)
+		}
+		for _, c := range d.Children(seed) {
+			if !member[c] {
+				cands = append(cands, c)
+			}
+		}
+		if len(cands) == 0 {
+			continue
+		}
+		pick := cands[rng.Intn(len(cands))]
+		member[pick] = true
+		ids = append(ids, pick)
+		if len(member) >= d.Len() {
+			break
+		}
+	}
+	f, err := NewFragment(d, ids)
+	if err != nil {
+		t.Fatalf("randomFragment produced invalid fragment: %v", err)
+	}
+	return f
+}
+
+// randomSet builds a set of k random fragments with sizes in [1, maxSize].
+func randomSet(t testing.TB, rng *rand.Rand, d *xmltree.Document, k, maxSize int) *Set {
+	t.Helper()
+	s := NewSet()
+	for i := 0; i < k; i++ {
+		s.Add(randomFragment(t, rng, d, 1+rng.Intn(maxSize)))
+	}
+	return s
+}
+
+// mustIDs converts ints to NodeIDs for test literals.
+func mustIDs(ids ...int) []xmltree.NodeID {
+	out := make([]xmltree.NodeID, len(ids))
+	for i, v := range ids {
+		out[i] = xmltree.NodeID(v)
+	}
+	return out
+}
+
+// checkValidFragment asserts the core invariant: a fragment is
+// non-empty, sorted, duplicate-free and connected, with its minimum ID
+// as root.
+func checkValidFragment(t testing.TB, f Fragment) {
+	t.Helper()
+	ids := f.IDs()
+	if len(ids) == 0 {
+		t.Fatal("fragment has no nodes")
+	}
+	for i := 1; i < len(ids); i++ {
+		if ids[i-1] >= ids[i] {
+			t.Fatalf("fragment IDs not strictly sorted: %v", ids)
+		}
+	}
+	if _, err := NewFragment(f.Document(), ids); err != nil {
+		t.Fatalf("fragment invalid: %v", err)
+	}
+	if f.Root() != ids[0] {
+		t.Fatalf("root %v is not min ID %v", f.Root(), ids[0])
+	}
+}

@@ -1,0 +1,144 @@
+// Package cost implements the cost-model sketch of the paper's
+// Section 5: estimating the reduction factor RF = (a−b)/a of a
+// fragment set without computing the full reduction, and choosing an
+// evaluation strategy from the estimate. The paper leaves the cost
+// model as future work and only fixes its ingredients (RF, a crossover
+// value v learned from experiments); this package builds exactly those
+// ingredients, with the crossover measured by the benchmark harness.
+package cost
+
+import (
+	"math/rand"
+
+	"repro/internal/core"
+)
+
+// EstimateRF estimates the reduction factor of fs by sampling: it
+// draws sample elements and tests each against the joins of
+// sample-sized random pairs, extrapolating the eliminated proportion.
+// sample ≤ 0 defaults to 16. For |fs| ≤ 2 the RF is exactly 0
+// (Definition 10 can eliminate nothing). The estimate is deterministic
+// for a given seed.
+func EstimateRF(fs *core.Set, sample int, seed int64) float64 {
+	n := fs.Len()
+	if n <= 2 {
+		return 0
+	}
+	if sample <= 0 {
+		sample = 16
+	}
+	if sample >= n {
+		// Small set: compute exactly.
+		return core.ReductionFactor(fs)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	frags := fs.Fragments()
+	eliminated := 0
+	probes := sample
+	pairTrials := sample
+	for p := 0; p < probes; p++ {
+		k := rng.Intn(n)
+		fk := frags[k]
+		for t := 0; t < pairTrials; t++ {
+			i := rng.Intn(n)
+			j := rng.Intn(n)
+			if i == k || j == k || i == j {
+				continue
+			}
+			if fk.SubsetOf(core.Join(frags[i], frags[j])) {
+				eliminated++
+				break
+			}
+		}
+	}
+	return float64(eliminated) / float64(probes)
+}
+
+// Strategy identifies one of the three evaluation strategies of
+// Section 4.
+type Strategy int
+
+const (
+	// BruteForce evaluates Definition 6 literally and filters last
+	// (Section 4.1). Exponential; usable only on tiny inputs.
+	BruteForce Strategy = iota
+	// Naive uses the Theorem 2 decomposition but computes fixed points
+	// by the dynamic-programming iteration with fixed-point checking
+	// (Section 3.1.1).
+	Naive
+	// SetReduction computes fixed points with Theorem 1's |⊖(F)|
+	// iteration budget, paying the reduction's cost to skip the
+	// checking (Sections 3.1.2, 4.2).
+	SetReduction
+	// PushDown additionally pushes anti-monotonic selections below
+	// every join (Section 4.3, Theorem 3).
+	PushDown
+)
+
+// String names the strategy as in the paper's Section 4 headings.
+func (s Strategy) String() string {
+	switch s {
+	case BruteForce:
+		return "brute-force"
+	case Naive:
+		return "naive-fixed-point"
+	case SetReduction:
+		return "set-reduction"
+	case PushDown:
+		return "push-down"
+	default:
+		return "unknown"
+	}
+}
+
+// Chooser picks a strategy from input characteristics. DefaultCrossover
+// is the empirical value v of Section 5 below which set reduction is
+// not worth its overhead; the benchmark harness (EXPERIMENTS.md,
+// perf-rf) measures it.
+type Chooser struct {
+	// Crossover is the minimum estimated RF at which set reduction is
+	// applied; see Section 5's discussion of v.
+	Crossover float64
+	// BruteForceLimit is the maximum total input size for which the
+	// literal powerset evaluation is even considered.
+	BruteForceLimit int
+	// SampleSize and Seed parameterize EstimateRF.
+	SampleSize int
+	Seed       int64
+}
+
+// DefaultChooser returns a Chooser with the crossover measured by the
+// perf-rf experiment on synthetic corpora (EXPERIMENTS.md): the
+// ⊖-computation plus budgeted iteration beat the checking-based
+// iteration only once roughly two thirds of the set reduces away.
+func DefaultChooser() Chooser {
+	return Chooser{Crossover: 0.6, BruteForceLimit: 8, SampleSize: 16, Seed: 1}
+}
+
+// Choose selects a strategy for joining the given keyword fragment
+// sets under a filter that is (or is not) anti-monotonic.
+//
+// An anti-monotonic filter always makes PushDown the right choice
+// (Theorem 3 guarantees no loss and every pruned fragment saves
+// joins). Without one, the estimated RF against the crossover decides
+// between Theorem 1's budgeted iteration (SetReduction, which pays for
+// computing ⊖ up front) and the checking-based iteration (Naive);
+// tiny inputs use the literal evaluation.
+func (c Chooser) Choose(sets []*core.Set, antiMonotonic bool) Strategy {
+	if antiMonotonic {
+		return PushDown
+	}
+	total := 0
+	for _, s := range sets {
+		total += s.Len()
+	}
+	if total <= c.BruteForceLimit {
+		return BruteForce
+	}
+	for _, s := range sets {
+		if EstimateRF(s, c.SampleSize, c.Seed) >= c.Crossover {
+			return SetReduction
+		}
+	}
+	return Naive
+}

@@ -1,0 +1,230 @@
+package docgen
+
+import (
+	"os"
+	"reflect"
+	"testing"
+
+	"repro/internal/xmltree"
+)
+
+func TestFigureOneShape(t *testing.T) {
+	d := FigureOne()
+	if d.Len() != 82 {
+		t.Fatalf("Len = %d, want 82", d.Len())
+	}
+	// Parent chains pinned by the paper's joins.
+	chains := map[xmltree.NodeID]xmltree.NodeID{
+		17: 16, 18: 16, 16: 14, 14: 1, 1: 0,
+		81: 80, 80: 79, 79: 0,
+	}
+	for child, parent := range chains {
+		if got := d.Parent(child); got != parent {
+			t.Errorf("Parent(%v) = %v, want %v", child, got, parent)
+		}
+	}
+}
+
+func TestFigureOneKeywordPlacement(t *testing.T) {
+	d := FigureOne()
+	if got := d.NodesWithKeyword("xquery"); !reflect.DeepEqual(got, []xmltree.NodeID{17, 18}) {
+		t.Fatalf("xquery nodes = %v, want [n17 n18]", got)
+	}
+	if got := d.NodesWithKeyword("optimization"); !reflect.DeepEqual(got, []xmltree.NodeID{16, 17, 81}) {
+		t.Fatalf("optimization nodes = %v, want [n16 n17 n81]", got)
+	}
+}
+
+func TestFigureOneDocumentCentricTags(t *testing.T) {
+	d := FigureOne()
+	seen := map[string]bool{}
+	d.Walk(func(n xmltree.Node) bool {
+		seen[n.Tag()] = true
+		return true
+	})
+	for _, tag := range []string{"article", "section", "subsection", "par", "title"} {
+		if !seen[tag] {
+			t.Errorf("structural tag %q missing", tag)
+		}
+	}
+}
+
+func TestFigureThreeShape(t *testing.T) {
+	d := FigureThree()
+	if d.Len() != 11 {
+		t.Fatalf("Len = %d, want 11", d.Len())
+	}
+	wants := map[xmltree.NodeID]xmltree.NodeID{5: 4, 4: 3, 9: 7, 8: 7, 7: 6, 6: 3, 3: 0}
+	for child, parent := range wants {
+		if got := d.Parent(child); got != parent {
+			t.Errorf("Parent(%v) = %v, want %v", child, got, parent)
+		}
+	}
+}
+
+func TestFigureFourShape(t *testing.T) {
+	d := FigureFour()
+	wants := map[xmltree.NodeID]xmltree.NodeID{1: 0, 2: 1, 3: 2, 4: 3, 5: 3, 6: 3, 7: 6}
+	for child, parent := range wants {
+		if got := d.Parent(child); got != parent {
+			t.Errorf("Parent(%v) = %v, want %v", child, got, parent)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Config{Seed: 42, Sections: 3, MeanFanout: 4, Depth: 2, VocabSize: 100}
+	d1, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1.Len() != d2.Len() {
+		t.Fatalf("same seed, different sizes: %d vs %d", d1.Len(), d2.Len())
+	}
+	for id := xmltree.NodeID(0); int(id) < d1.Len(); id++ {
+		if d1.Tag(id) != d2.Tag(id) || d1.Text(id) != d2.Text(id) || d1.Parent(id) != d2.Parent(id) {
+			t.Fatalf("same seed, different node %v", id)
+		}
+	}
+	d3, err := Generate(Config{Seed: 43, Sections: 3, MeanFanout: 4, Depth: 2, VocabSize: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d3.Len() == d1.Len() && d3.Text(3) == d1.Text(3) {
+		t.Log("different seeds produced identical prefix (unlikely but not fatal)")
+	}
+}
+
+func TestGeneratePlant(t *testing.T) {
+	cfg := Config{
+		Seed: 7, Sections: 4, MeanFanout: 4, Depth: 3, VocabSize: 200,
+		Plant: map[string]int{"plantedterm": 12, "otherterm": 5},
+	}
+	d, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(d.NodesWithKeyword("plantedterm")); got != 12 {
+		t.Fatalf("plantedterm in %d nodes, want 12", got)
+	}
+	if got := len(d.NodesWithKeyword("otherterm")); got != 5 {
+		t.Fatalf("otherterm in %d nodes, want 5", got)
+	}
+	// Plants never land on the root.
+	for _, id := range d.NodesWithKeyword("plantedterm") {
+		if id == 0 {
+			t.Fatal("planted term on root")
+		}
+	}
+}
+
+func TestGeneratePlantTooMany(t *testing.T) {
+	cfg := Config{Seed: 1, Sections: 1, MeanFanout: 2, Depth: 1, VocabSize: 10,
+		Plant: map[string]int{"x": 1 << 20}}
+	if _, err := Generate(cfg); err == nil {
+		t.Fatal("planting more nodes than exist must error")
+	}
+}
+
+func TestGenerateDefaults(t *testing.T) {
+	d, err := Generate(Config{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() < 50 {
+		t.Fatalf("default config produced tiny document: %d nodes", d.Len())
+	}
+	if d.Name() != "synthetic" {
+		t.Fatalf("default name = %q", d.Name())
+	}
+	if d.Tag(0) != "article" {
+		t.Fatalf("root tag = %q", d.Tag(0))
+	}
+}
+
+func TestGenerateScalesWithConfig(t *testing.T) {
+	small, err := Generate(Config{Seed: 9, Sections: 2, MeanFanout: 2, Depth: 1, VocabSize: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := Generate(Config{Seed: 9, Sections: 8, MeanFanout: 6, Depth: 3, VocabSize: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if large.Len() <= small.Len() {
+		t.Fatalf("larger config must produce more nodes: %d vs %d", large.Len(), small.Len())
+	}
+}
+
+func TestGenerateZipfSkew(t *testing.T) {
+	d, err := Generate(Config{Seed: 11, Sections: 5, MeanFanout: 5, Depth: 3, VocabSize: 500, ZipfS: 1.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := d.Stats()
+	top := stats.Top(1)
+	if len(top) == 0 {
+		t.Fatal("no terms recorded")
+	}
+	// The most frequent term should dominate: Zipf with s=1.4 puts a
+	// large mass on rank 0 (term0000).
+	if got := stats.Frequency(top[0].Term); got < 0.05 {
+		t.Fatalf("top term frequency %v; expected a skewed distribution", got)
+	}
+}
+
+// TestFigureOneGolden pins the Figure 1 replica against the committed
+// golden serialization: any drift in structure, tags or keyword
+// placement fails loudly (the entire Table 1 reproduction depends on
+// this document being stable).
+func TestFigureOneGolden(t *testing.T) {
+	golden, err := os.ReadFile("../../testdata/figure1.golden.xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := FigureOne().XMLString(); got != string(golden) {
+		t.Fatal("FigureOne drifted from testdata/figure1.golden.xml; " +
+			"if the change is intentional, regenerate with " +
+			"`go run ./cmd/xfraggen -figure1 > testdata/figure1.golden.xml`")
+	}
+}
+
+func TestPresets(t *testing.T) {
+	presets := map[string]Config{
+		"inex":      PresetINEXArticle(3),
+		"manual":    PresetTechManual(3),
+		"anthology": PresetAnthology(3),
+	}
+	shapes := map[string]struct{ minNodes, minHeight int }{
+		"inex":      {300, 4},
+		"manual":    {100, 6},
+		"anthology": {300, 3},
+	}
+	for name, cfg := range presets {
+		d, err := Generate(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		st := d.ComputeStats()
+		want := shapes[name]
+		if st.Nodes < want.minNodes {
+			t.Errorf("%s: %d nodes, want >= %d", name, st.Nodes, want.minNodes)
+		}
+		if st.Height < want.minHeight {
+			t.Errorf("%s: height %d, want >= %d", name, st.Height, want.minHeight)
+		}
+	}
+	// The manual is deeper than the anthology; the anthology is wider.
+	manual, _ := Generate(PresetTechManual(3))
+	anth, _ := Generate(PresetAnthology(3))
+	if manual.ComputeStats().Height <= anth.ComputeStats().Height {
+		t.Error("tech manual should be deeper than the anthology")
+	}
+	if len(anth.Children(0)) <= len(manual.Children(0)) {
+		t.Error("anthology should be wider at the root")
+	}
+}

@@ -1,0 +1,46 @@
+package docgen
+
+import "repro/internal/xmltree"
+
+// FigureThree builds the 11-node document tree of the paper's
+// Figure 3(a), on which the fragment-join example
+// ⟨n4,n5⟩ ⋈ ⟨n7,n9⟩ = ⟨n3,n4,n5,n6,n7,n9⟩ is evaluated. The join
+// pins the chains: parent(n5)=n4, parent(n4)=n3, parent(n9)=n7,
+// parent(n7)=n6, parent(n6)=n3 (with n8 a sibling of n9 that the
+// minimal result must exclude).
+func FigureThree() *xmltree.Document {
+	b := xmltree.NewBuilder("figure3.xml", "doc", "")
+	b.AddNode(0, "a", "alpha")    // n1
+	b.AddNode(0, "b", "beta")     // n2
+	n3 := b.AddNode(0, "c", "")   // n3
+	n4 := b.AddNode(n3, "d", "")  // n4
+	b.AddNode(n4, "e", "epsilon") // n5
+	n6 := b.AddNode(n3, "f", "")  // n6
+	n7 := b.AddNode(n6, "g", "")  // n7
+	b.AddNode(n7, "h", "eta")     // n8
+	b.AddNode(n7, "i", "iota")    // n9
+	b.AddNode(0, "j", "kappa")    // n10
+	return b.Build()
+}
+
+// FigureFour builds the document tree behind the paper's Figure 4
+// fragment-set-reduction example: for
+// F = {⟨n1⟩,⟨n3⟩,⟨n5⟩,⟨n6⟩,⟨n7⟩}, ⊖(F) = {⟨n1⟩,⟨n5⟩,⟨n7⟩} because
+// ⟨n3⟩ ⊆ ⟨n1⟩⋈⟨n5⟩ and ⟨n6⟩ ⊆ ⟨n1⟩⋈⟨n7⟩. That requires n3 to lie on
+// the n1–n5 path and n6 on the n1–n7 path while no join of two
+// F-members other than n1 covers n1 — i.e. all of n3,n5,n6,n7 live in
+// one descending chain below n1:
+//
+//	n0 ─ n1 ─ n2 ─ n3 ─ { n4, n5, n6 ─ n7 }
+func FigureFour() *xmltree.Document {
+	b := xmltree.NewBuilder("figure4.xml", "doc", "")
+	n1 := b.AddNode(0, "a", "")   // n1
+	n2 := b.AddNode(n1, "b", "")  // n2
+	n3 := b.AddNode(n2, "c", "")  // n3
+	b.AddNode(n3, "d", "delta")   // n4
+	b.AddNode(n3, "e", "epsilon") // n5
+	n6 := b.AddNode(n3, "f", "")  // n6
+	b.AddNode(n6, "g", "gamma")   // n7
+	b.AddNode(0, "h", "eta")      // n8
+	return b.Build()
+}

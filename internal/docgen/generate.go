@@ -1,0 +1,174 @@
+package docgen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"repro/internal/xmltree"
+)
+
+// Config controls synthetic document generation. Documents follow the
+// document-centric shape the paper targets (Section 1): deep
+// article/section/subsection/par trees, long textual contents, tags
+// that carry structure but no semantics, and no schema (fan-outs are
+// randomized around the configured means).
+type Config struct {
+	// Name labels the generated document; defaults to "synthetic".
+	Name string
+	// Seed makes generation deterministic.
+	Seed int64
+	// Sections is the number of top-level sections (default 5).
+	Sections int
+	// MeanFanout is the average number of children of each internal
+	// structural node (default 5); actual fan-outs vary ±50%.
+	MeanFanout int
+	// Depth is the number of structural levels below the root
+	// (default 3): section, subsection, subsubsection, … with
+	// paragraphs at the deepest level.
+	Depth int
+	// VocabSize is the number of distinct filler terms (default 1000).
+	VocabSize int
+	// ZipfS is the Zipf skew of term selection (default 1.1; must
+	// be > 1).
+	ZipfS float64
+	// ParLength is the number of tokens per paragraph (default 15).
+	ParLength int
+	// Plant places query terms into the document: term → number of
+	// distinct nodes whose text will contain the term. Planting more
+	// nodes than exist is an error.
+	Plant map[string]int
+}
+
+func (c *Config) setDefaults() {
+	if c.Name == "" {
+		c.Name = "synthetic"
+	}
+	if c.Sections <= 0 {
+		c.Sections = 5
+	}
+	if c.MeanFanout <= 0 {
+		c.MeanFanout = 5
+	}
+	if c.Depth <= 0 {
+		c.Depth = 3
+	}
+	if c.VocabSize <= 0 {
+		c.VocabSize = 1000
+	}
+	if c.ZipfS <= 1 {
+		c.ZipfS = 1.1
+	}
+	if c.ParLength <= 0 {
+		c.ParLength = 15
+	}
+}
+
+var levelTags = []string{"section", "subsection", "subsubsection", "division", "block"}
+
+// Generate builds a synthetic document-centric XML document.
+func Generate(cfg Config) (*xmltree.Document, error) {
+	cfg.setDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	zipf := rand.NewZipf(rng, cfg.ZipfS, 1, uint64(cfg.VocabSize-1))
+	if zipf == nil {
+		return nil, fmt.Errorf("docgen: invalid Zipf parameters (s=%v, vocab=%d)", cfg.ZipfS, cfg.VocabSize)
+	}
+	word := func() string { return fmt.Sprintf("term%04d", zipf.Uint64()) }
+	par := func() string {
+		toks := make([]string, cfg.ParLength)
+		for i := range toks {
+			toks[i] = word()
+		}
+		return strings.Join(toks, " ")
+	}
+
+	b := xmltree.NewBuilder(cfg.Name, "article", "generated corpus")
+	var grow func(parent xmltree.NodeID, level int)
+	grow = func(parent xmltree.NodeID, level int) {
+		fan := cfg.MeanFanout
+		if fan > 1 {
+			fan = cfg.MeanFanout/2 + rng.Intn(cfg.MeanFanout) // mean ≈ MeanFanout
+		}
+		if fan < 1 {
+			fan = 1
+		}
+		if level >= cfg.Depth {
+			for i := 0; i < fan; i++ {
+				b.AddNode(parent, "par", par())
+			}
+			return
+		}
+		tag := levelTags[level%len(levelTags)]
+		for i := 0; i < fan; i++ {
+			id := b.AddNode(parent, tag, "")
+			b.AddNode(id, "title", par())
+			grow(id, level+1)
+		}
+	}
+	for s := 0; s < cfg.Sections; s++ {
+		id := b.AddNode(0, "section", "")
+		b.AddNode(id, "title", par())
+		grow(id, 1)
+	}
+
+	n := b.Len()
+	for term, count := range cfg.Plant {
+		if count < 0 || count >= n {
+			return nil, fmt.Errorf("docgen: cannot plant %q into %d of %d nodes", term, count, n)
+		}
+	}
+	doc := b.Build()
+	if len(cfg.Plant) == 0 {
+		return doc, nil
+	}
+	return replant(doc, cfg.Name, rng, cfg.Plant)
+}
+
+// replant copies doc, appending each planted term to the text of the
+// chosen nodes (node 0 excluded so a planted term never trivially sits
+// at the root), then rebuilds so keywords and statistics are
+// recomputed. Rebuilding is cheaper than threading mutable text through
+// generation and keeps Builder single-purpose.
+func replant(doc *xmltree.Document, name string, rng *rand.Rand, plant map[string]int) (*xmltree.Document, error) {
+	n := doc.Len()
+	extra := make([]string, n)
+	// Deterministic term order: sort keys.
+	terms := make([]string, 0, len(plant))
+	for t := range plant {
+		terms = append(terms, t)
+	}
+	sort.Strings(terms)
+	for _, term := range terms {
+		count := plant[term]
+		for _, c := range rng.Perm(n - 1)[:count] {
+			id := c + 1
+			if extra[id] == "" {
+				extra[id] = term
+			} else {
+				extra[id] += " " + term
+			}
+		}
+	}
+	b := xmltree.NewBuilder(name, doc.Tag(0), joinText(doc.Text(0), extra[0]))
+	var copyKids func(src, dst xmltree.NodeID)
+	copyKids = func(src, dst xmltree.NodeID) {
+		for _, c := range doc.Children(src) {
+			id := b.AddNode(dst, doc.Tag(c), joinText(doc.Text(c), extra[c]))
+			copyKids(c, id)
+		}
+	}
+	copyKids(0, 0)
+	return b.Build(), nil
+}
+
+func joinText(a, b string) string {
+	if b == "" {
+		return a
+	}
+	if a == "" {
+		return b
+	}
+	return a + " " + b
+}

@@ -1,0 +1,160 @@
+package docgen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/xmltree"
+)
+
+// Cluster describes one planted topic cluster for effectiveness
+// evaluation: Terms are co-planted inside a single coherent subtree
+// (one node per term), and the minimal fragment connecting them is
+// recorded as the gold-standard answer. This is the synthetic
+// equivalent of INEX's human-assessed relevant components, which the
+// paper's Section 5 discussion of overlap cites but which we cannot
+// redistribute.
+type Cluster struct {
+	// Terms to co-plant (each lands in a distinct node).
+	Terms []string
+	// Count is how many cluster instances to plant (each in a
+	// different subtree).
+	Count int
+}
+
+// Gold is one planted cluster instance with its ideal answer.
+type Gold struct {
+	// Subtree is the structural node whose subtree hosts the cluster.
+	Subtree xmltree.NodeID
+	// Witnesses maps each term to the node carrying it.
+	Witnesses map[string]xmltree.NodeID
+	// FragmentIDs are the nodes of the minimal connected fragment
+	// containing every witness — the answer an ideal engine returns.
+	// (Stored as IDs so this package stays independent of the algebra;
+	// build a core.Fragment with core.NewFragment when scoring.)
+	FragmentIDs []xmltree.NodeID
+}
+
+// GenerateWithGold builds a synthetic document (per cfg, whose Plant
+// field must be empty) and plants the given clusters, returning the
+// gold-standard answers. Cluster instances land in distinct
+// structural subtrees with at least len(Terms) descendants, chosen
+// deterministically from cfg.Seed.
+func GenerateWithGold(cfg Config, clusters []Cluster) (*xmltree.Document, []Gold, error) {
+	if len(cfg.Plant) != 0 {
+		return nil, nil, fmt.Errorf("docgen: GenerateWithGold requires an empty Plant config")
+	}
+	base, err := Generate(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 0x60401))
+
+	// Candidate hosts: internal nodes whose subtree is large enough
+	// and which sit strictly below the root (so clusters are local).
+	type host struct {
+		id   xmltree.NodeID
+		size int
+	}
+	var hosts []host
+	for id := xmltree.NodeID(1); int(id) < base.Len(); id++ {
+		if sz := base.SubtreeSize(id); sz >= 3 && base.Depth(id) >= 2 {
+			hosts = append(hosts, host{id: id, size: sz})
+		}
+	}
+	needed := 0
+	for _, c := range clusters {
+		needed += c.Count
+		for _, term := range c.Terms {
+			if len(base.NodesWithKeyword(term)) != 0 {
+				return nil, nil, fmt.Errorf("docgen: cluster term %q collides with generated vocabulary", term)
+			}
+		}
+	}
+	if needed > len(hosts) {
+		return nil, nil, fmt.Errorf("docgen: %d cluster instances need %d hosts, have %d", needed, needed, len(hosts))
+	}
+	perm := rng.Perm(len(hosts))
+
+	// extra[node] accumulates appended terms (as in replant).
+	extra := make([]string, base.Len())
+	type plannedGold struct {
+		subtree   xmltree.NodeID
+		witnesses map[string]xmltree.NodeID
+	}
+	var planned []plannedGold
+	hostIdx := 0
+	for _, c := range clusters {
+		if len(c.Terms) == 0 {
+			return nil, nil, fmt.Errorf("docgen: cluster with no terms")
+		}
+		for i := 0; i < c.Count; i++ {
+			h := hosts[perm[hostIdx]]
+			hostIdx++
+			// Choose len(Terms) distinct nodes in h's subtree.
+			if h.size < len(c.Terms) {
+				return nil, nil, fmt.Errorf("docgen: host subtree too small (%d < %d)", h.size, len(c.Terms))
+			}
+			offsets := rng.Perm(h.size)[:len(c.Terms)]
+			wit := make(map[string]xmltree.NodeID, len(c.Terms))
+			for ti, term := range c.Terms {
+				id := h.id + xmltree.NodeID(offsets[ti])
+				if extra[id] == "" {
+					extra[id] = term
+				} else {
+					extra[id] += " " + term
+				}
+				wit[term] = id
+			}
+			planned = append(planned, plannedGold{subtree: h.id, witnesses: wit})
+		}
+	}
+
+	// Rebuild with the planted text (same approach as replant).
+	b := xmltree.NewBuilder(cfg.Name, base.Tag(0), joinText(base.Text(0), extra[0]))
+	var copyKids func(src, dst xmltree.NodeID)
+	copyKids = func(src, dst xmltree.NodeID) {
+		for _, c := range base.Children(src) {
+			id := b.AddNode(dst, base.Tag(c), joinText(base.Text(c), extra[c]))
+			copyKids(c, id)
+		}
+	}
+	copyKids(0, 0)
+	doc := b.Build()
+
+	// Node IDs are preserved by the rebuild (same shape), so planned
+	// witnesses carry over; materialize the gold fragments.
+	golds := make([]Gold, 0, len(planned))
+	for _, p := range planned {
+		golds = append(golds, Gold{
+			Subtree:     p.subtree,
+			Witnesses:   p.witnesses,
+			FragmentIDs: minimalFragment(doc, p.witnesses),
+		})
+	}
+	return doc, golds, nil
+}
+
+// minimalFragment returns, sorted, the nodes of the minimal connected
+// fragment containing every witness: the union of each witness's path
+// to the witnesses' common LCA.
+func minimalFragment(d *xmltree.Document, witnesses map[string]xmltree.NodeID) []xmltree.NodeID {
+	ids := make([]xmltree.NodeID, 0, len(witnesses))
+	for _, id := range witnesses {
+		ids = append(ids, id)
+	}
+	l := d.LCAAll(ids)
+	member := map[xmltree.NodeID]bool{}
+	for _, id := range ids {
+		for _, v := range d.PathToAncestor(id, l) {
+			member[v] = true
+		}
+	}
+	out := make([]xmltree.NodeID, 0, len(member))
+	for v := range member {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,114 @@
+// Package docgen builds XML documents for tests, examples and
+// benchmarks: exact replicas of the paper's figure documents, and
+// synthetic document-centric corpora (INEX-style article trees with
+// Zipfian vocabulary) standing in for the real collections the paper
+// never names (it reports no experiments).
+package docgen
+
+import "repro/internal/xmltree"
+
+// FigureOne builds the 82-node document of the paper's Figure 1
+// (nodes n0…n81). The structure is reconstructed from every join the
+// paper evaluates over it:
+//
+//   - f17 ⋈ f18 = ⟨n16,n17,n18⟩            → n17, n18 children of n16
+//   - f16 ⋈ f17 = ⟨n16,n17⟩                → n16 parent of n17
+//   - f16 ⋈ f81 = ⟨n0,n1,n14,n16,n79,n80,n81⟩
+//     → parent chains n16→n14→n1→n0 and n81→n80→n79→n0
+//
+// Keyword placement matches Section 4: XQuery ∈ keywords(n) exactly
+// for n ∈ {n17, n18} and optimization ∈ keywords(n) exactly for
+// n ∈ {n16, n17, n81}.
+func FigureOne() *xmltree.Document {
+	b := xmltree.NewBuilder("figure1.xml", "article", "Querying Semistructured Documents")
+
+	// n1: first <section>, spanning n1..n78.
+	n1 := b.AddNode(0, "section", "")
+	b.AddNode(n1, "title", "Processing Queries over Tree Data") // n2
+
+	// n3: subsection spanning n3..n13 (title + nine paragraphs).
+	n3 := b.AddNode(n1, "subsection", "")
+	b.AddNode(n3, "title", "Data Models for Semistructured Documents") // n4
+	for i := 0; i < 9; i++ {                                           // n5..n13
+		b.AddNode(n3, "par", fillerPar(i))
+	}
+
+	// n14: subsection spanning n14..n18 — holds the fragment of
+	// interest ⟨n16, n17, n18⟩.
+	n14 := b.AddNode(n1, "subsection", "")
+	b.AddNode(n14, "title", "Evaluation of Path Expressions") // n15
+	n16 := b.AddNode(n14, "subsubsection", "Optimization of query evaluation")
+	b.AddNode(n16, "par", "Cost-based optimization of XQuery expressions depends on algebraic rewriting rules")      // n17
+	b.AddNode(n16, "par", "Static analysis of XQuery plans can reduce the search space during physical plan choice") // n18
+
+	// n19: subsection spanning n19..n30 (title + ten paragraphs).
+	n19 := b.AddNode(n1, "subsection", "")
+	b.AddNode(n19, "title", "Indexing Structural Relationships") // n20
+	for i := 9; i < 19; i++ {                                    // n21..n30
+		b.AddNode(n19, "par", fillerPar(i))
+	}
+
+	// n31: subsection spanning n31..n50 with two nested
+	// subsubsections of nine nodes each.
+	n31 := b.AddNode(n1, "subsection", "")
+	b.AddNode(n31, "title", "Storage of Ordered Trees") // n32
+	n33 := b.AddNode(n31, "subsubsection", "Interval encodings")
+	b.AddNode(n33, "title", "Numbering schemes") // n34
+	for i := 19; i < 26; i++ {                   // n35..n41
+		b.AddNode(n33, "par", fillerPar(i))
+	}
+	n42 := b.AddNode(n31, "subsubsection", "Path encodings")
+	b.AddNode(n42, "title", "Prefix labelling") // n43
+	for i := 26; i < 33; i++ {                  // n44..n50
+		b.AddNode(n42, "par", fillerPar(i))
+	}
+
+	// n51: subsection spanning n51..n78 with two nested
+	// subsubsections (12 and 14 nodes).
+	n51 := b.AddNode(n1, "subsection", "")
+	b.AddNode(n51, "title", "Ranking and Result Presentation") // n52
+	n53 := b.AddNode(n51, "subsubsection", "Scoring functions")
+	b.AddNode(n53, "title", "Term weighting") // n54
+	for i := 33; i < 43; i++ {                // n55..n64
+		b.AddNode(n53, "par", fillerPar(i))
+	}
+	n65 := b.AddNode(n51, "subsubsection", "Grouping of results")
+	b.AddNode(n65, "title", "Presentation units") // n66
+	for i := 43; i < 55; i++ {                    // n67..n78
+		b.AddNode(n65, "par", fillerPar(i))
+	}
+
+	// n79: second <section>, spanning n79..n81, structurally far from
+	// n14's subtree — its paragraph n81 is what makes the big
+	// "irrelevant" fragments of Table 1 possible.
+	n79 := b.AddNode(0, "section", "")
+	n80 := b.AddNode(n79, "subsection", "Algebraic foundations of query engines")
+	b.AddNode(n80, "par", "Relational engines apply algebraic optimization rules before choosing a physical plan") // n81
+
+	d := b.Build()
+	if d.Len() != 82 {
+		panic("docgen: FigureOne must have exactly 82 nodes (n0..n81)")
+	}
+	return d
+}
+
+// fillerPar returns deterministic paragraph text about adjacent topics
+// that never contains the tokens "xquery" or "optimization", so the
+// Figure 1 keyword placement stays exact.
+func fillerPar(i int) string {
+	base := [...]string{
+		"Tree structured documents arrange logical components under a single root element",
+		"A numbering scheme assigns identifiers so that ancestor tests become interval containment checks",
+		"Long textual passages dominate document centric collections and rarely follow a fixed schema",
+		"Element tags like section and par describe layout rather than meaning",
+		"Navigation along parent and child axes is the basic primitive of tree query evaluation",
+		"Join ordering decisions affect the amount of intermediate data materialized by an engine",
+		"Inverted lists map a term to the components in which the term occurs",
+		"Keyword interfaces relieve users from learning the structure of the underlying data",
+		"Answers should be self contained units rather than arbitrary element boundaries",
+		"Ranked retrieval orders results while set based retrieval filters them by predicates",
+		"Ancestor descendant relationships can be resolved with pre and post order ranks",
+		"The lowest common ancestor of two components bounds the smallest connected answer",
+	}
+	return base[i%len(base)]
+}

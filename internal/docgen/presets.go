@@ -1,0 +1,38 @@
+package docgen
+
+// Presets bundle generator configurations for the document-centric
+// genres the XML retrieval literature evaluates on, so benchmarks and
+// examples share realistic shapes instead of ad-hoc knobs. Pass the
+// returned Config (optionally overriding Seed or Plant) to Generate.
+
+// PresetINEXArticle approximates an INEX-style journal article: a
+// handful of sections, two levels of subsections, moderate paragraphs
+// with a large vocabulary.
+func PresetINEXArticle(seed int64) Config {
+	return Config{
+		Name: "inex-article.xml", Seed: seed,
+		Sections: 6, MeanFanout: 4, Depth: 3,
+		VocabSize: 3000, ZipfS: 1.15, ParLength: 25,
+	}
+}
+
+// PresetTechManual approximates a technical manual: deep nesting,
+// small fan-out, short paragraphs, narrow vocabulary (jargon reuse).
+func PresetTechManual(seed int64) Config {
+	return Config{
+		Name: "tech-manual.xml", Seed: seed,
+		Sections: 4, MeanFanout: 3, Depth: 5,
+		VocabSize: 600, ZipfS: 1.3, ParLength: 10,
+	}
+}
+
+// PresetAnthology approximates a large flat anthology (a journal
+// issue, a proceedings volume): many sections, shallow structure,
+// long paragraphs.
+func PresetAnthology(seed int64) Config {
+	return Config{
+		Name: "anthology.xml", Seed: seed,
+		Sections: 24, MeanFanout: 5, Depth: 2,
+		VocabSize: 8000, ZipfS: 1.1, ParLength: 40,
+	}
+}

@@ -1,0 +1,94 @@
+package engine
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"repro/internal/query"
+)
+
+// resultCache is a small LRU over evaluated answers. Documents are
+// immutable after indexing, so a (query, options) pair always
+// evaluates to the same answer set and caching is sound. Stats on a
+// cached Answer are those of the original evaluation.
+type resultCache struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recent; values are *cacheEntry
+	m   map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key string
+	ans *Answer
+}
+
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{
+		cap: capacity,
+		ll:  list.New(),
+		m:   make(map[string]*list.Element, capacity),
+	}
+}
+
+func (c *resultCache) get(key string) (*Answer, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).ans, true
+}
+
+func (c *resultCache) put(key string, ans *Answer) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).ans = ans
+		return
+	}
+	c.m[key] = c.ll.PushFront(&cacheEntry{key: key, ans: ans})
+	for c.ll.Len() > c.cap {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.m, back.Value.(*cacheEntry).key)
+	}
+}
+
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// EnableCache turns on an LRU result cache of the given capacity
+// (entries). Call before serving queries; capacity < 1 disables.
+// Cached answers are shared — callers must treat Answer as read-only
+// (which its API already enforces).
+func (e *Engine) EnableCache(capacity int) {
+	if capacity < 1 {
+		e.cache = nil
+		return
+	}
+	e.cache = newResultCache(capacity)
+}
+
+// CacheLen reports the number of cached results (0 when disabled).
+func (e *Engine) CacheLen() int {
+	if e.cache == nil {
+		return 0
+	}
+	return e.cache.len()
+}
+
+// cacheKey fingerprints a query + options pair. Only fields that
+// change the answer set participate (workers and auto-mode chooser
+// settings change the work, not the result — but strategy choice can
+// change which error is returned, so it is included for safety).
+func cacheKey(q query.Query, opts query.Options) string {
+	return fmt.Sprintf("%s|s=%d|a=%t|mf=%d", q.String(), opts.Strategy, opts.Auto, opts.MaxFragments)
+}

@@ -1,0 +1,112 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/query"
+)
+
+func TestCacheHitAvoidsWork(t *testing.T) {
+	e := figure1Engine(t)
+	e.EnableCache(8)
+	first, err := e.Query("XQuery optimization", "size<=3", query.Options{Auto: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	core.ResetJoinCount()
+	second, err := e.Query("XQuery optimization", "size<=3", query.Options{Auto: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := core.JoinCount(); got != 0 {
+		t.Fatalf("cache hit performed %d joins", got)
+	}
+	if second != first {
+		t.Fatal("cache hit must return the cached Answer")
+	}
+	if e.CacheLen() != 1 {
+		t.Fatalf("cache len = %d", e.CacheLen())
+	}
+}
+
+func TestCacheKeyDiscriminates(t *testing.T) {
+	e := figure1Engine(t)
+	e.EnableCache(8)
+	a, err := e.Query("XQuery optimization", "size<=3", query.Options{Auto: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.Query("XQuery optimization", "size<=2", query.Options{Auto: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b || a.Len() == b.Len() {
+		t.Fatal("different filters must not share a cache entry")
+	}
+	c, err := e.Query("XQuery optimization", "size<=3", query.Options{Strategy: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == a {
+		t.Fatal("different strategy options must not share an entry")
+	}
+	if e.CacheLen() != 3 {
+		t.Fatalf("cache len = %d", e.CacheLen())
+	}
+}
+
+func TestCacheEviction(t *testing.T) {
+	e := figure1Engine(t)
+	e.EnableCache(2)
+	queries := []string{"xquery", "optimization", "rewriting"}
+	for _, kw := range queries {
+		if _, err := e.Query(kw, "size<=2", query.Options{Auto: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if e.CacheLen() != 2 {
+		t.Fatalf("cache len = %d, want capacity 2", e.CacheLen())
+	}
+	// The oldest ("xquery") was evicted: querying it again recomputes.
+	core.ResetJoinCount()
+	if _, err := e.Query("xquery", "size<=2", query.Options{Auto: true}); err != nil {
+		t.Fatal(err)
+	}
+	if core.JoinCount() == 0 {
+		t.Fatal("evicted entry should have been recomputed")
+	}
+}
+
+func TestCacheDisable(t *testing.T) {
+	e := figure1Engine(t)
+	e.EnableCache(4)
+	if _, err := e.Query("xquery", "", query.Options{Auto: true}); err != nil {
+		t.Fatal(err)
+	}
+	e.EnableCache(0) // disable
+	if e.CacheLen() != 0 {
+		t.Fatal("disabling must clear the cache")
+	}
+}
+
+func TestCacheConcurrent(t *testing.T) {
+	e := figure1Engine(t)
+	e.EnableCache(4)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			kw := []string{"xquery", "optimization"}[i%2]
+			if _, err := e.Query(kw, "size<=2", query.Options{Auto: true}); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if e.CacheLen() != 2 {
+		t.Fatalf("cache len = %d", e.CacheLen())
+	}
+}

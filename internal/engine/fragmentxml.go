@@ -1,0 +1,66 @@
+package engine
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/xmltree"
+)
+
+// WriteFragmentXML serializes a fragment as a well-formed XML snippet
+// containing exactly the fragment's nodes, nested per the induced
+// tree — the "self-contained answer unit" presentation the paper
+// motivates (a user receives the fragment as a mini-document).
+func WriteFragmentXML(w io.Writer, f core.Fragment) error {
+	doc := f.Document()
+	children := make(map[xmltree.NodeID][]xmltree.NodeID)
+	for _, id := range f.IDs()[1:] {
+		p := doc.Parent(id)
+		children[p] = append(children[p], id)
+	}
+	var emit func(id xmltree.NodeID, indent int) error
+	emit = func(id xmltree.NodeID, indent int) error {
+		pad := strings.Repeat("  ", indent)
+		tag := doc.Tag(id)
+		text := doc.Text(id)
+		kids := children[id]
+		if len(kids) == 0 && text == "" {
+			_, err := fmt.Fprintf(w, "%s<%s/>\n", pad, tag)
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s<%s>", pad, tag); err != nil {
+			return err
+		}
+		if text != "" {
+			if err := xml.EscapeText(w, []byte(text)); err != nil {
+				return err
+			}
+		}
+		if len(kids) > 0 {
+			if _, err := io.WriteString(w, "\n"); err != nil {
+				return err
+			}
+			for _, c := range kids {
+				if err := emit(c, indent+1); err != nil {
+					return err
+				}
+			}
+			if _, err := io.WriteString(w, pad); err != nil {
+				return err
+			}
+		}
+		_, err := fmt.Fprintf(w, "</%s>\n", tag)
+		return err
+	}
+	return emit(f.Root(), 0)
+}
+
+// FragmentXML returns the fragment serialized as an XML snippet.
+func FragmentXML(f core.Fragment) string {
+	var sb strings.Builder
+	WriteFragmentXML(&sb, f) // strings.Builder writes cannot fail
+	return sb.String()
+}

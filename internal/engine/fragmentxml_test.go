@@ -1,0 +1,79 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/docgen"
+	"repro/internal/xmltree"
+)
+
+func TestFragmentXMLTarget(t *testing.T) {
+	d := docgen.FigureOne()
+	f := core.MustFragment(d, 16, 17, 18)
+	got := FragmentXML(f)
+	for _, want := range []string{
+		"<subsubsection>Optimization of query evaluation",
+		"<par>Cost-based optimization",
+		"<par>Static analysis",
+		"</subsubsection>",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("missing %q in:\n%s", want, got)
+		}
+	}
+	// Re-parseable: the snippet is a well-formed document.
+	reparsed, err := xmltree.ParseString("frag.xml", got)
+	if err != nil {
+		t.Fatalf("fragment XML not well-formed: %v\n%s", err, got)
+	}
+	if reparsed.Len() != f.Size() {
+		t.Fatalf("reparsed %d nodes, want %d", reparsed.Len(), f.Size())
+	}
+}
+
+func TestFragmentXMLSkipsGaps(t *testing.T) {
+	d := docgen.FigureOne()
+	// ⟨n16,n18⟩ skips n17: the snippet must contain n18 nested directly
+	// under n16 with no n17 content.
+	f := core.MustFragment(d, 16, 18)
+	got := FragmentXML(f)
+	if strings.Contains(got, "Cost-based") {
+		t.Fatalf("snippet leaked the skipped node n17:\n%s", got)
+	}
+	if !strings.Contains(got, "Static analysis") {
+		t.Fatalf("snippet missing n18:\n%s", got)
+	}
+}
+
+func TestFragmentXMLSingleNode(t *testing.T) {
+	d := docgen.FigureOne()
+	got := FragmentXML(core.MustFragment(d, 17))
+	if !strings.HasPrefix(got, "<par>") || !strings.Contains(got, "</par>") {
+		t.Fatalf("single node snippet: %s", got)
+	}
+}
+
+func TestFragmentXMLEscaping(t *testing.T) {
+	e, err := LoadString("esc.xml", `<doc><p>a &amp; b needle</p></doc>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := core.MustFragment(e.Document(), 1)
+	got := FragmentXML(f)
+	if !strings.Contains(got, "&amp;") {
+		t.Fatalf("ampersand not re-escaped: %s", got)
+	}
+}
+
+func TestFragmentXMLEmptyElement(t *testing.T) {
+	e, err := LoadString("empty.xml", `<doc><hollow/></doc>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := FragmentXML(core.MustFragment(e.Document(), 1))
+	if strings.TrimSpace(got) != "<hollow/>" {
+		t.Fatalf("empty element rendering: %q", got)
+	}
+}

@@ -1,0 +1,27 @@
+package filter_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/docgen"
+	"repro/internal/filter"
+)
+
+// Example shows filter composition and the anti-monotonicity flag the
+// planner keys on.
+func Example() {
+	d := docgen.FigureOne()
+	target := core.MustFragment(d, 16, 17, 18)
+
+	pushable := filter.And(filter.MaxSize(3), filter.MaxHeight(2))
+	residual := filter.And(pushable, filter.HasKeyword("xquery"))
+
+	fmt.Println(pushable.Name, "anti-monotonic:", pushable.AntiMonotonic)
+	fmt.Println(residual.Name, "anti-monotonic:", residual.AntiMonotonic)
+	fmt.Println("target passes:", residual.Apply(target))
+	// Output:
+	// (size<=3 AND height<=2) anti-monotonic: true
+	// ((size<=3 AND height<=2) AND keyword=xquery) anti-monotonic: false
+	// target passes: true
+}

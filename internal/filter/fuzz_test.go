@@ -1,0 +1,35 @@
+package filter
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/docgen"
+)
+
+// FuzzParseFilter checks that the filter parser never panics and that
+// every accepted filter can be applied to a fragment without
+// panicking.
+func FuzzParseFilter(f *testing.F) {
+	seeds := []string{
+		"", "true", "size<=3", "height<=2,width<=4", "size>1",
+		"keyword=xquery", "equaldepth=a:b", "leafwitness=a:b:c",
+		"size<=", "bogus", "size<=-1", ",,,", "size<=3,,height<=2",
+		"keyword=", "equaldepth=x", "size<=99999999999999999999",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	d := docgen.FigureOne()
+	frag := core.MustFragment(d, 16, 17, 18)
+	f.Fuzz(func(t *testing.T, spec string) {
+		p, err := Parse(spec)
+		if err != nil {
+			return
+		}
+		_ = p.Apply(frag) // must not panic
+		if p.Name == "" && !p.IsZero() {
+			t.Fatalf("accepted filter with empty name from %q", spec)
+		}
+	})
+}

@@ -1,0 +1,118 @@
+package filter
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/pathexpr"
+)
+
+// Parse builds a filter from a comma-separated specification string,
+// e.g. "size<=3,height<=2". The grammar per clause is
+//
+//	size<=N | height<=N | width<=N | depth<=N | size>N |
+//	keyword=TERM | equaldepth=T1:T2 | leafwitness=T1:T2:… |
+//	contains=PATH | root=PATH | within=PATH | true
+//
+// PATH is an internal/pathexpr pattern such as //section/par.
+//
+// Clauses are combined with And, so the result is anti-monotonic
+// exactly when every clause is. An empty spec yields True().
+func Parse(spec string) (Filter, error) {
+	clauses, err := ParseClauses(spec)
+	if err != nil {
+		return Filter{}, err
+	}
+	return And(clauses...), nil
+}
+
+// ParseClauses parses the same grammar as Parse but keeps the comma
+// clauses separate, so a planner can push the anti-monotonic ones
+// below joins while the rest run after (query.Parse uses this — a
+// single combined And would lose its anti-monotonic part as soon as
+// one clause lacks the property). An empty spec yields no clauses.
+func ParseClauses(spec string) ([]Filter, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	var clauses []Filter
+	for _, raw := range strings.Split(spec, ",") {
+		clause, err := parseClause(strings.TrimSpace(raw))
+		if err != nil {
+			return nil, err
+		}
+		clauses = append(clauses, clause)
+	}
+	return clauses, nil
+}
+
+func parseClause(s string) (Filter, error) {
+	if s == "" || s == "true" {
+		return True(), nil
+	}
+	if term, ok := strings.CutPrefix(s, "keyword="); ok {
+		if term == "" {
+			return Filter{}, fmt.Errorf("filter: empty keyword in %q", s)
+		}
+		return HasKeyword(term), nil
+	}
+	type pathClause struct {
+		prefix string
+		make   func(*pathexpr.Path) Filter
+	}
+	for _, pc := range []pathClause{
+		{"contains=", ContainsPath},
+		{"root=", RootPath},
+		{"within=", WithinPath},
+	} {
+		if pat, ok := strings.CutPrefix(s, pc.prefix); ok {
+			p, err := pathexpr.Parse(pat)
+			if err != nil {
+				return Filter{}, fmt.Errorf("filter: %w", err)
+			}
+			return pc.make(p), nil
+		}
+	}
+	if list, ok := strings.CutPrefix(s, "leafwitness="); ok {
+		terms := strings.Split(list, ":")
+		for _, t := range terms {
+			if t == "" {
+				return Filter{}, fmt.Errorf("filter: leafwitness wants T1:T2:…, got %q", list)
+			}
+		}
+		return LeafWitness(terms...), nil
+	}
+	if pair, ok := strings.CutPrefix(s, "equaldepth="); ok {
+		k1, k2, found := strings.Cut(pair, ":")
+		if !found || k1 == "" || k2 == "" {
+			return Filter{}, fmt.Errorf("filter: equaldepth wants T1:T2, got %q", pair)
+		}
+		return EqualDepth(k1, k2), nil
+	}
+	type bound struct {
+		prefix string
+		make   func(int) Filter
+	}
+	for _, b := range []bound{
+		{"size<=", MaxSize},
+		{"height<=", MaxHeight},
+		{"width<=", MaxWidth},
+		{"depth<=", MaxDepth},
+		{"leaves<=", MaxLeaves},
+		{"size>", MinSize},
+	} {
+		if rest, ok := strings.CutPrefix(s, b.prefix); ok {
+			n, err := strconv.Atoi(rest)
+			if err != nil {
+				return Filter{}, fmt.Errorf("filter: bad bound in %q: %w", s, err)
+			}
+			if n < 0 {
+				return Filter{}, fmt.Errorf("filter: negative bound in %q", s)
+			}
+			return b.make(n), nil
+		}
+	}
+	return Filter{}, fmt.Errorf("filter: cannot parse clause %q", s)
+}

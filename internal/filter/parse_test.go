@@ -1,0 +1,104 @@
+package filter
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/docgen"
+	"repro/internal/xmltree"
+)
+
+func TestParseSpecs(t *testing.T) {
+	d := docgen.FigureOne()
+	target, err := core.NewFragment(d, mustIDs(16, 17, 18))
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := core.NewFragment(d, mustIDs(0, 1, 14, 16, 17, 79, 80, 81))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		spec       string
+		anti       bool
+		passTarget bool
+		passBig    bool
+	}{
+		{"", true, true, true},
+		{"true", true, true, true},
+		{"size<=3", true, true, false},
+		{"size<=8", true, true, true},
+		{"height<=1", true, true, false},
+		{"width<=2", true, true, false},
+		{"depth<=4", true, true, true},
+		{"size>3", false, false, true},
+		{"keyword=xquery", false, true, true},
+		{"keyword=absentterm", false, false, false},
+		{"size<=3,height<=2", true, true, false},
+		{"size<=3,keyword=xquery", false, true, false},
+		{"equaldepth=xquery:optimization", false, false, false},
+	}
+	for _, tc := range tests {
+		t.Run(tc.spec, func(t *testing.T) {
+			f, err := Parse(tc.spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if f.AntiMonotonic != tc.anti {
+				t.Errorf("AntiMonotonic = %v, want %v", f.AntiMonotonic, tc.anti)
+			}
+			if got := f.Apply(target); got != tc.passTarget {
+				t.Errorf("Apply(target) = %v, want %v", got, tc.passTarget)
+			}
+			if got := f.Apply(big); got != tc.passBig {
+				t.Errorf("Apply(big) = %v, want %v", got, tc.passBig)
+			}
+		})
+	}
+}
+
+func TestParseEqualDepthPositive(t *testing.T) {
+	d := docgen.FigureOne()
+	// n17 carries both keywords at one depth → equal-depth holds on ⟨n17⟩.
+	f, err := core.NewFragment(d, mustIDs(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Parse("equaldepth=xquery:optimization")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Apply(f) {
+		t.Fatal("⟨n17⟩ has both keywords at the same depth")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"size<=x", "size<=", "size<=-1", "bogus<=3", "keyword=",
+		"equaldepth=onlyone", "equaldepth=:b", "height<=1.5", "nonsense",
+	}
+	for _, spec := range bad {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", spec)
+		}
+	}
+}
+
+func TestParseWhitespaceTolerant(t *testing.T) {
+	f, err := Parse("  size<=3 , height<=2  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.AntiMonotonic {
+		t.Fatal("parsed conjunction must stay anti-monotonic")
+	}
+}
+
+func mustIDs(ids ...int) []xmltree.NodeID {
+	out := make([]xmltree.NodeID, len(ids))
+	for i, v := range ids {
+		out[i] = xmltree.NodeID(v)
+	}
+	return out
+}

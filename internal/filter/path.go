@@ -1,0 +1,84 @@
+package filter
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/pathexpr"
+	"repro/internal/xmltree"
+)
+
+// Structural filters integrate path patterns with keyword search, the
+// combination the paper's related work ([1][6], Section 6) pursues.
+// Three variants with different anti-monotonicity:
+//
+//   - ContainsPath: some fragment node matches the pattern — NOT
+//     anti-monotonic (a sub-fragment can drop the witness).
+//   - RootPath: the fragment's root matches the pattern — NOT
+//     anti-monotonic (a sub-fragment has a different root).
+//   - WithinPath: every fragment node lies in the subtree of some
+//     pattern match — anti-monotonic (membership per node, so any
+//     subset of a passing fragment passes), hence push-down capable.
+
+// ContainsPath accepts fragments containing at least one node
+// matching the path pattern.
+func ContainsPath(p *pathexpr.Path) Filter {
+	return Filter{
+		Name:          fmt.Sprintf("contains(%s)", p),
+		AntiMonotonic: false,
+		Pred: func(f core.Fragment) bool {
+			matches := p.MatchAll(f.Document())
+			for _, id := range f.IDs() {
+				if matches[id] {
+					return true
+				}
+			}
+			return false
+		},
+	}
+}
+
+// RootPath accepts fragments whose root node matches the path
+// pattern — e.g. RootPath("//section") keeps only section-rooted
+// answers.
+func RootPath(p *pathexpr.Path) Filter {
+	return Filter{
+		Name:          fmt.Sprintf("root(%s)", p),
+		AntiMonotonic: false,
+		Pred: func(f core.Fragment) bool {
+			return p.Matches(f.Document(), f.Root())
+		},
+	}
+}
+
+// WithinPath accepts fragments all of whose nodes lie inside the
+// subtree of some node matching the pattern — e.g.
+// WithinPath("//section") confines answers to single sections,
+// pruning cross-section joins inside the evaluation (anti-monotonic,
+// so it is pushed below joins).
+func WithinPath(p *pathexpr.Path) Filter {
+	return Filter{
+		Name:          fmt.Sprintf("within(%s)", p),
+		AntiMonotonic: true,
+		Pred: func(f core.Fragment) bool {
+			doc := f.Document()
+			matches := p.MatchAll(doc)
+			for _, id := range f.IDs() {
+				if !nodeWithin(doc, id, matches) {
+					return false
+				}
+			}
+			return true
+		},
+	}
+}
+
+// nodeWithin reports whether id or one of its ancestors is in matches.
+func nodeWithin(doc *xmltree.Document, id xmltree.NodeID, matches map[xmltree.NodeID]bool) bool {
+	for v := id; v != xmltree.InvalidNode; v = doc.Parent(v) {
+		if matches[v] {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,119 @@
+package filter
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/docgen"
+	"repro/internal/pathexpr"
+)
+
+func TestContainsPath(t *testing.T) {
+	d := docgen.FigureOne()
+	p := ContainsPath(pathexpr.MustParse("//subsubsection"))
+	if p.AntiMonotonic {
+		t.Fatal("contains must not be anti-monotonic")
+	}
+	if !p.Apply(frag(t, d, 16, 17, 18)) {
+		t.Fatal("fragment containing n16 matches //subsubsection")
+	}
+	if p.Apply(frag(t, d, 17)) {
+		t.Fatal("⟨n17⟩ contains no subsubsection node")
+	}
+}
+
+func TestRootPath(t *testing.T) {
+	d := docgen.FigureOne()
+	p := RootPath(pathexpr.MustParse("//subsubsection"))
+	if !p.Apply(frag(t, d, 16, 17, 18)) {
+		t.Fatal("root n16 is a subsubsection")
+	}
+	if p.Apply(frag(t, d, 17, 16, 14)) {
+		t.Fatal("root n14 is a subsection, not a subsubsection")
+	}
+	anchored := RootPath(pathexpr.MustParse("/article"))
+	if !anchored.Apply(frag(t, d, 0)) || anchored.Apply(frag(t, d, 1)) {
+		t.Fatal("anchored root pattern wrong")
+	}
+}
+
+func TestWithinPath(t *testing.T) {
+	d := docgen.FigureOne()
+	p := WithinPath(pathexpr.MustParse("//subsection"))
+	if !p.AntiMonotonic {
+		t.Fatal("within must be anti-monotonic")
+	}
+	// Entirely inside subsection n14 → pass.
+	if !p.Apply(frag(t, d, 14, 15, 16, 17)) {
+		t.Fatal("fragment within n14 must pass")
+	}
+	// Includes n1 (a section above every subsection) → fail.
+	if p.Apply(frag(t, d, 1, 14, 16)) {
+		t.Fatal("fragment reaching the section level must fail")
+	}
+	// Pattern matches an ancestor: nodes inside //section.
+	sec := WithinPath(pathexpr.MustParse("//section"))
+	if !sec.Apply(frag(t, d, 1, 14, 16)) {
+		t.Fatal("everything under n1 is within a section")
+	}
+	if sec.Apply(frag(t, d, 0, 1)) {
+		t.Fatal("the article root is not within a section")
+	}
+}
+
+// TestWithinPathAntiMonotonic property-checks Definition 11 for the
+// within filter on random fragments.
+func TestWithinPathAntiMonotonic(t *testing.T) {
+	d := docgen.FigureOne()
+	rng := rand.New(rand.NewSource(55))
+	filters := []Filter{
+		WithinPath(pathexpr.MustParse("//section")),
+		WithinPath(pathexpr.MustParse("//subsection")),
+		WithinPath(pathexpr.MustParse("/article")),
+	}
+	for trial := 0; trial < 200; trial++ {
+		f := randomFragment(t, rng, d)
+		sub := randomSubFragment(t, rng, f)
+		for _, p := range filters {
+			if p.Apply(f) && !p.Apply(sub) {
+				t.Fatalf("%s violated anti-monotonicity on %v ⊇ %v", p, f, sub)
+			}
+		}
+	}
+}
+
+func TestPathFilterParse(t *testing.T) {
+	d := docgen.FigureOne()
+	target := frag(t, d, 16, 17, 18)
+	cases := []struct {
+		spec string
+		anti bool
+		pass bool
+	}{
+		{"contains=//subsubsection", false, true},
+		{"root=//subsubsection", false, true},
+		{"within=//subsection", true, true},
+		{"within=//par", true, false},
+		{"size<=3,within=//section", true, true},
+		{"root=//par", false, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.spec, func(t *testing.T) {
+			p, err := Parse(tc.spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p.AntiMonotonic != tc.anti {
+				t.Errorf("AntiMonotonic = %v, want %v", p.AntiMonotonic, tc.anti)
+			}
+			if got := p.Apply(target); got != tc.pass {
+				t.Errorf("Apply = %v, want %v", got, tc.pass)
+			}
+		})
+	}
+	for _, bad := range []string{"within=", "contains=a[", "root=//"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) succeeded", bad)
+		}
+	}
+}

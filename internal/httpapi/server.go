@@ -1,0 +1,274 @@
+// Package httpapi exposes a collection of XML documents as a JSON
+// search service — the downstream-facing surface of the library: add
+// documents, run keyword/filter queries, inspect plans. Stdlib
+// net/http only.
+package httpapi
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"repro/internal/collection"
+	"repro/internal/cost"
+	"repro/internal/query"
+)
+
+// Server routes HTTP requests to a collection.
+type Server struct {
+	coll *collection.Collection
+	mux  *http.ServeMux
+	// maxBody bounds document uploads (bytes).
+	maxBody int64
+}
+
+// New wraps a collection. Pass nil to start empty.
+func New(coll *collection.Collection) *Server {
+	if coll == nil {
+		coll = collection.New()
+	}
+	s := &Server{coll: coll, mux: http.NewServeMux(), maxBody: 16 << 20}
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /api/docs", s.handleListDocs)
+	s.mux.HandleFunc("POST /api/docs", s.handleAddDoc)
+	s.mux.HandleFunc("DELETE /api/docs/{name}", s.handleRemoveDoc)
+	s.mux.HandleFunc("GET /api/search", s.handleSearch)
+	s.mux.HandleFunc("GET /api/explain", s.handleExplain)
+	s.mux.HandleFunc("GET /api/stats", s.handleStats)
+	return s
+}
+
+// Collection returns the backing collection.
+func (s *Server) Collection() *collection.Collection { return s.coll }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "documents": s.coll.Len()})
+}
+
+// DocInfo describes one indexed document.
+type DocInfo struct {
+	Name  string `json:"name"`
+	Nodes int    `json:"nodes"`
+	Terms int    `json:"terms"`
+}
+
+func (s *Server) handleListDocs(w http.ResponseWriter, _ *http.Request) {
+	var docs []DocInfo
+	for _, name := range s.coll.Names() {
+		eng := s.coll.Engine(name)
+		docs = append(docs, DocInfo{
+			Name:  name,
+			Nodes: eng.Document().Len(),
+			Terms: eng.Index().Size(),
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"documents": docs})
+}
+
+// AddDocRequest is the body of POST /api/docs.
+type AddDocRequest struct {
+	Name string `json:"name"`
+	XML  string `json:"xml"`
+}
+
+func (s *Server) handleAddDoc(w http.ResponseWriter, r *http.Request) {
+	var req AddDocRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody))
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad JSON body: %w", err))
+		return
+	}
+	if req.Name == "" || req.XML == "" {
+		writeError(w, http.StatusBadRequest, errors.New("need name and xml"))
+		return
+	}
+	if err := s.coll.AddXML(req.Name, req.XML); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]any{"added": req.Name})
+}
+
+func (s *Server) handleRemoveDoc(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !s.coll.Remove(name) {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no document %q", name))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"removed": name})
+}
+
+// SearchHit is one result of GET /api/search.
+type SearchHit struct {
+	Document string  `json:"document"`
+	Nodes    []int32 `json:"nodes"`
+	Root     int32   `json:"root"`
+	Size     int     `json:"size"`
+	Score    float64 `json:"score"`
+	// Snippet is the truncated text of the fragment's nodes in
+	// document order.
+	Snippet string `json:"snippet,omitempty"`
+}
+
+// SearchResponse is the body of GET /api/search.
+type SearchResponse struct {
+	Query    string            `json:"query"`
+	Filter   string            `json:"filter,omitempty"`
+	Strategy string            `json:"strategy"`
+	Hits     []SearchHit       `json:"hits"`
+	Total    int               `json:"total"`
+	Errors   map[string]string `json:"errors,omitempty"`
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	qs := r.URL.Query()
+	keywords := qs.Get("q")
+	if keywords == "" {
+		writeError(w, http.StatusBadRequest, errors.New("missing q parameter"))
+		return
+	}
+	filterSpec := qs.Get("filter")
+	opts, stratName, err := parseStrategy(qs.Get("strategy"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	limit := 20
+	if l := qs.Get("limit"); l != "" {
+		n, err := strconv.Atoi(l)
+		if err != nil || n < 1 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad limit %q", l))
+			return
+		}
+		limit = n
+	}
+	res, err := s.coll.Search(keywords, filterSpec, opts)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp := SearchResponse{
+		Query: keywords, Filter: filterSpec, Strategy: stratName,
+		Total: len(res.Hits),
+	}
+	for _, h := range res.Hits {
+		if len(resp.Hits) == limit {
+			break
+		}
+		resp.Hits = append(resp.Hits, toHit(h))
+	}
+	for name, e := range res.Errors {
+		if resp.Errors == nil {
+			resp.Errors = map[string]string{}
+		}
+		resp.Errors[name] = e.Error()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func toHit(h collection.Hit) SearchHit {
+	ids := h.Fragment.IDs()
+	nodes := make([]int32, len(ids))
+	doc := h.Fragment.Document()
+	snippet := ""
+	for i, id := range ids {
+		nodes[i] = int32(id)
+		if t := doc.Text(id); t != "" && len(snippet) < 160 {
+			if snippet != "" {
+				snippet += " … "
+			}
+			snippet += t
+		}
+	}
+	if len(snippet) > 200 {
+		snippet = snippet[:197] + "..."
+	}
+	return SearchHit{
+		Document: h.Document,
+		Nodes:    nodes,
+		Root:     int32(h.Fragment.Root()),
+		Size:     h.Fragment.Size(),
+		Score:    h.Score,
+		Snippet:  snippet,
+	}
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	qs := r.URL.Query()
+	keywords := qs.Get("q")
+	if keywords == "" {
+		writeError(w, http.StatusBadRequest, errors.New("missing q parameter"))
+		return
+	}
+	q, err := query.Parse(keywords, qs.Get("filter"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	_, stratName, err := parseStrategy(qs.Get("strategy"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	strat := cost.PushDown
+	switch stratName {
+	case "brute-force":
+		strat = cost.BruteForce
+	case "naive":
+		strat = cost.Naive
+	case "set-reduction":
+		strat = cost.SetReduction
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"query":    q.String(),
+		"logical":  q.LogicalPlan().Render(),
+		"physical": q.PhysicalPlan(strat).Render(),
+		"strategy": strat.String(),
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	st := s.coll.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"documents": st.Documents,
+		"nodes":     st.Nodes,
+		"terms":     st.Terms,
+		"postings":  st.Postings,
+	})
+}
+
+func parseStrategy(s string) (query.Options, string, error) {
+	switch s {
+	case "", "auto":
+		return query.Options{Auto: true}, "auto", nil
+	case "brute-force":
+		return query.Options{Strategy: cost.BruteForce}, s, nil
+	case "naive":
+		return query.Options{Strategy: cost.Naive}, s, nil
+	case "set-reduction":
+		return query.Options{Strategy: cost.SetReduction}, s, nil
+	case "push-down":
+		return query.Options{Strategy: cost.PushDown}, s, nil
+	default:
+		return query.Options{}, "", fmt.Errorf("unknown strategy %q", s)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+var _ http.Handler = (*Server)(nil)

@@ -1,0 +1,252 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/collection"
+	"repro/internal/docgen"
+)
+
+func testServer(t testing.TB) *Server {
+	t.Helper()
+	coll := collection.New()
+	if err := coll.Add(docgen.FigureOne()); err != nil {
+		t.Fatal(err)
+	}
+	return New(coll)
+}
+
+func get(t testing.TB, s *Server, path string) (*httptest.ResponseRecorder, map[string]any) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	var body map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("bad JSON from %s: %v\n%s", path, err, rec.Body.String())
+	}
+	return rec, body
+}
+
+func TestHealth(t *testing.T) {
+	rec, body := get(t, testServer(t), "/healthz")
+	if rec.Code != http.StatusOK || body["status"] != "ok" {
+		t.Fatalf("health = %d %v", rec.Code, body)
+	}
+	if body["documents"].(float64) != 1 {
+		t.Fatalf("documents = %v", body["documents"])
+	}
+}
+
+func TestListDocs(t *testing.T) {
+	rec, body := get(t, testServer(t), "/api/docs")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("code = %d", rec.Code)
+	}
+	docs := body["documents"].([]any)
+	if len(docs) != 1 {
+		t.Fatalf("docs = %v", docs)
+	}
+	first := docs[0].(map[string]any)
+	if first["name"] != "figure1.xml" || first["nodes"].(float64) != 82 {
+		t.Fatalf("doc = %v", first)
+	}
+}
+
+func TestSearchEndpoint(t *testing.T) {
+	s := testServer(t)
+	rec, _ := get(t, s, "/api/search?q=xquery+optimization&filter=size%3C%3D3")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("code = %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp SearchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Total != 4 || len(resp.Hits) != 4 {
+		t.Fatalf("hits = %d/%d, want 4", len(resp.Hits), resp.Total)
+	}
+	if resp.Strategy != "auto" {
+		t.Fatalf("strategy = %q", resp.Strategy)
+	}
+	for _, h := range resp.Hits {
+		if h.Document != "figure1.xml" || h.Size < 1 || len(h.Nodes) != h.Size {
+			t.Fatalf("hit = %+v", h)
+		}
+	}
+	// Top hit carries text from the optimization subsection.
+	if !strings.Contains(strings.ToLower(resp.Hits[0].Snippet), "optimization") {
+		t.Fatalf("snippet = %q", resp.Hits[0].Snippet)
+	}
+}
+
+func TestSearchLimit(t *testing.T) {
+	s := testServer(t)
+	rec, _ := get(t, s, "/api/search?q=xquery+optimization&filter=size%3C%3D3&limit=2")
+	var resp SearchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Hits) != 2 || resp.Total != 4 {
+		t.Fatalf("limit ignored: %d/%d", len(resp.Hits), resp.Total)
+	}
+}
+
+func TestSearchErrors(t *testing.T) {
+	s := testServer(t)
+	cases := []string{
+		"/api/search",                          // missing q
+		"/api/search?q=x&filter=bogus%3C%3D3",  // bad filter
+		"/api/search?q=x&strategy=warp-drive",  // bad strategy
+		"/api/search?q=x&limit=zero",           // bad limit
+		"/api/search?q=x&limit=-3",             // bad limit
+		"/api/explain",                         // missing q
+		"/api/explain?q=x&strategy=warp-drive", // bad strategy
+	}
+	for _, path := range cases {
+		rec, body := get(t, s, path)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("%s → %d, want 400", path, rec.Code)
+		}
+		if body["error"] == "" {
+			t.Errorf("%s → missing error message", path)
+		}
+	}
+}
+
+func TestAddDocEndpoint(t *testing.T) {
+	s := testServer(t)
+	body := `{"name":"added.xml","xml":"<doc><par>xquery optimization together</par></doc>"}`
+	req := httptest.NewRequest(http.MethodPost, "/api/docs", strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("code = %d: %s", rec.Code, rec.Body.String())
+	}
+	// The new document is searchable.
+	rec2, _ := get(t, s, "/api/search?q=xquery+optimization&filter=size%3C%3D3")
+	var resp SearchResponse
+	if err := json.Unmarshal(rec2.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, h := range resp.Hits {
+		if h.Document == "added.xml" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("added document missing from search results")
+	}
+}
+
+func TestAddDocErrors(t *testing.T) {
+	s := testServer(t)
+	cases := []string{
+		`not json`,
+		`{"name":"","xml":"<a/>"}`,
+		`{"name":"x.xml","xml":""}`,
+		`{"name":"x.xml","xml":"<unclosed"}`,
+		`{"name":"figure1.xml","xml":"<a/>"}`, // duplicate
+	}
+	for _, body := range cases {
+		req := httptest.NewRequest(http.MethodPost, "/api/docs", strings.NewReader(body))
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("body %q → %d, want 400", body, rec.Code)
+		}
+	}
+}
+
+func TestExplainEndpoint(t *testing.T) {
+	s := testServer(t)
+	rec, body := get(t, s, "/api/explain?q=xquery+optimization&filter=size%3C%3D3&strategy=push-down")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("code = %d", rec.Code)
+	}
+	logical := body["logical"].(string)
+	physical := body["physical"].(string)
+	if !strings.Contains(logical, "⋈*") {
+		t.Fatalf("logical plan = %q", logical)
+	}
+	if !strings.Contains(physical, "σ size<=3") {
+		t.Fatalf("physical plan = %q", physical)
+	}
+}
+
+func TestMethodRouting(t *testing.T) {
+	s := testServer(t)
+	req := httptest.NewRequest(http.MethodDelete, "/api/docs", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusMethodNotAllowed && rec.Code != http.StatusNotFound {
+		t.Fatalf("DELETE /api/docs = %d", rec.Code)
+	}
+}
+
+func TestNewNilCollection(t *testing.T) {
+	s := New(nil)
+	rec, body := get(t, s, "/healthz")
+	if rec.Code != http.StatusOK || body["documents"].(float64) != 0 {
+		t.Fatalf("nil-collection server broken: %d %v", rec.Code, body)
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	s := testServer(t)
+	rec, body := get(t, s, "/api/stats")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("code = %d", rec.Code)
+	}
+	if body["documents"].(float64) != 1 || body["nodes"].(float64) != 82 {
+		t.Fatalf("stats = %v", body)
+	}
+	if body["postings"].(float64) <= 0 {
+		t.Fatalf("postings = %v", body["postings"])
+	}
+}
+
+func TestRemoveDocEndpoint(t *testing.T) {
+	s := testServer(t)
+	req := httptest.NewRequest(http.MethodDelete, "/api/docs/figure1.xml", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("delete = %d: %s", rec.Code, rec.Body.String())
+	}
+	// Gone from the listing.
+	_, body := get(t, s, "/api/docs")
+	if body["documents"] != nil {
+		t.Fatalf("documents after delete = %v", body["documents"])
+	}
+	// Second delete 404s.
+	rec2 := httptest.NewRecorder()
+	s.ServeHTTP(rec2, httptest.NewRequest(http.MethodDelete, "/api/docs/figure1.xml", nil))
+	if rec2.Code != http.StatusNotFound {
+		t.Fatalf("second delete = %d", rec2.Code)
+	}
+}
+
+func TestSearchWithDisjunctionOverHTTP(t *testing.T) {
+	s := testServer(t)
+	rec, _ := get(t, s, "/api/search?q=xquery+rewriting%7Coptimization&filter=size%3C%3D3")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("code = %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp SearchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Total != 4 {
+		t.Fatalf("total = %d, want 4", resp.Total)
+	}
+	// Disjunctive hits must carry real (non-zero) scores.
+	if resp.Hits[0].Score <= 0 {
+		t.Fatalf("top score = %v", resp.Hits[0].Score)
+	}
+}

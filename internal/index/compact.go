@@ -1,0 +1,109 @@
+package index
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"repro/internal/textutil"
+	"repro/internal/xmltree"
+)
+
+// CompactIndex is a space-optimized read-only form of Index: posting
+// lists are delta-encoded with varints into one contiguous blob, the
+// classic inverted-file layout. Lookups decode on demand, trading a
+// little CPU for a fraction of the memory — the representation a
+// large-collection deployment (Section 7) would page from disk.
+type CompactIndex struct {
+	doc   *xmltree.Document
+	spans map[string]span
+	blob  []byte
+}
+
+type span struct {
+	off, len uint32
+	count    uint32 // postings in the list
+}
+
+// Compact re-encodes an index. The original index is unchanged.
+func Compact(x *Index) *CompactIndex {
+	terms := x.Terms()
+	c := &CompactIndex{
+		doc:   x.doc,
+		spans: make(map[string]span, len(terms)),
+	}
+	var buf [binary.MaxVarintLen64]byte
+	for _, t := range terms {
+		postings := x.LookupExact(t)
+		start := len(c.blob)
+		prev := int64(0)
+		for _, id := range postings {
+			n := binary.PutUvarint(buf[:], uint64(int64(id)-prev))
+			c.blob = append(c.blob, buf[:n]...)
+			prev = int64(id)
+		}
+		c.spans[t] = span{
+			off:   uint32(start),
+			len:   uint32(len(c.blob) - start),
+			count: uint32(len(postings)),
+		}
+	}
+	return c
+}
+
+// Document returns the indexed document.
+func (c *CompactIndex) Document() *xmltree.Document { return c.doc }
+
+// Lookup decodes the posting list for term (normalized first).
+func (c *CompactIndex) Lookup(term string) []xmltree.NodeID {
+	return c.LookupExact(textutil.NormalizeTerm(term))
+}
+
+// LookupExact decodes the posting list for an already-normalized term.
+func (c *CompactIndex) LookupExact(term string) []xmltree.NodeID {
+	sp, ok := c.spans[term]
+	if !ok {
+		return nil
+	}
+	out := make([]xmltree.NodeID, 0, sp.count)
+	data := c.blob[sp.off : sp.off+sp.len]
+	prev := int64(0)
+	for len(data) > 0 {
+		delta, n := binary.Uvarint(data)
+		if n <= 0 {
+			panic(fmt.Sprintf("index: corrupt compact posting list for %q", term))
+		}
+		prev += int64(delta)
+		out = append(out, xmltree.NodeID(prev))
+		data = data[n:]
+	}
+	return out
+}
+
+// DocFreq returns the number of postings for term without decoding.
+func (c *CompactIndex) DocFreq(term string) int {
+	return int(c.spans[textutil.NormalizeTerm(term)].count)
+}
+
+// Terms returns all indexed terms, sorted.
+func (c *CompactIndex) Terms() []string {
+	out := make([]string, 0, len(c.spans))
+	for t := range c.spans {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// BlobBytes returns the size of the encoded posting blob.
+func (c *CompactIndex) BlobBytes() int { return len(c.blob) }
+
+// RawBytes estimates the uncompressed posting storage (4 bytes per
+// posting), for compression-ratio reporting.
+func (c *CompactIndex) RawBytes() int {
+	n := 0
+	for _, sp := range c.spans {
+		n += int(sp.count) * 4
+	}
+	return n
+}

@@ -1,0 +1,67 @@
+package index
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/docgen"
+)
+
+func TestCompactRoundTrip(t *testing.T) {
+	d, err := docgen.Generate(docgen.Config{
+		Seed: 12, Sections: 4, MeanFanout: 4, Depth: 3, VocabSize: 120,
+		Plant: map[string]int{"needle": 7},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := New(d)
+	c := Compact(x)
+	for _, term := range x.Terms() {
+		got := c.LookupExact(term)
+		want := x.LookupExact(term)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("postings for %q differ: compact=%v raw=%v", term, got, want)
+		}
+		if c.DocFreq(term) != len(want) {
+			t.Fatalf("DocFreq(%q) = %d, want %d", term, c.DocFreq(term), len(want))
+		}
+	}
+	if !reflect.DeepEqual(c.Terms(), x.Terms()) {
+		t.Fatal("term sets differ")
+	}
+	if c.Lookup("NEEDLE") == nil {
+		t.Fatal("Lookup must normalize")
+	}
+	if c.LookupExact("missingterm") != nil {
+		t.Fatal("missing term must be nil")
+	}
+}
+
+func TestCompactSavesSpace(t *testing.T) {
+	d, err := docgen.Generate(docgen.Config{
+		Seed: 13, Sections: 8, MeanFanout: 5, Depth: 3, VocabSize: 300,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Compact(New(d))
+	if c.BlobBytes() >= c.RawBytes() {
+		t.Fatalf("compact blob %d B not smaller than raw %d B", c.BlobBytes(), c.RawBytes())
+	}
+	ratio := float64(c.BlobBytes()) / float64(c.RawBytes())
+	if ratio > 0.6 {
+		t.Fatalf("compression ratio %.2f; delta-varint should beat 0.6 on clustered postings", ratio)
+	}
+}
+
+func TestCompactEmptyAndSingleton(t *testing.T) {
+	d := docgen.FigureThree()
+	c := Compact(New(d))
+	if got := c.LookupExact("iota"); len(got) != 1 || got[0] != 9 {
+		t.Fatalf("singleton posting = %v", got)
+	}
+	if c.Document() != d {
+		t.Fatal("Document accessor")
+	}
+}

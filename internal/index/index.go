@@ -1,0 +1,170 @@
+// Package index provides an inverted keyword index over a document:
+// term → sorted posting list of node IDs. The keyword selections
+// σ_{keyword=k}(nodes(D)) at the leaves of every query evaluation tree
+// (Section 2.3) resolve against it in O(1) per term instead of scanning
+// the document. Unlike the preprocessing approaches the paper contrasts
+// with (Section 6), the index stores only raw term→node postings — all
+// answer fragments are still computed dynamically by the algebra.
+package index
+
+import (
+	"sort"
+
+	"repro/internal/textutil"
+	"repro/internal/xmltree"
+)
+
+// Index is an immutable inverted index over one document. Build once
+// with New; safe for concurrent use afterwards.
+type Index struct {
+	doc      *xmltree.Document
+	postings map[string][]xmltree.NodeID
+}
+
+// New builds the inverted index by a single pre-order scan of d.
+func New(d *xmltree.Document) *Index {
+	idx := &Index{
+		doc:      d,
+		postings: make(map[string][]xmltree.NodeID),
+	}
+	for id := xmltree.NodeID(0); int(id) < d.Len(); id++ {
+		for _, term := range d.Keywords(id) {
+			idx.postings[term] = append(idx.postings[term], id)
+		}
+	}
+	// Posting lists are already sorted because nodes were scanned in
+	// pre-order and each node contributes each term once.
+	return idx
+}
+
+// Document returns the indexed document.
+func (x *Index) Document() *xmltree.Document { return x.doc }
+
+// Lookup returns the posting list for term (normalized with
+// textutil.NormalizeTerm first). The slice is shared; callers must not
+// modify it. A missing term yields nil.
+func (x *Index) Lookup(term string) []xmltree.NodeID {
+	return x.postings[textutil.NormalizeTerm(term)]
+}
+
+// LookupExact returns the posting list for an already-normalized term.
+func (x *Index) LookupExact(term string) []xmltree.NodeID {
+	return x.postings[term]
+}
+
+// DocFreq returns the number of nodes whose keywords contain term.
+func (x *Index) DocFreq(term string) int {
+	return len(x.postings[textutil.NormalizeTerm(term)])
+}
+
+// Terms returns all indexed terms, sorted.
+func (x *Index) Terms() []string {
+	out := make([]string, 0, len(x.postings))
+	for t := range x.postings {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Size returns the number of distinct indexed terms.
+func (x *Index) Size() int { return len(x.postings) }
+
+// Postings returns the total number of postings across all terms.
+func (x *Index) Postings() int {
+	n := 0
+	for _, p := range x.postings {
+		n += len(p)
+	}
+	return n
+}
+
+// Intersect returns the node IDs present in every term's posting list —
+// the nodes that contain ALL of the given (normalized) terms, i.e. the
+// candidates for single-node answers.
+func Intersect(x *Index, terms []string) []xmltree.NodeID {
+	if len(terms) == 0 {
+		return nil
+	}
+	lists := make([][]xmltree.NodeID, len(terms))
+	for i, t := range terms {
+		lists[i] = x.LookupExact(t)
+		if len(lists[i]) == 0 {
+			return nil
+		}
+	}
+	// Start from the shortest list to minimize advance work.
+	sort.Slice(lists, func(i, j int) bool { return len(lists[i]) < len(lists[j]) })
+	out := append([]xmltree.NodeID(nil), lists[0]...)
+	for _, l := range lists[1:] {
+		out = intersectSorted(out, l)
+		if len(out) == 0 {
+			return nil
+		}
+	}
+	return out
+}
+
+// PhraseNodes returns, in document order, the nodes whose content
+// contains the given words consecutively (in the node's normalized,
+// stopword-filtered token sequence — the same stream keywords(n) is
+// built from). Candidates come from posting-list intersection, so
+// only nodes containing every word are re-tokenized.
+func PhraseNodes(x *Index, words []string) []xmltree.NodeID {
+	norm := textutil.NormalizeTerms(words)
+	if len(norm) == 0 {
+		return nil
+	}
+	if len(norm) == 1 {
+		return x.LookupExact(norm[0])
+	}
+	candidates := Intersect(x, norm)
+	var out []xmltree.NodeID
+	for _, id := range candidates {
+		if containsPhrase(nodeTokens(x.doc, id), norm) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// nodeTokens reconstructs the node's token stream exactly as the
+// keyword extraction saw it: tag tokens then text tokens, stop words
+// removed.
+func nodeTokens(d *xmltree.Document, id xmltree.NodeID) []string {
+	toks := textutil.Tokenize(d.Tag(id))
+	toks = append(toks, textutil.Tokenize(d.Text(id))...)
+	return textutil.RemoveStopwords(toks)
+}
+
+// containsPhrase reports whether words occur consecutively in tokens.
+func containsPhrase(tokens, words []string) bool {
+outer:
+	for i := 0; i+len(words) <= len(tokens); i++ {
+		for j, w := range words {
+			if tokens[i+j] != w {
+				continue outer
+			}
+		}
+		return true
+	}
+	return false
+}
+
+func intersectSorted(a, b []xmltree.NodeID) []xmltree.NodeID {
+	out := a[:0]
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			out = append(out, a[i])
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return out
+}

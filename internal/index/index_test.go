@@ -1,0 +1,136 @@
+package index
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/docgen"
+	"repro/internal/xmltree"
+)
+
+func TestIndexFigure1Postings(t *testing.T) {
+	d := docgen.FigureOne()
+	x := New(d)
+	if got := x.Lookup("XQuery"); !reflect.DeepEqual(got, []xmltree.NodeID{17, 18}) {
+		t.Fatalf("Lookup(XQuery) = %v, want [n17 n18]", got)
+	}
+	if got := x.Lookup("Optimization"); !reflect.DeepEqual(got, []xmltree.NodeID{16, 17, 81}) {
+		t.Fatalf("Lookup(optimization) = %v, want [n16 n17 n81]", got)
+	}
+	if got := x.Lookup("definitely-not-present"); got != nil {
+		t.Fatalf("missing term posting = %v, want nil", got)
+	}
+	if x.DocFreq("xquery") != 2 || x.DocFreq("optimization") != 3 {
+		t.Fatal("DocFreq wrong")
+	}
+}
+
+func TestIndexMatchesScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	cfg := docgen.Config{Seed: 3, Sections: 3, MeanFanout: 4, Depth: 2, VocabSize: 50}
+	d, err := docgen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := New(d)
+	for i := 0; i < 30; i++ {
+		term := x.Terms()[rng.Intn(x.Size())]
+		got := x.LookupExact(term)
+		want := d.NodesWithKeyword(term)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("postings for %q: index=%v scan=%v", term, got, want)
+		}
+	}
+}
+
+func TestPostingsSorted(t *testing.T) {
+	d := docgen.FigureOne()
+	x := New(d)
+	for _, term := range x.Terms() {
+		p := x.LookupExact(term)
+		for i := 1; i < len(p); i++ {
+			if p[i-1] >= p[i] {
+				t.Fatalf("postings for %q not strictly sorted: %v", term, p)
+			}
+		}
+	}
+}
+
+func TestIndexCounts(t *testing.T) {
+	d := docgen.FigureOne()
+	x := New(d)
+	if x.Size() == 0 {
+		t.Fatal("index must contain terms")
+	}
+	total := 0
+	for _, term := range x.Terms() {
+		total += len(x.LookupExact(term))
+	}
+	if got := x.Postings(); got != total {
+		t.Fatalf("Postings = %d, sum = %d", got, total)
+	}
+	if x.Document() != d {
+		t.Fatal("Document accessor")
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	d := docgen.FigureOne()
+	x := New(d)
+	// Only n17 carries both query terms.
+	got := Intersect(x, []string{"xquery", "optimization"})
+	if !reflect.DeepEqual(got, []xmltree.NodeID{17}) {
+		t.Fatalf("Intersect = %v, want [n17]", got)
+	}
+	if got := Intersect(x, []string{"xquery", "absentterm"}); got != nil {
+		t.Fatalf("Intersect with absent term = %v, want nil", got)
+	}
+	if got := Intersect(x, nil); got != nil {
+		t.Fatalf("Intersect with no terms = %v, want nil", got)
+	}
+	// Single term intersects to its own postings.
+	if got := Intersect(x, []string{"xquery"}); !reflect.DeepEqual(got, []xmltree.NodeID{17, 18}) {
+		t.Fatalf("Intersect single = %v", got)
+	}
+}
+
+func TestPhraseNodes(t *testing.T) {
+	d := docgen.FigureOne()
+	x := New(d)
+	// n17 text: "... algebraic rewriting rules" — adjacent.
+	got := PhraseNodes(x, []string{"rewriting", "rules"})
+	if len(got) != 1 || got[0] != 17 {
+		t.Fatalf("PhraseNodes = %v, want [n17]", got)
+	}
+	// Reversed order: not adjacent anywhere.
+	if got := PhraseNodes(x, []string{"rules", "rewriting"}); got != nil {
+		t.Fatalf("reversed phrase matched %v", got)
+	}
+	// Words in different nodes: no single-node phrase.
+	if got := PhraseNodes(x, []string{"xquery", "presentation"}); got != nil {
+		t.Fatalf("cross-node phrase matched %v", got)
+	}
+	// Single word degrades to a posting lookup.
+	if got := PhraseNodes(x, []string{"xquery"}); len(got) != 2 {
+		t.Fatalf("single-word phrase = %v", got)
+	}
+	// Stop words inside the phrase are skipped consistently with
+	// keyword extraction: "depends on algebraic" matches as
+	// "depends algebraic".
+	if got := PhraseNodes(x, []string{"depends", "algebraic"}); len(got) != 1 || got[0] != 17 {
+		t.Fatalf("stopword-bridged phrase = %v", got)
+	}
+	if PhraseNodes(x, nil) != nil {
+		t.Fatal("empty phrase must be nil")
+	}
+}
+
+func TestPhraseNodesThreeWords(t *testing.T) {
+	d := docgen.FigureOne()
+	x := New(d)
+	got := PhraseNodes(x, []string{"algebraic", "rewriting", "rules"})
+	if len(got) != 1 || got[0] != 17 {
+		t.Fatalf("three-word phrase = %v", got)
+	}
+}

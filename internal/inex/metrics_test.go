@@ -1,0 +1,175 @@
+package inex
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/docgen"
+	"repro/internal/xmltree"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestEvaluateExactMatch(t *testing.T) {
+	d := docgen.FigureOne()
+	gold := []core.Fragment{core.MustFragment(d, 16, 17, 18)}
+	answers := []core.Fragment{core.MustFragment(d, 16, 17, 18)}
+	m := Evaluate(answers, gold)
+	if m.ExactRecall != 1 || m.CoverRecall != 1 || m.NodePrecision != 1 || m.NodeRecall != 1 || m.F1 != 1 {
+		t.Fatalf("perfect match metrics = %+v", m)
+	}
+}
+
+func TestEvaluatePartial(t *testing.T) {
+	d := docgen.FigureOne()
+	gold := []core.Fragment{core.MustFragment(d, 16, 17, 18)}
+	// Answer covers gold plus one extra node (n14).
+	answers := []core.Fragment{core.MustFragment(d, 14, 16, 17, 18)}
+	m := Evaluate(answers, gold)
+	if m.ExactRecall != 0 {
+		t.Fatal("no exact match expected")
+	}
+	if m.CoverRecall != 1 {
+		t.Fatal("gold is covered")
+	}
+	if !approx(m.NodePrecision, 3.0/4.0) || m.NodeRecall != 1 {
+		t.Fatalf("P=%v R=%v", m.NodePrecision, m.NodeRecall)
+	}
+}
+
+func TestEvaluateMiss(t *testing.T) {
+	d := docgen.FigureOne()
+	gold := []core.Fragment{core.MustFragment(d, 16, 17, 18)}
+	answers := []core.Fragment{core.MustFragment(d, 81)}
+	m := Evaluate(answers, gold)
+	if m.ExactRecall != 0 || m.CoverRecall != 0 || m.NodePrecision != 0 || m.NodeRecall != 0 || m.F1 != 0 {
+		t.Fatalf("miss metrics = %+v", m)
+	}
+}
+
+func TestEvaluateOverlapNotInflated(t *testing.T) {
+	d := docgen.FigureOne()
+	gold := []core.Fragment{core.MustFragment(d, 16, 17, 18)}
+	// Returning three nested variants must not beat returning the one
+	// right answer: node union dedups.
+	nested := []core.Fragment{
+		core.MustFragment(d, 16, 17, 18),
+		core.MustFragment(d, 16, 17),
+		core.MustFragment(d, 17),
+	}
+	single := []core.Fragment{core.MustFragment(d, 16, 17, 18)}
+	mn := Evaluate(nested, gold)
+	ms := Evaluate(single, gold)
+	if mn.NodeRecall != ms.NodeRecall || mn.NodePrecision != ms.NodePrecision {
+		t.Fatalf("overlap inflated node metrics: nested=%+v single=%+v", mn, ms)
+	}
+}
+
+func TestEvaluateEmptyInputs(t *testing.T) {
+	d := docgen.FigureOne()
+	if m := Evaluate(nil, nil); m.GoldCount != 0 || m.F1 != 0 {
+		t.Fatalf("empty eval = %+v", m)
+	}
+	gold := []core.Fragment{core.MustFragment(d, 17)}
+	if m := Evaluate(nil, gold); m.NodeRecall != 0 || m.AnswerCount != 0 {
+		t.Fatalf("no answers = %+v", m)
+	}
+}
+
+func TestSubtreeAndNodeAnswers(t *testing.T) {
+	d := docgen.FigureOne()
+	subs := SubtreeAnswers(d, []xmltree.NodeID{16})
+	if len(subs) != 1 || subs[0].Size() != 3 || !subs[0].Contains(17) || !subs[0].Contains(18) {
+		t.Fatalf("subtree answer = %v", subs)
+	}
+	nodes := NodeAnswers(d, []xmltree.NodeID{16, 17})
+	if len(nodes) != 2 || nodes[0].Size() != 1 {
+		t.Fatalf("node answers = %v", nodes)
+	}
+}
+
+func TestGenerateWithGold(t *testing.T) {
+	cfg := docgen.Config{Seed: 42, Sections: 5, MeanFanout: 4, Depth: 3, VocabSize: 200}
+	clusters := []docgen.Cluster{{Terms: []string{"goldterma", "goldtermb"}, Count: 4}}
+	doc, golds, err := docgen.GenerateWithGold(cfg, clusters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(golds) != 4 {
+		t.Fatalf("golds = %d", len(golds))
+	}
+	for _, g := range golds {
+		// Witnesses carry their terms.
+		for term, id := range g.Witnesses {
+			if !doc.HasKeyword(id, term) {
+				t.Fatalf("witness %v lacks %q", id, term)
+			}
+		}
+		// The gold fragment is connected, contains the witnesses, and
+		// stays inside the host subtree.
+		gf, err := core.NewFragment(doc, g.FragmentIDs)
+		if err != nil {
+			t.Fatalf("gold IDs do not form a fragment: %v", err)
+		}
+		for _, id := range g.Witnesses {
+			if !gf.Contains(id) {
+				t.Fatalf("gold fragment %v misses witness %v", gf, id)
+			}
+		}
+		for _, id := range gf.IDs() {
+			if !doc.IsAncestorOrSelf(g.Subtree, id) {
+				t.Fatalf("gold fragment escapes its host subtree")
+			}
+		}
+	}
+	// Exactly 4 occurrences of each term.
+	if got := len(doc.NodesWithKeyword("goldterma")); got != 4 {
+		t.Fatalf("goldterma planted in %d nodes", got)
+	}
+}
+
+func TestGenerateWithGoldErrors(t *testing.T) {
+	cfg := docgen.Config{Seed: 1, Sections: 1, MeanFanout: 2, Depth: 1, VocabSize: 20}
+	if _, _, err := docgen.GenerateWithGold(cfg, []docgen.Cluster{{Terms: []string{"x"}, Count: 1 << 20}}); err == nil {
+		t.Fatal("too many clusters must error")
+	}
+	if _, _, err := docgen.GenerateWithGold(cfg, []docgen.Cluster{{Terms: nil, Count: 1}}); err == nil {
+		t.Fatal("empty cluster must error")
+	}
+	bad := cfg
+	bad.Plant = map[string]int{"x": 1}
+	if _, _, err := docgen.GenerateWithGold(bad, nil); err == nil {
+		t.Fatal("non-empty Plant must error")
+	}
+	// Vocabulary collision.
+	if _, _, err := docgen.GenerateWithGold(cfg, []docgen.Cluster{{Terms: []string{"term0000"}, Count: 1}}); err == nil {
+		t.Fatal("vocab collision must error")
+	}
+}
+
+func TestPrecisionAtK(t *testing.T) {
+	d := docgen.FigureOne()
+	gold := []core.Fragment{core.MustFragment(d, 16, 17, 18)}
+	ranked := []core.Fragment{
+		core.MustFragment(d, 16, 17, 18),                       // exact hit
+		core.MustFragment(d, 14, 15, 16, 17, 18),               // covers, 5 ≤ 2×3 → hit
+		core.MustFragment(d, 81),                               // miss
+		core.MustFragment(d, 0, 1, 14, 16, 17, 18, 79, 80, 81), // covers but 9 > 6 → miss
+	}
+	if got := PrecisionAtK(ranked, gold, 1); got != 1 {
+		t.Fatalf("P@1 = %v", got)
+	}
+	if got := PrecisionAtK(ranked, gold, 2); got != 1 {
+		t.Fatalf("P@2 = %v", got)
+	}
+	if got := PrecisionAtK(ranked, gold, 4); got != 0.5 {
+		t.Fatalf("P@4 = %v", got)
+	}
+	if got := PrecisionAtK(ranked, gold, 100); got != 0.5 {
+		t.Fatalf("P@100 (clamped) = %v", got)
+	}
+	if got := PrecisionAtK(nil, gold, 3); got != 0 {
+		t.Fatalf("P@k with no answers = %v", got)
+	}
+}

@@ -1,0 +1,79 @@
+package lca
+
+import (
+	"repro/internal/index"
+	"repro/internal/textutil"
+	"repro/internal/xmltree"
+)
+
+// ELCA returns, in document order, the Exclusive LCAs of the query
+// terms (the XRank [7] notion): nodes v whose subtree contains every
+// term even after excluding the subtrees of v's descendants that
+// themselves contain every term. Every SLCA is an ELCA; ELCA
+// additionally keeps ancestors that have independent witnesses.
+//
+// The implementation is a single O(n·k) bottom-up scan with per-node
+// term counters — simple and exact, appropriate for the in-memory
+// documents this reproduction evaluates on.
+func ELCA(x *index.Index, terms []string) []xmltree.NodeID {
+	norm := textutil.NormalizeTerms(terms)
+	if len(norm) == 0 {
+		return nil
+	}
+	d := x.Document()
+	n := d.Len()
+	k := len(norm)
+
+	// counts[v*k+i] = occurrences of term i in subtree(v) that are NOT
+	// inside an already-complete descendant ("exclusive" occurrences).
+	counts := make([]int32, n*k)
+	for i, t := range norm {
+		if len(x.LookupExact(t)) == 0 {
+			return nil
+		}
+		for _, v := range x.LookupExact(t) {
+			counts[int(v)*k+i]++
+		}
+	}
+	complete := func(v xmltree.NodeID) bool {
+		for i := 0; i < k; i++ {
+			if counts[int(v)*k+i] == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	var out []xmltree.NodeID
+	// Process in reverse pre-order: all children of v have IDs > v, so
+	// they are finalized before v. A complete node is an ELCA and does
+	// not propagate its (exclusive) counts to its parent.
+	for v := xmltree.NodeID(n - 1); v >= 0; v-- {
+		if complete(v) {
+			out = append(out, v)
+			continue
+		}
+		if p := d.Parent(v); p != xmltree.InvalidNode {
+			for i := 0; i < k; i++ {
+				counts[int(p)*k+i] += counts[int(v)*k+i]
+			}
+		}
+	}
+	// Reverse into document order.
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
+// SmallestSubtree materializes the conventional answer for baseline
+// comparison: for each SLCA node, the full subtree rooted there, as a
+// node-ID interval [v, SubtreeEnd(v)].
+func SmallestSubtree(x *index.Index, terms []string) [][2]xmltree.NodeID {
+	d := x.Document()
+	roots := SLCA(x, terms)
+	out := make([][2]xmltree.NodeID, len(roots))
+	for i, v := range roots {
+		out[i] = [2]xmltree.NodeID{v, d.SubtreeEnd(v)}
+	}
+	return out
+}

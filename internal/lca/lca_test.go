@@ -1,0 +1,178 @@
+package lca
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/docgen"
+	"repro/internal/index"
+	"repro/internal/xmltree"
+)
+
+// TestSLCAIntroductionExample reproduces the paper's motivating
+// contrast (Section 1): for {XQuery, optimization} on the Figure 1
+// document, the smallest-subtree semantics returns only the paragraph
+// n17 — not the self-contained fragment ⟨n16,n17,n18⟩ the user wants.
+func TestSLCAIntroductionExample(t *testing.T) {
+	d := docgen.FigureOne()
+	x := index.New(d)
+	got := SLCA(x, []string{"XQuery", "optimization"})
+	if !reflect.DeepEqual(got, []xmltree.NodeID{17}) {
+		t.Fatalf("SLCA = %v, want [n17]", got)
+	}
+}
+
+func TestSLCAAgainstOracle(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		cfg := docgen.Config{
+			Seed: seed, Sections: 3, MeanFanout: 3, Depth: 3, VocabSize: 40,
+			Plant: map[string]int{"needlea": 6, "needleb": 9},
+		}
+		d, err := docgen.Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := index.New(d)
+		terms := []string{"needlea", "needleb"}
+		got := SLCA(x, terms)
+		want := oracleSLCA(d, terms)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("seed %d: SLCA = %v, oracle = %v", seed, got, want)
+		}
+	}
+}
+
+// oracleSLCA computes SLCA by brute force: mark subtree term
+// containment for every node, keep nodes containing all terms whose
+// children do not.
+func oracleSLCA(d *xmltree.Document, terms []string) []xmltree.NodeID {
+	n := d.Len()
+	contains := make([][]bool, len(terms))
+	for ti, term := range terms {
+		contains[ti] = make([]bool, n)
+		for v := n - 1; v >= 0; v-- {
+			id := xmltree.NodeID(v)
+			if d.HasKeyword(id, term) {
+				contains[ti][v] = true
+			}
+			for _, c := range d.Children(id) {
+				if contains[ti][c] {
+					contains[ti][v] = true
+				}
+			}
+		}
+	}
+	all := func(v int) bool {
+		for ti := range terms {
+			if !contains[ti][v] {
+				return false
+			}
+		}
+		return true
+	}
+	var out []xmltree.NodeID
+	for v := 0; v < n; v++ {
+		if !all(v) {
+			continue
+		}
+		childHasAll := false
+		for _, c := range d.Children(xmltree.NodeID(v)) {
+			if all(int(c)) {
+				childHasAll = true
+				break
+			}
+		}
+		if !childHasAll {
+			out = append(out, xmltree.NodeID(v))
+		}
+	}
+	return out
+}
+
+func TestSLCAMissingTerm(t *testing.T) {
+	d := docgen.FigureOne()
+	x := index.New(d)
+	if got := SLCA(x, []string{"xquery", "absentterm"}); got != nil {
+		t.Fatalf("SLCA with absent term = %v, want nil", got)
+	}
+	if got := SLCA(x, nil); got != nil {
+		t.Fatalf("SLCA with no terms = %v, want nil", got)
+	}
+}
+
+func TestSLCASingleTerm(t *testing.T) {
+	d := docgen.FigureOne()
+	x := index.New(d)
+	got := SLCA(x, []string{"xquery"})
+	want := []xmltree.NodeID{17, 18}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("SLCA single-term = %v, want %v", got, want)
+	}
+}
+
+func TestELCAFigure1(t *testing.T) {
+	d := docgen.FigureOne()
+	x := index.New(d)
+	got := ELCA(x, []string{"xquery", "optimization"})
+	// n17 is an ELCA (it alone holds both). n16 also: excluding n17's
+	// subtree, n16 itself has optimization and n18 has xquery.
+	want := []xmltree.NodeID{16, 17}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("ELCA = %v, want %v", got, want)
+	}
+}
+
+func TestELCASupersetOfSLCA(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		cfg := docgen.Config{
+			Seed: seed + 100, Sections: 3, MeanFanout: 3, Depth: 3, VocabSize: 30,
+			Plant: map[string]int{"needlea": 8, "needleb": 12},
+		}
+		d, err := docgen.Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := index.New(d)
+		slca := SLCA(x, []string{"needlea", "needleb"})
+		elca := ELCA(x, []string{"needlea", "needleb"})
+		elcaSet := make(map[xmltree.NodeID]bool, len(elca))
+		for _, v := range elca {
+			elcaSet[v] = true
+		}
+		for _, v := range slca {
+			if !elcaSet[v] {
+				t.Fatalf("seed %d: SLCA node %v missing from ELCA %v", seed, v, elca)
+			}
+		}
+	}
+}
+
+func TestSmallestSubtree(t *testing.T) {
+	d := docgen.FigureOne()
+	x := index.New(d)
+	got := SmallestSubtree(x, []string{"xquery", "optimization"})
+	if len(got) != 1 || got[0][0] != 17 || got[0][1] != 17 {
+		t.Fatalf("SmallestSubtree = %v, want [[n17,n17]]", got)
+	}
+}
+
+func TestSLCAManyRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 5; trial++ {
+		cfg := docgen.Config{
+			Seed: rng.Int63(), Sections: 2 + rng.Intn(3), MeanFanout: 3, Depth: 2 + rng.Intn(2),
+			VocabSize: 25,
+			Plant:     map[string]int{"qa": 3 + rng.Intn(10), "qb": 3 + rng.Intn(10), "qc": 2 + rng.Intn(5)},
+		}
+		d, err := docgen.Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := index.New(d)
+		terms := []string{"qa", "qb", "qc"}
+		if got, want := SLCA(x, terms), oracleSLCA(d, terms); !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: SLCA = %v, oracle = %v", trial, got, want)
+		}
+	}
+}

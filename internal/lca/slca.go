@@ -1,0 +1,105 @@
+// Package lca implements the conventional "smallest subtree" keyword
+// query semantics the paper contrasts with (Section 1): the Smallest
+// Lowest Common Ancestor (SLCA) of Xu & Papakonstantinou [20] and the
+// Exclusive LCA (ELCA) family of XRank [7]. It is the baseline of the
+// reproduced evaluation — the Introduction's running example shows the
+// SLCA answer (n17 alone) missing the self-contained fragment
+// ⟨n16,n17,n18⟩ that the fragment algebra retrieves.
+package lca
+
+import (
+	"sort"
+
+	"repro/internal/index"
+	"repro/internal/textutil"
+	"repro/internal/xmltree"
+)
+
+// SLCA returns, in document order, the smallest lowest common
+// ancestors of the query terms: nodes v such that v's subtree contains
+// every term and no proper descendant's subtree does. Terms are
+// normalized before lookup; if any term is missing from the document
+// the result is empty (conjunctive semantics).
+func SLCA(x *index.Index, terms []string) []xmltree.NodeID {
+	norm := textutil.NormalizeTerms(terms)
+	if len(norm) == 0 {
+		return nil
+	}
+	lists := make([][]xmltree.NodeID, len(norm))
+	for i, t := range norm {
+		lists[i] = x.LookupExact(t)
+		if len(lists[i]) == 0 {
+			return nil
+		}
+	}
+	return slcaLists(x.Document(), lists)
+}
+
+// slcaLists implements the scan-based SLCA algorithm: process the
+// shortest list, and for each of its nodes find the closest partner in
+// every other list (by LCA depth); candidate LCAs that are ancestors of
+// other candidates are pruned.
+func slcaLists(d *xmltree.Document, lists [][]xmltree.NodeID) []xmltree.NodeID {
+	sort.Slice(lists, func(i, j int) bool { return len(lists[i]) < len(lists[j]) })
+	short := lists[0]
+	candidates := make([]xmltree.NodeID, 0, len(short))
+	for _, v := range short {
+		l := v
+		for _, other := range lists[1:] {
+			l = d.LCA(l, closestByLCA(d, l, other))
+		}
+		candidates = append(candidates, l)
+	}
+	return pruneAncestors(d, candidates)
+}
+
+// closestByLCA returns the element of the sorted list whose LCA with v
+// is deepest. It is sufficient to examine the two list entries
+// adjacent to v in document order: for any w in the list, LCA(v,w) is
+// an ancestor of v, and of v's ancestors the deepest achievable is
+// obtained at a nearest neighbour in document order.
+func closestByLCA(d *xmltree.Document, v xmltree.NodeID, list []xmltree.NodeID) xmltree.NodeID {
+	i := sort.Search(len(list), func(i int) bool { return list[i] >= v })
+	best := xmltree.InvalidNode
+	bestDepth := -1
+	consider := func(w xmltree.NodeID) {
+		l := d.LCA(v, w)
+		if dep := d.Depth(l); dep > bestDepth {
+			bestDepth = dep
+			best = w
+		}
+	}
+	if i < len(list) {
+		consider(list[i])
+	}
+	if i > 0 {
+		consider(list[i-1])
+	}
+	return best
+}
+
+// pruneAncestors removes every candidate that is a proper ancestor of
+// another candidate, and deduplicates. Result is in document order.
+func pruneAncestors(d *xmltree.Document, cands []xmltree.NodeID) []xmltree.NodeID {
+	if len(cands) == 0 {
+		return nil
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i] < cands[j] })
+	var out []xmltree.NodeID
+	for _, v := range cands {
+		// Drop duplicates.
+		if len(out) > 0 && out[len(out)-1] == v {
+			continue
+		}
+		// v is in document order after previous candidates; a previous
+		// candidate can be v's ancestor (drop it: keep the smaller,
+		// i.e. deeper, subtree — v). A later candidate can never be
+		// v's ancestor... unless v's subtree contains it, handled next
+		// iteration from v's perspective.
+		for len(out) > 0 && d.IsAncestor(out[len(out)-1], v) {
+			out = out[:len(out)-1]
+		}
+		out = append(out, v)
+	}
+	return out
+}

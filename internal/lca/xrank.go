@@ -1,0 +1,73 @@
+package lca
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/index"
+	"repro/internal/textutil"
+	"repro/internal/xmltree"
+)
+
+// XRank-style ranked retrieval (Guo et al. [7]): answers are ELCA
+// nodes scored by decayed element rank — each keyword occurrence
+// contributes its node's score damped by the distance from the answer
+// root, and occurrences of different keywords combine
+// conjunctively. This completes the baseline family: SLCA (smallest),
+// ELCA (exclusive), XRank (ranked exclusive).
+
+// XRankOptions tunes the scorer.
+type XRankOptions struct {
+	// Decay per edge between the answer root and the occurrence
+	// (XRank's decay factor, typically in [0.1, 1.0]).
+	Decay float64
+}
+
+// DefaultXRankOptions mirrors the common setting in the paper's
+// experiments (decay 0.25–0.8; we take the midpoint).
+func DefaultXRankOptions() XRankOptions { return XRankOptions{Decay: 0.5} }
+
+// XRankResult is one scored ELCA answer.
+type XRankResult struct {
+	Node  xmltree.NodeID
+	Score float64
+}
+
+// XRank returns the ELCA answers for terms ranked by decayed keyword
+// proximity, best first (ties broken by document order).
+func XRank(x *index.Index, terms []string, opts XRankOptions) []XRankResult {
+	if opts.Decay <= 0 || opts.Decay > 1 {
+		opts = DefaultXRankOptions()
+	}
+	norm := textutil.NormalizeTerms(terms)
+	answers := ELCA(x, norm)
+	if len(answers) == 0 {
+		return nil
+	}
+	d := x.Document()
+	out := make([]XRankResult, 0, len(answers))
+	for _, v := range answers {
+		score := 1.0
+		for _, term := range norm {
+			best := 0.0
+			for _, occ := range x.LookupExact(term) {
+				if !d.IsAncestorOrSelf(v, occ) {
+					continue
+				}
+				dist := d.Depth(occ) - d.Depth(v)
+				if s := math.Pow(opts.Decay, float64(dist)); s > best {
+					best = s
+				}
+			}
+			score *= best // conjunctive combination
+		}
+		out = append(out, XRankResult{Node: v, Score: score})
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Node < out[j].Node
+	})
+	return out
+}

@@ -1,0 +1,50 @@
+package lca
+
+import (
+	"testing"
+
+	"repro/internal/docgen"
+	"repro/internal/index"
+)
+
+func TestXRankFigure1(t *testing.T) {
+	x := index.New(docgen.FigureOne())
+	res := XRank(x, []string{"XQuery", "optimization"}, DefaultXRankOptions())
+	if len(res) != 2 {
+		t.Fatalf("results = %v, want the two ELCAs", res)
+	}
+	// n17 holds both terms at distance 0 → score 1; n16 holds
+	// optimization at 0 but xquery one level down (via n18) → lower.
+	if res[0].Node != 17 || res[0].Score != 1 {
+		t.Fatalf("top = %+v, want n17 at 1.0", res[0])
+	}
+	if res[1].Node != 16 || res[1].Score >= res[0].Score {
+		t.Fatalf("second = %+v, want n16 below n17", res[1])
+	}
+	// Decay 0.5: n16's xquery witness sits one edge down → 0.5 × 1.
+	if res[1].Score != 0.5 {
+		t.Fatalf("n16 score = %v, want 0.5", res[1].Score)
+	}
+}
+
+func TestXRankDecaySensitivity(t *testing.T) {
+	x := index.New(docgen.FigureOne())
+	strong := XRank(x, []string{"xquery", "optimization"}, XRankOptions{Decay: 0.1})
+	weak := XRank(x, []string{"xquery", "optimization"}, XRankOptions{Decay: 0.9})
+	// Deeper witnesses hurt more under strong decay.
+	if strong[1].Score >= weak[1].Score {
+		t.Fatalf("decay 0.1 score %v should be below decay 0.9 score %v",
+			strong[1].Score, weak[1].Score)
+	}
+	// Bad options fall back to defaults without panicking.
+	if got := XRank(x, []string{"xquery", "optimization"}, XRankOptions{Decay: -3}); len(got) != 2 {
+		t.Fatal("bad decay must fall back")
+	}
+}
+
+func TestXRankMissingTerm(t *testing.T) {
+	x := index.New(docgen.FigureOne())
+	if got := XRank(x, []string{"xquery", "absentterm"}, DefaultXRankOptions()); got != nil {
+		t.Fatalf("absent term must yield nil, got %v", got)
+	}
+}

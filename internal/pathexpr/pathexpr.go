@@ -1,0 +1,203 @@
+// Package pathexpr implements a small structural path language over
+// document trees — the child/descendant core of XPath ("//section/par",
+// "/article//subsection", "//*/title"). The paper's related work
+// ([1][6], Section 6) integrates keyword search with structural
+// queries; this package provides that integration point: path
+// patterns compile to matchers that the filter layer turns into
+// structural selection predicates over fragments.
+package pathexpr
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/xmltree"
+)
+
+// Axis is the relationship between consecutive steps.
+type Axis int
+
+const (
+	// Child is the '/' axis: the step matches a direct child.
+	Child Axis = iota
+	// Descendant is the '//' axis: the step matches any descendant.
+	Descendant
+)
+
+// Step is one location step: an axis and a tag test ("*" matches any
+// tag).
+type Step struct {
+	Axis Axis
+	Tag  string
+}
+
+// Path is a compiled path pattern. Immutable and safe for concurrent
+// use; per-document match sets are cached inside.
+type Path struct {
+	steps []Step
+	raw   string
+
+	mu    sync.Mutex
+	cache map[*xmltree.Document]map[xmltree.NodeID]bool
+}
+
+// maxSteps bounds pattern length so the evaluator's step bitmask fits
+// one word.
+const maxSteps = 63
+
+// Parse compiles a path pattern. The grammar is
+//
+//	pattern  = [sep] step { sep step }
+//	sep      = "/" | "//"
+//	step     = NAME | "*"
+//
+// A leading "/" anchors the first step at the document root; a
+// leading "//" (or no separator) lets it match at any depth.
+func Parse(pattern string) (*Path, error) {
+	s := strings.TrimSpace(pattern)
+	if s == "" {
+		return nil, fmt.Errorf("pathexpr: empty pattern")
+	}
+	p := &Path{raw: pattern, cache: make(map[*xmltree.Document]map[xmltree.NodeID]bool)}
+	// Determine the leading axis.
+	axis := Descendant
+	switch {
+	case strings.HasPrefix(s, "//"):
+		axis = Descendant
+		s = s[2:]
+	case strings.HasPrefix(s, "/"):
+		axis = Child // anchored at the root
+		s = s[1:]
+	}
+	for s != "" {
+		var name string
+		if i := strings.IndexByte(s, '/'); i >= 0 {
+			name = s[:i]
+			s = s[i:]
+		} else {
+			name = s
+			s = ""
+		}
+		if err := validStepName(name); err != nil {
+			return nil, fmt.Errorf("pathexpr: %w in %q", err, pattern)
+		}
+		p.steps = append(p.steps, Step{Axis: axis, Tag: name})
+		if len(p.steps) > maxSteps {
+			return nil, fmt.Errorf("pathexpr: pattern %q exceeds %d steps", pattern, maxSteps)
+		}
+		// Next separator.
+		switch {
+		case s == "":
+		case strings.HasPrefix(s, "//"):
+			axis = Descendant
+			s = s[2:]
+			if s == "" {
+				return nil, fmt.Errorf("pathexpr: trailing separator in %q", pattern)
+			}
+		case strings.HasPrefix(s, "/"):
+			axis = Child
+			s = s[1:]
+			if s == "" {
+				return nil, fmt.Errorf("pathexpr: trailing separator in %q", pattern)
+			}
+		}
+	}
+	if len(p.steps) == 0 {
+		return nil, fmt.Errorf("pathexpr: no steps in %q", pattern)
+	}
+	return p, nil
+}
+
+// MustParse is Parse that panics on error, for constant patterns.
+func MustParse(pattern string) *Path {
+	p, err := Parse(pattern)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func validStepName(name string) error {
+	if name == "" {
+		return fmt.Errorf("empty step")
+	}
+	if name == "*" {
+		return nil
+	}
+	for _, r := range name {
+		if r == '/' || r == '[' || r == ']' || r == '@' {
+			return fmt.Errorf("unsupported syntax %q", name)
+		}
+	}
+	return nil
+}
+
+// String returns the original pattern text.
+func (p *Path) String() string { return p.raw }
+
+// Steps returns a copy of the compiled steps.
+func (p *Path) Steps() []Step { return append([]Step(nil), p.steps...) }
+
+// MatchAll returns the set of nodes of d matching the pattern,
+// computing (and caching) it with one DFS carrying a bitmask of
+// pending steps.
+func (p *Path) MatchAll(d *xmltree.Document) map[xmltree.NodeID]bool {
+	p.mu.Lock()
+	if m, ok := p.cache[d]; ok {
+		p.mu.Unlock()
+		return m
+	}
+	p.mu.Unlock()
+
+	m := p.evaluate(d)
+
+	p.mu.Lock()
+	p.cache[d] = m
+	p.mu.Unlock()
+	return m
+}
+
+// Matches reports whether node id of d matches the pattern.
+func (p *Path) Matches(d *xmltree.Document, id xmltree.NodeID) bool {
+	return p.MatchAll(d)[id]
+}
+
+// evaluate runs the step automaton over the tree. State bit i set
+// means "step i may match this node". A step with Descendant axis
+// stays pending for all deeper nodes; a Child-axis step is only
+// offered to the exact level it was emitted for.
+func (p *Path) evaluate(d *xmltree.Document) map[xmltree.NodeID]bool {
+	matched := make(map[xmltree.NodeID]bool)
+	last := len(p.steps) - 1
+
+	var dfs func(id xmltree.NodeID, active uint64)
+	dfs = func(id xmltree.NodeID, active uint64) {
+		childActive := uint64(0)
+		for i := 0; i <= last; i++ {
+			if active&(1<<i) == 0 {
+				continue
+			}
+			if p.steps[i].Axis == Descendant {
+				// Still available to deeper nodes.
+				childActive |= 1 << i
+			}
+			if tag := p.steps[i].Tag; tag != "*" && tag != d.Tag(id) {
+				continue
+			}
+			if i == last {
+				matched[id] = true
+			} else {
+				childActive |= 1 << (i + 1)
+			}
+		}
+		if childActive == 0 {
+			return
+		}
+		for _, c := range d.Children(id) {
+			dfs(c, childActive)
+		}
+	}
+	dfs(0, 1) // step 0 offered to the root; Descendant axis re-offers below
+	return matched
+}

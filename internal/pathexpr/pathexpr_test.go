@@ -1,0 +1,167 @@
+package pathexpr
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/docgen"
+	"repro/internal/xmltree"
+)
+
+func matchIDs(t testing.TB, pattern string, d *xmltree.Document) []int {
+	t.Helper()
+	p, err := Parse(pattern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := p.MatchAll(d)
+	out := make([]int, 0, len(set))
+	for id := range set {
+		out = append(out, int(id))
+	}
+	sort.Ints(out)
+	return out
+}
+
+func TestMatchOnFigure1(t *testing.T) {
+	d := docgen.FigureOne()
+	tests := []struct {
+		pattern string
+		want    []int
+	}{
+		{"/article", []int{0}},
+		{"/article/section", []int{1, 79}},
+		{"//section", []int{1, 79}},
+		{"//subsection", []int{3, 14, 19, 31, 51, 80}},
+		{"/article/section/subsection/subsubsection", []int{16, 33, 42, 53, 65}},
+		{"//subsubsection/par", []int{17, 18, 35, 36, 37, 38, 39, 40, 41, 44, 45, 46, 47, 48, 49, 50,
+			55, 56, 57, 58, 59, 60, 61, 62, 63, 64, 67, 68, 69, 70, 71, 72, 73, 74, 75, 76, 77, 78}},
+		{"//section/subsection/par", []int{5, 6, 7, 8, 9, 10, 11, 12, 13, 21, 22, 23, 24, 25, 26, 27, 28, 29, 30, 81}},
+		{"/section", nil}, // anchored: the root is an article
+		{"//nonexistent", nil},
+		{"//article", []int{0}},
+		{"/*", []int{0}},
+		{"//*/title", []int{2, 4, 15, 20, 32, 34, 43, 52, 54, 66}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.pattern, func(t *testing.T) {
+			got := matchIDs(t, tc.pattern, d)
+			if len(got) != len(tc.want) {
+				t.Fatalf("MatchAll(%q) = %v, want %v", tc.pattern, got, tc.want)
+			}
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Fatalf("MatchAll(%q) = %v, want %v", tc.pattern, got, tc.want)
+				}
+			}
+		})
+	}
+}
+
+func TestChildVsDescendant(t *testing.T) {
+	d, err := xmltree.ParseString("t.xml",
+		`<a><b><c/><b><c/></b></b></a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// /a/b/c: only the c directly under the outer b (n2).
+	if got := matchIDs(t, "/a/b/c", d); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("/a/b/c = %v", got)
+	}
+	// //b/c: both c nodes.
+	if got := matchIDs(t, "//b/c", d); len(got) != 2 {
+		t.Fatalf("//b/c = %v", got)
+	}
+	// //b//c: both too.
+	if got := matchIDs(t, "//b//c", d); len(got) != 2 {
+		t.Fatalf("//b//c = %v", got)
+	}
+	// /a//c: both.
+	if got := matchIDs(t, "/a//c", d); len(got) != 2 {
+		t.Fatalf("/a//c = %v", got)
+	}
+}
+
+func TestDescendantSkipsLevels(t *testing.T) {
+	d, err := xmltree.ParseString("t.xml", `<a><x><y><b/></y></x><b/></a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := matchIDs(t, "/a//b", d)
+	if len(got) != 2 {
+		t.Fatalf("/a//b = %v, want both b nodes", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{"", "   ", "/", "//", "a/", "a//", "//a/", "a[1]", "a/@id", "a//"}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestParseAccepts(t *testing.T) {
+	good := []string{"a", "*", "a/b", "a//b", "//a", "/a", "//*", "a/*/b", "ns-name_x"}
+	for _, s := range good {
+		if _, err := Parse(s); err != nil {
+			t.Errorf("Parse(%q): %v", s, err)
+		}
+	}
+}
+
+func TestBareNameMeansAnywhere(t *testing.T) {
+	d := docgen.FigureOne()
+	// "subsection" without a leading separator behaves like "//subsection".
+	a := matchIDs(t, "subsection", d)
+	b := matchIDs(t, "//subsection", d)
+	if len(a) != len(b) {
+		t.Fatalf("bare name = %v, // form = %v", a, b)
+	}
+}
+
+func TestMatchesAndCache(t *testing.T) {
+	d := docgen.FigureOne()
+	p := MustParse("//subsubsection/par")
+	if !p.Matches(d, 17) || !p.Matches(d, 18) {
+		t.Fatal("n17, n18 must match")
+	}
+	if p.Matches(d, 16) || p.Matches(d, 81) {
+		t.Fatal("n16, n81 must not match")
+	}
+	// Second document: independent cache entry.
+	d2 := docgen.FigureThree()
+	if p.Matches(d2, 1) {
+		t.Fatal("figure3 has no subsubsection")
+	}
+}
+
+func TestConcurrentMatchAll(t *testing.T) {
+	d := docgen.FigureOne()
+	p := MustParse("//section//par")
+	done := make(chan int, 8)
+	for i := 0; i < 8; i++ {
+		go func() { done <- len(p.MatchAll(d)) }()
+	}
+	first := <-done
+	for i := 1; i < 8; i++ {
+		if got := <-done; got != first {
+			t.Fatal("concurrent MatchAll disagreed")
+		}
+	}
+}
+
+func TestStepsAndString(t *testing.T) {
+	p := MustParse("/a//b/c")
+	steps := p.Steps()
+	if len(steps) != 3 {
+		t.Fatalf("steps = %v", steps)
+	}
+	if steps[0].Axis != Child || steps[1].Axis != Descendant || steps[2].Axis != Child {
+		t.Fatalf("axes = %v", steps)
+	}
+	if p.String() != "/a//b/c" {
+		t.Fatalf("String = %q", p.String())
+	}
+}

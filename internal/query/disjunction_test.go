@@ -1,0 +1,166 @@
+package query
+
+import (
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/filter"
+	"repro/internal/xmltree"
+)
+
+func TestParseDisjunction(t *testing.T) {
+	q, err := Parse("xquery optimization|rewriting", "size<=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Groups) != 2 {
+		t.Fatalf("groups = %v", q.Groups)
+	}
+	if len(q.Groups[1]) != 2 || q.Groups[1][0] != "optimization" || q.Groups[1][1] != "rewriting" {
+		t.Fatalf("group 2 = %v", q.Groups[1])
+	}
+	if q.Terms[1] != "optimization|rewriting" {
+		t.Fatalf("display = %q", q.Terms[1])
+	}
+	// Duplicate alternatives collapse.
+	q2, err := Parse("a|A|a b", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q2.Groups[0]) != 1 {
+		t.Fatalf("dup alternatives = %v", q2.Groups[0])
+	}
+}
+
+func TestParsePhrase(t *testing.T) {
+	q, err := Parse(`"cost based" optimization`, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Groups) != 2 || !IsPhrase(q.Groups[0][0]) {
+		t.Fatalf("groups = %v", q.Groups)
+	}
+	if got := PhraseWords(q.Groups[0][0]); len(got) != 2 || got[0] != "cost" || got[1] != "based" {
+		t.Fatalf("phrase words = %v", got)
+	}
+	// One-word phrase degrades to a term.
+	q2, err := Parse(`"single" x`, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if IsPhrase(q2.Groups[0][0]) {
+		t.Fatalf("one-word phrase should degrade: %v", q2.Groups[0])
+	}
+	// Unterminated quote errors.
+	if _, err := Parse(`"broken phrase x`, ""); err == nil {
+		t.Fatal("unterminated quote must error")
+	}
+}
+
+// TestDisjunctionSeeds checks the seed union on the Figure 1
+// document: optimization|staticanalysisword covers both paragraphs.
+func TestDisjunctionSeeds(t *testing.T) {
+	x := figure1Index(t)
+	d := x.Document()
+	// "rewriting" occurs only in n17; optimization in {16,17,81}.
+	q := MustNew([]string{"xquery", "rewriting|optimization"}, filter.MaxSize(3))
+	res, err := Evaluate(x, q, Options{Strategy: cost.PushDown})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.SeedSizes[1] != 3 {
+		t.Fatalf("union seed size = %v, want 3 (n16,n17,n81)", res.Stats.SeedSizes)
+	}
+	// Same answers as the plain optimization query: rewriting adds no
+	// new nodes beyond n17.
+	plain, err := Evaluate(x, MustNew([]string{"xquery", "optimization"}, filter.MaxSize(3)), Options{Strategy: cost.PushDown})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Answers.Equal(plain.Answers) {
+		t.Fatalf("disjunction answers = %v, want %v", res.Answers, plain.Answers)
+	}
+	_ = d
+}
+
+// TestDisjunctionWidensAnswers: an alternative with fresh witnesses
+// produces strictly more answers, and each strategy agrees.
+func TestDisjunctionWidensAnswers(t *testing.T) {
+	x := figure1Index(t)
+	narrow := MustNew([]string{"xquery", "rewriting"}, filter.MaxSize(3))
+	wide := MustNew([]string{"xquery", "rewriting|static"}, filter.MaxSize(3))
+	rn, err := Evaluate(x, narrow, Options{Strategy: cost.SetReduction})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw, err := Evaluate(x, wide, Options{Strategy: cost.SetReduction})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rw.Answers.Len() <= rn.Answers.Len() {
+		t.Fatalf("wide %d ≤ narrow %d", rw.Answers.Len(), rn.Answers.Len())
+	}
+	for _, f := range rn.Answers.Fragments() {
+		if !rw.Answers.Contains(f) {
+			t.Fatalf("widening lost answer %v", f)
+		}
+	}
+	// Strategy agreement under disjunction.
+	for _, s := range allStrategies {
+		r, err := Evaluate(x, wide, Options{Strategy: s})
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if !r.Answers.Equal(rw.Answers) {
+			t.Fatalf("%v disagrees under disjunction", s)
+		}
+	}
+}
+
+// TestPhraseSeeds: the phrase "rewriting rules" matches n17 (adjacent
+// in its text) but the scrambled phrase matches nothing.
+func TestPhraseSeeds(t *testing.T) {
+	x := figure1Index(t)
+	q := MustNew([]string{`"rewriting rules"`, "xquery"}, filter.MaxSize(3))
+	res, err := Evaluate(x, q, Options{Strategy: cost.PushDown})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.SeedSizes[0] != 1 {
+		t.Fatalf("phrase seeds = %v, want 1 (n17)", res.Stats.SeedSizes)
+	}
+	if res.Answers.Len() == 0 {
+		t.Fatal("phrase query must answer")
+	}
+	for _, f := range res.Answers.Fragments() {
+		if !f.Contains(xmltree.NodeID(17)) {
+			t.Fatalf("phrase answer %v must contain n17", f)
+		}
+	}
+	// Scrambled phrase: words present but not adjacent anywhere.
+	q2 := MustNew([]string{`"rules rewriting"`, "xquery"}, filter.MaxSize(3))
+	res2, err := Evaluate(x, q2, Options{Strategy: cost.PushDown})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Answers.Len() != 0 {
+		t.Fatalf("scrambled phrase matched: %v", res2.Answers)
+	}
+}
+
+// TestPhraseInDisjunction combines both extensions.
+func TestPhraseInDisjunction(t *testing.T) {
+	x := figure1Index(t)
+	q := MustNew([]string{`"rewriting rules"|optimization`, "xquery"}, filter.MaxSize(3))
+	res, err := Evaluate(x, q, Options{Strategy: cost.PushDown})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Union: phrase({17}) ∪ optimization({16,17,81}) = 3 seeds.
+	if res.Stats.SeedSizes[0] != 3 {
+		t.Fatalf("seed sizes = %v", res.Stats.SeedSizes)
+	}
+	if res.Answers.Len() != 4 {
+		t.Fatalf("answers = %v", res.Answers)
+	}
+}

@@ -1,0 +1,269 @@
+package query
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/index"
+	"repro/internal/xmltree"
+)
+
+// Options controls query evaluation.
+type Options struct {
+	// Strategy forces a specific evaluation strategy. Ignored when
+	// Auto is set.
+	Strategy cost.Strategy
+	// Auto lets the Chooser pick the strategy from the seed sets and
+	// the filter's anti-monotonicity (Section 5's optimizer sketch).
+	Auto bool
+	// Chooser parameterizes Auto; the zero value is replaced by
+	// cost.DefaultChooser.
+	Chooser cost.Chooser
+	// MaxFragments caps how many fragments any intermediate set may
+	// hold before evaluation aborts with core.ErrBudgetExceeded (the
+	// powerset join is worst-case exponential; Section 3.1). Zero
+	// means DefaultMaxFragments.
+	MaxFragments int
+	// Workers parallelizes the push-down strategy's joins across
+	// goroutines: 0 or 1 evaluates sequentially, n > 1 uses n workers,
+	// and a negative value uses GOMAXPROCS. Only PushDown consults it
+	// (the other strategies exist as comparison baselines).
+	Workers int
+}
+
+// DefaultMaxFragments is the intermediate-set budget applied when
+// Options.MaxFragments is zero. It comfortably covers every workload
+// in EXPERIMENTS.md while aborting degenerate unfiltered queries
+// within seconds.
+const DefaultMaxFragments = 200000
+
+func (o Options) maxFragments() int {
+	if o.MaxFragments > 0 {
+		return o.MaxFragments
+	}
+	return DefaultMaxFragments
+}
+
+// Stats describes the work one evaluation performed. Counts are the
+// paper's currency for comparing strategies: fragments materialized
+// and fragment joins executed.
+type Stats struct {
+	// Strategy actually used (relevant with Options.Auto).
+	Strategy cost.Strategy
+	// SeedSizes are |Fi| per query term, in term order.
+	SeedSizes []int
+	// FixedPointSizes are |Fi⁺| per term (or the filtered fixed-point
+	// sizes under push-down). Empty for brute force, which never forms
+	// fixed points.
+	FixedPointSizes []int
+	// Candidates is the number of fragments materialized before the
+	// final selection.
+	Candidates int
+	// Answers is |A|, the final answer-set size.
+	Answers int
+	// Joins is the number of fragment joins executed.
+	Joins uint64
+	// Elapsed is wall-clock evaluation time.
+	Elapsed time.Duration
+}
+
+// Result is a query answer (Definition 8) plus evaluation statistics.
+type Result struct {
+	// Answers holds the answer set A in canonical presentation order.
+	Answers *core.Set
+	Stats   Stats
+}
+
+// Evaluate answers q against the indexed document. All strategies
+// produce identical answer sets; they differ in the work performed.
+// The global join counter is used for Stats.Joins, so concurrent
+// evaluations see each other's joins in their stats (the counts remain
+// exact when evaluations are sequential, as in the benchmarks).
+func Evaluate(x *index.Index, q Query, opts Options) (Result, error) {
+	if len(q.Terms) == 0 {
+		return Result{}, fmt.Errorf("query: empty query")
+	}
+	start := time.Now()
+	startJoins := core.JoinCount()
+
+	doc := x.Document()
+	groups := q.Groups
+	if groups == nil {
+		// Queries built as struct literals (tests, older callers) carry
+		// only Terms; treat each as a single-alternative group.
+		for _, t := range q.Terms {
+			groups = append(groups, []string{t})
+		}
+	}
+	seeds := make([]*core.Set, len(groups))
+	stats := Stats{SeedSizes: make([]int, len(groups))}
+	for i, alts := range groups {
+		seeds[i] = core.NodeFragments(doc, seedNodes(x, alts))
+		stats.SeedSizes[i] = seeds[i].Len()
+		if seeds[i].Len() == 0 {
+			// Conjunctive semantics: a group with no witness in the
+			// document empties the answer.
+			stats.Elapsed = time.Since(start)
+			return Result{Answers: core.NewSet(), Stats: stats}, nil
+		}
+	}
+
+	// Evaluate rarest term first: pairwise join cost is the product of
+	// intermediate set sizes, so folding seeds in ascending size keeps
+	// the accumulator small for longer. Sound because pairwise join is
+	// commutative and associative (Section 2.2); stats keep reporting
+	// SeedSizes in the query's term order.
+	ordered := append([]*core.Set(nil), seeds...)
+	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].Len() < ordered[j].Len() })
+
+	strategy := opts.Strategy
+	if opts.Auto {
+		ch := opts.Chooser
+		if ch == (cost.Chooser{}) {
+			ch = cost.DefaultChooser()
+		}
+		strategy = ch.Choose(seeds, q.HasPushableFilter())
+	}
+	stats.Strategy = strategy
+
+	var (
+		answers *core.Set
+		err     error
+	)
+	budget := opts.maxFragments()
+	switch strategy {
+	case cost.BruteForce:
+		answers, err = evalBruteForce(ordered, q, &stats, budget)
+	case cost.Naive:
+		answers, err = evalFixedPoints(ordered, q, &stats, budget, core.FixedPointNaiveBounded)
+	case cost.SetReduction:
+		answers, err = evalFixedPoints(ordered, q, &stats, budget, core.FixedPointBounded)
+	case cost.PushDown:
+		workers := opts.Workers
+		if workers < 0 {
+			workers = core.ResolveWorkers(workers)
+		}
+		answers, err = evalPushDown(ordered, q, &stats, budget, workers)
+	default:
+		err = fmt.Errorf("query: unknown strategy %v", strategy)
+	}
+	if err != nil {
+		return Result{}, err
+	}
+	stats.Answers = answers.Len()
+	stats.Joins = core.JoinCount() - startJoins
+	stats.Elapsed = time.Since(start)
+	return Result{Answers: answers, Stats: stats}, nil
+}
+
+// seedNodes resolves one conjunctive group to its witness nodes: the
+// union over alternatives, where a plain term reads its posting list
+// and a quoted phrase verifies adjacency (sorted, deduplicated).
+func seedNodes(x *index.Index, alts []string) []xmltree.NodeID {
+	if len(alts) == 1 && !IsPhrase(alts[0]) {
+		return x.LookupExact(alts[0])
+	}
+	seen := make(map[xmltree.NodeID]struct{})
+	var out []xmltree.NodeID
+	for _, alt := range alts {
+		var ids []xmltree.NodeID
+		if IsPhrase(alt) {
+			ids = index.PhraseNodes(x, PhraseWords(alt))
+		} else {
+			ids = x.LookupExact(alt)
+		}
+		for _, id := range ids {
+			if _, dup := seen[id]; dup {
+				continue
+			}
+			seen[id] = struct{}{}
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// evalBruteForce is Section 4.1: materialize every candidate of the
+// literal powerset join, deduplicate, then filter. Both the literal
+// enumeration bound and the fragment budget apply — the strategy
+// exists "for performance comparison with other available alternative
+// strategies" (Section 4.1), not for real workloads.
+func evalBruteForce(seeds []*core.Set, q Query, stats *Stats, budget int) (*core.Set, error) {
+	total := 0
+	for _, s := range seeds {
+		total += s.Len()
+	}
+	// Candidate count is within a factor of 2^m of 2^total; refuse
+	// upfront when even the deduplicated pool subsets exceed budget.
+	if total < 63 && (int64(1)<<total) > int64(budget) {
+		return nil, budgetError(total, budget)
+	}
+	rows, err := core.MultiPowersetJoinTrace(seeds, nil)
+	if err != nil {
+		return nil, fmt.Errorf("query: brute force infeasible: %w (choose another strategy)", err)
+	}
+	stats.Candidates = len(rows)
+	all := core.NewSet()
+	for _, r := range rows {
+		all.Add(r.Result)
+	}
+	return all.Select(q.predicateFunc()), nil
+}
+
+func budgetError(seeds, budget int) error {
+	return fmt.Errorf("query: brute force over %d seed fragments exceeds the %d-fragment budget: %w", seeds, budget, core.ErrBudgetExceeded)
+}
+
+// evalFixedPoints is Sections 3.1/4.2: per-term fixed points (naive or
+// Theorem 1-budgeted, per fp), pairwise-joined left to right, with the
+// whole selection applied last.
+func evalFixedPoints(seeds []*core.Set, q Query, stats *Stats, budget int, fp func(*core.Set, int) (*core.Set, error)) (*core.Set, error) {
+	acc, err := fp(seeds[0], budget)
+	if err != nil {
+		return nil, err
+	}
+	stats.FixedPointSizes = append(stats.FixedPointSizes, acc.Len())
+	for _, s := range seeds[1:] {
+		next, err := fp(s, budget)
+		if err != nil {
+			return nil, err
+		}
+		stats.FixedPointSizes = append(stats.FixedPointSizes, next.Len())
+		if acc, err = core.PairwiseJoinBounded(acc, next, budget); err != nil {
+			return nil, err
+		}
+	}
+	stats.Candidates = acc.Len()
+	return acc.Select(q.predicateFunc()), nil
+}
+
+// evalPushDown is Section 4.3: the anti-monotonic part of P runs
+// inside every fixed-point iteration and after every pairwise join
+// (Theorem 3); the residual part and the final selection run last.
+// With no anti-monotonic clause this degenerates gracefully: the
+// pushable filter is accept-all and the evaluation equals the
+// set-reduction strategy.
+func evalPushDown(seeds []*core.Set, q Query, stats *Stats, budget, workers int) (*core.Set, error) {
+	push := q.Pushable().Apply
+	acc, err := core.FilteredFixedPointParallel(seeds[0], push, workers, budget)
+	if err != nil {
+		return nil, err
+	}
+	stats.FixedPointSizes = append(stats.FixedPointSizes, acc.Len())
+	for _, s := range seeds[1:] {
+		next, err := core.FilteredFixedPointParallel(s, push, workers, budget)
+		if err != nil {
+			return nil, err
+		}
+		stats.FixedPointSizes = append(stats.FixedPointSizes, next.Len())
+		if acc, err = core.PairwiseJoinFilteredParallel(acc, next, push, workers, budget); err != nil {
+			return nil, err
+		}
+	}
+	stats.Candidates = acc.Len()
+	return acc.Select(q.predicateFunc()), nil
+}

@@ -1,0 +1,388 @@
+package query
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/docgen"
+	"repro/internal/filter"
+	"repro/internal/index"
+	"repro/internal/xmltree"
+)
+
+func figure1Index(t testing.TB) *index.Index {
+	t.Helper()
+	return index.New(docgen.FigureOne())
+}
+
+func frag(t testing.TB, d *xmltree.Document, ids ...xmltree.NodeID) core.Fragment {
+	t.Helper()
+	f, err := core.NewFragment(d, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+var allStrategies = []cost.Strategy{cost.BruteForce, cost.Naive, cost.SetReduction, cost.PushDown}
+
+// TestRunningExampleAllStrategies evaluates the paper's running query
+// Q_{size≤3}{XQuery, optimization} with every strategy and checks the
+// exact Table 1 answer set.
+func TestRunningExampleAllStrategies(t *testing.T) {
+	x := figure1Index(t)
+	d := x.Document()
+	q := MustNew([]string{"XQuery", "optimization"}, filter.MaxSize(3))
+	want := core.NewSet(
+		frag(t, d, 16, 17, 18),
+		frag(t, d, 16, 17),
+		frag(t, d, 16, 18),
+		frag(t, d, 17),
+	)
+	for _, s := range allStrategies {
+		t.Run(s.String(), func(t *testing.T) {
+			res, err := Evaluate(x, q, Options{Strategy: s})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Answers.Equal(want) {
+				t.Fatalf("answers = %v, want %v", res.Answers, want)
+			}
+			if res.Stats.Strategy != s {
+				t.Fatalf("stats strategy = %v", res.Stats.Strategy)
+			}
+			if res.Stats.Answers != 4 {
+				t.Fatalf("stats answers = %d", res.Stats.Answers)
+			}
+			if len(res.Stats.SeedSizes) != 2 || res.Stats.SeedSizes[0] != 2 || res.Stats.SeedSizes[1] != 3 {
+				t.Fatalf("seed sizes = %v, want [2 3]", res.Stats.SeedSizes)
+			}
+		})
+	}
+}
+
+// TestStrategiesAgreeOnSynthetic checks the central contract — every
+// strategy returns the same answer set — on synthetic documents and a
+// spread of filters.
+func TestStrategiesAgreeOnSynthetic(t *testing.T) {
+	cfg := docgen.Config{
+		Seed: 17, Sections: 3, MeanFanout: 3, Depth: 2, VocabSize: 60,
+		Plant: map[string]int{"alphaterm": 4, "betaterm": 3},
+	}
+	d, err := docgen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := index.New(d)
+	for _, spec := range []string{"size<=3", "size<=5,height<=2", "width<=15", "size<=4"} {
+		f, err := filter.Parse(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := MustNew([]string{"alphaterm", "betaterm"}, f)
+		var baseline *core.Set
+		for _, s := range allStrategies {
+			res, err := Evaluate(x, q, Options{Strategy: s})
+			if err != nil {
+				t.Fatalf("%v/%s: %v", s, spec, err)
+			}
+			if baseline == nil {
+				baseline = res.Answers
+				continue
+			}
+			if !res.Answers.Equal(baseline) {
+				t.Fatalf("%v/%s: answers differ from brute force\n%v\nvs\n%v",
+					s, spec, res.Answers, baseline)
+			}
+		}
+	}
+}
+
+// TestPushDownDoesFewerJoins verifies the optimization claim of
+// Sections 3.3/4.3 in the regime the paper targets ("particularly in a
+// large XML tree"): with a selective anti-monotonic filter, push-down
+// performs fewer joins and materializes fewer candidates than the
+// unfiltered fixed-point strategies.
+func TestPushDownDoesFewerJoins(t *testing.T) {
+	cfg := docgen.Config{
+		Seed: 51, Sections: 6, MeanFanout: 5, Depth: 3, VocabSize: 120,
+		Plant: map[string]int{"hotterm": 10, "coldterm": 8},
+	}
+	d, err := docgen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := index.New(d)
+	q := MustNew([]string{"hotterm", "coldterm"}, filter.MaxSize(4))
+	res := map[cost.Strategy]Stats{}
+	for _, s := range []cost.Strategy{cost.Naive, cost.SetReduction, cost.PushDown} {
+		r, err := Evaluate(x, q, Options{Strategy: s})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res[s] = r.Stats
+	}
+	if res[cost.PushDown].Joins >= res[cost.SetReduction].Joins {
+		t.Fatalf("push-down joins (%d) must be < set-reduction joins (%d)",
+			res[cost.PushDown].Joins, res[cost.SetReduction].Joins)
+	}
+	if res[cost.PushDown].Joins >= res[cost.Naive].Joins {
+		t.Fatalf("push-down joins (%d) must be < naive joins (%d)",
+			res[cost.PushDown].Joins, res[cost.Naive].Joins)
+	}
+	if res[cost.PushDown].Candidates > res[cost.SetReduction].Candidates {
+		t.Fatalf("push-down candidates (%d) must not exceed set-reduction (%d)",
+			res[cost.PushDown].Candidates, res[cost.SetReduction].Candidates)
+	}
+	// All strategies still agree on the answers.
+	if res[cost.PushDown].Answers != res[cost.SetReduction].Answers ||
+		res[cost.PushDown].Answers != res[cost.Naive].Answers {
+		t.Fatal("strategies disagree on answer count")
+	}
+}
+
+func TestEvaluateAbsentTerm(t *testing.T) {
+	x := figure1Index(t)
+	q := MustNew([]string{"xquery", "chimera"})
+	for _, s := range allStrategies {
+		res, err := Evaluate(x, q, Options{Strategy: s})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Answers.Len() != 0 {
+			t.Fatalf("%v: conjunctive semantics demands empty answer, got %v", s, res.Answers)
+		}
+	}
+}
+
+func TestEvaluateSingleTerm(t *testing.T) {
+	x := figure1Index(t)
+	d := x.Document()
+	q := MustNew([]string{"optimization"}, filter.MaxSize(2))
+	res, err := Evaluate(x, q, Options{Strategy: cost.SetReduction})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// F⁺ of {f16,f17,f81} filtered to size≤2: singletons and ⟨n16,n17⟩.
+	want := core.NewSet(
+		frag(t, d, 16), frag(t, d, 17), frag(t, d, 81), frag(t, d, 16, 17),
+	)
+	if !res.Answers.Equal(want) {
+		t.Fatalf("single-term answers = %v, want %v", res.Answers, want)
+	}
+	// Push-down agrees.
+	res2, err := Evaluate(x, q, Options{Strategy: cost.PushDown})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Answers.Equal(want) {
+		t.Fatalf("push-down single-term answers = %v", res2.Answers)
+	}
+}
+
+func TestEvaluateThreeTerms(t *testing.T) {
+	// Plant three terms near each other and far apart; all strategies
+	// must agree.
+	cfg := docgen.Config{
+		Seed: 23, Sections: 2, MeanFanout: 3, Depth: 2, VocabSize: 40,
+		Plant: map[string]int{"ka": 3, "kb": 3, "kc": 2},
+	}
+	d, err := docgen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := index.New(d)
+	q := MustNew([]string{"ka", "kb", "kc"}, filter.MaxSize(6))
+	var baseline *core.Set
+	for _, s := range allStrategies {
+		res, err := Evaluate(x, q, Options{Strategy: s})
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if baseline == nil {
+			baseline = res.Answers
+			continue
+		}
+		if !res.Answers.Equal(baseline) {
+			t.Fatalf("%v disagrees on 3-term query", s)
+		}
+	}
+	// Definition 8: every answer contains every term.
+	for _, f := range baseline.Fragments() {
+		for _, term := range q.Terms {
+			if !f.HasKeyword(term) {
+				t.Fatalf("answer %v misses term %q", f, term)
+			}
+		}
+	}
+}
+
+func TestEvaluateNonAntiMonotonicResidual(t *testing.T) {
+	x := figure1Index(t)
+	d := x.Document()
+	// size>1 is not anti-monotonic: must run as residual, after joins.
+	q := MustNew([]string{"XQuery", "optimization"}, filter.MaxSize(3), filter.MinSize(1))
+	want := core.NewSet(
+		frag(t, d, 16, 17, 18), frag(t, d, 16, 17), frag(t, d, 16, 18),
+	)
+	for _, s := range allStrategies {
+		res, err := Evaluate(x, q, Options{Strategy: s})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Answers.Equal(want) {
+			t.Fatalf("%v: answers = %v, want %v (⟨n17⟩ excluded by size>1)", s, res.Answers, want)
+		}
+	}
+}
+
+func TestEvaluateAuto(t *testing.T) {
+	x := figure1Index(t)
+	q := MustNew([]string{"XQuery", "optimization"}, filter.MaxSize(3))
+	res, err := Evaluate(x, q, Options{Auto: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Strategy != cost.PushDown {
+		t.Fatalf("auto with anti-monotonic filter chose %v, want push-down", res.Stats.Strategy)
+	}
+	if res.Answers.Len() != 4 {
+		t.Fatalf("auto answers = %d, want 4", res.Answers.Len())
+	}
+	// Without any filter, auto must not pick push-down... it may pick
+	// brute force on tiny seeds; just check it runs and agrees.
+	q2 := MustNew([]string{"XQuery", "optimization"})
+	res2, err := Evaluate(x, q2, Options{Auto: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := Evaluate(x, q2, Options{Strategy: cost.SetReduction})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Answers.Equal(ref.Answers) {
+		t.Fatal("auto answers differ from set-reduction")
+	}
+}
+
+func TestEvaluateEmptyQuery(t *testing.T) {
+	x := figure1Index(t)
+	if _, err := Evaluate(x, Query{}, Options{}); err == nil {
+		t.Fatal("empty query must error")
+	}
+}
+
+func TestBruteForceInfeasibleErrors(t *testing.T) {
+	cfg := docgen.Config{
+		Seed: 31, Sections: 4, MeanFanout: 4, Depth: 3, VocabSize: 50,
+		Plant: map[string]int{"wa": 20, "wb": 20},
+	}
+	d, err := docgen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := index.New(d)
+	q := MustNew([]string{"wa", "wb"}, filter.MaxSize(3))
+	if _, err := Evaluate(x, q, Options{Strategy: cost.BruteForce}); err == nil {
+		t.Fatal("brute force on 40 seeds must refuse")
+	}
+	// Push-down still handles it.
+	if _, err := Evaluate(x, q, Options{Strategy: cost.PushDown}); err != nil {
+		t.Fatalf("push-down failed: %v", err)
+	}
+}
+
+// TestDefinition8LeafWitness documents the relationship between the
+// operational semantics (Section 2.3's formula, which Table 1 follows)
+// and Definition 8's leaf condition: the target answer has each term
+// on a leaf, while answer ⟨n16,n18⟩ carries optimization only on its
+// root — the paper nevertheless includes it (Table 1 row 3).
+func TestDefinition8LeafWitness(t *testing.T) {
+	x := figure1Index(t)
+	d := x.Document()
+	target := frag(t, d, 16, 17, 18)
+	if !target.HasKeywordOnLeaf("xquery") || !target.HasKeywordOnLeaf("optimization") {
+		t.Fatal("target fragment satisfies the strict leaf condition")
+	}
+	row3 := frag(t, d, 16, 18)
+	if row3.HasKeywordOnLeaf("optimization") {
+		t.Fatal("⟨n16,n18⟩ must NOT satisfy the strict leaf condition")
+	}
+	q := MustNew([]string{"XQuery", "optimization"}, filter.MaxSize(3))
+	res, err := Evaluate(x, q, Options{Strategy: cost.SetReduction})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Answers.Contains(row3) {
+		t.Fatal("operational semantics (per Table 1) must include ⟨n16,n18⟩")
+	}
+}
+
+// TestStructuralPushDown combines keyword search with an
+// anti-monotonic structural filter (within=//section): cross-section
+// joins are pruned inside the evaluation and all strategies agree.
+func TestStructuralPushDown(t *testing.T) {
+	x := figure1Index(t)
+	f, err := filter.Parse("size<=8,within=//section")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := MustNew([]string{"xquery", "optimization"}, f)
+	if !q.HasPushableFilter() {
+		t.Fatal("within filter must be pushable")
+	}
+	var baseline *core.Set
+	for _, s := range allStrategies {
+		res, err := Evaluate(x, q, Options{Strategy: s})
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if baseline == nil {
+			baseline = res.Answers
+		} else if !res.Answers.Equal(baseline) {
+			t.Fatalf("%v disagrees under structural filter", s)
+		}
+	}
+	// Joins through n81 (the second section) would span above the
+	// section level; every answer stays inside section n1.
+	d := x.Document()
+	for _, fr := range baseline.Fragments() {
+		for _, id := range fr.IDs() {
+			if !d.IsAncestorOrSelf(1, id) {
+				t.Fatalf("answer %v escapes section n1", fr)
+			}
+		}
+	}
+	if baseline.Len() == 0 {
+		t.Fatal("expected in-section answers")
+	}
+}
+
+// TestParallelEvaluation checks that parallel push-down returns the
+// same answers as sequential.
+func TestParallelEvaluation(t *testing.T) {
+	cfg := docgen.Config{
+		Seed: 91, Sections: 5, MeanFanout: 4, Depth: 3, VocabSize: 150,
+		Plant: map[string]int{"parterma": 10, "partermb": 10},
+	}
+	d, err := docgen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := index.New(d)
+	q := MustNew([]string{"parterma", "partermb"}, filter.MaxSize(5))
+	seq, err := Evaluate(x, q, Options{Strategy: cost.PushDown})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, -1} {
+		par, err := Evaluate(x, q, Options{Strategy: cost.PushDown, Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !par.Answers.Equal(seq.Answers) {
+			t.Fatalf("workers=%d: parallel answers differ", workers)
+		}
+	}
+}

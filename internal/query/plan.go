@@ -1,0 +1,114 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cost"
+)
+
+// PlanNode is one operator of a query evaluation tree (the trees of
+// the paper's Figure 5). Plans are descriptive — evaluation happens in
+// eval.go — but Explain output makes each strategy's algebraic shape
+// inspectable and testable.
+type PlanNode struct {
+	// Op is the operator: σ, ⋈, ⋈*, fixpoint, fixpoint[σ], seeds.
+	Op string
+	// Detail qualifies the operator (filter name, term, iteration
+	// budget source).
+	Detail string
+	// Children are the operator's inputs.
+	Children []*PlanNode
+}
+
+func leaf(term string) *PlanNode {
+	return &PlanNode{Op: "seeds", Detail: fmt.Sprintf("σ[keyword=%s](nodes(D))", term)}
+}
+
+// LogicalPlan returns the strategy-independent evaluation tree
+// σ_P(F1 ⋈* … ⋈* Fm) of Section 2.3.
+func (q Query) LogicalPlan() *PlanNode {
+	var join *PlanNode
+	if len(q.Terms) == 1 {
+		join = &PlanNode{Op: "fixpoint", Detail: "F⁺", Children: []*PlanNode{leaf(q.Terms[0])}}
+	} else {
+		join = &PlanNode{Op: "⋈*"}
+		for _, t := range q.Terms {
+			join.Children = append(join.Children, leaf(t))
+		}
+	}
+	if len(q.Filters) == 0 {
+		return join
+	}
+	return &PlanNode{Op: "σ", Detail: q.Predicate().String(), Children: []*PlanNode{join}}
+}
+
+// PhysicalPlan returns the evaluation tree the given strategy executes:
+// brute force keeps the literal ⋈*; the fixed-point strategies expand
+// it via Theorem 2; push-down additionally threads the anti-monotonic
+// selection through every operator per Theorem 3 (Figure 5(b)).
+func (q Query) PhysicalPlan(s cost.Strategy) *PlanNode {
+	switch s {
+	case cost.BruteForce:
+		return q.LogicalPlan()
+	case cost.Naive, cost.SetReduction:
+		detail := "until-stable"
+		if s == cost.SetReduction {
+			detail = "|⊖(F)| iterations"
+		}
+		node := fixpointChain(q.Terms, "fixpoint", detail, "⋈")
+		return &PlanNode{Op: "σ", Detail: q.Predicate().String(), Children: []*PlanNode{node}}
+	case cost.PushDown:
+		push := q.Pushable().String()
+		node := fixpointChain(q.Terms, "fixpoint[σ "+push+"]", "filtered iterations", "⋈[σ "+push+"]")
+		final := q.Predicate().String()
+		return &PlanNode{Op: "σ", Detail: final, Children: []*PlanNode{node}}
+	default:
+		return q.LogicalPlan()
+	}
+}
+
+func fixpointChain(terms []string, fpOp, fpDetail, joinOp string) *PlanNode {
+	fp := func(t string) *PlanNode {
+		return &PlanNode{Op: fpOp, Detail: fpDetail, Children: []*PlanNode{leaf(t)}}
+	}
+	node := fp(terms[0])
+	for _, t := range terms[1:] {
+		node = &PlanNode{Op: joinOp, Children: []*PlanNode{node, fp(t)}}
+	}
+	return node
+}
+
+// Render draws the plan as an ASCII tree.
+func (n *PlanNode) Render() string {
+	var sb strings.Builder
+	n.render(&sb, "", true, true)
+	return sb.String()
+}
+
+func (n *PlanNode) render(sb *strings.Builder, prefix string, last, root bool) {
+	label := n.Op
+	if n.Detail != "" {
+		label += " " + n.Detail
+	}
+	if root {
+		sb.WriteString(label + "\n")
+	} else {
+		connector := "├─ "
+		if last {
+			connector = "└─ "
+		}
+		sb.WriteString(prefix + connector + label + "\n")
+	}
+	childPrefix := prefix
+	if !root {
+		if last {
+			childPrefix += "   "
+		} else {
+			childPrefix += "│  "
+		}
+	}
+	for i, c := range n.Children {
+		c.render(sb, childPrefix, i == len(n.Children)-1, false)
+	}
+}

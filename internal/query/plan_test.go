@@ -1,0 +1,75 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/filter"
+)
+
+func TestLogicalPlanShape(t *testing.T) {
+	q := MustNew([]string{"k1", "k2"}, filter.MaxSize(3))
+	p := q.LogicalPlan()
+	if p.Op != "σ" || p.Detail != "size<=3" {
+		t.Fatalf("root = %s %s", p.Op, p.Detail)
+	}
+	join := p.Children[0]
+	if join.Op != "⋈*" || len(join.Children) != 2 {
+		t.Fatalf("join node = %+v", join)
+	}
+	for i, term := range []string{"k1", "k2"} {
+		if !strings.Contains(join.Children[i].Detail, "keyword="+term) {
+			t.Fatalf("leaf %d = %+v", i, join.Children[i])
+		}
+	}
+}
+
+func TestLogicalPlanSingleTerm(t *testing.T) {
+	q := MustNew([]string{"solo"})
+	p := q.LogicalPlan()
+	if p.Op != "fixpoint" {
+		t.Fatalf("single-term plan root = %s", p.Op)
+	}
+}
+
+func TestPhysicalPlanPushDownThreadsFilter(t *testing.T) {
+	q := MustNew([]string{"k1", "k2"}, filter.MaxSize(3))
+	p := q.PhysicalPlan(cost.PushDown)
+	rendered := p.Render()
+	// Figure 5(b): the σ appears at every level, not only the root.
+	if got := strings.Count(rendered, "σ size<=3"); got < 3 {
+		t.Fatalf("push-down plan shows σ %d times, want >= 3:\n%s", got, rendered)
+	}
+}
+
+func TestPhysicalPlanSetReductionMentionsBudget(t *testing.T) {
+	q := MustNew([]string{"k1", "k2"}, filter.MaxSize(3))
+	p := q.PhysicalPlan(cost.SetReduction)
+	if !strings.Contains(p.Render(), "⊖") {
+		t.Fatalf("set-reduction plan must mention the ⊖ budget:\n%s", p.Render())
+	}
+	naive := q.PhysicalPlan(cost.Naive)
+	if !strings.Contains(naive.Render(), "until-stable") {
+		t.Fatalf("naive plan must mention fixed-point checking:\n%s", naive.Render())
+	}
+}
+
+func TestPhysicalPlanBruteForceIsLogical(t *testing.T) {
+	q := MustNew([]string{"k1", "k2"}, filter.MaxSize(3))
+	if got, want := q.PhysicalPlan(cost.BruteForce).Render(), q.LogicalPlan().Render(); got != want {
+		t.Fatalf("brute-force physical plan must equal the logical plan")
+	}
+}
+
+func TestRenderTreeShape(t *testing.T) {
+	q := MustNew([]string{"a", "b", "c"})
+	out := q.LogicalPlan().Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("render lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[1], "├─") || !strings.HasPrefix(lines[3], "└─") {
+		t.Fatalf("tree connectors wrong:\n%s", out)
+	}
+}

@@ -1,0 +1,118 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/filter"
+)
+
+func TestNewNormalizes(t *testing.T) {
+	q, err := New([]string{"XQuery", "Optimization!", "xquery"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Terms) != 2 || q.Terms[0] != "xquery" || q.Terms[1] != "optimization" {
+		t.Fatalf("Terms = %v", q.Terms)
+	}
+}
+
+func TestNewRejectsEmpty(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Fatal("empty term list must error")
+	}
+	if _, err := New([]string{"!!", "??"}); err == nil {
+		t.Fatal("terms that normalize away must error")
+	}
+}
+
+func TestParseQuery(t *testing.T) {
+	q, err := Parse("XQuery optimization", "size<=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Terms) != 2 {
+		t.Fatalf("Terms = %v", q.Terms)
+	}
+	if len(q.Filters) != 1 || !q.Filters[0].AntiMonotonic {
+		t.Fatalf("Filters = %v", q.Filters)
+	}
+	if _, err := Parse("x", "bogus<=3"); err == nil {
+		t.Fatal("bad filter spec must error")
+	}
+	if _, err := Parse("", "size<=3"); err == nil {
+		t.Fatal("empty keywords must error")
+	}
+}
+
+func TestParseNoFilter(t *testing.T) {
+	q, err := Parse("alpha beta", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Filters) != 0 {
+		t.Fatalf("expected no filter clauses, got %v", q.Filters)
+	}
+	if q.HasPushableFilter() {
+		t.Fatal("no clauses → nothing pushable")
+	}
+}
+
+func TestPushableResidualSplit(t *testing.T) {
+	q := MustNew([]string{"a", "b"},
+		filter.MaxSize(3),
+		filter.HasKeyword("extra"),
+		filter.MaxHeight(2),
+	)
+	push := q.Pushable()
+	if !push.AntiMonotonic {
+		t.Fatal("pushable part must be anti-monotonic")
+	}
+	if !strings.Contains(push.String(), "size<=3") || !strings.Contains(push.String(), "height<=2") {
+		t.Fatalf("pushable = %q", push)
+	}
+	res := q.Residual()
+	if !strings.Contains(res.String(), "keyword=extra") {
+		t.Fatalf("residual = %q", res)
+	}
+	if strings.Contains(res.String(), "size<=3") {
+		t.Fatalf("residual must not contain pushable clauses: %q", res)
+	}
+	if !q.HasPushableFilter() {
+		t.Fatal("HasPushableFilter")
+	}
+}
+
+func TestQueryString(t *testing.T) {
+	q := MustNew([]string{"xquery", "optimization"}, filter.MaxSize(3))
+	got := q.String()
+	if !strings.Contains(got, "xquery, optimization") || !strings.Contains(got, "size<=3") {
+		t.Fatalf("String = %q", got)
+	}
+	bare := MustNew([]string{"k"})
+	if got := bare.String(); got != "Q{k}" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+// TestParseKeepsClausesSplittable guards the planner's ability to
+// push part of a mixed filter spec: "size<=8,root=//x" must keep
+// size<=8 pushable even though the root clause is not.
+func TestParseKeepsClausesSplittable(t *testing.T) {
+	q, err := Parse("a b", "size<=8,root=//section")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Filters) != 2 {
+		t.Fatalf("clauses = %d, want 2", len(q.Filters))
+	}
+	if !q.HasPushableFilter() {
+		t.Fatal("size<=8 must remain pushable")
+	}
+	if !strings.Contains(q.Pushable().String(), "size<=8") {
+		t.Fatalf("pushable = %q", q.Pushable())
+	}
+	if !strings.Contains(q.Residual().String(), "root(") {
+		t.Fatalf("residual = %q", q.Residual())
+	}
+}

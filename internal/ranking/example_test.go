@@ -1,0 +1,29 @@
+package ranking_test
+
+import (
+	"fmt"
+
+	"repro/internal/cost"
+	"repro/internal/docgen"
+	"repro/internal/filter"
+	"repro/internal/index"
+	"repro/internal/query"
+	"repro/internal/ranking"
+)
+
+// Example ranks the running example's answers.
+func Example() {
+	x := index.New(docgen.FigureOne())
+	q := query.MustNew([]string{"xquery", "optimization"}, filter.MaxSize(3))
+	res, err := query.Evaluate(x, q, query.Options{Strategy: cost.PushDown})
+	if err != nil {
+		panic(err)
+	}
+	r := ranking.New(x, q.Terms, ranking.DefaultWeights())
+	for i, s := range r.Top(res.Answers, 2) {
+		fmt.Printf("%d. %v\n", i+1, s.Fragment)
+	}
+	// Output:
+	// 1. ⟨n16,n17,n18⟩
+	// 2. ⟨n16,n17⟩
+}

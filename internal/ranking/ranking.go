@@ -1,0 +1,123 @@
+// Package ranking adds IR-style result ranking on top of the
+// database-style filtering model. The paper positions its filters as
+// a complement to ranking ("ranking techniques described in those
+// studies can be easily incorporated into our work", Section 6); this
+// package incorporates them: answer fragments are scored by a
+// TF·IDF-weighted keyword score with an XRank-style size/structure
+// decay, so presentation layers can order the (already filtered)
+// answer set.
+package ranking
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/index"
+	"repro/internal/xmltree"
+)
+
+// Weights tunes the scoring function. The zero value is not useful;
+// start from DefaultWeights.
+type Weights struct {
+	// SizeDecay multiplies the score by decay^(size-1): larger
+	// fragments need proportionally stronger keyword evidence
+	// (XRank's element-decay analogue). Must be in (0, 1].
+	SizeDecay float64
+	// DepthBonus rewards deeper (more specific) fragment roots:
+	// score × (1 + DepthBonus·rootDepth).
+	DepthBonus float64
+	// LeafBonus multiplies the contribution of keyword occurrences on
+	// fragment leaves — Definition 8's intuition as a soft signal
+	// instead of a hard condition.
+	LeafBonus float64
+}
+
+// DefaultWeights returns the weights used by the examples and tests.
+func DefaultWeights() Weights {
+	return Weights{SizeDecay: 0.85, DepthBonus: 0.05, LeafBonus: 1.5}
+}
+
+// Scored pairs an answer fragment with its score.
+type Scored struct {
+	Fragment core.Fragment
+	Score    float64
+}
+
+// Ranker scores fragments of one indexed document.
+type Ranker struct {
+	idx     *index.Index
+	weights Weights
+	// idf per query term, computed once per ranker.
+	idf map[string]float64
+}
+
+// New builds a ranker for the document behind idx, for the given
+// (normalized) query terms.
+func New(idx *index.Index, terms []string, w Weights) *Ranker {
+	if w.SizeDecay <= 0 || w.SizeDecay > 1 {
+		w = DefaultWeights()
+	}
+	r := &Ranker{idx: idx, weights: w, idf: make(map[string]float64, len(terms))}
+	n := float64(idx.Document().Len())
+	for _, t := range terms {
+		df := float64(len(idx.LookupExact(t)))
+		if df == 0 {
+			df = 1
+		}
+		// Standard smoothed IDF over nodes-as-documents.
+		r.idf[t] = math.Log(1 + n/df)
+	}
+	return r
+}
+
+// Score computes the fragment's relevance score: for each query term,
+// the IDF-weighted count of member nodes carrying it (leaves boosted),
+// damped by fragment size and boosted by root depth.
+func (r *Ranker) Score(f core.Fragment) float64 {
+	doc := r.idx.Document()
+	leaves := make(map[xmltree.NodeID]bool)
+	for _, id := range f.Leaves() {
+		leaves[id] = true
+	}
+	score := 0.0
+	for term, idf := range r.idf {
+		termScore := 0.0
+		for _, id := range f.IDs() {
+			if !doc.HasKeyword(id, term) {
+				continue
+			}
+			w := 1.0
+			if leaves[id] {
+				w = r.weights.LeafBonus
+			}
+			termScore += w
+		}
+		score += idf * termScore
+	}
+	score *= math.Pow(r.weights.SizeDecay, float64(f.Size()-1))
+	score *= 1 + r.weights.DepthBonus*float64(doc.Depth(f.Root()))
+	return score
+}
+
+// Rank scores every fragment of the answer set and returns them in
+// descending score order (ties broken by the canonical fragment
+// order, so ranking is deterministic).
+func (r *Ranker) Rank(answers *core.Set) []Scored {
+	out := make([]Scored, 0, answers.Len())
+	for _, f := range answers.Sorted() {
+		out = append(out, Scored{Fragment: f, Score: r.Score(f)})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Score > out[j].Score })
+	return out
+}
+
+// Top returns the k highest-scored answers (all if k exceeds the
+// answer count).
+func (r *Ranker) Top(answers *core.Set, k int) []Scored {
+	ranked := r.Rank(answers)
+	if k < len(ranked) {
+		ranked = ranked[:k]
+	}
+	return ranked
+}

@@ -1,0 +1,146 @@
+package ranking
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/docgen"
+	"repro/internal/filter"
+	"repro/internal/index"
+	"repro/internal/query"
+)
+
+func figure1Answers(t testing.TB) (*index.Index, *core.Set) {
+	t.Helper()
+	x := index.New(docgen.FigureOne())
+	q := query.MustNew([]string{"xquery", "optimization"}, filter.MaxSize(3))
+	res, err := query.Evaluate(x, q, query.Options{Strategy: cost.PushDown})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return x, res.Answers
+}
+
+func TestRankRunningExample(t *testing.T) {
+	x, answers := figure1Answers(t)
+	r := New(x, []string{"xquery", "optimization"}, DefaultWeights())
+	ranked := r.Rank(answers)
+	if len(ranked) != 4 {
+		t.Fatalf("ranked %d answers, want 4", len(ranked))
+	}
+	// Descending scores.
+	for i := 1; i < len(ranked); i++ {
+		if ranked[i-1].Score < ranked[i].Score {
+			t.Fatalf("ranking not descending: %v", ranked)
+		}
+	}
+	// ⟨n17⟩ (both terms on a single deep leaf, no size penalty) should
+	// beat ⟨n16,n18⟩ (terms split, one on an interior node, size 2).
+	pos := map[string]int{}
+	for i, s := range ranked {
+		pos[s.Fragment.String()] = i
+	}
+	if pos["⟨n17⟩"] > pos["⟨n16,n18⟩"] {
+		t.Fatalf("⟨n17⟩ should outrank ⟨n16,n18⟩: %v", ranked)
+	}
+}
+
+func TestScoreComponents(t *testing.T) {
+	x, _ := figure1Answers(t)
+	d := x.Document()
+	r := New(x, []string{"xquery", "optimization"}, DefaultWeights())
+
+	single := core.MustFragment(d, 17)
+	target := core.MustFragment(d, 16, 17, 18)
+	noTerms := core.MustFragment(d, 2)
+
+	if r.Score(noTerms) != 0 {
+		t.Fatalf("fragment without query terms must score 0, got %v", r.Score(noTerms))
+	}
+	if r.Score(single) <= 0 || r.Score(target) <= 0 {
+		t.Fatal("term-bearing fragments must score > 0")
+	}
+	// Size decay: duplicating the same evidence across a wider
+	// fragment must not increase the score linearly.
+	big := core.MustFragment(d, 0, 1, 14, 16, 17, 18, 79, 80, 81)
+	if r.Score(big) >= r.Score(target) {
+		t.Fatalf("9-node fragment (%v) must score below the 3-node target (%v)",
+			r.Score(big), r.Score(target))
+	}
+}
+
+func TestLeafBonus(t *testing.T) {
+	x, _ := figure1Answers(t)
+	d := x.Document()
+	withBonus := New(x, []string{"optimization"}, Weights{SizeDecay: 1, DepthBonus: 0, LeafBonus: 2})
+	noBonus := New(x, []string{"optimization"}, Weights{SizeDecay: 1, DepthBonus: 0, LeafBonus: 1})
+	// In ⟨n16,n17⟩ optimization sits on both; n17 is the leaf.
+	f := core.MustFragment(d, 16, 17)
+	a := withBonus.Score(f)
+	b := noBonus.Score(f)
+	if a <= b {
+		t.Fatalf("leaf bonus must raise the score: %v vs %v", a, b)
+	}
+	// Ratio: (2+1)/(1+1) = 1.5 of the no-bonus score.
+	if math.Abs(a/b-1.5) > 1e-9 {
+		t.Fatalf("bonus ratio = %v, want 1.5", a/b)
+	}
+}
+
+func TestIDFWeighting(t *testing.T) {
+	// A term appearing in fewer nodes must carry more weight.
+	d, err := docgen.Generate(docgen.Config{
+		Seed: 77, Sections: 4, MeanFanout: 4, Depth: 2, VocabSize: 100,
+		Plant: map[string]int{"rareterm": 2, "commonterm": 40},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := index.New(d)
+	r := New(x, []string{"rareterm", "commonterm"}, Weights{SizeDecay: 1, DepthBonus: 0, LeafBonus: 1})
+	var rare, common core.Fragment
+	rare = core.NodeFragment(d, d.NodesWithKeyword("rareterm")[0])
+	common = core.NodeFragment(d, d.NodesWithKeyword("commonterm")[0])
+	// Depth bonus disabled, size 1 each: only IDF differs.
+	if r.Score(rare) <= r.Score(common) {
+		t.Fatalf("rare term must outweigh common term: %v vs %v", r.Score(rare), r.Score(common))
+	}
+}
+
+func TestTop(t *testing.T) {
+	x, answers := figure1Answers(t)
+	r := New(x, []string{"xquery", "optimization"}, DefaultWeights())
+	top2 := r.Top(answers, 2)
+	if len(top2) != 2 {
+		t.Fatalf("Top(2) = %d results", len(top2))
+	}
+	all := r.Top(answers, 100)
+	if len(all) != answers.Len() {
+		t.Fatalf("Top(100) = %d, want %d", len(all), answers.Len())
+	}
+	if top2[0].Score != all[0].Score {
+		t.Fatal("Top must agree with Rank")
+	}
+}
+
+func TestBadWeightsFallBack(t *testing.T) {
+	x, answers := figure1Answers(t)
+	r := New(x, []string{"xquery"}, Weights{SizeDecay: 0})
+	if len(r.Rank(answers)) != answers.Len() {
+		t.Fatal("ranker with defaulted weights must still rank")
+	}
+}
+
+func TestRankDeterministic(t *testing.T) {
+	x, answers := figure1Answers(t)
+	r := New(x, []string{"xquery", "optimization"}, DefaultWeights())
+	a := r.Rank(answers)
+	b := r.Rank(answers)
+	for i := range a {
+		if !a[i].Fragment.Equal(b[i].Fragment) || a[i].Score != b[i].Score {
+			t.Fatal("ranking must be deterministic")
+		}
+	}
+}

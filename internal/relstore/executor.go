@@ -1,0 +1,184 @@
+package relstore
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/filter"
+	"repro/internal/query"
+	"repro/internal/xmltree"
+)
+
+// Executor evaluates keyword queries against a Store using only
+// relational access paths. It mirrors the native push-down strategy
+// (filtered fixed points + filtered pairwise joins) but performs every
+// structural step — LCA, path materialization — through relation
+// lookups, so comparing it with the native engine isolates the cost of
+// the storage mapping rather than of the algebra.
+type Executor struct {
+	store *Store
+}
+
+// NewExecutor wraps a store.
+func NewExecutor(s *Store) *Executor { return &Executor{store: s} }
+
+// frag is the executor's internal fragment representation: sorted node
+// IDs. Conversion to core.Fragment happens once per answer at the end.
+type frag []xmltree.NodeID
+
+func (f frag) key() string {
+	b := make([]byte, 0, len(f)*4)
+	for _, id := range f {
+		b = append(b, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
+	}
+	return string(b)
+}
+
+// join computes the fragment join of two internal fragments via
+// relational LCA + path materialization.
+func (e *Executor) join(a, b frag) frag {
+	l := e.store.LCA(a[0], b[0])
+	set := make(map[xmltree.NodeID]struct{}, len(a)+len(b)+8)
+	for _, id := range a {
+		set[id] = struct{}{}
+	}
+	for _, id := range b {
+		set[id] = struct{}{}
+	}
+	for v := a[0]; ; v = e.store.nodes[v].Parent {
+		set[v] = struct{}{}
+		if v == l {
+			break
+		}
+	}
+	for v := b[0]; ; v = e.store.nodes[v].Parent {
+		set[v] = struct{}{}
+		if v == l {
+			break
+		}
+	}
+	out := make(frag, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// relSet is a deduplicating set of internal fragments.
+type relSet struct {
+	frags []frag
+	seen  map[string]bool
+}
+
+func newRelSet() *relSet { return &relSet{seen: make(map[string]bool)} }
+
+func (s *relSet) add(f frag) bool {
+	k := f.key()
+	if s.seen[k] {
+		return false
+	}
+	s.seen[k] = true
+	s.frags = append(s.frags, f)
+	return true
+}
+
+func (s *relSet) len() int { return len(s.frags) }
+
+// Evaluate answers q with the push-down evaluation over relational
+// access paths and returns the answers as fragments of the backing
+// document. The result equals the native engine's answer set
+// (property-tested).
+func (e *Executor) Evaluate(q query.Query) (*core.Set, error) {
+	if len(q.Terms) == 0 {
+		return nil, fmt.Errorf("relstore: empty query")
+	}
+	push := q.Pushable()
+	pred := func(f frag) bool { return e.applyFilter(push, f) }
+
+	seeds := make([]*relSet, len(q.Terms))
+	for i, t := range q.Terms {
+		ids := e.store.LookupTerm(t)
+		if len(ids) == 0 {
+			return core.NewSet(), nil
+		}
+		s := newRelSet()
+		for _, id := range ids {
+			f := frag{id}
+			if pred(f) {
+				s.add(f)
+			}
+		}
+		seeds[i] = s
+	}
+
+	acc := e.filteredFixedPoint(seeds[0], pred)
+	for _, s := range seeds[1:] {
+		next := e.filteredFixedPoint(s, pred)
+		joined := newRelSet()
+		for _, a := range acc.frags {
+			for _, b := range next.frags {
+				if j := e.join(a, b); pred(j) {
+					joined.add(j)
+				}
+			}
+		}
+		acc = joined
+	}
+
+	// Final selection with the full predicate, converting survivors to
+	// public fragments.
+	full := q.Predicate()
+	out := core.NewSet()
+	for _, f := range acc.frags {
+		cf, err := core.NewFragment(e.store.doc, f)
+		if err != nil {
+			return nil, fmt.Errorf("relstore: produced invalid fragment: %w", err)
+		}
+		if full.Apply(cf) {
+			out.Add(cf)
+		}
+	}
+	return out, nil
+}
+
+// filteredFixedPoint computes the filtered fixed point semi-naively:
+// each round joins only the previous round's discoveries against the
+// base seeds.
+func (e *Executor) filteredFixedPoint(s *relSet, pred func(frag) bool) *relSet {
+	acc := newRelSet()
+	for _, f := range s.frags {
+		acc.add(f)
+	}
+	frontier := append([]frag(nil), s.frags...)
+	for len(frontier) > 0 {
+		var next []frag
+		for _, a := range frontier {
+			for _, b := range s.frags {
+				j := e.join(a, b)
+				if pred(j) && acc.add(j) {
+					next = append(next, j)
+				}
+			}
+		}
+		frontier = next
+	}
+	return acc
+}
+
+// applyFilter evaluates the pushable filter on an internal fragment
+// using only relation lookups. Supported measures mirror the
+// anti-monotonic filters of Section 3.3 (size, height, width, depth);
+// any other filter (incl. accept-all) is applied at the end through
+// core.Fragment instead, which keeps this fast path honest.
+func (e *Executor) applyFilter(f filter.Filter, fr frag) bool {
+	if f.IsZero() || f.Name == "true" {
+		return true
+	}
+	cf, err := core.NewFragment(e.store.doc, fr)
+	if err != nil {
+		return false
+	}
+	return f.Apply(cf)
+}

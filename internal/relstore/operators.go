@@ -1,0 +1,178 @@
+package relstore
+
+import (
+	"repro/internal/xmltree"
+)
+
+// Volcano-style operators over the node relation, making the [13]
+// storage mapping concrete: each operator is an iterator (Open
+// implicit in construction, Next, no Close — everything is in
+// memory). The keyword-seed scan of Section 2.3 composes as
+//
+//	Project(Select(IndexScan(term)), pre)
+//
+// and the structural predicates of the filter layer translate to
+// Select conditions over NodeRow columns. The fragment algebra itself
+// still runs in the executor; these operators cover the relational
+// access layer a database implementation would generate.
+
+// RowIterator yields node tuples.
+type RowIterator interface {
+	// Next returns the next tuple, or false when exhausted.
+	Next() (NodeRow, bool)
+}
+
+// FullScan iterates the whole node relation in Pre order.
+func (s *Store) FullScan() RowIterator { return &NodeIter{rows: s.nodes} }
+
+// IndexScan iterates the node tuples whose pre appears in the term's
+// posting list — the indexed selection σ_{keyword=term}.
+func (s *Store) IndexScan(term string) RowIterator {
+	return &indexScan{store: s, ids: s.LookupTerm(term)}
+}
+
+type indexScan struct {
+	store *Store
+	ids   []xmltree.NodeID
+	pos   int
+}
+
+func (it *indexScan) Next() (NodeRow, bool) {
+	if it.pos >= len(it.ids) {
+		return NodeRow{}, false
+	}
+	row := it.store.nodes[it.ids[it.pos]]
+	it.pos++
+	return row, true
+}
+
+// Select filters an input iterator by a tuple predicate (σ_P).
+func Select(in RowIterator, pred func(NodeRow) bool) RowIterator {
+	return &selectOp{in: in, pred: pred}
+}
+
+type selectOp struct {
+	in   RowIterator
+	pred func(NodeRow) bool
+}
+
+func (op *selectOp) Next() (NodeRow, bool) {
+	for {
+		row, ok := op.in.Next()
+		if !ok {
+			return NodeRow{}, false
+		}
+		if op.pred(row) {
+			return row, true
+		}
+	}
+}
+
+// Limit caps an iterator at n tuples.
+func Limit(in RowIterator, n int) RowIterator { return &limitOp{in: in, left: n} }
+
+type limitOp struct {
+	in   RowIterator
+	left int
+}
+
+func (op *limitOp) Next() (NodeRow, bool) {
+	if op.left <= 0 {
+		return NodeRow{}, false
+	}
+	row, ok := op.in.Next()
+	if !ok {
+		return NodeRow{}, false
+	}
+	op.left--
+	return row, true
+}
+
+// JoinedRow pairs tuples from a binary join.
+type JoinedRow struct {
+	Left, Right NodeRow
+}
+
+// PairIterator yields joined tuples.
+type PairIterator interface {
+	Next() (JoinedRow, bool)
+}
+
+// NestedLoopJoin joins two inputs with an arbitrary condition —
+// the general θ-join a relational engine falls back to. The right
+// input is materialized once (it is re-scanned per left tuple).
+func NestedLoopJoin(left, right RowIterator, cond func(l, r NodeRow) bool) PairIterator {
+	var rows []NodeRow
+	for {
+		r, ok := right.Next()
+		if !ok {
+			break
+		}
+		rows = append(rows, r)
+	}
+	return &nestedLoop{left: left, right: rows, cond: cond, ri: -1}
+}
+
+type nestedLoop struct {
+	left    RowIterator
+	right   []NodeRow
+	cond    func(l, r NodeRow) bool
+	cur     NodeRow
+	haveCur bool
+	ri      int
+}
+
+func (op *nestedLoop) Next() (JoinedRow, bool) {
+	for {
+		if !op.haveCur {
+			var ok bool
+			op.cur, ok = op.left.Next()
+			if !ok {
+				return JoinedRow{}, false
+			}
+			op.haveCur = true
+			op.ri = 0
+		} else {
+			op.ri++
+		}
+		for ; op.ri < len(op.right); op.ri++ {
+			if op.cond(op.cur, op.right[op.ri]) {
+				return JoinedRow{Left: op.cur, Right: op.right[op.ri]}, true
+			}
+		}
+		op.haveCur = false
+	}
+}
+
+// StructuralJoin joins left tuples to their right-side descendants
+// using the pre/subtree_end interval — the containment join XML
+// databases optimize; here expressed as a θ-join specialization.
+func StructuralJoin(left, right RowIterator) PairIterator {
+	return NestedLoopJoin(left, right, func(l, r NodeRow) bool {
+		return l.Pre <= r.Pre && r.Pre <= l.SubtreeEnd
+	})
+}
+
+// Collect drains an iterator into a slice (test/presentation helper).
+func Collect(in RowIterator) []NodeRow {
+	var out []NodeRow
+	for {
+		row, ok := in.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, row)
+	}
+}
+
+// CollectPairs drains a pair iterator.
+func CollectPairs(in PairIterator) []JoinedRow {
+	var out []JoinedRow
+	for {
+		row, ok := in.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, row)
+	}
+}

@@ -1,0 +1,115 @@
+package relstore
+
+import (
+	"testing"
+
+	"repro/internal/docgen"
+	"repro/internal/xmltree"
+)
+
+func TestFullScanAndSelect(t *testing.T) {
+	s := FromDocument(docgen.FigureOne())
+	rows := Collect(s.FullScan())
+	if len(rows) != 82 {
+		t.Fatalf("full scan = %d rows", len(rows))
+	}
+	pars := Collect(Select(s.FullScan(), func(r NodeRow) bool { return r.Tag == "par" }))
+	for _, r := range pars {
+		if r.Tag != "par" {
+			t.Fatalf("select leaked %v", r)
+		}
+	}
+	if len(pars) == 0 {
+		t.Fatal("no par rows")
+	}
+	// Select composes.
+	deep := Collect(Select(s.FullScan(), func(r NodeRow) bool { return r.Depth >= 4 }))
+	for _, r := range deep {
+		if r.Depth < 4 {
+			t.Fatal("depth select wrong")
+		}
+	}
+}
+
+func TestIndexScan(t *testing.T) {
+	s := FromDocument(docgen.FigureOne())
+	rows := Collect(s.IndexScan("optimization"))
+	if len(rows) != 3 || rows[0].Pre != 16 || rows[1].Pre != 17 || rows[2].Pre != 81 {
+		t.Fatalf("index scan = %v", rows)
+	}
+	if got := Collect(s.IndexScan("missingterm")); len(got) != 0 {
+		t.Fatalf("missing term scan = %v", got)
+	}
+}
+
+func TestLimit(t *testing.T) {
+	s := FromDocument(docgen.FigureOne())
+	if got := Collect(Limit(s.FullScan(), 5)); len(got) != 5 {
+		t.Fatalf("limit = %d rows", len(got))
+	}
+	if got := Collect(Limit(s.IndexScan("optimization"), 100)); len(got) != 3 {
+		t.Fatalf("limit beyond input = %d rows", len(got))
+	}
+	if got := Collect(Limit(s.FullScan(), 0)); len(got) != 0 {
+		t.Fatalf("limit 0 = %d rows", len(got))
+	}
+}
+
+// TestStructuralJoin checks the containment join: sections joined to
+// the xquery-bearing nodes inside them.
+func TestStructuralJoin(t *testing.T) {
+	s := FromDocument(docgen.FigureOne())
+	sections := Select(s.FullScan(), func(r NodeRow) bool { return r.Tag == "section" })
+	pairs := CollectPairs(StructuralJoin(sections, s.IndexScan("xquery")))
+	// Section n1 contains both xquery nodes (n17, n18); section n79
+	// contains none.
+	if len(pairs) != 2 {
+		t.Fatalf("pairs = %v", pairs)
+	}
+	for _, p := range pairs {
+		if p.Left.Pre != 1 {
+			t.Fatalf("xquery witness outside section n1: %v", p)
+		}
+		if p.Right.Pre != 17 && p.Right.Pre != 18 {
+			t.Fatalf("unexpected right tuple %v", p.Right)
+		}
+	}
+}
+
+// TestNestedLoopJoinSiblingCondition exercises the general θ-join
+// with a non-containment condition: pairs of distinct nodes sharing a
+// parent.
+func TestNestedLoopJoinSiblingCondition(t *testing.T) {
+	s := FromDocument(docgen.FigureThree())
+	cond := func(l, r NodeRow) bool {
+		return l.Pre != r.Pre && l.Parent == r.Parent && l.Parent != xmltree.InvalidNode
+	}
+	pairs := CollectPairs(NestedLoopJoin(s.FullScan(), s.FullScan(), cond))
+	// Figure 3 siblings: root's children {1,2,3,10} contribute 4×3
+	// ordered pairs; n3's children {4,6} contribute 2; n7's children
+	// {8,9} contribute 2 → 16.
+	if len(pairs) != 16 {
+		t.Fatalf("sibling pairs = %d, want 16", len(pairs))
+	}
+	for _, p := range pairs {
+		if p.Left.Parent != p.Right.Parent || p.Left.Pre == p.Right.Pre {
+			t.Fatalf("bad pair %v", p)
+		}
+	}
+}
+
+// TestOperatorPipelineEquivalence: the operator form of the keyword
+// seed scan equals the direct lookup.
+func TestOperatorPipelineEquivalence(t *testing.T) {
+	s := FromDocument(docgen.FigureOne())
+	viaOps := Collect(Select(s.IndexScan("optimization"), func(r NodeRow) bool { return r.Depth <= 3 }))
+	direct := 0
+	for _, id := range s.LookupTerm("optimization") {
+		if s.nodes[id].Depth <= 3 {
+			direct++
+		}
+	}
+	if len(viaOps) != direct {
+		t.Fatalf("operator pipeline = %d, direct = %d", len(viaOps), direct)
+	}
+}

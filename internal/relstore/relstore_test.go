@@ -1,0 +1,212 @@
+package relstore
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/docgen"
+	"repro/internal/filter"
+	"repro/internal/index"
+	"repro/internal/query"
+	"repro/internal/xmltree"
+)
+
+func TestFromDocumentRelations(t *testing.T) {
+	d := docgen.FigureOne()
+	s := FromDocument(d)
+	if s.NodeCount() != 82 {
+		t.Fatalf("node relation = %d rows, want 82", s.NodeCount())
+	}
+	if s.KeywordCount() == 0 {
+		t.Fatal("keyword relation empty")
+	}
+	row, err := s.Fetch(17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Parent != 16 || row.Depth != 4 || row.Tag != "par" {
+		t.Fatalf("Fetch(17) = %+v", row)
+	}
+	if _, err := s.Fetch(99); err == nil {
+		t.Fatal("Fetch out of range must error")
+	}
+}
+
+func TestScanNodes(t *testing.T) {
+	d := docgen.FigureThree()
+	s := FromDocument(d)
+	it := s.ScanNodes()
+	count := 0
+	prev := xmltree.NodeID(-1)
+	for {
+		row, ok := it.Next()
+		if !ok {
+			break
+		}
+		if row.Pre <= prev {
+			t.Fatal("scan not in Pre order")
+		}
+		prev = row.Pre
+		count++
+	}
+	if count != d.Len() {
+		t.Fatalf("scanned %d rows, want %d", count, d.Len())
+	}
+}
+
+func TestLookupTerm(t *testing.T) {
+	d := docgen.FigureOne()
+	s := FromDocument(d)
+	got := s.LookupTerm("optimization")
+	if len(got) != 3 || got[0] != 16 || got[1] != 17 || got[2] != 81 {
+		t.Fatalf("LookupTerm = %v", got)
+	}
+	if s.LookupTerm("missing") != nil && len(s.LookupTerm("missing")) != 0 {
+		t.Fatal("missing term must yield empty")
+	}
+}
+
+func TestRelationalLCA(t *testing.T) {
+	d := docgen.FigureOne()
+	s := FromDocument(d)
+	cases := []struct{ a, b, want xmltree.NodeID }{
+		{17, 18, 16}, {17, 81, 0}, {16, 17, 16}, {5, 5, 5}, {2, 18, 1},
+	}
+	for _, tc := range cases {
+		if got := s.LCA(tc.a, tc.b); got != tc.want {
+			t.Errorf("LCA(%v,%v) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+		// Agrees with the native implementation.
+		if got := d.LCA(tc.a, tc.b); got != tc.want {
+			t.Errorf("native LCA(%v,%v) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestPathToRoot(t *testing.T) {
+	d := docgen.FigureOne()
+	s := FromDocument(d)
+	got := s.PathToRoot(17)
+	want := []xmltree.NodeID{17, 16, 14, 1, 0}
+	if len(got) != len(want) {
+		t.Fatalf("PathToRoot = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("PathToRoot = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestExecutorMatchesNativeEngine is the perf-rel correctness side:
+// the relational executor returns exactly the native answer set.
+func TestExecutorMatchesNativeEngine(t *testing.T) {
+	docs := []*xmltree.Document{docgen.FigureOne()}
+	if synth, err := docgen.Generate(docgen.Config{
+		Seed: 61, Sections: 3, MeanFanout: 3, Depth: 2, VocabSize: 50,
+		Plant: map[string]int{"relterma": 5, "reltermb": 4},
+	}); err == nil {
+		docs = append(docs, synth)
+	} else {
+		t.Fatal(err)
+	}
+	queries := []struct{ terms, filters string }{
+		{"xquery optimization", "size<=3"},
+		{"xquery optimization", "size<=2,height<=1"},
+		{"relterma reltermb", "size<=4"},
+		{"relterma reltermb", "width<=10"},
+	}
+	for _, d := range docs {
+		x := index.New(d)
+		ex := NewExecutor(FromDocument(d))
+		for _, qc := range queries {
+			q, err := query.Parse(qc.terms, qc.filters)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if q.Terms[0] == "xquery" && d.Name() != "figure1.xml" {
+				continue
+			}
+			if q.Terms[0] == "relterma" && d.Name() == "figure1.xml" {
+				continue
+			}
+			native, err := query.Evaluate(x, q, query.Options{Auto: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rel, err := ex.Evaluate(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rel.Equal(native.Answers) {
+				t.Fatalf("doc %s, query %v: relational=%v native=%v",
+					d.Name(), q, rel, native.Answers)
+			}
+		}
+	}
+}
+
+func TestExecutorEmptyCases(t *testing.T) {
+	d := docgen.FigureOne()
+	ex := NewExecutor(FromDocument(d))
+	q, err := query.New([]string{"xquery", "absentterm"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ex.Evaluate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 0 {
+		t.Fatalf("absent term must empty the answer, got %v", res)
+	}
+	if _, err := ex.Evaluate(query.Query{}); err == nil {
+		t.Fatal("empty query must error")
+	}
+}
+
+func TestExecutorResidualFilter(t *testing.T) {
+	d := docgen.FigureOne()
+	ex := NewExecutor(FromDocument(d))
+	q, err := query.New([]string{"xquery", "optimization"},
+		filter.MaxSize(3), filter.MinSize(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ex.Evaluate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ⟨n17⟩ excluded by the residual size>1.
+	if res.Len() != 3 {
+		t.Fatalf("answers = %v, want 3", res)
+	}
+}
+
+func TestSQLPlan(t *testing.T) {
+	q, err := query.Parse("xquery optimization", "size<=3,height<=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := SQLPlan(q)
+	for _, want := range []string{
+		"WITH seeds_1",
+		"WHERE term = 'xquery'",
+		"WHERE term = 'optimization'",
+		"ancestors AS",
+		"frag.node_count <= 3",
+		"frag.height <= 2",
+	} {
+		if !strings.Contains(plan, want) {
+			t.Fatalf("SQL plan missing %q:\n%s", want, plan)
+		}
+	}
+	// Quoting: a term with an apostrophe must be escaped.
+	q2, err := query.New([]string{"o'brien", "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(SQLPlan(q2), "'o''brien'") {
+		t.Fatalf("apostrophe not escaped:\n%s", SQLPlan(q2))
+	}
+}

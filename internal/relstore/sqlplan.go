@@ -1,0 +1,61 @@
+package relstore
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/query"
+)
+
+// SQLPlan renders the SQL a relational implementation of the query
+// would issue against the Node/Keyword schema, documenting the
+// storage mapping of the author's WISE'04 companion paper [13]: the
+// keyword selections become indexed lookups on Keyword(term, pre),
+// the structural work (LCA, path closure) becomes a recursive CTE
+// over Node(pre, parent, depth, subtree_end, tag), and the
+// anti-monotonic filter appears as a WHERE clause on every join level
+// (Theorem 3). The text is documentation — this package's executor
+// evaluates the equivalent access paths in memory — but it is exact
+// enough to paste into a database prototype.
+func SQLPlan(q query.Query) string {
+	var sb strings.Builder
+	sb.WriteString("-- schema: Node(pre PRIMARY KEY, parent, depth, subtree_end, tag)\n")
+	sb.WriteString("--         Keyword(term, pre), INDEX(term)\n\n")
+	for i, term := range q.Terms {
+		fmt.Fprintf(&sb, "WITH seeds_%d AS (              -- σ[keyword=%s](nodes(D))\n", i+1, term)
+		fmt.Fprintf(&sb, "  SELECT pre FROM Keyword WHERE term = '%s'\n),\n", escapeSQL(term))
+	}
+	sb.WriteString("ancestors AS (                 -- recursive path closure for joins\n")
+	sb.WriteString("  SELECT pre, pre AS anc FROM Node\n")
+	sb.WriteString("  UNION ALL\n")
+	sb.WriteString("  SELECT a.pre, n.parent FROM ancestors a JOIN Node n ON n.pre = a.anc\n")
+	sb.WriteString("  WHERE n.parent IS NOT NULL\n)\n")
+	push := q.Pushable()
+	cond := "TRUE"
+	if !push.IsZero() && push.Name != "true" {
+		cond = sqlCondition(push.Name)
+	}
+	sb.WriteString("-- fragment join of two seeds s1, s2: union of their root paths up to\n")
+	sb.WriteString("-- the lowest common ancestor; the filter prunes before materialization\n")
+	fmt.Fprintf(&sb, "SELECT frag.* FROM fragments frag WHERE %s;\n", cond)
+	return sb.String()
+}
+
+// sqlCondition renders a filter name as the WHERE clause a relational
+// engine would evaluate per candidate fragment.
+func sqlCondition(name string) string {
+	r := strings.NewReplacer(
+		"size<=", "frag.node_count <= ",
+		"height<=", "frag.height <= ",
+		"width<=", "frag.pre_span <= ",
+		"depth<=", "frag.max_depth <= ",
+		"leaves<=", "frag.leaf_count <= ",
+		" AND ", " AND ",
+		"(", "(", ")", ")",
+	)
+	return r.Replace(name)
+}
+
+func escapeSQL(s string) string {
+	return strings.ReplaceAll(s, "'", "''")
+}

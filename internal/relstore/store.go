@@ -1,0 +1,146 @@
+// Package relstore demonstrates the paper's implementability claim
+// ("the model can be easily implemented on top of an existing
+// relational database", Section 7, citing the author's WISE'04 paper):
+// it maps the document into two relations and evaluates queries using
+// only relational access paths — index lookups on the keyword
+// relation and self-joins on the node relation via parent pointers —
+// never the O(1) structural shortcuts of the native in-memory engine.
+// The perf-rel experiment compares the two executors.
+package relstore
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/xmltree"
+)
+
+// NodeRow is one tuple of the node relation
+// Node(pre, parent, depth, subtreeEnd, tag): the standard relational
+// encoding of an ordered tree (pre/size interval plus parent pointer).
+type NodeRow struct {
+	Pre        xmltree.NodeID
+	Parent     xmltree.NodeID
+	Depth      int32
+	SubtreeEnd xmltree.NodeID
+	Tag        string
+}
+
+// KeywordRow is one tuple of the keyword relation Keyword(term, pre).
+type KeywordRow struct {
+	Term string
+	Pre  xmltree.NodeID
+}
+
+// Store holds the two relations plus a secondary index on
+// Keyword.term (the relational analogue of a B-tree on the term
+// column). The original document is retained only so results can be
+// handed back as fragments of it; evaluation never touches it.
+type Store struct {
+	doc      *xmltree.Document
+	nodes    []NodeRow
+	keywords []KeywordRow
+	termIdx  map[string][]int // term → row offsets in keywords, sorted by Pre
+}
+
+// FromDocument shreds d into relations.
+func FromDocument(d *xmltree.Document) *Store {
+	s := &Store{
+		doc:     d,
+		nodes:   make([]NodeRow, d.Len()),
+		termIdx: make(map[string][]int),
+	}
+	for id := xmltree.NodeID(0); int(id) < d.Len(); id++ {
+		s.nodes[id] = NodeRow{
+			Pre:        id,
+			Parent:     d.Parent(id),
+			Depth:      int32(d.Depth(id)),
+			SubtreeEnd: d.SubtreeEnd(id),
+			Tag:        d.Tag(id),
+		}
+		for _, t := range d.Keywords(id) {
+			s.termIdx[t] = append(s.termIdx[t], len(s.keywords))
+			s.keywords = append(s.keywords, KeywordRow{Term: t, Pre: id})
+		}
+	}
+	return s
+}
+
+// Document returns the backing document (for result presentation only).
+func (s *Store) Document() *xmltree.Document { return s.doc }
+
+// NodeCount returns the cardinality of the node relation.
+func (s *Store) NodeCount() int { return len(s.nodes) }
+
+// KeywordCount returns the cardinality of the keyword relation.
+func (s *Store) KeywordCount() int { return len(s.keywords) }
+
+// ScanNodes returns an iterator over the node relation in Pre order
+// (a full table scan).
+func (s *Store) ScanNodes() *NodeIter { return &NodeIter{rows: s.nodes} }
+
+// NodeIter is a volcano-style iterator over node tuples.
+type NodeIter struct {
+	rows []NodeRow
+	pos  int
+}
+
+// Next returns the next tuple, or false when exhausted.
+func (it *NodeIter) Next() (NodeRow, bool) {
+	if it.pos >= len(it.rows) {
+		return NodeRow{}, false
+	}
+	r := it.rows[it.pos]
+	it.pos++
+	return r, true
+}
+
+// LookupTerm performs the indexed selection
+// π_pre(σ_{term=t}(Keyword)) and returns matching node IDs in
+// document order.
+func (s *Store) LookupTerm(term string) []xmltree.NodeID {
+	offs := s.termIdx[term]
+	out := make([]xmltree.NodeID, len(offs))
+	for i, o := range offs {
+		out[i] = s.keywords[o].Pre
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Fetch performs the key lookup σ_{pre=id}(Node).
+func (s *Store) Fetch(id xmltree.NodeID) (NodeRow, error) {
+	if id < 0 || int(id) >= len(s.nodes) {
+		return NodeRow{}, fmt.Errorf("relstore: no node with pre=%d", id)
+	}
+	return s.nodes[id], nil
+}
+
+// PathToRoot returns id's ancestor chain (id first, root last) by
+// iterated parent-pointer self-joins on the node relation.
+func (s *Store) PathToRoot(id xmltree.NodeID) []xmltree.NodeID {
+	var path []xmltree.NodeID
+	for v := id; v != xmltree.InvalidNode; v = s.nodes[v].Parent {
+		path = append(path, v)
+	}
+	return path
+}
+
+// LCA computes the lowest common ancestor by the relational method:
+// walk the deeper node up (one parent-pointer join per step) until the
+// depths match, then walk both up until they meet. This is the cost
+// profile a recursive SQL evaluation would have, as opposed to the
+// O(1) sparse-table answer of the native engine.
+func (s *Store) LCA(a, b xmltree.NodeID) xmltree.NodeID {
+	for s.nodes[a].Depth > s.nodes[b].Depth {
+		a = s.nodes[a].Parent
+	}
+	for s.nodes[b].Depth > s.nodes[a].Depth {
+		b = s.nodes[b].Parent
+	}
+	for a != b {
+		a = s.nodes[a].Parent
+		b = s.nodes[b].Parent
+	}
+	return a
+}

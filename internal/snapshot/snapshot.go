@@ -1,0 +1,189 @@
+// Package snapshot persists documents and collections to disk so a
+// corpus is parsed and shredded once and reopened cheaply — the
+// operational piece a production deployment needs around the
+// in-memory engine. The format stores the tree structure and contents
+// (parents, tags, texts) with encoding/gob behind a versioned header;
+// derived structures (keywords, intervals, the LCA table, the
+// inverted index) are rebuilt on load, which keeps the format small
+// and forward-compatible with indexing changes.
+package snapshot
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/collection"
+	"repro/internal/xmltree"
+)
+
+// magic identifies snapshot files; version gates format changes.
+const (
+	magic   = "XFRAGSNAP"
+	version = 1
+)
+
+// docRecord is the serialized form of one document.
+type docRecord struct {
+	Name    string
+	Parents []int32 // parent of node i (i >= 1); implicit pre-order IDs
+	Tags    []string
+	Texts   []string
+}
+
+// header leads every snapshot file.
+type header struct {
+	Magic     string
+	Version   int
+	Documents int
+}
+
+// WriteDocument snapshots a single document to w.
+func WriteDocument(w io.Writer, d *xmltree.Document) error {
+	return write(w, []*xmltree.Document{d})
+}
+
+// WriteCollection snapshots every document of c to w, in collection
+// order.
+func WriteCollection(w io.Writer, c *collection.Collection) error {
+	var docs []*xmltree.Document
+	for _, name := range c.Names() {
+		docs = append(docs, c.Engine(name).Document())
+	}
+	return write(w, docs)
+}
+
+func write(w io.Writer, docs []*xmltree.Document) error {
+	bw := bufio.NewWriter(w)
+	enc := gob.NewEncoder(bw)
+	if err := enc.Encode(header{Magic: magic, Version: version, Documents: len(docs)}); err != nil {
+		return fmt.Errorf("snapshot: write header: %w", err)
+	}
+	for _, d := range docs {
+		rec := docRecord{
+			Name:    d.Name(),
+			Parents: make([]int32, d.Len()-1),
+			Tags:    make([]string, d.Len()),
+			Texts:   make([]string, d.Len()),
+		}
+		for id := 0; id < d.Len(); id++ {
+			if id > 0 {
+				rec.Parents[id-1] = int32(d.Parent(xmltree.NodeID(id)))
+			}
+			rec.Tags[id] = d.Tag(xmltree.NodeID(id))
+			rec.Texts[id] = d.Text(xmltree.NodeID(id))
+		}
+		if err := enc.Encode(rec); err != nil {
+			return fmt.Errorf("snapshot: write %s: %w", d.Name(), err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadDocuments loads every document from a snapshot.
+func ReadDocuments(r io.Reader) ([]*xmltree.Document, error) {
+	dec := gob.NewDecoder(bufio.NewReader(r))
+	var h header
+	if err := dec.Decode(&h); err != nil {
+		return nil, fmt.Errorf("snapshot: read header: %w", err)
+	}
+	if h.Magic != magic {
+		return nil, fmt.Errorf("snapshot: not a snapshot file (magic %q)", h.Magic)
+	}
+	if h.Version != version {
+		return nil, fmt.Errorf("snapshot: unsupported version %d (want %d)", h.Version, version)
+	}
+	if h.Documents < 0 {
+		return nil, fmt.Errorf("snapshot: negative document count")
+	}
+	docs := make([]*xmltree.Document, 0, h.Documents)
+	for i := 0; i < h.Documents; i++ {
+		var rec docRecord
+		if err := dec.Decode(&rec); err != nil {
+			return nil, fmt.Errorf("snapshot: read document %d: %w", i, err)
+		}
+		d, err := rebuild(rec)
+		if err != nil {
+			return nil, fmt.Errorf("snapshot: document %d (%s): %w", i, rec.Name, err)
+		}
+		docs = append(docs, d)
+	}
+	return docs, nil
+}
+
+// ReadCollection loads a snapshot into a fresh collection.
+func ReadCollection(r io.Reader) (*collection.Collection, error) {
+	docs, err := ReadDocuments(r)
+	if err != nil {
+		return nil, err
+	}
+	c := collection.New()
+	for _, d := range docs {
+		if err := c.Add(d); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+func rebuild(rec docRecord) (*xmltree.Document, error) {
+	n := len(rec.Tags)
+	if n == 0 || len(rec.Texts) != n || len(rec.Parents) != n-1 {
+		return nil, fmt.Errorf("inconsistent record (tags=%d texts=%d parents=%d)",
+			len(rec.Tags), len(rec.Texts), len(rec.Parents))
+	}
+	b := xmltree.NewBuilder(rec.Name, rec.Tags[0], rec.Texts[0])
+	for i := 1; i < n; i++ {
+		p := rec.Parents[i-1]
+		if p < 0 || int(p) >= i {
+			return nil, fmt.Errorf("node %d has invalid parent %d", i, p)
+		}
+		// Builder enforces the pre-order discipline and panics on
+		// violation; convert that into an error for corrupt input.
+		if err := safeAdd(b, xmltree.NodeID(p), rec.Tags[i], rec.Texts[i]); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build(), nil
+}
+
+func safeAdd(b *xmltree.Builder, parent xmltree.NodeID, tag, text string) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("corrupt structure: %v", r)
+		}
+	}()
+	b.AddNode(parent, tag, text)
+	return nil
+}
+
+// SaveFile snapshots docs to path (atomically via a temp file).
+func SaveFile(path string, docs ...*xmltree.Document) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := write(f, docs); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadFile loads every document from the snapshot at path.
+func LoadFile(path string) ([]*xmltree.Document, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadDocuments(f)
+}

@@ -1,0 +1,66 @@
+package textutil
+
+import "sort"
+
+// TermStats accumulates term frequencies across a corpus or document.
+// The cost model (internal/cost) uses it to estimate keyword
+// selectivities when choosing an evaluation strategy.
+type TermStats struct {
+	counts map[string]int
+	total  int
+}
+
+// NewTermStats returns an empty accumulator.
+func NewTermStats() *TermStats {
+	return &TermStats{counts: make(map[string]int)}
+}
+
+// Add records one occurrence of each token.
+func (s *TermStats) Add(tokens ...string) {
+	for _, t := range tokens {
+		s.counts[t]++
+		s.total++
+	}
+}
+
+// Count returns the number of recorded occurrences of term.
+func (s *TermStats) Count(term string) int { return s.counts[term] }
+
+// Total returns the total number of recorded occurrences.
+func (s *TermStats) Total() int { return s.total }
+
+// Distinct returns the number of distinct terms recorded.
+func (s *TermStats) Distinct() int { return len(s.counts) }
+
+// Frequency returns the relative frequency of term in [0,1].
+func (s *TermStats) Frequency(term string) float64 {
+	if s.total == 0 {
+		return 0
+	}
+	return float64(s.counts[term]) / float64(s.total)
+}
+
+// TermCount pairs a term with its occurrence count.
+type TermCount struct {
+	Term  string
+	Count int
+}
+
+// Top returns the n most frequent terms, ties broken lexicographically.
+// If n exceeds the number of distinct terms, all terms are returned.
+func (s *TermStats) Top(n int) []TermCount {
+	all := make([]TermCount, 0, len(s.counts))
+	for t, c := range s.counts {
+		all = append(all, TermCount{Term: t, Count: c})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Count != all[j].Count {
+			return all[i].Count > all[j].Count
+		}
+		return all[i].Term < all[j].Term
+	})
+	if n < len(all) {
+		all = all[:n]
+	}
+	return all
+}

@@ -1,0 +1,35 @@
+package textutil
+
+// stopwords is a small English stop-word list. Document-centric XML has
+// long textual contents (Section 1); indexing every function word would
+// bloat posting lists without adding retrieval power. The list is kept
+// deliberately conservative: it never removes words that could plausibly
+// be technical query terms.
+var stopwords = map[string]struct{}{
+	"a": {}, "an": {}, "and": {}, "are": {}, "as": {}, "at": {},
+	"be": {}, "but": {}, "by": {}, "for": {}, "from": {}, "has": {},
+	"have": {}, "he": {}, "her": {}, "his": {}, "in": {}, "is": {},
+	"it": {}, "its": {}, "of": {}, "on": {}, "or": {}, "she": {},
+	"that": {}, "the": {}, "their": {}, "them": {}, "these": {},
+	"they": {}, "this": {}, "to": {}, "was": {}, "were": {}, "which": {},
+	"will": {}, "with": {},
+}
+
+// IsStopword reports whether the (already normalized) token is a
+// stop word.
+func IsStopword(tok string) bool {
+	_, ok := stopwords[tok]
+	return ok
+}
+
+// RemoveStopwords filters stop words out of tokens in place and returns
+// the shortened slice.
+func RemoveStopwords(tokens []string) []string {
+	out := tokens[:0]
+	for _, t := range tokens {
+		if !IsStopword(t) {
+			out = append(out, t)
+		}
+	}
+	return out
+}

@@ -1,0 +1,148 @@
+package textutil
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenize(t *testing.T) {
+	tests := []struct {
+		in   string
+		want []string
+	}{
+		{"", nil},
+		{"   ", nil},
+		{"Hello World", []string{"hello", "world"}},
+		{"XQuery, optimization!", []string{"xquery", "optimization"}},
+		{"cost-based rules", []string{"cost-based", "rules"}},
+		{"foo_bar baz's", []string{"foo_bar", "baz's"}},
+		{"--dashes-- 'quotes'", []string{"dashes", "quotes"}},
+		{"x1 2y 3", []string{"x1", "2y", "3"}},
+		{"a.b,c;d", []string{"a", "b", "c", "d"}},
+		{"ümlaut Tóken", []string{"ümlaut", "tóken"}},
+		{"...", nil},
+		{"trailing-", []string{"trailing"}},
+	}
+	for _, tc := range tests {
+		if got := Tokenize(tc.in); !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestTokenizeUnique(t *testing.T) {
+	got := TokenizeUnique("a b a c b a")
+	want := []string{"a", "b", "c"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("TokenizeUnique = %v, want %v", got, want)
+	}
+	if got := TokenizeUnique(""); got != nil {
+		t.Fatalf("TokenizeUnique(empty) = %v", got)
+	}
+}
+
+func TestNormalizeTerm(t *testing.T) {
+	tests := []struct{ in, want string }{
+		{"XQuery", "xquery"},
+		{"  Optimization!  ", "optimization"},
+		{"", ""},
+		{"???", ""},
+		{"two words", "two"},
+	}
+	for _, tc := range tests {
+		if got := NormalizeTerm(tc.in); got != tc.want {
+			t.Errorf("NormalizeTerm(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestNormalizeTerms(t *testing.T) {
+	got := NormalizeTerms([]string{"XQuery", "optimization", "XQUERY", "", "!!"})
+	want := []string{"xquery", "optimization"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("NormalizeTerms = %v, want %v", got, want)
+	}
+}
+
+func TestStopwords(t *testing.T) {
+	if !IsStopword("the") || !IsStopword("and") {
+		t.Error("common stop words must be detected")
+	}
+	if IsStopword("xquery") || IsStopword("optimization") {
+		t.Error("content words must not be stop words")
+	}
+	got := RemoveStopwords([]string{"the", "quick", "and", "brown"})
+	want := []string{"quick", "brown"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("RemoveStopwords = %v, want %v", got, want)
+	}
+}
+
+// TestQuickTokenizeIdempotent: tokenizing the join of tokens yields
+// the same tokens (normalization is a fixpoint).
+func TestQuickTokenizeIdempotent(t *testing.T) {
+	prop := func(s string) bool {
+		first := Tokenize(s)
+		var rejoined string
+		for i, tok := range first {
+			if i > 0 {
+				rejoined += " "
+			}
+			rejoined += tok
+		}
+		second := Tokenize(rejoined)
+		return reflect.DeepEqual(first, second) || (len(first) == 0 && len(second) == 0)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickTokensAreNormalized: every token is lower-case and free of
+// leading/trailing connector runes.
+func TestQuickTokensAreNormalized(t *testing.T) {
+	prop := func(s string) bool {
+		for _, tok := range Tokenize(s) {
+			if tok == "" {
+				return false
+			}
+			if NormalizeTerm(tok) != tok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTermStats(t *testing.T) {
+	s := NewTermStats()
+	s.Add("a", "b", "a", "c", "a")
+	if s.Count("a") != 3 || s.Count("b") != 1 || s.Count("missing") != 0 {
+		t.Fatal("counts wrong")
+	}
+	if s.Total() != 5 || s.Distinct() != 3 {
+		t.Fatalf("Total=%d Distinct=%d", s.Total(), s.Distinct())
+	}
+	if got := s.Frequency("a"); got != 0.6 {
+		t.Fatalf("Frequency(a) = %v", got)
+	}
+	top := s.Top(2)
+	if len(top) != 2 || top[0].Term != "a" || top[0].Count != 3 {
+		t.Fatalf("Top = %v", top)
+	}
+	// Ties break lexicographically.
+	if top[1].Term != "b" {
+		t.Fatalf("Top[1] = %v, want b before c", top[1])
+	}
+	if all := s.Top(100); len(all) != 3 {
+		t.Fatalf("Top(100) = %v", all)
+	}
+	empty := NewTermStats()
+	if empty.Frequency("x") != 0 {
+		t.Fatal("empty stats frequency must be 0")
+	}
+}

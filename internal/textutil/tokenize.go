@@ -1,0 +1,105 @@
+// Package textutil provides tokenization and term-normalization helpers
+// used to derive the keywords(n) function of the paper (Definition 1):
+// the representative keywords of the textual content associated with a
+// document node.
+//
+// The paper does not distinguish between tag/attribute names and text
+// contents (Section 2.1, following XRank and Schema-Free XQuery); the
+// document layer therefore tokenizes all three through this package.
+package textutil
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Tokenize splits s into lower-cased word tokens. A token is a maximal
+// run of letters, digits, or connector runes ('-', '_', '\”), with
+// leading/trailing connectors stripped. Empty tokens are dropped.
+func Tokenize(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var tokens []string
+	start := -1
+	flush := func(end int) {
+		if start < 0 {
+			return
+		}
+		tok := normalizeToken(s[start:end])
+		if tok != "" {
+			tokens = append(tokens, tok)
+		}
+		start = -1
+	}
+	for i, r := range s {
+		if isTokenRune(r) {
+			if start < 0 {
+				start = i
+			}
+			continue
+		}
+		flush(i)
+	}
+	flush(len(s))
+	return tokens
+}
+
+// TokenizeUnique returns the distinct tokens of s in first-appearance
+// order. It is the basis of keywords(n): a node "has" a keyword if the
+// keyword occurs at least once in its associated content.
+func TokenizeUnique(s string) []string {
+	tokens := Tokenize(s)
+	if len(tokens) <= 1 {
+		return tokens
+	}
+	seen := make(map[string]struct{}, len(tokens))
+	out := tokens[:0]
+	for _, t := range tokens {
+		if _, dup := seen[t]; dup {
+			continue
+		}
+		seen[t] = struct{}{}
+		out = append(out, t)
+	}
+	return out
+}
+
+func isTokenRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) ||
+		r == '-' || r == '_' || r == '\''
+}
+
+func normalizeToken(tok string) string {
+	tok = strings.Trim(tok, "-_'")
+	return strings.ToLower(tok)
+}
+
+// NormalizeTerm normalizes a user-supplied query term the same way
+// document tokens are normalized, so that matching is symmetric.
+func NormalizeTerm(term string) string {
+	tokens := Tokenize(term)
+	if len(tokens) == 0 {
+		return ""
+	}
+	return tokens[0]
+}
+
+// NormalizeTerms normalizes each query term and drops terms that
+// normalize to nothing or are duplicates, preserving order.
+func NormalizeTerms(terms []string) []string {
+	var out []string
+	seen := make(map[string]struct{}, len(terms))
+	for _, t := range terms {
+		n := NormalizeTerm(t)
+		if n == "" {
+			continue
+		}
+		if _, dup := seen[n]; dup {
+			continue
+		}
+		seen[n] = struct{}{}
+		out = append(out, n)
+	}
+	return out
+}

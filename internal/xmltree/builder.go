@@ -1,0 +1,139 @@
+package xmltree
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/textutil"
+)
+
+// Builder constructs a Document node by node in pre-order. The zero
+// value is not usable; call NewBuilder.
+//
+// Nodes must be added in depth-first pre-order: each AddNode call names
+// a parent that was already added, and all descendants of a node must be
+// added before any of its following siblings. This matches how both the
+// XML parser and the synthetic generator naturally emit nodes and is
+// what gives NodeIDs their pre-order meaning.
+type Builder struct {
+	name     string
+	parent   []NodeID
+	children [][]NodeID
+	depth    []int32
+	tags     []string
+	texts    []string
+	done     bool
+}
+
+// NewBuilder starts a document with the given name and a root element
+// with the given tag and direct text.
+func NewBuilder(name, rootTag, rootText string) *Builder {
+	b := &Builder{name: name}
+	b.parent = append(b.parent, InvalidNode)
+	b.children = append(b.children, nil)
+	b.depth = append(b.depth, 0)
+	b.tags = append(b.tags, rootTag)
+	b.texts = append(b.texts, rootText)
+	return b
+}
+
+// AddNode appends a node under parent and returns its NodeID. It panics
+// if parent is unknown or if the pre-order discipline is violated
+// (i.e. parent already has a following sibling added after it).
+func (b *Builder) AddNode(parent NodeID, tag, text string) NodeID {
+	if b.done {
+		panic("xmltree: Builder reused after Build")
+	}
+	if parent < 0 || int(parent) >= len(b.parent) {
+		panic(fmt.Sprintf("xmltree: AddNode under unknown parent %d", parent))
+	}
+	// Pre-order check: every node added since parent must be inside
+	// parent's subtree, which holds iff the most recently added node's
+	// ancestor chain reaches parent.
+	last := NodeID(len(b.parent) - 1)
+	if last != parent {
+		ok := false
+		for v := last; v != InvalidNode; v = b.parent[v] {
+			if v == parent {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			panic(fmt.Sprintf("xmltree: AddNode(%v) violates pre-order (last added %v is outside its subtree)", parent, last))
+		}
+	}
+	id := NodeID(len(b.parent))
+	b.parent = append(b.parent, parent)
+	b.children = append(b.children, nil)
+	b.children[parent] = append(b.children[parent], id)
+	b.depth = append(b.depth, b.depth[parent]+1)
+	b.tags = append(b.tags, tag)
+	b.texts = append(b.texts, text)
+	return id
+}
+
+// SetText replaces the direct text of an already-added node.
+func (b *Builder) SetText(id NodeID, text string) {
+	b.texts[id] = text
+}
+
+// Len returns the number of nodes added so far.
+func (b *Builder) Len() int { return len(b.parent) }
+
+// Build finalizes the document: computes subtree intervals, keyword
+// sets, term statistics and the LCA table. The Builder must not be used
+// afterwards.
+func (b *Builder) Build() *Document {
+	if b.done {
+		panic("xmltree: Build called twice")
+	}
+	b.done = true
+	n := len(b.parent)
+	d := &Document{
+		name:     b.name,
+		parent:   b.parent,
+		children: b.children,
+		depth:    b.depth,
+		postEnd:  make([]NodeID, n),
+		tags:     b.tags,
+		texts:    b.texts,
+		keywords: make([][]string, n),
+		stats:    textutil.NewTermStats(),
+	}
+	// Subtree intervals: in pre-order, the subtree of v ends just
+	// before the next node at depth <= depth(v). Computed right-to-left.
+	for v := n - 1; v >= 0; v-- {
+		end := NodeID(v)
+		for _, c := range d.children[v] {
+			if d.postEnd[c] > end {
+				end = d.postEnd[c]
+			}
+		}
+		d.postEnd[v] = end
+	}
+	for v := 0; v < n; v++ {
+		toks := textutil.Tokenize(d.tags[v])
+		toks = append(toks, textutil.Tokenize(d.texts[v])...)
+		toks = textutil.RemoveStopwords(toks)
+		d.stats.Add(toks...)
+		sort.Strings(toks)
+		toks = dedupSorted(toks)
+		d.keywords[v] = toks
+	}
+	d.lca = buildLCATable(d)
+	return d
+}
+
+func dedupSorted(s []string) []string {
+	if len(s) <= 1 {
+		return s
+	}
+	out := s[:1]
+	for _, v := range s[1:] {
+		if v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,85 @@
+package xmltree
+
+import "testing"
+
+func TestBuilderPreOrderDiscipline(t *testing.T) {
+	b := NewBuilder("t", "root", "")
+	a := b.AddNode(0, "a", "")
+	b.AddNode(a, "a1", "")
+	c := b.AddNode(0, "c", "") // closes a's subtree
+	b.AddNode(c, "c1", "")
+	// Adding under a now violates pre-order: a's subtree is closed.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddNode violating pre-order should panic")
+		}
+	}()
+	b.AddNode(a, "late", "")
+}
+
+func TestBuilderUnknownParentPanics(t *testing.T) {
+	b := NewBuilder("t", "root", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddNode under unknown parent should panic")
+		}
+	}()
+	b.AddNode(42, "x", "")
+}
+
+func TestBuilderBuildTwicePanics(t *testing.T) {
+	b := NewBuilder("t", "root", "")
+	b.Build()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Build should panic")
+		}
+	}()
+	b.Build()
+}
+
+func TestBuilderSetText(t *testing.T) {
+	b := NewBuilder("t", "root", "")
+	id := b.AddNode(0, "x", "old")
+	b.SetText(id, "new words")
+	d := b.Build()
+	if d.Text(id) != "new words" {
+		t.Fatalf("Text = %q", d.Text(id))
+	}
+	if !d.HasKeyword(id, "words") {
+		t.Fatal("keywords must reflect updated text")
+	}
+}
+
+func TestBuilderKeywordNormalization(t *testing.T) {
+	b := NewBuilder("t", "root", "")
+	id := b.AddNode(0, "Par", "The XQuery OPTIMIZATION rules")
+	d := b.Build()
+	// Lower-cased, stop words removed, tag included.
+	if !d.HasKeyword(id, "xquery") || !d.HasKeyword(id, "optimization") || !d.HasKeyword(id, "par") {
+		t.Fatalf("keywords = %v", d.Keywords(id))
+	}
+	if d.HasKeyword(id, "the") {
+		t.Fatal("stop word 'the' must not be indexed")
+	}
+	// keywords(n) is sorted and duplicate-free.
+	kw := d.Keywords(id)
+	for i := 1; i < len(kw); i++ {
+		if kw[i-1] >= kw[i] {
+			t.Fatalf("keywords not strictly sorted: %v", kw)
+		}
+	}
+}
+
+func TestBuilderStats(t *testing.T) {
+	b := NewBuilder("t", "root", "alpha alpha beta")
+	b.AddNode(0, "x", "alpha")
+	d := b.Build()
+	// "alpha" appears 3 times (2 + 1), "beta" once, plus tag tokens.
+	if got := d.Stats().Count("alpha"); got != 3 {
+		t.Fatalf("Count(alpha) = %d, want 3", got)
+	}
+	if got := d.Stats().Count("beta"); got != 1 {
+		t.Fatalf("Count(beta) = %d, want 1", got)
+	}
+}

@@ -1,0 +1,135 @@
+package xmltree
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// DeweyLabel is a path-based node label: the sequence of child ranks
+// from the root (whose label is empty). Dewey labels are the classic
+// prefix-labelling scheme for XML (XRank [7] uses them for its
+// ranking; the paper's related work discusses them as index support):
+// ancestor tests are prefix tests and the LCA is the longest common
+// prefix, all without touching the tree.
+type DeweyLabel []int32
+
+// String renders the label in the conventional dotted form; the root
+// is "ε".
+func (l DeweyLabel) String() string {
+	if len(l) == 0 {
+		return "ε"
+	}
+	parts := make([]string, len(l))
+	for i, c := range l {
+		parts[i] = strconv.Itoa(int(c))
+	}
+	return strings.Join(parts, ".")
+}
+
+// ParseDeweyLabel parses the dotted form ("1.0.2"); "ε" or "" is the
+// root.
+func ParseDeweyLabel(s string) (DeweyLabel, error) {
+	if s == "" || s == "ε" {
+		return DeweyLabel{}, nil
+	}
+	parts := strings.Split(s, ".")
+	l := make(DeweyLabel, len(parts))
+	for i, p := range parts {
+		n, err := strconv.Atoi(p)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("xmltree: bad dewey component %q in %q", p, s)
+		}
+		l[i] = int32(n)
+	}
+	return l, nil
+}
+
+// IsPrefixOf reports whether l is a prefix of (i.e. an
+// ancestor-or-self label of) m.
+func (l DeweyLabel) IsPrefixOf(m DeweyLabel) bool {
+	if len(l) > len(m) {
+		return false
+	}
+	for i := range l {
+		if l[i] != m[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// CommonPrefix returns the longest common prefix of l and m — the
+// Dewey label of their LCA.
+func (l DeweyLabel) CommonPrefix(m DeweyLabel) DeweyLabel {
+	n := len(l)
+	if len(m) < n {
+		n = len(m)
+	}
+	i := 0
+	for i < n && l[i] == m[i] {
+		i++
+	}
+	return l[:i:i]
+}
+
+// Dewey returns the Dewey label of id. Labels are materialized lazily
+// on first use and cached for the document's lifetime; building them
+// costs one O(n) pass.
+func (d *Document) Dewey(id NodeID) DeweyLabel {
+	d.deweyOnce.Do(d.buildDewey)
+	return d.dewey[id]
+}
+
+// NodeByDewey resolves a Dewey label back to a node ID; ok is false
+// if the label names no node.
+func (d *Document) NodeByDewey(l DeweyLabel) (NodeID, bool) {
+	v := NodeID(0)
+	for _, rank := range l {
+		kids := d.children[v]
+		if int(rank) >= len(kids) {
+			return InvalidNode, false
+		}
+		v = kids[rank]
+	}
+	return v, true
+}
+
+// LCADewey computes the LCA via Dewey labels (longest common prefix
+// then resolution). It exists alongside the O(1) sparse-table LCA for
+// the ablation benchmarks; both always agree (property-tested).
+func (d *Document) LCADewey(a, b NodeID) NodeID {
+	p := d.Dewey(a).CommonPrefix(d.Dewey(b))
+	v, ok := d.NodeByDewey(p)
+	if !ok {
+		panic("xmltree: dewey prefix resolution failed")
+	}
+	return v
+}
+
+func (d *Document) buildDewey() {
+	n := d.Len()
+	labels := make([]DeweyLabel, n)
+	// Flat backing array: total label length = sum of depths.
+	total := 0
+	for v := 0; v < n; v++ {
+		total += int(d.depth[v])
+	}
+	backing := make([]int32, 0, total)
+	for v := 1; v < n; v++ {
+		parent := d.parent[v]
+		rank := int32(-1)
+		for i, c := range d.children[parent] {
+			if c == NodeID(v) {
+				rank = int32(i)
+				break
+			}
+		}
+		pl := labels[parent]
+		start := len(backing)
+		backing = append(backing, pl...)
+		backing = append(backing, rank)
+		labels[v] = backing[start:len(backing):len(backing)]
+	}
+	d.dewey = labels
+}

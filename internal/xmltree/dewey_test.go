@@ -1,0 +1,101 @@
+package xmltree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestDeweyLabels(t *testing.T) {
+	d := buildTestTree(t)
+	tests := []struct {
+		id   NodeID
+		want string
+	}{
+		{0, "ε"}, {1, "0"}, {2, "1"}, {3, "2"}, {4, "2.0"},
+		{5, "2.0.0"}, {6, "2.1"}, {7, "2.1.0"}, {8, "2.1.0.0"},
+		{9, "2.1.0.1"}, {10, "3"},
+	}
+	for _, tc := range tests {
+		if got := d.Dewey(tc.id).String(); got != tc.want {
+			t.Errorf("Dewey(%v) = %q, want %q", tc.id, got, tc.want)
+		}
+	}
+}
+
+func TestDeweyRoundTrip(t *testing.T) {
+	d := buildTestTree(t)
+	for id := NodeID(0); int(id) < d.Len(); id++ {
+		l := d.Dewey(id)
+		back, ok := d.NodeByDewey(l)
+		if !ok || back != id {
+			t.Fatalf("NodeByDewey(Dewey(%v)) = %v, %v", id, back, ok)
+		}
+		parsed, err := ParseDeweyLabel(l.String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if parsed.String() != l.String() {
+			t.Fatalf("parse round trip: %q vs %q", parsed, l)
+		}
+	}
+}
+
+func TestParseDeweyErrors(t *testing.T) {
+	for _, s := range []string{"a.b", "1..2", "-1", "1.x"} {
+		if _, err := ParseDeweyLabel(s); err == nil {
+			t.Errorf("ParseDeweyLabel(%q) succeeded", s)
+		}
+	}
+	if l, err := ParseDeweyLabel("ε"); err != nil || len(l) != 0 {
+		t.Fatal("root label parse")
+	}
+}
+
+func TestNodeByDeweyMissing(t *testing.T) {
+	d := buildTestTree(t)
+	if _, ok := d.NodeByDewey(DeweyLabel{9, 9}); ok {
+		t.Fatal("nonexistent label resolved")
+	}
+}
+
+func TestDeweyPrefixMatchesAncestor(t *testing.T) {
+	d := buildTestTree(t)
+	for a := NodeID(0); int(a) < d.Len(); a++ {
+		for b := NodeID(0); int(b) < d.Len(); b++ {
+			want := d.IsAncestorOrSelf(a, b)
+			got := d.Dewey(a).IsPrefixOf(d.Dewey(b))
+			if got != want {
+				t.Fatalf("prefix(%v,%v) = %v, interval says %v", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestLCADeweyAgreesWithSparseTable(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		d := randomDoc(rng, 2+rng.Intn(250))
+		for i := 0; i < 300; i++ {
+			a := NodeID(rng.Intn(d.Len()))
+			b := NodeID(rng.Intn(d.Len()))
+			if got, want := d.LCADewey(a, b), d.LCA(a, b); got != want {
+				t.Fatalf("seed=%d LCADewey(%v,%v) = %v, sparse = %v", seed, a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestDeweyLazyAndConcurrent(t *testing.T) {
+	d := buildTestTree(t)
+	done := make(chan NodeID, 8)
+	for i := 0; i < 8; i++ {
+		go func() {
+			done <- d.LCADewey(5, 9)
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		if got := <-done; got != 3 {
+			t.Fatalf("concurrent LCADewey = %v, want n3", got)
+		}
+	}
+}

@@ -1,0 +1,201 @@
+package xmltree
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/textutil"
+)
+
+// Document is an immutable rooted ordered tree D = (N, E) per
+// Definition 1. All per-node data is stored in flat slices indexed by
+// NodeID (pre-order rank), which keeps the structure cache-friendly and
+// makes structural predicates (ancestor, depth, subtree size) O(1).
+//
+// A Document is safe for concurrent use once built.
+type Document struct {
+	name string
+
+	// Structure, all indexed by NodeID.
+	parent   []NodeID
+	children [][]NodeID
+	depth    []int32
+	// postEnd[v] is the largest NodeID in v's subtree; together with the
+	// pre-order rank it forms the classic pre/post interval:
+	// u is in subtree(v)  iff  v <= u && u <= postEnd[v].
+	postEnd []NodeID
+
+	tags  []string
+	texts []string
+
+	// keywords(n), sorted per node for binary-search membership.
+	keywords [][]string
+
+	lca *lcaTable
+
+	// Dewey labels, built lazily by Dewey/LCADewey.
+	deweyOnce sync.Once
+	dewey     []DeweyLabel
+
+	stats *textutil.TermStats
+}
+
+// Name returns the document's name (file name or synthetic label).
+func (d *Document) Name() string { return d.name }
+
+// Len returns |N|, the number of nodes.
+func (d *Document) Len() int { return len(d.parent) }
+
+// Root returns the distinguished root node.
+func (d *Document) Root() Node { return Node{doc: d, id: 0} }
+
+// Node returns a view of node id. It panics if id is out of range,
+// mirroring slice semantics.
+func (d *Document) Node(id NodeID) Node {
+	if !d.Valid(id) {
+		panic(fmt.Sprintf("xmltree: node %d out of range [0,%d)", id, d.Len()))
+	}
+	return Node{doc: d, id: id}
+}
+
+// Valid reports whether id names a node of the document.
+func (d *Document) Valid(id NodeID) bool {
+	return id >= 0 && int(id) < d.Len()
+}
+
+// Parent returns the parent of id, or InvalidNode for the root.
+func (d *Document) Parent(id NodeID) NodeID { return d.parent[id] }
+
+// Children returns the children of id in document order. The returned
+// slice is shared and must not be modified.
+func (d *Document) Children(id NodeID) []NodeID { return d.children[id] }
+
+// Depth returns the number of edges between the root and id.
+func (d *Document) Depth(id NodeID) int { return int(d.depth[id]) }
+
+// Tag returns the element tag name of id.
+func (d *Document) Tag(id NodeID) string { return d.tags[id] }
+
+// Text returns the direct textual content of id.
+func (d *Document) Text(id NodeID) string { return d.texts[id] }
+
+// SubtreeEnd returns the largest NodeID within id's subtree. The
+// subtree of id is exactly the ID interval [id, SubtreeEnd(id)].
+func (d *Document) SubtreeEnd(id NodeID) NodeID { return d.postEnd[id] }
+
+// SubtreeSize returns the number of nodes in id's subtree, id included.
+func (d *Document) SubtreeSize(id NodeID) int {
+	return int(d.postEnd[id]-id) + 1
+}
+
+// IsAncestorOrSelf reports whether a is an ancestor of b or a == b.
+func (d *Document) IsAncestorOrSelf(a, b NodeID) bool {
+	return a <= b && b <= d.postEnd[a]
+}
+
+// IsAncestor reports whether a is a proper ancestor of b.
+func (d *Document) IsAncestor(a, b NodeID) bool {
+	return a < b && b <= d.postEnd[a]
+}
+
+// LCA returns the lowest common ancestor of a and b in O(1).
+func (d *Document) LCA(a, b NodeID) NodeID {
+	// Interval containment resolves the nested cases without a table
+	// lookup; the table handles the disjoint case.
+	if d.IsAncestorOrSelf(a, b) {
+		return a
+	}
+	if d.IsAncestorOrSelf(b, a) {
+		return b
+	}
+	return d.lca.query(a, b)
+}
+
+// LCAAll returns the lowest common ancestor of all ids. It panics on an
+// empty slice.
+func (d *Document) LCAAll(ids []NodeID) NodeID {
+	if len(ids) == 0 {
+		panic("xmltree: LCAAll of empty slice")
+	}
+	l := ids[0]
+	for _, id := range ids[1:] {
+		l = d.LCA(l, id)
+	}
+	return l
+}
+
+// PathToAncestor returns the nodes on the path from id up to ancestor
+// (both inclusive). It panics if ancestor is not an ancestor-or-self of
+// id.
+func (d *Document) PathToAncestor(id, ancestor NodeID) []NodeID {
+	if !d.IsAncestorOrSelf(ancestor, id) {
+		panic(fmt.Sprintf("xmltree: %v is not an ancestor of %v", ancestor, id))
+	}
+	path := make([]NodeID, 0, d.Depth(id)-d.Depth(ancestor)+1)
+	for v := id; ; v = d.parent[v] {
+		path = append(path, v)
+		if v == ancestor {
+			return path
+		}
+	}
+}
+
+// Keywords returns keywords(id), sorted. The returned slice is shared
+// and must not be modified.
+func (d *Document) Keywords(id NodeID) []string { return d.keywords[id] }
+
+// HasKeyword reports whether term ∈ keywords(id). term must already be
+// normalized (see textutil.NormalizeTerm).
+func (d *Document) HasKeyword(id NodeID, term string) bool {
+	kw := d.keywords[id]
+	i := sort.SearchStrings(kw, term)
+	return i < len(kw) && kw[i] == term
+}
+
+// NodesWithKeyword returns, in document order, every node id with
+// term ∈ keywords(id). This is the raw form of the keyword selection
+// σ_{keyword=k}(nodes(D)) of Section 2.3; internal/index provides the
+// indexed equivalent.
+func (d *Document) NodesWithKeyword(term string) []NodeID {
+	var out []NodeID
+	for id := NodeID(0); int(id) < d.Len(); id++ {
+		if d.HasKeyword(id, term) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Stats returns term-occurrence statistics over the whole document.
+func (d *Document) Stats() *textutil.TermStats { return d.stats }
+
+// Walk visits every node in pre-order, calling fn. If fn returns false
+// the walk descends no further below that node (its siblings are still
+// visited).
+func (d *Document) Walk(fn func(Node) bool) {
+	d.walk(0, fn)
+}
+
+func (d *Document) walk(id NodeID, fn func(Node) bool) {
+	if !fn(Node{doc: d, id: id}) {
+		return
+	}
+	for _, c := range d.children[id] {
+		d.walk(c, fn)
+	}
+}
+
+// Height returns the height of the subtree rooted at id: the number of
+// edges on the longest downward path.
+func (d *Document) Height(id NodeID) int {
+	h := 0
+	end := d.postEnd[id]
+	base := int(d.depth[id])
+	for v := id; v <= end; v++ {
+		if dep := int(d.depth[v]) - base; dep > h {
+			h = dep
+		}
+	}
+	return h
+}

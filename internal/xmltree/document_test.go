@@ -1,0 +1,299 @@
+package xmltree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// buildTestTree constructs the Figure 3-shaped tree used across this
+// package's tests:
+//
+//	n0 ─ { n1, n2, n3 ─ { n4 ─ n5, n6 ─ n7 ─ { n8, n9 } }, n10 }
+func buildTestTree(t testing.TB) *Document {
+	t.Helper()
+	b := NewBuilder("test.xml", "doc", "root text")
+	b.AddNode(0, "a", "alpha")    // 1
+	b.AddNode(0, "b", "beta")     // 2
+	n3 := b.AddNode(0, "c", "")   // 3
+	n4 := b.AddNode(n3, "d", "")  // 4
+	b.AddNode(n4, "e", "epsilon") // 5
+	n6 := b.AddNode(n3, "f", "")  // 6
+	n7 := b.AddNode(n6, "g", "")  // 7
+	b.AddNode(n7, "h", "eta")     // 8
+	b.AddNode(n7, "i", "iota")    // 9
+	b.AddNode(0, "j", "kappa")    // 10
+	return b.Build()
+}
+
+func TestDocumentStructure(t *testing.T) {
+	d := buildTestTree(t)
+	if d.Len() != 11 {
+		t.Fatalf("Len = %d, want 11", d.Len())
+	}
+	if d.Root().ID() != 0 {
+		t.Fatalf("root ID = %v", d.Root().ID())
+	}
+	wantParents := []NodeID{InvalidNode, 0, 0, 0, 3, 4, 3, 6, 7, 7, 0}
+	for id, want := range wantParents {
+		if got := d.Parent(NodeID(id)); got != want {
+			t.Errorf("Parent(n%d) = %v, want %v", id, got, want)
+		}
+	}
+	wantDepths := []int{0, 1, 1, 1, 2, 3, 2, 3, 4, 4, 1}
+	for id, want := range wantDepths {
+		if got := d.Depth(NodeID(id)); got != want {
+			t.Errorf("Depth(n%d) = %d, want %d", id, got, want)
+		}
+	}
+}
+
+func TestSubtreeIntervals(t *testing.T) {
+	d := buildTestTree(t)
+	tests := []struct {
+		id   NodeID
+		end  NodeID
+		size int
+	}{
+		{0, 10, 11}, {1, 1, 1}, {3, 9, 7}, {4, 5, 2}, {6, 9, 4}, {7, 9, 3}, {10, 10, 1},
+	}
+	for _, tc := range tests {
+		if got := d.SubtreeEnd(tc.id); got != tc.end {
+			t.Errorf("SubtreeEnd(%v) = %v, want %v", tc.id, got, tc.end)
+		}
+		if got := d.SubtreeSize(tc.id); got != tc.size {
+			t.Errorf("SubtreeSize(%v) = %d, want %d", tc.id, got, tc.size)
+		}
+	}
+}
+
+func TestAncestorChecks(t *testing.T) {
+	d := buildTestTree(t)
+	if !d.IsAncestor(3, 9) || !d.IsAncestor(0, 9) || !d.IsAncestor(7, 8) {
+		t.Error("expected ancestor relations missing")
+	}
+	if d.IsAncestor(9, 3) || d.IsAncestor(4, 6) || d.IsAncestor(5, 5) {
+		t.Error("unexpected ancestor relations")
+	}
+	if !d.IsAncestorOrSelf(5, 5) {
+		t.Error("IsAncestorOrSelf must be reflexive")
+	}
+	if d.IsAncestorOrSelf(1, 2) {
+		t.Error("siblings are not ancestors")
+	}
+}
+
+func TestLCAKnownPairs(t *testing.T) {
+	d := buildTestTree(t)
+	tests := []struct{ a, b, want NodeID }{
+		{4, 7, 3}, {5, 9, 3}, {8, 9, 7}, {1, 10, 0},
+		{3, 9, 3}, {9, 3, 3}, {6, 6, 6}, {0, 9, 0},
+		{4, 5, 4},
+	}
+	for _, tc := range tests {
+		if got := d.LCA(tc.a, tc.b); got != tc.want {
+			t.Errorf("LCA(%v,%v) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+// TestLCAAgainstNaive cross-checks the sparse-table LCA against a
+// parent-walking oracle on random trees.
+func TestLCAAgainstNaive(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		d := randomDoc(rng, 2+rng.Intn(300))
+		naive := func(a, b NodeID) NodeID {
+			for d.Depth(a) > d.Depth(b) {
+				a = d.Parent(a)
+			}
+			for d.Depth(b) > d.Depth(a) {
+				b = d.Parent(b)
+			}
+			for a != b {
+				a, b = d.Parent(a), d.Parent(b)
+			}
+			return a
+		}
+		for i := 0; i < 500; i++ {
+			a := NodeID(rng.Intn(d.Len()))
+			b := NodeID(rng.Intn(d.Len()))
+			if got, want := d.LCA(a, b), naive(a, b); got != want {
+				t.Fatalf("seed=%d LCA(%v,%v) = %v, want %v", seed, a, b, got, want)
+			}
+		}
+	}
+}
+
+func randomDoc(rng *rand.Rand, n int) *Document {
+	children := make([][]int, n)
+	for i := 1; i < n; i++ {
+		p := rng.Intn(i)
+		children[p] = append(children[p], i)
+	}
+	b := NewBuilder("random", "root", "")
+	var emit func(logical int, parent NodeID)
+	emit = func(logical int, parent NodeID) {
+		for _, c := range children[logical] {
+			id := b.AddNode(parent, "node", "")
+			emit(c, id)
+		}
+	}
+	emit(0, 0)
+	return b.Build()
+}
+
+func TestLCAAll(t *testing.T) {
+	d := buildTestTree(t)
+	if got := d.LCAAll([]NodeID{5, 8, 9}); got != 3 {
+		t.Fatalf("LCAAll = %v, want n3", got)
+	}
+	if got := d.LCAAll([]NodeID{7}); got != 7 {
+		t.Fatalf("LCAAll single = %v, want n7", got)
+	}
+}
+
+func TestPathToAncestor(t *testing.T) {
+	d := buildTestTree(t)
+	got := d.PathToAncestor(9, 3)
+	want := []NodeID{9, 7, 6, 3}
+	if len(got) != len(want) {
+		t.Fatalf("path = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("path = %v, want %v", got, want)
+		}
+	}
+	self := d.PathToAncestor(5, 5)
+	if len(self) != 1 || self[0] != 5 {
+		t.Fatalf("self path = %v", self)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PathToAncestor with non-ancestor should panic")
+		}
+	}()
+	d.PathToAncestor(5, 6)
+}
+
+func TestKeywords(t *testing.T) {
+	d := buildTestTree(t)
+	// keywords(n) includes tag and text tokens.
+	if !d.HasKeyword(5, "epsilon") || !d.HasKeyword(5, "e") {
+		t.Error("keywords must cover text and tag name")
+	}
+	if d.HasKeyword(5, "alpha") {
+		t.Error("keywords must not leak from other nodes")
+	}
+	ids := d.NodesWithKeyword("eta")
+	if len(ids) != 1 || ids[0] != 8 {
+		t.Fatalf("NodesWithKeyword(eta) = %v, want [n8]", ids)
+	}
+}
+
+func TestWalk(t *testing.T) {
+	d := buildTestTree(t)
+	var order []NodeID
+	d.Walk(func(n Node) bool {
+		order = append(order, n.ID())
+		return true
+	})
+	if len(order) != d.Len() {
+		t.Fatalf("walk visited %d nodes, want %d", len(order), d.Len())
+	}
+	for i, id := range order {
+		if id != NodeID(i) {
+			t.Fatalf("walk order[%d] = %v; pre-order must match IDs", i, id)
+		}
+	}
+	// Pruned walk: skip n3's subtree.
+	var pruned []NodeID
+	d.Walk(func(n Node) bool {
+		pruned = append(pruned, n.ID())
+		return n.ID() != 3
+	})
+	for _, id := range pruned {
+		if id > 3 && id < 10 {
+			t.Fatalf("walk descended into pruned subtree: %v", id)
+		}
+	}
+}
+
+func TestHeight(t *testing.T) {
+	d := buildTestTree(t)
+	tests := []struct {
+		id   NodeID
+		want int
+	}{{0, 4}, {3, 3}, {4, 1}, {5, 0}, {7, 1}}
+	for _, tc := range tests {
+		if got := d.Height(tc.id); got != tc.want {
+			t.Errorf("Height(%v) = %d, want %d", tc.id, got, tc.want)
+		}
+	}
+}
+
+func TestNodeAccessors(t *testing.T) {
+	d := buildTestTree(t)
+	n := d.Node(7)
+	if n.Tag() != "g" || !n.IsLeaf() == true && len(n.Children()) != 2 {
+		t.Fatalf("unexpected node view: %v", n)
+	}
+	if n.IsLeaf() {
+		t.Error("n7 has children")
+	}
+	p, ok := n.Parent()
+	if !ok || p.ID() != 6 {
+		t.Fatalf("Parent = %v, %v", p, ok)
+	}
+	if _, ok := d.Root().Parent(); ok {
+		t.Error("root must have no parent")
+	}
+	kids := n.Children()
+	if len(kids) != 2 || kids[0].ID() != 8 || kids[1].ID() != 9 {
+		t.Fatalf("Children = %v", kids)
+	}
+	if got := n.String(); got != "n7:<g>" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestNodePanicsOutOfRange(t *testing.T) {
+	d := buildTestTree(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Node(99) should panic")
+		}
+	}()
+	d.Node(99)
+}
+
+func TestSingleNodeDocument(t *testing.T) {
+	b := NewBuilder("single", "only", "lonely")
+	d := b.Build()
+	if d.Len() != 1 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	if d.LCA(0, 0) != 0 {
+		t.Fatal("LCA(0,0) must be 0")
+	}
+	if d.SubtreeEnd(0) != 0 || d.Height(0) != 0 {
+		t.Fatal("degenerate measures wrong")
+	}
+}
+
+func TestDeepChainDocument(t *testing.T) {
+	// Guards against recursion/overflow issues on deep documents.
+	b := NewBuilder("chain", "root", "")
+	parent := NodeID(0)
+	const depth = 5000
+	for i := 0; i < depth; i++ {
+		parent = b.AddNode(parent, "lvl", "")
+	}
+	d := b.Build()
+	if d.Depth(NodeID(depth)) != depth {
+		t.Fatalf("Depth = %d, want %d", d.Depth(NodeID(depth)), depth)
+	}
+	if got := d.LCA(NodeID(depth), NodeID(depth/2)); got != NodeID(depth/2) {
+		t.Fatalf("LCA on chain = %v", got)
+	}
+}

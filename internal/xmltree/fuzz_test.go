@@ -1,0 +1,86 @@
+package xmltree
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks that the parser never panics, and that whenever it
+// accepts an input, the resulting document satisfies the structural
+// invariants and round-trips through the serializer.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"<a/>",
+		"<a><b>text</b><c/></a>",
+		`<article version="2"><section><title>T</title><par>p q r</par></section></article>`,
+		"<a>fish &amp; chips</a>",
+		"<a><!-- c --><?pi d?><b/></a>",
+		"<a><b><c><d><e>deep</e></d></c></b></a>",
+		"<",
+		"",
+		"<a><b></a></b>",
+		"<a/><b/>",
+		"<a>\xff\xfe</a>",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		d, err := ParseString("fuzz.xml", input)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if d.Len() < 1 {
+			t.Fatal("accepted document with no nodes")
+		}
+		// Structural invariants.
+		for id := NodeID(1); int(id) < d.Len(); id++ {
+			p := d.Parent(id)
+			if p < 0 || p >= id {
+				t.Fatalf("node %v has invalid parent %v", id, p)
+			}
+			if d.Depth(id) != d.Depth(p)+1 {
+				t.Fatalf("depth(%v) inconsistent", id)
+			}
+			if !d.IsAncestor(p, id) {
+				t.Fatalf("interval ancestorship broken at %v", id)
+			}
+		}
+		// Round trip: serialize and re-parse; structure must survive.
+		d2, err := ParseString("fuzz2.xml", d.XMLString())
+		if err != nil {
+			t.Fatalf("serialized output unparseable: %v\n%s", err, d.XMLString())
+		}
+		if d2.Len() != d.Len() {
+			t.Fatalf("round trip changed node count %d → %d", d.Len(), d2.Len())
+		}
+		for id := NodeID(0); int(id) < d.Len(); id++ {
+			if d.Parent(id) != d2.Parent(id) {
+				t.Fatalf("round trip changed parent of %v", id)
+			}
+		}
+	})
+}
+
+// FuzzDeweyRoundTrip checks label parse/print round trips.
+func FuzzDeweyRoundTrip(f *testing.F) {
+	for _, s := range []string{"", "ε", "0", "1.2.3", "10.0.7", "x", "1..2", "-1"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		l, err := ParseDeweyLabel(input)
+		if err != nil {
+			return
+		}
+		back, err := ParseDeweyLabel(l.String())
+		if err != nil {
+			t.Fatalf("printed label %q unparseable", l)
+		}
+		if back.String() != l.String() {
+			t.Fatalf("round trip %q → %q", l, back)
+		}
+		if strings.Contains(l.String(), "..") {
+			t.Fatalf("malformed printed label %q", l)
+		}
+	})
+}

@@ -1,0 +1,99 @@
+package xmltree
+
+import "math/bits"
+
+// lcaTable answers lowest-common-ancestor queries in O(1) after an
+// O(n log n) build, using the classic Euler tour + sparse-table
+// range-minimum reduction. Fragment join (Definition 4) performs one
+// LCA per join, and the fixed-point computation performs O(|F|²) joins
+// per iteration, so constant-time LCA is the foundation of every
+// strategy's performance.
+type lcaTable struct {
+	// euler[i] is the node visited at Euler step i; eulerDepth[i] its
+	// depth. first[v] is the first Euler step at which v appears.
+	euler      []NodeID
+	eulerDepth []int32
+	first      []int32
+	// sparse[k][i] is the index (into euler) of the minimum-depth entry
+	// in the window [i, i+2^k).
+	sparse [][]int32
+}
+
+func buildLCATable(d *Document) *lcaTable {
+	n := d.Len()
+	t := &lcaTable{
+		euler:      make([]NodeID, 0, 2*n-1),
+		eulerDepth: make([]int32, 0, 2*n-1),
+		first:      make([]int32, n),
+	}
+	// Iterative Euler tour to avoid recursion depth limits on deep
+	// document-centric trees.
+	type frame struct {
+		node NodeID
+		next int // index of next child to visit
+	}
+	stack := []frame{{node: 0}}
+	visit := func(v NodeID) {
+		if len(t.euler) == 0 || t.euler[len(t.euler)-1] != v {
+			if t.first[v] == 0 && v != 0 {
+				t.first[v] = int32(len(t.euler))
+			}
+			t.euler = append(t.euler, v)
+			t.eulerDepth = append(t.eulerDepth, d.depth[v])
+		}
+	}
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		visit(f.node)
+		kids := d.children[f.node]
+		if f.next < len(kids) {
+			c := kids[f.next]
+			f.next++
+			stack = append(stack, frame{node: c})
+			continue
+		}
+		stack = stack[:len(stack)-1]
+	}
+	m := len(t.euler)
+	levels := 1
+	if m > 1 {
+		levels = bits.Len(uint(m)) // floor(log2(m)) + 1
+	}
+	t.sparse = make([][]int32, levels)
+	t.sparse[0] = make([]int32, m)
+	for i := range t.sparse[0] {
+		t.sparse[0][i] = int32(i)
+	}
+	for k := 1; k < levels; k++ {
+		width := 1 << k
+		row := make([]int32, m-width+1)
+		prev := t.sparse[k-1]
+		for i := range row {
+			a, b := prev[i], prev[i+width/2]
+			if t.eulerDepth[a] <= t.eulerDepth[b] {
+				row[i] = a
+			} else {
+				row[i] = b
+			}
+		}
+		t.sparse[k] = row
+	}
+	return t
+}
+
+// query returns the LCA of a and b. Callers guarantee a != b and that
+// neither is an ancestor of the other (the Document front end resolves
+// those cases by interval containment).
+func (t *lcaTable) query(a, b NodeID) NodeID {
+	i, j := t.first[a], t.first[b]
+	if i > j {
+		i, j = j, i
+	}
+	j++ // half-open window [i, j)
+	k := bits.Len(uint(j-i)) - 1
+	x, y := t.sparse[k][i], t.sparse[k][j-(1<<k)]
+	if t.eulerDepth[x] <= t.eulerDepth[y] {
+		return t.euler[x]
+	}
+	return t.euler[y]
+}

@@ -1,0 +1,87 @@
+// Package xmltree models an XML document as a rooted ordered tree
+// (Definition 1 of the paper): a distinguished root, a unique parent for
+// every other node, and node order given by depth-first pre-order
+// traversal, which preserves the topology of the document.
+//
+// Nodes are identified by their pre-order rank (NodeID). The package
+// provides O(1) ancestor tests via pre/post intervals and O(1) lowest
+// common ancestor queries via an Euler tour + sparse table, both of
+// which the fragment algebra (internal/core) is built on.
+package xmltree
+
+import "fmt"
+
+// NodeID identifies a node by its depth-first pre-order rank within its
+// document, starting at 0 for the root. NodeID order is document order.
+type NodeID int32
+
+// InvalidNode is returned where no node exists (e.g. Parent of the root).
+const InvalidNode NodeID = -1
+
+// String renders the ID in the paper's nK notation (n0, n17, ...).
+func (id NodeID) String() string {
+	if id == InvalidNode {
+		return "n(-)"
+	}
+	return fmt.Sprintf("n%d", int32(id))
+}
+
+// Node is a read-only view of one document component (a logical element
+// such as <section> or <par>). Obtain one via Document.Node.
+type Node struct {
+	doc *Document
+	id  NodeID
+}
+
+// ID returns the node's pre-order identifier.
+func (n Node) ID() NodeID { return n.id }
+
+// Tag returns the element tag name of the node.
+func (n Node) Tag() string { return n.doc.Tag(n.id) }
+
+// Text returns the textual content directly associated with the node
+// (not including descendant text).
+func (n Node) Text() string { return n.doc.Text(n.id) }
+
+// Depth returns the number of edges from the root to the node.
+func (n Node) Depth() int { return n.doc.Depth(n.id) }
+
+// Parent returns the parent node and true, or a zero Node and false for
+// the root.
+func (n Node) Parent() (Node, bool) {
+	p := n.doc.Parent(n.id)
+	if p == InvalidNode {
+		return Node{}, false
+	}
+	return Node{doc: n.doc, id: p}, true
+}
+
+// Children returns the node's children in document order.
+func (n Node) Children() []Node {
+	ids := n.doc.Children(n.id)
+	out := make([]Node, len(ids))
+	for i, id := range ids {
+		out[i] = Node{doc: n.doc, id: id}
+	}
+	return out
+}
+
+// IsLeaf reports whether the node has no children in the document.
+func (n Node) IsLeaf() bool { return len(n.doc.Children(n.id)) == 0 }
+
+// Keywords returns keywords(n): the distinct normalized tokens of the
+// node's tag name, attributes and direct text content (Definition 1;
+// tag/attribute names and text contents are not distinguished).
+func (n Node) Keywords() []string { return n.doc.Keywords(n.id) }
+
+// HasKeyword reports whether term (already normalized) is among
+// keywords(n).
+func (n Node) HasKeyword(term string) bool { return n.doc.HasKeyword(n.id, term) }
+
+// Document returns the document the node belongs to.
+func (n Node) Document() *Document { return n.doc }
+
+// String renders the node as nK:<tag>.
+func (n Node) String() string {
+	return fmt.Sprintf("%s:<%s>", n.id, n.Tag())
+}

@@ -1,0 +1,108 @@
+package xmltree
+
+import (
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// ErrNoRoot is returned when the input contains no element at all.
+var ErrNoRoot = errors.New("xmltree: document has no root element")
+
+// Parse reads an XML document from r and builds its tree model. Each
+// element becomes a node; its direct character data (concatenated,
+// whitespace-trimmed) and its attributes (as "name value" pairs) form
+// the node's text. Comments, processing instructions and directives are
+// ignored. Content after the root element's close is an error, matching
+// the single-rooted tree of Definition 1.
+func Parse(name string, r io.Reader) (*Document, error) {
+	dec := xml.NewDecoder(r)
+	var (
+		b     *Builder
+		stack []NodeID
+		texts []*strings.Builder
+	)
+	appendText := func(s string) {
+		if len(texts) == 0 {
+			return
+		}
+		t := texts[len(texts)-1]
+		if t.Len() > 0 && s != "" {
+			t.WriteByte(' ')
+		}
+		t.WriteString(s)
+	}
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xmltree: parse %s: %w", name, err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			text := attrText(t.Attr)
+			var id NodeID
+			if b == nil {
+				b = NewBuilder(name, t.Name.Local, "")
+				id = 0
+			} else if len(stack) == 0 {
+				return nil, fmt.Errorf("xmltree: parse %s: multiple root elements", name)
+			} else {
+				id = b.AddNode(stack[len(stack)-1], t.Name.Local, "")
+			}
+			stack = append(stack, id)
+			texts = append(texts, &strings.Builder{})
+			appendText(text)
+		case xml.EndElement:
+			id := stack[len(stack)-1]
+			b.SetText(id, strings.TrimSpace(texts[len(texts)-1].String()))
+			stack = stack[:len(stack)-1]
+			texts = texts[:len(texts)-1]
+		case xml.CharData:
+			appendText(strings.TrimSpace(string(t)))
+		}
+	}
+	if b == nil {
+		return nil, ErrNoRoot
+	}
+	if len(stack) != 0 {
+		return nil, fmt.Errorf("xmltree: parse %s: unexpected EOF inside element", name)
+	}
+	return b.Build(), nil
+}
+
+// ParseString parses an XML document held in a string.
+func ParseString(name, s string) (*Document, error) {
+	return Parse(name, strings.NewReader(s))
+}
+
+// ParseFile parses the XML document stored at path.
+func ParseFile(path string) (*Document, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Parse(path, f)
+}
+
+func attrText(attrs []xml.Attr) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	for i, a := range attrs {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		sb.WriteString(a.Name.Local)
+		sb.WriteByte(' ')
+		sb.WriteString(a.Value)
+	}
+	return sb.String()
+}

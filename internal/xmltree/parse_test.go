@@ -1,0 +1,157 @@
+package xmltree
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleXML = `<?xml version="1.0"?>
+<article version="2">
+  <title>XML Retrieval</title>
+  <section>
+    <title>Introduction</title>
+    <par>Keyword search is friendly.</par>
+    <par>Fragments are answers.</par>
+  </section>
+</article>`
+
+func TestParseBasic(t *testing.T) {
+	d, err := ParseString("sample.xml", sampleXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 6 {
+		t.Fatalf("Len = %d, want 6", d.Len())
+	}
+	if d.Tag(0) != "article" || d.Tag(1) != "title" || d.Tag(2) != "section" {
+		t.Fatalf("tags = %q %q %q", d.Tag(0), d.Tag(1), d.Tag(2))
+	}
+	if d.Text(1) != "XML Retrieval" {
+		t.Fatalf("title text = %q", d.Text(1))
+	}
+	if d.Parent(3) != 2 || d.Parent(4) != 2 || d.Parent(5) != 2 {
+		t.Fatal("section children mis-parented")
+	}
+}
+
+func TestParseAttributesBecomeKeywords(t *testing.T) {
+	d, err := ParseString("attr.xml", sampleXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper does not distinguish tag/attribute names and text:
+	// attribute name and value of <article version="2"> index on n0.
+	if !d.HasKeyword(0, "version") || !d.HasKeyword(0, "2") {
+		t.Fatalf("attribute tokens missing from keywords(n0): %v", d.Keywords(0))
+	}
+}
+
+func TestParseMixedContent(t *testing.T) {
+	d, err := ParseString("mixed.xml", `<p>before <b>bold</b> after</p>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", d.Len())
+	}
+	text := d.Text(0)
+	if !strings.Contains(text, "before") || !strings.Contains(text, "after") {
+		t.Fatalf("mixed content lost: %q", text)
+	}
+	if d.Text(1) != "bold" {
+		t.Fatalf("child text = %q", d.Text(1))
+	}
+}
+
+func TestParseIgnoresCommentsAndPIs(t *testing.T) {
+	d, err := ParseString("c.xml", `<r><!-- note --><?pi data?><c/></r>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", d.Len())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, xml string
+	}{
+		{"empty", ""},
+		{"whitespace only", "   \n "},
+		{"unclosed", "<a><b></a>"},
+		{"two roots", "<a/><b/>"},
+		{"garbage", "not xml at all <"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ParseString(tc.name, tc.xml); err == nil {
+				t.Fatalf("Parse(%q) succeeded, want error", tc.xml)
+			}
+		})
+	}
+}
+
+func TestParseNestedDeep(t *testing.T) {
+	var sb strings.Builder
+	const depth = 200
+	for i := 0; i < depth; i++ {
+		sb.WriteString("<d>")
+	}
+	sb.WriteString("x")
+	for i := 0; i < depth; i++ {
+		sb.WriteString("</d>")
+	}
+	d, err := ParseString("deep.xml", sb.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != depth {
+		t.Fatalf("Len = %d, want %d", d.Len(), depth)
+	}
+	if d.Depth(NodeID(depth-1)) != depth-1 {
+		t.Fatal("depth chain broken")
+	}
+	if d.Text(NodeID(depth-1)) != "x" {
+		t.Fatalf("innermost text = %q", d.Text(NodeID(depth-1)))
+	}
+}
+
+func TestParseEntities(t *testing.T) {
+	d, err := ParseString("ent.xml", `<p>fish &amp; chips &lt;tag&gt;</p>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Text(0); got != "fish & chips <tag>" {
+		t.Fatalf("entity decoding: %q", got)
+	}
+}
+
+func TestRoundTripThroughSerializer(t *testing.T) {
+	d, err := ParseString("rt.xml", sampleXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serialized := d.XMLString()
+	d2, err := ParseString("rt2.xml", serialized)
+	if err != nil {
+		t.Fatalf("re-parse of serialized output: %v\n%s", err, serialized)
+	}
+	if d2.Len() != d.Len() {
+		t.Fatalf("round trip changed node count: %d → %d", d.Len(), d2.Len())
+	}
+	for id := NodeID(0); int(id) < d.Len(); id++ {
+		if d.Tag(id) != d2.Tag(id) {
+			t.Fatalf("round trip changed tag of %v: %q → %q", id, d.Tag(id), d2.Tag(id))
+		}
+		if d.Parent(id) != d2.Parent(id) {
+			t.Fatalf("round trip changed structure at %v", id)
+		}
+	}
+}
+
+func TestParseFileMissing(t *testing.T) {
+	if _, err := ParseFile("/nonexistent/definitely-missing.xml"); err == nil {
+		t.Fatal("ParseFile of missing path must error")
+	}
+}

@@ -1,0 +1,128 @@
+package xmltree
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// Shared random document universe for the quick properties.
+var (
+	qdocOnce sync.Once
+	qdoc     *Document
+)
+
+func quickTreeDoc() *Document {
+	qdocOnce.Do(func() {
+		qdoc = randomDoc(rand.New(rand.NewSource(777)), 400)
+	})
+	return qdoc
+}
+
+// qNode generates a valid NodeID of the shared document.
+type qNode struct{ ID NodeID }
+
+// Generate implements quick.Generator.
+func (qNode) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(qNode{ID: NodeID(r.Intn(quickTreeDoc().Len()))})
+}
+
+var treeQuickCfg = &quick.Config{MaxCount: 400}
+
+// TestQuickIntervalEqualsWalk: the pre/post interval ancestor test
+// agrees with walking the parent chain.
+func TestQuickIntervalEqualsWalk(t *testing.T) {
+	d := quickTreeDoc()
+	prop := func(a, b qNode) bool {
+		walk := false
+		for v := b.ID; v != InvalidNode; v = d.Parent(v) {
+			if v == a.ID {
+				walk = true
+				break
+			}
+		}
+		return d.IsAncestorOrSelf(a.ID, b.ID) == walk
+	}
+	if err := quick.Check(prop, treeQuickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickLCAProperties: the LCA is a common ancestor, and no deeper
+// common ancestor exists (checked via children of the LCA).
+func TestQuickLCAProperties(t *testing.T) {
+	d := quickTreeDoc()
+	prop := func(a, b qNode) bool {
+		l := d.LCA(a.ID, b.ID)
+		if !d.IsAncestorOrSelf(l, a.ID) || !d.IsAncestorOrSelf(l, b.ID) {
+			return false
+		}
+		// No child of l may contain both.
+		for _, c := range d.Children(l) {
+			if d.IsAncestorOrSelf(c, a.ID) && d.IsAncestorOrSelf(c, b.ID) {
+				return false
+			}
+		}
+		// Symmetry and idempotency.
+		return d.LCA(b.ID, a.ID) == l && d.LCA(a.ID, a.ID) == a.ID
+	}
+	if err := quick.Check(prop, treeQuickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSubtreeSizeConsistency: subtree sizes sum correctly over
+// children, and the interval length matches.
+func TestQuickSubtreeSizeConsistency(t *testing.T) {
+	d := quickTreeDoc()
+	prop := func(a qNode) bool {
+		sum := 1
+		for _, c := range d.Children(a.ID) {
+			sum += d.SubtreeSize(c)
+		}
+		return sum == d.SubtreeSize(a.ID) &&
+			d.SubtreeSize(a.ID) == int(d.SubtreeEnd(a.ID)-a.ID)+1
+	}
+	if err := quick.Check(prop, treeQuickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickDeweyConsistency: Dewey prefixes agree with intervals and
+// the LCA label is the common prefix.
+func TestQuickDeweyConsistency(t *testing.T) {
+	d := quickTreeDoc()
+	prop := func(a, b qNode) bool {
+		if d.Dewey(a.ID).IsPrefixOf(d.Dewey(b.ID)) != d.IsAncestorOrSelf(a.ID, b.ID) {
+			return false
+		}
+		return d.LCADewey(a.ID, b.ID) == d.LCA(a.ID, b.ID)
+	}
+	if err := quick.Check(prop, treeQuickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickPathToAncestorShape: the path starts at the node, ends at
+// the ancestor, steps one parent at a time.
+func TestQuickPathToAncestorShape(t *testing.T) {
+	d := quickTreeDoc()
+	prop := func(a qNode) bool {
+		l := d.LCA(0, a.ID) // = root; exercise the full path
+		path := d.PathToAncestor(a.ID, l)
+		if path[0] != a.ID || path[len(path)-1] != l {
+			return false
+		}
+		for i := 1; i < len(path); i++ {
+			if d.Parent(path[i-1]) != path[i] {
+				return false
+			}
+		}
+		return len(path) == d.Depth(a.ID)-d.Depth(l)+1
+	}
+	if err := quick.Check(prop, treeQuickCfg); err != nil {
+		t.Fatal(err)
+	}
+}

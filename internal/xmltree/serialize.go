@@ -1,0 +1,104 @@
+package xmltree
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteXML serializes the whole document back to indented XML. Direct
+// text is emitted before child elements, which round-trips everything
+// the model retains (the model does not preserve interleaving of text
+// and children).
+func (d *Document) WriteXML(w io.Writer) error {
+	return d.writeElem(w, 0, 0)
+}
+
+// XMLString returns the document serialized as indented XML.
+func (d *Document) XMLString() string {
+	var sb strings.Builder
+	d.WriteXML(&sb) // strings.Builder writes cannot fail
+	return sb.String()
+}
+
+func (d *Document) writeElem(w io.Writer, id NodeID, indent int) error {
+	pad := strings.Repeat("  ", indent)
+	tag := d.tags[id]
+	text := d.texts[id]
+	kids := d.children[id]
+	if len(kids) == 0 && text == "" {
+		_, err := fmt.Fprintf(w, "%s<%s/>\n", pad, tag)
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s<%s>", pad, tag); err != nil {
+		return err
+	}
+	if text != "" {
+		if err := xml.EscapeText(w, []byte(text)); err != nil {
+			return err
+		}
+	}
+	if len(kids) > 0 {
+		if _, err := io.WriteString(w, "\n"); err != nil {
+			return err
+		}
+		for _, c := range kids {
+			if err := d.writeElem(w, c, indent+1); err != nil {
+				return err
+			}
+		}
+		if _, err := io.WriteString(w, pad); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "</%s>\n", tag)
+	return err
+}
+
+// WriteDOT emits a Graphviz rendering of the tree, with node IDs and
+// tags as labels. highlight (may be nil) marks a set of nodes — used to
+// visualize fragments the way the paper's figures shade them.
+func (d *Document) WriteDOT(w io.Writer, highlight map[NodeID]bool) error {
+	if _, err := fmt.Fprintln(w, "digraph doc {"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "  node [shape=box, fontsize=10];"); err != nil {
+		return err
+	}
+	for id := NodeID(0); int(id) < d.Len(); id++ {
+		style := ""
+		if highlight[id] {
+			style = ", style=filled, fillcolor=lightgrey"
+		}
+		if _, err := fmt.Fprintf(w, "  %d [label=\"%s\\n<%s>\"%s];\n", id, id, d.tags[id], style); err != nil {
+			return err
+		}
+	}
+	for id := NodeID(1); int(id) < d.Len(); id++ {
+		if _, err := fmt.Fprintf(w, "  %d -> %d;\n", d.parent[id], id); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}
+
+// Outline writes a compact indented outline of the tree (one line per
+// node: id, tag, truncated text), handy in CLI output and tests.
+func (d *Document) Outline(w io.Writer) error {
+	var werr error
+	d.Walk(func(n Node) bool {
+		if werr != nil {
+			return false
+		}
+		text := n.Text()
+		if len(text) > 40 {
+			text = text[:37] + "..."
+		}
+		pad := strings.Repeat("  ", n.Depth())
+		_, werr = fmt.Fprintf(w, "%s%s <%s> %s\n", pad, n.ID(), n.Tag(), text)
+		return true
+	})
+	return werr
+}

@@ -1,0 +1,75 @@
+package xmltree
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestXMLStringEscapes(t *testing.T) {
+	b := NewBuilder("esc", "p", "fish & chips <tag>")
+	d := b.Build()
+	out := d.XMLString()
+	if !strings.Contains(out, "&amp;") || !strings.Contains(out, "&lt;tag&gt;") {
+		t.Fatalf("special characters not escaped: %s", out)
+	}
+}
+
+func TestXMLStringSelfCloses(t *testing.T) {
+	b := NewBuilder("sc", "r", "")
+	b.AddNode(0, "empty", "")
+	d := b.Build()
+	if !strings.Contains(d.XMLString(), "<empty/>") {
+		t.Fatalf("empty element not self-closed: %s", d.XMLString())
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	d := buildTestTree(t)
+	var sb strings.Builder
+	if err := d.WriteDOT(&sb, map[NodeID]bool{3: true, 4: true}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "digraph doc {") {
+		t.Fatalf("not a digraph: %s", out)
+	}
+	if strings.Count(out, "->") != d.Len()-1 {
+		t.Fatalf("edge count = %d, want %d", strings.Count(out, "->"), d.Len()-1)
+	}
+	if strings.Count(out, "fillcolor") != 2 {
+		t.Fatalf("highlight count = %d, want 2", strings.Count(out, "fillcolor"))
+	}
+}
+
+func TestOutline(t *testing.T) {
+	d := buildTestTree(t)
+	var sb strings.Builder
+	if err := d.Outline(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+	if len(lines) != d.Len() {
+		t.Fatalf("outline lines = %d, want %d", len(lines), d.Len())
+	}
+	if !strings.HasPrefix(lines[0], "n0 <doc>") {
+		t.Fatalf("first line = %q", lines[0])
+	}
+	// Indentation reflects depth: n8 sits at depth 4.
+	for _, l := range lines {
+		if strings.Contains(l, "n8 <h>") && !strings.HasPrefix(l, strings.Repeat("  ", 4)) {
+			t.Fatalf("n8 line not indented to depth 4: %q", l)
+		}
+	}
+}
+
+func TestOutlineTruncatesLongText(t *testing.T) {
+	b := NewBuilder("long", "p", strings.Repeat("verylongword ", 20))
+	d := b.Build()
+	var sb strings.Builder
+	if err := d.Outline(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "...") {
+		t.Fatal("long text must be truncated with ellipsis")
+	}
+}

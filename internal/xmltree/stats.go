@@ -1,0 +1,88 @@
+package xmltree
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// TreeStats summarizes a document's shape — the numbers a corpus
+// curator checks before indexing (and the knobs docgen's synthetic
+// documents are tuned against).
+type TreeStats struct {
+	Nodes      int
+	Height     int
+	Leaves     int
+	MaxFanout  int
+	MeanFanout float64 // over internal nodes
+	// TagCounts maps tag name → node count.
+	TagCounts map[string]int
+	// DepthCounts maps depth → node count.
+	DepthCounts map[int]int
+	// TextBytes is the total direct text length.
+	TextBytes int
+}
+
+// ComputeStats scans the document once.
+func (d *Document) ComputeStats() TreeStats {
+	s := TreeStats{
+		Nodes:       d.Len(),
+		Height:      d.Height(0),
+		TagCounts:   make(map[string]int),
+		DepthCounts: make(map[int]int),
+	}
+	internal := 0
+	childSum := 0
+	for id := NodeID(0); int(id) < d.Len(); id++ {
+		s.TagCounts[d.Tag(id)]++
+		s.DepthCounts[d.Depth(id)]++
+		s.TextBytes += len(d.Text(id))
+		kids := len(d.Children(id))
+		if kids == 0 {
+			s.Leaves++
+			continue
+		}
+		internal++
+		childSum += kids
+		if kids > s.MaxFanout {
+			s.MaxFanout = kids
+		}
+	}
+	if internal > 0 {
+		s.MeanFanout = float64(childSum) / float64(internal)
+	}
+	return s
+}
+
+// Write renders the stats as an aligned report.
+func (s TreeStats) Write(w io.Writer) error {
+	if _, err := fmt.Fprintf(w,
+		"nodes %d  height %d  leaves %d  fanout mean %.1f max %d  text %d bytes\n",
+		s.Nodes, s.Height, s.Leaves, s.MeanFanout, s.MaxFanout, s.TextBytes); err != nil {
+		return err
+	}
+	tags := make([]string, 0, len(s.TagCounts))
+	for t := range s.TagCounts {
+		tags = append(tags, t)
+	}
+	sort.Slice(tags, func(i, j int) bool {
+		if s.TagCounts[tags[i]] != s.TagCounts[tags[j]] {
+			return s.TagCounts[tags[i]] > s.TagCounts[tags[j]]
+		}
+		return tags[i] < tags[j]
+	})
+	for _, t := range tags {
+		if _, err := fmt.Fprintf(w, "  <%s> ×%d\n", t, s.TagCounts[t]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String renders the stats report.
+func (s TreeStats) String() string {
+	var sb strings.Builder
+	s.Write(&sb)
+	return sb.String()
+}

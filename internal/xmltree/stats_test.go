@@ -1,0 +1,47 @@
+package xmltree
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestComputeStats(t *testing.T) {
+	d := buildTestTree(t)
+	s := d.ComputeStats()
+	if s.Nodes != 11 || s.Height != 4 {
+		t.Fatalf("nodes=%d height=%d", s.Nodes, s.Height)
+	}
+	// Leaves: n1, n2, n5, n8, n9, n10 = 6.
+	if s.Leaves != 6 {
+		t.Fatalf("leaves = %d, want 6", s.Leaves)
+	}
+	// Root has 4 children — the max fanout.
+	if s.MaxFanout != 4 {
+		t.Fatalf("max fanout = %d", s.MaxFanout)
+	}
+	if s.TagCounts["doc"] != 1 || s.TagCounts["g"] != 1 {
+		t.Fatalf("tag counts = %v", s.TagCounts)
+	}
+	if s.DepthCounts[0] != 1 || s.DepthCounts[1] != 4 {
+		t.Fatalf("depth counts = %v", s.DepthCounts)
+	}
+	// Mean fanout over internal nodes: edges / internal = 10/5.
+	if s.MeanFanout != 2.0 {
+		t.Fatalf("mean fanout = %v", s.MeanFanout)
+	}
+	out := s.String()
+	if !strings.Contains(out, "nodes 11") || !strings.Contains(out, "<doc> ×1") {
+		t.Fatalf("report:\n%s", out)
+	}
+}
+
+func TestComputeStatsSingleNode(t *testing.T) {
+	d := NewBuilder("one", "solo", "hello").Build()
+	s := d.ComputeStats()
+	if s.Nodes != 1 || s.Leaves != 1 || s.MeanFanout != 0 || s.Height != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.TextBytes != len("hello") {
+		t.Fatalf("text bytes = %d", s.TextBytes)
+	}
+}
