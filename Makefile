@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: all build test race cover bench fuzz experiments tools clean
+.PHONY: all build test check race cover bench fuzz experiments tools clean
 
-all: build test
+all: build check
 
 build:
 	$(GO) build ./...
@@ -10,6 +10,13 @@ build:
 test:
 	$(GO) vet ./...
 	$(GO) test ./...
+
+# check is the full gate: vet plus the whole suite under the race
+# detector (the observability layer counts from worker goroutines, so
+# race coverage is part of correctness here).
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./...
 
 race:
 	$(GO) test -race ./...

@@ -43,6 +43,7 @@ func run() error {
 		filterStr = flag.String("filter", "", "filter spec, e.g. 'size<=3,height<=2'")
 		strategy  = flag.String("strategy", "auto", "auto | brute-force | naive | set-reduction | push-down")
 		stats     = flag.Bool("stats", false, "print evaluation statistics")
+		trace     = flag.Bool("trace", false, "print the per-operator evaluation trace (spans with cardinalities and durations)")
 		explain   = flag.Bool("explain", false, "print logical and physical plans")
 		slca      = flag.Bool("slca", false, "also print the SLCA/ELCA baseline answers")
 		outline   = flag.Bool("outline", false, "print the document outline and exit")
@@ -83,7 +84,7 @@ func run() error {
 		return fmt.Errorf("need -query keywords")
 	}
 
-	opts := query.Options{Workers: *workers}
+	opts := query.Options{Workers: *workers, Trace: *trace}
 	switch *strategy {
 	case "auto":
 		opts.Auto = true
@@ -150,10 +151,16 @@ func run() error {
 		fmt.Printf("wrote %s (%d highlighted nodes)\n", *dotOut, len(highlight))
 	}
 
+	if *trace && ans.Result.Trace != nil {
+		fmt.Println("\ntrace:")
+		fmt.Print(ans.Result.Trace.Render())
+	}
 	if *stats {
 		st := ans.Result.Stats
 		fmt.Printf("\nstats: strategy=%v seeds=%v fixpoints=%v candidates=%d answers=%d joins=%d elapsed=%v\n",
 			st.Strategy, st.SeedSizes, st.FixedPointSizes, st.Candidates, st.Answers, st.Joins, st.Elapsed)
+		fmt.Printf("ops: pairwise=%d powerset=%d iterations=%d prunes=%d\n",
+			st.Ops.PairwiseJoins, st.Ops.PowersetExpansions, st.Ops.FixedPointIterations, st.Ops.FilterPrunes)
 	}
 	if *slca {
 		fmt.Printf("\nSLCA baseline: %v\n", eng.SLCA(*keywords))

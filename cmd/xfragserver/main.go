@@ -12,15 +12,22 @@
 //	GET  /api/docs
 //	POST /api/docs                {"name": "...", "xml": "<...>"}
 //	GET  /api/search?q=xquery+optimization&filter=size<=3&strategy=auto&limit=10
-//	GET  /api/explain?q=...&filter=...&strategy=push-down
+//	GET  /api/explain?q=...&filter=...&strategy=push-down&trace=1
+//	GET  /api/metrics                     (JSON; ?format=prom for Prometheus text)
+//
+// With -pprof, the Go profiling endpoints mount under /debug/pprof/
+// and expvar under /debug/vars.
 package main
 
 import (
 	"context"
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -37,6 +44,8 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	paper := flag.Bool("paper", false, "preload the paper's Figure 1 document")
 	snap := flag.String("snapshot", "", "preload documents from a snapshot file (see internal/snapshot)")
+	pprofOn := flag.Bool("pprof", false, "expose /debug/pprof/ and /debug/vars (profiling; keep off on untrusted networks)")
+	quiet := flag.Bool("quiet", false, "disable the structured request log on stderr")
 	flag.Parse()
 
 	coll := collection.New()
@@ -69,9 +78,28 @@ func main() {
 	fmt.Printf("xfragserver: %d document(s), %d nodes, %d postings — listening on %s\n",
 		st.Documents, st.Nodes, st.Postings, *addr)
 
+	var logger *slog.Logger
+	if !*quiet {
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
+	var handler http.Handler = httpapi.NewWithLogger(coll, logger)
+	if *pprofOn {
+		// Mount the API beside the debug endpoints on a wrapper mux so
+		// the profiling handlers stay outside the request middleware.
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/debug/vars", expvar.Handler())
+		handler = mux
+		fmt.Println("xfragserver: profiling enabled at /debug/pprof/ and /debug/vars")
+	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           httpapi.New(coll),
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	// Graceful shutdown on SIGINT/SIGTERM: in-flight searches finish,

@@ -18,6 +18,7 @@ import (
 	"repro/internal/filter"
 	"repro/internal/index"
 	"repro/internal/lca"
+	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/relstore"
 	"repro/internal/xmltree"
@@ -342,17 +343,18 @@ func RFSweep(seed int64) []RFRow {
 		for i := 0; i < mix.scattered; i++ {
 			F.Add(core.NodeFragment(d, xmltree.NodeID(d.Len()-1-i)))
 		}
-		core.ResetJoinCount()
-		reduced := core.Reduce(F)
-		reduceJoins := core.JoinCount()
+		// Per-phase counters keep the measurement exact even when other
+		// evaluations run in the same process (the old global-counter
+		// deltas could absorb their joins).
+		var cReduce, cBudgeted, cChecked obs.EvalCounters
+		reduced := core.ReduceCounted(&cReduce, F)
+		reduceJoins := cReduce.Joins()
 
-		core.ResetJoinCount()
-		budgeted := core.SelfJoinTimes(F, max(reduced.Len(), 1))
-		budgetedJoins := core.JoinCount()
+		budgeted := core.SelfJoinTimesCounted(&cBudgeted, F, max(reduced.Len(), 1))
+		budgetedJoins := cBudgeted.Joins()
 
-		core.ResetJoinCount()
-		checked := core.FixedPointNaive(F)
-		checkingJoins := core.JoinCount()
+		checked := core.FixedPointNaiveCounted(&cChecked, F)
+		checkingJoins := cChecked.Joins()
 
 		if !budgeted.Equal(checked) {
 			panic("RFSweep: budgeted and checked fixed points disagree")

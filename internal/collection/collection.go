@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/ranking"
 	"repro/internal/textutil"
@@ -25,13 +26,22 @@ import (
 type Collection struct {
 	mu      sync.RWMutex
 	engines map[string]*engine.Engine
-	order   []string // insertion order, for deterministic iteration
+	order   []string     // insertion order, for deterministic iteration
+	metrics *obs.Metrics // shared by every per-document engine
 }
 
-// New returns an empty collection.
+// New returns an empty collection. Every engine it creates shares one
+// metrics registry, exposed by Metrics.
 func New() *Collection {
-	return &Collection{engines: make(map[string]*engine.Engine)}
+	return &Collection{
+		engines: make(map[string]*engine.Engine),
+		metrics: obs.NewMetrics(),
+	}
 }
+
+// Metrics returns the collection-wide registry that every
+// per-document engine records into.
+func (c *Collection) Metrics() *obs.Metrics { return c.metrics }
 
 // Add indexes doc under its document name. It returns an error if the
 // name is already taken.
@@ -42,7 +52,7 @@ func (c *Collection) Add(doc *xmltree.Document) error {
 	if _, dup := c.engines[name]; dup {
 		return fmt.Errorf("collection: duplicate document %q", name)
 	}
-	c.engines[name] = engine.New(doc)
+	c.engines[name] = engine.NewWithMetrics(doc, c.metrics)
 	c.order = append(c.order, name)
 	return nil
 }
@@ -116,6 +126,9 @@ type Result struct {
 	// exceeded on one pathological document); other documents still
 	// contribute hits.
 	Errors map[string]error
+	// Traces maps document name → its evaluation's span tree; non-nil
+	// entries only when Options.Trace was set.
+	Traces map[string]*obs.Span
 }
 
 // Search evaluates the keyword/filter query on every document
@@ -143,6 +156,7 @@ func (c *Collection) Run(q query.Query, opts query.Options) (*Result, error) {
 		name  string
 		stats query.Stats
 		hits  []Hit
+		trace *obs.Span
 		err   error
 	}
 	results := make([]docResult, len(names))
@@ -162,7 +176,7 @@ func (c *Collection) Run(q query.Query, opts query.Options) (*Result, error) {
 			for _, s := range r.Rank(ans.Result.Answers) {
 				hits = append(hits, Hit{Document: names[i], Fragment: s.Fragment, Score: s.Score})
 			}
-			results[i] = docResult{name: names[i], stats: ans.Result.Stats, hits: hits}
+			results[i] = docResult{name: names[i], stats: ans.Result.Stats, hits: hits, trace: ans.Result.Trace}
 		}(i)
 	}
 	wg.Wait()
@@ -178,6 +192,12 @@ func (c *Collection) Run(q query.Query, opts query.Options) (*Result, error) {
 		}
 		out.PerDocument[r.name] = r.stats
 		out.Hits = append(out.Hits, r.hits...)
+		if r.trace != nil {
+			if out.Traces == nil {
+				out.Traces = make(map[string]*obs.Span)
+			}
+			out.Traces[r.name] = r.trace
+		}
 	}
 	sort.SliceStable(out.Hits, func(i, j int) bool {
 		if out.Hits[i].Score != out.Hits[j].Score {

@@ -3,6 +3,8 @@ package core
 import (
 	"errors"
 	"fmt"
+
+	"repro/internal/obs"
 )
 
 // ErrBudgetExceeded reports that an operation was aborted because its
@@ -21,10 +23,17 @@ func budgetError(op string, budget int) error {
 // PairwiseJoinBounded is PairwiseJoin aborting with ErrBudgetExceeded
 // once the result would exceed maxFragments.
 func PairwiseJoinBounded(f1, f2 *Set, maxFragments int) (*Set, error) {
+	return PairwiseJoinBoundedCounted(nil, f1, f2, maxFragments)
+}
+
+// PairwiseJoinBoundedCounted is PairwiseJoinBounded attributing the
+// work to c (nil-safe).
+func PairwiseJoinBoundedCounted(c *obs.EvalCounters, f1, f2 *Set, maxFragments int) (*Set, error) {
+	c.AddPairwiseJoins(1)
 	out := &Set{}
 	for _, a := range f1.frags {
 		for _, b := range f2.frags {
-			out.Add(Join(a, b))
+			out.Add(JoinCounted(c, a, b))
 			if out.Len() > maxFragments {
 				return nil, budgetError("pairwise join", maxFragments)
 			}
@@ -35,6 +44,12 @@ func PairwiseJoinBounded(f1, f2 *Set, maxFragments int) (*Set, error) {
 
 // SelfJoinTimesBounded is SelfJoinTimes with a fragment budget.
 func SelfJoinTimesBounded(f *Set, n, maxFragments int) (*Set, error) {
+	return SelfJoinTimesBoundedCounted(nil, f, n, maxFragments)
+}
+
+// SelfJoinTimesBoundedCounted is SelfJoinTimesBounded attributing the
+// work to c (nil-safe).
+func SelfJoinTimesBoundedCounted(c *obs.EvalCounters, f *Set, n, maxFragments int) (*Set, error) {
 	if n < 1 {
 		panic("core: SelfJoinTimesBounded requires n >= 1")
 	}
@@ -44,10 +59,11 @@ func SelfJoinTimesBounded(f *Set, n, maxFragments int) (*Set, error) {
 	}
 	frontier := f.Fragments()
 	for i := 1; i < n && len(frontier) > 0; i++ {
+		c.AddFixedPointIterations(1)
 		var next []Fragment
 		for _, a := range frontier {
 			for _, b := range f.Fragments() {
-				if j := Join(a, b); acc.Add(j) {
+				if j := JoinCounted(c, a, b); acc.Add(j) {
 					next = append(next, j)
 					if acc.Len() > maxFragments {
 						return nil, budgetError("self join", maxFragments)
@@ -63,26 +79,39 @@ func SelfJoinTimesBounded(f *Set, n, maxFragments int) (*Set, error) {
 // FixedPointBounded computes F⁺ with Theorem 1's iteration budget and
 // a fragment budget.
 func FixedPointBounded(f *Set, maxFragments int) (*Set, error) {
-	k := Reduce(f).Len()
+	return FixedPointBoundedCounted(nil, f, maxFragments)
+}
+
+// FixedPointBoundedCounted is FixedPointBounded attributing the work
+// (including the ⊖ computation's joins) to c (nil-safe).
+func FixedPointBoundedCounted(c *obs.EvalCounters, f *Set, maxFragments int) (*Set, error) {
+	k := ReduceCounted(c, f).Len()
 	if k < 1 {
 		k = 1
 	}
-	return SelfJoinTimesBounded(f, k, maxFragments)
+	return SelfJoinTimesBoundedCounted(c, f, k, maxFragments)
 }
 
 // FixedPointNaiveBounded computes F⁺ with fixed-point checking and a
 // fragment budget.
 func FixedPointNaiveBounded(f *Set, maxFragments int) (*Set, error) {
+	return FixedPointNaiveBoundedCounted(nil, f, maxFragments)
+}
+
+// FixedPointNaiveBoundedCounted is FixedPointNaiveBounded attributing
+// the work to c (nil-safe).
+func FixedPointNaiveBoundedCounted(c *obs.EvalCounters, f *Set, maxFragments int) (*Set, error) {
 	acc := f.Clone()
 	if acc.Len() > maxFragments {
 		return nil, budgetError("fixed point", maxFragments)
 	}
 	frontier := f.Fragments()
 	for len(frontier) > 0 {
+		c.AddFixedPointIterations(1)
 		var next []Fragment
 		for _, a := range frontier {
 			for _, b := range f.Fragments() {
-				if j := Join(a, b); acc.Add(j) {
+				if j := JoinCounted(c, a, b); acc.Add(j) {
 					next = append(next, j)
 					if acc.Len() > maxFragments {
 						return nil, budgetError("fixed point", maxFragments)
@@ -99,18 +128,30 @@ func FixedPointNaiveBounded(f *Set, maxFragments int) (*Set, error) {
 // fragment budget. With a selective anti-monotonic predicate the
 // budget is rarely hit — which is the paper's optimization story.
 func FilteredFixedPointBounded(f *Set, pred func(Fragment) bool, maxFragments int) (*Set, error) {
+	return FilteredFixedPointBoundedCounted(nil, f, pred, maxFragments)
+}
+
+// FilteredFixedPointBoundedCounted is FilteredFixedPointBounded
+// attributing joins, iterations and filter prunes to c (nil-safe).
+func FilteredFixedPointBoundedCounted(c *obs.EvalCounters, f *Set, pred func(Fragment) bool, maxFragments int) (*Set, error) {
 	base := f.Select(pred)
+	c.AddFilterPrunes(uint64(f.Len() - base.Len()))
 	acc := base.Clone()
 	if acc.Len() > maxFragments {
 		return nil, budgetError("filtered fixed point", maxFragments)
 	}
 	frontier := base.Fragments()
 	for len(frontier) > 0 {
+		c.AddFixedPointIterations(1)
 		var next []Fragment
 		for _, a := range frontier {
 			for _, b := range base.Fragments() {
-				j := Join(a, b)
-				if pred(j) && acc.Add(j) {
+				j := JoinCounted(c, a, b)
+				if !pred(j) {
+					c.AddFilterPrunes(1)
+					continue
+				}
+				if acc.Add(j) {
 					next = append(next, j)
 					if acc.Len() > maxFragments {
 						return nil, budgetError("filtered fixed point", maxFragments)
@@ -126,14 +167,24 @@ func FilteredFixedPointBounded(f *Set, pred func(Fragment) bool, maxFragments in
 // PairwiseJoinFilteredBounded is PairwiseJoinFiltered with a fragment
 // budget.
 func PairwiseJoinFilteredBounded(f1, f2 *Set, pred func(Fragment) bool, maxFragments int) (*Set, error) {
+	return PairwiseJoinFilteredBoundedCounted(nil, f1, f2, pred, maxFragments)
+}
+
+// PairwiseJoinFilteredBoundedCounted is PairwiseJoinFilteredBounded
+// attributing joins and filter prunes to c (nil-safe).
+func PairwiseJoinFilteredBoundedCounted(c *obs.EvalCounters, f1, f2 *Set, pred func(Fragment) bool, maxFragments int) (*Set, error) {
+	c.AddPairwiseJoins(1)
 	out := &Set{}
 	for _, a := range f1.frags {
 		for _, b := range f2.frags {
-			if j := Join(a, b); pred(j) {
-				out.Add(j)
-				if out.Len() > maxFragments {
-					return nil, budgetError("filtered pairwise join", maxFragments)
-				}
+			j := JoinCounted(c, a, b)
+			if !pred(j) {
+				c.AddFilterPrunes(1)
+				continue
+			}
+			out.Add(j)
+			if out.Len() > maxFragments {
+				return nil, budgetError("filtered pairwise join", maxFragments)
 			}
 		}
 	}

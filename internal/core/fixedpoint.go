@@ -1,5 +1,7 @@
 package core
 
+import "repro/internal/obs"
+
 // FixedPointNaive computes F⁺ (Definition 9) by the dynamic-programming
 // expansion F⁺ = F ∪ (F⋈F) ∪ (F⋈F⋈F) ∪ … (Section 3.1.1): it joins the
 // accumulated set with F repeatedly (semi-naive: only newly discovered
@@ -8,14 +10,19 @@ package core
 // with semi-naive evaluation the final, empty iteration re-joins the
 // last frontier against F, which is the checking cost the budgeted
 // FixedPoint avoids.
-func FixedPointNaive(f *Set) *Set {
+func FixedPointNaive(f *Set) *Set { return FixedPointNaiveCounted(nil, f) }
+
+// FixedPointNaiveCounted is FixedPointNaive attributing joins and
+// iterations to c (nil-safe).
+func FixedPointNaiveCounted(c *obs.EvalCounters, f *Set) *Set {
 	acc := f.Clone()
 	frontier := f.Fragments()
 	for len(frontier) > 0 {
+		c.AddFixedPointIterations(1)
 		var next []Fragment
 		for _, a := range frontier {
 			for _, b := range f.Fragments() {
-				if j := Join(a, b); acc.Add(j) {
+				if j := JoinCounted(c, a, b); acc.Add(j) {
 					next = append(next, j)
 				}
 			}
@@ -86,7 +93,11 @@ func FilteredFixedPoint(f *Set, pred func(Fragment) bool) *Set {
 // Iterative elimination restores that invariant; on inputs without
 // mutual elimination (such as the paper's Figure 4 example) the two
 // readings agree. See DESIGN.md for the reproduction note.
-func Reduce(f *Set) *Set {
+func Reduce(f *Set) *Set { return ReduceCounted(nil, f) }
+
+// ReduceCounted is Reduce attributing the witness-pair joins to c
+// (nil-safe).
+func ReduceCounted(c *obs.EvalCounters, f *Set) *Set {
 	n := f.Len()
 	if n <= 2 {
 		// A set needs at least three elements for any to be eliminated
@@ -105,7 +116,7 @@ func Reduce(f *Set) *Set {
 			if !alive[k] {
 				continue
 			}
-			if coveredByPair(frags, alive, k) {
+			if coveredByPair(c, frags, alive, k) {
 				alive[k] = false
 				aliveCount--
 				changed = true
@@ -126,7 +137,7 @@ func Reduce(f *Set) *Set {
 
 // coveredByPair reports whether frags[k] is a sub-fragment of the join
 // of two distinct other alive fragments.
-func coveredByPair(frags []Fragment, alive []bool, k int) bool {
+func coveredByPair(c *obs.EvalCounters, frags []Fragment, alive []bool, k int) bool {
 	for i := range frags {
 		if !alive[i] || i == k {
 			continue
@@ -135,7 +146,7 @@ func coveredByPair(frags []Fragment, alive []bool, k int) bool {
 			if !alive[j] || j == k {
 				continue
 			}
-			if frags[k].SubsetOf(Join(frags[i], frags[j])) {
+			if frags[k].SubsetOf(JoinCounted(c, frags[i], frags[j])) {
 				return true
 			}
 		}

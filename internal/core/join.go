@@ -2,42 +2,53 @@ package core
 
 import (
 	"fmt"
-	"sync/atomic"
 
+	"repro/internal/obs"
 	"repro/internal/xmltree"
 )
 
-// joinCount instruments the algebra: it counts every fragment join
-// performed process-wide. The benchmark harness uses it as a
-// machine-independent work metric when comparing evaluation strategies
-// (the paper argues in joins avoided, not milliseconds).
-var joinCount atomic.Uint64
+// JoinCount returns the number of fragment joins performed
+// process-wide since the last ResetJoinCount.
+//
+// Deprecated: this is a shim over the obs.Process aggregate, kept for
+// coarse process statistics only. Per-evaluation join counts come
+// from the *obs.EvalCounters threaded through the counted operation
+// variants (JoinCounted and friends) — never from deltas of this
+// aggregate, which concurrent evaluations advance together.
+func JoinCount() uint64 { return obs.Process().Joins() }
 
-// JoinCount returns the number of fragment joins performed since the
-// last ResetJoinCount.
-func JoinCount() uint64 { return joinCount.Load() }
+// ResetJoinCount zeroes the process-wide join aggregate.
+//
+// Deprecated: see JoinCount. Resetting a process-wide aggregate under
+// concurrent evaluations loses counts; prefer per-evaluation
+// counters.
+func ResetJoinCount() { obs.Process().Reset() }
 
-// ResetJoinCount zeroes the process-wide join counter.
-func ResetJoinCount() { joinCount.Store(0) }
+// Join computes the fragment join f1 ⋈ f2 (Definition 4). It counts
+// the join only in the process aggregate; use JoinCounted to
+// attribute the work to an evaluation.
+func Join(f1, f2 Fragment) Fragment { return JoinCounted(nil, f1, f2) }
 
-// Join computes the fragment join f1 ⋈ f2 (Definition 4): the minimal
-// fragment of the shared document that contains both f1 and f2. In a
-// tree the minimal connected subgraph containing a node set is the
-// union of the set with the paths from each node to the set's lowest
-// common ancestor; since f1 and f2 are themselves connected, it
-// suffices to connect their roots to the LCA of the two roots.
+// JoinCounted computes the fragment join f1 ⋈ f2 (Definition 4),
+// attributing the work to c (nil-safe): the minimal fragment of the
+// shared document that contains both f1 and f2. In a tree the minimal
+// connected subgraph containing a node set is the union of the set
+// with the paths from each node to the set's lowest common ancestor;
+// since f1 and f2 are themselves connected, it suffices to connect
+// their roots to the LCA of the two roots.
 //
 // The operation is idempotent, commutative, associative and absorbing
 // (Section 2.2); those properties are exercised by the package's
 // property tests.
-func Join(f1, f2 Fragment) Fragment {
+func JoinCounted(c *obs.EvalCounters, f1, f2 Fragment) Fragment {
 	if f1.doc != f2.doc {
 		panic("core: Join across documents")
 	}
 	if f1.doc == nil {
 		panic("core: Join of zero Fragment")
 	}
-	joinCount.Add(1)
+	obs.Process().AddJoins(1)
+	c.AddJoins(1)
 	// Absorption fast paths: f1 ⋈ f2 = f1 when f2 ⊆ f1 (and vice
 	// versa). These also cover idempotency.
 	if f2.SubsetOf(f1) {
@@ -67,13 +78,16 @@ func Join(f1, f2 Fragment) Fragment {
 
 // JoinAll folds Join over all fragments: ⋈{f1,…,fn} = f1 ⋈ … ⋈ fn
 // (the n-ary form used by Definition 6). It panics on an empty slice.
-func JoinAll(fs []Fragment) Fragment {
+func JoinAll(fs []Fragment) Fragment { return JoinAllCounted(nil, fs) }
+
+// JoinAllCounted is JoinAll attributing the joins to c (nil-safe).
+func JoinAllCounted(c *obs.EvalCounters, fs []Fragment) Fragment {
 	if len(fs) == 0 {
 		panic("core: JoinAll of empty slice")
 	}
 	acc := fs[0]
 	for _, f := range fs[1:] {
-		acc = Join(acc, f)
+		acc = JoinCounted(c, acc, f)
 	}
 	return acc
 }

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math/bits"
 	"sort"
+
+	"repro/internal/obs"
 )
 
 // MultiPowersetJoin generalizes the powerset fragment join to m ≥ 1
@@ -44,6 +46,13 @@ func MultiPowersetJoinFixedPoint(sets []*Set) *Set {
 // sets: one row per distinct candidate union intersecting every
 // operand, ordered by candidate size then lexicographically.
 func MultiPowersetJoinTrace(sets []*Set, pred func(Fragment) bool) ([]Candidate, error) {
+	return MultiPowersetJoinTraceCounted(nil, sets, pred)
+}
+
+// MultiPowersetJoinTraceCounted is MultiPowersetJoinTrace attributing
+// the joins and one powerset expansion per candidate row to c
+// (nil-safe).
+func MultiPowersetJoinTraceCounted(c *obs.EvalCounters, sets []*Set, pred func(Fragment) bool) ([]Candidate, error) {
 	if len(sets) == 0 {
 		return nil, nil
 	}
@@ -89,13 +98,14 @@ func MultiPowersetJoinTrace(sets []*Set, pred func(Fragment) bool) ([]Candidate,
 	seen := make(map[string]bool)
 	rows := make([]Candidate, 0, len(masks))
 	for _, m := range masks {
+		c.AddPowersetExpansions(1)
 		var inputs []Fragment
 		for i := 0; i < np; i++ {
 			if m&(1<<i) != 0 {
 				inputs = append(inputs, pool.At(i))
 			}
 		}
-		res := JoinAll(inputs)
+		res := JoinAllCounted(c, inputs)
 		k := res.Key()
 		row := Candidate{Inputs: inputs, Result: res, Duplicate: seen[k]}
 		if pred != nil {

@@ -1,5 +1,7 @@
 package core
 
+import "repro/internal/obs"
+
 // PairwiseJoin computes F1 ⋈ F2 (Definition 5): the fragment join of
 // every pair (f1, f2) ∈ F1 × F2, deduplicated. It is commutative,
 // associative, monotone (F ⊆ F ⋈ F) and distributes over union, but is
@@ -42,17 +44,22 @@ func PairwiseJoinFiltered(f1, f2 *Set, pred func(Fragment) bool) *Set {
 // discovered in the previous iteration against F, since older members
 // have already met every element of F. This cuts the join count from
 // O(n·|F⁺|·|F|) to O(|F⁺|·|F|) without changing the result.
-func SelfJoinTimes(f *Set, n int) *Set {
+func SelfJoinTimes(f *Set, n int) *Set { return SelfJoinTimesCounted(nil, f, n) }
+
+// SelfJoinTimesCounted is SelfJoinTimes attributing joins and
+// iterations to c (nil-safe).
+func SelfJoinTimesCounted(c *obs.EvalCounters, f *Set, n int) *Set {
 	if n < 1 {
 		panic("core: SelfJoinTimes requires n >= 1")
 	}
 	acc := f.Clone()
 	frontier := f.Fragments()
 	for i := 1; i < n && len(frontier) > 0; i++ {
+		c.AddFixedPointIterations(1)
 		var next []Fragment
 		for _, a := range frontier {
 			for _, b := range f.Fragments() {
-				if j := Join(a, b); acc.Add(j) {
+				if j := JoinCounted(c, a, b); acc.Add(j) {
 					next = append(next, j)
 				}
 			}

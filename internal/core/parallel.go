@@ -3,6 +3,8 @@ package core
 import (
 	"runtime"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // Parallel variants of the join-heavy operations. Fragment join is a
@@ -28,10 +30,18 @@ func ResolveWorkers(n int) int {
 // result (workers may transiently materialize up to one stripe past
 // it).
 func PairwiseJoinFilteredParallel(f1, f2 *Set, pred func(Fragment) bool, workers, maxFragments int) (*Set, error) {
+	return PairwiseJoinFilteredParallelCounted(nil, f1, f2, pred, workers, maxFragments)
+}
+
+// PairwiseJoinFilteredParallelCounted is PairwiseJoinFilteredParallel
+// attributing the work to c. The counter is atomic, so worker
+// goroutines update it directly (nil-safe).
+func PairwiseJoinFilteredParallelCounted(c *obs.EvalCounters, f1, f2 *Set, pred func(Fragment) bool, workers, maxFragments int) (*Set, error) {
 	if workers <= 1 || f1.Len() < 2*workers {
-		return PairwiseJoinFilteredBounded(f1, f2, pred, maxFragments)
+		return PairwiseJoinFilteredBoundedCounted(c, f1, f2, pred, maxFragments)
 	}
-	chunks := stripeJoin(f1.Fragments(), f2.Fragments(), pred, workers)
+	c.AddPairwiseJoins(1)
+	chunks := stripeJoin(c, f1.Fragments(), f2.Fragments(), pred, workers)
 	out := &Set{}
 	for _, chunk := range chunks {
 		for _, f := range chunk {
@@ -48,17 +58,26 @@ func PairwiseJoinFilteredParallel(f1, f2 *Set, pred func(Fragment) bool, workers
 // parallel frontier expansion. workers <= 1 falls back to the
 // sequential implementation.
 func FilteredFixedPointParallel(f *Set, pred func(Fragment) bool, workers, maxFragments int) (*Set, error) {
+	return FilteredFixedPointParallelCounted(nil, f, pred, workers, maxFragments)
+}
+
+// FilteredFixedPointParallelCounted is FilteredFixedPointParallel
+// attributing the work to c (nil-safe, updated from worker
+// goroutines).
+func FilteredFixedPointParallelCounted(c *obs.EvalCounters, f *Set, pred func(Fragment) bool, workers, maxFragments int) (*Set, error) {
 	if workers <= 1 {
-		return FilteredFixedPointBounded(f, pred, maxFragments)
+		return FilteredFixedPointBoundedCounted(c, f, pred, maxFragments)
 	}
 	base := f.Select(pred)
+	c.AddFilterPrunes(uint64(f.Len() - base.Len()))
 	acc := base.Clone()
 	if acc.Len() > maxFragments {
 		return nil, budgetError("parallel filtered fixed point", maxFragments)
 	}
 	frontier := base.Fragments()
 	for len(frontier) > 0 {
-		chunks := stripeJoin(frontier, base.Fragments(), pred, workers)
+		c.AddFixedPointIterations(1)
+		chunks := stripeJoin(c, frontier, base.Fragments(), pred, workers)
 		var next []Fragment
 		for _, chunk := range chunks {
 			for _, j := range chunk {
@@ -78,7 +97,7 @@ func FilteredFixedPointParallel(f *Set, pred func(Fragment) bool, workers, maxFr
 // stripeJoin fans the cross product left × right over workers, each
 // joining its stripe of left against all of right and keeping the
 // pred-passing results (locally deduplicated to shrink the merge).
-func stripeJoin(left, right []Fragment, pred func(Fragment) bool, workers int) [][]Fragment {
+func stripeJoin(c *obs.EvalCounters, left, right []Fragment, pred func(Fragment) bool, workers int) [][]Fragment {
 	if workers > len(left) {
 		workers = len(left)
 	}
@@ -92,8 +111,9 @@ func stripeJoin(left, right []Fragment, pred func(Fragment) bool, workers int) [
 			var local []Fragment
 			for i := w; i < len(left); i += workers {
 				for _, b := range right {
-					j := Join(left[i], b)
+					j := JoinCounted(c, left[i], b)
 					if !pred(j) {
+						c.AddFilterPrunes(1)
 						continue
 					}
 					k := j.Key()

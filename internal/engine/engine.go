@@ -10,28 +10,44 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/index"
 	"repro/internal/lca"
+	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/xmltree"
 )
 
 // Engine answers keyword queries over one document. Create with New,
-// Load or LoadString; safe for concurrent queries afterwards (the
-// join-count statistics are process-global, so concurrent evaluations
-// may observe each other's joins in Stats.Joins).
+// Load or LoadString; safe for concurrent queries afterwards — every
+// evaluation counts its operator work privately (query.Stats.Ops), so
+// concurrent queries never perturb each other's statistics.
 type Engine struct {
-	doc   *xmltree.Document
-	idx   *index.Index
-	cache *resultCache // nil unless EnableCache was called
+	doc     *xmltree.Document
+	idx     *index.Index
+	cache   *resultCache // nil unless EnableCache was called
+	metrics *obs.Metrics // nil unless created via NewWithMetrics
 }
 
 // New wraps an already-built document.
 func New(doc *xmltree.Document) *Engine {
 	return &Engine{doc: doc, idx: index.New(doc)}
 }
+
+// NewWithMetrics wraps an already-built document and records every
+// evaluation into m (query totals, per-operator counters, latency and
+// answer-size histograms). A nil m behaves like New.
+func NewWithMetrics(doc *xmltree.Document, m *obs.Metrics) *Engine {
+	e := New(doc)
+	e.metrics = m
+	return e
+}
+
+// Metrics returns the engine's registry (nil when created without
+// one).
+func (e *Engine) Metrics() *obs.Metrics { return e.metrics }
 
 // Load parses the XML file at path and indexes it.
 func Load(path string) (*Engine, error) {
@@ -68,21 +84,38 @@ func (e *Engine) Query(keywords, filterSpec string, opts query.Options) (*Answer
 }
 
 // Run evaluates an already-built query, consulting the result cache
-// when one is enabled (see EnableCache).
+// when one is enabled (see EnableCache). Tracing requests bypass the
+// cache: a cached Answer carries the trace of its original evaluation
+// (possibly none), and an explain caller wants the spans of a real
+// evaluation.
 func (e *Engine) Run(q query.Query, opts query.Options) (*Answer, error) {
+	start := time.Now()
 	var key string
-	if e.cache != nil {
+	useCache := e.cache != nil && !opts.Trace
+	if useCache {
 		key = cacheKey(q, opts)
 		if ans, ok := e.cache.get(key); ok {
+			e.metrics.Counter(obs.MCacheHits).Add(1)
+			if opts.Counters != nil {
+				opts.Counters.AddCacheHits(1)
+			}
 			return ans, nil
 		}
 	}
+	if opts.Counters == nil {
+		opts.Counters = new(obs.EvalCounters)
+	}
+	if e.cache != nil && !opts.Trace {
+		opts.Counters.AddCacheMisses(1)
+	}
 	res, err := query.Evaluate(e.idx, q, opts)
 	if err != nil {
+		e.metrics.Counter(obs.MQueryErrors).Add(1)
 		return nil, err
 	}
+	e.metrics.RecordEval(res.Stats.Ops, time.Since(start), res.Stats.Answers)
 	ans := &Answer{doc: e.doc, Query: q, Result: res}
-	if e.cache != nil {
+	if useCache {
 		e.cache.put(key, ans)
 	}
 	return ans, nil

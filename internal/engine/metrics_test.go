@@ -1,0 +1,69 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/docgen"
+	"repro/internal/obs"
+	"repro/internal/query"
+)
+
+func TestEngineRecordsMetrics(t *testing.T) {
+	m := obs.NewMetrics()
+	e := NewWithMetrics(docgen.FigureOne(), m)
+	e.EnableCache(8)
+
+	if _, err := e.Query("XQuery optimization", "size<=3", query.Options{Auto: true}); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Counter(obs.MQueries).Value(); got != 1 {
+		t.Fatalf("%s = %d, want 1", obs.MQueries, got)
+	}
+	if m.Counter(obs.MJoins).Value() == 0 {
+		t.Fatalf("%s = 0, want > 0", obs.MJoins)
+	}
+	if got := m.Counter(obs.MCacheMisses).Value(); got != 1 {
+		t.Fatalf("%s = %d, want 1", obs.MCacheMisses, got)
+	}
+	if got := m.Histogram(obs.MQuerySeconds, obs.LatencyBuckets).Count(); got != 1 {
+		t.Fatalf("%s count = %d, want 1", obs.MQuerySeconds, got)
+	}
+
+	// Second identical query: cache hit, no new evaluation.
+	if _, err := e.Query("XQuery optimization", "size<=3", query.Options{Auto: true}); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Counter(obs.MCacheHits).Value(); got != 1 {
+		t.Fatalf("%s = %d, want 1", obs.MCacheHits, got)
+	}
+	if got := m.Counter(obs.MQueries).Value(); got != 1 {
+		t.Fatalf("%s after cache hit = %d, want 1 (no re-evaluation)", obs.MQueries, got)
+	}
+}
+
+func TestEngineTraceBypassesCache(t *testing.T) {
+	e := figure1Engine(t)
+	e.EnableCache(8)
+	q := "XQuery optimization"
+
+	plain, err := e.Query(q, "size<=3", query.Options{Auto: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Result.Trace != nil {
+		t.Fatal("untraced query carries a trace")
+	}
+	traced, err := e.Query(q, "size<=3", query.Options{Auto: true, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if traced == plain {
+		t.Fatal("traced query must not be served from the cache")
+	}
+	if traced.Result.Trace == nil {
+		t.Fatal("traced query lost its trace")
+	}
+	if !traced.Result.Answers.Equal(plain.Result.Answers) {
+		t.Fatal("traced answers differ from cached answers")
+	}
+}

@@ -1,0 +1,220 @@
+package httpapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/collection"
+	"repro/internal/obs"
+)
+
+func TestMetricsEndpointJSON(t *testing.T) {
+	s := testServer(t)
+	// Drive one search so the evaluation counters are live.
+	if rec, _ := get(t, s, "/api/search?q=XQuery+optimization&filter=size<=3"); rec.Code != http.StatusOK {
+		t.Fatalf("search = %d", rec.Code)
+	}
+	rec, body := get(t, s, "/api/metrics")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("metrics = %d", rec.Code)
+	}
+	if q, ok := body[obs.MQueries].(float64); !ok || q < 1 {
+		t.Fatalf("%s = %v, want >= 1", obs.MQueries, body[obs.MQueries])
+	}
+	if j, ok := body[obs.MJoins].(float64); !ok || j < 1 {
+		t.Fatalf("%s = %v, want >= 1", obs.MJoins, body[obs.MJoins])
+	}
+	hist, ok := body[obs.MQuerySeconds].(map[string]any)
+	if !ok {
+		t.Fatalf("%s missing: %v", obs.MQuerySeconds, body)
+	}
+	if hist["count"].(float64) < 1 {
+		t.Fatalf("latency histogram count = %v", hist["count"])
+	}
+}
+
+func TestMetricsEndpointPrometheus(t *testing.T) {
+	s := testServer(t)
+	if rec, _ := get(t, s, "/api/search?q=XQuery+optimization"); rec.Code != http.StatusOK {
+		t.Fatalf("search = %d", rec.Code)
+	}
+	req := httptest.NewRequest(http.MethodGet, "/api/metrics?format=prom", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("metrics prom = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type = %q", ct)
+	}
+	out := rec.Body.String()
+	for _, want := range []string{
+		"# TYPE xfrag_queries_total counter",
+		"# TYPE xfrag_query_seconds histogram",
+		`xfrag_query_seconds_bucket{le="+Inf"}`,
+		"# TYPE xfrag_http_requests_total counter",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRequestIDPropagation(t *testing.T) {
+	s := testServer(t)
+	// Client-supplied ID is echoed.
+	req := httptest.NewRequest(http.MethodGet, "/healthz", nil)
+	req.Header.Set(RequestIDHeader, "my-id-42")
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if got := rec.Header().Get(RequestIDHeader); got != "my-id-42" {
+		t.Fatalf("request id = %q, want my-id-42", got)
+	}
+	// Absent ID gets generated.
+	rec2 := httptest.NewRecorder()
+	s.ServeHTTP(rec2, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec2.Header().Get(RequestIDHeader) == "" {
+		t.Fatal("no generated request id")
+	}
+}
+
+func TestMiddlewarePanicRecovery(t *testing.T) {
+	var logBuf bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(&logBuf, nil))
+	m := obs.NewMetrics()
+	h := Middleware(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		panic("boom")
+	}), logger, m)
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/panic", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("code = %d, want 500", rec.Code)
+	}
+	var body map[string]string
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("panic response not JSON: %v\n%s", err, rec.Body.String())
+	}
+	if body["error"] == "" {
+		t.Fatalf("panic response missing error: %v", body)
+	}
+	if m.Counter(obs.MHTTPPanics).Value() != 1 {
+		t.Fatalf("%s = %d, want 1", obs.MHTTPPanics, m.Counter(obs.MHTTPPanics).Value())
+	}
+	if !strings.Contains(logBuf.String(), "boom") {
+		t.Fatalf("panic not logged: %s", logBuf.String())
+	}
+}
+
+func TestRequestLogging(t *testing.T) {
+	var logBuf bytes.Buffer
+	coll := collection.New()
+	s := NewWithLogger(coll, slog.New(slog.NewTextHandler(&logBuf, nil)))
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	log := logBuf.String()
+	for _, want := range []string{"method=GET", "path=/healthz", "status=200", "request_id="} {
+		if !strings.Contains(log, want) {
+			t.Fatalf("access log missing %q: %s", want, log)
+		}
+	}
+}
+
+func TestSearchLimitCap(t *testing.T) {
+	s := testServer(t)
+	rec, body := get(t, s, "/api/search?q=XQuery&limit=1001")
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("code = %d, want 400 (%v)", rec.Code, body)
+	}
+	if !strings.Contains(body["error"].(string), "1000") {
+		t.Fatalf("error = %v, want mention of the cap", body["error"])
+	}
+	if rec, _ := get(t, s, "/api/search?q=XQuery&limit=1000"); rec.Code != http.StatusOK {
+		t.Fatalf("limit=1000 = %d, want 200", rec.Code)
+	}
+}
+
+func TestSearchTotalAndReturned(t *testing.T) {
+	s := testServer(t)
+	rec, body := get(t, s, "/api/search?q=XQuery+optimization&filter=size<=3&limit=2")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("code = %d", rec.Code)
+	}
+	if body["total"].(float64) != 4 {
+		t.Fatalf("total = %v, want 4", body["total"])
+	}
+	if body["returned"].(float64) != 2 {
+		t.Fatalf("returned = %v, want 2", body["returned"])
+	}
+	if hits := body["hits"].([]any); len(hits) != 2 {
+		t.Fatalf("hits = %d, want 2", len(hits))
+	}
+}
+
+func TestExplainTrace(t *testing.T) {
+	s := testServer(t)
+	// Query-parameter name → Strategy.String() as the root span detail.
+	details := map[string]string{
+		"brute-force":   "brute-force",
+		"naive":         "naive-fixed-point",
+		"set-reduction": "set-reduction",
+		"push-down":     "push-down",
+	}
+	for _, strat := range []string{"brute-force", "naive", "set-reduction", "push-down"} {
+		rec, body := get(t, s, "/api/explain?q=XQuery+optimization&filter=size<=3&strategy="+strat+"&trace=1")
+		if rec.Code != http.StatusOK {
+			t.Fatalf("%s: code = %d (%v)", strat, rec.Code, body)
+		}
+		traces, ok := body["traces"].(map[string]any)
+		if !ok || len(traces) != 1 {
+			t.Fatalf("%s: traces = %v", strat, body["traces"])
+		}
+		tr := traces["figure1.xml"].(map[string]any)
+		if tr["op"] != "evaluate" || tr["detail"] != details[strat] {
+			t.Fatalf("%s: root span = %v [%v]", strat, tr["op"], tr["detail"])
+		}
+		if tr["out"].(float64) != 4 {
+			t.Fatalf("%s: out = %v, want 4", strat, tr["out"])
+		}
+		if len(tr["children"].([]any)) < 4 {
+			t.Fatalf("%s: children = %v", strat, tr["children"])
+		}
+		rendered := body["rendered"].(map[string]any)["figure1.xml"].(string)
+		if !strings.Contains(rendered, "evaluate ["+details[strat]+"]") || !strings.Contains(rendered, "seed") {
+			t.Fatalf("%s: rendered trace = %s", strat, rendered)
+		}
+		stats := body["stats"].(map[string]any)["figure1.xml"].(map[string]any)
+		if stats["Answers"].(float64) != 4 {
+			t.Fatalf("%s: stats = %v", strat, stats)
+		}
+	}
+	// Without trace=1 the old shape is preserved.
+	_, body := get(t, s, "/api/explain?q=XQuery&strategy=push-down")
+	if _, present := body["traces"]; present {
+		t.Fatal("traces present without trace=1")
+	}
+}
+
+func TestTruncateUTF8(t *testing.T) {
+	// 100 two-byte runes (é) = 200 bytes; cutting at 197 must back up
+	// to a rune boundary (196), never splitting a sequence.
+	s := strings.Repeat("é", 100)
+	got := truncateUTF8(s, 197)
+	if len(got) != 196 {
+		t.Fatalf("len = %d, want 196", len(got))
+	}
+	if !strings.HasSuffix(got, "é") {
+		t.Fatal("truncation split a rune")
+	}
+	if truncateUTF8("abc", 197) != "abc" {
+		t.Fatal("short string should pass through")
+	}
+	if got := truncateUTF8("abcdef", 3); got != "abc" {
+		t.Fatalf("ascii cut = %q, want abc", got)
+	}
+}

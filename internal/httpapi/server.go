@@ -8,24 +8,42 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strconv"
+	"unicode/utf8"
 
 	"repro/internal/collection"
+	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/query"
 )
 
+// maxSearchLimit caps the limit query parameter of GET /api/search:
+// larger values get a 400 instead of an unbounded response body.
+const maxSearchLimit = 1000
+
 // Server routes HTTP requests to a collection.
 type Server struct {
-	coll *collection.Collection
-	mux  *http.ServeMux
+	coll    *collection.Collection
+	mux     *http.ServeMux
+	handler http.Handler // mux wrapped in Middleware
 	// maxBody bounds document uploads (bytes).
 	maxBody int64
 }
 
-// New wraps a collection. Pass nil to start empty.
+// New wraps a collection without an access log. Pass nil to start
+// empty. Request IDs, panic recovery and HTTP metrics are still
+// active; use NewWithLogger to also log requests.
 func New(coll *collection.Collection) *Server {
+	return NewWithLogger(coll, nil)
+}
+
+// NewWithLogger wraps a collection with the full request middleware:
+// structured access logging to logger (nil disables logging only),
+// request IDs, panic recovery, and HTTP metrics recorded into the
+// collection's registry.
+func NewWithLogger(coll *collection.Collection, logger *slog.Logger) *Server {
 	if coll == nil {
 		coll = collection.New()
 	}
@@ -37,6 +55,8 @@ func New(coll *collection.Collection) *Server {
 	s.mux.HandleFunc("GET /api/search", s.handleSearch)
 	s.mux.HandleFunc("GET /api/explain", s.handleExplain)
 	s.mux.HandleFunc("GET /api/stats", s.handleStats)
+	s.mux.HandleFunc("GET /api/metrics", s.handleMetrics)
+	s.handler = Middleware(s.mux, logger, coll.Metrics())
 	return s
 }
 
@@ -45,7 +65,7 @@ func (s *Server) Collection() *collection.Collection { return s.coll }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
+	s.handler.ServeHTTP(w, r)
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
@@ -119,11 +139,14 @@ type SearchHit struct {
 
 // SearchResponse is the body of GET /api/search.
 type SearchResponse struct {
-	Query    string            `json:"query"`
-	Filter   string            `json:"filter,omitempty"`
-	Strategy string            `json:"strategy"`
-	Hits     []SearchHit       `json:"hits"`
+	Query    string      `json:"query"`
+	Filter   string      `json:"filter,omitempty"`
+	Strategy string      `json:"strategy"`
+	Hits     []SearchHit `json:"hits"`
+	// Total counts every hit across the collection; Returned counts
+	// the hits actually present in Hits after the limit.
 	Total    int               `json:"total"`
+	Returned int               `json:"returned"`
 	Errors   map[string]string `json:"errors,omitempty"`
 }
 
@@ -147,6 +170,10 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("bad limit %q", l))
 			return
 		}
+		if n > maxSearchLimit {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("limit %d exceeds maximum %d", n, maxSearchLimit))
+			return
+		}
 		limit = n
 	}
 	res, err := s.coll.Search(keywords, filterSpec, opts)
@@ -164,6 +191,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Hits = append(resp.Hits, toHit(h))
 	}
+	resp.Returned = len(resp.Hits)
 	for name, e := range res.Errors {
 		if resp.Errors == nil {
 			resp.Errors = map[string]string{}
@@ -188,7 +216,7 @@ func toHit(h collection.Hit) SearchHit {
 		}
 	}
 	if len(snippet) > 200 {
-		snippet = snippet[:197] + "..."
+		snippet = truncateUTF8(snippet, 197) + "..."
 	}
 	return SearchHit{
 		Document: h.Document,
@@ -198,6 +226,19 @@ func toHit(h collection.Hit) SearchHit {
 		Score:    h.Score,
 		Snippet:  snippet,
 	}
+}
+
+// truncateUTF8 cuts s to at most max bytes without splitting a UTF-8
+// sequence: the cut backs up to the nearest rune start.
+func truncateUTF8(s string, max int) string {
+	if len(s) <= max {
+		return s
+	}
+	cut := max
+	for cut > 0 && !utf8.RuneStart(s[cut]) {
+		cut--
+	}
+	return s[:cut]
 }
 
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
@@ -226,12 +267,54 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	case "set-reduction":
 		strat = cost.SetReduction
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"query":    q.String(),
 		"logical":  q.LogicalPlan().Render(),
 		"physical": q.PhysicalPlan(strat).Render(),
 		"strategy": strat.String(),
-	})
+	}
+	if qs.Get("trace") == "1" {
+		// Run the query for real with span recording: the plan above is
+		// the static picture, the trace is what actually executed (per
+		// document), with cardinalities and durations.
+		opts, _, err := parseStrategy(qs.Get("strategy"))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		opts.Trace = true
+		res, err := s.coll.Run(q, opts)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		traces := make(map[string]any, len(res.Traces))
+		rendered := make(map[string]string, len(res.Traces))
+		for name, sp := range res.Traces {
+			traces[name] = sp
+			rendered[name] = sp.Render()
+		}
+		body["traces"] = traces
+		body["rendered"] = rendered
+		stats := make(map[string]query.Stats, len(res.PerDocument))
+		for name, st := range res.PerDocument {
+			stats[name] = st
+		}
+		body["stats"] = stats
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+// handleMetrics serves the collection's metric registry: JSON by
+// default, Prometheus text exposition with ?format=prom.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	m := s.coll.Metrics()
+	if r.URL.Query().Get("format") == "prom" {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		m.WritePrometheus(w, "xfrag")
+		return
+	}
+	writeJSON(w, http.StatusOK, m.Snapshot())
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -241,6 +324,10 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		"nodes":     st.Nodes,
 		"terms":     st.Terms,
 		"postings":  st.Postings,
+		// process_joins is the process-wide join aggregate (every
+		// evaluation in this process, all collections); per-query counts
+		// live in query.Stats.Ops and /api/metrics.
+		"process_joins": core.JoinCount(),
 	})
 }
 

@@ -1,0 +1,142 @@
+// Package obs is the observability substrate: per-evaluation operator
+// counters, a process-wide registry of named counters and fixed-bucket
+// histograms, and per-operator trace spans. The paper's efficiency
+// argument is stated in operator counts — joins executed, candidates
+// generated, fragments pruned by push-down — so the instruments here
+// make those quantities observable per query and in aggregate, live,
+// without a wall clock in the loop. Stdlib only; every type is safe
+// for concurrent use unless noted.
+package obs
+
+import "sync/atomic"
+
+// EvalCounters counts the work of ONE evaluation. A fresh value is
+// created per query evaluation and threaded through the algebra, so
+// concurrent evaluations never observe each other's operations (the
+// defect of the old process-global join counter). All methods are
+// nil-safe: calling them on a nil *EvalCounters is a no-op, which
+// lets the algebra's uncounted entry points pass nil instead of
+// branching.
+type EvalCounters struct {
+	joins         atomic.Uint64
+	pairwiseJoins atomic.Uint64
+	powersetExp   atomic.Uint64
+	fixedPointIts atomic.Uint64
+	filterPrunes  atomic.Uint64
+	cacheHits     atomic.Uint64
+	cacheMisses   atomic.Uint64
+}
+
+// AddJoins counts n fragment joins (Definition 4 applications).
+func (c *EvalCounters) AddJoins(n uint64) {
+	if c != nil {
+		c.joins.Add(n)
+	}
+}
+
+// AddPairwiseJoins counts n set-level pairwise join operations
+// (Definition 5 applications, not individual fragment joins).
+func (c *EvalCounters) AddPairwiseJoins(n uint64) {
+	if c != nil {
+		c.pairwiseJoins.Add(n)
+	}
+}
+
+// AddPowersetExpansions counts n candidate fragment sets materialized
+// by a literal powerset enumeration (Definition 6 rows).
+func (c *EvalCounters) AddPowersetExpansions(n uint64) {
+	if c != nil {
+		c.powersetExp.Add(n)
+	}
+}
+
+// AddFixedPointIterations counts n frontier iterations of a
+// fixed-point computation (Section 3.1).
+func (c *EvalCounters) AddFixedPointIterations(n uint64) {
+	if c != nil {
+		c.fixedPointIts.Add(n)
+	}
+}
+
+// AddFilterPrunes counts n fragments discarded by a pushed-down
+// anti-monotonic filter before they could join further (Theorem 3's
+// savings, made visible).
+func (c *EvalCounters) AddFilterPrunes(n uint64) {
+	if c != nil {
+		c.filterPrunes.Add(n)
+	}
+}
+
+// AddCacheHits counts n result-cache hits.
+func (c *EvalCounters) AddCacheHits(n uint64) {
+	if c != nil {
+		c.cacheHits.Add(n)
+	}
+}
+
+// AddCacheMisses counts n result-cache misses.
+func (c *EvalCounters) AddCacheMisses(n uint64) {
+	if c != nil {
+		c.cacheMisses.Add(n)
+	}
+}
+
+// Joins returns the fragment-join count (0 on a nil receiver).
+func (c *EvalCounters) Joins() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.joins.Load()
+}
+
+// Reset zeroes every counter.
+func (c *EvalCounters) Reset() {
+	if c == nil {
+		return
+	}
+	c.joins.Store(0)
+	c.pairwiseJoins.Store(0)
+	c.powersetExp.Store(0)
+	c.fixedPointIts.Store(0)
+	c.filterPrunes.Store(0)
+	c.cacheHits.Store(0)
+	c.cacheMisses.Store(0)
+}
+
+// Snapshot reads every counter at once. The reads are individually
+// atomic, not mutually consistent — good enough for statistics.
+func (c *EvalCounters) Snapshot() CounterSnapshot {
+	if c == nil {
+		return CounterSnapshot{}
+	}
+	return CounterSnapshot{
+		Joins:                c.joins.Load(),
+		PairwiseJoins:        c.pairwiseJoins.Load(),
+		PowersetExpansions:   c.powersetExp.Load(),
+		FixedPointIterations: c.fixedPointIts.Load(),
+		FilterPrunes:         c.filterPrunes.Load(),
+		CacheHits:            c.cacheHits.Load(),
+		CacheMisses:          c.cacheMisses.Load(),
+	}
+}
+
+// CounterSnapshot is a plain-value copy of an EvalCounters, embedded
+// in query statistics and serialized by the HTTP layer.
+type CounterSnapshot struct {
+	Joins                uint64 `json:"joins"`
+	PairwiseJoins        uint64 `json:"pairwise_joins"`
+	PowersetExpansions   uint64 `json:"powerset_expansions"`
+	FixedPointIterations uint64 `json:"fixedpoint_iterations"`
+	FilterPrunes         uint64 `json:"filter_prunes"`
+	CacheHits            uint64 `json:"cache_hits"`
+	CacheMisses          uint64 `json:"cache_misses"`
+}
+
+// process aggregates fragment joins across every evaluation in the
+// process, preserving the old process-wide join counter as an
+// aggregate (the deprecated core.JoinCount shim and /api/stats read
+// it). Per-evaluation numbers come from EvalCounters, never from here.
+var process EvalCounters
+
+// Process returns the process-wide aggregate counters.
+func Process() *EvalCounters { return &process }

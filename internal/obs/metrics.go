@@ -1,0 +1,294 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Canonical metric names. Engines, collections and the HTTP layer all
+// register under these so dashboards see one vocabulary.
+const (
+	MQueries              = "queries_total"
+	MQueryErrors          = "query_errors_total"
+	MJoins                = "joins_total"
+	MPairwiseJoins        = "pairwise_joins_total"
+	MPowersetExpansions   = "powerset_expansions_total"
+	MFixedPointIterations = "fixedpoint_iterations_total"
+	MFilterPrunes         = "filter_prunes_total"
+	MCacheHits            = "cache_hits_total"
+	MCacheMisses          = "cache_misses_total"
+	MQuerySeconds         = "query_seconds"
+	MAnswerFragments      = "answer_fragments"
+	MHTTPRequests         = "http_requests_total"
+	MHTTPPanics           = "http_panics_total"
+	MHTTPRequestSeconds   = "http_request_seconds"
+)
+
+// LatencyBuckets are the fixed upper bounds (seconds) for latency
+// histograms: 100µs to 2.5s, roughly ×2.5 per step.
+var LatencyBuckets = []float64{0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5}
+
+// SizeBuckets are the fixed upper bounds for cardinality histograms
+// (answer-set sizes and the like).
+var SizeBuckets = []float64{0, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000}
+
+// Counter is a monotonically increasing metric.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n. Nil-safe.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Histogram is a fixed-bucket histogram: observations land in the
+// first bucket whose upper bound is >= the value, with an implicit
+// +Inf bucket at the end. Counts, sum and total are atomic; buckets
+// are immutable after construction.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1; last is +Inf
+	sum    atomic.Uint64   // float64 bits, CAS-accumulated
+	count  atomic.Uint64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one value. Safe for concurrent use. Nil-safe.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values (0 on nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// BucketSnapshot is one cumulative histogram bucket: observations <=
+// UpperBound (with UpperBound = +Inf on the last).
+type BucketSnapshot struct {
+	UpperBound float64 `json:"le"`
+	Count      uint64  `json:"count"`
+}
+
+// MarshalJSON renders the bound as a string ("+Inf" on the last
+// bucket, which has no float JSON encoding), mirroring Prometheus's
+// le label.
+func (b BucketSnapshot) MarshalJSON() ([]byte, error) {
+	return []byte(fmt.Sprintf(`{"le":%q,"count":%d}`, formatBound(b.UpperBound), b.Count)), nil
+}
+
+// formatBound renders a bucket upper bound for both JSON and the
+// Prometheus le label.
+func formatBound(ub float64) string {
+	if math.IsInf(ub, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(ub, 'g', -1, 64)
+}
+
+// Buckets returns the cumulative bucket counts, Prometheus-style.
+func (h *Histogram) Buckets() []BucketSnapshot {
+	if h == nil {
+		return nil
+	}
+	out := make([]BucketSnapshot, len(h.counts))
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		ub := math.Inf(1)
+		if i < len(h.bounds) {
+			ub = h.bounds[i]
+		}
+		out[i] = BucketSnapshot{UpperBound: ub, Count: cum}
+	}
+	return out
+}
+
+// Metrics is a registry of named counters and histograms. One
+// registry is instantiated per Collection (and per stand-alone
+// Engine) and shared by the HTTP layer; get-or-create is safe for
+// concurrent use and metric handles are stable once returned.
+type Metrics struct {
+	mu    sync.RWMutex
+	ctrs  map[string]*Counter
+	hists map[string]*Histogram
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{ctrs: make(map[string]*Counter), hists: make(map[string]*Histogram)}
+}
+
+// Counter returns the named counter, creating it on first use.
+// Nil-safe: a nil registry returns a nil (no-op) counter.
+func (m *Metrics) Counter(name string) *Counter {
+	if m == nil {
+		return nil
+	}
+	m.mu.RLock()
+	c := m.ctrs[name]
+	m.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if c = m.ctrs[name]; c == nil {
+		c = &Counter{}
+		m.ctrs[name] = c
+	}
+	return c
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bucket bounds on first use (later bounds are ignored). Nil-safe.
+func (m *Metrics) Histogram(name string, bounds []float64) *Histogram {
+	if m == nil {
+		return nil
+	}
+	m.mu.RLock()
+	h := m.hists[name]
+	m.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if h = m.hists[name]; h == nil {
+		h = newHistogram(bounds)
+		m.hists[name] = h
+	}
+	return h
+}
+
+// RecordEval folds one evaluation's counters and outcome into the
+// registry under the canonical names. Nil-safe.
+func (m *Metrics) RecordEval(s CounterSnapshot, elapsed time.Duration, answers int) {
+	if m == nil {
+		return
+	}
+	m.Counter(MQueries).Add(1)
+	m.Counter(MJoins).Add(s.Joins)
+	m.Counter(MPairwiseJoins).Add(s.PairwiseJoins)
+	m.Counter(MPowersetExpansions).Add(s.PowersetExpansions)
+	m.Counter(MFixedPointIterations).Add(s.FixedPointIterations)
+	m.Counter(MFilterPrunes).Add(s.FilterPrunes)
+	m.Counter(MCacheHits).Add(s.CacheHits)
+	m.Counter(MCacheMisses).Add(s.CacheMisses)
+	m.Histogram(MQuerySeconds, LatencyBuckets).Observe(elapsed.Seconds())
+	m.Histogram(MAnswerFragments, SizeBuckets).Observe(float64(answers))
+}
+
+// histogramSnapshot is the JSON shape of one histogram.
+type histogramSnapshot struct {
+	Buckets []BucketSnapshot `json:"buckets"`
+	Sum     float64          `json:"sum"`
+	Count   uint64           `json:"count"`
+}
+
+// Snapshot returns every metric as a JSON-marshalable map: counters
+// as numbers, histograms as {buckets, sum, count}.
+func (m *Metrics) Snapshot() map[string]any {
+	out := make(map[string]any)
+	if m == nil {
+		return out
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	for name, c := range m.ctrs {
+		out[name] = c.Value()
+	}
+	for name, h := range m.hists {
+		out[name] = histogramSnapshot{Buckets: h.Buckets(), Sum: h.Sum(), Count: h.Count()}
+	}
+	return out
+}
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format (version 0.0.4), metric names prefixed with
+// prefix + "_". Metrics appear in sorted name order.
+func (m *Metrics) WritePrometheus(w io.Writer, prefix string) {
+	if m == nil {
+		return
+	}
+	m.mu.RLock()
+	ctrNames := make([]string, 0, len(m.ctrs))
+	for name := range m.ctrs {
+		ctrNames = append(ctrNames, name)
+	}
+	histNames := make([]string, 0, len(m.hists))
+	for name := range m.hists {
+		histNames = append(histNames, name)
+	}
+	ctrs := make(map[string]*Counter, len(m.ctrs))
+	for name, c := range m.ctrs {
+		ctrs[name] = c
+	}
+	hists := make(map[string]*Histogram, len(m.hists))
+	for name, h := range m.hists {
+		hists[name] = h
+	}
+	m.mu.RUnlock()
+
+	sort.Strings(ctrNames)
+	sort.Strings(histNames)
+	for _, name := range ctrNames {
+		full := prefix + "_" + name
+		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", full, full, ctrs[name].Value())
+	}
+	for _, name := range histNames {
+		full := prefix + "_" + name
+		h := hists[name]
+		fmt.Fprintf(w, "# TYPE %s histogram\n", full)
+		for _, b := range h.Buckets() {
+			fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", full, formatBound(b.UpperBound), b.Count)
+		}
+		fmt.Fprintf(w, "%s_sum %s\n", full, strconv.FormatFloat(h.Sum(), 'g', -1, 64))
+		fmt.Fprintf(w, "%s_count %d\n", full, h.Count())
+	}
+}

@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Span is one node of a per-query trace: an operator of the physical
+// evaluation (seed selection, fixed point, pairwise join, final
+// selection, …) with its input/output cardinalities and duration.
+// Spans form a tree mirroring the evaluation structure; the root
+// carries the strategy in Detail.
+//
+// Every method is nil-safe (a nil *Span no-ops and Start returns
+// nil), so the evaluator threads a span unconditionally and tracing
+// costs nothing when disabled. A span tree is built by a single
+// evaluation goroutine and must not be mutated concurrently; reading
+// a finished tree is safe from any goroutine.
+type Span struct {
+	// Op names the operator ("evaluate", "seed", "fixed-point",
+	// "pairwise-join", "powerset-join", "select", …).
+	Op string `json:"op"`
+	// Detail qualifies it: the strategy, query term, or filter.
+	Detail string `json:"detail,omitempty"`
+	// In holds the input cardinalities (one per operand).
+	In []int `json:"in,omitempty"`
+	// Out is the output cardinality.
+	Out int `json:"out"`
+	// DurationNS is the operator's wall-clock duration.
+	DurationNS int64 `json:"duration_ns"`
+	// Children are the nested operator spans, in execution order.
+	Children []*Span `json:"children,omitempty"`
+
+	start time.Time
+}
+
+// StartSpan begins a root span.
+func StartSpan(op, detail string) *Span {
+	return &Span{Op: op, Detail: detail, start: time.Now()}
+}
+
+// Start begins a child span. On a nil receiver it returns nil, so
+// disabled tracing propagates for free.
+func (s *Span) Start(op, detail string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{Op: op, Detail: detail, start: time.Now()}
+	s.Children = append(s.Children, c)
+	return c
+}
+
+// SetDetail replaces the span's detail (used when the strategy is
+// only known after the root span started).
+func (s *Span) SetDetail(d string) {
+	if s != nil {
+		s.Detail = d
+	}
+}
+
+// Finish records the output cardinality, optional input
+// cardinalities, and the elapsed time since the span started.
+func (s *Span) Finish(out int, in ...int) {
+	if s == nil {
+		return
+	}
+	s.Out = out
+	if len(in) > 0 {
+		s.In = append([]int(nil), in...)
+	}
+	s.DurationNS = time.Since(s.start).Nanoseconds()
+}
+
+// Duration returns the recorded duration.
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return time.Duration(s.DurationNS)
+}
+
+// Render returns the span tree as an indented text outline, one
+// operator per line:
+//
+//	evaluate [push-down] in=[] out=4 (412µs)
+//	  seed [xquery] out=2 (3µs)
+//	  …
+func (s *Span) Render() string {
+	var sb strings.Builder
+	s.render(&sb, 0)
+	return sb.String()
+}
+
+func (s *Span) render(sb *strings.Builder, depth int) {
+	if s == nil {
+		return
+	}
+	sb.WriteString(strings.Repeat("  ", depth))
+	sb.WriteString(s.Op)
+	if s.Detail != "" {
+		fmt.Fprintf(sb, " [%s]", s.Detail)
+	}
+	if len(s.In) > 0 {
+		fmt.Fprintf(sb, " in=%v", s.In)
+	}
+	fmt.Fprintf(sb, " out=%d (%v)\n", s.Out, s.Duration().Round(time.Microsecond))
+	for _, c := range s.Children {
+		c.render(sb, depth+1)
+	}
+}

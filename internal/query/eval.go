@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/index"
+	"repro/internal/obs"
 	"repro/internal/xmltree"
 )
 
@@ -32,6 +33,14 @@ type Options struct {
 	// and a negative value uses GOMAXPROCS. Only PushDown consults it
 	// (the other strategies exist as comparison baselines).
 	Workers int
+	// Trace records a per-operator span tree (operator, cardinalities,
+	// durations) into Result.Trace.
+	Trace bool
+	// Counters, when non-nil, receives this evaluation's operator
+	// counts in addition to Stats.Ops — callers (the engine) use it to
+	// pre-attribute work such as cache misses. When nil, Evaluate uses
+	// a private set of counters.
+	Counters *obs.EvalCounters
 }
 
 // DefaultMaxFragments is the intermediate-set budget applied when
@@ -49,7 +58,9 @@ func (o Options) maxFragments() int {
 
 // Stats describes the work one evaluation performed. Counts are the
 // paper's currency for comparing strategies: fragments materialized
-// and fragment joins executed.
+// and fragment joins executed. All counts are per-evaluation and
+// race-free — concurrent evaluations never contribute to each other's
+// Stats.
 type Stats struct {
 	// Strategy actually used (relevant with Options.Auto).
 	Strategy cost.Strategy
@@ -64,8 +75,14 @@ type Stats struct {
 	Candidates int
 	// Answers is |A|, the final answer-set size.
 	Answers int
-	// Joins is the number of fragment joins executed.
+	// Joins is the number of fragment joins executed by THIS
+	// evaluation (equal to Ops.Joins; kept as a field for existing
+	// callers).
 	Joins uint64
+	// Ops holds every operator counter of this evaluation: joins,
+	// pairwise joins, powerset expansions, fixed-point iterations,
+	// filter prunes, cache hits/misses.
+	Ops obs.CounterSnapshot
 	// Elapsed is wall-clock evaluation time.
 	Elapsed time.Duration
 }
@@ -75,22 +92,52 @@ type Result struct {
 	// Answers holds the answer set A in canonical presentation order.
 	Answers *core.Set
 	Stats   Stats
+	// Trace is the per-operator span tree, non-nil only when
+	// Options.Trace was set.
+	Trace *obs.Span
+}
+
+// EvalContext threads the per-evaluation observability state — the
+// operator counters and the (possibly nil) trace span — through the
+// strategy implementations.
+type EvalContext struct {
+	// Counters receives every operator count of this evaluation;
+	// always non-nil inside Evaluate.
+	Counters *obs.EvalCounters
+	// Span is the root trace span, nil when tracing is off (all span
+	// operations are nil-safe).
+	Span *obs.Span
+}
+
+// seedRef pairs one conjunctive group's seed set with its display
+// term, so trace spans stay labeled after the seeds are re-ordered by
+// size.
+type seedRef struct {
+	set  *core.Set
+	term string
 }
 
 // Evaluate answers q against the indexed document. All strategies
 // produce identical answer sets; they differ in the work performed.
-// The global join counter is used for Stats.Joins, so concurrent
-// evaluations see each other's joins in their stats (the counts remain
-// exact when evaluations are sequential, as in the benchmarks).
+// Statistics are counted per evaluation (Stats.Ops), so concurrent
+// evaluations are independent; only the process-wide aggregate
+// obs.Process advances globally.
 func Evaluate(x *index.Index, q Query, opts Options) (Result, error) {
 	if len(q.Terms) == 0 {
 		return Result{}, fmt.Errorf("query: empty query")
 	}
 	start := time.Now()
-	startJoins := core.JoinCount()
+	ctx := &EvalContext{Counters: opts.Counters}
+	if ctx.Counters == nil {
+		ctx.Counters = new(obs.EvalCounters)
+	}
+	if opts.Trace {
+		ctx.Span = obs.StartSpan("evaluate", "")
+	}
 
 	doc := x.Document()
 	groups := q.Groups
+	terms := q.Terms
 	if groups == nil {
 		// Queries built as struct literals (tests, older callers) carry
 		// only Terms; treat each as a single-alternative group.
@@ -98,16 +145,29 @@ func Evaluate(x *index.Index, q Query, opts Options) (Result, error) {
 			groups = append(groups, []string{t})
 		}
 	}
-	seeds := make([]*core.Set, len(groups))
+	seeds := make([]seedRef, len(groups))
 	stats := Stats{SeedSizes: make([]int, len(groups))}
+	finish := func(answers *core.Set) Result {
+		stats.Answers = answers.Len()
+		stats.Ops = ctx.Counters.Snapshot()
+		stats.Joins = stats.Ops.Joins
+		stats.Elapsed = time.Since(start)
+		ctx.Span.Finish(answers.Len())
+		return Result{Answers: answers, Stats: stats, Trace: ctx.Span}
+	}
 	for i, alts := range groups {
-		seeds[i] = core.NodeFragments(doc, seedNodes(x, alts))
-		stats.SeedSizes[i] = seeds[i].Len()
-		if seeds[i].Len() == 0 {
+		label := ""
+		if i < len(terms) {
+			label = terms[i]
+		}
+		sp := ctx.Span.Start("seed", label)
+		seeds[i] = seedRef{set: core.NodeFragments(doc, seedNodes(x, alts)), term: label}
+		stats.SeedSizes[i] = seeds[i].set.Len()
+		sp.Finish(seeds[i].set.Len())
+		if seeds[i].set.Len() == 0 {
 			// Conjunctive semantics: a group with no witness in the
 			// document empties the answer.
-			stats.Elapsed = time.Since(start)
-			return Result{Answers: core.NewSet(), Stats: stats}, nil
+			return finish(core.NewSet()), nil
 		}
 	}
 
@@ -116,8 +176,8 @@ func Evaluate(x *index.Index, q Query, opts Options) (Result, error) {
 	// the accumulator small for longer. Sound because pairwise join is
 	// commutative and associative (Section 2.2); stats keep reporting
 	// SeedSizes in the query's term order.
-	ordered := append([]*core.Set(nil), seeds...)
-	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].Len() < ordered[j].Len() })
+	ordered := append([]seedRef(nil), seeds...)
+	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].set.Len() < ordered[j].set.Len() })
 
 	strategy := opts.Strategy
 	if opts.Auto {
@@ -125,9 +185,10 @@ func Evaluate(x *index.Index, q Query, opts Options) (Result, error) {
 		if ch == (cost.Chooser{}) {
 			ch = cost.DefaultChooser()
 		}
-		strategy = ch.Choose(seeds, q.HasPushableFilter())
+		strategy = ch.Choose(seedSets(seeds), q.HasPushableFilter())
 	}
 	stats.Strategy = strategy
+	ctx.Span.SetDetail(strategy.String())
 
 	var (
 		answers *core.Set
@@ -136,27 +197,33 @@ func Evaluate(x *index.Index, q Query, opts Options) (Result, error) {
 	budget := opts.maxFragments()
 	switch strategy {
 	case cost.BruteForce:
-		answers, err = evalBruteForce(ordered, q, &stats, budget)
+		answers, err = evalBruteForce(ctx, ordered, q, &stats, budget)
 	case cost.Naive:
-		answers, err = evalFixedPoints(ordered, q, &stats, budget, core.FixedPointNaiveBounded)
+		answers, err = evalFixedPoints(ctx, ordered, q, &stats, budget, core.FixedPointNaiveBoundedCounted)
 	case cost.SetReduction:
-		answers, err = evalFixedPoints(ordered, q, &stats, budget, core.FixedPointBounded)
+		answers, err = evalFixedPoints(ctx, ordered, q, &stats, budget, core.FixedPointBoundedCounted)
 	case cost.PushDown:
 		workers := opts.Workers
 		if workers < 0 {
 			workers = core.ResolveWorkers(workers)
 		}
-		answers, err = evalPushDown(ordered, q, &stats, budget, workers)
+		answers, err = evalPushDown(ctx, ordered, q, &stats, budget, workers)
 	default:
 		err = fmt.Errorf("query: unknown strategy %v", strategy)
 	}
 	if err != nil {
 		return Result{}, err
 	}
-	stats.Answers = answers.Len()
-	stats.Joins = core.JoinCount() - startJoins
-	stats.Elapsed = time.Since(start)
-	return Result{Answers: answers, Stats: stats}, nil
+	return finish(answers), nil
+}
+
+// seedSets projects the seed sets out of refs for the cost chooser.
+func seedSets(refs []seedRef) []*core.Set {
+	sets := make([]*core.Set, len(refs))
+	for i, r := range refs {
+		sets[i] = r.set
+	}
+	return sets
 }
 
 // seedNodes resolves one conjunctive group to its witness nodes: the
@@ -187,22 +254,34 @@ func seedNodes(x *index.Index, alts []string) []xmltree.NodeID {
 	return out
 }
 
+// selectAnswers applies the final whole-query selection under a
+// "select" span.
+func selectAnswers(ctx *EvalContext, q Query, candidates *core.Set) *core.Set {
+	sp := ctx.Span.Start("select", q.Predicate().String())
+	out := candidates.Select(q.predicateFunc())
+	sp.Finish(out.Len(), candidates.Len())
+	return out
+}
+
 // evalBruteForce is Section 4.1: materialize every candidate of the
 // literal powerset join, deduplicate, then filter. Both the literal
 // enumeration bound and the fragment budget apply — the strategy
 // exists "for performance comparison with other available alternative
 // strategies" (Section 4.1), not for real workloads.
-func evalBruteForce(seeds []*core.Set, q Query, stats *Stats, budget int) (*core.Set, error) {
+func evalBruteForce(ctx *EvalContext, seeds []seedRef, q Query, stats *Stats, budget int) (*core.Set, error) {
 	total := 0
-	for _, s := range seeds {
-		total += s.Len()
+	sizes := make([]int, len(seeds))
+	for i, s := range seeds {
+		total += s.set.Len()
+		sizes[i] = s.set.Len()
 	}
 	// Candidate count is within a factor of 2^m of 2^total; refuse
 	// upfront when even the deduplicated pool subsets exceed budget.
 	if total < 63 && (int64(1)<<total) > int64(budget) {
 		return nil, budgetError(total, budget)
 	}
-	rows, err := core.MultiPowersetJoinTrace(seeds, nil)
+	sp := ctx.Span.Start("powerset-join", "")
+	rows, err := core.MultiPowersetJoinTraceCounted(ctx.Counters, seedSets(seeds), nil)
 	if err != nil {
 		return nil, fmt.Errorf("query: brute force infeasible: %w (choose another strategy)", err)
 	}
@@ -211,7 +290,8 @@ func evalBruteForce(seeds []*core.Set, q Query, stats *Stats, budget int) (*core
 	for _, r := range rows {
 		all.Add(r.Result)
 	}
-	return all.Select(q.predicateFunc()), nil
+	sp.Finish(all.Len(), sizes...)
+	return selectAnswers(ctx, q, all), nil
 }
 
 func budgetError(seeds, budget int) error {
@@ -221,24 +301,31 @@ func budgetError(seeds, budget int) error {
 // evalFixedPoints is Sections 3.1/4.2: per-term fixed points (naive or
 // Theorem 1-budgeted, per fp), pairwise-joined left to right, with the
 // whole selection applied last.
-func evalFixedPoints(seeds []*core.Set, q Query, stats *Stats, budget int, fp func(*core.Set, int) (*core.Set, error)) (*core.Set, error) {
-	acc, err := fp(seeds[0], budget)
+func evalFixedPoints(ctx *EvalContext, seeds []seedRef, q Query, stats *Stats, budget int, fp func(*obs.EvalCounters, *core.Set, int) (*core.Set, error)) (*core.Set, error) {
+	sp := ctx.Span.Start("fixed-point", seeds[0].term)
+	acc, err := fp(ctx.Counters, seeds[0].set, budget)
 	if err != nil {
 		return nil, err
 	}
+	sp.Finish(acc.Len(), seeds[0].set.Len())
 	stats.FixedPointSizes = append(stats.FixedPointSizes, acc.Len())
 	for _, s := range seeds[1:] {
-		next, err := fp(s, budget)
+		spFP := ctx.Span.Start("fixed-point", s.term)
+		next, err := fp(ctx.Counters, s.set, budget)
 		if err != nil {
 			return nil, err
 		}
+		spFP.Finish(next.Len(), s.set.Len())
 		stats.FixedPointSizes = append(stats.FixedPointSizes, next.Len())
-		if acc, err = core.PairwiseJoinBounded(acc, next, budget); err != nil {
+		spJ := ctx.Span.Start("pairwise-join", "")
+		inL, inR := acc.Len(), next.Len()
+		if acc, err = core.PairwiseJoinBoundedCounted(ctx.Counters, acc, next, budget); err != nil {
 			return nil, err
 		}
+		spJ.Finish(acc.Len(), inL, inR)
 	}
 	stats.Candidates = acc.Len()
-	return acc.Select(q.predicateFunc()), nil
+	return selectAnswers(ctx, q, acc), nil
 }
 
 // evalPushDown is Section 4.3: the anti-monotonic part of P runs
@@ -247,23 +334,40 @@ func evalFixedPoints(seeds []*core.Set, q Query, stats *Stats, budget int, fp fu
 // With no anti-monotonic clause this degenerates gracefully: the
 // pushable filter is accept-all and the evaluation equals the
 // set-reduction strategy.
-func evalPushDown(seeds []*core.Set, q Query, stats *Stats, budget, workers int) (*core.Set, error) {
-	push := q.Pushable().Apply
-	acc, err := core.FilteredFixedPointParallel(seeds[0], push, workers, budget)
+func evalPushDown(ctx *EvalContext, seeds []seedRef, q Query, stats *Stats, budget, workers int) (*core.Set, error) {
+	pushable := q.Pushable()
+	push := pushable.Apply
+	sp := ctx.Span.Start("filtered-fixed-point", spanFilterDetail(seeds[0].term, pushable.Name))
+	acc, err := core.FilteredFixedPointParallelCounted(ctx.Counters, seeds[0].set, push, workers, budget)
 	if err != nil {
 		return nil, err
 	}
+	sp.Finish(acc.Len(), seeds[0].set.Len())
 	stats.FixedPointSizes = append(stats.FixedPointSizes, acc.Len())
 	for _, s := range seeds[1:] {
-		next, err := core.FilteredFixedPointParallel(s, push, workers, budget)
+		spFP := ctx.Span.Start("filtered-fixed-point", spanFilterDetail(s.term, pushable.Name))
+		next, err := core.FilteredFixedPointParallelCounted(ctx.Counters, s.set, push, workers, budget)
 		if err != nil {
 			return nil, err
 		}
+		spFP.Finish(next.Len(), s.set.Len())
 		stats.FixedPointSizes = append(stats.FixedPointSizes, next.Len())
-		if acc, err = core.PairwiseJoinFilteredParallel(acc, next, push, workers, budget); err != nil {
+		spJ := ctx.Span.Start("filtered-pairwise-join", pushable.Name)
+		inL, inR := acc.Len(), next.Len()
+		if acc, err = core.PairwiseJoinFilteredParallelCounted(ctx.Counters, acc, next, push, workers, budget); err != nil {
 			return nil, err
 		}
+		spJ.Finish(acc.Len(), inL, inR)
 	}
 	stats.Candidates = acc.Len()
-	return acc.Select(q.predicateFunc()), nil
+	return selectAnswers(ctx, q, acc), nil
+}
+
+// spanFilterDetail labels a push-down span with its term and pushed
+// filter.
+func spanFilterDetail(term, filterName string) string {
+	if filterName == "" {
+		return term
+	}
+	return term + " σ " + filterName
 }
