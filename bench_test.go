@@ -11,6 +11,7 @@ package xfrag
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -26,6 +27,7 @@ import (
 	"repro/internal/query"
 	"repro/internal/relstore"
 	"repro/internal/snapshot"
+	"repro/internal/store"
 	"repro/internal/xmltree"
 )
 
@@ -505,6 +507,87 @@ func BenchmarkCollectionSearch(b *testing.B) {
 		res, err := c.Search("xquery optimization", "size<=4", query.Options{Strategy: cost.PushDown})
 		if err != nil || len(res.Hits) == 0 {
 			b.Fatalf("hits=%d err=%v", len(res.Hits), err)
+		}
+	}
+}
+
+// storeBenchDoc mirrors the store tests' synthetic corpus: small
+// document-centric trees with rotating terms.
+func storeBenchDoc(i int) (string, string) {
+	term := "alpha"
+	if i%3 == 0 {
+		term = "gamma"
+	}
+	return fmt.Sprintf("bench-doc-%05d", i), fmt.Sprintf(
+		"<article><title>%s retrieval</title><sec>xml %s fragment %d</sec><sec>filler text %d</sec></article>",
+		term, term, i, i)
+}
+
+// BenchmarkStoreIngest measures documents/sec through the async
+// ingest pipeline (enqueue → parse → WAL append → shard index) at
+// 1, 4 and 8 workers, durability on (WAL in a temp dir, no
+// per-append fsync — the default production configuration).
+func BenchmarkStoreIngest(b *testing.B) {
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			st, err := store.Open(store.Options{
+				Dir:           b.TempDir(),
+				Shards:        8,
+				IngestWorkers: workers,
+				QueueSize:     b.N + 1,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				name, xml := storeBenchDoc(i)
+				if _, err := st.Enqueue(name, xml); err != nil {
+					b.Fatal(err)
+				}
+			}
+			// Close drains the queue: the timed region covers the full
+			// pipeline, not just enqueue.
+			if err := st.Close(context.Background()); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			if st.Len() != b.N {
+				b.Fatalf("ingested %d docs, want %d", st.Len(), b.N)
+			}
+		})
+	}
+}
+
+// BenchmarkShardedSearch compares scatter-gather search on 1 vs. 8
+// shards at 100 and 1000 documents (top-10 heap merge in both).
+func BenchmarkShardedSearch(b *testing.B) {
+	for _, docs := range []int{100, 1000} {
+		for _, shards := range []int{1, 8} {
+			b.Run(fmt.Sprintf("docs=%d/shards=%d", docs, shards), func(b *testing.B) {
+				st, err := store.Open(store.Options{Shards: shards})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer st.Close(context.Background())
+				for i := 0; i < docs; i++ {
+					name, xml := storeBenchDoc(i)
+					if err := st.AddXML(name, xml); err != nil {
+						b.Fatal(err)
+					}
+				}
+				ctx := context.Background()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res, err := st.Search(ctx, "alpha retrieval", "", query.Options{Auto: true}, 10)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res.Total == 0 {
+						b.Fatal("no hits")
+					}
+				}
+			})
 		}
 	}
 }

@@ -5,15 +5,26 @@
 //
 //	xfragserver -addr :8080 doc1.xml doc2.xml
 //	xfragserver -paper -addr :8080          # serve the Figure 1 document
+//	xfragserver -data-dir /var/lib/xfrag -shards 8 -ingest-workers 4
 //
 // Endpoints:
 //
 //	GET  /healthz
 //	GET  /api/docs
 //	POST /api/docs                {"name": "...", "xml": "<...>"}
+//	POST /api/docs?async=1        202 + job ID; 429 when the ingest queue is full
+//	GET  /api/jobs/{id}           async ingest job status
 //	GET  /api/search?q=xquery+optimization&filter=size<=3&strategy=auto&limit=10
 //	GET  /api/explain?q=...&filter=...&strategy=push-down&trace=1
 //	GET  /api/metrics                     (JSON; ?format=prom for Prometheus text)
+//
+// With -data-dir the server runs on the durable sharded store
+// (internal/store): documents added at runtime are write-ahead-logged
+// and survive restarts, ingest is asynchronous behind a bounded
+// queue, and search scatter-gathers across shards under the request
+// deadline. Without it the server is a plain in-memory collection, as
+// before. SIGINT/SIGTERM shuts down gracefully: in-flight requests
+// finish, the ingest queue drains, and the WAL is fsynced.
 //
 // With -pprof, the Go profiling endpoints mount under /debug/pprof/
 // and expvar under /debug/vars.
@@ -37,6 +48,7 @@ import (
 	"repro/internal/docgen"
 	"repro/internal/httpapi"
 	"repro/internal/snapshot"
+	"repro/internal/store"
 	"repro/internal/xmltree"
 )
 
@@ -44,45 +56,82 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	paper := flag.Bool("paper", false, "preload the paper's Figure 1 document")
 	snap := flag.String("snapshot", "", "preload documents from a snapshot file (see internal/snapshot)")
+	dataDir := flag.String("data-dir", "", "durable store directory (WAL + compaction snapshots); empty serves from memory only")
+	shards := flag.Int("shards", 8, "document shards in the durable store (with -data-dir)")
+	ingestWorkers := flag.Int("ingest-workers", 4, "background indexing workers for async ingest (with -data-dir)")
+	queueSize := flag.Int("ingest-queue", 256, "async ingest queue bound; a full queue returns 429 (with -data-dir)")
 	pprofOn := flag.Bool("pprof", false, "expose /debug/pprof/ and /debug/vars (profiling; keep off on untrusted networks)")
 	quiet := flag.Bool("quiet", false, "disable the structured request log on stderr")
 	flag.Parse()
 
-	coll := collection.New()
+	// Gather the preload set (CLI files, -paper, -snapshot) first; it
+	// is fed to whichever backend is selected.
+	var preload []*xmltree.Document
 	if *paper {
-		if err := coll.Add(docgen.FigureOne()); err != nil {
-			log.Fatal(err)
-		}
+		preload = append(preload, docgen.FigureOne())
 	}
 	if *snap != "" {
 		docs, err := snapshot.LoadFile(*snap)
 		if err != nil {
 			log.Fatalf("snapshot %s: %v", *snap, err)
 		}
-		for _, d := range docs {
-			if err := coll.Add(d); err != nil {
-				log.Fatalf("snapshot %s: %v", *snap, err)
-			}
-		}
+		preload = append(preload, docs...)
 	}
 	for _, path := range flag.Args() {
 		doc, err := xmltree.ParseFile(path)
 		if err != nil {
 			log.Fatalf("load %s: %v", path, err)
 		}
-		if err := coll.Add(doc); err != nil {
-			log.Fatalf("add %s: %v", path, err)
-		}
+		preload = append(preload, doc)
 	}
-	st := coll.Stats()
-	fmt.Printf("xfragserver: %d document(s), %d nodes, %d postings — listening on %s\n",
-		st.Documents, st.Nodes, st.Postings, *addr)
 
 	var logger *slog.Logger
 	if !*quiet {
 		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
 	}
-	var handler http.Handler = httpapi.NewWithLogger(coll, logger)
+
+	var (
+		handler http.Handler
+		st      *store.Store
+	)
+	if *dataDir != "" {
+		var err error
+		st, err = store.Open(store.Options{
+			Dir:           *dataDir,
+			Shards:        *shards,
+			IngestWorkers: *ingestWorkers,
+			QueueSize:     *queueSize,
+		})
+		if err != nil {
+			log.Fatalf("store %s: %v", *dataDir, err)
+		}
+		for _, d := range preload {
+			// Documents recovered from the WAL win over re-supplied
+			// preload files of the same name.
+			if st.Engine(d.Name()) != nil {
+				continue
+			}
+			if err := st.Add(d); err != nil {
+				log.Fatalf("add %s: %v", d.Name(), err)
+			}
+		}
+		stats := st.Stats()
+		fmt.Printf("xfragserver: %d document(s), %d nodes, %d postings — %d shard(s), data in %s — listening on %s\n",
+			stats.Documents, stats.Nodes, stats.Postings, st.Shards(), *dataDir, *addr)
+		handler = httpapi.NewWithStore(st, logger)
+	} else {
+		coll := collection.New()
+		for _, d := range preload {
+			if err := coll.Add(d); err != nil {
+				log.Fatalf("add %s: %v", d.Name(), err)
+			}
+		}
+		stats := coll.Stats()
+		fmt.Printf("xfragserver: %d document(s), %d nodes, %d postings — listening on %s\n",
+			stats.Documents, stats.Nodes, stats.Postings, *addr)
+		handler = httpapi.NewWithLogger(coll, logger)
+	}
+
 	if *pprofOn {
 		// Mount the API beside the debug endpoints on a wrapper mux so
 		// the profiling handlers stay outside the request middleware.
@@ -103,7 +152,8 @@ func main() {
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	// Graceful shutdown on SIGINT/SIGTERM: in-flight searches finish,
-	// then the listener closes.
+	// the listener closes, then the store drains its ingest queue and
+	// fsyncs the WAL so every acknowledged mutation is durable.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errCh := make(chan error, 1)
@@ -117,6 +167,12 @@ func main() {
 		defer cancel()
 		if err := srv.Shutdown(shutCtx); err != nil {
 			log.Fatal(err)
+		}
+		if st != nil {
+			if err := st.Close(shutCtx); err != nil {
+				log.Fatalf("store close: %v", err)
+			}
+			fmt.Println("xfragserver: ingest queue drained, WAL synced")
 		}
 	}
 }

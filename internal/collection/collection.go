@@ -7,9 +7,12 @@
 package collection
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/engine"
@@ -28,6 +31,9 @@ type Collection struct {
 	engines map[string]*engine.Engine
 	order   []string     // insertion order, for deterministic iteration
 	metrics *obs.Metrics // shared by every per-document engine
+	// workers bounds the per-document fan-out of Run/RunContext;
+	// 0 means GOMAXPROCS (see SetSearchWorkers).
+	workers int
 }
 
 // New returns an empty collection. Every engine it creates shares one
@@ -42,6 +48,19 @@ func New() *Collection {
 // Metrics returns the collection-wide registry that every
 // per-document engine records into.
 func (c *Collection) Metrics() *obs.Metrics { return c.metrics }
+
+// SetSearchWorkers bounds how many documents a single Run/RunContext
+// evaluates concurrently. n <= 0 restores the default
+// (GOMAXPROCS). Safe to call between searches; a search in flight
+// keeps the bound it started with.
+func (c *Collection) SetSearchWorkers(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	c.workers = n
+}
 
 // Add indexes doc under its document name. It returns an error if the
 // name is already taken.
@@ -142,15 +161,34 @@ func (c *Collection) Search(keywords, filterSpec string, opts query.Options) (*R
 	return c.Run(q, opts)
 }
 
-// Run evaluates a prebuilt query across the collection.
+// Run evaluates a prebuilt query across the collection. It is
+// RunContext with a background context, kept for callers that have no
+// deadline to honor.
 func (c *Collection) Run(q query.Query, opts query.Options) (*Result, error) {
+	return c.RunContext(context.Background(), q, opts)
+}
+
+// RunContext evaluates a prebuilt query across the collection with a
+// bounded worker pool (see SetSearchWorkers) instead of one goroutine
+// per document. When ctx is cancelled or its deadline passes,
+// documents not yet started are skipped and reported in
+// Result.Errors under ctx.Err(); documents already evaluated keep
+// their hits, so the caller gets partial results rather than a hang.
+func (c *Collection) RunContext(ctx context.Context, q query.Query, opts query.Options) (*Result, error) {
 	c.mu.RLock()
 	names := append([]string(nil), c.order...)
 	engines := make([]*engine.Engine, len(names))
 	for i, n := range names {
 		engines[i] = c.engines[n]
 	}
+	workers := c.workers
 	c.mu.RUnlock()
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(names) {
+		workers = len(names)
+	}
 
 	type docResult struct {
 		name  string
@@ -160,24 +198,38 @@ func (c *Collection) Run(q query.Query, opts query.Options) (*Result, error) {
 		err   error
 	}
 	results := make([]docResult, len(names))
-	var wg sync.WaitGroup
-	for i := range names {
+	var (
+		wg   sync.WaitGroup
+		next atomic.Int64
+	)
+	next.Store(-1)
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(i int) {
+		go func() {
 			defer wg.Done()
-			eng := engines[i]
-			ans, err := eng.Run(q, opts)
-			if err != nil {
-				results[i] = docResult{name: names[i], err: err}
-				return
+			for {
+				i := int(next.Add(1))
+				if i >= len(names) {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					results[i] = docResult{name: names[i], err: err}
+					continue
+				}
+				eng := engines[i]
+				ans, err := eng.Run(q, opts)
+				if err != nil {
+					results[i] = docResult{name: names[i], err: err}
+					continue
+				}
+				r := ranking.New(eng.Index(), normalizedTerms(q), ranking.DefaultWeights())
+				var hits []Hit
+				for _, s := range r.Rank(ans.Result.Answers) {
+					hits = append(hits, Hit{Document: names[i], Fragment: s.Fragment, Score: s.Score})
+				}
+				results[i] = docResult{name: names[i], stats: ans.Result.Stats, hits: hits, trace: ans.Result.Trace}
 			}
-			r := ranking.New(eng.Index(), normalizedTerms(q), ranking.DefaultWeights())
-			var hits []Hit
-			for _, s := range r.Rank(ans.Result.Answers) {
-				hits = append(hits, Hit{Document: names[i], Fragment: s.Fragment, Score: s.Score})
-			}
-			results[i] = docResult{name: names[i], stats: ans.Result.Stats, hits: hits, trace: ans.Result.Trace}
-		}(i)
+		}()
 	}
 	wg.Wait()
 

@@ -1,6 +1,7 @@
 package collection
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -213,5 +214,62 @@ func TestRemove(t *testing.T) {
 		if h.Document == "second.xml" {
 			t.Fatal("removed document still contributes hits")
 		}
+	}
+}
+
+// TestRunContextCancelled: an expired context returns promptly with a
+// per-document error for every unevaluated document instead of
+// hanging — partial-result semantics for deadline-bound callers.
+func TestRunContextCancelled(t *testing.T) {
+	c := testCollection(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	q, err := query.Parse("xquery optimization", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.RunContext(ctx, q, query.Options{Auto: true})
+	if err != nil {
+		t.Fatalf("cancelled RunContext should degrade, got error %v", err)
+	}
+	if len(res.Hits) != 0 {
+		t.Fatalf("cancelled search returned %d hits", len(res.Hits))
+	}
+	if len(res.Errors) != c.Len() {
+		t.Fatalf("want %d per-document errors, got %d", c.Len(), len(res.Errors))
+	}
+	for name, e := range res.Errors {
+		if !errors.Is(e, context.Canceled) {
+			t.Fatalf("doc %s: %v, want context.Canceled", name, e)
+		}
+	}
+}
+
+// TestSearchWorkerPoolEquivalence: the bounded pool returns the same
+// merged result at any worker count, including a pool of one.
+func TestSearchWorkerPoolEquivalence(t *testing.T) {
+	c := testCollection(t)
+	base, err := c.Search("xquery optimization", "size<=3", query.Options{Auto: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 16} {
+		c.SetSearchWorkers(workers)
+		res, err := c.Search("xquery optimization", "size<=3", query.Options{Auto: true})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(res.Hits) != len(base.Hits) {
+			t.Fatalf("workers=%d: %d hits, want %d", workers, len(res.Hits), len(base.Hits))
+		}
+		for i := range res.Hits {
+			if res.Hits[i].Document != base.Hits[i].Document || res.Hits[i].Score != base.Hits[i].Score {
+				t.Fatalf("workers=%d: hit %d differs", workers, i)
+			}
+		}
+	}
+	c.SetSearchWorkers(0) // restore default; also covers the reset path
+	if _, err := c.Search("xquery optimization", "", query.Options{Auto: true}); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -16,16 +16,23 @@ import (
 	"repro/internal/collection"
 	"repro/internal/core"
 	"repro/internal/cost"
+	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/query"
+	"repro/internal/store"
 )
 
 // maxSearchLimit caps the limit query parameter of GET /api/search:
 // larger values get a 400 instead of an unbounded response body.
 const maxSearchLimit = 1000
 
-// Server routes HTTP requests to a collection.
+// Server routes HTTP requests to a collection, or — when constructed
+// with NewWithStore — to a durable sharded store, which additionally
+// serves the async ingest endpoints (POST /api/docs?async=1,
+// GET /api/jobs/{id}).
 type Server struct {
-	coll    *collection.Collection
+	coll    *collection.Collection // nil when store-backed
+	st      *store.Store           // nil when collection-backed
 	mux     *http.ServeMux
 	handler http.Handler // mux wrapped in Middleware
 	// maxBody bounds document uploads (bytes).
@@ -47,21 +54,50 @@ func NewWithLogger(coll *collection.Collection, logger *slog.Logger) *Server {
 	if coll == nil {
 		coll = collection.New()
 	}
-	s := &Server{coll: coll, mux: http.NewServeMux(), maxBody: 16 << 20}
+	s := &Server{coll: coll, maxBody: 16 << 20}
+	s.init(logger, coll.Metrics())
+	return s
+}
+
+// NewWithStore wraps a durable sharded store. Search runs under the
+// request context (deadline-aware scatter-gather); POST
+// /api/docs?async=1 enqueues into the ingest pipeline and GET
+// /api/jobs/{id} polls job status. HTTP metrics land in the store's
+// registry.
+func NewWithStore(st *store.Store, logger *slog.Logger) *Server {
+	s := &Server{st: st, maxBody: 16 << 20}
+	s.init(logger, st.Metrics())
+	return s
+}
+
+func (s *Server) init(logger *slog.Logger, m *obs.Metrics) {
+	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /api/docs", s.handleListDocs)
 	s.mux.HandleFunc("POST /api/docs", s.handleAddDoc)
 	s.mux.HandleFunc("DELETE /api/docs/{name}", s.handleRemoveDoc)
+	s.mux.HandleFunc("GET /api/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("GET /api/search", s.handleSearch)
 	s.mux.HandleFunc("GET /api/explain", s.handleExplain)
 	s.mux.HandleFunc("GET /api/stats", s.handleStats)
 	s.mux.HandleFunc("GET /api/metrics", s.handleMetrics)
-	s.handler = Middleware(s.mux, logger, coll.Metrics())
-	return s
+	s.handler = Middleware(s.mux, logger, m)
 }
 
-// Collection returns the backing collection.
+// Collection returns the backing collection (nil when the server is
+// store-backed; see Store).
 func (s *Server) Collection() *collection.Collection { return s.coll }
+
+// Store returns the backing store (nil when collection-backed).
+func (s *Server) Store() *store.Store { return s.st }
+
+// docCount reports the number of indexed documents on either backend.
+func (s *Server) docCount() int {
+	if s.st != nil {
+		return s.st.Len()
+	}
+	return s.coll.Len()
+}
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -69,7 +105,12 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "documents": s.coll.Len()})
+	body := map[string]any{"status": "ok", "documents": s.docCount()}
+	if s.st != nil {
+		body["ingest_queue_depth"] = s.st.QueueDepth()
+		body["shards"] = s.st.Shards()
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 // DocInfo describes one indexed document.
@@ -80,9 +121,18 @@ type DocInfo struct {
 }
 
 func (s *Server) handleListDocs(w http.ResponseWriter, _ *http.Request) {
+	names := func() []string {
+		if s.st != nil {
+			return s.st.Names()
+		}
+		return s.coll.Names()
+	}()
 	var docs []DocInfo
-	for _, name := range s.coll.Names() {
-		eng := s.coll.Engine(name)
+	for _, name := range names {
+		eng := s.engine(name)
+		if eng == nil { // removed between listing and lookup
+			continue
+		}
 		docs = append(docs, DocInfo{
 			Name:  name,
 			Nodes: eng.Document().Len(),
@@ -109,20 +159,75 @@ func (s *Server) handleAddDoc(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, errors.New("need name and xml"))
 		return
 	}
-	if err := s.coll.AddXML(req.Name, req.XML); err != nil {
+	if r.URL.Query().Get("async") == "1" {
+		if s.st == nil {
+			writeError(w, http.StatusBadRequest, errors.New("async ingest requires a store-backed server (run with -data-dir)"))
+			return
+		}
+		id, err := s.st.Enqueue(req.Name, req.XML)
+		switch {
+		case errors.Is(err, store.ErrQueueFull):
+			// Backpressure, not failure: the client should retry later.
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, err)
+			return
+		case err != nil:
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, map[string]any{"job": id, "document": req.Name})
+		return
+	}
+	var err error
+	if s.st != nil {
+		err = s.st.AddXML(req.Name, req.XML)
+	} else {
+		err = s.coll.AddXML(req.Name, req.XML)
+	}
+	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, map[string]any{"added": req.Name})
 }
 
+// handleJob serves GET /api/jobs/{id}: the status of one async
+// ingest job.
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	if s.st == nil {
+		writeError(w, http.StatusNotFound, errors.New("no async ingest on this server"))
+		return
+	}
+	id := r.PathValue("id")
+	job, ok := s.st.Job(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no job %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, job)
+}
+
 func (s *Server) handleRemoveDoc(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	if !s.coll.Remove(name) {
+	removed := false
+	if s.st != nil {
+		removed = s.st.Remove(name)
+	} else {
+		removed = s.coll.Remove(name)
+	}
+	if !removed {
 		writeError(w, http.StatusNotFound, fmt.Errorf("no document %q", name))
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"removed": name})
+}
+
+// engine looks up a per-document engine on either backend.
+func (s *Server) engine(name string) *engine.Engine {
+	if s.st != nil {
+		return s.st.Engine(name)
+	}
+	return s.coll.Engine(name)
 }
 
 // SearchHit is one result of GET /api/search.
@@ -176,23 +281,37 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		}
 		limit = n
 	}
-	res, err := s.coll.Search(keywords, filterSpec, opts)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
+	resp := SearchResponse{Query: keywords, Filter: filterSpec, Strategy: stratName}
+	var (
+		hits []collection.Hit
+		errs map[string]error
+	)
+	if s.st != nil {
+		// Store-backed: deadline-aware scatter-gather with a global
+		// top-k merge — the request context carries any client
+		// disconnect or server timeout down to the per-shard searches.
+		res, err := s.st.Search(r.Context(), keywords, filterSpec, opts, limit)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		hits, errs, resp.Total = res.Hits, res.Errors, res.Total
+	} else {
+		res, err := s.coll.Search(keywords, filterSpec, opts)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		hits, errs, resp.Total = res.Hits, res.Errors, len(res.Hits)
 	}
-	resp := SearchResponse{
-		Query: keywords, Filter: filterSpec, Strategy: stratName,
-		Total: len(res.Hits),
-	}
-	for _, h := range res.Hits {
+	for _, h := range hits {
 		if len(resp.Hits) == limit {
 			break
 		}
 		resp.Hits = append(resp.Hits, toHit(h))
 	}
 	resp.Returned = len(resp.Hits)
-	for name, e := range res.Errors {
+	for name, e := range errs {
 		if resp.Errors == nil {
 			resp.Errors = map[string]string{}
 		}
@@ -283,21 +402,35 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		opts.Trace = true
-		res, err := s.coll.Run(q, opts)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
-			return
+		var (
+			spanByDoc map[string]*obs.Span
+			statByDoc map[string]query.Stats
+		)
+		if s.st != nil {
+			res, err := s.st.Run(r.Context(), q, opts, 0)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, err)
+				return
+			}
+			spanByDoc, statByDoc = res.Traces, res.PerDocument
+		} else {
+			res, err := s.coll.Run(q, opts)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, err)
+				return
+			}
+			spanByDoc, statByDoc = res.Traces, res.PerDocument
 		}
-		traces := make(map[string]any, len(res.Traces))
-		rendered := make(map[string]string, len(res.Traces))
-		for name, sp := range res.Traces {
+		traces := make(map[string]any, len(spanByDoc))
+		rendered := make(map[string]string, len(spanByDoc))
+		for name, sp := range spanByDoc {
 			traces[name] = sp
 			rendered[name] = sp.Render()
 		}
 		body["traces"] = traces
 		body["rendered"] = rendered
-		stats := make(map[string]query.Stats, len(res.PerDocument))
-		for name, st := range res.PerDocument {
+		stats := make(map[string]query.Stats, len(statByDoc))
+		for name, st := range statByDoc {
 			stats[name] = st
 		}
 		body["stats"] = stats
@@ -305,20 +438,48 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, body)
 }
 
-// handleMetrics serves the collection's metric registry: JSON by
-// default, Prometheus text exposition with ?format=prom.
+// handleMetrics serves the backing registry: JSON by default,
+// Prometheus text exposition with ?format=prom. A store-backed server
+// exports the store registry (ingest/WAL/search metrics, incl. the
+// queue-depth gauge and ingest-latency histogram) at the top level
+// plus each shard's engine registry — as a "shards" array in JSON and
+// under an xfrag_shard<N> prefix in Prometheus format.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	m := s.coll.Metrics()
-	if r.URL.Query().Get("format") == "prom" {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		m.WritePrometheus(w, "xfrag")
+	prom := r.URL.Query().Get("format") == "prom"
+	if s.st == nil {
+		m := s.coll.Metrics()
+		if prom {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			m.WritePrometheus(w, "xfrag")
+			return
+		}
+		writeJSON(w, http.StatusOK, m.Snapshot())
 		return
 	}
-	writeJSON(w, http.StatusOK, m.Snapshot())
+	if prom {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.st.Metrics().WritePrometheus(w, "xfrag")
+		for i, m := range s.st.ShardMetrics() {
+			m.WritePrometheus(w, fmt.Sprintf("xfrag_shard%d", i))
+		}
+		return
+	}
+	body := s.st.Metrics().Snapshot()
+	shards := make([]map[string]any, 0, s.st.Shards())
+	for _, m := range s.st.ShardMetrics() {
+		shards = append(shards, m.Snapshot())
+	}
+	body["shards"] = shards
+	writeJSON(w, http.StatusOK, body)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	st := s.coll.Stats()
+	var st collection.Stats
+	if s.st != nil {
+		st = s.st.Stats()
+	} else {
+		st = s.coll.Stats()
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"documents": st.Documents,
 		"nodes":     st.Nodes,

@@ -28,6 +28,20 @@ const (
 	MHTTPRequests         = "http_requests_total"
 	MHTTPPanics           = "http_panics_total"
 	MHTTPRequestSeconds   = "http_request_seconds"
+
+	// Store / ingest-pipeline metrics (internal/store).
+	MIngestQueueDepth  = "ingest_queue_depth"
+	MIngestJobs        = "ingest_jobs_total"
+	MIngestFailures    = "ingest_failures_total"
+	MIngestRejected    = "ingest_rejected_total"
+	MIngestSeconds     = "ingest_seconds"
+	MStoreDocuments    = "store_documents"
+	MWALRecords        = "wal_records_total"
+	MWALBytes          = "wal_bytes"
+	MWALReplayed       = "wal_replayed_total"
+	MWALCorruptSkipped = "wal_corrupt_skipped_total"
+	MCompactions       = "compactions_total"
+	MSearchDeadline    = "search_deadline_exceeded_total"
 )
 
 // LatencyBuckets are the fixed upper bounds (seconds) for latency
@@ -149,19 +163,52 @@ func (h *Histogram) Buckets() []BucketSnapshot {
 	return out
 }
 
-// Metrics is a registry of named counters and histograms. One
+// Gauge is a metric that can go up and down (queue depths, document
+// counts). All operations are atomic and nil-safe.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge's value. Nil-safe.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add moves the gauge by delta (negative to decrease). Nil-safe.
+func (g *Gauge) Add(delta int64) {
+	if g != nil {
+		g.v.Add(delta)
+	}
+}
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Metrics is a registry of named counters, gauges and histograms. One
 // registry is instantiated per Collection (and per stand-alone
 // Engine) and shared by the HTTP layer; get-or-create is safe for
 // concurrent use and metric handles are stable once returned.
 type Metrics struct {
-	mu    sync.RWMutex
-	ctrs  map[string]*Counter
-	hists map[string]*Histogram
+	mu     sync.RWMutex
+	ctrs   map[string]*Counter
+	gauges map[string]*Gauge
+	hists  map[string]*Histogram
 }
 
 // NewMetrics returns an empty registry.
 func NewMetrics() *Metrics {
-	return &Metrics{ctrs: make(map[string]*Counter), hists: make(map[string]*Histogram)}
+	return &Metrics{
+		ctrs:   make(map[string]*Counter),
+		gauges: make(map[string]*Gauge),
+		hists:  make(map[string]*Histogram),
+	}
 }
 
 // Counter returns the named counter, creating it on first use.
@@ -183,6 +230,27 @@ func (m *Metrics) Counter(name string) *Counter {
 		m.ctrs[name] = c
 	}
 	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. Nil-safe:
+// a nil registry returns a nil (no-op) gauge.
+func (m *Metrics) Gauge(name string) *Gauge {
+	if m == nil {
+		return nil
+	}
+	m.mu.RLock()
+	g := m.gauges[name]
+	m.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if g = m.gauges[name]; g == nil {
+		g = &Gauge{}
+		m.gauges[name] = g
+	}
+	return g
 }
 
 // Histogram returns the named histogram, creating it with the given
@@ -243,6 +311,9 @@ func (m *Metrics) Snapshot() map[string]any {
 	for name, c := range m.ctrs {
 		out[name] = c.Value()
 	}
+	for name, g := range m.gauges {
+		out[name] = g.Value()
+	}
 	for name, h := range m.hists {
 		out[name] = histogramSnapshot{Buckets: h.Buckets(), Sum: h.Sum(), Count: h.Count()}
 	}
@@ -261,6 +332,10 @@ func (m *Metrics) WritePrometheus(w io.Writer, prefix string) {
 	for name := range m.ctrs {
 		ctrNames = append(ctrNames, name)
 	}
+	gaugeNames := make([]string, 0, len(m.gauges))
+	for name := range m.gauges {
+		gaugeNames = append(gaugeNames, name)
+	}
 	histNames := make([]string, 0, len(m.hists))
 	for name := range m.hists {
 		histNames = append(histNames, name)
@@ -269,6 +344,10 @@ func (m *Metrics) WritePrometheus(w io.Writer, prefix string) {
 	for name, c := range m.ctrs {
 		ctrs[name] = c
 	}
+	gauges := make(map[string]*Gauge, len(m.gauges))
+	for name, g := range m.gauges {
+		gauges[name] = g
+	}
 	hists := make(map[string]*Histogram, len(m.hists))
 	for name, h := range m.hists {
 		hists[name] = h
@@ -276,10 +355,15 @@ func (m *Metrics) WritePrometheus(w io.Writer, prefix string) {
 	m.mu.RUnlock()
 
 	sort.Strings(ctrNames)
+	sort.Strings(gaugeNames)
 	sort.Strings(histNames)
 	for _, name := range ctrNames {
 		full := prefix + "_" + name
 		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", full, full, ctrs[name].Value())
+	}
+	for _, name := range gaugeNames {
+		full := prefix + "_" + name
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", full, full, gauges[name].Value())
 	}
 	for _, name := range histNames {
 		full := prefix + "_" + name

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"bytes"
 	"encoding/json"
 	"strings"
 	"testing"
@@ -158,5 +159,36 @@ func TestProcessAggregate(t *testing.T) {
 	Process().AddJoins(4)
 	if got := Process().Joins(); got != before+4 {
 		t.Fatalf("process joins = %d, want %d", got, before+4)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	m := NewMetrics()
+	g := m.Gauge("depth")
+	g.Set(7)
+	g.Add(5)
+	g.Add(-2)
+	if got := g.Value(); got != 10 {
+		t.Fatalf("gauge value %d, want 10", got)
+	}
+	if m.Gauge("depth") != g {
+		t.Fatal("gauge handle not stable")
+	}
+	snap := m.Snapshot()
+	if snap["depth"] != int64(10) {
+		t.Fatalf("snapshot gauge = %v (%T), want 10", snap["depth"], snap["depth"])
+	}
+	var buf bytes.Buffer
+	m.WritePrometheus(&buf, "t")
+	out := buf.String()
+	if !strings.Contains(out, "# TYPE t_depth gauge\nt_depth 10\n") {
+		t.Fatalf("prometheus gauge rendering:\n%s", out)
+	}
+	// Nil registry and nil gauge are no-ops.
+	var nilM *Metrics
+	nilM.Gauge("x").Set(1)
+	nilM.Gauge("x").Add(1)
+	if nilM.Gauge("x").Value() != 0 {
+		t.Fatal("nil gauge not zero")
 	}
 }

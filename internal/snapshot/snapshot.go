@@ -11,9 +11,12 @@ package snapshot
 import (
 	"bufio"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"syscall"
 
 	"repro/internal/collection"
 	"repro/internal/xmltree"
@@ -159,7 +162,12 @@ func safeAdd(b *xmltree.Builder, parent xmltree.NodeID, tag, text string) (err e
 	return nil
 }
 
-// SaveFile snapshots docs to path (atomically via a temp file).
+// SaveFile snapshots docs to path, atomically and durably: the data
+// is written to a temp file, fsynced, renamed over path, and the
+// parent directory is fsynced so the rename itself survives power
+// loss — WAL compaction in internal/store deletes log records on the
+// strength of this snapshot, so crash-durability (not just
+// atomicity) is part of the contract.
 func SaveFile(path string, docs ...*xmltree.Document) error {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
@@ -171,11 +179,35 @@ func SaveFile(path string, docs ...*xmltree.Document) error {
 		os.Remove(tmp)
 		return err
 	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
 	if err := f.Close(); err != nil {
 		os.Remove(tmp)
 		return err
 	}
-	return os.Rename(tmp, path)
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return SyncDir(filepath.Dir(path))
+}
+
+// SyncDir fsyncs a directory so a preceding rename/create/remove in
+// it is durable. Errors from directories that do not support fsync
+// are ignored.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, syscall.EINVAL) && !errors.Is(err, syscall.ENOTSUP) {
+		return err
+	}
+	return nil
 }
 
 // LoadFile loads every document from the snapshot at path.

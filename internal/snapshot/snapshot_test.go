@@ -3,6 +3,7 @@ package snapshot
 import (
 	"bytes"
 	"encoding/gob"
+	"os"
 	"path/filepath"
 	"testing"
 
@@ -156,5 +157,44 @@ func TestCorruptInputs(t *testing.T) {
 				t.Fatalf("ReadDocuments accepted %s input", name)
 			}
 		})
+	}
+}
+
+// TestSaveFileOverwriteAndSyncDir: SaveFile replaces an existing
+// snapshot atomically (the durability path fsyncs the temp file and
+// the directory; behaviorally we can only assert the rename result),
+// and SyncDir works on an ordinary directory.
+func TestSaveFileOverwriteAndSyncDir(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "c.snap")
+	d1, err := xmltree.ParseString("one", "<a><b>first</b></a>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveFile(path, d1); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := xmltree.ParseString("two", "<a><b>second</b></a>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveFile(path, d1, d2); err != nil {
+		t.Fatal(err)
+	}
+	docs, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != 2 || docs[0].Name() != "one" || docs[1].Name() != "two" {
+		t.Fatalf("overwritten snapshot holds %d docs", len(docs))
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatal("temp file left behind")
+	}
+	if err := SyncDir(dir); err != nil {
+		t.Fatalf("SyncDir: %v", err)
+	}
+	if err := SyncDir(filepath.Join(dir, "missing")); err == nil {
+		t.Fatal("SyncDir on a missing directory should fail")
 	}
 }

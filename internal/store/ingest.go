@@ -1,0 +1,198 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/xmltree"
+)
+
+// ErrQueueFull is the backpressure signal of the async ingest path:
+// the bounded queue is at capacity and the caller should retry later
+// (the HTTP layer maps it to 429 Too Many Requests).
+var ErrQueueFull = errors.New("store: ingest queue full")
+
+// JobStatus is the lifecycle state of an async ingest job.
+type JobStatus string
+
+const (
+	// JobQueued: accepted, waiting for a worker.
+	JobQueued JobStatus = "queued"
+	// JobIndexing: a worker is parsing and indexing the document.
+	JobIndexing JobStatus = "indexing"
+	// JobDone: the document is indexed and WAL-logged.
+	JobDone JobStatus = "done"
+	// JobFailed: parse or index failed; see Job.Error.
+	JobFailed JobStatus = "failed"
+)
+
+// Job is a point-in-time view of one async ingest job.
+type Job struct {
+	ID       string    `json:"id"`
+	Document string    `json:"document"`
+	Status   JobStatus `json:"status"`
+	Error    string    `json:"error,omitempty"`
+	Enqueued time.Time `json:"enqueued"`
+	Finished time.Time `json:"finished"`
+}
+
+// job is the mutable record behind a Job snapshot; jobTable's lock
+// guards every field after enqueue.
+type job struct {
+	id       string
+	name     string
+	xml      string
+	status   JobStatus
+	err      string
+	enqueued time.Time
+	finished time.Time
+}
+
+// maxRetainedJobs bounds the job table: once past it, the oldest
+// finished jobs are forgotten (a lookup then 404s, like any
+// completed-and-expired async operation).
+const maxRetainedJobs = 4096
+
+// jobTable tracks async jobs by ID with bounded retention.
+type jobTable struct {
+	mu    sync.Mutex
+	next  uint64
+	byID  map[string]*job
+	order []string // enqueue order, for retention pruning
+}
+
+func newJobTable() *jobTable {
+	return &jobTable{byID: make(map[string]*job)}
+}
+
+func (t *jobTable) add(name, xml string) *job {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.next++
+	j := &job{
+		id:       fmt.Sprintf("job-%d", t.next),
+		name:     name,
+		xml:      xml,
+		status:   JobQueued,
+		enqueued: time.Now(),
+	}
+	t.byID[j.id] = j
+	t.order = append(t.order, j.id)
+	t.prune()
+	return j
+}
+
+// prune drops the oldest finished jobs beyond the retention cap.
+// Caller holds mu.
+func (t *jobTable) prune() {
+	for len(t.byID) > maxRetainedJobs {
+		dropped := false
+		for i, id := range t.order {
+			j := t.byID[id]
+			if j == nil {
+				t.order = append(t.order[:i], t.order[i+1:]...)
+				dropped = true
+				break
+			}
+			if j.status == JobDone || j.status == JobFailed {
+				delete(t.byID, id)
+				t.order = append(t.order[:i], t.order[i+1:]...)
+				dropped = true
+				break
+			}
+		}
+		if !dropped {
+			return // everything is still in flight; keep it all
+		}
+	}
+}
+
+func (t *jobTable) setStatus(j *job, st JobStatus, errMsg string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	j.status = st
+	j.err = errMsg
+	if st == JobDone || st == JobFailed {
+		j.finished = time.Now()
+		j.xml = "" // free the payload; only status survives
+	}
+}
+
+func (t *jobTable) get(id string) (Job, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	j, ok := t.byID[id]
+	if !ok {
+		return Job{}, false
+	}
+	return Job{
+		ID:       j.id,
+		Document: j.name,
+		Status:   j.status,
+		Error:    j.err,
+		Enqueued: j.enqueued,
+		Finished: j.finished,
+	}, true
+}
+
+// Enqueue submits a document for background indexing and returns its
+// job ID immediately. It fails fast with ErrQueueFull when the
+// bounded queue is at capacity and ErrClosed after Close.
+func (s *Store) Enqueue(name, xml string) (string, error) {
+	if name == "" || xml == "" {
+		return "", errors.New("store: enqueue needs a name and a body")
+	}
+	s.closeMu.Lock()
+	defer s.closeMu.Unlock()
+	if s.closed {
+		return "", ErrClosed
+	}
+	j := s.jobs.add(name, xml)
+	select {
+	case s.queue <- j:
+	default:
+		s.jobs.setStatus(j, JobFailed, ErrQueueFull.Error())
+		s.metrics.Counter(obs.MIngestRejected).Add(1)
+		return "", ErrQueueFull
+	}
+	s.metrics.Gauge(obs.MIngestQueueDepth).Set(int64(len(s.queue)))
+	return j.id, nil
+}
+
+// Job returns the point-in-time status of an async ingest job.
+func (s *Store) Job(id string) (Job, bool) { return s.jobs.get(id) }
+
+// QueueDepth reports how many jobs are waiting for a worker.
+func (s *Store) QueueDepth() int { return len(s.queue) }
+
+// ingestWorker drains the queue until Close closes it: parse outside
+// any lock, then WAL-log and index through the same path as
+// synchronous Add.
+func (s *Store) ingestWorker() {
+	defer s.workers.Done()
+	for j := range s.queue {
+		s.metrics.Gauge(obs.MIngestQueueDepth).Set(int64(len(s.queue)))
+		s.jobs.setStatus(j, JobIndexing, "")
+		start := time.Now()
+		err := s.ingestOne(j)
+		s.metrics.Histogram(obs.MIngestSeconds, obs.LatencyBuckets).Observe(time.Since(start).Seconds())
+		s.metrics.Counter(obs.MIngestJobs).Add(1)
+		if err != nil {
+			s.metrics.Counter(obs.MIngestFailures).Add(1)
+			s.jobs.setStatus(j, JobFailed, err.Error())
+			continue
+		}
+		s.jobs.setStatus(j, JobDone, "")
+	}
+}
+
+func (s *Store) ingestOne(j *job) error {
+	doc, err := xmltree.ParseString(j.name, j.xml)
+	if err != nil {
+		return err
+	}
+	return s.addParsed(j.name, j.xml, doc)
+}

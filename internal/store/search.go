@@ -1,0 +1,138 @@
+package store
+
+import (
+	"container/heap"
+	"context"
+	"sort"
+	"sync"
+
+	"repro/internal/collection"
+	"repro/internal/obs"
+	"repro/internal/query"
+)
+
+// Result is a merged store-wide search result: the global top-k hits
+// across every shard plus per-document stats and errors.
+type Result struct {
+	// Hits in descending score order (ties broken by document name),
+	// capped at the requested k.
+	Hits []collection.Hit
+	// Total counts every hit across the store, before the top-k cap.
+	Total int
+	// PerDocument maps document name → its evaluation statistics.
+	PerDocument map[string]query.Stats
+	// Errors maps document name → evaluation error. Documents skipped
+	// because the context deadline passed appear here under
+	// context.DeadlineExceeded / context.Canceled; documents already
+	// evaluated keep their hits, so a timed-out search degrades to
+	// partial results instead of hanging.
+	Errors map[string]error
+	// Traces maps document name → its evaluation's span tree; non-nil
+	// entries only when Options.Trace was set.
+	Traces map[string]*obs.Span
+}
+
+// Search parses and evaluates a keyword/filter query across every
+// shard. k caps the merged hit list (k <= 0 keeps every hit).
+func (s *Store) Search(ctx context.Context, keywords, filterSpec string, opts query.Options, k int) (*Result, error) {
+	q, err := query.Parse(keywords, filterSpec)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run(ctx, q, opts, k)
+}
+
+// Run scatter-gathers a prebuilt query: every shard evaluates
+// concurrently under ctx (each with its bounded per-document worker
+// pool), and the per-shard ranked lists merge through a global top-k
+// heap — O(total·log k) instead of sorting the full concatenation.
+func (s *Store) Run(ctx context.Context, q query.Query, opts query.Options, k int) (*Result, error) {
+	shardResults := make([]*collection.Result, len(s.shards))
+	shardErrs := make([]error, len(s.shards))
+	var wg sync.WaitGroup
+	for i, sh := range s.shards {
+		wg.Add(1)
+		go func(i int, sh *collection.Collection) {
+			defer wg.Done()
+			shardResults[i], shardErrs[i] = sh.RunContext(ctx, q, opts)
+		}(i, sh)
+	}
+	wg.Wait()
+	for _, err := range shardErrs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	out := &Result{PerDocument: make(map[string]query.Stats)}
+	h := &hitHeap{}
+	for _, sr := range shardResults {
+		for name, st := range sr.PerDocument {
+			out.PerDocument[name] = st
+		}
+		for name, err := range sr.Errors {
+			if out.Errors == nil {
+				out.Errors = make(map[string]error)
+			}
+			out.Errors[name] = err
+		}
+		for name, sp := range sr.Traces {
+			if out.Traces == nil {
+				out.Traces = make(map[string]*obs.Span)
+			}
+			out.Traces[name] = sp
+		}
+		out.Total += len(sr.Hits)
+		if k <= 0 {
+			out.Hits = append(out.Hits, sr.Hits...)
+			continue
+		}
+		for _, hit := range sr.Hits {
+			if h.Len() < k {
+				heap.Push(h, hit)
+				continue
+			}
+			if betterHit(hit, (*h)[0]) {
+				(*h)[0] = hit
+				heap.Fix(h, 0)
+			}
+		}
+	}
+	if k <= 0 {
+		sort.SliceStable(out.Hits, func(i, j int) bool { return betterHit(out.Hits[i], out.Hits[j]) })
+	} else {
+		out.Hits = make([]collection.Hit, h.Len())
+		for i := h.Len() - 1; i >= 0; i-- {
+			out.Hits[i] = heap.Pop(h).(collection.Hit)
+		}
+	}
+	if ctx.Err() != nil {
+		s.metrics.Counter(obs.MSearchDeadline).Add(1)
+	}
+	return out, nil
+}
+
+// betterHit orders hits the way the merged list presents them:
+// descending score, ties by ascending document name.
+func betterHit(a, b collection.Hit) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	return a.Document < b.Document
+}
+
+// hitHeap is a min-heap on betterHit: the root is the worst retained
+// hit, evicted first when a better one arrives.
+type hitHeap []collection.Hit
+
+func (h hitHeap) Len() int           { return len(h) }
+func (h hitHeap) Less(i, j int) bool { return betterHit(h[j], h[i]) }
+func (h hitHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *hitHeap) Push(x any)        { *h = append(*h, x.(collection.Hit)) }
+func (h *hitHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

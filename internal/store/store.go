@@ -1,0 +1,455 @@
+// Package store is the durable, sharded document store behind the
+// HTTP server: the layer that turns the in-memory collection into
+// something a production deployment can restart. Documents are
+// partitioned across N shards by FNV-1a hash of their name — each
+// shard is its own collection with its own lock and metrics registry,
+// so an index build on one shard never blocks searches on another
+// (the fragmentation-for-scale prerequisite the XML keyword-search
+// literature takes as given). Durability comes from a checksummed
+// write-ahead log of Add/Remove mutations replayed on startup, with
+// snapshot-based compaction (internal/snapshot) bounding replay time.
+// Ingest is asynchronous: a bounded queue feeds background indexing
+// workers, with typed backpressure when the queue is full and job IDs
+// for status polling. Search scatter-gathers across shards under a
+// context deadline and merges with a global top-k heap.
+package store
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/collection"
+	"repro/internal/engine"
+	"repro/internal/obs"
+	"repro/internal/snapshot"
+	"repro/internal/xmltree"
+)
+
+// snapshotFile is the compaction snapshot's name inside Options.Dir.
+const snapshotFile = "store.snap"
+
+// walFile is the write-ahead log's name inside Options.Dir.
+const walFile = "wal.log"
+
+// Options configures a store. The zero value is a usable in-memory
+// store (no durability) with default sharding and worker counts.
+type Options struct {
+	// Dir is the data directory holding the WAL and compaction
+	// snapshot. Empty means no durability: a purely in-memory sharded
+	// store.
+	Dir string
+	// Shards is the number of document partitions (default 8).
+	Shards int
+	// IngestWorkers is the number of background indexing goroutines
+	// (default 4).
+	IngestWorkers int
+	// QueueSize bounds the async ingest queue; a full queue rejects
+	// Enqueue with ErrQueueFull (default 256).
+	QueueSize int
+	// CompactBytes triggers automatic WAL compaction when the log
+	// grows past this size (default 8 MiB; negative disables
+	// auto-compaction — Compact can still be called explicitly).
+	CompactBytes int64
+	// SyncEveryAppend fsyncs the WAL after every append. Off by
+	// default: the WAL is synced on compaction and on Close, trading
+	// the tail of acknowledged-but-unsynced mutations for throughput,
+	// like most LSM engines' default.
+	SyncEveryAppend bool
+	// SearchWorkers bounds the total per-document evaluation
+	// concurrency of a search across all shards (default GOMAXPROCS).
+	SearchWorkers int
+}
+
+func (o *Options) setDefaults() {
+	if o.Shards <= 0 {
+		o.Shards = 8
+	}
+	if o.IngestWorkers <= 0 {
+		o.IngestWorkers = 4
+	}
+	if o.QueueSize <= 0 {
+		o.QueueSize = 256
+	}
+	if o.CompactBytes == 0 {
+		o.CompactBytes = 8 << 20
+	}
+	if o.SearchWorkers <= 0 {
+		o.SearchWorkers = runtime.GOMAXPROCS(0)
+	}
+}
+
+// ErrClosed is returned by mutations on a closed store.
+var ErrClosed = errors.New("store: closed")
+
+// Store is a durable sharded document store. All methods are safe for
+// concurrent use.
+type Store struct {
+	opts   Options
+	shards []*collection.Collection
+
+	// ingestMu fences mutations against compaction: every
+	// WAL-append+index pair holds it for read, Compact holds it for
+	// write, so a compaction snapshot never misses a logged-but-not-
+	// yet-indexed document whose WAL record it is about to discard.
+	ingestMu sync.RWMutex
+	// walMu serializes WAL appends (wal is not internally locked).
+	walMu sync.Mutex
+	wal   *wal
+
+	metrics *obs.Metrics
+
+	jobs       *jobTable
+	queue      chan *job
+	workers    sync.WaitGroup
+	compacting atomic.Bool
+
+	closeMu sync.Mutex
+	closed  bool
+}
+
+// Open creates a store. With a data directory it replays prior state
+// (compaction snapshot, then WAL) before returning; the returned
+// store is ready to serve reads and mutations. Close must be called
+// to drain the ingest queue and sync the WAL.
+func Open(opts Options) (*Store, error) {
+	opts.setDefaults()
+	s := &Store{
+		opts:    opts,
+		shards:  make([]*collection.Collection, opts.Shards),
+		metrics: obs.NewMetrics(),
+		jobs:    newJobTable(),
+		queue:   make(chan *job, opts.QueueSize),
+	}
+	perShard := opts.SearchWorkers / opts.Shards
+	if perShard < 1 {
+		perShard = 1
+	}
+	for i := range s.shards {
+		s.shards[i] = collection.New()
+		s.shards[i].SetSearchWorkers(perShard)
+	}
+	if opts.Dir != "" {
+		if err := s.recover(); err != nil {
+			return nil, err
+		}
+	}
+	// Pre-register the pipeline metrics so /api/metrics exports the
+	// full series from the first scrape, not after the first job.
+	s.metrics.Gauge(obs.MStoreDocuments).Set(int64(s.Len()))
+	s.metrics.Gauge(obs.MIngestQueueDepth).Set(0)
+	s.metrics.Counter(obs.MIngestJobs)
+	s.metrics.Counter(obs.MIngestFailures)
+	s.metrics.Counter(obs.MIngestRejected)
+	s.metrics.Histogram(obs.MIngestSeconds, obs.LatencyBuckets)
+	for i := 0; i < opts.IngestWorkers; i++ {
+		s.workers.Add(1)
+		go s.ingestWorker()
+	}
+	return s, nil
+}
+
+// recover loads the compaction snapshot (if any) and replays the WAL
+// into the shards. Replayed adds that duplicate a snapshotted
+// document are skipped: compaction truncates the log only after the
+// snapshot is durable, so a crash between the two leaves records that
+// are redundant, not conflicting.
+func (s *Store) recover() error {
+	if err := os.MkdirAll(s.opts.Dir, 0o755); err != nil {
+		return fmt.Errorf("store: data dir: %w", err)
+	}
+	snapPath := filepath.Join(s.opts.Dir, snapshotFile)
+	if _, err := os.Stat(snapPath); err == nil {
+		docs, err := snapshot.LoadFile(snapPath)
+		if err != nil {
+			return fmt.Errorf("store: load snapshot: %w", err)
+		}
+		for _, d := range docs {
+			if err := s.shardFor(d.Name()).Add(d); err != nil {
+				return fmt.Errorf("store: snapshot: %w", err)
+			}
+		}
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("store: stat snapshot: %w", err)
+	}
+	w, replayed, corrupt, err := openWAL(filepath.Join(s.opts.Dir, walFile), s.applyWALRecord)
+	if err != nil {
+		return err
+	}
+	s.wal = w
+	s.metrics.Counter(obs.MWALReplayed).Add(uint64(replayed))
+	s.metrics.Counter(obs.MWALCorruptSkipped).Add(uint64(corrupt))
+	s.metrics.Gauge(obs.MWALBytes).Set(w.size)
+	return nil
+}
+
+func (s *Store) applyWALRecord(rec walRecord) error {
+	switch rec.op {
+	case walOpAdd:
+		doc, err := xmltree.ParseString(rec.name, rec.xml)
+		if err != nil {
+			// The record passed its checksum, so this is a logged
+			// document the current parser rejects — surface it rather
+			// than silently dropping acknowledged data.
+			return fmt.Errorf("store: replay %q: %w", rec.name, err)
+		}
+		if err := s.shardFor(rec.name).Add(doc); err != nil {
+			// Duplicate of a snapshotted document (see recover).
+			return nil
+		}
+	case walOpRemove:
+		s.shardFor(rec.name).Remove(rec.name)
+	}
+	return nil
+}
+
+// shardFor routes a document name to its shard by FNV-1a hash.
+func (s *Store) shardFor(name string) *collection.Collection {
+	h := fnv.New32a()
+	h.Write([]byte(name))
+	return s.shards[h.Sum32()%uint32(len(s.shards))]
+}
+
+// ShardIndex returns which shard holds (or would hold) name — for
+// tests and diagnostics.
+func (s *Store) ShardIndex(name string) int {
+	h := fnv.New32a()
+	h.Write([]byte(name))
+	return int(h.Sum32() % uint32(len(s.shards)))
+}
+
+// Shards returns the number of shards.
+func (s *Store) Shards() int { return len(s.shards) }
+
+// Metrics returns the store-level registry (ingest, WAL, compaction
+// and search metrics). Per-shard engine metrics live in ShardMetrics.
+func (s *Store) Metrics() *obs.Metrics { return s.metrics }
+
+// ShardMetrics returns each shard's registry, indexed by shard.
+func (s *Store) ShardMetrics() []*obs.Metrics {
+	out := make([]*obs.Metrics, len(s.shards))
+	for i, sh := range s.shards {
+		out[i] = sh.Metrics()
+	}
+	return out
+}
+
+// Add indexes a parsed document synchronously: the mutation is
+// WAL-logged before it is acknowledged. Use Enqueue for the async
+// path.
+func (s *Store) Add(doc *xmltree.Document) error {
+	if s.isClosed() {
+		return ErrClosed
+	}
+	return s.addParsed(doc.Name(), doc.XMLString(), doc)
+}
+
+// AddXML parses and indexes an XML document synchronously.
+func (s *Store) AddXML(name, xml string) error {
+	if s.isClosed() {
+		return ErrClosed
+	}
+	doc, err := xmltree.ParseString(name, xml)
+	if err != nil {
+		return err
+	}
+	return s.addParsed(name, xml, doc)
+}
+
+// addParsed logs and indexes one document. The WAL record goes first
+// (log-ahead); a duplicate-name failure after logging leaves a
+// redundant record that replay skips. No closed check here: ingest
+// workers drain already-accepted jobs through this path after Close
+// has been entered.
+func (s *Store) addParsed(name, xml string, doc *xmltree.Document) error {
+	s.ingestMu.RLock()
+	defer s.ingestMu.RUnlock()
+	sh := s.shardFor(name)
+	if sh.Engine(name) != nil {
+		return fmt.Errorf("store: duplicate document %q", name)
+	}
+	if err := s.logRecord(walRecord{op: walOpAdd, name: name, xml: xml}); err != nil {
+		return err
+	}
+	if err := sh.Add(doc); err != nil {
+		return err
+	}
+	s.metrics.Gauge(obs.MStoreDocuments).Add(1)
+	return nil
+}
+
+// Remove drops the named document, logging the removal when present.
+func (s *Store) Remove(name string) bool {
+	if s.isClosed() {
+		return false
+	}
+	s.ingestMu.RLock()
+	defer s.ingestMu.RUnlock()
+	if !s.shardFor(name).Remove(name) {
+		return false
+	}
+	s.metrics.Gauge(obs.MStoreDocuments).Add(-1)
+	// Log after the in-memory remove: a crash in between replays the
+	// add without the remove, which is the pre-call state — acceptable
+	// for an unacknowledged removal.
+	if err := s.logRecord(walRecord{op: walOpRemove, name: name}); err != nil {
+		return true // removed in memory; durability degraded
+	}
+	return true
+}
+
+// logRecord appends one mutation to the WAL (no-op without a data
+// dir) and triggers compaction when the log has outgrown
+// CompactBytes. Caller holds ingestMu.RLock.
+func (s *Store) logRecord(rec walRecord) error {
+	if s.wal == nil {
+		return nil
+	}
+	s.walMu.Lock()
+	err := s.wal.append(rec)
+	if err == nil && s.opts.SyncEveryAppend {
+		err = s.wal.sync()
+	}
+	size := s.wal.size
+	s.walMu.Unlock()
+	if err != nil {
+		return err
+	}
+	s.metrics.Counter(obs.MWALRecords).Add(1)
+	s.metrics.Gauge(obs.MWALBytes).Set(size)
+	if s.opts.CompactBytes > 0 && size > s.opts.CompactBytes && s.compacting.CompareAndSwap(false, true) {
+		// Compact needs ingestMu exclusively; run it from a fresh
+		// goroutine so this mutation's read-hold can release first.
+		// The CAS keeps a burst of over-threshold appends from piling
+		// up redundant compactions.
+		go func() {
+			defer s.compacting.Store(false)
+			s.Compact()
+		}()
+	}
+	return nil
+}
+
+// Compact writes a durable snapshot of every document and truncates
+// the WAL. Concurrent mutations block for the duration (they would
+// otherwise race their log records against the truncation). Safe to
+// call at any time; without a data dir it is a no-op.
+func (s *Store) Compact() error {
+	if s.wal == nil {
+		return nil
+	}
+	s.ingestMu.Lock()
+	defer s.ingestMu.Unlock()
+	var docs []*xmltree.Document
+	for _, sh := range s.shards {
+		for _, name := range sh.Names() {
+			docs = append(docs, sh.Engine(name).Document())
+		}
+	}
+	sort.Slice(docs, func(i, j int) bool { return docs[i].Name() < docs[j].Name() })
+	if err := snapshot.SaveFile(filepath.Join(s.opts.Dir, snapshotFile), docs...); err != nil {
+		return fmt.Errorf("store: compact snapshot: %w", err)
+	}
+	s.walMu.Lock()
+	err := s.wal.reset()
+	s.walMu.Unlock()
+	if err != nil {
+		return fmt.Errorf("store: compact wal reset: %w", err)
+	}
+	s.metrics.Counter(obs.MCompactions).Add(1)
+	s.metrics.Gauge(obs.MWALBytes).Set(0)
+	return nil
+}
+
+// Len returns the number of documents across all shards.
+func (s *Store) Len() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.Len()
+	}
+	return n
+}
+
+// Names returns every document name in sorted order. (Insertion order
+// is not preserved across shards or restarts; sorted order is the
+// store's canonical iteration order.)
+func (s *Store) Names() []string {
+	var names []string
+	for _, sh := range s.shards {
+		names = append(names, sh.Names()...)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Engine returns the per-document engine, or nil if absent.
+func (s *Store) Engine(name string) *engine.Engine {
+	return s.shardFor(name).Engine(name)
+}
+
+// Stats aggregates document and index sizes across every shard.
+func (s *Store) Stats() collection.Stats {
+	var out collection.Stats
+	for _, sh := range s.shards {
+		st := sh.Stats()
+		out.Documents += st.Documents
+		out.Nodes += st.Nodes
+		out.Terms += st.Terms
+		out.Postings += st.Postings
+	}
+	return out
+}
+
+// DocFreq returns how many documents contain term at least once.
+func (s *Store) DocFreq(term string) int {
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.DocFreq(term)
+	}
+	return n
+}
+
+func (s *Store) isClosed() bool {
+	s.closeMu.Lock()
+	defer s.closeMu.Unlock()
+	return s.closed
+}
+
+// Close drains the ingest queue (queued jobs still index and log),
+// stops the workers, and syncs and closes the WAL. The store rejects
+// mutations from the moment Close is entered; searches against the
+// in-memory shards keep working.
+func (s *Store) Close(ctx context.Context) error {
+	s.closeMu.Lock()
+	if s.closed {
+		s.closeMu.Unlock()
+		return nil
+	}
+	s.closed = true
+	close(s.queue)
+	s.closeMu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.workers.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	if s.wal != nil {
+		s.walMu.Lock()
+		defer s.walMu.Unlock()
+		return s.wal.close()
+	}
+	return nil
+}

@@ -1,0 +1,479 @@
+package store
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/collection"
+	"repro/internal/obs"
+	"repro/internal/query"
+)
+
+// testDoc builds a tiny document-centric XML body whose searchable
+// terms rotate with i so different documents match differently.
+func testDoc(i int) (name, xml string) {
+	name = fmt.Sprintf("doc-%04d", i)
+	term := "alpha"
+	if i%3 == 0 {
+		term = "gamma"
+	}
+	xml = fmt.Sprintf(
+		"<article><title>%s retrieval</title><sec>xml %s fragment %d</sec><sec>filler text %d</sec></article>",
+		term, term, i, i)
+	return name, xml
+}
+
+// waitJob polls until the job leaves the queued/indexing states.
+func waitJob(t *testing.T, s *Store, id string) Job {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		j, ok := s.Job(id)
+		if !ok {
+			t.Fatalf("job %s vanished", id)
+		}
+		if j.Status == JobDone || j.Status == JobFailed {
+			return j
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("job %s never finished", id)
+	return Job{}
+}
+
+// hitKeys projects hits onto comparable (document, root, size)
+// triples for order-insensitive equality.
+func hitKeys(hits []collection.Hit) []string {
+	keys := make([]string, len(hits))
+	for i, h := range hits {
+		keys[i] = fmt.Sprintf("%s/%d/%d", h.Document, h.Fragment.Root(), h.Fragment.Size())
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// TestShardedMatchesUnsharded is the acceptance check: an 8-shard,
+// 1000-document store returns exactly the hit set of the unsharded
+// collection, order-insensitively.
+func TestShardedMatchesUnsharded(t *testing.T) {
+	const docs = 1000
+	st, err := Open(Options{Shards: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close(context.Background())
+	coll := collection.New()
+	for i := 0; i < docs; i++ {
+		name, xml := testDoc(i)
+		if err := st.AddXML(name, xml); err != nil {
+			t.Fatal(err)
+		}
+		if err := coll.AddXML(name, xml); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st.Len() != docs {
+		t.Fatalf("store has %d docs, want %d", st.Len(), docs)
+	}
+	// Every shard should hold something under FNV with 1000 names.
+	for i := 0; i < st.Shards(); i++ {
+		if st.shards[i].Len() == 0 {
+			t.Errorf("shard %d is empty", i)
+		}
+	}
+	for _, q := range []string{"alpha", "gamma", "xml fragment", "alpha|gamma retrieval"} {
+		sr, err := st.Search(context.Background(), q, "size<=3", query.Options{Auto: true}, 0)
+		if err != nil {
+			t.Fatalf("store search %q: %v", q, err)
+		}
+		cr, err := coll.Search(q, "size<=3", query.Options{Auto: true})
+		if err != nil {
+			t.Fatalf("collection search %q: %v", q, err)
+		}
+		if len(sr.Errors) != 0 {
+			t.Fatalf("store search %q errors: %v", q, sr.Errors)
+		}
+		got, want := hitKeys(sr.Hits), hitKeys(cr.Hits)
+		if len(got) != len(want) {
+			t.Fatalf("search %q: store %d hits, collection %d", q, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("search %q: hit sets differ at %d: %s vs %s", q, i, got[i], want[i])
+			}
+		}
+		if sr.Total != len(cr.Hits) {
+			t.Fatalf("search %q: total %d, want %d", q, sr.Total, len(cr.Hits))
+		}
+	}
+}
+
+// TestTopKMerge checks the heap merge returns the same prefix the
+// full sort would, in the same order.
+func TestTopKMerge(t *testing.T) {
+	st, err := Open(Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close(context.Background())
+	for i := 0; i < 100; i++ {
+		name, xml := testDoc(i)
+		if err := st.AddXML(name, xml); err != nil {
+			t.Fatal(err)
+		}
+	}
+	full, err := st.Search(context.Background(), "alpha", "", query.Options{Auto: true}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 7
+	topk, err := st.Search(context.Background(), "alpha", "", query.Options{Auto: true}, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Hits) < k {
+		t.Fatalf("want at least %d hits, got %d", k, len(full.Hits))
+	}
+	if len(topk.Hits) != k {
+		t.Fatalf("top-k returned %d hits, want %d", len(topk.Hits), k)
+	}
+	if topk.Total != full.Total {
+		t.Fatalf("top-k total %d, full total %d", topk.Total, full.Total)
+	}
+	for i := 0; i < k; i++ {
+		if topk.Hits[i].Document != full.Hits[i].Document || topk.Hits[i].Score != full.Hits[i].Score {
+			t.Fatalf("hit %d: top-k %s/%.4f, full-sort %s/%.4f",
+				i, topk.Hits[i].Document, topk.Hits[i].Score, full.Hits[i].Document, full.Hits[i].Score)
+		}
+	}
+}
+
+// TestDeadlinePartialResults: an already-expired context must return
+// promptly with per-document errors, not hang or fail wholesale.
+func TestDeadlinePartialResults(t *testing.T) {
+	st, err := Open(Options{Shards: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close(context.Background())
+	const docs = 40
+	for i := 0; i < docs; i++ {
+		name, xml := testDoc(i)
+		if err := st.AddXML(name, xml); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	res, err := st.Search(ctx, "alpha", "", query.Options{Auto: true}, 0)
+	if err != nil {
+		t.Fatalf("expired-deadline search should degrade, got error %v", err)
+	}
+	if len(res.Errors) != docs {
+		t.Fatalf("want %d per-document deadline errors, got %d", docs, len(res.Errors))
+	}
+	for name, e := range res.Errors {
+		if !errors.Is(e, context.DeadlineExceeded) {
+			t.Fatalf("doc %s: error %v, want DeadlineExceeded", name, e)
+		}
+	}
+	if got := st.Metrics().Counter(obs.MSearchDeadline).Value(); got == 0 {
+		t.Fatal("search_deadline_exceeded_total not incremented")
+	}
+}
+
+// TestAsyncIngestAndRestartDurability is the acceptance check for
+// durability: documents added through the async pipeline survive a
+// close/reopen with identical names and search results, across a WAL
+// replay and one compaction cycle.
+func TestAsyncIngestAndRestartDurability(t *testing.T) {
+	dir := t.TempDir()
+	const phase1, phase2 = 12, 9
+	open := func() *Store {
+		st, err := Open(Options{Dir: dir, Shards: 4, IngestWorkers: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	st := open()
+	for i := 0; i < phase1; i++ {
+		name, xml := testDoc(i)
+		id, err := st.Enqueue(name, xml)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if j := waitJob(t, st, id); j.Status != JobDone {
+			t.Fatalf("job %s: %s (%s)", id, j.Status, j.Error)
+		}
+	}
+	// One explicit compaction cycle: snapshot absorbs phase 1, WAL
+	// truncates, then phase 2 lands in the fresh log.
+	if err := st.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if st.wal.size != 0 {
+		t.Fatalf("post-compaction WAL size %d, want 0", st.wal.size)
+	}
+	for i := phase1; i < phase1+phase2; i++ {
+		name, xml := testDoc(i)
+		id, err := st.Enqueue(name, xml)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if j := waitJob(t, st, id); j.Status != JobDone {
+			t.Fatalf("job %s: %s (%s)", id, j.Status, j.Error)
+		}
+	}
+	// A removal must also survive the restart.
+	removedName, _ := testDoc(phase1)
+	if !st.Remove(removedName) {
+		t.Fatalf("remove %s failed", removedName)
+	}
+	wantNames := st.Names()
+	wantRes, err := st.Search(context.Background(), "alpha|gamma", "", query.Options{Auto: true}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := open()
+	defer st2.Close(context.Background())
+	if replayed := st2.Metrics().Counter(obs.MWALReplayed).Value(); replayed == 0 {
+		t.Fatal("reopen replayed no WAL records; expected phase-2 adds in the log")
+	}
+	gotNames := st2.Names()
+	if len(gotNames) != phase1+phase2-1 {
+		t.Fatalf("reopened store has %d docs, want %d", len(gotNames), phase1+phase2-1)
+	}
+	for i, n := range wantNames {
+		if gotNames[i] != n {
+			t.Fatalf("names diverge at %d: %s vs %s", i, gotNames[i], n)
+		}
+	}
+	gotRes, err := st2.Search(context.Background(), "alpha|gamma", "", query.Options{Auto: true}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, want := hitKeys(gotRes.Hits), hitKeys(wantRes.Hits)
+	if len(got) != len(want) {
+		t.Fatalf("reopened search: %d hits, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("reopened search differs at %d: %s vs %s", i, got[i], want[i])
+		}
+	}
+}
+
+// TestQueueBackpressure drives the bounded queue to capacity
+// deterministically by wedging the single worker behind the
+// compaction lock.
+func TestQueueBackpressure(t *testing.T) {
+	st, err := Open(Options{Shards: 2, IngestWorkers: 1, QueueSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close(context.Background())
+
+	st.ingestMu.Lock() // wedge the worker inside addParsed
+	name1, xml1 := testDoc(1)
+	id1, err := st.Enqueue(name1, xml1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the worker to pop job 1 (queue drains to 0) so the
+	// single queue slot is free and deterministically fillable.
+	for st.QueueDepth() != 0 {
+		time.Sleep(time.Millisecond)
+	}
+	name2, xml2 := testDoc(2)
+	id2, err := st.Enqueue(name2, xml2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	name3, xml3 := testDoc(3)
+	if _, err := st.Enqueue(name3, xml3); !errors.Is(err, ErrQueueFull) {
+		st.ingestMu.Unlock()
+		t.Fatalf("third enqueue: err %v, want ErrQueueFull", err)
+	}
+	if got := st.Metrics().Counter(obs.MIngestRejected).Value(); got != 1 {
+		st.ingestMu.Unlock()
+		t.Fatalf("ingest_rejected_total %d, want 1", got)
+	}
+	st.ingestMu.Unlock()
+	for _, id := range []string{id1, id2} {
+		if j := waitJob(t, st, id); j.Status != JobDone {
+			t.Fatalf("job %s: %s (%s)", id, j.Status, j.Error)
+		}
+	}
+}
+
+// TestEnqueueValidation covers bad input and post-close behavior.
+func TestEnqueueValidation(t *testing.T) {
+	st, err := Open(Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Enqueue("", "<a/>"); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	id, err := st.Enqueue("bad", "<unclosed>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j := waitJob(t, st, id); j.Status != JobFailed || j.Error == "" {
+		t.Fatalf("malformed XML job: %+v", j)
+	}
+	if _, ok := st.Job("job-999"); ok {
+		t.Fatal("unknown job id resolved")
+	}
+	if err := st.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Enqueue("x", "<a/>"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("enqueue after close: %v, want ErrClosed", err)
+	}
+	if err := st.AddXML("x", "<a/>"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("add after close: %v, want ErrClosed", err)
+	}
+	if err := st.Close(context.Background()); err != nil {
+		t.Fatal("second close should be a no-op, got", err)
+	}
+}
+
+// TestCloseDrainsQueue: jobs accepted before Close still index.
+func TestCloseDrainsQueue(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(Options{Dir: dir, Shards: 2, IngestWorkers: 1, QueueSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const docs = 20
+	ids := make([]string, 0, docs)
+	for i := 0; i < docs; i++ {
+		name, xml := testDoc(i)
+		id, err := st.Enqueue(name, xml)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	if err := st.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		j, ok := st.Job(id)
+		if !ok || j.Status != JobDone {
+			t.Fatalf("job %s not drained: %+v", id, j)
+		}
+	}
+	if st.Len() != docs {
+		t.Fatalf("store has %d docs after drain, want %d", st.Len(), docs)
+	}
+	// And the drained documents are durable.
+	st2, err := Open(Options{Dir: dir, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close(context.Background())
+	if st2.Len() != docs {
+		t.Fatalf("reopened store has %d docs, want %d", st2.Len(), docs)
+	}
+}
+
+// TestConcurrentAddRemoveSearch exercises the shard locks under -race.
+func TestConcurrentAddRemoveSearch(t *testing.T) {
+	st, err := Open(Options{Shards: 4, IngestWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close(context.Background())
+	const seed = 30
+	for i := 0; i < seed; i++ {
+		name, xml := testDoc(i)
+		if err := st.AddXML(name, xml); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				name, xml := testDoc(1000 + w*100 + i)
+				if err := st.AddXML(name, xml); err != nil {
+					t.Errorf("add: %v", err)
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < seed; i += 2 {
+			name, _ := testDoc(i)
+			st.Remove(name)
+		}
+	}()
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				if _, err := st.Search(context.Background(), "alpha", "", query.Options{Auto: true}, 10); err != nil {
+					t.Errorf("search: %v", err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := st.Len(); got != seed/2+100 {
+		t.Fatalf("final doc count %d, want %d", got, seed/2+100)
+	}
+}
+
+// TestAutoCompaction: appends past CompactBytes trigger a background
+// compaction that truncates the WAL.
+func TestAutoCompaction(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(Options{Dir: dir, Shards: 2, CompactBytes: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		name, xml := testDoc(i)
+		if err := st.AddXML(name, xml); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if st.Metrics().Counter(obs.MCompactions).Value() > 0 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if st.Metrics().Counter(obs.MCompactions).Value() == 0 {
+		t.Fatal("no compaction despite WAL past threshold")
+	}
+	if err := st.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Open(Options{Dir: dir, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close(context.Background())
+	if st2.Len() != 40 {
+		t.Fatalf("reopened store has %d docs, want 40", st2.Len())
+	}
+}

@@ -1,0 +1,194 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// The write-ahead log is a flat sequence of length-prefixed,
+// CRC32-checksummed records:
+//
+//	uint32 payload length (little-endian)
+//	uint32 CRC32-IEEE of the payload
+//	payload
+//
+// A payload is one mutation:
+//
+//	byte   op (walOpAdd | walOpRemove)
+//	uint32 name length, name bytes
+//	uint32 xml length, xml bytes (empty for remove)
+//
+// A crash mid-append leaves a truncated or corrupt tail record; replay
+// detects it by short read or checksum mismatch, keeps every record
+// before it, and truncates the file back to the last good offset so
+// subsequent appends start clean.
+const (
+	walOpAdd    = byte(1)
+	walOpRemove = byte(2)
+
+	// maxWALRecord caps a single record so a corrupt length prefix
+	// cannot drive a multi-gigabyte allocation during replay.
+	maxWALRecord = 256 << 20
+)
+
+// walRecord is one decoded WAL mutation.
+type walRecord struct {
+	op   byte
+	name string
+	xml  string
+}
+
+// wal is an append-only log over one file. Appends must be serialized
+// by the caller (the store holds walMu).
+type wal struct {
+	f    *os.File
+	path string
+	size int64
+}
+
+// openWAL opens (creating if absent) the log at path, replays every
+// intact record into apply in order, truncates any corrupt tail, and
+// leaves the file positioned for appends. It returns the log, the
+// number of records replayed, and the number of corrupt/truncated
+// tail records dropped (0 or 1: replay stops at the first bad
+// record).
+func openWAL(path string, apply func(walRecord) error) (*wal, int, int, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	replayed, good, corrupt, err := replayWAL(f, apply)
+	if err != nil {
+		f.Close()
+		return nil, 0, 0, err
+	}
+	if err := f.Truncate(good); err != nil {
+		f.Close()
+		return nil, 0, 0, fmt.Errorf("wal: truncate corrupt tail: %w", err)
+	}
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
+		f.Close()
+		return nil, 0, 0, err
+	}
+	return &wal{f: f, path: path, size: good}, replayed, corrupt, nil
+}
+
+// replayWAL scans r from the start, calling apply for each intact
+// record. It returns the record count, the offset just past the last
+// good record, and how many bad tail records were detected.
+func replayWAL(r io.ReadSeeker, apply func(walRecord) error) (replayed int, good int64, corrupt int, err error) {
+	if _, err := r.Seek(0, io.SeekStart); err != nil {
+		return 0, 0, 0, err
+	}
+	var hdr [8]byte
+	for {
+		_, err := io.ReadFull(r, hdr[:])
+		if err == io.EOF {
+			return replayed, good, corrupt, nil
+		}
+		if err != nil { // short header: truncated tail
+			return replayed, good, corrupt + 1, nil
+		}
+		length := binary.LittleEndian.Uint32(hdr[0:4])
+		sum := binary.LittleEndian.Uint32(hdr[4:8])
+		if length > maxWALRecord {
+			return replayed, good, corrupt + 1, nil
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return replayed, good, corrupt + 1, nil
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			return replayed, good, corrupt + 1, nil
+		}
+		rec, err := decodeWALPayload(payload)
+		if err != nil {
+			return replayed, good, corrupt + 1, nil
+		}
+		if err := apply(rec); err != nil {
+			return replayed, good, corrupt, fmt.Errorf("wal: replay record %d: %w", replayed, err)
+		}
+		replayed++
+		good += int64(8 + len(payload))
+	}
+}
+
+func encodeWALPayload(rec walRecord) []byte {
+	buf := make([]byte, 0, 1+4+len(rec.name)+4+len(rec.xml))
+	buf = append(buf, rec.op)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(rec.name)))
+	buf = append(buf, rec.name...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(rec.xml)))
+	buf = append(buf, rec.xml...)
+	return buf
+}
+
+func decodeWALPayload(p []byte) (walRecord, error) {
+	bad := errors.New("wal: malformed payload")
+	if len(p) < 1+4 {
+		return walRecord{}, bad
+	}
+	op := p[0]
+	if op != walOpAdd && op != walOpRemove {
+		return walRecord{}, bad
+	}
+	p = p[1:]
+	nameLen := binary.LittleEndian.Uint32(p)
+	p = p[4:]
+	if uint32(len(p)) < nameLen+4 {
+		return walRecord{}, bad
+	}
+	name := string(p[:nameLen])
+	p = p[nameLen:]
+	xmlLen := binary.LittleEndian.Uint32(p)
+	p = p[4:]
+	if uint32(len(p)) != xmlLen {
+		return walRecord{}, bad
+	}
+	return walRecord{op: op, name: name, xml: string(p)}, nil
+}
+
+// append writes one record. The store serializes callers.
+func (w *wal) append(rec walRecord) error {
+	payload := encodeWALPayload(rec)
+	buf := make([]byte, 0, 8+len(payload))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(payload))
+	buf = append(buf, payload...)
+	n, err := w.f.Write(buf)
+	w.size += int64(n)
+	if err != nil {
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	return nil
+}
+
+// sync flushes the log to stable storage.
+func (w *wal) sync() error {
+	return w.f.Sync()
+}
+
+// reset truncates the log to empty (after a successful compaction
+// snapshot has made its records redundant) and syncs.
+func (w *wal) reset() error {
+	if err := w.f.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	w.size = 0
+	return w.f.Sync()
+}
+
+func (w *wal) close() error {
+	if err := w.f.Sync(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
