@@ -13,10 +13,16 @@ test:
 
 # check is the full gate: vet plus the whole suite under the race
 # detector (the observability layer counts from worker goroutines, so
-# race coverage is part of correctness here).
+# race coverage is part of correctness here), then the overload tests
+# again explicitly — the admission controller's shed path must hold
+# under the race detector — and the cancellation-overhead benchmark,
+# which keeps the cost of threading a context through the join loops
+# visible on every run.
 check:
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	$(GO) test -race -run Overload ./internal/httpapi/
+	$(GO) test -run xxx -bench BenchmarkCancellationOverhead -benchtime 200ms ./internal/query/
 
 race:
 	$(GO) test -race ./...

@@ -7,16 +7,24 @@
 //	xfragserver -paper -addr :8080          # serve the Figure 1 document
 //	xfragserver -data-dir /var/lib/xfrag -shards 8 -ingest-workers 4
 //
-// Endpoints:
+// Endpoints (the un-versioned /api/* aliases still work but respond
+// with a Deprecation header — build against /api/v1):
 //
-//	GET  /healthz
-//	GET  /api/docs
-//	POST /api/docs                {"name": "...", "xml": "<...>"}
-//	POST /api/docs?async=1        202 + job ID; 429 when the ingest queue is full
-//	GET  /api/jobs/{id}           async ingest job status
-//	GET  /api/search?q=xquery+optimization&filter=size<=3&strategy=auto&limit=10
-//	GET  /api/explain?q=...&filter=...&strategy=push-down&trace=1
-//	GET  /api/metrics                     (JSON; ?format=prom for Prometheus text)
+//	GET  /healthz                 liveness (process is up)
+//	GET  /readyz                  readiness (503 during WAL replay / queue saturation)
+//	GET  /api/v1/docs
+//	POST /api/v1/docs             {"name": "...", "xml": "<...>"}
+//	POST /api/v1/docs?async=1     202 + job ID; 429 when the ingest queue is full
+//	GET  /api/v1/jobs/{id}        async ingest job status
+//	GET  /api/v1/search?q=xquery+optimization&filter=size<=3&limit=10&offset=0&timeout=250ms
+//	GET  /api/v1/explain?q=...&filter=...&strategy=push-down&trace=1
+//	GET  /api/v1/metrics          (JSON; ?format=prom for Prometheus text)
+//
+// Query endpoints evaluate under a per-request deadline
+// (-query-timeout, shortenable per request with ?timeout=) and behind
+// an admission controller (-max-concurrent / -admission-queue /
+// -admission-wait) that sheds overload with 503 + Retry-After instead
+// of queueing unboundedly.
 //
 // With -data-dir the server runs on the durable sharded store
 // (internal/store): documents added at runtime are write-ahead-logged
@@ -60,6 +68,12 @@ func main() {
 	shards := flag.Int("shards", 8, "document shards in the durable store (with -data-dir)")
 	ingestWorkers := flag.Int("ingest-workers", 4, "background indexing workers for async ingest (with -data-dir)")
 	queueSize := flag.Int("ingest-queue", 256, "async ingest queue bound; a full queue returns 429 (with -data-dir)")
+	bgReplay := flag.Bool("background-replay", false, "recover the WAL in the background and serve /readyz=503 until done (with -data-dir)")
+	queryTimeout := flag.Duration("query-timeout", 10*time.Second, "default per-request evaluation deadline for search/explain; 0 disables")
+	maxTimeout := flag.Duration("max-timeout", 0, "cap on the client ?timeout= parameter; 0 caps at -query-timeout")
+	maxConcurrent := flag.Int("max-concurrent", 0, "concurrently evaluating queries before requests queue; 0 means 4×GOMAXPROCS, negative disables admission control")
+	admissionQueue := flag.Int("admission-queue", 0, "requests allowed to wait for an evaluation slot; beyond it the server sheds 503 (0 means =max-concurrent)")
+	admissionWait := flag.Duration("admission-wait", 100*time.Millisecond, "how long a queued request waits for a slot before shedding 503")
 	pprofOn := flag.Bool("pprof", false, "expose /debug/pprof/ and /debug/vars (profiling; keep off on untrusted networks)")
 	quiet := flag.Bool("quiet", false, "disable the structured request log on stderr")
 	flag.Parse()
@@ -90,6 +104,15 @@ func main() {
 		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
 	}
 
+	cfg := httpapi.Config{
+		Logger:        logger,
+		QueryTimeout:  *queryTimeout,
+		MaxTimeout:    *maxTimeout,
+		MaxConcurrent: *maxConcurrent,
+		MaxQueue:      *admissionQueue,
+		QueueWait:     *admissionWait,
+	}
+
 	var (
 		handler http.Handler
 		st      *store.Store
@@ -97,28 +120,33 @@ func main() {
 	if *dataDir != "" {
 		var err error
 		st, err = store.Open(store.Options{
-			Dir:           *dataDir,
-			Shards:        *shards,
-			IngestWorkers: *ingestWorkers,
-			QueueSize:     *queueSize,
+			Dir:              *dataDir,
+			Shards:           *shards,
+			IngestWorkers:    *ingestWorkers,
+			QueueSize:        *queueSize,
+			BackgroundReplay: *bgReplay,
 		})
 		if err != nil {
 			log.Fatalf("store %s: %v", *dataDir, err)
 		}
-		for _, d := range preload {
-			// Documents recovered from the WAL win over re-supplied
-			// preload files of the same name.
-			if st.Engine(d.Name()) != nil {
-				continue
+		if *bgReplay {
+			fmt.Printf("xfragserver: recovering WAL in background — /readyz reports readiness — listening on %s\n", *addr)
+		} else {
+			for _, d := range preload {
+				// Documents recovered from the WAL win over re-supplied
+				// preload files of the same name.
+				if st.Engine(d.Name()) != nil {
+					continue
+				}
+				if err := st.Add(d); err != nil {
+					log.Fatalf("add %s: %v", d.Name(), err)
+				}
 			}
-			if err := st.Add(d); err != nil {
-				log.Fatalf("add %s: %v", d.Name(), err)
-			}
+			stats := st.Stats()
+			fmt.Printf("xfragserver: %d document(s), %d nodes, %d postings — %d shard(s), data in %s — listening on %s\n",
+				stats.Documents, stats.Nodes, stats.Postings, st.Shards(), *dataDir, *addr)
 		}
-		stats := st.Stats()
-		fmt.Printf("xfragserver: %d document(s), %d nodes, %d postings — %d shard(s), data in %s — listening on %s\n",
-			stats.Documents, stats.Nodes, stats.Postings, st.Shards(), *dataDir, *addr)
-		handler = httpapi.NewWithStore(st, logger)
+		handler = httpapi.NewStoreWithConfig(st, cfg)
 	} else {
 		coll := collection.New()
 		for _, d := range preload {
@@ -129,7 +157,7 @@ func main() {
 		stats := coll.Stats()
 		fmt.Printf("xfragserver: %d document(s), %d nodes, %d postings — listening on %s\n",
 			stats.Documents, stats.Nodes, stats.Postings, *addr)
-		handler = httpapi.NewWithLogger(coll, logger)
+		handler = httpapi.NewWithConfig(coll, cfg)
 	}
 
 	if *pprofOn {

@@ -152,13 +152,21 @@ type Result struct {
 
 // Search evaluates the keyword/filter query on every document
 // concurrently and merges the ranked results. opts applies to every
-// per-document evaluation.
+// per-document evaluation. It is SearchContext with a background
+// context.
 func (c *Collection) Search(keywords, filterSpec string, opts query.Options) (*Result, error) {
+	return c.SearchContext(context.Background(), keywords, filterSpec, opts)
+}
+
+// SearchContext parses and evaluates the keyword/filter query under
+// ctx: the deadline and cancellation reach every per-document join
+// loop (see RunContext for the partial-result semantics).
+func (c *Collection) SearchContext(ctx context.Context, keywords, filterSpec string, opts query.Options) (*Result, error) {
 	q, err := query.Parse(keywords, filterSpec)
 	if err != nil {
 		return nil, err
 	}
-	return c.Run(q, opts)
+	return c.RunContext(ctx, q, opts)
 }
 
 // Run evaluates a prebuilt query across the collection. It is
@@ -171,8 +179,9 @@ func (c *Collection) Run(q query.Query, opts query.Options) (*Result, error) {
 // RunContext evaluates a prebuilt query across the collection with a
 // bounded worker pool (see SetSearchWorkers) instead of one goroutine
 // per document. When ctx is cancelled or its deadline passes,
-// documents not yet started are skipped and reported in
-// Result.Errors under ctx.Err(); documents already evaluated keep
+// documents not yet started are skipped, evaluations in flight stop
+// cooperatively inside their join loops (engine.RunContext), and both
+// are reported in Result.Errors; documents already evaluated keep
 // their hits, so the caller gets partial results rather than a hang.
 func (c *Collection) RunContext(ctx context.Context, q query.Query, opts query.Options) (*Result, error) {
 	c.mu.RLock()
@@ -217,7 +226,7 @@ func (c *Collection) RunContext(ctx context.Context, q query.Query, opts query.O
 					continue
 				}
 				eng := engines[i]
-				ans, err := eng.Run(q, opts)
+				ans, err := eng.RunContext(ctx, q, opts)
 				if err != nil {
 					results[i] = docResult{name: names[i], err: err}
 					continue

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -20,19 +21,38 @@ func budgetError(op string, budget int) error {
 	return fmt.Errorf("%w: %s grew past %d fragments; add or tighten an anti-monotonic filter", ErrBudgetExceeded, op, budget)
 }
 
+// The *Ctx variants below are the primary implementations: each checks
+// the fragment budget on every insertion and polls ctx for
+// cancellation amortized (see checkCtx), returning ctx.Err() —
+// context.Canceled or context.DeadlineExceeded — when the evaluation
+// should stop. The context-free *Bounded/*BoundedCounted names remain
+// as wrappers passing a nil (never-cancelled) context, so existing
+// callers and tests compile and behave unchanged.
+
 // PairwiseJoinBounded is PairwiseJoin aborting with ErrBudgetExceeded
 // once the result would exceed maxFragments.
 func PairwiseJoinBounded(f1, f2 *Set, maxFragments int) (*Set, error) {
-	return PairwiseJoinBoundedCounted(nil, f1, f2, maxFragments)
+	return PairwiseJoinBoundedCtx(nil, nil, f1, f2, maxFragments)
 }
 
 // PairwiseJoinBoundedCounted is PairwiseJoinBounded attributing the
 // work to c (nil-safe).
 func PairwiseJoinBoundedCounted(c *obs.EvalCounters, f1, f2 *Set, maxFragments int) (*Set, error) {
+	return PairwiseJoinBoundedCtx(nil, c, f1, f2, maxFragments)
+}
+
+// PairwiseJoinBoundedCtx is PairwiseJoinBoundedCounted with
+// cooperative cancellation: ctx is polled amortized inside the join
+// loop and its error returned as soon as observed.
+func PairwiseJoinBoundedCtx(ctx context.Context, c *obs.EvalCounters, f1, f2 *Set, maxFragments int) (*Set, error) {
 	c.AddPairwiseJoins(1)
 	out := &Set{}
+	tick := 0
 	for _, a := range f1.frags {
 		for _, b := range f2.frags {
+			if err := checkCtx(ctx, &tick); err != nil {
+				return nil, err
+			}
 			out.Add(JoinCounted(c, a, b))
 			if out.Len() > maxFragments {
 				return nil, budgetError("pairwise join", maxFragments)
@@ -44,12 +64,18 @@ func PairwiseJoinBoundedCounted(c *obs.EvalCounters, f1, f2 *Set, maxFragments i
 
 // SelfJoinTimesBounded is SelfJoinTimes with a fragment budget.
 func SelfJoinTimesBounded(f *Set, n, maxFragments int) (*Set, error) {
-	return SelfJoinTimesBoundedCounted(nil, f, n, maxFragments)
+	return SelfJoinTimesBoundedCtx(nil, nil, f, n, maxFragments)
 }
 
 // SelfJoinTimesBoundedCounted is SelfJoinTimesBounded attributing the
 // work to c (nil-safe).
 func SelfJoinTimesBoundedCounted(c *obs.EvalCounters, f *Set, n, maxFragments int) (*Set, error) {
+	return SelfJoinTimesBoundedCtx(nil, c, f, n, maxFragments)
+}
+
+// SelfJoinTimesBoundedCtx is SelfJoinTimesBoundedCounted with
+// cooperative cancellation inside the frontier loops.
+func SelfJoinTimesBoundedCtx(ctx context.Context, c *obs.EvalCounters, f *Set, n, maxFragments int) (*Set, error) {
 	if n < 1 {
 		panic("core: SelfJoinTimesBounded requires n >= 1")
 	}
@@ -58,11 +84,15 @@ func SelfJoinTimesBoundedCounted(c *obs.EvalCounters, f *Set, n, maxFragments in
 		return nil, budgetError("self join", maxFragments)
 	}
 	frontier := f.Fragments()
+	tick := 0
 	for i := 1; i < n && len(frontier) > 0; i++ {
 		c.AddFixedPointIterations(1)
 		var next []Fragment
 		for _, a := range frontier {
 			for _, b := range f.Fragments() {
+				if err := checkCtx(ctx, &tick); err != nil {
+					return nil, err
+				}
 				if j := JoinCounted(c, a, b); acc.Add(j) {
 					next = append(next, j)
 					if acc.Len() > maxFragments {
@@ -79,38 +109,56 @@ func SelfJoinTimesBoundedCounted(c *obs.EvalCounters, f *Set, n, maxFragments in
 // FixedPointBounded computes F⁺ with Theorem 1's iteration budget and
 // a fragment budget.
 func FixedPointBounded(f *Set, maxFragments int) (*Set, error) {
-	return FixedPointBoundedCounted(nil, f, maxFragments)
+	return FixedPointBoundedCtx(nil, nil, f, maxFragments)
 }
 
 // FixedPointBoundedCounted is FixedPointBounded attributing the work
 // (including the ⊖ computation's joins) to c (nil-safe).
 func FixedPointBoundedCounted(c *obs.EvalCounters, f *Set, maxFragments int) (*Set, error) {
+	return FixedPointBoundedCtx(nil, c, f, maxFragments)
+}
+
+// FixedPointBoundedCtx is FixedPointBoundedCounted with cooperative
+// cancellation in the self-join loops (the ⊖ computation itself is
+// O(|F|³) joins and not interrupted mid-way; its cost is bounded by
+// the seed-set size, not the exponential expansion).
+func FixedPointBoundedCtx(ctx context.Context, c *obs.EvalCounters, f *Set, maxFragments int) (*Set, error) {
 	k := ReduceCounted(c, f).Len()
 	if k < 1 {
 		k = 1
 	}
-	return SelfJoinTimesBoundedCounted(c, f, k, maxFragments)
+	return SelfJoinTimesBoundedCtx(ctx, c, f, k, maxFragments)
 }
 
 // FixedPointNaiveBounded computes F⁺ with fixed-point checking and a
 // fragment budget.
 func FixedPointNaiveBounded(f *Set, maxFragments int) (*Set, error) {
-	return FixedPointNaiveBoundedCounted(nil, f, maxFragments)
+	return FixedPointNaiveBoundedCtx(nil, nil, f, maxFragments)
 }
 
 // FixedPointNaiveBoundedCounted is FixedPointNaiveBounded attributing
 // the work to c (nil-safe).
 func FixedPointNaiveBoundedCounted(c *obs.EvalCounters, f *Set, maxFragments int) (*Set, error) {
+	return FixedPointNaiveBoundedCtx(nil, c, f, maxFragments)
+}
+
+// FixedPointNaiveBoundedCtx is FixedPointNaiveBoundedCounted with
+// cooperative cancellation inside the fixed-point iteration.
+func FixedPointNaiveBoundedCtx(ctx context.Context, c *obs.EvalCounters, f *Set, maxFragments int) (*Set, error) {
 	acc := f.Clone()
 	if acc.Len() > maxFragments {
 		return nil, budgetError("fixed point", maxFragments)
 	}
 	frontier := f.Fragments()
+	tick := 0
 	for len(frontier) > 0 {
 		c.AddFixedPointIterations(1)
 		var next []Fragment
 		for _, a := range frontier {
 			for _, b := range f.Fragments() {
+				if err := checkCtx(ctx, &tick); err != nil {
+					return nil, err
+				}
 				if j := JoinCounted(c, a, b); acc.Add(j) {
 					next = append(next, j)
 					if acc.Len() > maxFragments {
@@ -128,12 +176,18 @@ func FixedPointNaiveBoundedCounted(c *obs.EvalCounters, f *Set, maxFragments int
 // fragment budget. With a selective anti-monotonic predicate the
 // budget is rarely hit — which is the paper's optimization story.
 func FilteredFixedPointBounded(f *Set, pred func(Fragment) bool, maxFragments int) (*Set, error) {
-	return FilteredFixedPointBoundedCounted(nil, f, pred, maxFragments)
+	return FilteredFixedPointBoundedCtx(nil, nil, f, pred, maxFragments)
 }
 
 // FilteredFixedPointBoundedCounted is FilteredFixedPointBounded
 // attributing joins, iterations and filter prunes to c (nil-safe).
 func FilteredFixedPointBoundedCounted(c *obs.EvalCounters, f *Set, pred func(Fragment) bool, maxFragments int) (*Set, error) {
+	return FilteredFixedPointBoundedCtx(nil, c, f, pred, maxFragments)
+}
+
+// FilteredFixedPointBoundedCtx is FilteredFixedPointBoundedCounted
+// with cooperative cancellation inside the fixed-point iteration.
+func FilteredFixedPointBoundedCtx(ctx context.Context, c *obs.EvalCounters, f *Set, pred func(Fragment) bool, maxFragments int) (*Set, error) {
 	base := f.Select(pred)
 	c.AddFilterPrunes(uint64(f.Len() - base.Len()))
 	acc := base.Clone()
@@ -141,11 +195,15 @@ func FilteredFixedPointBoundedCounted(c *obs.EvalCounters, f *Set, pred func(Fra
 		return nil, budgetError("filtered fixed point", maxFragments)
 	}
 	frontier := base.Fragments()
+	tick := 0
 	for len(frontier) > 0 {
 		c.AddFixedPointIterations(1)
 		var next []Fragment
 		for _, a := range frontier {
 			for _, b := range base.Fragments() {
+				if err := checkCtx(ctx, &tick); err != nil {
+					return nil, err
+				}
 				j := JoinCounted(c, a, b)
 				if !pred(j) {
 					c.AddFilterPrunes(1)
@@ -167,16 +225,26 @@ func FilteredFixedPointBoundedCounted(c *obs.EvalCounters, f *Set, pred func(Fra
 // PairwiseJoinFilteredBounded is PairwiseJoinFiltered with a fragment
 // budget.
 func PairwiseJoinFilteredBounded(f1, f2 *Set, pred func(Fragment) bool, maxFragments int) (*Set, error) {
-	return PairwiseJoinFilteredBoundedCounted(nil, f1, f2, pred, maxFragments)
+	return PairwiseJoinFilteredBoundedCtx(nil, nil, f1, f2, pred, maxFragments)
 }
 
 // PairwiseJoinFilteredBoundedCounted is PairwiseJoinFilteredBounded
 // attributing joins and filter prunes to c (nil-safe).
 func PairwiseJoinFilteredBoundedCounted(c *obs.EvalCounters, f1, f2 *Set, pred func(Fragment) bool, maxFragments int) (*Set, error) {
+	return PairwiseJoinFilteredBoundedCtx(nil, c, f1, f2, pred, maxFragments)
+}
+
+// PairwiseJoinFilteredBoundedCtx is PairwiseJoinFilteredBoundedCounted
+// with cooperative cancellation inside the join loop.
+func PairwiseJoinFilteredBoundedCtx(ctx context.Context, c *obs.EvalCounters, f1, f2 *Set, pred func(Fragment) bool, maxFragments int) (*Set, error) {
 	c.AddPairwiseJoins(1)
 	out := &Set{}
+	tick := 0
 	for _, a := range f1.frags {
 		for _, b := range f2.frags {
+			if err := checkCtx(ctx, &tick); err != nil {
+				return nil, err
+			}
 			j := JoinCounted(c, a, b)
 			if !pred(j) {
 				c.AddFilterPrunes(1)

@@ -1,0 +1,28 @@
+package core
+
+import "context"
+
+// cancelCheckEvery amortizes cooperative cancellation: the join-heavy
+// loops poll ctx.Err() once per this many fragment operations, so the
+// fast path pays one local increment and branch per join while a
+// cancelled evaluation still stops within a few hundred joins. The
+// powerset join family is worst-case exponential (Section 3.1), so
+// without these checks a pathological query pins its goroutine until
+// the fragment budget trips.
+const cancelCheckEvery = 256
+
+// checkCtx polls ctx.Err() every cancelCheckEvery calls. tick is
+// caller-local (one per loop, one per parallel worker) so the hot path
+// never contends on shared state. A nil ctx never reports an error,
+// which is how the context-free entry points reuse the same loops.
+func checkCtx(ctx context.Context, tick *int) error {
+	if ctx == nil {
+		return nil
+	}
+	*tick++
+	if *tick < cancelCheckEvery {
+		return nil
+	}
+	*tick = 0
+	return ctx.Err()
+}

@@ -1,9 +1,8 @@
 package core
 
 import (
+	"context"
 	"fmt"
-	"math/bits"
-	"sort"
 
 	"repro/internal/obs"
 )
@@ -53,6 +52,14 @@ func MultiPowersetJoinTrace(sets []*Set, pred func(Fragment) bool) ([]Candidate,
 // the joins and one powerset expansion per candidate row to c
 // (nil-safe).
 func MultiPowersetJoinTraceCounted(c *obs.EvalCounters, sets []*Set, pred func(Fragment) bool) ([]Candidate, error) {
+	return MultiPowersetJoinTraceCtx(nil, c, sets, pred)
+}
+
+// MultiPowersetJoinTraceCtx is MultiPowersetJoinTraceCounted with
+// cooperative cancellation: the candidate enumeration — the literal
+// exponential loop of Definition 6 — polls ctx once per row and once
+// per amortized batch of member joins.
+func MultiPowersetJoinTraceCtx(ctx context.Context, c *obs.EvalCounters, sets []*Set, pred func(Fragment) bool) ([]Candidate, error) {
 	if len(sets) == 0 {
 		return nil, nil
 	}
@@ -75,29 +82,41 @@ func MultiPowersetJoinTraceCounted(c *obs.EvalCounters, sets []*Set, pred func(F
 			}
 		}
 	}
+	// Enumerate candidate masks directly in presentation order —
+	// ascending popcount, then ascending numeric value — via Gosper's
+	// hack (next same-popcount permutation), instead of collecting all
+	// 2^np masks and sorting them: the enumeration itself is the
+	// exponential step, so it must poll ctx, and a monolithic
+	// post-enumeration sort would stall cancellation for seconds on
+	// large pools.
+	tick := 0
 	var masks []uint64
-	for m := uint64(1); m < 1<<np; m++ {
-		ok := true
-		for _, om := range operandMasks {
-			if m&om == 0 {
-				ok = false
-				break
+	for size := 1; size <= np; size++ {
+		for m := uint64(1)<<size - 1; m < 1<<np; {
+			if err := checkCtx(ctx, &tick); err != nil {
+				return nil, err
 			}
-		}
-		if ok {
-			masks = append(masks, m)
+			ok := true
+			for _, om := range operandMasks {
+				if m&om == 0 {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				masks = append(masks, m)
+			}
+			lsb := m & -m
+			r := m + lsb
+			m = (((r ^ m) >> 2) / lsb) | r
 		}
 	}
-	sort.Slice(masks, func(i, j int) bool {
-		ci, cj := bits.OnesCount64(masks[i]), bits.OnesCount64(masks[j])
-		if ci != cj {
-			return ci < cj
-		}
-		return masks[i] < masks[j]
-	})
 	seen := make(map[string]bool)
 	rows := make([]Candidate, 0, len(masks))
 	for _, m := range masks {
+		if err := checkCtx(ctx, &tick); err != nil {
+			return nil, err
+		}
 		c.AddPowersetExpansions(1)
 		var inputs []Fragment
 		for i := 0; i < np; i++ {

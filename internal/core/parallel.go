@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
@@ -14,6 +15,9 @@ import (
 // deduplicated set. Answer sets are identical to the sequential
 // variants (Set equality is order-insensitive); only insertion order
 // may differ, and canonical presentation uses Set.Sorted anyway.
+// Every worker polls the evaluation context amortized, so a cancelled
+// query stops all its stripe goroutines promptly — stripeJoin always
+// joins its WaitGroup before returning, leaving no goroutine behind.
 
 // ResolveWorkers normalizes a worker-count option: values < 1 mean
 // GOMAXPROCS.
@@ -30,18 +34,30 @@ func ResolveWorkers(n int) int {
 // result (workers may transiently materialize up to one stripe past
 // it).
 func PairwiseJoinFilteredParallel(f1, f2 *Set, pred func(Fragment) bool, workers, maxFragments int) (*Set, error) {
-	return PairwiseJoinFilteredParallelCounted(nil, f1, f2, pred, workers, maxFragments)
+	return PairwiseJoinFilteredParallelCtx(nil, nil, f1, f2, pred, workers, maxFragments)
 }
 
 // PairwiseJoinFilteredParallelCounted is PairwiseJoinFilteredParallel
 // attributing the work to c. The counter is atomic, so worker
 // goroutines update it directly (nil-safe).
 func PairwiseJoinFilteredParallelCounted(c *obs.EvalCounters, f1, f2 *Set, pred func(Fragment) bool, workers, maxFragments int) (*Set, error) {
+	return PairwiseJoinFilteredParallelCtx(nil, c, f1, f2, pred, workers, maxFragments)
+}
+
+// PairwiseJoinFilteredParallelCtx is
+// PairwiseJoinFilteredParallelCounted with cooperative cancellation:
+// every stripe worker polls ctx and bails, and the merge loop checks
+// once more so a cancellation surfacing after the join still returns
+// promptly.
+func PairwiseJoinFilteredParallelCtx(ctx context.Context, c *obs.EvalCounters, f1, f2 *Set, pred func(Fragment) bool, workers, maxFragments int) (*Set, error) {
 	if workers <= 1 || f1.Len() < 2*workers {
-		return PairwiseJoinFilteredBoundedCounted(c, f1, f2, pred, maxFragments)
+		return PairwiseJoinFilteredBoundedCtx(ctx, c, f1, f2, pred, maxFragments)
 	}
 	c.AddPairwiseJoins(1)
-	chunks := stripeJoin(c, f1.Fragments(), f2.Fragments(), pred, workers)
+	chunks, err := stripeJoin(ctx, c, f1.Fragments(), f2.Fragments(), pred, workers)
+	if err != nil {
+		return nil, err
+	}
 	out := &Set{}
 	for _, chunk := range chunks {
 		for _, f := range chunk {
@@ -58,15 +74,21 @@ func PairwiseJoinFilteredParallelCounted(c *obs.EvalCounters, f1, f2 *Set, pred 
 // parallel frontier expansion. workers <= 1 falls back to the
 // sequential implementation.
 func FilteredFixedPointParallel(f *Set, pred func(Fragment) bool, workers, maxFragments int) (*Set, error) {
-	return FilteredFixedPointParallelCounted(nil, f, pred, workers, maxFragments)
+	return FilteredFixedPointParallelCtx(nil, nil, f, pred, workers, maxFragments)
 }
 
 // FilteredFixedPointParallelCounted is FilteredFixedPointParallel
 // attributing the work to c (nil-safe, updated from worker
 // goroutines).
 func FilteredFixedPointParallelCounted(c *obs.EvalCounters, f *Set, pred func(Fragment) bool, workers, maxFragments int) (*Set, error) {
+	return FilteredFixedPointParallelCtx(nil, c, f, pred, workers, maxFragments)
+}
+
+// FilteredFixedPointParallelCtx is FilteredFixedPointParallelCounted
+// with cooperative cancellation in every frontier expansion.
+func FilteredFixedPointParallelCtx(ctx context.Context, c *obs.EvalCounters, f *Set, pred func(Fragment) bool, workers, maxFragments int) (*Set, error) {
 	if workers <= 1 {
-		return FilteredFixedPointBoundedCounted(c, f, pred, maxFragments)
+		return FilteredFixedPointBoundedCtx(ctx, c, f, pred, maxFragments)
 	}
 	base := f.Select(pred)
 	c.AddFilterPrunes(uint64(f.Len() - base.Len()))
@@ -77,7 +99,10 @@ func FilteredFixedPointParallelCounted(c *obs.EvalCounters, f *Set, pred func(Fr
 	frontier := base.Fragments()
 	for len(frontier) > 0 {
 		c.AddFixedPointIterations(1)
-		chunks := stripeJoin(c, frontier, base.Fragments(), pred, workers)
+		chunks, err := stripeJoin(ctx, c, frontier, base.Fragments(), pred, workers)
+		if err != nil {
+			return nil, err
+		}
 		var next []Fragment
 		for _, chunk := range chunks {
 			for _, j := range chunk {
@@ -97,11 +122,15 @@ func FilteredFixedPointParallelCounted(c *obs.EvalCounters, f *Set, pred func(Fr
 // stripeJoin fans the cross product left × right over workers, each
 // joining its stripe of left against all of right and keeping the
 // pred-passing results (locally deduplicated to shrink the merge).
-func stripeJoin(c *obs.EvalCounters, left, right []Fragment, pred func(Fragment) bool, workers int) [][]Fragment {
+// Each worker polls ctx amortized with a worker-local tick; on
+// cancellation all workers stop early, the WaitGroup drains, and the
+// context error is returned — no goroutine outlives the call.
+func stripeJoin(ctx context.Context, c *obs.EvalCounters, left, right []Fragment, pred func(Fragment) bool, workers int) ([][]Fragment, error) {
 	if workers > len(left) {
 		workers = len(left)
 	}
 	chunks := make([][]Fragment, workers)
+	errs := make([]error, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -109,8 +138,13 @@ func stripeJoin(c *obs.EvalCounters, left, right []Fragment, pred func(Fragment)
 			defer wg.Done()
 			seen := make(map[string]bool)
 			var local []Fragment
+			tick := 0
 			for i := w; i < len(left); i += workers {
 				for _, b := range right {
+					if err := checkCtx(ctx, &tick); err != nil {
+						errs[w] = err
+						return
+					}
 					j := JoinCounted(c, left[i], b)
 					if !pred(j) {
 						c.AddFilterPrunes(1)
@@ -128,5 +162,10 @@ func stripeJoin(c *obs.EvalCounters, left, right []Fragment, pred func(Fragment)
 		}(w)
 	}
 	wg.Wait()
-	return chunks
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return chunks, nil
 }

@@ -7,6 +7,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -74,21 +75,41 @@ func (e *Engine) Document() *xmltree.Document { return e.doc }
 func (e *Engine) Index() *index.Index { return e.idx }
 
 // Query evaluates a keyword query with a filter specification (see
-// internal/filter.Parse) under the given evaluation options.
+// internal/filter.Parse) under the given evaluation options. It is
+// QueryContext with a background context, kept as a thin wrapper for
+// callers with no deadline to honor.
 func (e *Engine) Query(keywords, filterSpec string, opts query.Options) (*Answer, error) {
+	return e.QueryContext(context.Background(), keywords, filterSpec, opts)
+}
+
+// QueryContext parses and evaluates a keyword/filter query under ctx:
+// cancellation or deadline expiry stops the evaluation cooperatively
+// inside the join loops (see query.EvaluateContext) and returns a
+// *query.Canceled error carrying the partial statistics.
+func (e *Engine) QueryContext(ctx context.Context, keywords, filterSpec string, opts query.Options) (*Answer, error) {
 	q, err := query.Parse(keywords, filterSpec)
 	if err != nil {
 		return nil, err
 	}
-	return e.Run(q, opts)
+	return e.RunContext(ctx, q, opts)
 }
 
-// Run evaluates an already-built query, consulting the result cache
-// when one is enabled (see EnableCache). Tracing requests bypass the
-// cache: a cached Answer carries the trace of its original evaluation
-// (possibly none), and an explain caller wants the spans of a real
-// evaluation.
+// Run evaluates an already-built query. It is RunContext with a
+// background context, kept as a thin wrapper for callers with no
+// deadline to honor.
 func (e *Engine) Run(q query.Query, opts query.Options) (*Answer, error) {
+	return e.RunContext(context.Background(), q, opts)
+}
+
+// RunContext evaluates an already-built query under ctx, consulting
+// the result cache when one is enabled (see EnableCache). Tracing
+// requests bypass the cache: a cached Answer carries the trace of its
+// original evaluation (possibly none), and an explain caller wants the
+// spans of a real evaluation. A cache hit is returned even under an
+// expired context (it costs nothing). A stopped evaluation records its
+// partial operator counts into the metrics registry under a
+// query-timeout counter, so shed work remains attributable.
+func (e *Engine) RunContext(ctx context.Context, q query.Query, opts query.Options) (*Answer, error) {
 	start := time.Now()
 	var key string
 	useCache := e.cache != nil && !opts.Trace
@@ -108,9 +129,13 @@ func (e *Engine) Run(q query.Query, opts query.Options) (*Answer, error) {
 	if e.cache != nil && !opts.Trace {
 		opts.Counters.AddCacheMisses(1)
 	}
-	res, err := query.Evaluate(e.idx, q, opts)
+	res, err := query.EvaluateContext(ctx, e.idx, q, opts)
 	if err != nil {
 		e.metrics.Counter(obs.MQueryErrors).Add(1)
+		if c, ok := query.IsCanceled(err); ok {
+			e.metrics.Counter(obs.MQueryTimeouts).Add(1)
+			e.metrics.RecordEval(c.Stats.Ops, time.Since(start), 0)
+		}
 		return nil, err
 	}
 	e.metrics.RecordEval(res.Stats.Ops, time.Since(start), res.Stats.Answers)

@@ -1,0 +1,81 @@
+package httpapi
+
+import (
+	"context"
+	"errors"
+	"time"
+)
+
+// errShed is the admission controller's overload signal; the HTTP
+// layer maps it to 503 Service Unavailable with a Retry-After header.
+var errShed = errors.New("httpapi: server overloaded")
+
+// admission bounds concurrent query evaluation with a semaphore plus a
+// short bounded wait queue. The powerset fragment join is worst-case
+// exponential, so without admission control a burst of heavy queries
+// queues unboundedly inside net/http and every request times out;
+// shedding the excess immediately with 503 + Retry-After keeps the
+// admitted requests fast and tells well-behaved clients when to come
+// back.
+type admission struct {
+	sem     chan struct{} // buffered; one slot per concurrent query
+	waiters chan struct{} // buffered; one slot per queued waiter
+	maxWait time.Duration // how long a queued waiter holds on
+}
+
+// newAdmission sizes the controller: maxConcurrent evaluation slots,
+// maxQueue waiters beyond them, each waiting at most maxWait.
+func newAdmission(maxConcurrent, maxQueue int, maxWait time.Duration) *admission {
+	return &admission{
+		sem:     make(chan struct{}, maxConcurrent),
+		waiters: make(chan struct{}, maxQueue),
+		maxWait: maxWait,
+	}
+}
+
+// acquire claims an evaluation slot. The fast path is a non-blocking
+// semaphore grab. When the server is at capacity the request joins the
+// bounded wait queue; if the queue is full, or no slot frees within
+// maxWait, acquire sheds with errShed. A context cancellation while
+// waiting returns ctx.Err() (the client is gone; nothing to serve).
+func (a *admission) acquire(ctx context.Context) error {
+	if a == nil {
+		return nil
+	}
+	select {
+	case a.sem <- struct{}{}:
+		return nil
+	default:
+	}
+	select {
+	case a.waiters <- struct{}{}:
+		defer func() { <-a.waiters }()
+	default:
+		return errShed
+	}
+	t := time.NewTimer(a.maxWait)
+	defer t.Stop()
+	select {
+	case a.sem <- struct{}{}:
+		return nil
+	case <-t.C:
+		return errShed
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// release returns an evaluation slot claimed by acquire.
+func (a *admission) release() {
+	if a != nil {
+		<-a.sem
+	}
+}
+
+// inflight reports how many evaluation slots are currently held.
+func (a *admission) inflight() int {
+	if a == nil {
+		return 0
+	}
+	return len(a.sem)
+}

@@ -2,15 +2,28 @@
 // search service — the downstream-facing surface of the library: add
 // documents, run keyword/filter queries, inspect plans. Stdlib
 // net/http only.
+//
+// The versioned surface lives under /api/v1 and is the one to build
+// against: uniform error envelope {"error":{"code","message",
+// "request_id"}}, limit/offset pagination on /api/v1/search, and
+// per-request evaluation deadlines (?timeout=, capped by the server).
+// The original un-versioned /api/* routes remain as aliases that set a
+// Deprecation header. Query endpoints sit behind an admission
+// controller (bounded concurrency plus a short wait queue) that sheds
+// overload with 503 + Retry-After instead of queueing forever.
 package httpapi
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"log/slog"
 	"net/http"
+	"runtime"
 	"strconv"
+	"strings"
+	"time"
 	"unicode/utf8"
 
 	"repro/internal/collection"
@@ -22,28 +35,76 @@ import (
 	"repro/internal/store"
 )
 
-// maxSearchLimit caps the limit query parameter of GET /api/search:
-// larger values get a 400 instead of an unbounded response body.
+// maxSearchLimit caps the limit query parameter of the search
+// endpoints: larger values get a 400 instead of an unbounded response
+// body.
 const maxSearchLimit = 1000
+
+// Config tunes the server's robustness knobs. The zero value is
+// usable: no default evaluation deadline, admission sized from
+// GOMAXPROCS, 16 MiB body cap.
+type Config struct {
+	// Logger receives the structured access log; nil disables logging
+	// (request IDs, panic recovery and metrics stay active).
+	Logger *slog.Logger
+	// MaxBody bounds document-upload bodies in bytes (default 16 MiB).
+	MaxBody int64
+	// QueryTimeout is the default per-request evaluation deadline for
+	// search/explain; 0 means no default deadline.
+	QueryTimeout time.Duration
+	// MaxTimeout caps the client-supplied ?timeout= parameter. 0 means
+	// "cap at QueryTimeout when one is set, otherwise uncapped".
+	MaxTimeout time.Duration
+	// MaxConcurrent bounds concurrently evaluating queries (the
+	// admission semaphore). 0 means 4×GOMAXPROCS; negative disables
+	// admission control entirely.
+	MaxConcurrent int
+	// MaxQueue bounds how many requests may wait for an evaluation
+	// slot beyond MaxConcurrent (default MaxConcurrent). Requests past
+	// the queue shed immediately with 503.
+	MaxQueue int
+	// QueueWait bounds how long a queued request waits for a slot
+	// before shedding (default 100ms).
+	QueueWait time.Duration
+}
+
+func (c *Config) setDefaults() {
+	if c.MaxBody <= 0 {
+		c.MaxBody = 16 << 20
+	}
+	if c.MaxConcurrent == 0 {
+		c.MaxConcurrent = 4 * runtime.GOMAXPROCS(0)
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = c.MaxConcurrent
+	}
+	if c.QueueWait <= 0 {
+		c.QueueWait = 100 * time.Millisecond
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = c.QueryTimeout
+	}
+}
 
 // Server routes HTTP requests to a collection, or — when constructed
 // with NewWithStore — to a durable sharded store, which additionally
-// serves the async ingest endpoints (POST /api/docs?async=1,
-// GET /api/jobs/{id}).
+// serves the async ingest endpoints (POST /api/v1/docs?async=1,
+// GET /api/v1/jobs/{id}).
 type Server struct {
 	coll    *collection.Collection // nil when store-backed
 	st      *store.Store           // nil when collection-backed
+	cfg     Config
+	adm     *admission   // nil when admission control is disabled
+	m       *obs.Metrics // backing registry, for shed/inflight series
 	mux     *http.ServeMux
 	handler http.Handler // mux wrapped in Middleware
-	// maxBody bounds document uploads (bytes).
-	maxBody int64
 }
 
 // New wraps a collection without an access log. Pass nil to start
 // empty. Request IDs, panic recovery and HTTP metrics are still
 // active; use NewWithLogger to also log requests.
 func New(coll *collection.Collection) *Server {
-	return NewWithLogger(coll, nil)
+	return NewWithConfig(coll, Config{})
 }
 
 // NewWithLogger wraps a collection with the full request middleware:
@@ -51,37 +112,82 @@ func New(coll *collection.Collection) *Server {
 // request IDs, panic recovery, and HTTP metrics recorded into the
 // collection's registry.
 func NewWithLogger(coll *collection.Collection, logger *slog.Logger) *Server {
+	return NewWithConfig(coll, Config{Logger: logger})
+}
+
+// NewWithConfig wraps a collection with explicit robustness settings.
+// Pass nil to start empty.
+func NewWithConfig(coll *collection.Collection, cfg Config) *Server {
 	if coll == nil {
 		coll = collection.New()
 	}
-	s := &Server{coll: coll, maxBody: 16 << 20}
-	s.init(logger, coll.Metrics())
+	s := &Server{coll: coll, cfg: cfg}
+	s.init(coll.Metrics())
 	return s
 }
 
 // NewWithStore wraps a durable sharded store. Search runs under the
 // request context (deadline-aware scatter-gather); POST
-// /api/docs?async=1 enqueues into the ingest pipeline and GET
-// /api/jobs/{id} polls job status. HTTP metrics land in the store's
-// registry.
+// /api/v1/docs?async=1 enqueues into the ingest pipeline and GET
+// /api/v1/jobs/{id} polls job status. HTTP metrics land in the
+// store's registry.
 func NewWithStore(st *store.Store, logger *slog.Logger) *Server {
-	s := &Server{st: st, maxBody: 16 << 20}
-	s.init(logger, st.Metrics())
+	return NewStoreWithConfig(st, Config{Logger: logger})
+}
+
+// NewStoreWithConfig wraps a durable sharded store with explicit
+// robustness settings.
+func NewStoreWithConfig(st *store.Store, cfg Config) *Server {
+	s := &Server{st: st, cfg: cfg}
+	s.init(st.Metrics())
 	return s
 }
 
-func (s *Server) init(logger *slog.Logger, m *obs.Metrics) {
+// ctxKey marks request-context values set by the router wrappers.
+type ctxKey int
+
+// ctxKeyV1 flags a request that arrived via the /api/v1 surface, so
+// shared handlers emit the v1 error envelope.
+const ctxKeyV1 ctxKey = iota
+
+func isV1(r *http.Request) bool {
+	v, _ := r.Context().Value(ctxKeyV1).(bool)
+	return v
+}
+
+func (s *Server) init(m *obs.Metrics) {
+	s.cfg.setDefaults()
+	if s.cfg.MaxConcurrent > 0 {
+		s.adm = newAdmission(s.cfg.MaxConcurrent, s.cfg.MaxQueue, s.cfg.QueueWait)
+	}
+	s.m = m
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
-	s.mux.HandleFunc("GET /api/docs", s.handleListDocs)
-	s.mux.HandleFunc("POST /api/docs", s.handleAddDoc)
-	s.mux.HandleFunc("DELETE /api/docs/{name}", s.handleRemoveDoc)
-	s.mux.HandleFunc("GET /api/jobs/{id}", s.handleJob)
-	s.mux.HandleFunc("GET /api/search", s.handleSearch)
-	s.mux.HandleFunc("GET /api/explain", s.handleExplain)
-	s.mux.HandleFunc("GET /api/stats", s.handleStats)
-	s.mux.HandleFunc("GET /api/metrics", s.handleMetrics)
-	s.handler = Middleware(s.mux, logger, m)
+	s.mux.HandleFunc("GET /readyz", s.handleReady)
+	s.route("GET", "/docs", s.handleListDocs)
+	s.route("POST", "/docs", s.handleAddDoc)
+	s.route("DELETE", "/docs/{name}", s.handleRemoveDoc)
+	s.route("GET", "/jobs/{id}", s.handleJob)
+	s.route("GET", "/search", s.handleSearch)
+	s.route("GET", "/explain", s.handleExplain)
+	s.route("GET", "/stats", s.handleStats)
+	s.route("GET", "/metrics", s.handleMetrics)
+	s.handler = Middleware(s.mux, s.cfg.Logger, m)
+}
+
+// route mounts one handler under both the versioned surface
+// (/api/v1/...) and the legacy alias (/api/...). The alias responds
+// with an RFC 9745 Deprecation header plus a Link to its
+// successor-version so clients can migrate mechanically.
+func (s *Server) route(method, path string, h http.HandlerFunc) {
+	s.mux.HandleFunc(method+" /api/v1"+path, func(w http.ResponseWriter, r *http.Request) {
+		h(w, r.WithContext(context.WithValue(r.Context(), ctxKeyV1, true)))
+	})
+	s.mux.HandleFunc(method+" /api"+path, func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", "</api/v1"+strings.TrimPrefix(r.URL.Path, "/api")+`>; rel="successor-version"`)
+		h(w, r)
+	})
 }
 
 // Collection returns the backing collection (nil when the server is
@@ -104,6 +210,8 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.handler.ServeHTTP(w, r)
 }
 
+// handleHealth is pure liveness: the process is up and serving. Load
+// balancers should route on /readyz instead.
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	body := map[string]any{"status": "ok", "documents": s.docCount()}
 	if s.st != nil {
@@ -111,6 +219,23 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 		body["shards"] = s.st.Shards()
 	}
 	writeJSON(w, http.StatusOK, body)
+}
+
+// handleReady is readiness: 503 while the node should not receive
+// traffic — during WAL replay, after a failed background replay, or
+// while the ingest queue is saturated. A collection-backed server has
+// no replay or queue and is always ready.
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	if s.st == nil {
+		writeJSON(w, http.StatusOK, map[string]any{"ready": true, "documents": s.coll.Len()})
+		return
+	}
+	rd := s.st.Readiness()
+	status := http.StatusOK
+	if !rd.Ready {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, rd)
 }
 
 // DocInfo describes one indexed document.
@@ -142,7 +267,7 @@ func (s *Server) handleListDocs(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"documents": docs})
 }
 
-// AddDocRequest is the body of POST /api/docs.
+// AddDocRequest is the body of POST /api/v1/docs.
 type AddDocRequest struct {
 	Name string `json:"name"`
 	XML  string `json:"xml"`
@@ -150,18 +275,18 @@ type AddDocRequest struct {
 
 func (s *Server) handleAddDoc(w http.ResponseWriter, r *http.Request) {
 	var req AddDocRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody))
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBody))
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("bad JSON body: %w", err))
+		s.error(w, r, http.StatusBadRequest, "bad_request", fmt.Errorf("bad JSON body: %w", err))
 		return
 	}
 	if req.Name == "" || req.XML == "" {
-		writeError(w, http.StatusBadRequest, errors.New("need name and xml"))
+		s.error(w, r, http.StatusBadRequest, "bad_request", errors.New("need name and xml"))
 		return
 	}
 	if r.URL.Query().Get("async") == "1" {
 		if s.st == nil {
-			writeError(w, http.StatusBadRequest, errors.New("async ingest requires a store-backed server (run with -data-dir)"))
+			s.error(w, r, http.StatusBadRequest, "bad_request", errors.New("async ingest requires a store-backed server (run with -data-dir)"))
 			return
 		}
 		id, err := s.st.Enqueue(req.Name, req.XML)
@@ -169,10 +294,14 @@ func (s *Server) handleAddDoc(w http.ResponseWriter, r *http.Request) {
 		case errors.Is(err, store.ErrQueueFull):
 			// Backpressure, not failure: the client should retry later.
 			w.Header().Set("Retry-After", "1")
-			writeError(w, http.StatusTooManyRequests, err)
+			s.error(w, r, http.StatusTooManyRequests, "queue_full", err)
+			return
+		case errors.Is(err, store.ErrReplaying):
+			w.Header().Set("Retry-After", "1")
+			s.error(w, r, http.StatusServiceUnavailable, "not_ready", err)
 			return
 		case err != nil:
-			writeError(w, http.StatusBadRequest, err)
+			s.error(w, r, http.StatusBadRequest, "bad_request", err)
 			return
 		}
 		writeJSON(w, http.StatusAccepted, map[string]any{"job": id, "document": req.Name})
@@ -184,24 +313,29 @@ func (s *Server) handleAddDoc(w http.ResponseWriter, r *http.Request) {
 	} else {
 		err = s.coll.AddXML(req.Name, req.XML)
 	}
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+	switch {
+	case errors.Is(err, store.ErrReplaying):
+		w.Header().Set("Retry-After", "1")
+		s.error(w, r, http.StatusServiceUnavailable, "not_ready", err)
+		return
+	case err != nil:
+		s.error(w, r, http.StatusBadRequest, "bad_request", err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, map[string]any{"added": req.Name})
 }
 
-// handleJob serves GET /api/jobs/{id}: the status of one async
+// handleJob serves GET /api/v1/jobs/{id}: the status of one async
 // ingest job.
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	if s.st == nil {
-		writeError(w, http.StatusNotFound, errors.New("no async ingest on this server"))
+		s.error(w, r, http.StatusNotFound, "not_found", errors.New("no async ingest on this server"))
 		return
 	}
 	id := r.PathValue("id")
 	job, ok := s.st.Job(id)
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("no job %q", id))
+		s.error(w, r, http.StatusNotFound, "not_found", fmt.Errorf("no job %q", id))
 		return
 	}
 	writeJSON(w, http.StatusOK, job)
@@ -216,7 +350,7 @@ func (s *Server) handleRemoveDoc(w http.ResponseWriter, r *http.Request) {
 		removed = s.coll.Remove(name)
 	}
 	if !removed {
-		writeError(w, http.StatusNotFound, fmt.Errorf("no document %q", name))
+		s.error(w, r, http.StatusNotFound, "not_found", fmt.Errorf("no document %q", name))
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"removed": name})
@@ -230,7 +364,7 @@ func (s *Server) engine(name string) *engine.Engine {
 	return s.coll.Engine(name)
 }
 
-// SearchHit is one result of GET /api/search.
+// SearchHit is one result of GET /api/v1/search.
 type SearchHit struct {
 	Document string  `json:"document"`
 	Nodes    []int32 `json:"nodes"`
@@ -242,67 +376,152 @@ type SearchHit struct {
 	Snippet string `json:"snippet,omitempty"`
 }
 
-// SearchResponse is the body of GET /api/search.
+// SearchResponse is the body of GET /api/v1/search.
 type SearchResponse struct {
 	Query    string      `json:"query"`
 	Filter   string      `json:"filter,omitempty"`
 	Strategy string      `json:"strategy"`
 	Hits     []SearchHit `json:"hits"`
 	// Total counts every hit across the collection; Returned counts
-	// the hits actually present in Hits after the limit.
-	Total    int               `json:"total"`
-	Returned int               `json:"returned"`
-	Errors   map[string]string `json:"errors,omitempty"`
+	// the hits actually present in Hits after limit/offset.
+	Total    int `json:"total"`
+	Returned int `json:"returned"`
+	// Limit and Offset echo the effective pagination window.
+	Limit  int `json:"limit"`
+	Offset int `json:"offset"`
+	// Errors maps document name → its evaluation error. A deadline
+	// that expires mid-search degrades to partial results: finished
+	// documents keep their hits, unfinished ones appear here.
+	Errors map[string]string `json:"errors,omitempty"`
+}
+
+// admit claims an evaluation slot for a query endpoint, writing the
+// 503 + Retry-After shed response itself when the server is
+// overloaded. Callers must release() when admit returns true.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request) bool {
+	if s.adm == nil {
+		return true
+	}
+	err := s.adm.acquire(r.Context())
+	switch {
+	case err == nil:
+		s.m.Gauge(obs.MInflightQueries).Set(int64(s.adm.inflight()))
+		return true
+	case errors.Is(err, errShed):
+		s.m.Counter(obs.MQueriesShed).Add(1)
+		w.Header().Set("Retry-After", "1")
+		s.error(w, r, http.StatusServiceUnavailable, "overloaded", errors.New("server overloaded; retry later"))
+	default:
+		// The client went away while queued; nothing useful to serve.
+		s.error(w, r, http.StatusServiceUnavailable, "canceled", err)
+	}
+	return false
+}
+
+func (s *Server) release() {
+	if s.adm != nil {
+		s.adm.release()
+		s.m.Gauge(obs.MInflightQueries).Set(int64(s.adm.inflight()))
+	}
+}
+
+// queryDeadline derives the evaluation context for a query endpoint:
+// the server's default QueryTimeout, overridden by ?timeout= (a Go
+// duration such as 250ms), which MaxTimeout caps — clients may
+// shorten the deadline freely but never extend it past the server's
+// bound.
+func (s *Server) queryDeadline(r *http.Request) (context.Context, context.CancelFunc, error) {
+	d := s.cfg.QueryTimeout
+	if t := r.URL.Query().Get("timeout"); t != "" {
+		td, err := time.ParseDuration(t)
+		if err != nil || td <= 0 {
+			return nil, nil, fmt.Errorf("bad timeout %q (want a positive duration like 250ms)", t)
+		}
+		d = td
+		if s.cfg.MaxTimeout > 0 && d > s.cfg.MaxTimeout {
+			d = s.cfg.MaxTimeout
+		}
+	}
+	if d <= 0 {
+		return r.Context(), func() {}, nil
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), d)
+	return ctx, cancel, nil
 }
 
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	qs := r.URL.Query()
 	keywords := qs.Get("q")
 	if keywords == "" {
-		writeError(w, http.StatusBadRequest, errors.New("missing q parameter"))
+		s.error(w, r, http.StatusBadRequest, "bad_request", errors.New("missing q parameter"))
 		return
 	}
 	filterSpec := qs.Get("filter")
 	opts, stratName, err := parseStrategy(qs.Get("strategy"))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		s.error(w, r, http.StatusBadRequest, "bad_request", err)
 		return
 	}
 	limit := 20
 	if l := qs.Get("limit"); l != "" {
 		n, err := strconv.Atoi(l)
 		if err != nil || n < 1 {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("bad limit %q", l))
+			s.error(w, r, http.StatusBadRequest, "bad_request", fmt.Errorf("bad limit %q", l))
 			return
 		}
 		if n > maxSearchLimit {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("limit %d exceeds maximum %d", n, maxSearchLimit))
+			s.error(w, r, http.StatusBadRequest, "bad_request", fmt.Errorf("limit %d exceeds maximum %d", n, maxSearchLimit))
 			return
 		}
 		limit = n
 	}
-	resp := SearchResponse{Query: keywords, Filter: filterSpec, Strategy: stratName}
+	offset := 0
+	if o := qs.Get("offset"); o != "" {
+		n, err := strconv.Atoi(o)
+		if err != nil || n < 0 {
+			s.error(w, r, http.StatusBadRequest, "bad_request", fmt.Errorf("bad offset %q", o))
+			return
+		}
+		offset = n
+	}
+	ctx, cancel, err := s.queryDeadline(r)
+	if err != nil {
+		s.error(w, r, http.StatusBadRequest, "bad_request", err)
+		return
+	}
+	defer cancel()
+	if !s.admit(w, r) {
+		return
+	}
+	defer s.release()
+
+	resp := SearchResponse{Query: keywords, Filter: filterSpec, Strategy: stratName, Limit: limit, Offset: offset}
 	var (
 		hits []collection.Hit
 		errs map[string]error
 	)
 	if s.st != nil {
 		// Store-backed: deadline-aware scatter-gather with a global
-		// top-k merge — the request context carries any client
-		// disconnect or server timeout down to the per-shard searches.
-		res, err := s.st.Search(r.Context(), keywords, filterSpec, opts, limit)
+		// top-k merge — the context carries the client disconnect and
+		// the evaluation deadline down to the per-shard join loops.
+		res, err := s.st.Search(ctx, keywords, filterSpec, opts, offset+limit)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			s.error(w, r, http.StatusBadRequest, "bad_request", err)
 			return
 		}
 		hits, errs, resp.Total = res.Hits, res.Errors, res.Total
 	} else {
-		res, err := s.coll.Search(keywords, filterSpec, opts)
+		res, err := s.coll.SearchContext(ctx, keywords, filterSpec, opts)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			s.error(w, r, http.StatusBadRequest, "bad_request", err)
 			return
 		}
 		hits, errs, resp.Total = res.Hits, res.Errors, len(res.Hits)
+	}
+	if offset < len(hits) {
+		hits = hits[offset:]
+	} else {
+		hits = nil
 	}
 	for _, h := range hits {
 		if len(resp.Hits) == limit {
@@ -364,17 +583,17 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	qs := r.URL.Query()
 	keywords := qs.Get("q")
 	if keywords == "" {
-		writeError(w, http.StatusBadRequest, errors.New("missing q parameter"))
+		s.error(w, r, http.StatusBadRequest, "bad_request", errors.New("missing q parameter"))
 		return
 	}
 	q, err := query.Parse(keywords, qs.Get("filter"))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		s.error(w, r, http.StatusBadRequest, "bad_request", err)
 		return
 	}
 	_, stratName, err := parseStrategy(qs.Get("strategy"))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		s.error(w, r, http.StatusBadRequest, "bad_request", err)
 		return
 	}
 	strat := cost.PushDown
@@ -395,28 +614,40 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	if qs.Get("trace") == "1" {
 		// Run the query for real with span recording: the plan above is
 		// the static picture, the trace is what actually executed (per
-		// document), with cardinalities and durations.
+		// document), with cardinalities and durations. The real run
+		// counts against the admission semaphore and the evaluation
+		// deadline like any search.
 		opts, _, err := parseStrategy(qs.Get("strategy"))
 		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			s.error(w, r, http.StatusBadRequest, "bad_request", err)
 			return
 		}
 		opts.Trace = true
+		ctx, cancel, err := s.queryDeadline(r)
+		if err != nil {
+			s.error(w, r, http.StatusBadRequest, "bad_request", err)
+			return
+		}
+		defer cancel()
+		if !s.admit(w, r) {
+			return
+		}
+		defer s.release()
 		var (
 			spanByDoc map[string]*obs.Span
 			statByDoc map[string]query.Stats
 		)
 		if s.st != nil {
-			res, err := s.st.Run(r.Context(), q, opts, 0)
+			res, err := s.st.Run(ctx, q, opts, 0)
 			if err != nil {
-				writeError(w, http.StatusBadRequest, err)
+				s.error(w, r, http.StatusBadRequest, "bad_request", err)
 				return
 			}
 			spanByDoc, statByDoc = res.Traces, res.PerDocument
 		} else {
-			res, err := s.coll.Run(q, opts)
+			res, err := s.coll.RunContext(ctx, q, opts)
 			if err != nil {
-				writeError(w, http.StatusBadRequest, err)
+				s.error(w, r, http.StatusBadRequest, "bad_request", err)
 				return
 			}
 			spanByDoc, statByDoc = res.Traces, res.PerDocument
@@ -487,7 +718,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		"postings":  st.Postings,
 		// process_joins is the process-wide join aggregate (every
 		// evaluation in this process, all collections); per-query counts
-		// live in query.Stats.Ops and /api/metrics.
+		// live in query.Stats.Ops and /api/v1/metrics.
 		"process_joins": core.JoinCount(),
 	})
 }
@@ -515,6 +746,37 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
+// ErrorEnvelope is the uniform v1 error body.
+type ErrorEnvelope struct {
+	Error ErrorBody `json:"error"`
+}
+
+// ErrorBody carries a machine-readable code, a human-readable message
+// and the request ID for log correlation.
+type ErrorBody struct {
+	Code      string `json:"code"`
+	Message   string `json:"message"`
+	RequestID string `json:"request_id"`
+}
+
+// error writes an error response in the flavor the request arrived
+// under: the v1 envelope {"error":{"code","message","request_id"}}
+// for /api/v1, the legacy flat {"error": "message"} for the
+// deprecated aliases.
+func (s *Server) error(w http.ResponseWriter, r *http.Request, status int, code string, err error) {
+	if isV1(r) {
+		writeJSON(w, status, ErrorEnvelope{Error: ErrorBody{
+			Code:      code,
+			Message:   err.Error(),
+			RequestID: w.Header().Get(RequestIDHeader),
+		}})
+		return
+	}
+	writeError(w, status, err)
+}
+
+// writeError writes the legacy flat error shape; the panic-recovery
+// middleware also uses it (a panic has no route flavor).
 func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }

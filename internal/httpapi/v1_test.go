@@ -1,0 +1,297 @@
+package httpapi
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/collection"
+	"repro/internal/docgen"
+	"repro/internal/obs"
+	"repro/internal/store"
+)
+
+// TestV1ErrorEnvelope checks the two error shapes: /api/v1 responds
+// with {"error":{"code","message","request_id"}}, the deprecated
+// /api alias keeps the original flat {"error":"message"} that existing
+// clients parse.
+func TestV1ErrorEnvelope(t *testing.T) {
+	s := testServer(t)
+
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/api/v1/search", nil))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("code = %d", rec.Code)
+	}
+	var env ErrorEnvelope
+	if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil {
+		t.Fatalf("bad envelope: %v\n%s", err, rec.Body.String())
+	}
+	if env.Error.Code != "bad_request" {
+		t.Fatalf("code = %q", env.Error.Code)
+	}
+	if !strings.Contains(env.Error.Message, "missing q") {
+		t.Fatalf("message = %q", env.Error.Message)
+	}
+	if env.Error.RequestID == "" || env.Error.RequestID != rec.Header().Get(RequestIDHeader) {
+		t.Fatalf("request_id %q does not match header %q", env.Error.RequestID, rec.Header().Get(RequestIDHeader))
+	}
+
+	rec, body := get(t, s, "/api/search")
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("legacy code = %d", rec.Code)
+	}
+	if _, ok := body["error"].(string); !ok {
+		t.Fatalf("legacy error must stay a flat string: %s", rec.Body)
+	}
+}
+
+// TestV1DeprecationAliases checks every legacy route answers
+// identically to its v1 twin but flags itself deprecated with a
+// successor-version link.
+func TestV1DeprecationAliases(t *testing.T) {
+	s := testServer(t)
+	for _, path := range []string{"/docs", "/search?q=xquery", "/stats", "/metrics"} {
+		legacy, _ := get(t, s, "/api"+path)
+		v1, _ := get(t, s, "/api/v1"+path)
+		if legacy.Code != v1.Code {
+			t.Fatalf("%s: legacy %d != v1 %d", path, legacy.Code, v1.Code)
+		}
+		if legacy.Header().Get("Deprecation") != "true" {
+			t.Fatalf("%s: legacy route missing Deprecation header", path)
+		}
+		link := legacy.Header().Get("Link")
+		if !strings.Contains(link, "/api/v1") || !strings.Contains(link, "successor-version") {
+			t.Fatalf("%s: bad Link header %q", path, link)
+		}
+		if v1.Header().Get("Deprecation") != "" {
+			t.Fatalf("%s: v1 route must not be deprecated", path)
+		}
+	}
+}
+
+// TestV1SearchPagination pages through the figure 1 running example
+// (4 hits) and checks limit/offset windowing against the full list.
+func TestV1SearchPagination(t *testing.T) {
+	s := testServer(t)
+	const q = "/api/v1/search?q=xquery+optimization&filter=size<=3"
+
+	full := searchResp(t, s, q)
+	if full.Total != 4 || full.Returned != 4 {
+		t.Fatalf("full: total=%d returned=%d", full.Total, full.Returned)
+	}
+
+	var paged []SearchHit
+	for offset := 0; offset < full.Total; offset += 2 {
+		p := searchResp(t, s, q+"&limit=2&offset="+strconv.Itoa(offset))
+		if p.Total != 4 || p.Limit != 2 || p.Offset != offset {
+			t.Fatalf("page@%d: total=%d limit=%d offset=%d", offset, p.Total, p.Limit, p.Offset)
+		}
+		if p.Returned != 2 {
+			t.Fatalf("page@%d: returned=%d", offset, p.Returned)
+		}
+		paged = append(paged, p.Hits...)
+	}
+	if len(paged) != len(full.Hits) {
+		t.Fatalf("pages concatenate to %d hits, full list has %d", len(paged), len(full.Hits))
+	}
+	for i := range paged {
+		if paged[i].Root != full.Hits[i].Root || paged[i].Score != full.Hits[i].Score {
+			t.Fatalf("hit %d differs between paged and full listing", i)
+		}
+	}
+
+	past := searchResp(t, s, q+"&offset=100")
+	if past.Returned != 0 || past.Total != 4 {
+		t.Fatalf("past-the-end: returned=%d total=%d", past.Returned, past.Total)
+	}
+
+	for _, bad := range []string{"&offset=-1", "&offset=x", "&limit=0", "&limit=99999"} {
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, q+bad, nil))
+		if rec.Code != http.StatusBadRequest {
+			t.Fatalf("%s: code = %d", bad, rec.Code)
+		}
+	}
+}
+
+func searchResp(t *testing.T, s *Server, path string) SearchResponse {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("%s: code = %d body %s", path, rec.Code, rec.Body)
+	}
+	var resp SearchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestV1SearchTimeoutParam checks the ?timeout= contract: a malformed
+// value is a 400, a microscopic one degrades to 200 with the
+// documents that missed the deadline reported per-document, and the
+// server cap bounds the client value.
+func TestV1SearchTimeoutParam(t *testing.T) {
+	coll := collection.New()
+	if err := coll.Add(docgen.FigureOne()); err != nil {
+		t.Fatal(err)
+	}
+	s := NewWithConfig(coll, Config{QueryTimeout: time.Second, MaxTimeout: time.Second})
+
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/api/v1/search?q=xquery&timeout=banana", nil))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad timeout: code = %d", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/api/v1/search?q=xquery&timeout=-5s", nil))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("negative timeout: code = %d", rec.Code)
+	}
+
+	resp := searchResp(t, s, "/api/v1/search?q=xquery+optimization&filter=size<=3&timeout=1ns")
+	if len(resp.Errors) != 1 {
+		t.Fatalf("1ns timeout: want 1 per-document error, got %v", resp.Errors)
+	}
+	for _, msg := range resp.Errors {
+		if !strings.Contains(msg, "deadline") {
+			t.Fatalf("error %q does not mention the deadline", msg)
+		}
+	}
+
+	// A client asking for an hour is capped at MaxTimeout; the request
+	// still answers normally well inside the capped second.
+	resp = searchResp(t, s, "/api/v1/search?q=xquery+optimization&filter=size<=3&timeout=1h")
+	if resp.Total != 4 || len(resp.Errors) != 0 {
+		t.Fatalf("capped timeout: total=%d errors=%v", resp.Total, resp.Errors)
+	}
+}
+
+// TestOverloadSheds503 fills the admission controller and checks the
+// server sheds with 503 + Retry-After while admitted work completes
+// untouched — the overload contract of the v1 surface. (Slots are
+// taken directly on the semaphore so the test is deterministic: no
+// goroutine timing, no real slow queries.)
+func TestOverloadSheds503(t *testing.T) {
+	coll := collection.New()
+	if err := coll.Add(docgen.FigureOne()); err != nil {
+		t.Fatal(err)
+	}
+	s := NewWithConfig(coll, Config{
+		MaxConcurrent: 2,
+		MaxQueue:      1,
+		QueueWait:     20 * time.Millisecond,
+	})
+
+	// Occupy every evaluation slot, as two long-running queries would.
+	for i := 0; i < 2; i++ {
+		if err := s.adm.acquire(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The next request queues, waits QueueWait, then sheds.
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/api/v1/search?q=xquery", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("code = %d body %s", rec.Code, rec.Body)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("missing Retry-After")
+	}
+	var env ErrorEnvelope
+	if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Error.Code != "overloaded" {
+		t.Fatalf("error code = %q", env.Error.Code)
+	}
+	if n := s.coll.Metrics().Counter(obs.MQueriesShed).Value(); n != 1 {
+		t.Fatalf("shed counter = %d", n)
+	}
+
+	// Release the slots — the in-flight queries finishing — and the
+	// same request is admitted and served.
+	s.adm.release()
+	s.adm.release()
+	resp := searchResp(t, s, "/api/v1/search?q=xquery+optimization&filter=size<=3")
+	if resp.Total != 4 {
+		t.Fatalf("post-overload search: total = %d", resp.Total)
+	}
+
+	// Explain's trace run sits behind the same controller.
+	if err := s.adm.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.adm.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/api/v1/explain?q=xquery&trace=1", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("explain under overload: code = %d", rec.Code)
+	}
+	s.adm.release()
+	s.adm.release()
+}
+
+// TestOverloadQueueAdmits checks the other half of the contract: a
+// queued request that gets a slot within QueueWait is served, not
+// shed.
+func TestOverloadQueueAdmits(t *testing.T) {
+	coll := collection.New()
+	if err := coll.Add(docgen.FigureOne()); err != nil {
+		t.Fatal(err)
+	}
+	s := NewWithConfig(coll, Config{
+		MaxConcurrent: 1,
+		MaxQueue:      1,
+		QueueWait:     2 * time.Second,
+	})
+	if err := s.adm.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		s.adm.release()
+	}()
+	resp := searchResp(t, s, "/api/v1/search?q=xquery+optimization&filter=size<=3")
+	if resp.Total != 4 {
+		t.Fatalf("queued request: total = %d", resp.Total)
+	}
+}
+
+// TestReadyzCollection checks a collection-backed server is always
+// ready: no WAL, no queue, nothing to wait for.
+func TestReadyzCollection(t *testing.T) {
+	rec, body := get(t, testServer(t), "/readyz")
+	if rec.Code != http.StatusOK || body["ready"] != true {
+		t.Fatalf("readyz = %d %v", rec.Code, body)
+	}
+}
+
+// TestReadyzStore checks the store-backed report: the full readiness
+// document (replay counters, queue saturation) with 200 once serving.
+func TestReadyzStore(t *testing.T) {
+	s, _ := storeServer(t, store.Options{Shards: 2, QueueSize: 8})
+	if w := postDoc(t, s, "/api/v1/docs", "r.xml", "<doc><par>ready</par></doc>"); w.Code != http.StatusCreated {
+		t.Fatalf("add: %d", w.Code)
+	}
+	rec, body := get(t, s, "/readyz")
+	if rec.Code != http.StatusOK || body["ready"] != true {
+		t.Fatalf("readyz = %d %v", rec.Code, body)
+	}
+	if body["documents"].(float64) != 1 || body["ingest_queue_capacity"].(float64) != 8 {
+		t.Fatalf("readiness document incomplete: %v", body)
+	}
+	if _, present := body["replaying"]; !present {
+		t.Fatalf("readiness must report replay state: %v", body)
+	}
+}

@@ -16,6 +16,9 @@ import (
 const (
 	MQueries              = "queries_total"
 	MQueryErrors          = "query_errors_total"
+	MQueryTimeouts        = "query_timeouts_total"
+	MQueriesShed          = "queries_shed_total"
+	MInflightQueries      = "inflight_queries"
 	MJoins                = "joins_total"
 	MPairwiseJoins        = "pairwise_joins_total"
 	MPowersetExpansions   = "powerset_expansions_total"

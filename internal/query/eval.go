@@ -1,6 +1,8 @@
 package query
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"time"
@@ -97,10 +99,13 @@ type Result struct {
 	Trace *obs.Span
 }
 
-// EvalContext threads the per-evaluation observability state — the
-// operator counters and the (possibly nil) trace span — through the
-// strategy implementations.
+// EvalContext threads the per-evaluation state — the cancellation
+// context, the operator counters and the (possibly nil) trace span —
+// through the strategy implementations.
 type EvalContext struct {
+	// Ctx carries the evaluation deadline/cancellation; always non-nil
+	// inside EvaluateContext.
+	Ctx context.Context
 	// Counters receives every operator count of this evaluation;
 	// always non-nil inside Evaluate.
 	Counters *obs.EvalCounters
@@ -117,22 +122,66 @@ type seedRef struct {
 	term string
 }
 
+// Canceled reports an evaluation stopped by its context — the error
+// unwraps to context.Canceled or context.DeadlineExceeded — together
+// with the partial statistics of the work performed before the stop,
+// so callers (and /api/metrics) can attribute the joins a timed-out
+// query still executed.
+type Canceled struct {
+	// Stats counts the work done up to the stop. Answers is always 0
+	// (no answer set was produced); operator counters, seed sizes and
+	// Elapsed are real.
+	Stats Stats
+	err   error
+}
+
+// Error describes the stop and the work performed.
+func (e *Canceled) Error() string {
+	return fmt.Sprintf("query: evaluation stopped after %s and %d joins: %v", e.Stats.Elapsed, e.Stats.Ops.Joins, e.err)
+}
+
+// Unwrap exposes the underlying context error for errors.Is.
+func (e *Canceled) Unwrap() error { return e.err }
+
+// IsCanceled reports whether err is an evaluation stop caused by
+// context cancellation or deadline expiry, returning the partial
+// statistics when it is.
+func IsCanceled(err error) (*Canceled, bool) {
+	var c *Canceled
+	if errors.As(err, &c) {
+		return c, true
+	}
+	return nil, false
+}
+
 // Evaluate answers q against the indexed document. All strategies
 // produce identical answer sets; they differ in the work performed.
 // Statistics are counted per evaluation (Stats.Ops), so concurrent
 // evaluations are independent; only the process-wide aggregate
-// obs.Process advances globally.
+// obs.Process advances globally. Evaluate never stops early: it is
+// EvaluateContext with a background context.
 func Evaluate(x *index.Index, q Query, opts Options) (Result, error) {
+	return EvaluateContext(context.Background(), x, q, opts)
+}
+
+// EvaluateContext is Evaluate with cooperative cancellation: the
+// fixed-point, pairwise-join and powerset-join inner loops poll ctx
+// amortized (every few hundred fragment joins), so a cancelled or
+// deadline-expired query stops promptly — including its push-down
+// stripe workers — instead of running until the fragment budget
+// trips. A stopped evaluation returns a *Canceled error wrapping
+// ctx.Err() and carrying the partial Stats of the work done.
+func EvaluateContext(ctx context.Context, x *index.Index, q Query, opts Options) (Result, error) {
 	if len(q.Terms) == 0 {
 		return Result{}, fmt.Errorf("query: empty query")
 	}
 	start := time.Now()
-	ctx := &EvalContext{Counters: opts.Counters}
-	if ctx.Counters == nil {
-		ctx.Counters = new(obs.EvalCounters)
+	ec := &EvalContext{Ctx: ctx, Counters: opts.Counters}
+	if ec.Counters == nil {
+		ec.Counters = new(obs.EvalCounters)
 	}
 	if opts.Trace {
-		ctx.Span = obs.StartSpan("evaluate", "")
+		ec.Span = obs.StartSpan("evaluate", "")
 	}
 
 	doc := x.Document()
@@ -149,18 +198,32 @@ func Evaluate(x *index.Index, q Query, opts Options) (Result, error) {
 	stats := Stats{SeedSizes: make([]int, len(groups))}
 	finish := func(answers *core.Set) Result {
 		stats.Answers = answers.Len()
-		stats.Ops = ctx.Counters.Snapshot()
+		stats.Ops = ec.Counters.Snapshot()
 		stats.Joins = stats.Ops.Joins
 		stats.Elapsed = time.Since(start)
-		ctx.Span.Finish(answers.Len())
-		return Result{Answers: answers, Stats: stats, Trace: ctx.Span}
+		ec.Span.Finish(answers.Len())
+		return Result{Answers: answers, Stats: stats, Trace: ec.Span}
+	}
+	// canceled packages a context stop as a *Canceled error with the
+	// statistics of the work performed so far.
+	canceled := func(err error) error {
+		stats.Ops = ec.Counters.Snapshot()
+		stats.Joins = stats.Ops.Joins
+		stats.Elapsed = time.Since(start)
+		return &Canceled{Stats: stats, err: err}
+	}
+	// Fail fast on an already-expired context before touching the
+	// index: the acceptance bar for pathological inputs is prompt
+	// rejection, not one seed scan per term first.
+	if err := ctx.Err(); err != nil {
+		return Result{}, canceled(err)
 	}
 	for i, alts := range groups {
 		label := ""
 		if i < len(terms) {
 			label = terms[i]
 		}
-		sp := ctx.Span.Start("seed", label)
+		sp := ec.Span.Start("seed", label)
 		seeds[i] = seedRef{set: core.NodeFragments(doc, seedNodes(x, alts)), term: label}
 		stats.SeedSizes[i] = seeds[i].set.Len()
 		sp.Finish(seeds[i].set.Len())
@@ -188,7 +251,7 @@ func Evaluate(x *index.Index, q Query, opts Options) (Result, error) {
 		strategy = ch.Choose(seedSets(seeds), q.HasPushableFilter())
 	}
 	stats.Strategy = strategy
-	ctx.Span.SetDetail(strategy.String())
+	ec.Span.SetDetail(strategy.String())
 
 	var (
 		answers *core.Set
@@ -197,21 +260,24 @@ func Evaluate(x *index.Index, q Query, opts Options) (Result, error) {
 	budget := opts.maxFragments()
 	switch strategy {
 	case cost.BruteForce:
-		answers, err = evalBruteForce(ctx, ordered, q, &stats, budget)
+		answers, err = evalBruteForce(ec, ordered, q, &stats, budget)
 	case cost.Naive:
-		answers, err = evalFixedPoints(ctx, ordered, q, &stats, budget, core.FixedPointNaiveBoundedCounted)
+		answers, err = evalFixedPoints(ec, ordered, q, &stats, budget, core.FixedPointNaiveBoundedCtx)
 	case cost.SetReduction:
-		answers, err = evalFixedPoints(ctx, ordered, q, &stats, budget, core.FixedPointBoundedCounted)
+		answers, err = evalFixedPoints(ec, ordered, q, &stats, budget, core.FixedPointBoundedCtx)
 	case cost.PushDown:
 		workers := opts.Workers
 		if workers < 0 {
 			workers = core.ResolveWorkers(workers)
 		}
-		answers, err = evalPushDown(ctx, ordered, q, &stats, budget, workers)
+		answers, err = evalPushDown(ec, ordered, q, &stats, budget, workers)
 	default:
 		err = fmt.Errorf("query: unknown strategy %v", strategy)
 	}
 	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return Result{}, canceled(err)
+		}
 		return Result{}, err
 	}
 	return finish(answers), nil
@@ -281,8 +347,11 @@ func evalBruteForce(ctx *EvalContext, seeds []seedRef, q Query, stats *Stats, bu
 		return nil, budgetError(total, budget)
 	}
 	sp := ctx.Span.Start("powerset-join", "")
-	rows, err := core.MultiPowersetJoinTraceCounted(ctx.Counters, seedSets(seeds), nil)
+	rows, err := core.MultiPowersetJoinTraceCtx(ctx.Ctx, ctx.Counters, seedSets(seeds), nil)
 	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return nil, err
+		}
 		return nil, fmt.Errorf("query: brute force infeasible: %w (choose another strategy)", err)
 	}
 	stats.Candidates = len(rows)
@@ -301,9 +370,9 @@ func budgetError(seeds, budget int) error {
 // evalFixedPoints is Sections 3.1/4.2: per-term fixed points (naive or
 // Theorem 1-budgeted, per fp), pairwise-joined left to right, with the
 // whole selection applied last.
-func evalFixedPoints(ctx *EvalContext, seeds []seedRef, q Query, stats *Stats, budget int, fp func(*obs.EvalCounters, *core.Set, int) (*core.Set, error)) (*core.Set, error) {
+func evalFixedPoints(ctx *EvalContext, seeds []seedRef, q Query, stats *Stats, budget int, fp func(context.Context, *obs.EvalCounters, *core.Set, int) (*core.Set, error)) (*core.Set, error) {
 	sp := ctx.Span.Start("fixed-point", seeds[0].term)
-	acc, err := fp(ctx.Counters, seeds[0].set, budget)
+	acc, err := fp(ctx.Ctx, ctx.Counters, seeds[0].set, budget)
 	if err != nil {
 		return nil, err
 	}
@@ -311,7 +380,7 @@ func evalFixedPoints(ctx *EvalContext, seeds []seedRef, q Query, stats *Stats, b
 	stats.FixedPointSizes = append(stats.FixedPointSizes, acc.Len())
 	for _, s := range seeds[1:] {
 		spFP := ctx.Span.Start("fixed-point", s.term)
-		next, err := fp(ctx.Counters, s.set, budget)
+		next, err := fp(ctx.Ctx, ctx.Counters, s.set, budget)
 		if err != nil {
 			return nil, err
 		}
@@ -319,7 +388,7 @@ func evalFixedPoints(ctx *EvalContext, seeds []seedRef, q Query, stats *Stats, b
 		stats.FixedPointSizes = append(stats.FixedPointSizes, next.Len())
 		spJ := ctx.Span.Start("pairwise-join", "")
 		inL, inR := acc.Len(), next.Len()
-		if acc, err = core.PairwiseJoinBoundedCounted(ctx.Counters, acc, next, budget); err != nil {
+		if acc, err = core.PairwiseJoinBoundedCtx(ctx.Ctx, ctx.Counters, acc, next, budget); err != nil {
 			return nil, err
 		}
 		spJ.Finish(acc.Len(), inL, inR)
@@ -338,7 +407,7 @@ func evalPushDown(ctx *EvalContext, seeds []seedRef, q Query, stats *Stats, budg
 	pushable := q.Pushable()
 	push := pushable.Apply
 	sp := ctx.Span.Start("filtered-fixed-point", spanFilterDetail(seeds[0].term, pushable.Name))
-	acc, err := core.FilteredFixedPointParallelCounted(ctx.Counters, seeds[0].set, push, workers, budget)
+	acc, err := core.FilteredFixedPointParallelCtx(ctx.Ctx, ctx.Counters, seeds[0].set, push, workers, budget)
 	if err != nil {
 		return nil, err
 	}
@@ -346,7 +415,7 @@ func evalPushDown(ctx *EvalContext, seeds []seedRef, q Query, stats *Stats, budg
 	stats.FixedPointSizes = append(stats.FixedPointSizes, acc.Len())
 	for _, s := range seeds[1:] {
 		spFP := ctx.Span.Start("filtered-fixed-point", spanFilterDetail(s.term, pushable.Name))
-		next, err := core.FilteredFixedPointParallelCounted(ctx.Counters, s.set, push, workers, budget)
+		next, err := core.FilteredFixedPointParallelCtx(ctx.Ctx, ctx.Counters, s.set, push, workers, budget)
 		if err != nil {
 			return nil, err
 		}
@@ -354,7 +423,7 @@ func evalPushDown(ctx *EvalContext, seeds []seedRef, q Query, stats *Stats, budg
 		stats.FixedPointSizes = append(stats.FixedPointSizes, next.Len())
 		spJ := ctx.Span.Start("filtered-pairwise-join", pushable.Name)
 		inL, inR := acc.Len(), next.Len()
-		if acc, err = core.PairwiseJoinFilteredParallelCounted(ctx.Counters, acc, next, push, workers, budget); err != nil {
+		if acc, err = core.PairwiseJoinFilteredParallelCtx(ctx.Ctx, ctx.Counters, acc, next, push, workers, budget); err != nil {
 			return nil, err
 		}
 		spJ.Finish(acc.Len(), inL, inR)

@@ -145,6 +145,9 @@ func (s *Store) Enqueue(name, xml string) (string, error) {
 	if name == "" || xml == "" {
 		return "", errors.New("store: enqueue needs a name and a body")
 	}
+	if s.replaying.Load() {
+		return "", ErrReplaying
+	}
 	s.closeMu.Lock()
 	defer s.closeMu.Unlock()
 	if s.closed {

@@ -66,6 +66,13 @@ type Options struct {
 	// SearchWorkers bounds the total per-document evaluation
 	// concurrency of a search across all shards (default GOMAXPROCS).
 	SearchWorkers int
+	// BackgroundReplay recovers the snapshot and WAL in a background
+	// goroutine: Open returns immediately, Readiness reports
+	// Replaying until recovery finishes, and mutations are rejected
+	// with ErrReplaying in the interim. Searches serve whatever is
+	// already loaded — a load balancer watching /readyz keeps traffic
+	// away from the node until replay completes.
+	BackgroundReplay bool
 }
 
 func (o *Options) setDefaults() {
@@ -89,6 +96,12 @@ func (o *Options) setDefaults() {
 // ErrClosed is returned by mutations on a closed store.
 var ErrClosed = errors.New("store: closed")
 
+// ErrReplaying is returned by mutations while a background WAL replay
+// (Options.BackgroundReplay) is still running: accepting a write
+// before the log has been re-read could silently conflict with a
+// logged-but-not-yet-replayed record of the same name.
+var ErrReplaying = errors.New("store: WAL replay in progress; retry when ready")
+
 // Store is a durable sharded document store. All methods are safe for
 // concurrent use.
 type Store struct {
@@ -110,6 +123,14 @@ type Store struct {
 	queue      chan *job
 	workers    sync.WaitGroup
 	compacting atomic.Bool
+
+	// replaying is true while a background recovery (snapshot load +
+	// WAL replay) runs; mutations are rejected for the duration.
+	// replayErr records a failed background recovery — the store then
+	// never becomes ready.
+	replaying atomic.Bool
+	replayMu  sync.Mutex
+	replayErr error
 
 	closeMu sync.Mutex
 	closed  bool
@@ -137,7 +158,21 @@ func Open(opts Options) (*Store, error) {
 		s.shards[i].SetSearchWorkers(perShard)
 	}
 	if opts.Dir != "" {
-		if err := s.recover(); err != nil {
+		if opts.BackgroundReplay {
+			s.replaying.Store(true)
+			go func() {
+				err := s.recover()
+				if err != nil {
+					s.replayMu.Lock()
+					s.replayErr = err
+					s.replayMu.Unlock()
+				}
+				s.metrics.Gauge(obs.MStoreDocuments).Set(int64(s.Len()))
+				// The Store(false) publishes every recovery write
+				// (including s.wal) to mutators that observe it.
+				s.replaying.Store(false)
+			}()
+		} else if err := s.recover(); err != nil {
 			return nil, err
 		}
 	}
@@ -183,7 +218,11 @@ func (s *Store) recover() error {
 	if err != nil {
 		return err
 	}
+	// Assign under walMu so a Close racing a background replay never
+	// reads a half-published handle.
+	s.walMu.Lock()
 	s.wal = w
+	s.walMu.Unlock()
 	s.metrics.Counter(obs.MWALReplayed).Add(uint64(replayed))
 	s.metrics.Counter(obs.MWALCorruptSkipped).Add(uint64(corrupt))
 	s.metrics.Gauge(obs.MWALBytes).Set(w.size)
@@ -248,6 +287,9 @@ func (s *Store) Add(doc *xmltree.Document) error {
 	if s.isClosed() {
 		return ErrClosed
 	}
+	if s.replaying.Load() {
+		return ErrReplaying
+	}
 	return s.addParsed(doc.Name(), doc.XMLString(), doc)
 }
 
@@ -255,6 +297,9 @@ func (s *Store) Add(doc *xmltree.Document) error {
 func (s *Store) AddXML(name, xml string) error {
 	if s.isClosed() {
 		return ErrClosed
+	}
+	if s.replaying.Load() {
+		return ErrReplaying
 	}
 	doc, err := xmltree.ParseString(name, xml)
 	if err != nil {
@@ -287,7 +332,7 @@ func (s *Store) addParsed(name, xml string, doc *xmltree.Document) error {
 
 // Remove drops the named document, logging the removal when present.
 func (s *Store) Remove(name string) bool {
-	if s.isClosed() {
+	if s.isClosed() || s.replaying.Load() {
 		return false
 	}
 	s.ingestMu.RLock()
@@ -342,6 +387,9 @@ func (s *Store) logRecord(rec walRecord) error {
 // otherwise race their log records against the truncation). Safe to
 // call at any time; without a data dir it is a no-op.
 func (s *Store) Compact() error {
+	if s.replaying.Load() {
+		return ErrReplaying
+	}
 	if s.wal == nil {
 		return nil
 	}
@@ -414,6 +462,48 @@ func (s *Store) DocFreq(term string) int {
 		n += sh.DocFreq(term)
 	}
 	return n
+}
+
+// Readiness is the load-balancer-facing state of the store: whether
+// it should receive traffic, and why not when it shouldn't. It backs
+// the HTTP layer's GET /readyz.
+type Readiness struct {
+	// Ready is false while the WAL is replaying, after a failed
+	// background replay, and while the ingest queue is saturated.
+	Ready bool `json:"ready"`
+	// Replaying reports a background recovery still in progress.
+	Replaying bool `json:"replaying"`
+	// ReplayError is the terminal error of a failed background
+	// recovery (the store stays not-ready).
+	ReplayError string `json:"replay_error,omitempty"`
+	// ReplayedRecords / CorruptSkipped are the WAL replay counters.
+	ReplayedRecords uint64 `json:"wal_replayed"`
+	CorruptSkipped  uint64 `json:"wal_corrupt_skipped"`
+	// QueueDepth / QueueCapacity describe ingest saturation; a full
+	// queue marks the node not ready so new traffic lands elsewhere.
+	QueueDepth    int `json:"ingest_queue_depth"`
+	QueueCapacity int `json:"ingest_queue_capacity"`
+	// Documents is the number of indexed documents so far.
+	Documents int `json:"documents"`
+}
+
+// Readiness reports whether the store can usefully serve traffic.
+func (s *Store) Readiness() Readiness {
+	r := Readiness{
+		Replaying:       s.replaying.Load(),
+		ReplayedRecords: s.metrics.Counter(obs.MWALReplayed).Value(),
+		CorruptSkipped:  s.metrics.Counter(obs.MWALCorruptSkipped).Value(),
+		QueueDepth:      len(s.queue),
+		QueueCapacity:   cap(s.queue),
+		Documents:       s.Len(),
+	}
+	s.replayMu.Lock()
+	if s.replayErr != nil {
+		r.ReplayError = s.replayErr.Error()
+	}
+	s.replayMu.Unlock()
+	r.Ready = !r.Replaying && r.ReplayError == "" && r.QueueDepth < r.QueueCapacity
+	return r
 }
 
 func (s *Store) isClosed() bool {

@@ -30,7 +30,9 @@
 package xfrag
 
 import (
+	"context"
 	"net/http"
+	"time"
 
 	"repro/internal/collection"
 	"repro/internal/core"
@@ -185,9 +187,135 @@ func NewRanker(e *Engine, terms []string, w RankWeights) *Ranker {
 // DefaultRankWeights returns the standard scoring weights.
 func DefaultRankWeights() RankWeights { return ranking.DefaultWeights() }
 
+// Canceled reports an evaluation stopped by context cancellation or
+// deadline expiry; it carries the Stats of the work done before the
+// stop and unwraps to context.Canceled / context.DeadlineExceeded, so
+// errors.Is(err, context.DeadlineExceeded) works on facade errors.
+type Canceled = query.Canceled
+
+// IsCanceled unwraps err to its *Canceled, if any — the way to get at
+// the partial Stats of a timed-out evaluation.
+func IsCanceled(err error) (*Canceled, bool) { return query.IsCanceled(err) }
+
+// QueryOption configures one evaluation made through the context-first
+// facade entry points QueryContext and RunContext. The zero
+// configuration picks the strategy automatically (Options.Auto), the
+// paper's cost-based choice.
+type QueryOption func(*queryConfig)
+
+type queryConfig struct {
+	opts    query.Options
+	timeout time.Duration
+}
+
+func newQueryConfig(options []QueryOption) queryConfig {
+	cfg := queryConfig{opts: query.Options{Auto: true}}
+	for _, o := range options {
+		o(&cfg)
+	}
+	return cfg
+}
+
+// WithStrategy forces one evaluation strategy instead of the default
+// cost-based automatic choice.
+func WithStrategy(s Strategy) QueryOption {
+	return func(c *queryConfig) {
+		c.opts.Strategy = s
+		c.opts.Auto = false
+	}
+}
+
+// WithWorkers parallelizes the push-down strategy's joins across n
+// goroutines (n < 0 means GOMAXPROCS; 0 or 1 is sequential).
+func WithWorkers(n int) QueryOption {
+	return func(c *queryConfig) { c.opts.Workers = n }
+}
+
+// WithTrace records a per-operator span tree into the result.
+func WithTrace() QueryOption {
+	return func(c *queryConfig) { c.opts.Trace = true }
+}
+
+// WithMaxFragments caps how many fragments any intermediate set may
+// hold before evaluation aborts (the powerset join is worst-case
+// exponential).
+func WithMaxFragments(n int) QueryOption {
+	return func(c *queryConfig) { c.opts.MaxFragments = n }
+}
+
+// WithTimeout bounds the evaluation's wall-clock time even when the
+// caller's context carries no deadline; when both exist the earlier
+// deadline wins. An expired evaluation returns an error satisfying
+// errors.Is(err, context.DeadlineExceeded); see IsCanceled for the
+// partial statistics.
+func WithTimeout(d time.Duration) QueryOption {
+	return func(c *queryConfig) { c.timeout = d }
+}
+
+// WithOptions replaces the entire options struct, for callers that
+// already hold a query.Options.
+func WithOptions(opts Options) QueryOption {
+	return func(c *queryConfig) { c.opts = opts }
+}
+
+// QueryContext parses and evaluates a keyword/filter query on e under
+// ctx: cancellation and deadlines reach the innermost join loops, so
+// even a worst-case exponential evaluation stops promptly.
+//
+//	ans, err := xfrag.QueryContext(ctx, eng, "xquery optimization", "size<=3",
+//		xfrag.WithTimeout(200*time.Millisecond))
+func QueryContext(ctx context.Context, e *Engine, keywords, filterSpec string, options ...QueryOption) (*Answer, error) {
+	cfg := newQueryConfig(options)
+	if cfg.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.timeout)
+		defer cancel()
+	}
+	return e.QueryContext(ctx, keywords, filterSpec, cfg.opts)
+}
+
+// RunContext evaluates a prebuilt query on e under ctx; see
+// QueryContext for the cancellation semantics.
+func RunContext(ctx context.Context, e *Engine, q Query, options ...QueryOption) (*Answer, error) {
+	cfg := newQueryConfig(options)
+	if cfg.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.timeout)
+		defer cancel()
+	}
+	return e.RunContext(ctx, q, cfg.opts)
+}
+
+// SearchContext evaluates a keyword/filter query across a collection
+// under ctx. Documents finished before a deadline expires keep their
+// hits; unfinished ones land in CollectionResult.Errors, so a timed
+// out search degrades to partial results.
+func SearchContext(ctx context.Context, c *Collection, keywords, filterSpec string, options ...QueryOption) (*CollectionResult, error) {
+	cfg := newQueryConfig(options)
+	if cfg.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.timeout)
+		defer cancel()
+	}
+	return c.SearchContext(ctx, keywords, filterSpec, cfg.opts)
+}
+
+// HTTPConfig tunes the HTTP server's robustness knobs: per-request
+// evaluation deadlines and the admission controller that sheds
+// overload with 503 + Retry-After.
+type HTTPConfig = httpapi.Config
+
 // NewHTTPHandler returns an http.Handler serving the collection as a
-// JSON search API (see internal/httpapi for endpoints).
+// JSON search API (see internal/httpapi for endpoints). Build against
+// the versioned /api/v1 routes; the un-versioned /api aliases are
+// deprecated.
 func NewHTTPHandler(c *Collection) http.Handler { return httpapi.New(c) }
+
+// NewHTTPHandlerWithConfig is NewHTTPHandler with explicit deadline
+// and admission-control settings.
+func NewHTTPHandlerWithConfig(c *Collection, cfg HTTPConfig) http.Handler {
+	return httpapi.NewWithConfig(c, cfg)
+}
 
 // FragmentXML serializes a fragment as a well-formed XML snippet of
 // exactly its nodes, nested per the induced tree.
