@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check race cover bench fuzz experiments tools clean
+.PHONY: all build test check race cover bench fuzz fuzz-smoke repl-integration experiments tools clean
 
 all: build check
 
@@ -37,6 +37,22 @@ bench:
 fuzz:
 	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/xmltree/
 	$(GO) test -fuzz=FuzzParseFilter -fuzztime=30s ./internal/filter/
+	$(GO) test -fuzz=FuzzDecodeFrame -fuzztime=30s ./internal/store/
+
+# fuzz-smoke is the CI-sized run of the WAL frame decoder fuzzer: the
+# decoder parses bytes straight off disk after a crash and straight off
+# the network on a replica, so "error, never panic" is load-bearing.
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzDecodeFrame -fuzztime=10s ./internal/store/
+
+# repl-integration runs the replication lifecycle and replica-serving
+# tests under the race detector: catch-up, restart resume, snapshot
+# bootstrap, epoch adoption, byte-identical replica answers, write
+# rejection, and staleness gating.
+repl-integration:
+	$(GO) test -race -count=1 ./internal/repl/
+	$(GO) test -race -count=1 -run 'Replica|Replication' ./internal/httpapi/
+	$(GO) test -race -count=1 -run 'Repl|CacheInvalidation' ./internal/store/
 
 experiments:
 	$(GO) run ./cmd/xfragbench -exp all

@@ -48,6 +48,9 @@ var experiments = []struct {
 	{"perf-effect", "retrieval effectiveness vs. planted gold fragments", func() string {
 		return bench.FormatEffectivenessRows(bench.Effectiveness(7))
 	}},
+	{"perf-replicas", "read QPS scaling across 1 primary + 2 replicas", func() string {
+		return bench.FormatReplicaRows(bench.ReplicaScaling(7))
+	}},
 }
 
 func main() {

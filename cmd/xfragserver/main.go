@@ -36,6 +36,15 @@
 //
 // With -pprof, the Go profiling endpoints mount under /debug/pprof/
 // and expvar under /debug/vars.
+//
+// Replication (-role): a primary (-role=primary, requires -data-dir)
+// additionally serves its per-shard WAL as a frame stream under
+// /repl/v1/ for followers. A replica (-role=replica -primary-url=URL)
+// keeps an in-memory mirror by pulling that stream: it serves the
+// same read endpoints (plus X-Xfrag-Replica-Lag headers), answers
+// writes with 403 pointing at the primary, reports 503 on /readyz
+// when its lag exceeds -max-staleness, and exposes its per-shard lag
+// at GET /api/v1/replication.
 package main
 
 import (
@@ -45,6 +54,7 @@ import (
 	"fmt"
 	"log"
 	"log/slog"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -55,6 +65,7 @@ import (
 	"repro/internal/collection"
 	"repro/internal/docgen"
 	"repro/internal/httpapi"
+	"repro/internal/repl"
 	"repro/internal/snapshot"
 	"repro/internal/store"
 	"repro/internal/xmltree"
@@ -74,6 +85,11 @@ func main() {
 	maxConcurrent := flag.Int("max-concurrent", 0, "concurrently evaluating queries before requests queue; 0 means 4×GOMAXPROCS, negative disables admission control")
 	admissionQueue := flag.Int("admission-queue", 0, "requests allowed to wait for an evaluation slot; beyond it the server sheds 503 (0 means =max-concurrent)")
 	admissionWait := flag.Duration("admission-wait", 100*time.Millisecond, "how long a queued request waits for a slot before shedding 503")
+	role := flag.String("role", "standalone", "replication role: standalone, primary (serves /repl/v1/* WAL streams; needs -data-dir) or replica (pulls from -primary-url, read-only)")
+	primaryURL := flag.String("primary-url", "", "primary's base URL, e.g. http://10.0.0.1:8080 (with -role=replica)")
+	maxStaleness := flag.Duration("max-staleness", 30*time.Second, "replica staleness bound: /readyz reports 503 when replication lag exceeds it (with -role=replica)")
+	replRetry := flag.Duration("repl-retry", 250*time.Millisecond, "back-off between replication stream reconnects (with -role=replica)")
+	resultCache := flag.Int("result-cache", 0, "per-document LRU result cache entries; 0 disables (with -data-dir or -role=replica)")
 	pprofOn := flag.Bool("pprof", false, "expose /debug/pprof/ and /debug/vars (profiling; keep off on untrusted networks)")
 	quiet := flag.Bool("quiet", false, "disable the structured request log on stderr")
 	flag.Parse()
@@ -113,11 +129,36 @@ func main() {
 		QueueWait:     *admissionWait,
 	}
 
+	// The signal context is created before the backend so the
+	// replication follower (which needs a cancellation context from
+	// birth) and the HTTP server share one shutdown trigger.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	switch *role {
+	case "standalone", "primary", "replica":
+	default:
+		log.Fatalf("unknown -role %q (want standalone, primary or replica)", *role)
+	}
+	if *role == "primary" && *dataDir == "" {
+		log.Fatal("-role=primary requires -data-dir (replication ships the WAL)")
+	}
+	if *role == "replica" {
+		if *primaryURL == "" {
+			log.Fatal("-role=replica requires -primary-url")
+		}
+		if *dataDir != "" {
+			log.Fatal("-role=replica is incompatible with -data-dir: a replica mirrors the primary's log in memory and resyncs on restart")
+		}
+	}
+
 	var (
-		handler http.Handler
-		st      *store.Store
+		handler  http.Handler
+		st       *store.Store
+		follower *repl.Follower
 	)
-	if *dataDir != "" {
+	switch {
+	case *dataDir != "":
 		var err error
 		st, err = store.Open(store.Options{
 			Dir:              *dataDir,
@@ -125,6 +166,7 @@ func main() {
 			IngestWorkers:    *ingestWorkers,
 			QueueSize:        *queueSize,
 			BackgroundReplay: *bgReplay,
+			CacheEntries:     *resultCache,
 		})
 		if err != nil {
 			log.Fatalf("store %s: %v", *dataDir, err)
@@ -146,9 +188,43 @@ func main() {
 			fmt.Printf("xfragserver: %d document(s), %d nodes, %d postings — %d shard(s), data in %s — listening on %s\n",
 				stats.Documents, stats.Nodes, stats.Postings, st.Shards(), *dataDir, *addr)
 		}
+		if *role == "primary" {
+			cfg.Replication = &httpapi.ReplicationConfig{Role: httpapi.RolePrimary}
+			fmt.Printf("xfragserver: primary — followers stream from /repl/v1/ — listening on %s\n", *addr)
+		}
 		handler = httpapi.NewStoreWithConfig(st, cfg)
-	} else {
+	case *role == "replica":
+		var err error
+		st, err = store.Open(store.Options{
+			Shards:       *shards,
+			CacheEntries: *resultCache,
+		})
+		if err != nil {
+			log.Fatalf("replica store: %v", err)
+		}
+		follower = &repl.Follower{
+			PrimaryURL:    *primaryURL,
+			Store:         st,
+			Metrics:       st.Metrics(),
+			RetryInterval: *replRetry,
+			Logger:        logger,
+		}
+		if err := follower.Start(ctx); err != nil {
+			log.Fatalf("replication: %v", err)
+		}
+		cfg.Replication = &httpapi.ReplicationConfig{
+			Role:         httpapi.RoleReplica,
+			PrimaryURL:   *primaryURL,
+			Follower:     follower,
+			MaxStaleness: *maxStaleness,
+		}
+		fmt.Printf("xfragserver: replica of %s (max staleness %s) — listening on %s\n", *primaryURL, *maxStaleness, *addr)
+		handler = httpapi.NewStoreWithConfig(st, cfg)
+	default:
 		coll := collection.New()
+		if *resultCache > 0 {
+			coll.SetResultCache(*resultCache)
+		}
 		for _, d := range preload {
 			if err := coll.Add(d); err != nil {
 				log.Fatalf("add %s: %v", d.Name(), err)
@@ -178,12 +254,16 @@ func main() {
 		Addr:              *addr,
 		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
+		// Derive request contexts from the signal context: Shutdown
+		// alone only waits for in-flight requests, and the replication
+		// streams are in-flight for minutes at a time — without this a
+		// SIGTERM'd primary keeps heartbeating its replicas (holding
+		// their lag near zero) for the whole drain window.
+		BaseContext: func(net.Listener) context.Context { return ctx },
 	}
 	// Graceful shutdown on SIGINT/SIGTERM: in-flight searches finish,
 	// the listener closes, then the store drains its ingest queue and
 	// fsyncs the WAL so every acknowledged mutation is durable.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
 	select {
@@ -195,6 +275,10 @@ func main() {
 		defer cancel()
 		if err := srv.Shutdown(shutCtx); err != nil {
 			log.Fatal(err)
+		}
+		if follower != nil {
+			follower.Wait()
+			fmt.Println("xfragserver: replication streams stopped")
 		}
 		if st != nil {
 			if err := st.Close(shutCtx); err != nil {

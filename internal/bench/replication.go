@@ -1,0 +1,223 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/docgen"
+	"repro/internal/httpapi"
+	"repro/internal/repl"
+	"repro/internal/store"
+)
+
+// ReplicaRow is one measurement of the perf-replicas experiment: read
+// throughput with queries spread round-robin over n nodes (the primary
+// plus n-1 caught-up replicas).
+type ReplicaRow struct {
+	Nodes    int
+	Requests int
+	Elapsed  time.Duration
+	QPS      float64
+	Speedup  float64 // vs. the single-node row
+}
+
+// ReplicaScaling stands up a real one-primary/two-replica cluster in
+// process — durable primary, WAL-shipping over HTTP, in-memory
+// followers — waits for both replicas to reach lag 0, then measures
+// read QPS against 1, 2 and 3 nodes with a fixed client worker pool.
+// Requests travel the full HTTP serving path on every node, so the
+// measured scaling includes routing, admission and serialization, not
+// just engine time.
+func ReplicaScaling(seed int64) []ReplicaRow {
+	const (
+		replicas   = 2
+		workers    = 12
+		perConfig  = 400 * time.Millisecond
+		searchPath = "/api/v1/search?q=querytermone+querytermtwo&filter=size<=4&strategy=push-down"
+	)
+	// Every "node" here shares one machine, so scaling cannot come from
+	// more hardware; instead each node gets a fixed evaluation capacity
+	// (admission slots × search workers) the way a real node has fixed
+	// cores, and adding replicas adds capacity.
+	nodeCfg := func(rc *httpapi.ReplicationConfig) httpapi.Config {
+		return httpapi.Config{
+			MaxConcurrent: 2,
+			MaxQueue:      64,
+			QueueWait:     2 * time.Second,
+			Replication:   rc,
+		}
+	}
+
+	dir, err := os.MkdirTemp("", "xfrag-repl-bench-*")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	pst, err := store.Open(store.Options{Dir: dir, Shards: 4, CompactBytes: -1, SearchWorkers: 2})
+	if err != nil {
+		panic(err)
+	}
+	defer pst.Close(context.Background())
+
+	// A corpus large enough that every query does real per-document
+	// work across shards.
+	for i := 0; i < 24; i++ {
+		doc, err := docgen.Generate(docgen.Config{
+			Seed: seed + int64(i), Sections: 6, MeanFanout: 4, Depth: 3,
+			VocabSize: 2000,
+			Plant:     map[string]int{"querytermone": 6, "querytermtwo": 6},
+		})
+		if err != nil {
+			panic(err)
+		}
+		if err := pst.AddXML(fmt.Sprintf("bench-%04d", i), doc.XMLString()); err != nil {
+			panic(err)
+		}
+	}
+
+	primary := httpapi.NewStoreWithConfig(pst, nodeCfg(&httpapi.ReplicationConfig{
+		Role:   httpapi.RolePrimary,
+		Stream: repl.Server{Poll: 5 * time.Millisecond, Heartbeat: 50 * time.Millisecond},
+	}))
+	primarySrv := httptest.NewServer(primary)
+	defer primarySrv.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var followers []*repl.Follower
+	endpoints := []string{primarySrv.URL}
+	for i := 0; i < replicas; i++ {
+		rst, err := store.Open(store.Options{Shards: 4, SearchWorkers: 2})
+		if err != nil {
+			panic(err)
+		}
+		defer rst.Close(context.Background())
+		f := &repl.Follower{
+			PrimaryURL:    primarySrv.URL,
+			Store:         rst,
+			Metrics:       rst.Metrics(),
+			RetryInterval: 20 * time.Millisecond,
+		}
+		if err := f.Start(ctx); err != nil {
+			panic(err)
+		}
+		followers = append(followers, f)
+		srv := httptest.NewServer(httpapi.NewStoreWithConfig(rst, nodeCfg(&httpapi.ReplicationConfig{
+			Role:       httpapi.RoleReplica,
+			PrimaryURL: primarySrv.URL,
+			Follower:   f,
+		})))
+		defer srv.Close()
+		endpoints = append(endpoints, srv.URL)
+	}
+	// Stop the followers before the deferred server/store teardown so
+	// their long-lived streams do not hold the primary server open.
+	defer func() {
+		cancel()
+		for _, f := range followers {
+			f.Wait()
+		}
+	}()
+
+	for _, f := range followers {
+		deadline := time.Now().Add(30 * time.Second)
+		for {
+			lag := f.Lag()
+			if lag.Connected && lag.Synced && lag.MaxLagRecords == 0 {
+				break
+			}
+			if time.Now().After(deadline) {
+				panic(fmt.Sprintf("bench: replica never converged: %+v", lag))
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	// The default transport keeps only 2 idle conns per host, which
+	// throttles a 12-worker closed loop on connection churn; keep one
+	// warm connection per worker so the nodes are the bottleneck.
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        workers * (replicas + 1),
+		MaxIdleConnsPerHost: workers,
+	}}
+	defer client.CloseIdleConnections()
+	var rows []ReplicaRow
+	for n := 1; n <= len(endpoints); n++ {
+		targets := endpoints[:n]
+		// Warm every node's caches and connections off the clock.
+		for _, u := range targets {
+			resp, err := client.Get(u + searchPath)
+			if err != nil {
+				panic(err)
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				panic(fmt.Sprintf("bench: warm-up query failed on %s: %d %s", u, resp.StatusCode, body))
+			}
+		}
+		var requests atomic.Int64
+		var next atomic.Int64
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		start := time.Now()
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					u := targets[next.Add(1)%int64(n)]
+					resp, err := client.Get(u + searchPath)
+					if err != nil {
+						continue
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode == http.StatusOK {
+						requests.Add(1)
+					}
+				}
+			}()
+		}
+		time.Sleep(perConfig)
+		close(stop)
+		wg.Wait()
+		elapsed := time.Since(start)
+		row := ReplicaRow{
+			Nodes:    n,
+			Requests: int(requests.Load()),
+			Elapsed:  elapsed,
+			QPS:      float64(requests.Load()) / elapsed.Seconds(),
+		}
+		row.Speedup = 1
+		if len(rows) > 0 && rows[0].QPS > 0 {
+			row.Speedup = row.QPS / rows[0].QPS
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// FormatReplicaRows renders the read-scaling sweep.
+func FormatReplicaRows(rows []ReplicaRow) string {
+	var sb strings.Builder
+	sb.WriteString("perf-replicas: read QPS vs. node count (1 primary + n-1 WAL-shipped replicas, fixed client worker pool)\n\n")
+	fmt.Fprintf(&sb, "%-6s  %-10s  %-10s  %-8s\n", "nodes", "requests", "qps", "speedup")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-6d  %-10d  %-10.0f  %-8.2f\n", r.Nodes, r.Requests, r.QPS, r.Speedup)
+	}
+	sb.WriteString("\nreads fan out across caught-up replicas; writes still serialize through the primary's WAL\n")
+	return sb.String()
+}

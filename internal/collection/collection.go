@@ -34,6 +34,9 @@ type Collection struct {
 	// workers bounds the per-document fan-out of Run/RunContext;
 	// 0 means GOMAXPROCS (see SetSearchWorkers).
 	workers int
+	// cacheEntries is the per-document result-cache capacity applied
+	// to every engine (0 disables; see SetResultCache).
+	cacheEntries int
 }
 
 // New returns an empty collection. Every engine it creates shares one
@@ -62,6 +65,24 @@ func (c *Collection) SetSearchWorkers(n int) {
 	c.workers = n
 }
 
+// SetResultCache sets the per-document result-cache capacity (in
+// entries) applied to every current and future engine. n <= 0
+// disables caching. Invalidation rides on engine immutability:
+// replacing a document (Remove + Add) builds a fresh engine with an
+// empty cache, so no answer computed against the old content can be
+// served for the new one.
+func (c *Collection) SetResultCache(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	c.cacheEntries = n
+	for _, eng := range c.engines {
+		eng.EnableCache(n)
+	}
+}
+
 // Add indexes doc under its document name. It returns an error if the
 // name is already taken.
 func (c *Collection) Add(doc *xmltree.Document) error {
@@ -71,7 +92,11 @@ func (c *Collection) Add(doc *xmltree.Document) error {
 	if _, dup := c.engines[name]; dup {
 		return fmt.Errorf("collection: duplicate document %q", name)
 	}
-	c.engines[name] = engine.NewWithMetrics(doc, c.metrics)
+	eng := engine.NewWithMetrics(doc, c.metrics)
+	if c.cacheEntries > 0 {
+		eng.EnableCache(c.cacheEntries)
+	}
+	c.engines[name] = eng
 	c.order = append(c.order, name)
 	return nil
 }

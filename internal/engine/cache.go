@@ -66,23 +66,28 @@ func (c *resultCache) len() int {
 }
 
 // EnableCache turns on an LRU result cache of the given capacity
-// (entries). Call before serving queries; capacity < 1 disables.
+// (entries). Safe to call at any time, including concurrently with
+// queries (the cache pointer is swapped atomically; in-flight queries
+// finish against the cache they loaded). capacity < 1 disables.
 // Cached answers are shared — callers must treat Answer as read-only
-// (which its API already enforces).
+// (which its API already enforces). Sound because engines are
+// immutable: a document replacement builds a fresh engine with a
+// fresh cache, so stale answers cannot survive a replace.
 func (e *Engine) EnableCache(capacity int) {
 	if capacity < 1 {
-		e.cache = nil
+		e.cache.Store(nil)
 		return
 	}
-	e.cache = newResultCache(capacity)
+	e.cache.Store(newResultCache(capacity))
 }
 
 // CacheLen reports the number of cached results (0 when disabled).
 func (e *Engine) CacheLen() int {
-	if e.cache == nil {
+	c := e.cache.Load()
+	if c == nil {
 		return 0
 	}
-	return e.cache.len()
+	return c.len()
 }
 
 // cacheKey fingerprints a query + options pair. Only fields that

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -26,9 +27,12 @@ import (
 // evaluation counts its operator work privately (query.Stats.Ops), so
 // concurrent queries never perturb each other's statistics.
 type Engine struct {
-	doc     *xmltree.Document
-	idx     *index.Index
-	cache   *resultCache // nil unless EnableCache was called
+	doc *xmltree.Document
+	idx *index.Index
+	// cache holds the result cache (nil unless EnableCache was
+	// called). Atomic because EnableCache may race with in-flight
+	// queries when a collection swaps a document under load.
+	cache   atomic.Pointer[resultCache]
 	metrics *obs.Metrics // nil unless created via NewWithMetrics
 }
 
@@ -112,10 +116,11 @@ func (e *Engine) Run(q query.Query, opts query.Options) (*Answer, error) {
 func (e *Engine) RunContext(ctx context.Context, q query.Query, opts query.Options) (*Answer, error) {
 	start := time.Now()
 	var key string
-	useCache := e.cache != nil && !opts.Trace
+	cache := e.cache.Load() // one load: hit-check and put use the same cache
+	useCache := cache != nil && !opts.Trace
 	if useCache {
 		key = cacheKey(q, opts)
-		if ans, ok := e.cache.get(key); ok {
+		if ans, ok := cache.get(key); ok {
 			e.metrics.Counter(obs.MCacheHits).Add(1)
 			if opts.Counters != nil {
 				opts.Counters.AddCacheHits(1)
@@ -126,7 +131,7 @@ func (e *Engine) RunContext(ctx context.Context, q query.Query, opts query.Optio
 	if opts.Counters == nil {
 		opts.Counters = new(obs.EvalCounters)
 	}
-	if e.cache != nil && !opts.Trace {
+	if useCache {
 		opts.Counters.AddCacheMisses(1)
 	}
 	res, err := query.EvaluateContext(ctx, e.idx, q, opts)
@@ -141,7 +146,7 @@ func (e *Engine) RunContext(ctx context.Context, q query.Query, opts query.Optio
 	e.metrics.RecordEval(res.Stats.Ops, time.Since(start), res.Stats.Answers)
 	ans := &Answer{doc: e.doc, Query: q, Result: res}
 	if useCache {
-		e.cache.put(key, ans)
+		cache.put(key, ans)
 	}
 	return ans, nil
 }

@@ -37,6 +37,17 @@ func (r *statusRecorder) Write(b []byte) (int, error) {
 	return r.ResponseWriter.Write(b)
 }
 
+// Flush forwards to the wrapped writer so streaming handlers (the
+// replication WAL stream) can push chunks through the middleware.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap supports http.ResponseController on Go 1.20+.
+func (r *statusRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter }
+
 // Middleware wraps next with the service's request instrumentation:
 // a request ID (honoring an incoming X-Request-Id, else generated),
 // panic recovery to a JSON 500, a structured access log via logger,

@@ -1,0 +1,259 @@
+package httpapi
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/docgen"
+	"repro/internal/repl"
+	"repro/internal/store"
+)
+
+// table1Query is the paper's running example (Figure 1 / Table 1):
+// keyword query "xquery optimization" under the size<=3 fragment
+// filter. The acceptance bar for replication is that a caught-up
+// replica answers it byte-identically to the primary.
+const table1Query = "/api/v1/search?q=xquery+optimization&filter=size<=3"
+
+// replicatedPair is a primary HTTP server plus a replica HTTP server
+// fed from it over the real /repl/v1 wire.
+type replicatedPair struct {
+	primary    *Server
+	replica    *Server
+	primarySrv *httptest.Server
+	follower   *repl.Follower
+}
+
+func newReplicatedPair(t *testing.T, maxStaleness time.Duration) *replicatedPair {
+	t.Helper()
+	pst, err := store.Open(store.Options{Dir: t.TempDir(), Shards: 2, CompactBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { pst.Close(context.Background()) })
+	if err := pst.Add(docgen.FigureOne()); err != nil {
+		t.Fatal(err)
+	}
+	primary := NewStoreWithConfig(pst, Config{Replication: &ReplicationConfig{
+		Role: RolePrimary,
+		Stream: repl.Server{
+			Poll:      5 * time.Millisecond,
+			Heartbeat: 20 * time.Millisecond,
+		},
+	}})
+	primarySrv := httptest.NewServer(primary)
+	t.Cleanup(primarySrv.Close)
+
+	rst, err := store.Open(store.Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { rst.Close(context.Background()) })
+	follower := &repl.Follower{
+		PrimaryURL:    primarySrv.URL,
+		Store:         rst,
+		Metrics:       rst.Metrics(),
+		RetryInterval: 20 * time.Millisecond,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	if err := follower.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cancel()
+		follower.Wait()
+	})
+	replica := NewStoreWithConfig(rst, Config{Replication: &ReplicationConfig{
+		Role:         RoleReplica,
+		PrimaryURL:   primarySrv.URL,
+		Follower:     follower,
+		MaxStaleness: maxStaleness,
+	}})
+	return &replicatedPair{primary: primary, replica: replica, primarySrv: primarySrv, follower: follower}
+}
+
+func (p *replicatedPair) waitSynced(t *testing.T) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		lag := p.follower.Lag()
+		if lag.Connected && lag.Synced && lag.MaxLagRecords == 0 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("follower never converged: %+v", p.follower.Lag())
+}
+
+// TestReplicaSearchByteIdentical runs the Table 1 query against the
+// primary and a caught-up replica and demands byte-identical response
+// bodies — the replication path must not perturb scoring, ordering,
+// pagination, or serialization in any way.
+func TestReplicaSearchByteIdentical(t *testing.T) {
+	p := newReplicatedPair(t, 0)
+	p.waitSynced(t)
+
+	primaryRec := httptest.NewRecorder()
+	p.primary.ServeHTTP(primaryRec, httptest.NewRequest(http.MethodGet, table1Query, nil))
+	replicaRec := httptest.NewRecorder()
+	p.replica.ServeHTTP(replicaRec, httptest.NewRequest(http.MethodGet, table1Query, nil))
+
+	if primaryRec.Code != http.StatusOK || replicaRec.Code != http.StatusOK {
+		t.Fatalf("codes: primary=%d replica=%d", primaryRec.Code, replicaRec.Code)
+	}
+	if !bytes.Equal(primaryRec.Body.Bytes(), replicaRec.Body.Bytes()) {
+		t.Fatalf("replica answer differs from primary:\nprimary: %s\nreplica: %s",
+			primaryRec.Body.String(), replicaRec.Body.String())
+	}
+	// Sanity: the query actually exercised the engine (4 hits in the
+	// paper's running example), so identical bodies are meaningful.
+	var resp SearchResponse
+	if err := json.Unmarshal(primaryRec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Total != 4 {
+		t.Fatalf("table 1 query returned %d hits, want 4", resp.Total)
+	}
+	// Every replica response carries lag headers for LB routing.
+	if replicaRec.Header().Get(ReplicaLagHeader) == "" || replicaRec.Header().Get(ReplicaLagSecondsHeader) == "" {
+		t.Fatalf("replica response missing lag headers: %v", replicaRec.Header())
+	}
+	if primaryRec.Header().Get(ReplicaLagHeader) != "" {
+		t.Fatal("primary response must not carry replica lag headers")
+	}
+}
+
+// TestReplicaRejectsWrites checks both mutation endpoints answer 403
+// with the machine-readable code and the primary's URL in the header,
+// so a client can re-issue the write without out-of-band config.
+func TestReplicaRejectsWrites(t *testing.T) {
+	p := newReplicatedPair(t, 0)
+	p.waitSynced(t)
+
+	body := `{"name":"new-doc","xml":"<a><b>text</b></a>"}`
+	post := httptest.NewRequest(http.MethodPost, "/api/v1/docs", strings.NewReader(body))
+	post.Header.Set("Content-Type", "application/json")
+	del := httptest.NewRequest(http.MethodDelete, "/api/v1/docs/fig1", nil)
+
+	for _, req := range []*http.Request{post, del} {
+		rec := httptest.NewRecorder()
+		p.replica.ServeHTTP(rec, req)
+		if rec.Code != http.StatusForbidden {
+			t.Fatalf("%s %s: code = %d, want 403", req.Method, req.URL.Path, rec.Code)
+		}
+		var env ErrorEnvelope
+		if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil {
+			t.Fatalf("bad envelope: %v\n%s", err, rec.Body.String())
+		}
+		if env.Error.Code != "read_only_replica" {
+			t.Fatalf("error code = %q", env.Error.Code)
+		}
+		if got := rec.Header().Get(PrimaryURLHeader); got != p.primarySrv.URL {
+			t.Fatalf("primary url header = %q, want %q", got, p.primarySrv.URL)
+		}
+		if !strings.Contains(env.Error.Message, p.primarySrv.URL) {
+			t.Fatalf("error message %q does not name the primary", env.Error.Message)
+		}
+	}
+	// The same write still works on the primary.
+	rec := httptest.NewRecorder()
+	post2 := httptest.NewRequest(http.MethodPost, "/api/v1/docs", strings.NewReader(body))
+	post2.Header.Set("Content-Type", "application/json")
+	p.primary.ServeHTTP(rec, post2)
+	if rec.Code != http.StatusCreated && rec.Code != http.StatusOK && rec.Code != http.StatusAccepted {
+		t.Fatalf("primary write failed: %d %s", rec.Code, rec.Body.String())
+	}
+}
+
+// TestReplicaReadyzStaleness drives /readyz through its three states:
+// 503 before the follower connects, 200 once caught up, and 503 again
+// after the primary becomes unreachable for longer than the staleness
+// bound (the follower's freshness proof ages out).
+func TestReplicaReadyzStaleness(t *testing.T) {
+	const maxStaleness = 150 * time.Millisecond
+	p := newReplicatedPair(t, maxStaleness)
+
+	ready := func() (int, map[string]any) {
+		rec := httptest.NewRecorder()
+		p.replica.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+		var body map[string]any
+		if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+			t.Fatalf("bad readyz body: %v\n%s", err, rec.Body.String())
+		}
+		return rec.Code, body
+	}
+
+	p.waitSynced(t)
+	code, body := ready()
+	if code != http.StatusOK || body["ready"] != true {
+		t.Fatalf("caught-up replica not ready: %d %v", code, body)
+	}
+	if body["role"] != "replica" {
+		t.Fatalf("role = %v", body["role"])
+	}
+
+	// Partition the replica from its primary: streams break, the
+	// freshness proof stops refreshing, and once it is older than the
+	// staleness bound the replica must pull itself out of rotation.
+	p.primarySrv.CloseClientConnections()
+	p.primarySrv.Close()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		code, body = ready()
+		if code == http.StatusServiceUnavailable {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("partitioned replica still ready after staleness bound: %d %v", code, body)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if body["reason"] != errStaleReplica.Error() {
+		t.Fatalf("reason = %v", body["reason"])
+	}
+	if body["ready"] != false {
+		t.Fatalf("ready = %v", body["ready"])
+	}
+}
+
+// TestReplicationEndpoint checks the introspection route on both
+// roles: the primary reports its per-shard WAL positions, the replica
+// its primary URL and lag breakdown.
+func TestReplicationEndpoint(t *testing.T) {
+	p := newReplicatedPair(t, 0)
+	p.waitSynced(t)
+
+	rec, body := get(t, p.primary, "/api/v1/replication")
+	if rec.Code != http.StatusOK || body["role"] != "primary" {
+		t.Fatalf("primary: %d %v", rec.Code, body)
+	}
+	if _, ok := body["positions"].([]any); !ok {
+		t.Fatalf("primary missing positions: %v", body)
+	}
+
+	rec, body = get(t, p.replica, "/api/v1/replication")
+	if rec.Code != http.StatusOK || body["role"] != "replica" {
+		t.Fatalf("replica: %d %v", rec.Code, body)
+	}
+	if body["primary_url"] != p.primarySrv.URL {
+		t.Fatalf("primary_url = %v", body["primary_url"])
+	}
+	lag, ok := body["lag"].(map[string]any)
+	if !ok || lag["connected"] != true {
+		t.Fatalf("replica lag = %v", body["lag"])
+	}
+
+	// A standalone server must not expose the route at all.
+	s := testServer(t)
+	recS := httptest.NewRecorder()
+	s.ServeHTTP(recS, httptest.NewRequest(http.MethodGet, "/api/v1/replication", nil))
+	if recS.Code != http.StatusNotFound {
+		t.Fatalf("standalone /replication = %d, want 404", recS.Code)
+	}
+}

@@ -66,6 +66,9 @@ type Config struct {
 	// QueueWait bounds how long a queued request waits for a slot
 	// before shedding (default 100ms).
 	QueueWait time.Duration
+	// Replication attaches a primary or replica role (see
+	// ReplicationConfig); nil runs standalone.
+	Replication *ReplicationConfig
 }
 
 func (c *Config) setDefaults() {
@@ -172,7 +175,18 @@ func (s *Server) init(m *obs.Metrics) {
 	s.route("GET", "/explain", s.handleExplain)
 	s.route("GET", "/stats", s.handleStats)
 	s.route("GET", "/metrics", s.handleMetrics)
-	s.handler = Middleware(s.mux, s.cfg.Logger, m)
+	s.initReplication()
+	var inner http.Handler = s.mux
+	if s.role() == RoleReplica {
+		// Stamp lag headers on every replica response, before the
+		// handler runs so they survive handlers that write early.
+		next := inner
+		inner = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			s.setLagHeaders(w.Header())
+			next.ServeHTTP(w, r)
+		})
+	}
+	s.handler = Middleware(inner, s.cfg.Logger, m)
 }
 
 // route mounts one handler under both the versioned surface
@@ -226,6 +240,25 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 // while the ingest queue is saturated. A collection-backed server has
 // no replay or queue and is always ready.
 func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	if s.role() == RoleReplica {
+		// A replica's readiness is its freshness: a node lagging past
+		// the staleness bound (or not yet connected to its primary)
+		// should not receive read traffic.
+		lag, ok := s.replicaReady()
+		body := map[string]any{
+			"ready":                 ok,
+			"role":                  RoleReplica.String(),
+			"max_staleness_seconds": s.cfg.Replication.maxStaleness().Seconds(),
+			"lag":                   lag,
+		}
+		status := http.StatusOK
+		if !ok {
+			status = http.StatusServiceUnavailable
+			body["reason"] = errStaleReplica.Error()
+		}
+		writeJSON(w, status, body)
+		return
+	}
 	if s.st == nil {
 		writeJSON(w, http.StatusOK, map[string]any{"ready": true, "documents": s.coll.Len()})
 		return
@@ -274,6 +307,9 @@ type AddDocRequest struct {
 }
 
 func (s *Server) handleAddDoc(w http.ResponseWriter, r *http.Request) {
+	if s.rejectReplicaWrite(w, r) {
+		return
+	}
 	var req AddDocRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBody))
 	if err := dec.Decode(&req); err != nil {
@@ -342,6 +378,9 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleRemoveDoc(w http.ResponseWriter, r *http.Request) {
+	if s.rejectReplicaWrite(w, r) {
+		return
+	}
 	name := r.PathValue("name")
 	removed := false
 	if s.st != nil {

@@ -45,6 +45,18 @@ const (
 	MWALCorruptSkipped = "wal_corrupt_skipped_total"
 	MCompactions       = "compactions_total"
 	MSearchDeadline    = "search_deadline_exceeded_total"
+
+	// Replication metrics (internal/repl). Applied/lag series live on
+	// the follower; streams/bytes-sent on the primary.
+	MReplAppliedRecords = "repl_applied_records_total"
+	MReplAppliedBytes   = "repl_applied_bytes_total"
+	MReplLagRecords     = "repl_lag_records"
+	MReplLagBytes       = "repl_lag_bytes"
+	MReplLagMs          = "repl_lag_ms"
+	MReplStreamRestarts = "repl_stream_restarts_total"
+	MReplBootstraps     = "repl_bootstraps_total"
+	MReplStreamsActive  = "repl_streams_active"
+	MReplBytesSent      = "repl_bytes_sent_total"
 )
 
 // LatencyBuckets are the fixed upper bounds (seconds) for latency

@@ -1,0 +1,594 @@
+package repl
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/url"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/store"
+)
+
+// Follower replicates a primary's WAL into a local in-memory store.
+// It runs one pull loop per primary shard (preserving per-document
+// ordering: a name always hashes to the same primary shard), applies
+// frames through the store's replicated-apply path, and tracks lag
+// against the primary's end-of-log positions. When its position has
+// been compacted away it either adopts the new epoch in place (if it
+// had fully applied the old one) or bootstraps from a snapshot.
+type Follower struct {
+	// PrimaryURL is the primary's base URL (e.g. http://10.0.0.1:8080).
+	PrimaryURL string
+	// Store is the local in-memory store frames apply into. Must not
+	// be durable (see store.ErrDurableReplica).
+	Store *store.Store
+	// Metrics receives follower-side series (applied, lag, restarts,
+	// bootstraps). Nil disables.
+	Metrics *obs.Metrics
+	// Client performs the HTTP requests (default http.DefaultClient;
+	// it must not set a Timeout — WAL streams are long-lived).
+	Client *http.Client
+	// RetryInterval is the back-off between failed connections or
+	// dropped streams (default 250ms).
+	RetryInterval time.Duration
+	// IdleTimeout aborts a stream that has delivered no message (not
+	// even a heartbeat) for this long (default 15s).
+	IdleTimeout time.Duration
+	// Logger, when set, records stream restarts and bootstraps.
+	Logger *slog.Logger
+
+	// mu guards cursors and the connection state below.
+	mu        sync.Mutex
+	cursors   []cursor
+	connected bool
+	started   time.Time
+
+	// applyMu serializes frame application (read side) against
+	// snapshot bootstrap (write side): ReplaceAll must not interleave
+	// with in-flight ApplyReplicated calls, and a frame read before a
+	// bootstrap must not apply after it (the cursor check under this
+	// lock rejects it).
+	applyMu sync.RWMutex
+	// gen counts bootstraps; a shard loop that decided to bootstrap
+	// skips it if another loop's bootstrap already moved gen.
+	gen atomic.Uint64
+
+	wg       sync.WaitGroup
+	started1 atomic.Bool
+}
+
+// cursor is one primary shard's replication state.
+type cursor struct {
+	epoch   uint64
+	offset  int64
+	records uint64
+	// target is the primary's end-of-log position from the most
+	// recent message on this shard's stream.
+	target store.WALPosition
+	// haveTarget is false until the first message arrives.
+	haveTarget bool
+	// syncedAt is the last time offset reached target (zero = never).
+	syncedAt time.Time
+}
+
+func (f *Follower) retry() time.Duration {
+	if f.RetryInterval > 0 {
+		return f.RetryInterval
+	}
+	return 250 * time.Millisecond
+}
+
+func (f *Follower) idleTimeout() time.Duration {
+	if f.IdleTimeout > 0 {
+		return f.IdleTimeout
+	}
+	return 15 * time.Second
+}
+
+func (f *Follower) client() *http.Client {
+	if f.Client != nil {
+		return f.Client
+	}
+	return http.DefaultClient
+}
+
+func (f *Follower) logf(msg string, args ...any) {
+	if f.Logger != nil {
+		f.Logger.Info(msg, args...)
+	}
+}
+
+// Start validates the configuration and launches the replication
+// goroutines; they stop when ctx is cancelled. Wait blocks until they
+// have exited. Start is idempotent-hostile: call once.
+func (f *Follower) Start(ctx context.Context) error {
+	if f.Store == nil || f.PrimaryURL == "" {
+		return errors.New("repl: follower needs a Store and a PrimaryURL")
+	}
+	if f.Store.Durable() {
+		return store.ErrDurableReplica
+	}
+	if _, err := url.Parse(f.PrimaryURL); err != nil {
+		return fmt.Errorf("repl: primary url: %w", err)
+	}
+	if !f.started1.CompareAndSwap(false, true) {
+		return errors.New("repl: follower already started")
+	}
+	f.mu.Lock()
+	f.started = time.Now()
+	f.mu.Unlock()
+	f.wg.Add(1)
+	go f.run(ctx)
+	return nil
+}
+
+// Wait blocks until every replication goroutine has exited (after the
+// Start context is cancelled).
+func (f *Follower) Wait() { f.wg.Wait() }
+
+// run discovers the primary's shard count (retrying until it
+// answers), sizes the cursors, and fans out one stream loop per
+// primary shard plus a metrics publisher.
+func (f *Follower) run(ctx context.Context) {
+	defer f.wg.Done()
+	var st Status
+	for {
+		got, err := f.fetchStatus(ctx)
+		if err == nil {
+			st = got
+			break
+		}
+		f.logf("repl: primary status", "err", err)
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(f.retry()):
+		}
+	}
+	f.mu.Lock()
+	// Every cursor starts at epoch 0, offset 0 — the very beginning of
+	// the primary's history. If the primary never compacted, streaming
+	// from there replays everything. If it did, the stream answers
+	// "compacted" and the follower bootstraps from a snapshot. Starting
+	// at the *current* epoch instead would be wrong: (epoch, 0) is a
+	// valid live position, so nothing would signal that the compacted
+	// prefix was skipped.
+	f.cursors = make([]cursor, st.ShardCount)
+	f.connected = true
+	f.mu.Unlock()
+	for shard := 0; shard < st.ShardCount; shard++ {
+		f.wg.Add(1)
+		go f.shardLoop(ctx, shard)
+	}
+	f.wg.Add(1)
+	go f.publishLag(ctx)
+}
+
+func (f *Follower) fetchStatus(ctx context.Context) (Status, error) {
+	reqCtx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(reqCtx, http.MethodGet, f.PrimaryURL+"/repl/v1/status", nil)
+	if err != nil {
+		return Status{}, err
+	}
+	resp, err := f.client().Do(req)
+	if err != nil {
+		return Status{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return Status{}, fmt.Errorf("repl: status %d: %s", resp.StatusCode, body)
+	}
+	var st Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return Status{}, err
+	}
+	if st.ShardCount <= 0 {
+		return Status{}, errors.New("repl: primary reports no shards")
+	}
+	return st, nil
+}
+
+// shardLoop keeps one shard's stream alive: connect, consume until it
+// drops, back off, reconnect at the cursor. Every reconnect after the
+// first successful stream counts as a restart.
+func (f *Follower) shardLoop(ctx context.Context, shard int) {
+	defer f.wg.Done()
+	restarts := f.Metrics.Counter(obs.MReplStreamRestarts)
+	first := true
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		// A restart is a re-established stream: count it the moment a
+		// replacement stream delivers its first message (not when it
+		// later ends — a healthy reconnected stream may never end).
+		streamed, err := f.streamOnce(ctx, shard, func() {
+			if !first {
+				restarts.Add(1)
+			}
+		})
+		if ctx.Err() != nil {
+			return
+		}
+		if streamed {
+			first = false
+		}
+		if err != nil {
+			f.logf("repl: stream dropped", "shard", shard, "err", err)
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(f.retry()):
+		}
+	}
+}
+
+// streamOnce opens the shard's WAL stream at the cursor and consumes
+// messages until the stream ends. The bool reports whether the stream
+// delivered at least one message (i.e. the connection was real);
+// established fires once, on that first message.
+func (f *Follower) streamOnce(ctx context.Context, shard int, established func()) (bool, error) {
+	f.mu.Lock()
+	cur := f.cursors[shard]
+	f.mu.Unlock()
+
+	streamCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	u := fmt.Sprintf("%s/repl/v1/wal?shard=%d&epoch=%d&offset=%d", f.PrimaryURL, shard, cur.epoch, cur.offset)
+	req, err := http.NewRequestWithContext(streamCtx, http.MethodGet, u, nil)
+	if err != nil {
+		return false, err
+	}
+	resp, err := f.client().Do(req)
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return false, fmt.Errorf("repl: wal stream %d: %s", resp.StatusCode, body)
+	}
+
+	// Watchdog: a stream that goes silent past the idle timeout (the
+	// primary heartbeats every second) is presumed dead — cancel the
+	// request so the read below unblocks.
+	idle := time.AfterFunc(f.idleTimeout(), cancel)
+	defer idle.Stop()
+
+	sc := bufio.NewScanner(resp.Body)
+	// A frames message carries up to MaxBatchBytes of base64 plus
+	// JSON overhead; size the line buffer generously above it.
+	sc.Buffer(make([]byte, 64<<10), 8<<20)
+	got := false
+	for sc.Scan() {
+		idle.Reset(f.idleTimeout())
+		var msg Message
+		if err := json.Unmarshal(sc.Bytes(), &msg); err != nil {
+			return got, fmt.Errorf("repl: decode stream message: %w", err)
+		}
+		if !got {
+			got = true
+			if established != nil {
+				established()
+			}
+		}
+		switch msg.Type {
+		case msgFrames:
+			if err := f.applyFrames(shard, msg); err != nil {
+				return got, err
+			}
+		case msgHeartbeat:
+			f.observeTarget(shard, msg.Pos)
+		case msgCompacted:
+			f.handleCompacted(ctx, shard, msg)
+			return got, nil
+		case msgError:
+			return got, fmt.Errorf("repl: primary error on shard %d: %s", shard, msg.Error)
+		default:
+			return got, fmt.Errorf("repl: unknown message type %q", msg.Type)
+		}
+	}
+	if err := sc.Err(); err != nil && ctx.Err() == nil {
+		return got, err
+	}
+	return got, nil // server ended the stream (max age); reconnect
+}
+
+// applyFrames verifies a frames message still matches the shard's
+// cursor (a bootstrap may have moved it while the message was in
+// flight) and applies it. The read-lock excludes bootstrap's
+// ReplaceAll for the duration.
+func (f *Follower) applyFrames(shard int, msg Message) error {
+	f.applyMu.RLock()
+	defer f.applyMu.RUnlock()
+	f.mu.Lock()
+	cur := f.cursors[shard]
+	f.mu.Unlock()
+	if cur.epoch != msg.Epoch || cur.offset != msg.Offset {
+		// Stale frame from before a bootstrap reset the cursor; the
+		// stream is about to be torn down and reopened at the new
+		// position. Dropping it is correct — the snapshot already
+		// contains its effect.
+		return fmt.Errorf("repl: stale frame for shard %d (epoch %d offset %d, cursor at %d/%d)",
+			shard, msg.Epoch, msg.Offset, cur.epoch, cur.offset)
+	}
+	applied, err := f.Store.ApplyReplicated(msg.Data)
+	if err != nil {
+		return err
+	}
+	f.Metrics.Counter(obs.MReplAppliedRecords).Add(uint64(applied))
+	f.Metrics.Counter(obs.MReplAppliedBytes).Add(uint64(len(msg.Data)))
+	f.mu.Lock()
+	c := &f.cursors[shard]
+	c.offset += int64(len(msg.Data))
+	c.records += uint64(applied)
+	c.target = msg.Pos
+	c.haveTarget = true
+	if c.epoch == msg.Pos.Epoch && c.offset >= msg.Pos.Offset {
+		c.syncedAt = time.Now()
+	}
+	f.mu.Unlock()
+	return nil
+}
+
+// observeTarget records the primary's current position for lag
+// accounting without moving the cursor.
+func (f *Follower) observeTarget(shard int, pos store.WALPosition) {
+	f.mu.Lock()
+	c := &f.cursors[shard]
+	c.target = pos
+	c.haveTarget = true
+	if c.epoch == pos.Epoch && c.offset >= pos.Offset {
+		c.syncedAt = time.Now()
+	}
+	f.mu.Unlock()
+}
+
+// handleCompacted reacts to the primary discarding the cursor's
+// position. If the follower had applied the previous epoch in full
+// (the common case: a routine compaction on a caught-up replica), it
+// adopts the new epoch at offset 0 — the compaction snapshot holds
+// exactly the state it already has. Otherwise it bootstraps.
+func (f *Follower) handleCompacted(ctx context.Context, shard int, msg Message) {
+	pos := msg.Pos
+	f.mu.Lock()
+	c := &f.cursors[shard]
+	adopted := false
+	// Adoption is sound only for the immediately following epoch:
+	// PrevSize/PrevRecords describe epoch pos.Epoch-1, and the cursor
+	// must have applied all of it.
+	if c.epoch == pos.Epoch-1 && c.offset == pos.PrevSize && c.records == pos.PrevRecords {
+		c.epoch = pos.Epoch
+		c.offset = 0
+		c.records = 0
+		c.target = pos
+		c.haveTarget = true
+		adopted = true
+	}
+	f.mu.Unlock()
+	if adopted {
+		f.logf("repl: adopted new epoch", "shard", shard, "epoch", pos.Epoch)
+		return
+	}
+	f.bootstrap(ctx, shard)
+}
+
+// bootstrap replaces the follower's entire contents from a primary
+// snapshot and resets every cursor to the snapshot's positions. One
+// compaction invalidates every shard's cursor at once, so all shard
+// loops converge here; the gen check makes the first one do the work
+// and the rest adopt its result.
+func (f *Follower) bootstrap(ctx context.Context, shard int) {
+	before := f.gen.Load()
+	f.applyMu.Lock()
+	defer f.applyMu.Unlock()
+	if f.gen.Load() != before {
+		return // another shard loop bootstrapped while we waited
+	}
+	f.logf("repl: bootstrapping from snapshot", "trigger_shard", shard)
+	st, data, err := f.fetchSnapshot(ctx)
+	if err != nil {
+		f.logf("repl: snapshot fetch failed", "err", err)
+		return // the shard loop retries and lands back here
+	}
+	docs, err := store.DecodeSnapshot(data)
+	if err != nil {
+		f.logf("repl: snapshot decode failed", "err", err)
+		return
+	}
+	if err := f.Store.ReplaceAll(docs); err != nil {
+		f.logf("repl: snapshot load failed", "err", err)
+		return
+	}
+	now := time.Now()
+	f.mu.Lock()
+	if len(f.cursors) != st.ShardCount {
+		// The primary cannot change shard count on a live data dir
+		// (the store refuses to open); a mismatch means we are talking
+		// to a different primary. Re-size and resync.
+		f.cursors = make([]cursor, st.ShardCount)
+	}
+	for _, p := range st.Positions {
+		if p.Shard < 0 || p.Shard >= len(f.cursors) {
+			continue
+		}
+		f.cursors[p.Shard] = cursor{
+			epoch:      p.Epoch,
+			offset:     p.Offset, // 0: snapshot == epoch start
+			records:    p.Records,
+			target:     p,
+			haveTarget: true,
+			syncedAt:   now,
+		}
+	}
+	f.mu.Unlock()
+	f.gen.Add(1)
+	f.Metrics.Counter(obs.MReplBootstraps).Add(1)
+	f.logf("repl: bootstrap complete", "documents", len(docs))
+}
+
+// fetchSnapshot retrieves the snapshot endpoint's status line and
+// payload.
+func (f *Follower) fetchSnapshot(ctx context.Context) (Status, []byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, f.PrimaryURL+"/repl/v1/snapshot", nil)
+	if err != nil {
+		return Status{}, nil, err
+	}
+	resp, err := f.client().Do(req)
+	if err != nil {
+		return Status{}, nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return Status{}, nil, fmt.Errorf("repl: snapshot %d: %s", resp.StatusCode, body)
+	}
+	br := bufio.NewReader(resp.Body)
+	line, err := br.ReadBytes('\n')
+	if err != nil {
+		return Status{}, nil, fmt.Errorf("repl: snapshot status line: %w", err)
+	}
+	var st Status
+	if err := json.Unmarshal(line, &st); err != nil {
+		return Status{}, nil, fmt.Errorf("repl: snapshot status line: %w", err)
+	}
+	data, err := io.ReadAll(br)
+	if err != nil {
+		return Status{}, nil, err
+	}
+	return st, data, nil
+}
+
+// ShardLag is one primary shard's replication state as seen by the
+// follower.
+type ShardLag struct {
+	Shard          int    `json:"shard"`
+	Epoch          uint64 `json:"epoch"`
+	AppliedOffset  int64  `json:"applied_offset"`
+	AppliedRecords uint64 `json:"applied_records"`
+	PrimaryEpoch   uint64 `json:"primary_epoch"`
+	PrimaryOffset  int64  `json:"primary_offset"`
+	PrimaryRecords uint64 `json:"primary_records"`
+	LagBytes       int64  `json:"lag_bytes"`
+	LagRecords     uint64 `json:"lag_records"`
+	// LagSeconds is the time since this shard last proved it was
+	// caught up (message received with cursor at the primary's tip),
+	// not an estimate of replay delay: it stays under the heartbeat
+	// interval on a healthy stream and grows monotonically while the
+	// primary is unreachable.
+	LagSeconds float64 `json:"lag_seconds"`
+	// Synced is true when the shard has applied everything the
+	// primary last reported.
+	Synced bool `json:"synced"`
+}
+
+// Lag is the follower's aggregate replication state.
+type Lag struct {
+	// Connected is false until the primary's status endpoint has
+	// answered once.
+	Connected bool `json:"connected"`
+	// Synced is true when every shard is synced.
+	Synced bool       `json:"synced"`
+	Shards []ShardLag `json:"shards"`
+	// MaxLag* aggregate the worst shard.
+	MaxLagRecords uint64  `json:"max_lag_records"`
+	MaxLagBytes   int64   `json:"max_lag_bytes"`
+	MaxLagSeconds float64 `json:"max_lag_seconds"`
+}
+
+// Lag reports the follower's current replication lag. A shard whose
+// epoch trails the primary's reports the primary's full log extent as
+// its lag (the true gap is unknowable without the discarded log).
+func (f *Follower) Lag() Lag {
+	now := time.Now()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := Lag{Connected: f.connected, Synced: f.connected && len(f.cursors) > 0}
+	if !f.connected {
+		out.MaxLagSeconds = now.Sub(f.started).Seconds()
+		return out
+	}
+	for i := range f.cursors {
+		c := &f.cursors[i]
+		sl := ShardLag{
+			Shard:          i,
+			Epoch:          c.epoch,
+			AppliedOffset:  c.offset,
+			AppliedRecords: c.records,
+			PrimaryEpoch:   c.target.Epoch,
+			PrimaryOffset:  c.target.Offset,
+			PrimaryRecords: c.target.Records,
+		}
+		switch {
+		case !c.haveTarget:
+			sl.Synced = false
+		case c.epoch == c.target.Epoch:
+			if d := c.target.Offset - c.offset; d > 0 {
+				sl.LagBytes = d
+			}
+			if c.target.Records > c.records {
+				sl.LagRecords = c.target.Records - c.records
+			}
+			sl.Synced = sl.LagBytes == 0
+		default:
+			sl.LagBytes = c.target.Offset
+			sl.LagRecords = c.target.Records
+			sl.Synced = false
+		}
+		// LagSeconds is the age of the shard's last proof of freshness
+		// (a message showing cursor == primary tip). It stays tiny —
+		// bounded by the heartbeat interval — while the stream is
+		// healthy, and grows without bound when the primary is
+		// unreachable, which is what lets /readyz fail a partitioned
+		// replica: an unseen write is indistinguishable from no write,
+		// so an old proof is the only honest staleness measure.
+		since := c.syncedAt
+		if since.IsZero() {
+			since = f.started
+		}
+		sl.LagSeconds = now.Sub(since).Seconds()
+		out.Shards = append(out.Shards, sl)
+		out.Synced = out.Synced && sl.Synced
+		if sl.LagRecords > out.MaxLagRecords {
+			out.MaxLagRecords = sl.LagRecords
+		}
+		if sl.LagBytes > out.MaxLagBytes {
+			out.MaxLagBytes = sl.LagBytes
+		}
+		if sl.LagSeconds > out.MaxLagSeconds {
+			out.MaxLagSeconds = sl.LagSeconds
+		}
+	}
+	return out
+}
+
+// publishLag refreshes the lag gauges once a second so scrapes see
+// fresh values even when no stream traffic updates them.
+func (f *Follower) publishLag(ctx context.Context) {
+	defer f.wg.Done()
+	t := time.NewTicker(time.Second)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			lag := f.Lag()
+			f.Metrics.Gauge(obs.MReplLagRecords).Set(int64(lag.MaxLagRecords))
+			f.Metrics.Gauge(obs.MReplLagBytes).Set(lag.MaxLagBytes)
+			f.Metrics.Gauge(obs.MReplLagMs).Set(int64(lag.MaxLagSeconds * 1000))
+		}
+	}
+}

@@ -1,0 +1,77 @@
+// Package repl is the WAL-shipping replication subsystem: a primary
+// serves its per-shard write-ahead logs over HTTP as a stream of
+// checksummed frames, and a follower pulls those streams, applies the
+// records to an in-memory store, and tracks how far behind it is.
+// The paper's algebra makes this cheap to get right: fragment
+// retrieval is a pure read over immutable document trees, so a
+// replica that has applied the same log prefix answers queries
+// byte-identically to the primary — replication only has to ship the
+// log, never coordinate reads.
+//
+// Wire protocol (all under an internal /repl/ prefix on the primary):
+//
+//	GET /repl/v1/status
+//	    → JSON Status: shard count and each shard's (epoch, offset,
+//	      records) end-of-log position.
+//
+//	GET /repl/v1/wal?shard=N&epoch=E&offset=O
+//	    → chunked NDJSON stream of Message. "frames" messages carry
+//	      raw WAL frames (base64 in JSON) starting at (E, O);
+//	      "heartbeat" messages flow when the shard is idle so the
+//	      follower can distinguish quiet from dead; a "compacted"
+//	      message ends the stream when (E, O) no longer exists, and
+//	      an "error" message reports anything else. The stream
+//	      terminates server-side after MaxStreamAge so followers
+//	      periodically re-balance; they just reconnect at their next
+//	      offset.
+//
+//	GET /repl/v1/snapshot
+//	    → one JSON Status line (the positions the snapshot
+//	      corresponds to), then raw snapshot bytes until EOF. The
+//	      primary compacts to produce it, so the positions are offset
+//	      0 of each shard's fresh epoch.
+//
+// Frames on the wire are byte-identical to frames on disk (length
+// prefix, CRC32, payload — see internal/store's WAL format): the
+// follower re-verifies every checksum before applying, so a corrupt
+// proxy or truncated response is detected, not applied.
+package repl
+
+import "repro/internal/store"
+
+// Message is one NDJSON stream element on the WAL endpoint.
+type Message struct {
+	// Type is "frames", "heartbeat", "compacted" or "error".
+	Type string `json:"type"`
+	// Shard identifies the stream's shard.
+	Shard int `json:"shard"`
+	// Epoch/Offset name the log position of the first byte of Data
+	// (frames), or the follower's requested position (compacted).
+	Epoch  uint64 `json:"epoch"`
+	Offset int64  `json:"offset"`
+	// Data holds raw WAL frames (base64-encoded by encoding/json).
+	Data []byte `json:"data,omitempty"`
+	// Pos is the shard's current end-of-log position on the primary —
+	// the lag target. Present on every message type.
+	Pos store.WALPosition `json:"pos"`
+	// Error carries the detail for type "error".
+	Error string `json:"error,omitempty"`
+}
+
+// Status is the primary's replication identity: how many shards it
+// runs and where each log currently ends. A follower sizes its
+// cursors from ShardCount (the primary's shard count is part of the
+// stream addressing, independent of the replica store's own
+// sharding).
+type Status struct {
+	ShardCount int                 `json:"shard_count"`
+	Positions  []store.WALPosition `json:"positions"`
+}
+
+const (
+	// msgFrames..msgError are the Message.Type values.
+	msgFrames    = "frames"
+	msgHeartbeat = "heartbeat"
+	msgCompacted = "compacted"
+	msgError     = "error"
+)

@@ -1,0 +1,304 @@
+package repl_test
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/repl"
+	"repro/internal/store"
+)
+
+func lifecycleDoc(i int) (string, string) {
+	name := fmt.Sprintf("doc-%04d", i)
+	xml := fmt.Sprintf("<article><title>xml query %d</title><body>algebra fragment retrieval run %d</body></article>", i, i)
+	return name, xml
+}
+
+func openPrimary(t *testing.T, dir string, shards int) *store.Store {
+	t.Helper()
+	st, err := store.Open(store.Options{Dir: dir, Shards: shards, CompactBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func openReplicaStore(t *testing.T, shards int) *store.Store {
+	t.Helper()
+	st, err := store.Open(store.Options{Shards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close(context.Background()) })
+	return st
+}
+
+func newTestServer(st *store.Store) *repl.Server {
+	return &repl.Server{
+		Store:     st,
+		Metrics:   st.Metrics(),
+		Poll:      5 * time.Millisecond,
+		Heartbeat: 50 * time.Millisecond,
+	}
+}
+
+// startFollower wires a follower to primaryURL and stops it on test
+// cleanup. The follower gets its own metrics registry so tests can
+// assert on restart/bootstrap counters in isolation.
+func startFollower(t *testing.T, primaryURL string, replica *store.Store) (*repl.Follower, *obs.Metrics) {
+	t.Helper()
+	m := obs.NewMetrics()
+	f := &repl.Follower{
+		PrimaryURL:    primaryURL,
+		Store:         replica,
+		Metrics:       m,
+		RetryInterval: 20 * time.Millisecond,
+		IdleTimeout:   2 * time.Second,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	if err := f.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cancel()
+		f.Wait()
+	})
+	return f, m
+}
+
+func waitFor(t *testing.T, timeout time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out after %v waiting for %s", timeout, what)
+}
+
+func sortedNames(st *store.Store) []string {
+	names := st.Names()
+	sort.Strings(names)
+	return names
+}
+
+func sameNames(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// synced reports whether the follower is connected with zero lag on
+// every shard.
+func synced(f *repl.Follower) bool {
+	lag := f.Lag()
+	return lag.Connected && lag.Synced && lag.MaxLagRecords == 0 && lag.MaxLagBytes == 0
+}
+
+// TestFollowerCatchUpFromEmpty starts an empty follower against a
+// primary that already holds documents, waits for full convergence,
+// then keeps writing and verifies the follower tracks the live tail.
+// Primary and replica deliberately use different shard counts: frames
+// are routed by name on each side, so layout is a local choice.
+func TestFollowerCatchUpFromEmpty(t *testing.T) {
+	primary := openPrimary(t, t.TempDir(), 4)
+	t.Cleanup(func() { primary.Close(context.Background()) })
+	for i := 0; i < 20; i++ {
+		name, xml := lifecycleDoc(i)
+		if err := primary.AddXML(name, xml); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv := httptest.NewServer(newTestServer(primary).Handler())
+	t.Cleanup(srv.Close)
+
+	replica := openReplicaStore(t, 2)
+	f, _ := startFollower(t, srv.URL, replica)
+
+	waitFor(t, 10*time.Second, "initial catch-up", func() bool {
+		return synced(f) && replica.Len() == 20
+	})
+	if !sameNames(sortedNames(primary), sortedNames(replica)) {
+		t.Fatalf("document sets diverge:\nprimary %v\nreplica %v", sortedNames(primary), sortedNames(replica))
+	}
+
+	// Live tail: writes (including a removal) stream in while the
+	// follower is connected.
+	for i := 20; i < 30; i++ {
+		name, xml := lifecycleDoc(i)
+		if err := primary.AddXML(name, xml); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !primary.Remove("doc-0003") {
+		t.Fatal("remove failed on primary")
+	}
+	waitFor(t, 10*time.Second, "live tail convergence", func() bool {
+		return synced(f) && replica.Len() == primary.Len()
+	})
+	if !sameNames(sortedNames(primary), sortedNames(replica)) {
+		t.Fatalf("document sets diverge after tail writes:\nprimary %v\nreplica %v", sortedNames(primary), sortedNames(replica))
+	}
+	for _, n := range replica.Names() {
+		if n == "doc-0003" {
+			t.Fatal("removal did not replicate")
+		}
+	}
+}
+
+// TestFollowerResumesAfterPrimaryRestart closes the primary store
+// mid-stream and reopens it from the same data dir behind the same
+// URL. Epochs and offsets persist in wal.meta, so the follower's
+// cursors stay valid: it must reconnect and resume without a
+// bootstrap, and new writes must keep flowing.
+func TestFollowerResumesAfterPrimaryRestart(t *testing.T) {
+	dir := t.TempDir()
+	st1 := openPrimary(t, dir, 2)
+
+	// The handler indirection keeps one stable URL across the restart,
+	// exactly like a primary process restarting behind its address.
+	var handler atomic.Value
+	handler.Store(newTestServer(st1).Handler())
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		handler.Load().(http.Handler).ServeHTTP(w, r)
+	}))
+	t.Cleanup(srv.Close)
+
+	for i := 0; i < 10; i++ {
+		name, xml := lifecycleDoc(i)
+		if err := st1.AddXML(name, xml); err != nil {
+			t.Fatal(err)
+		}
+	}
+	replica := openReplicaStore(t, 2)
+	f, m := startFollower(t, srv.URL, replica)
+	waitFor(t, 10*time.Second, "pre-restart catch-up", func() bool {
+		return synced(f) && replica.Len() == 10
+	})
+
+	// "Crash" the primary: close the store (streams start failing),
+	// then bring it back from the same dir.
+	if err := st1.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	st2 := openPrimary(t, dir, 2)
+	t.Cleanup(func() { st2.Close(context.Background()) })
+	handler.Store(newTestServer(st2).Handler())
+
+	name, xml := lifecycleDoc(10)
+	if err := st2.AddXML(name, xml); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 10*time.Second, "post-restart convergence", func() bool {
+		return synced(f) && replica.Len() == 11
+	})
+	if !sameNames(sortedNames(st2), sortedNames(replica)) {
+		t.Fatalf("document sets diverge after restart:\nprimary %v\nreplica %v", sortedNames(st2), sortedNames(replica))
+	}
+	if got := m.Counter(obs.MReplStreamRestarts).Value(); got == 0 {
+		t.Fatal("expected at least one stream restart across the primary restart")
+	}
+	if got := m.Counter(obs.MReplBootstraps).Value(); got != 0 {
+		t.Fatalf("restart with persistent epochs must not force a bootstrap, got %d", got)
+	}
+}
+
+// TestFollowerBootstrapAfterCompaction starts a follower against a
+// primary whose log beginning is already gone (one compaction happened
+// before the follower ever connected). Streaming from epoch 0 must
+// fail with "compacted", triggering a snapshot bootstrap, after which
+// the follower converges and tracks new writes normally.
+func TestFollowerBootstrapAfterCompaction(t *testing.T) {
+	primary := openPrimary(t, t.TempDir(), 2)
+	t.Cleanup(func() { primary.Close(context.Background()) })
+	for i := 0; i < 12; i++ {
+		name, xml := lifecycleDoc(i)
+		if err := primary.AddXML(name, xml); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Truncate the log: the 12 documents now exist only in the
+	// snapshot. A follower replaying the live WAL alone would miss
+	// every one of them.
+	if err := primary.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(newTestServer(primary).Handler())
+	t.Cleanup(srv.Close)
+
+	replica := openReplicaStore(t, 2)
+	f, m := startFollower(t, srv.URL, replica)
+	waitFor(t, 10*time.Second, "bootstrap convergence", func() bool {
+		return synced(f) && replica.Len() == 12
+	})
+	if !sameNames(sortedNames(primary), sortedNames(replica)) {
+		t.Fatalf("document sets diverge after bootstrap:\nprimary %v\nreplica %v", sortedNames(primary), sortedNames(replica))
+	}
+	if got := m.Counter(obs.MReplBootstraps).Value(); got == 0 {
+		t.Fatal("expected a snapshot bootstrap when the log beginning is compacted away")
+	}
+
+	// Post-bootstrap the stream is live again: new writes replicate.
+	name, xml := lifecycleDoc(99)
+	if err := primary.AddXML(name, xml); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 10*time.Second, "post-bootstrap tail", func() bool {
+		return synced(f) && replica.Len() == 13
+	})
+}
+
+// TestFollowerAdoptsEpochAfterCompaction compacts the primary while
+// the follower is fully caught up. The follower had applied every
+// record of the old epoch, so it must adopt the new epoch in place —
+// no snapshot transfer — and keep streaming.
+func TestFollowerAdoptsEpochAfterCompaction(t *testing.T) {
+	primary := openPrimary(t, t.TempDir(), 2)
+	t.Cleanup(func() { primary.Close(context.Background()) })
+	for i := 0; i < 8; i++ {
+		name, xml := lifecycleDoc(i)
+		if err := primary.AddXML(name, xml); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv := httptest.NewServer(newTestServer(primary).Handler())
+	t.Cleanup(srv.Close)
+
+	replica := openReplicaStore(t, 2)
+	f, m := startFollower(t, srv.URL, replica)
+	waitFor(t, 10*time.Second, "catch-up before compaction", func() bool {
+		return synced(f) && replica.Len() == 8
+	})
+
+	if err := primary.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	name, xml := lifecycleDoc(8)
+	if err := primary.AddXML(name, xml); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 10*time.Second, "post-compaction convergence", func() bool {
+		return synced(f) && replica.Len() == 9
+	})
+	if got := m.Counter(obs.MReplBootstraps).Value(); got != 0 {
+		t.Fatalf("caught-up follower should adopt the new epoch without bootstrap, got %d bootstraps", got)
+	}
+	if !sameNames(sortedNames(primary), sortedNames(replica)) {
+		t.Fatalf("document sets diverge after epoch adoption:\nprimary %v\nreplica %v", sortedNames(primary), sortedNames(replica))
+	}
+}

@@ -1,0 +1,198 @@
+package repl
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/store"
+)
+
+// Server exposes a durable store's WAL for followers. Mount Handler()
+// on the primary's mux; all endpoints are read-only with respect to
+// documents (the snapshot endpoint does trigger a compaction).
+type Server struct {
+	// Store is the durable store whose logs are shipped.
+	Store *store.Store
+	// Metrics receives primary-side replication series (streams
+	// active, bytes sent). Nil disables.
+	Metrics *obs.Metrics
+
+	// Poll is how often an at-tip stream re-checks the log for new
+	// frames (default 50ms — the replication latency floor when idle).
+	Poll time.Duration
+	// Heartbeat is how often an idle stream emits a heartbeat message
+	// so the follower can tell quiet from dead (default 1s).
+	Heartbeat time.Duration
+	// MaxBatchBytes bounds one frames message (default 1 MiB).
+	MaxBatchBytes int
+	// MaxStreamAge ends a stream after this long so followers
+	// periodically reconnect (default 5m; connection churn is cheap
+	// and bounds how long a half-dead connection can linger).
+	MaxStreamAge time.Duration
+}
+
+func (s *Server) poll() time.Duration {
+	if s.Poll > 0 {
+		return s.Poll
+	}
+	return 50 * time.Millisecond
+}
+
+func (s *Server) heartbeat() time.Duration {
+	if s.Heartbeat > 0 {
+		return s.Heartbeat
+	}
+	return time.Second
+}
+
+func (s *Server) maxBatch() int {
+	if s.MaxBatchBytes > 0 {
+		return s.MaxBatchBytes
+	}
+	return 1 << 20
+}
+
+func (s *Server) maxStreamAge() time.Duration {
+	if s.MaxStreamAge > 0 {
+		return s.MaxStreamAge
+	}
+	return 5 * time.Minute
+}
+
+// Handler returns the replication endpoints under /repl/v1/.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /repl/v1/status", s.handleStatus)
+	mux.HandleFunc("GET /repl/v1/wal", s.handleWAL)
+	mux.HandleFunc("GET /repl/v1/snapshot", s.handleSnapshot)
+	return mux
+}
+
+func (s *Server) status() (Status, error) {
+	pos, err := s.Store.WALPositions()
+	if err != nil {
+		return Status{}, err
+	}
+	return Status{ShardCount: len(pos), Positions: pos}, nil
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	st, err := s.status()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(st)
+}
+
+// handleWAL streams one shard's log as NDJSON messages from the
+// requested (epoch, offset) until the client disconnects, the
+// position is compacted away, or the stream ages out.
+func (s *Server) handleWAL(w http.ResponseWriter, r *http.Request) {
+	shard, err := strconv.Atoi(r.URL.Query().Get("shard"))
+	if err != nil {
+		http.Error(w, "bad shard", http.StatusBadRequest)
+		return
+	}
+	epoch, err := strconv.ParseUint(r.URL.Query().Get("epoch"), 10, 64)
+	if err != nil {
+		http.Error(w, "bad epoch", http.StatusBadRequest)
+		return
+	}
+	offset, err := strconv.ParseInt(r.URL.Query().Get("offset"), 10, 64)
+	if err != nil || offset < 0 {
+		http.Error(w, "bad offset", http.StatusBadRequest)
+		return
+	}
+	flusher, _ := w.(http.Flusher)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+
+	active := s.Metrics.Gauge(obs.MReplStreamsActive)
+	active.Add(1)
+	defer active.Add(-1)
+	sent := s.Metrics.Counter(obs.MReplBytesSent)
+
+	enc := json.NewEncoder(w)
+	emit := func(m Message) bool {
+		if err := enc.Encode(m); err != nil {
+			return false
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+
+	ctx := r.Context()
+	deadline := time.Now().Add(s.maxStreamAge())
+	lastSend := time.Time{}
+	ticker := time.NewTicker(s.poll())
+	defer ticker.Stop()
+	for {
+		data, pos, err := s.Store.ReadWALFrames(shard, epoch, offset, s.maxBatch())
+		switch {
+		case err == store.ErrWALCompacted:
+			// The follower's position is gone. Pos carries the new
+			// epoch plus where the old one ended (PrevSize/PrevRecords)
+			// so a fully-caught-up follower can adopt the new epoch at
+			// offset 0 instead of re-bootstrapping.
+			emit(Message{Type: msgCompacted, Shard: shard, Epoch: epoch, Offset: offset, Pos: pos})
+			return
+		case err != nil:
+			emit(Message{Type: msgError, Shard: shard, Epoch: epoch, Offset: offset, Pos: pos, Error: err.Error()})
+			return
+		case len(data) > 0:
+			if !emit(Message{Type: msgFrames, Shard: shard, Epoch: epoch, Offset: offset, Data: data, Pos: pos}) {
+				return
+			}
+			sent.Add(uint64(len(data)))
+			offset += int64(len(data))
+			lastSend = time.Now()
+			continue // drain the backlog before sleeping
+		default:
+			if time.Since(lastSend) >= s.heartbeat() {
+				if !emit(Message{Type: msgHeartbeat, Shard: shard, Epoch: epoch, Offset: offset, Pos: pos}) {
+					return
+				}
+				lastSend = time.Now()
+			}
+		}
+		if time.Now().After(deadline) {
+			return
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+		}
+	}
+}
+
+// handleSnapshot compacts the store and responds with one JSON Status
+// line (the post-compaction positions) followed by the raw snapshot
+// bytes. Bootstrap is expected to be rare — a new follower, or one
+// that fell behind a compaction — so triggering a compaction per
+// request is acceptable and keeps the snapshot exactly aligned with
+// the positions it reports.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	data, pos, err := s.Store.ReplicationSnapshot()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	if err := json.NewEncoder(w).Encode(Status{ShardCount: len(pos), Positions: pos}); err != nil {
+		return
+	}
+	n, err := w.Write(data)
+	if err == nil {
+		s.Metrics.Counter(obs.MReplBytesSent).Add(uint64(n))
+	}
+}

@@ -1,0 +1,243 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/obs"
+	"repro/internal/snapshot"
+	"repro/internal/xmltree"
+)
+
+// ErrWALCompacted is returned by ReadWALFrames when the requested
+// (epoch, offset) no longer names a live log position — the log was
+// truncated by a compaction since the follower last read. The
+// follower must bootstrap from a snapshot (or adopt the new epoch at
+// offset 0 if it had fully applied the old one).
+var ErrWALCompacted = errors.New("store: requested WAL position compacted away")
+
+// ErrNotDurable is returned by replication reads on a store without a
+// data dir: there is no WAL to ship.
+var ErrNotDurable = errors.New("store: replication requires a durable store (data dir)")
+
+// ErrDurableReplica guards against pointing a follower at a durable
+// store: replicated applies bypass the local WAL (the primary's log
+// is the source of truth), so a durable replica would diverge from
+// its own log on restart.
+var ErrDurableReplica = errors.New("store: a replica store must be in-memory (no data dir)")
+
+// WALPosition names a point in one shard's log stream: the epoch
+// (bumped per compaction) plus the byte offset and record count
+// within it. PrevSize/PrevRecords describe where the previous epoch
+// ended, letting a follower that had fully applied epoch e-1 adopt
+// epoch e at offset 0 without refetching a snapshot.
+type WALPosition struct {
+	Shard       int    `json:"shard"`
+	Epoch       uint64 `json:"epoch"`
+	Offset      int64  `json:"offset"`
+	Records     uint64 `json:"records"`
+	PrevSize    int64  `json:"prev_size"`
+	PrevRecords uint64 `json:"prev_records"`
+}
+
+// Durable reports whether the store has a WAL-backed data dir.
+func (s *Store) Durable() bool { return s.wals != nil }
+
+// WALPositions returns the current end-of-log position of every shard.
+func (s *Store) WALPositions() ([]WALPosition, error) {
+	if s.wals == nil {
+		return nil, ErrNotDurable
+	}
+	if s.replaying.Load() {
+		return nil, ErrReplaying
+	}
+	out := make([]WALPosition, len(s.wals))
+	for i, ws := range s.wals {
+		ws.mu.Lock()
+		if ws.w == nil {
+			ws.mu.Unlock()
+			return nil, ErrClosed
+		}
+		out[i] = WALPosition{
+			Shard:       i,
+			Epoch:       ws.epoch,
+			Offset:      ws.w.size,
+			Records:     ws.records,
+			PrevSize:    ws.prevSize,
+			PrevRecords: ws.prevRecords,
+		}
+		ws.mu.Unlock()
+	}
+	return out, nil
+}
+
+// ReadWALFrames returns raw checksummed frames from one shard's log
+// starting at the given byte offset, up to roughly maxBytes (always
+// at least one whole frame when any exists), plus the shard's current
+// end-of-log position. A (epoch, offset) pair that predates the
+// shard's current epoch — or an offset past the current log end,
+// which can only mean the follower read it in a discarded epoch —
+// returns ErrWALCompacted.
+func (s *Store) ReadWALFrames(shard int, epoch uint64, offset int64, maxBytes int) ([]byte, WALPosition, error) {
+	if s.wals == nil {
+		return nil, WALPosition{}, ErrNotDurable
+	}
+	if s.replaying.Load() {
+		return nil, WALPosition{}, ErrReplaying
+	}
+	if shard < 0 || shard >= len(s.wals) {
+		return nil, WALPosition{}, fmt.Errorf("store: shard %d out of range [0,%d)", shard, len(s.wals))
+	}
+	ws := s.wals[shard]
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	if ws.w == nil { // closed, or background replay still opening logs
+		return nil, WALPosition{}, ErrClosed
+	}
+	pos := WALPosition{
+		Shard:       shard,
+		Epoch:       ws.epoch,
+		Offset:      ws.w.size,
+		Records:     ws.records,
+		PrevSize:    ws.prevSize,
+		PrevRecords: ws.prevRecords,
+	}
+	if epoch != ws.epoch || offset > ws.w.size {
+		return nil, pos, ErrWALCompacted
+	}
+	data, err := ws.w.readFrames(offset, maxBytes)
+	if err != nil {
+		return nil, pos, err
+	}
+	return data, pos, nil
+}
+
+// ApplyReplicated decodes a batch of WAL frames received from a
+// primary and applies each record through the normal replay path,
+// returning how many records were applied. Only valid on an
+// in-memory store (see ErrDurableReplica). Unlike Add, a replicated
+// add of an existing name replaces the document: the primary's log
+// already serialized the operations, so the frame stream is
+// authoritative.
+func (s *Store) ApplyReplicated(data []byte) (int, error) {
+	if s.wals != nil {
+		return 0, ErrDurableReplica
+	}
+	applied := 0
+	for len(data) > 0 {
+		rec, n, err := decodeFrame(data)
+		if err != nil {
+			return applied, fmt.Errorf("store: replicated frame %d: %w", applied, err)
+		}
+		if err := s.applyReplicatedRecord(rec); err != nil {
+			return applied, err
+		}
+		data = data[n:]
+		applied++
+	}
+	return applied, nil
+}
+
+func (s *Store) applyReplicatedRecord(rec walRecord) error {
+	s.ingestMu.RLock()
+	defer s.ingestMu.RUnlock()
+	switch rec.op {
+	case walOpAdd:
+		doc, err := xmltree.ParseString(rec.name, rec.xml)
+		if err != nil {
+			return fmt.Errorf("store: replicated doc %q: %w", rec.name, err)
+		}
+		sh := s.shardFor(rec.name)
+		replaced := sh.Remove(rec.name)
+		if err := sh.Add(doc); err != nil {
+			return err
+		}
+		if !replaced {
+			s.metrics.Gauge(obs.MStoreDocuments).Add(1)
+		}
+	case walOpRemove:
+		if s.shardFor(rec.name).Remove(rec.name) {
+			s.metrics.Gauge(obs.MStoreDocuments).Add(-1)
+		}
+	default:
+		return fmt.Errorf("store: replicated record has unknown op %d", rec.op)
+	}
+	return nil
+}
+
+// ReplaceAll swaps the store's entire contents for docs — the final
+// step of a follower's snapshot bootstrap. Only valid on an in-memory
+// store.
+func (s *Store) ReplaceAll(docs []*xmltree.Document) error {
+	if s.wals != nil {
+		return ErrDurableReplica
+	}
+	s.ingestMu.Lock()
+	defer s.ingestMu.Unlock()
+	for _, sh := range s.shards {
+		for _, name := range sh.Names() {
+			sh.Remove(name)
+		}
+	}
+	for _, d := range docs {
+		if err := s.shardFor(d.Name()).Add(d); err != nil {
+			return fmt.Errorf("store: bootstrap doc %q: %w", d.Name(), err)
+		}
+	}
+	s.metrics.Gauge(obs.MStoreDocuments).Set(int64(len(docs)))
+	return nil
+}
+
+// ReplicationSnapshot compacts the store (snapshot + WAL truncation +
+// epoch bump, all under the ingest write lock) and returns the
+// snapshot bytes together with the post-compaction positions, which
+// are offset 0 of each shard's new epoch. Because the compaction and
+// the position capture happen under one critical section, a follower
+// that loads these bytes and then streams from these positions misses
+// nothing and duplicates nothing.
+func (s *Store) ReplicationSnapshot() ([]byte, []WALPosition, error) {
+	if s.wals == nil {
+		return nil, nil, ErrNotDurable
+	}
+	if s.replaying.Load() {
+		return nil, nil, ErrReplaying
+	}
+	s.ingestMu.Lock()
+	defer s.ingestMu.Unlock()
+	if err := s.compactLocked(); err != nil {
+		return nil, nil, err
+	}
+	data, err := os.ReadFile(filepath.Join(s.opts.Dir, snapshotFile))
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: read compaction snapshot: %w", err)
+	}
+	pos := make([]WALPosition, len(s.wals))
+	for i, ws := range s.wals {
+		ws.mu.Lock()
+		pos[i] = WALPosition{
+			Shard:       i,
+			Epoch:       ws.epoch,
+			Offset:      ws.w.size,
+			Records:     ws.records,
+			PrevSize:    ws.prevSize,
+			PrevRecords: ws.prevRecords,
+		}
+		ws.mu.Unlock()
+	}
+	return data, pos, nil
+}
+
+// DecodeSnapshot parses snapshot bytes produced by
+// ReplicationSnapshot back into documents, sorted by name.
+func DecodeSnapshot(data []byte) ([]*xmltree.Document, error) {
+	docs, err := snapshot.ReadDocuments(bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(docs, func(i, j int) bool { return docs[i].Name() < docs[j].Name() })
+	return docs, nil
+}

@@ -16,6 +16,7 @@ package store
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"hash/fnv"
@@ -36,8 +37,16 @@ import (
 // snapshotFile is the compaction snapshot's name inside Options.Dir.
 const snapshotFile = "store.snap"
 
-// walFile is the write-ahead log's name inside Options.Dir.
-const walFile = "wal.log"
+// legacyWALFile is the single-log layout used before the WAL was
+// split per shard; an existing log is migrated on open (see recover).
+const legacyWALFile = "wal.log"
+
+// walMetaFile persists the per-shard WAL epochs (bumped on every
+// compaction) so replication offsets stay meaningful across restarts.
+const walMetaFile = "wal.meta"
+
+// walShardFile names shard i's write-ahead log inside Options.Dir.
+func walShardFile(i int) string { return fmt.Sprintf("wal-%04d.log", i) }
 
 // Options configures a store. The zero value is a usable in-memory
 // store (no durability) with default sharding and worker counts.
@@ -73,6 +82,27 @@ type Options struct {
 	// already loaded — a load balancer watching /readyz keeps traffic
 	// away from the node until replay completes.
 	BackgroundReplay bool
+	// CacheEntries enables a per-document LRU result cache of this
+	// many entries on every shard (0 disables). Sound because engines
+	// are immutable: replacing a document swaps in a fresh engine with
+	// a fresh cache, so stale answers cannot survive a replace.
+	CacheEntries int
+}
+
+// walShard is one shard's write-ahead log plus its replication
+// cursor state. epoch counts compactions: every compaction truncates
+// the log and bumps the epoch, so an (epoch, offset) pair names a
+// unique log position across truncations. records counts records
+// appended in the current epoch; prevSize/prevRecords remember where
+// the previous epoch ended so a caught-up follower can adopt a new
+// epoch without refetching a snapshot.
+type walShard struct {
+	mu          sync.Mutex
+	w           *wal // nil until recovery has opened the log
+	epoch       uint64
+	records     uint64
+	prevSize    int64
+	prevRecords uint64
 }
 
 func (o *Options) setDefaults() {
@@ -113,9 +143,11 @@ type Store struct {
 	// write, so a compaction snapshot never misses a logged-but-not-
 	// yet-indexed document whose WAL record it is about to discard.
 	ingestMu sync.RWMutex
-	// walMu serializes WAL appends (wal is not internally locked).
-	walMu sync.Mutex
-	wal   *wal
+	// wals holds one write-ahead log per shard (nil without a data
+	// dir). The slice is allocated in Open and never reassigned; each
+	// walShard guards its own log with its own mutex, so appends to
+	// different shards never contend.
+	wals []*walShard
 
 	metrics *obs.Metrics
 
@@ -156,8 +188,13 @@ func Open(opts Options) (*Store, error) {
 	for i := range s.shards {
 		s.shards[i] = collection.New()
 		s.shards[i].SetSearchWorkers(perShard)
+		s.shards[i].SetResultCache(opts.CacheEntries)
 	}
 	if opts.Dir != "" {
+		s.wals = make([]*walShard, opts.Shards)
+		for i := range s.wals {
+			s.wals[i] = &walShard{}
+		}
 		if opts.BackgroundReplay {
 			s.replaying.Store(true)
 			go func() {
@@ -169,7 +206,8 @@ func Open(opts Options) (*Store, error) {
 				}
 				s.metrics.Gauge(obs.MStoreDocuments).Set(int64(s.Len()))
 				// The Store(false) publishes every recovery write
-				// (including s.wal) to mutators that observe it.
+				// (including the opened WAL handles) to mutators that
+				// observe it.
 				s.replaying.Store(false)
 			}()
 		} else if err := s.recover(); err != nil {
@@ -191,11 +229,86 @@ func Open(opts Options) (*Store, error) {
 	return s, nil
 }
 
-// recover loads the compaction snapshot (if any) and replays the WAL
-// into the shards. Replayed adds that duplicate a snapshotted
-// document are skipped: compaction truncates the log only after the
-// snapshot is durable, so a crash between the two leaves records that
-// are redundant, not conflicting.
+// walMeta is the JSON sidecar persisting each shard's compaction
+// epoch and where the previous epoch ended. It is rewritten on every
+// compaction; a missing file means epoch 0 everywhere.
+type walMeta struct {
+	Epochs      []uint64 `json:"epochs"`
+	PrevSizes   []int64  `json:"prev_sizes"`
+	PrevRecords []uint64 `json:"prev_records"`
+}
+
+func loadWALMeta(dir string, shards int) (walMeta, error) {
+	m := walMeta{
+		Epochs:      make([]uint64, shards),
+		PrevSizes:   make([]int64, shards),
+		PrevRecords: make([]uint64, shards),
+	}
+	data, err := os.ReadFile(filepath.Join(dir, walMetaFile))
+	if errors.Is(err, os.ErrNotExist) {
+		return m, nil
+	}
+	if err != nil {
+		return m, fmt.Errorf("store: read wal meta: %w", err)
+	}
+	var got walMeta
+	if err := json.Unmarshal(data, &got); err != nil {
+		return m, fmt.Errorf("store: parse wal meta: %w", err)
+	}
+	if len(got.Epochs) != shards {
+		return m, fmt.Errorf("store: data dir was created with %d shards, store opened with %d (shard count is part of the on-disk layout)", len(got.Epochs), shards)
+	}
+	copy(m.Epochs, got.Epochs)
+	copy(m.PrevSizes, got.PrevSizes)
+	copy(m.PrevRecords, got.PrevRecords)
+	return m, nil
+}
+
+// persistWALMeta writes the epochs sidecar durably (temp file, fsync,
+// rename, dir fsync — compaction deletes log records on its strength).
+func (s *Store) persistWALMeta() error {
+	m := walMeta{
+		Epochs:      make([]uint64, len(s.wals)),
+		PrevSizes:   make([]int64, len(s.wals)),
+		PrevRecords: make([]uint64, len(s.wals)),
+	}
+	for i, ws := range s.wals {
+		m.Epochs[i] = ws.epoch
+		m.PrevSizes[i] = ws.prevSize
+		m.PrevRecords[i] = ws.prevRecords
+	}
+	data, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(s.opts.Dir, walMetaFile)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	f, err := os.Open(tmp)
+	if err == nil {
+		err = f.Sync()
+		f.Close()
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return snapshot.SyncDir(s.opts.Dir)
+}
+
+// recover loads the compaction snapshot (if any) and replays every
+// per-shard WAL into the shards. Replayed adds that duplicate a
+// snapshotted document are skipped: compaction truncates the logs
+// only after the snapshot is durable, so a crash between the two
+// leaves records that are redundant, not conflicting. A legacy
+// single-file wal.log from the pre-sharded layout is migrated into
+// the per-shard logs and removed.
 func (s *Store) recover() error {
 	if err := os.MkdirAll(s.opts.Dir, 0o755); err != nil {
 		return fmt.Errorf("store: data dir: %w", err)
@@ -214,19 +327,88 @@ func (s *Store) recover() error {
 	} else if !errors.Is(err, os.ErrNotExist) {
 		return fmt.Errorf("store: stat snapshot: %w", err)
 	}
-	w, replayed, corrupt, err := openWAL(filepath.Join(s.opts.Dir, walFile), s.applyWALRecord)
+	meta, err := loadWALMeta(s.opts.Dir, len(s.wals))
 	if err != nil {
 		return err
 	}
-	// Assign under walMu so a Close racing a background replay never
-	// reads a half-published handle.
-	s.walMu.Lock()
-	s.wal = w
-	s.walMu.Unlock()
-	s.metrics.Counter(obs.MWALReplayed).Add(uint64(replayed))
-	s.metrics.Counter(obs.MWALCorruptSkipped).Add(uint64(corrupt))
-	s.metrics.Gauge(obs.MWALBytes).Set(w.size)
+	var totalReplayed, totalCorrupt int
+	var totalBytes int64
+	for i, ws := range s.wals {
+		w, replayed, corrupt, err := openWAL(filepath.Join(s.opts.Dir, walShardFile(i)), s.applyWALRecord)
+		if err != nil {
+			return err
+		}
+		ws.mu.Lock()
+		ws.w = w
+		ws.epoch = meta.Epochs[i]
+		ws.records = uint64(replayed)
+		ws.prevSize = meta.PrevSizes[i]
+		ws.prevRecords = meta.PrevRecords[i]
+		ws.mu.Unlock()
+		totalReplayed += replayed
+		totalCorrupt += corrupt
+		totalBytes += w.size
+	}
+	migrated, corrupt, err := s.migrateLegacyWAL()
+	if err != nil {
+		return err
+	}
+	totalReplayed += migrated
+	totalCorrupt += corrupt
+	if migrated > 0 {
+		totalBytes = 0
+		for _, ws := range s.wals {
+			totalBytes += ws.w.size
+		}
+	}
+	s.metrics.Counter(obs.MWALReplayed).Add(uint64(totalReplayed))
+	s.metrics.Counter(obs.MWALCorruptSkipped).Add(uint64(totalCorrupt))
+	s.metrics.Gauge(obs.MWALBytes).Set(totalBytes)
 	return nil
+}
+
+// migrateLegacyWAL replays a pre-sharding wal.log (if present) into
+// the in-memory shards, re-appends its records to the per-shard logs,
+// and deletes the legacy file. A crash mid-migration can leave both
+// layouts on disk with a shared prefix; replaying that prefix twice
+// is state-idempotent (a duplicate add is skipped, a duplicate remove
+// is a no-op), so the next open converges to the same state and
+// compaction eventually drops the redundant records.
+func (s *Store) migrateLegacyWAL() (replayed, corrupt int, err error) {
+	legacy := filepath.Join(s.opts.Dir, legacyWALFile)
+	f, err := os.Open(legacy)
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, 0, nil
+	}
+	if err != nil {
+		return 0, 0, fmt.Errorf("store: open legacy wal: %w", err)
+	}
+	var recs []walRecord
+	replayed, _, corrupt, err = replayWAL(f, func(rec walRecord) error {
+		recs = append(recs, rec)
+		return s.applyWALRecord(rec)
+	})
+	f.Close()
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, rec := range recs {
+		ws := s.wals[s.ShardIndex(rec.name)]
+		ws.mu.Lock()
+		err := ws.w.append(rec)
+		if err == nil {
+			ws.records++
+			err = ws.w.sync()
+		}
+		ws.mu.Unlock()
+		if err != nil {
+			return 0, 0, fmt.Errorf("store: migrate legacy wal: %w", err)
+		}
+	}
+	if err := os.Remove(legacy); err != nil {
+		return 0, 0, fmt.Errorf("store: remove legacy wal: %w", err)
+	}
+	return replayed, corrupt, snapshot.SyncDir(s.opts.Dir)
 }
 
 func (s *Store) applyWALRecord(rec walRecord) error {
@@ -350,26 +532,38 @@ func (s *Store) Remove(name string) bool {
 	return true
 }
 
-// logRecord appends one mutation to the WAL (no-op without a data
-// dir) and triggers compaction when the log has outgrown
-// CompactBytes. Caller holds ingestMu.RLock.
+// logRecord appends one mutation to its shard's WAL (no-op without a
+// data dir) and triggers compaction when the combined logs have
+// outgrown CompactBytes. Caller holds ingestMu.RLock; only the
+// record's own shard log is locked, so appends to different shards
+// proceed in parallel.
 func (s *Store) logRecord(rec walRecord) error {
-	if s.wal == nil {
+	if s.wals == nil {
 		return nil
 	}
-	s.walMu.Lock()
-	err := s.wal.append(rec)
-	if err == nil && s.opts.SyncEveryAppend {
-		err = s.wal.sync()
+	ws := s.wals[s.ShardIndex(rec.name)]
+	ws.mu.Lock()
+	if ws.w == nil { // background replay still opening logs
+		ws.mu.Unlock()
+		return ErrReplaying
 	}
-	size := s.wal.size
-	s.walMu.Unlock()
+	before := ws.w.size
+	err := ws.w.append(rec)
+	if err == nil && s.opts.SyncEveryAppend {
+		err = ws.w.sync()
+	}
+	written := ws.w.size - before
+	if err == nil {
+		ws.records++
+	}
+	ws.mu.Unlock()
 	if err != nil {
 		return err
 	}
 	s.metrics.Counter(obs.MWALRecords).Add(1)
-	s.metrics.Gauge(obs.MWALBytes).Set(size)
-	if s.opts.CompactBytes > 0 && size > s.opts.CompactBytes && s.compacting.CompareAndSwap(false, true) {
+	total := s.metrics.Gauge(obs.MWALBytes)
+	total.Add(written)
+	if s.opts.CompactBytes > 0 && total.Value() > s.opts.CompactBytes && s.compacting.CompareAndSwap(false, true) {
 		// Compact needs ingestMu exclusively; run it from a fresh
 		// goroutine so this mutation's read-hold can release first.
 		// The CAS keeps a burst of over-threshold appends from piling
@@ -382,19 +576,28 @@ func (s *Store) logRecord(rec walRecord) error {
 	return nil
 }
 
-// Compact writes a durable snapshot of every document and truncates
-// the WAL. Concurrent mutations block for the duration (they would
-// otherwise race their log records against the truncation). Safe to
-// call at any time; without a data dir it is a no-op.
+// Compact writes a durable snapshot of every document, truncates
+// every shard WAL, and bumps each shard's epoch. Concurrent mutations
+// block for the duration (they would otherwise race their log records
+// against the truncation). Safe to call at any time; without a data
+// dir it is a no-op.
 func (s *Store) Compact() error {
 	if s.replaying.Load() {
 		return ErrReplaying
 	}
-	if s.wal == nil {
+	if s.wals == nil {
 		return nil
 	}
 	s.ingestMu.Lock()
 	defer s.ingestMu.Unlock()
+	return s.compactLocked()
+}
+
+// compactLocked is Compact's body; the caller holds ingestMu
+// exclusively (ReplicationSnapshot shares it so the snapshot it hands
+// a bootstrapping follower corresponds exactly to offset 0 of the new
+// epochs).
+func (s *Store) compactLocked() error {
 	var docs []*xmltree.Document
 	for _, sh := range s.shards {
 		for _, name := range sh.Names() {
@@ -405,11 +608,26 @@ func (s *Store) Compact() error {
 	if err := snapshot.SaveFile(filepath.Join(s.opts.Dir, snapshotFile), docs...); err != nil {
 		return fmt.Errorf("store: compact snapshot: %w", err)
 	}
-	s.walMu.Lock()
-	err := s.wal.reset()
-	s.walMu.Unlock()
-	if err != nil {
-		return fmt.Errorf("store: compact wal reset: %w", err)
+	for _, ws := range s.wals {
+		ws.mu.Lock()
+		if ws.w == nil {
+			ws.mu.Unlock()
+			return ErrClosed
+		}
+		ws.prevSize = ws.w.size
+		ws.prevRecords = ws.records
+		err := ws.w.reset()
+		if err == nil {
+			ws.epoch++
+			ws.records = 0
+		}
+		ws.mu.Unlock()
+		if err != nil {
+			return fmt.Errorf("store: compact wal reset: %w", err)
+		}
+	}
+	if err := s.persistWALMeta(); err != nil {
+		return fmt.Errorf("store: compact wal meta: %w", err)
 	}
 	s.metrics.Counter(obs.MCompactions).Add(1)
 	s.metrics.Gauge(obs.MWALBytes).Set(0)
@@ -536,10 +754,16 @@ func (s *Store) Close(ctx context.Context) error {
 	case <-ctx.Done():
 		return ctx.Err()
 	}
-	if s.wal != nil {
-		s.walMu.Lock()
-		defer s.walMu.Unlock()
-		return s.wal.close()
+	var firstErr error
+	for _, ws := range s.wals {
+		ws.mu.Lock()
+		if ws.w != nil {
+			if err := ws.w.close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			ws.w = nil
+		}
+		ws.mu.Unlock()
 	}
-	return nil
+	return firstErr
 }

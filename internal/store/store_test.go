@@ -217,8 +217,10 @@ func TestAsyncIngestAndRestartDurability(t *testing.T) {
 	if err := st.Compact(); err != nil {
 		t.Fatal(err)
 	}
-	if st.wal.size != 0 {
-		t.Fatalf("post-compaction WAL size %d, want 0", st.wal.size)
+	for i, ws := range st.wals {
+		if ws.w.size != 0 {
+			t.Fatalf("post-compaction WAL %d size %d, want 0", i, ws.w.size)
+		}
 	}
 	for i := phase1; i < phase1+phase2; i++ {
 		name, xml := testDoc(i)

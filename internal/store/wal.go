@@ -139,7 +139,10 @@ func decodeWALPayload(p []byte) (walRecord, error) {
 	p = p[1:]
 	nameLen := binary.LittleEndian.Uint32(p)
 	p = p[4:]
-	if uint32(len(p)) < nameLen+4 {
+	// Compare in uint64: a corrupt nameLen near MaxUint32 would wrap
+	// nameLen+4 around to a tiny value in uint32 arithmetic and drive
+	// p[:nameLen] past the buffer (found by FuzzDecodeFrame).
+	if uint64(len(p)) < uint64(nameLen)+4 {
 		return walRecord{}, bad
 	}
 	name := string(p[:nameLen])
@@ -152,19 +155,89 @@ func decodeWALPayload(p []byte) (walRecord, error) {
 	return walRecord{op: op, name: name, xml: string(p)}, nil
 }
 
-// append writes one record. The store serializes callers.
-func (w *wal) append(rec walRecord) error {
+// encodeFrame wraps one record in the on-disk frame format: length
+// prefix, CRC32 of the payload, payload. This is also the replication
+// wire format — followers receive raw frames and decode them with
+// decodeFrame.
+func encodeFrame(rec walRecord) []byte {
 	payload := encodeWALPayload(rec)
 	buf := make([]byte, 0, 8+len(payload))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
 	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(payload))
-	buf = append(buf, payload...)
-	n, err := w.f.Write(buf)
+	return append(buf, payload...)
+}
+
+// decodeFrame decodes the first frame of b, returning the record and
+// the number of bytes the frame occupies. Corrupted, truncated, or
+// oversized input returns an error; it never panics or reads past b.
+func decodeFrame(b []byte) (walRecord, int, error) {
+	if len(b) < 8 {
+		return walRecord{}, 0, errors.New("wal: short frame header")
+	}
+	length := binary.LittleEndian.Uint32(b[0:4])
+	sum := binary.LittleEndian.Uint32(b[4:8])
+	if length > maxWALRecord {
+		return walRecord{}, 0, fmt.Errorf("wal: frame length %d exceeds limit", length)
+	}
+	if uint64(len(b)-8) < uint64(length) {
+		return walRecord{}, 0, errors.New("wal: truncated frame payload")
+	}
+	payload := b[8 : 8+int(length)]
+	if crc32.ChecksumIEEE(payload) != sum {
+		return walRecord{}, 0, errors.New("wal: frame checksum mismatch")
+	}
+	rec, err := decodeWALPayload(payload)
+	if err != nil {
+		return walRecord{}, 0, err
+	}
+	return rec, 8 + int(length), nil
+}
+
+// append writes one record. The store serializes callers.
+func (w *wal) append(rec walRecord) error {
+	n, err := w.f.Write(encodeFrame(rec))
 	w.size += int64(n)
 	if err != nil {
 		return fmt.Errorf("wal: append: %w", err)
 	}
 	return nil
+}
+
+// readFrames returns complete frames starting at the given byte
+// offset: at least one whole frame when any exists, then as many more
+// as fit in maxBytes. offset must be a frame boundary previously
+// handed out by this log (0, or a prior offset plus the bytes
+// returned). The caller serializes readFrames against append.
+func (w *wal) readFrames(offset int64, maxBytes int) ([]byte, error) {
+	if offset < 0 || offset > w.size {
+		return nil, fmt.Errorf("wal: offset %d out of range [0,%d]", offset, w.size)
+	}
+	var total int64
+	pos := offset
+	var hdr [8]byte
+	for pos < w.size {
+		if _, err := w.f.ReadAt(hdr[:], pos); err != nil {
+			return nil, fmt.Errorf("wal: read frame header at %d: %w", pos, err)
+		}
+		length := binary.LittleEndian.Uint32(hdr[0:4])
+		if length > maxWALRecord || pos+8+int64(length) > w.size {
+			return nil, fmt.Errorf("wal: corrupt frame at offset %d", pos)
+		}
+		fl := 8 + int64(length)
+		if total > 0 && total+fl > int64(maxBytes) {
+			break
+		}
+		total += fl
+		pos += fl
+	}
+	if total == 0 {
+		return nil, nil
+	}
+	buf := make([]byte, total)
+	if _, err := w.f.ReadAt(buf, offset); err != nil {
+		return nil, fmt.Errorf("wal: read frames: %w", err)
+	}
+	return buf, nil
 }
 
 // sync flushes the log to stable storage.

@@ -106,7 +106,7 @@ func TestWALCrashRecovery(t *testing.T) {
 			if err := st.Close(context.Background()); err != nil {
 				t.Fatal(err)
 			}
-			walPath := filepath.Join(dir, walFile)
+			walPath := filepath.Join(dir, walShardFile(0))
 			pre, err := os.Stat(walPath)
 			if err != nil {
 				t.Fatal(err)
