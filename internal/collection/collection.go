@@ -110,6 +110,37 @@ func (c *Collection) AddXML(name, xml string) error {
 	return c.Add(doc)
 }
 
+// SetAll atomically replaces the collection's entire contents with
+// docs. The new engines are indexed off to the side and swapped in
+// under a single write-lock acquisition, so a concurrent Search sees
+// either the old corpus or the new one in full — never a
+// partially-populated state. Duplicate names in docs are an error and
+// leave the collection unchanged.
+func (c *Collection) SetAll(docs []*xmltree.Document) error {
+	c.mu.RLock()
+	cacheEntries := c.cacheEntries
+	c.mu.RUnlock()
+	engines := make(map[string]*engine.Engine, len(docs))
+	order := make([]string, 0, len(docs))
+	for _, doc := range docs {
+		name := doc.Name()
+		if _, dup := engines[name]; dup {
+			return fmt.Errorf("collection: duplicate document %q", name)
+		}
+		eng := engine.NewWithMetrics(doc, c.metrics)
+		if cacheEntries > 0 {
+			eng.EnableCache(cacheEntries)
+		}
+		engines[name] = eng
+		order = append(order, name)
+	}
+	c.mu.Lock()
+	c.engines = engines
+	c.order = order
+	c.mu.Unlock()
+	return nil
+}
+
 // Remove drops the named document from the collection, reporting
 // whether it was present.
 func (c *Collection) Remove(name string) bool {

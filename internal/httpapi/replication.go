@@ -133,11 +133,14 @@ func (s *Server) setLagHeaders(h http.Header) {
 }
 
 // replicaReady reports whether the replica is fresh enough to serve:
-// connected to the primary and within the staleness bound.
+// connected to the primary, fully caught up at least once (a freshly
+// started, still-empty replica must not pass just because its
+// staleness clock hasn't run out yet), and within the staleness bound
+// since.
 func (s *Server) replicaReady() (repl.Lag, bool) {
 	rc := s.cfg.Replication
 	lag := rc.Follower.Lag()
-	return lag, lag.Connected && lag.MaxLagSeconds <= rc.maxStaleness().Seconds()
+	return lag, lag.Connected && lag.SyncedOnce && lag.MaxLagSeconds <= rc.maxStaleness().Seconds()
 }
 
 // handleReplication serves GET /api/v1/replication: the node's role

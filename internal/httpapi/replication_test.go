@@ -171,6 +171,75 @@ func TestReplicaRejectsWrites(t *testing.T) {
 	}
 }
 
+// TestReplicaNotReadyBeforeInitialSync pins the readiness gap the
+// staleness clock alone cannot cover: a freshly started replica whose
+// follower has connected to the primary but never completed a first
+// catch-up holds no data, and must report 503 even though it is far
+// younger than the staleness bound — otherwise a load balancer routes
+// reads to an empty node for up to max-staleness after every replica
+// start.
+func TestReplicaNotReadyBeforeInitialSync(t *testing.T) {
+	// A stub primary that answers the status probe but whose WAL
+	// stream never delivers a message: the follower connects, yet no
+	// shard can ever prove it reached the tip.
+	status := repl.Status{ShardCount: 1, Positions: []store.WALPosition{{Shard: 0, Offset: 128, Records: 2}}}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/repl/v1/status", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(status)
+	})
+	mux.HandleFunc("/repl/v1/wal", func(w http.ResponseWriter, r *http.Request) {
+		<-r.Context().Done()
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+
+	rst, err := store.Open(store.Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { rst.Close(context.Background()) })
+	follower := &repl.Follower{
+		PrimaryURL:    srv.URL,
+		Store:         rst,
+		Metrics:       rst.Metrics(),
+		RetryInterval: 10 * time.Millisecond,
+		IdleTimeout:   50 * time.Millisecond,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	if err := follower.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cancel()
+		follower.Wait()
+	})
+	replica := NewStoreWithConfig(rst, Config{Replication: &ReplicationConfig{
+		Role:       RoleReplica,
+		PrimaryURL: srv.URL,
+		Follower:   follower,
+		// Generous bound: the node is well inside it, so only the
+		// initial-sync gate can fail it.
+		MaxStaleness: time.Hour,
+	}})
+
+	deadline := time.Now().Add(10 * time.Second)
+	for !follower.Lag().Connected {
+		if time.Now().After(deadline) {
+			t.Fatal("follower never connected to stub primary")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	rec := httptest.NewRecorder()
+	replica.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+	var body map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("bad readyz body: %v\n%s", err, rec.Body.String())
+	}
+	if rec.Code != http.StatusServiceUnavailable || body["ready"] != false {
+		t.Fatalf("never-synced replica must not be ready: %d %v", rec.Code, body)
+	}
+}
+
 // TestReplicaReadyzStaleness drives /readyz through its three states:
 // 503 before the follower connects, 200 once caught up, and 503 again
 // after the primary becomes unreachable for longer than the staleness

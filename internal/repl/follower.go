@@ -3,6 +3,7 @@ package repl
 import (
 	"bufio"
 	"context"
+	"encoding/base64"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -56,8 +57,13 @@ type Follower struct {
 	// snapshot bootstrap (write side): ReplaceAll must not interleave
 	// with in-flight ApplyReplicated calls, and a frame read before a
 	// bootstrap must not apply after it (the cursor check under this
-	// lock rejects it).
+	// lock rejects it). It is held only across local state swaps —
+	// never across network I/O (see bootstrap).
 	applyMu sync.RWMutex
+	// bootMu single-flights snapshot bootstraps, including their
+	// network fetch, without blocking frame application on other
+	// shards' streams.
+	bootMu sync.Mutex
 	// gen counts bootstraps; a shard loop that decided to bootstrap
 	// skips it if another loop's bootstrap already moved gen.
 	gen atomic.Uint64
@@ -199,13 +205,37 @@ func (f *Follower) fetchStatus(ctx context.Context) (Status, error) {
 	return st, nil
 }
 
+// errDiverged tags failures that mean the primary answered but the
+// log at the follower's cursor is unusable: a primary-side read error
+// (e.g. a post-crash log that regrew past the cursor, leaving it on a
+// non-frame boundary), or frames that fail checksum/decode locally.
+// Transient transport failures are deliberately not tagged — they
+// resolve by reconnecting at the same cursor, whereas divergence
+// never does.
+type errDiverged struct{ err error }
+
+func (e errDiverged) Error() string { return e.err.Error() }
+func (e errDiverged) Unwrap() error { return e.err }
+
+// divergenceThreshold is how many consecutive divergence errors at
+// the same unmoved cursor escalate to a snapshot bootstrap. Retrying
+// a few times first keeps a single garbled response from forcing a
+// full resync.
+const divergenceThreshold = 3
+
 // shardLoop keeps one shard's stream alive: connect, consume until it
 // drops, back off, reconnect at the cursor. Every reconnect after the
-// first successful stream counts as a restart.
+// first successful stream counts as a restart. Divergence errors that
+// repeat without the cursor moving escalate to a snapshot bootstrap —
+// reconnecting at a position the primary can no longer serve frames
+// from would otherwise retry forever.
 func (f *Follower) shardLoop(ctx context.Context, shard int) {
 	defer f.wg.Done()
 	restarts := f.Metrics.Counter(obs.MReplStreamRestarts)
 	first := true
+	diverged := 0
+	var divEpoch uint64
+	var divOffset int64
 	for {
 		if ctx.Err() != nil {
 			return
@@ -226,6 +256,23 @@ func (f *Follower) shardLoop(ctx context.Context, shard int) {
 		}
 		if err != nil {
 			f.logf("repl: stream dropped", "shard", shard, "err", err)
+			var div errDiverged
+			if errors.As(err, &div) {
+				f.mu.Lock()
+				cur := f.cursors[shard]
+				f.mu.Unlock()
+				if diverged == 0 || cur.epoch != divEpoch || cur.offset != divOffset {
+					diverged = 0
+					divEpoch, divOffset = cur.epoch, cur.offset
+				}
+				diverged++
+				if diverged >= divergenceThreshold {
+					f.logf("repl: cursor diverged from primary log, bootstrapping",
+						"shard", shard, "epoch", cur.epoch, "offset", cur.offset)
+					f.bootstrap(ctx, shard)
+					diverged = 0
+				}
+			}
 		}
 		select {
 		case <-ctx.Done():
@@ -268,9 +315,14 @@ func (f *Follower) streamOnce(ctx context.Context, shard int, established func()
 	defer idle.Stop()
 
 	sc := bufio.NewScanner(resp.Body)
-	// A frames message carries up to MaxBatchBytes of base64 plus
-	// JSON overhead; size the line buffer generously above it.
-	sc.Buffer(make([]byte, 64<<10), 8<<20)
+	// The primary's batch limit is soft: ReadWALFrames always returns
+	// at least one whole frame, so a single frames message can carry a
+	// maximum-size WAL frame regardless of MaxBatchBytes. Cap the line
+	// buffer at that bound (base64-expanded, plus envelope slack) —
+	// capping at the batch limit would wedge replication permanently
+	// on the first oversized document. The buffer only grows on
+	// demand, so the cap costs nothing on ordinary streams.
+	sc.Buffer(make([]byte, 64<<10), base64.StdEncoding.EncodedLen(store.MaxWALFrameBytes)+4096)
 	got := false
 	for sc.Scan() {
 		idle.Reset(f.idleTimeout())
@@ -295,7 +347,7 @@ func (f *Follower) streamOnce(ctx context.Context, shard int, established func()
 			f.handleCompacted(ctx, shard, msg)
 			return got, nil
 		case msgError:
-			return got, fmt.Errorf("repl: primary error on shard %d: %s", shard, msg.Error)
+			return got, errDiverged{fmt.Errorf("repl: primary error on shard %d: %s", shard, msg.Error)}
 		default:
 			return got, fmt.Errorf("repl: unknown message type %q", msg.Type)
 		}
@@ -326,7 +378,9 @@ func (f *Follower) applyFrames(shard int, msg Message) error {
 	}
 	applied, err := f.Store.ApplyReplicated(msg.Data)
 	if err != nil {
-		return err
+		// The frames arrived but failed checksum/decode/apply — data
+		// at this cursor is bad, not the transport.
+		return errDiverged{err}
 	}
 	f.Metrics.Counter(obs.MReplAppliedRecords).Add(uint64(applied))
 	f.Metrics.Counter(obs.MReplAppliedBytes).Add(uint64(len(msg.Data)))
@@ -388,12 +442,15 @@ func (f *Follower) handleCompacted(ctx context.Context, shard int, msg Message) 
 // bootstrap replaces the follower's entire contents from a primary
 // snapshot and resets every cursor to the snapshot's positions. One
 // compaction invalidates every shard's cursor at once, so all shard
-// loops converge here; the gen check makes the first one do the work
-// and the rest adopt its result.
+// loops converge here; bootMu makes the first one do the work and the
+// rest adopt its result via the gen check. The snapshot is fetched
+// before applyMu is taken — a hung transfer (watchdogged in
+// fetchSnapshot, but still minutes on a slow link) must stall only
+// bootstraps, never frame application on healthy shards.
 func (f *Follower) bootstrap(ctx context.Context, shard int) {
 	before := f.gen.Load()
-	f.applyMu.Lock()
-	defer f.applyMu.Unlock()
+	f.bootMu.Lock()
+	defer f.bootMu.Unlock()
 	if f.gen.Load() != before {
 		return // another shard loop bootstrapped while we waited
 	}
@@ -408,6 +465,8 @@ func (f *Follower) bootstrap(ctx context.Context, shard int) {
 		f.logf("repl: snapshot decode failed", "err", err)
 		return
 	}
+	f.applyMu.Lock()
+	defer f.applyMu.Unlock()
 	if err := f.Store.ReplaceAll(docs); err != nil {
 		f.logf("repl: snapshot load failed", "err", err)
 		return
@@ -440,9 +499,14 @@ func (f *Follower) bootstrap(ctx context.Context, shard int) {
 }
 
 // fetchSnapshot retrieves the snapshot endpoint's status line and
-// payload.
+// payload. The configured Client has no timeout (WAL streams are
+// long-lived), so a progress watchdog mirroring streamOnce's guards
+// the transfer: a connection that delivers no bytes for the idle
+// timeout is cancelled rather than blocking the bootstrap forever.
 func (f *Follower) fetchSnapshot(ctx context.Context) (Status, []byte, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, f.PrimaryURL+"/repl/v1/snapshot", nil)
+	fetchCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	req, err := http.NewRequestWithContext(fetchCtx, http.MethodGet, f.PrimaryURL+"/repl/v1/snapshot", nil)
 	if err != nil {
 		return Status{}, nil, err
 	}
@@ -455,7 +519,9 @@ func (f *Follower) fetchSnapshot(ctx context.Context) (Status, []byte, error) {
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
 		return Status{}, nil, fmt.Errorf("repl: snapshot %d: %s", resp.StatusCode, body)
 	}
-	br := bufio.NewReader(resp.Body)
+	idle := time.AfterFunc(f.idleTimeout(), cancel)
+	defer idle.Stop()
+	br := bufio.NewReader(&idleResetReader{r: resp.Body, idle: idle, d: f.idleTimeout()})
 	line, err := br.ReadBytes('\n')
 	if err != nil {
 		return Status{}, nil, fmt.Errorf("repl: snapshot status line: %w", err)
@@ -469,6 +535,23 @@ func (f *Follower) fetchSnapshot(ctx context.Context) (Status, []byte, error) {
 		return Status{}, nil, err
 	}
 	return st, data, nil
+}
+
+// idleResetReader re-arms a watchdog timer on every successful read,
+// so the timer fires only when the underlying stream stalls — not
+// merely because a large transfer takes longer than one timeout.
+type idleResetReader struct {
+	r    io.Reader
+	idle *time.Timer
+	d    time.Duration
+}
+
+func (ir *idleResetReader) Read(p []byte) (int, error) {
+	n, err := ir.r.Read(p)
+	if n > 0 {
+		ir.idle.Reset(ir.d)
+	}
+	return n, err
 }
 
 // ShardLag is one primary shard's replication state as seen by the
@@ -500,8 +583,15 @@ type Lag struct {
 	// answered once.
 	Connected bool `json:"connected"`
 	// Synced is true when every shard is synced.
-	Synced bool       `json:"synced"`
-	Shards []ShardLag `json:"shards"`
+	Synced bool `json:"synced"`
+	// SyncedOnce is true once every shard has proved it reached the
+	// primary's tip at least once (a bootstrap snapshot counts): the
+	// follower has held a complete copy of the primary's data at some
+	// point. Readiness requires it — before the first full sync the
+	// staleness clock alone says nothing, because a freshly started
+	// replica is arbitrarily stale no matter how young it is.
+	SyncedOnce bool       `json:"synced_once"`
+	Shards     []ShardLag `json:"shards"`
 	// MaxLag* aggregate the worst shard.
 	MaxLagRecords uint64  `json:"max_lag_records"`
 	MaxLagBytes   int64   `json:"max_lag_bytes"`
@@ -520,6 +610,7 @@ func (f *Follower) Lag() Lag {
 		out.MaxLagSeconds = now.Sub(f.started).Seconds()
 		return out
 	}
+	out.SyncedOnce = len(f.cursors) > 0
 	for i := range f.cursors {
 		c := &f.cursors[i]
 		sl := ShardLag{
@@ -557,6 +648,7 @@ func (f *Follower) Lag() Lag {
 		since := c.syncedAt
 		if since.IsZero() {
 			since = f.started
+			out.SyncedOnce = false
 		}
 		sl.LagSeconds = now.Sub(since).Seconds()
 		out.Shards = append(out.Shards, sl)

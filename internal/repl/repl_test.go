@@ -2,10 +2,12 @@ package repl_test
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"sort"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -261,6 +263,81 @@ func TestFollowerBootstrapAfterCompaction(t *testing.T) {
 	waitFor(t, 10*time.Second, "post-bootstrap tail", func() bool {
 		return synced(f) && replica.Len() == 13
 	})
+}
+
+// TestFollowerReplicatesLargeDocument ships a document whose single
+// WAL frame is far larger than the server's batch limit. ReadWALFrames
+// always returns at least one whole frame, so the frames message
+// exceeds MaxBatchBytes and (base64-expanded) the follower's old 8 MiB
+// line cap — the follower must still apply it rather than wedging on
+// a too-long stream line forever.
+func TestFollowerReplicatesLargeDocument(t *testing.T) {
+	primary := openPrimary(t, t.TempDir(), 1)
+	t.Cleanup(func() { primary.Close(context.Background()) })
+	body := strings.Repeat("fragment algebra retrieval stream payload ", (7<<20)/42)
+	if err := primary.AddXML("big.xml", "<doc><body>"+body+"</body></doc>"); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(newTestServer(primary).Handler())
+	t.Cleanup(srv.Close)
+
+	replica := openReplicaStore(t, 1)
+	f, _ := startFollower(t, srv.URL, replica)
+	waitFor(t, 30*time.Second, "large document convergence", func() bool {
+		return synced(f) && replica.Len() == 1
+	})
+	if replica.Engine("big.xml") == nil {
+		t.Fatal("large document missing on replica")
+	}
+}
+
+// TestFollowerBootstrapOnDivergedCursor points a follower at a primary
+// that persistently reports an error for the follower's cursor — the
+// shape of a post-crash log that regrew past the cursor, leaving it on
+// a non-frame boundary. Reconnecting at that cursor can never succeed,
+// so after a few attempts the follower must escalate to a snapshot
+// bootstrap instead of retrying forever.
+func TestFollowerBootstrapOnDivergedCursor(t *testing.T) {
+	donor := openPrimary(t, t.TempDir(), 1)
+	t.Cleanup(func() { donor.Close(context.Background()) })
+	for i := 0; i < 5; i++ {
+		name, xml := lifecycleDoc(i)
+		if err := donor.AddXML(name, xml); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap, pos, err := donor.ReplicationSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	status := repl.Status{ShardCount: 1, Positions: pos}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/repl/v1/status", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(status)
+	})
+	mux.HandleFunc("/repl/v1/wal", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(repl.Message{
+			Type: "error", Shard: 0, Pos: pos[0],
+			Error: "wal: corrupt frame at offset 0",
+		})
+	})
+	mux.HandleFunc("/repl/v1/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(status)
+		w.Write(snap)
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+
+	replica := openReplicaStore(t, 2)
+	_, m := startFollower(t, srv.URL, replica)
+	waitFor(t, 10*time.Second, "divergence bootstrap", func() bool {
+		return m.Counter(obs.MReplBootstraps).Value() >= 1 && replica.Len() == 5
+	})
+	if !sameNames(sortedNames(donor), sortedNames(replica)) {
+		t.Fatalf("document sets diverge after divergence bootstrap:\nprimary %v\nreplica %v",
+			sortedNames(donor), sortedNames(replica))
+	}
 }
 
 // TestFollowerAdoptsEpochAfterCompaction compacts the primary while

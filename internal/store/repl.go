@@ -171,21 +171,31 @@ func (s *Store) applyReplicatedRecord(rec walRecord) error {
 
 // ReplaceAll swaps the store's entire contents for docs — the final
 // step of a follower's snapshot bootstrap. Only valid on an in-memory
-// store.
+// store. Each shard's contents are rebuilt off to the side and
+// swapped in atomically, so a concurrent search never observes a
+// partially-emptied shard: it sees each shard entirely-old or
+// entirely-new, which is indistinguishable from ordinary replication
+// staleness.
 func (s *Store) ReplaceAll(docs []*xmltree.Document) error {
 	if s.wals != nil {
 		return ErrDurableReplica
 	}
+	perShard := make([][]*xmltree.Document, len(s.shards))
+	seen := make(map[string]struct{}, len(docs))
+	for _, d := range docs {
+		name := d.Name()
+		if _, dup := seen[name]; dup {
+			return fmt.Errorf("store: bootstrap doc %q: duplicate name", name)
+		}
+		seen[name] = struct{}{}
+		i := s.ShardIndex(name)
+		perShard[i] = append(perShard[i], d)
+	}
 	s.ingestMu.Lock()
 	defer s.ingestMu.Unlock()
-	for _, sh := range s.shards {
-		for _, name := range sh.Names() {
-			sh.Remove(name)
-		}
-	}
-	for _, d := range docs {
-		if err := s.shardFor(d.Name()).Add(d); err != nil {
-			return fmt.Errorf("store: bootstrap doc %q: %w", d.Name(), err)
+	for i, sh := range s.shards {
+		if err := sh.SetAll(perShard[i]); err != nil {
+			return fmt.Errorf("store: bootstrap shard %d: %w", i, err)
 		}
 	}
 	s.metrics.Gauge(obs.MStoreDocuments).Set(int64(len(docs)))

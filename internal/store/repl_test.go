@@ -5,9 +5,12 @@ import (
 	"errors"
 	"os"
 	"path/filepath"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/query"
+	"repro/internal/xmltree"
 )
 
 // openReplica returns an in-memory store suitable as an apply target.
@@ -343,5 +346,68 @@ func TestLegacyWALMigration(t *testing.T) {
 	defer st2.Close(context.Background())
 	if got := st2.Len(); got != 5 {
 		t.Fatalf("re-opened migrated store has %d docs, want 5", got)
+	}
+}
+
+// TestReplaceAllAtomicUnderConcurrentReads hammers ReplaceAll while
+// reader goroutines continuously resolve every document. A bootstrap
+// replacing the corpus with (a superset of) the same documents must
+// never expose a partially-emptied store: each shard's contents swap
+// atomically, so a document present before and after the swap is
+// visible throughout.
+func TestReplaceAllAtomicUnderConcurrentReads(t *testing.T) {
+	replica := openReplica(t, 4)
+	const docs = 16
+	build := func() []*xmltree.Document {
+		out := make([]*xmltree.Document, docs)
+		for i := range out {
+			name, xml := testDoc(i)
+			doc, err := xmltree.ParseString(name, xml)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[i] = doc
+		}
+		return out
+	}
+	if err := replica.ReplaceAll(build()); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var missing atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for i := 0; i < docs; i++ {
+					name, _ := testDoc(i)
+					if replica.Engine(name) == nil {
+						missing.Add(1)
+						return
+					}
+				}
+			}
+		}()
+	}
+	for n := 0; n < 50; n++ {
+		if err := replica.ReplaceAll(build()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if got := missing.Load(); got != 0 {
+		t.Fatalf("readers observed %d missing documents during ReplaceAll", got)
+	}
+	if replica.Len() != docs {
+		t.Fatalf("replica has %d docs, want %d", replica.Len(), docs)
 	}
 }

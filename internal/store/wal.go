@@ -33,6 +33,13 @@ const (
 	// maxWALRecord caps a single record so a corrupt length prefix
 	// cannot drive a multi-gigabyte allocation during replay.
 	maxWALRecord = 256 << 20
+
+	// MaxWALFrameBytes is the largest frame the log can hold: header
+	// plus a maxWALRecord payload. ReadWALFrames always returns at
+	// least one whole frame regardless of its maxBytes argument, so
+	// replication consumers must size their message buffers from this
+	// bound, not from their batch limit.
+	MaxWALFrameBytes = 8 + maxWALRecord
 )
 
 // walRecord is one decoded WAL mutation.
