@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check race cover bench fuzz fuzz-smoke repl-integration experiments tools clean
+.PHONY: all build test check race cover bench bench-json bench-compare fuzz fuzz-smoke repl-integration experiments tools clean
 
 all: build check
 
@@ -33,6 +33,27 @@ cover:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# bench-json runs the kernel benchmarks (plus the join-heaviest
+# end-to-end workload, BenchmarkRFSweep) and emits BENCH_core.json
+# (ns/op, allocs/op, B/op, joins/op) via cmd/benchjson. BENCHTIME
+# trades precision for CI wall clock; the RF sweep is pinned to a
+# single iteration — one op is millions of joins, and allocs/op (the
+# hard-gated number) is deterministic at any iteration count.
+BENCHTIME ?= 1s
+bench-json:
+	( $(GO) test -run xxx -bench . -benchtime $(BENCHTIME) ./internal/core/ && \
+	  $(GO) test -run xxx -bench . -benchtime 1x ./internal/bench/ ) \
+		| $(GO) run ./cmd/benchjson parse > BENCH_core.json
+
+# bench-compare gates the fresh BENCH_core.json against the committed
+# pre-optimization baseline. Only allocs/op is gated hard (it is
+# deterministic); ns/op is gated at a coarse threshold that catches
+# order-of-magnitude regressions without tripping on shared-runner
+# noise.
+bench-compare:
+	$(GO) run ./cmd/benchjson compare BENCH_baseline.txt BENCH_core.json \
+		-gate-allocs 10 -gate-ns 300
 
 fuzz:
 	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/xmltree/

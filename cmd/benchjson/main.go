@@ -1,0 +1,288 @@
+// Command benchjson converts `go test -bench` output into a stable
+// JSON form and compares two result sets with a regression gate. It
+// stands in for benchstat in environments without network access to
+// install it; the comparison is simpler (single-run means, no
+// significance testing), so the hard gate applies only to allocs/op —
+// deterministic under Go's allocation accounting — while ns/op deltas
+// are reported for humans and gated only at a coarse threshold meant
+// to catch order-of-magnitude regressions, not noise.
+//
+// Usage:
+//
+//	go test -bench . -benchmem ./... | benchjson parse > out.json
+//	benchjson compare OLD NEW [-gate-allocs PCT] [-gate-ns PCT]
+//
+// compare accepts either raw `go test -bench` text or JSON produced
+// by parse for both inputs, so the committed baseline can stay in the
+// human-readable text form.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line. Metric units follow testing's output:
+// NsPerOp from "ns/op", AllocsPerOp from "allocs/op", BytesPerOp from
+// "B/op", and Extra holds custom ReportMetric units such as
+// "joins/op".
+type Result struct {
+	Name        string             `json:"name"`
+	Runs        int                `json:"runs"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
+}
+
+// File is the parsed form of one benchmark run.
+type File struct {
+	Goos    string   `json:"goos,omitempty"`
+	Goarch  string   `json:"goarch,omitempty"`
+	Pkg     string   `json:"pkg,omitempty"`
+	CPU     string   `json:"cpu,omitempty"`
+	Results []Result `json:"results"`
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "parse":
+		if err := runParse(os.Args[2:]); err != nil {
+			fatal(err)
+		}
+	case "compare":
+		if err := runCompare(os.Args[2:]); err != nil {
+			fatal(err)
+		}
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: benchjson parse [file] | benchjson compare OLD NEW [-gate-allocs PCT] [-gate-ns PCT]")
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}
+
+func runParse(args []string) error {
+	in := io.Reader(os.Stdin)
+	if len(args) == 1 {
+		f, err := os.Open(args[0])
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	} else if len(args) > 1 {
+		usage()
+	}
+	file, err := parseText(in)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(file)
+}
+
+// parseText reads `go test -bench` output. Lines it does not
+// recognize (test chatter, PASS/ok) are skipped.
+func parseText(r io.Reader) (*File, error) {
+	file := &File{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			file.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			file.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			file.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			file.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			res, ok := parseBenchLine(line)
+			if ok {
+				file.Results = append(file.Results, res)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(file.Results) == 0 {
+		return nil, fmt.Errorf("no benchmark lines found")
+	}
+	return file, nil
+}
+
+// parseBenchLine parses one result line:
+//
+//	BenchmarkName-8  100  123.4 ns/op  5 B/op  2 allocs/op  7.0 joins/op
+func parseBenchLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Result{}, false
+	}
+	name := fields[0]
+	// Strip the -GOMAXPROCS suffix so results compare across machines.
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	runs, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return Result{}, false
+	}
+	res := Result{Name: name, Runs: runs}
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			res.NsPerOp = val
+		case "B/op":
+			res.BytesPerOp = val
+		case "allocs/op":
+			res.AllocsPerOp = val
+		default:
+			if res.Extra == nil {
+				res.Extra = map[string]float64{}
+			}
+			res.Extra[unit] = val
+		}
+	}
+	return res, res.NsPerOp > 0
+}
+
+// load reads a results file in either form: JSON from `benchjson
+// parse`, or raw `go test -bench` text.
+func load(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	trimmed := strings.TrimSpace(string(data))
+	if strings.HasPrefix(trimmed, "{") {
+		file := &File{}
+		if err := json.Unmarshal(data, file); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return file, nil
+	}
+	file, err := parseText(strings.NewReader(trimmed))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return file, nil
+}
+
+func runCompare(args []string) error {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	gateAllocs := fs.Float64("gate-allocs", 0, "fail if allocs/op regresses by more than PCT percent (0 disables)")
+	gateNs := fs.Float64("gate-ns", 0, "fail if ns/op regresses by more than PCT percent (0 disables)")
+	var positional []string
+	for _, a := range args {
+		if strings.HasPrefix(a, "-") {
+			break
+		}
+		positional = append(positional, a)
+	}
+	if err := fs.Parse(args[len(positional):]); err != nil {
+		return err
+	}
+	positional = append(positional, fs.Args()...)
+	if len(positional) != 2 {
+		usage()
+	}
+	oldFile, err := load(positional[0])
+	if err != nil {
+		return err
+	}
+	newFile, err := load(positional[1])
+	if err != nil {
+		return err
+	}
+	oldByName := map[string]Result{}
+	for _, r := range oldFile.Results {
+		oldByName[r.Name] = r
+	}
+	names := make([]string, 0, len(newFile.Results))
+	newByName := map[string]Result{}
+	for _, r := range newFile.Results {
+		newByName[r.Name] = r
+		names = append(names, r.Name)
+	}
+	sort.Strings(names)
+
+	w := os.Stdout
+	fmt.Fprintf(w, "%-52s %14s %14s %8s   %12s %12s %8s\n",
+		"benchmark", "old ns/op", "new ns/op", "Δns", "old allocs", "new allocs", "Δallocs")
+	var failures []string
+	for _, name := range names {
+		nr := newByName[name]
+		or, ok := oldByName[name]
+		if !ok {
+			fmt.Fprintf(w, "%-52s %14s %14.0f %8s   %12s %12.0f %8s\n",
+				name, "-", nr.NsPerOp, "new", "-", nr.AllocsPerOp, "new")
+			continue
+		}
+		dNs := pctDelta(or.NsPerOp, nr.NsPerOp)
+		dAllocs := pctDelta(or.AllocsPerOp, nr.AllocsPerOp)
+		fmt.Fprintf(w, "%-52s %14.0f %14.0f %7.1f%%   %12.0f %12.0f %7.1f%%\n",
+			name, or.NsPerOp, nr.NsPerOp, dNs, or.AllocsPerOp, nr.AllocsPerOp, dAllocs)
+		if *gateAllocs > 0 && dAllocs > *gateAllocs {
+			failures = append(failures,
+				fmt.Sprintf("%s: allocs/op regressed %.1f%% (gate %.1f%%)", name, dAllocs, *gateAllocs))
+		}
+		if *gateNs > 0 && dNs > *gateNs {
+			failures = append(failures,
+				fmt.Sprintf("%s: ns/op regressed %.1f%% (gate %.1f%%)", name, dNs, *gateNs))
+		}
+	}
+	for name := range oldByName {
+		if _, ok := newByName[name]; !ok {
+			fmt.Fprintf(w, "%-52s missing from new results\n", name)
+		}
+	}
+	if len(failures) > 0 {
+		fmt.Fprintln(os.Stderr, "\nperf gate FAILED:")
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "  "+f)
+		}
+		os.Exit(1)
+	}
+	return nil
+}
+
+// pctDelta returns the percentage change from old to new; 0 when old
+// is 0 and new is 0, +100 per unit when growing from 0.
+func pctDelta(old, new float64) float64 {
+	if old == 0 {
+		if new == 0 {
+			return 0
+		}
+		return new * 100
+	}
+	return (new - old) / old * 100
+}

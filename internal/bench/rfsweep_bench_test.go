@@ -1,0 +1,19 @@
+package bench
+
+import "testing"
+
+// BenchmarkRFSweep runs the full perf-rf experiment — ⊖, the budgeted
+// fixed point and the checking fixed point across seven reducibility
+// mixes — as one benchmark op. It is the join-heaviest end-to-end
+// workload in the repo (hundreds of thousands of fragment joins per
+// op), so `make bench-json` includes it in BENCH_core.json and the CI
+// perf gate watches its allocs/op.
+func BenchmarkRFSweep(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rows := RFSweep(42)
+		if len(rows) != 7 {
+			b.Fatalf("RFSweep returned %d rows", len(rows))
+		}
+	}
+}

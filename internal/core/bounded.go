@@ -22,40 +22,97 @@ func budgetError(op string, budget int) error {
 }
 
 // The *Ctx variants below are the primary implementations: each checks
-// the fragment budget on every insertion and polls ctx for
-// cancellation amortized (see checkCtx), returning ctx.Err() —
-// context.Canceled or context.DeadlineExceeded — when the evaluation
-// should stop. The context-free *Bounded/*BoundedCounted names remain
-// as wrappers passing a nil (never-cancelled) context, so existing
-// callers and tests compile and behave unchanged.
+// the fragment budget on every insertion, polls ctx for cancellation
+// amortized (see checkCtx), and threads the per-evaluation *EvalState
+// (counters + pair-join memo) through every fragment join. The
+// context-free *Bounded/*BoundedCounted names remain as wrappers, so
+// existing callers and tests compile and behave unchanged; each wraps
+// its counters in a fresh EvalState, which scopes the memo to the one
+// operation. Callers wanting cross-operation memoization (the query
+// evaluator) build one EvalState per evaluation and call the *Ctx
+// forms directly.
+
+// symmetricSelfPass runs the F × F join pass exploiting commutativity:
+// each unordered pair is joined once and its mirror consumed again
+// without recomputation. The mirror still counts as a logical join
+// (Definition 4 was applied, just not recomputed) and as a join-memo
+// hit, so counter totals are identical to the literal ordered loop.
+// When the evaluation state's pair memo is already populated (⊖ ran
+// first on the Theorem 1 path), the computed half is served from it
+// too; otherwise the memo map is bypassed entirely — frontier pairs
+// never repeat, so inserts would be pure overhead.
+func symmetricSelfPass(ctx context.Context, st *EvalState, fs []Fragment, tick *int, consume func(Fragment) error) error {
+	c := st.Counters()
+	useMemo := st.MemoLen() > 0
+	for ai, a := range fs {
+		for bi := ai; bi < len(fs); bi++ {
+			if err := checkCtx(ctx, tick); err != nil {
+				return err
+			}
+			var j Fragment
+			if useMemo {
+				j = st.JoinMemo(a, fs[bi])
+			} else {
+				j = JoinCounted(c, a, fs[bi])
+			}
+			if err := consume(j); err != nil {
+				return err
+			}
+			if bi != ai {
+				c.AddJoins(1)
+				c.AddJoinMemoHits(1)
+				if err := consume(j); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
 
 // PairwiseJoinBounded is PairwiseJoin aborting with ErrBudgetExceeded
 // once the result would exceed maxFragments.
 func PairwiseJoinBounded(f1, f2 *Set, maxFragments int) (*Set, error) {
-	return PairwiseJoinBoundedCtx(nil, nil, f1, f2, maxFragments)
+	return PairwiseJoinBoundedCtx(nil, NewEvalState(nil), f1, f2, maxFragments)
 }
 
 // PairwiseJoinBoundedCounted is PairwiseJoinBounded attributing the
 // work to c (nil-safe).
 func PairwiseJoinBoundedCounted(c *obs.EvalCounters, f1, f2 *Set, maxFragments int) (*Set, error) {
-	return PairwiseJoinBoundedCtx(nil, c, f1, f2, maxFragments)
+	return PairwiseJoinBoundedCtx(nil, NewEvalState(c), f1, f2, maxFragments)
 }
 
 // PairwiseJoinBoundedCtx is PairwiseJoinBoundedCounted with
 // cooperative cancellation: ctx is polled amortized inside the join
 // loop and its error returned as soon as observed.
-func PairwiseJoinBoundedCtx(ctx context.Context, c *obs.EvalCounters, f1, f2 *Set, maxFragments int) (*Set, error) {
+func PairwiseJoinBoundedCtx(ctx context.Context, st *EvalState, f1, f2 *Set, maxFragments int) (*Set, error) {
+	c := st.Counters()
 	c.AddPairwiseJoins(1)
 	out := &Set{}
 	tick := 0
+	consume := func(j Fragment) error {
+		c.AddDedupProbes(1)
+		out.Add(j)
+		if out.Len() > maxFragments {
+			return budgetError("pairwise join", maxFragments)
+		}
+		return nil
+	}
+	// A self pairwise join (F ⋈ F) meets every unordered pair twice —
+	// (a,b) and (b,a) — so the symmetric pass computes each once.
+	if f1 == f2 {
+		if err := symmetricSelfPass(ctx, st, f1.frags, &tick, consume); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
 	for _, a := range f1.frags {
 		for _, b := range f2.frags {
 			if err := checkCtx(ctx, &tick); err != nil {
 				return nil, err
 			}
-			out.Add(JoinCounted(c, a, b))
-			if out.Len() > maxFragments {
-				return nil, budgetError("pairwise join", maxFragments)
+			if err := consume(JoinCounted(c, a, b)); err != nil {
+				return nil, err
 			}
 		}
 	}
@@ -64,21 +121,22 @@ func PairwiseJoinBoundedCtx(ctx context.Context, c *obs.EvalCounters, f1, f2 *Se
 
 // SelfJoinTimesBounded is SelfJoinTimes with a fragment budget.
 func SelfJoinTimesBounded(f *Set, n, maxFragments int) (*Set, error) {
-	return SelfJoinTimesBoundedCtx(nil, nil, f, n, maxFragments)
+	return SelfJoinTimesBoundedCtx(nil, NewEvalState(nil), f, n, maxFragments)
 }
 
 // SelfJoinTimesBoundedCounted is SelfJoinTimesBounded attributing the
 // work to c (nil-safe).
 func SelfJoinTimesBoundedCounted(c *obs.EvalCounters, f *Set, n, maxFragments int) (*Set, error) {
-	return SelfJoinTimesBoundedCtx(nil, c, f, n, maxFragments)
+	return SelfJoinTimesBoundedCtx(nil, NewEvalState(c), f, n, maxFragments)
 }
 
 // SelfJoinTimesBoundedCtx is SelfJoinTimesBoundedCounted with
 // cooperative cancellation inside the frontier loops.
-func SelfJoinTimesBoundedCtx(ctx context.Context, c *obs.EvalCounters, f *Set, n, maxFragments int) (*Set, error) {
+func SelfJoinTimesBoundedCtx(ctx context.Context, st *EvalState, f *Set, n, maxFragments int) (*Set, error) {
 	if n < 1 {
 		panic("core: SelfJoinTimesBounded requires n >= 1")
 	}
+	c := st.Counters()
 	acc := f.Clone()
 	if acc.Len() > maxFragments {
 		return nil, budgetError("self join", maxFragments)
@@ -88,16 +146,35 @@ func SelfJoinTimesBoundedCtx(ctx context.Context, c *obs.EvalCounters, f *Set, n
 	for i := 1; i < n && len(frontier) > 0; i++ {
 		c.AddFixedPointIterations(1)
 		var next []Fragment
+		consume := func(j Fragment) error {
+			c.AddDedupProbes(1)
+			if acc.Add(j) {
+				next = append(next, j)
+				if acc.Len() > maxFragments {
+					return budgetError("self join", maxFragments)
+				}
+			}
+			return nil
+		}
+		// Iteration 1 joins F × F — symmetric, so each unordered pair
+		// is computed once (served from the shared memo when ⊖'s
+		// witness probing already ran, on the Theorem 1 path). Later
+		// iterations join freshly discovered frontiers that can never
+		// repeat a pair — they join directly.
+		if i == 1 {
+			if err := symmetricSelfPass(ctx, st, f.Fragments(), &tick, consume); err != nil {
+				return nil, err
+			}
+			frontier = next
+			continue
+		}
 		for _, a := range frontier {
 			for _, b := range f.Fragments() {
 				if err := checkCtx(ctx, &tick); err != nil {
 					return nil, err
 				}
-				if j := JoinCounted(c, a, b); acc.Add(j) {
-					next = append(next, j)
-					if acc.Len() > maxFragments {
-						return nil, budgetError("self join", maxFragments)
-					}
+				if err := consume(JoinCounted(c, a, b)); err != nil {
+					return nil, err
 				}
 			}
 		}
@@ -109,61 +186,82 @@ func SelfJoinTimesBoundedCtx(ctx context.Context, c *obs.EvalCounters, f *Set, n
 // FixedPointBounded computes F⁺ with Theorem 1's iteration budget and
 // a fragment budget.
 func FixedPointBounded(f *Set, maxFragments int) (*Set, error) {
-	return FixedPointBoundedCtx(nil, nil, f, maxFragments)
+	return FixedPointBoundedCtx(nil, NewEvalState(nil), f, maxFragments)
 }
 
 // FixedPointBoundedCounted is FixedPointBounded attributing the work
 // (including the ⊖ computation's joins) to c (nil-safe).
 func FixedPointBoundedCounted(c *obs.EvalCounters, f *Set, maxFragments int) (*Set, error) {
-	return FixedPointBoundedCtx(nil, c, f, maxFragments)
+	return FixedPointBoundedCtx(nil, NewEvalState(c), f, maxFragments)
 }
 
 // FixedPointBoundedCtx is FixedPointBoundedCounted with cooperative
 // cancellation in the self-join loops (the ⊖ computation itself is
 // O(|F|³) joins and not interrupted mid-way; its cost is bounded by
-// the seed-set size, not the exponential expansion).
-func FixedPointBoundedCtx(ctx context.Context, c *obs.EvalCounters, f *Set, maxFragments int) (*Set, error) {
-	k := ReduceCounted(c, f).Len()
+// the seed-set size, not the exponential expansion — and the shared
+// pair memo collapses its repeated witness joins to one computation
+// per distinct pair).
+func FixedPointBoundedCtx(ctx context.Context, st *EvalState, f *Set, maxFragments int) (*Set, error) {
+	k := reduceState(st, f).Len()
 	if k < 1 {
 		k = 1
 	}
-	return SelfJoinTimesBoundedCtx(ctx, c, f, k, maxFragments)
+	return SelfJoinTimesBoundedCtx(ctx, st, f, k, maxFragments)
 }
 
 // FixedPointNaiveBounded computes F⁺ with fixed-point checking and a
 // fragment budget.
 func FixedPointNaiveBounded(f *Set, maxFragments int) (*Set, error) {
-	return FixedPointNaiveBoundedCtx(nil, nil, f, maxFragments)
+	return FixedPointNaiveBoundedCtx(nil, NewEvalState(nil), f, maxFragments)
 }
 
 // FixedPointNaiveBoundedCounted is FixedPointNaiveBounded attributing
 // the work to c (nil-safe).
 func FixedPointNaiveBoundedCounted(c *obs.EvalCounters, f *Set, maxFragments int) (*Set, error) {
-	return FixedPointNaiveBoundedCtx(nil, c, f, maxFragments)
+	return FixedPointNaiveBoundedCtx(nil, NewEvalState(c), f, maxFragments)
 }
 
 // FixedPointNaiveBoundedCtx is FixedPointNaiveBoundedCounted with
 // cooperative cancellation inside the fixed-point iteration.
-func FixedPointNaiveBoundedCtx(ctx context.Context, c *obs.EvalCounters, f *Set, maxFragments int) (*Set, error) {
+func FixedPointNaiveBoundedCtx(ctx context.Context, st *EvalState, f *Set, maxFragments int) (*Set, error) {
+	c := st.Counters()
 	acc := f.Clone()
 	if acc.Len() > maxFragments {
 		return nil, budgetError("fixed point", maxFragments)
 	}
 	frontier := f.Fragments()
 	tick := 0
+	first := true
 	for len(frontier) > 0 {
 		c.AddFixedPointIterations(1)
 		var next []Fragment
+		consume := func(j Fragment) error {
+			c.AddDedupProbes(1)
+			if acc.Add(j) {
+				next = append(next, j)
+				if acc.Len() > maxFragments {
+					return budgetError("fixed point", maxFragments)
+				}
+			}
+			return nil
+		}
+		// The first pass joins F × F — symmetric, computed once per
+		// unordered pair; later frontiers never repeat a pair.
+		if first {
+			first = false
+			if err := symmetricSelfPass(ctx, st, f.Fragments(), &tick, consume); err != nil {
+				return nil, err
+			}
+			frontier = next
+			continue
+		}
 		for _, a := range frontier {
 			for _, b := range f.Fragments() {
 				if err := checkCtx(ctx, &tick); err != nil {
 					return nil, err
 				}
-				if j := JoinCounted(c, a, b); acc.Add(j) {
-					next = append(next, j)
-					if acc.Len() > maxFragments {
-						return nil, budgetError("fixed point", maxFragments)
-					}
+				if err := consume(JoinCounted(c, a, b)); err != nil {
+					return nil, err
 				}
 			}
 		}
@@ -176,18 +274,19 @@ func FixedPointNaiveBoundedCtx(ctx context.Context, c *obs.EvalCounters, f *Set,
 // fragment budget. With a selective anti-monotonic predicate the
 // budget is rarely hit — which is the paper's optimization story.
 func FilteredFixedPointBounded(f *Set, pred func(Fragment) bool, maxFragments int) (*Set, error) {
-	return FilteredFixedPointBoundedCtx(nil, nil, f, pred, maxFragments)
+	return FilteredFixedPointBoundedCtx(nil, NewEvalState(nil), f, pred, maxFragments)
 }
 
 // FilteredFixedPointBoundedCounted is FilteredFixedPointBounded
 // attributing joins, iterations and filter prunes to c (nil-safe).
 func FilteredFixedPointBoundedCounted(c *obs.EvalCounters, f *Set, pred func(Fragment) bool, maxFragments int) (*Set, error) {
-	return FilteredFixedPointBoundedCtx(nil, c, f, pred, maxFragments)
+	return FilteredFixedPointBoundedCtx(nil, NewEvalState(c), f, pred, maxFragments)
 }
 
 // FilteredFixedPointBoundedCtx is FilteredFixedPointBoundedCounted
 // with cooperative cancellation inside the fixed-point iteration.
-func FilteredFixedPointBoundedCtx(ctx context.Context, c *obs.EvalCounters, f *Set, pred func(Fragment) bool, maxFragments int) (*Set, error) {
+func FilteredFixedPointBoundedCtx(ctx context.Context, st *EvalState, f *Set, pred func(Fragment) bool, maxFragments int) (*Set, error) {
+	c := st.Counters()
 	base := f.Select(pred)
 	c.AddFilterPrunes(uint64(f.Len() - base.Len()))
 	acc := base.Clone()
@@ -196,24 +295,41 @@ func FilteredFixedPointBoundedCtx(ctx context.Context, c *obs.EvalCounters, f *S
 	}
 	frontier := base.Fragments()
 	tick := 0
+	first := true
 	for len(frontier) > 0 {
 		c.AddFixedPointIterations(1)
 		var next []Fragment
+		consume := func(j Fragment) error {
+			if !pred(j) {
+				c.AddFilterPrunes(1)
+				return nil
+			}
+			c.AddDedupProbes(1)
+			if acc.Add(j) {
+				next = append(next, j)
+				if acc.Len() > maxFragments {
+					return budgetError("filtered fixed point", maxFragments)
+				}
+			}
+			return nil
+		}
+		// First pass is the symmetric base × base join — computed once
+		// per unordered pair; later frontiers never repeat a pair.
+		if first {
+			first = false
+			if err := symmetricSelfPass(ctx, st, base.Fragments(), &tick, consume); err != nil {
+				return nil, err
+			}
+			frontier = next
+			continue
+		}
 		for _, a := range frontier {
 			for _, b := range base.Fragments() {
 				if err := checkCtx(ctx, &tick); err != nil {
 					return nil, err
 				}
-				j := JoinCounted(c, a, b)
-				if !pred(j) {
-					c.AddFilterPrunes(1)
-					continue
-				}
-				if acc.Add(j) {
-					next = append(next, j)
-					if acc.Len() > maxFragments {
-						return nil, budgetError("filtered fixed point", maxFragments)
-					}
+				if err := consume(JoinCounted(c, a, b)); err != nil {
+					return nil, err
 				}
 			}
 		}
@@ -225,34 +341,49 @@ func FilteredFixedPointBoundedCtx(ctx context.Context, c *obs.EvalCounters, f *S
 // PairwiseJoinFilteredBounded is PairwiseJoinFiltered with a fragment
 // budget.
 func PairwiseJoinFilteredBounded(f1, f2 *Set, pred func(Fragment) bool, maxFragments int) (*Set, error) {
-	return PairwiseJoinFilteredBoundedCtx(nil, nil, f1, f2, pred, maxFragments)
+	return PairwiseJoinFilteredBoundedCtx(nil, NewEvalState(nil), f1, f2, pred, maxFragments)
 }
 
 // PairwiseJoinFilteredBoundedCounted is PairwiseJoinFilteredBounded
 // attributing joins and filter prunes to c (nil-safe).
 func PairwiseJoinFilteredBoundedCounted(c *obs.EvalCounters, f1, f2 *Set, pred func(Fragment) bool, maxFragments int) (*Set, error) {
-	return PairwiseJoinFilteredBoundedCtx(nil, c, f1, f2, pred, maxFragments)
+	return PairwiseJoinFilteredBoundedCtx(nil, NewEvalState(c), f1, f2, pred, maxFragments)
 }
 
 // PairwiseJoinFilteredBoundedCtx is PairwiseJoinFilteredBoundedCounted
 // with cooperative cancellation inside the join loop.
-func PairwiseJoinFilteredBoundedCtx(ctx context.Context, c *obs.EvalCounters, f1, f2 *Set, pred func(Fragment) bool, maxFragments int) (*Set, error) {
+func PairwiseJoinFilteredBoundedCtx(ctx context.Context, st *EvalState, f1, f2 *Set, pred func(Fragment) bool, maxFragments int) (*Set, error) {
+	c := st.Counters()
 	c.AddPairwiseJoins(1)
 	out := &Set{}
 	tick := 0
+	consume := func(j Fragment) error {
+		if !pred(j) {
+			c.AddFilterPrunes(1)
+			return nil
+		}
+		c.AddDedupProbes(1)
+		out.Add(j)
+		if out.Len() > maxFragments {
+			return budgetError("filtered pairwise join", maxFragments)
+		}
+		return nil
+	}
+	// A self join meets every unordered pair twice — the symmetric
+	// pass computes each once; distinct operands never repeat a pair.
+	if f1 == f2 {
+		if err := symmetricSelfPass(ctx, st, f1.frags, &tick, consume); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
 	for _, a := range f1.frags {
 		for _, b := range f2.frags {
 			if err := checkCtx(ctx, &tick); err != nil {
 				return nil, err
 			}
-			j := JoinCounted(c, a, b)
-			if !pred(j) {
-				c.AddFilterPrunes(1)
-				continue
-			}
-			out.Add(j)
-			if out.Len() > maxFragments {
-				return nil, budgetError("filtered pairwise join", maxFragments)
+			if err := consume(JoinCounted(c, a, b)); err != nil {
+				return nil, err
 			}
 		}
 	}

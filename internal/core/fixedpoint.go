@@ -15,33 +15,17 @@ func FixedPointNaive(f *Set) *Set { return FixedPointNaiveCounted(nil, f) }
 // FixedPointNaiveCounted is FixedPointNaive attributing joins and
 // iterations to c (nil-safe).
 func FixedPointNaiveCounted(c *obs.EvalCounters, f *Set) *Set {
-	acc := f.Clone()
-	frontier := f.Fragments()
-	for len(frontier) > 0 {
-		c.AddFixedPointIterations(1)
-		var next []Fragment
-		for _, a := range frontier {
-			for _, b := range f.Fragments() {
-				if j := JoinCounted(c, a, b); acc.Add(j) {
-					next = append(next, j)
-				}
-			}
-		}
-		frontier = next
-	}
-	return acc
+	return mustSet(FixedPointNaiveBoundedCtx(nil, NewEvalState(c), f, unbounded))
 }
 
 // FixedPoint computes F⁺ using Theorem 1: the fixed point is reached
 // after exactly k = |⊖(F)| pairwise self joins, so no fixed-point
 // checking is needed (Section 3.1.2). For |F| ≤ 2 the reduced set is F
-// itself.
+// itself. The ⊖ computation and the budgeted self joins share one
+// evaluation state, so the witness pairs ⊖ joins are served to the
+// first self-join iteration from the memo.
 func FixedPoint(f *Set) *Set {
-	k := Reduce(f).Len()
-	if k < 1 {
-		k = 1
-	}
-	return SelfJoinTimes(f, k)
+	return mustSet(FixedPointBoundedCtx(nil, NewEvalState(nil), f, unbounded))
 }
 
 // FixedPointIterations returns the iteration budget Theorem 1
@@ -58,22 +42,7 @@ func FixedPointIterations(f *Set) int {
 // fragment discarded early could only have produced discardable
 // super-fragments, so nothing in the final selection is lost.
 func FilteredFixedPoint(f *Set, pred func(Fragment) bool) *Set {
-	base := f.Select(pred)
-	acc := base.Clone()
-	frontier := base.Fragments()
-	for len(frontier) > 0 {
-		var next []Fragment
-		for _, a := range frontier {
-			for _, b := range base.Fragments() {
-				j := Join(a, b)
-				if pred(j) && acc.Add(j) {
-					next = append(next, j)
-				}
-			}
-		}
-		frontier = next
-	}
-	return acc
+	return mustSet(FilteredFixedPointBoundedCtx(nil, NewEvalState(nil), f, pred, unbounded))
 }
 
 // Reduce computes the reduced set ⊖(F) (Definition 10): fragments
@@ -93,11 +62,20 @@ func FilteredFixedPoint(f *Set, pred func(Fragment) bool) *Set {
 // Iterative elimination restores that invariant; on inputs without
 // mutual elimination (such as the paper's Figure 4 example) the two
 // readings agree. See DESIGN.md for the reproduction note.
-func Reduce(f *Set) *Set { return ReduceCounted(nil, f) }
+func Reduce(f *Set) *Set { return reduceState(NewEvalState(nil), f) }
 
 // ReduceCounted is Reduce attributing the witness-pair joins to c
 // (nil-safe).
 func ReduceCounted(c *obs.EvalCounters, f *Set) *Set {
+	return reduceState(NewEvalState(c), f)
+}
+
+// reduceState is the ⊖ implementation on an evaluation state. The
+// elimination sweeps probe the same witness pairs once per candidate
+// per sweep — O(|F|³) join applications over O(|F|²) distinct pairs —
+// which the state's pair memo collapses to one computed join per
+// pair.
+func reduceState(st *EvalState, f *Set) *Set {
 	n := f.Len()
 	if n <= 2 {
 		// A set needs at least three elements for any to be eliminated
@@ -116,7 +94,7 @@ func ReduceCounted(c *obs.EvalCounters, f *Set) *Set {
 			if !alive[k] {
 				continue
 			}
-			if coveredByPair(c, frags, alive, k) {
+			if coveredByPair(st, frags, alive, k) {
 				alive[k] = false
 				aliveCount--
 				changed = true
@@ -137,7 +115,7 @@ func ReduceCounted(c *obs.EvalCounters, f *Set) *Set {
 
 // coveredByPair reports whether frags[k] is a sub-fragment of the join
 // of two distinct other alive fragments.
-func coveredByPair(c *obs.EvalCounters, frags []Fragment, alive []bool, k int) bool {
+func coveredByPair(st *EvalState, frags []Fragment, alive []bool, k int) bool {
 	for i := range frags {
 		if !alive[i] || i == k {
 			continue
@@ -146,7 +124,7 @@ func coveredByPair(c *obs.EvalCounters, frags []Fragment, alive []bool, k int) b
 			if !alive[j] || j == k {
 				continue
 			}
-			if frags[k].SubsetOf(JoinCounted(c, frags[i], frags[j])) {
+			if frags[k].SubsetOf(st.JoinMemo(frags[i], frags[j])) {
 				return true
 			}
 		}

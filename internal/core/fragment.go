@@ -8,6 +8,7 @@ package core
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"strings"
 
@@ -23,8 +24,30 @@ import (
 // values. The zero Fragment is invalid — construct via NewFragment,
 // NodeFragment or the algebra operations.
 type Fragment struct {
-	doc *xmltree.Document
-	ids []xmltree.NodeID // sorted, duplicate-free, connected
+	doc  *xmltree.Document
+	ids  []xmltree.NodeID // sorted, duplicate-free, connected
+	hash uint64           // hashIDs(ids), cached at construction
+}
+
+// FNV-1a over 32-bit words. The per-fragment identity hash feeds the
+// open-addressed Set table and the pair-join memo, so it must be
+// cheap (one xor + multiply per node, no allocation) and stable for
+// the process lifetime; it is never persisted.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// hashIDs fingerprints a sorted NodeID slice. Equal slices hash
+// equal; dedup resolves the (vanishingly rare) converse collisions
+// with Fragment.Equal.
+func hashIDs(ids []xmltree.NodeID) uint64 {
+	h := uint64(fnvOffset64)
+	for _, id := range ids {
+		h ^= uint64(uint32(id))
+		h *= fnvPrime64
+	}
+	return h
 }
 
 // NodeFragment returns the single-node fragment ⟨id⟩ (the paper calls
@@ -33,7 +56,8 @@ func NodeFragment(d *xmltree.Document, id xmltree.NodeID) Fragment {
 	if !d.Valid(id) {
 		panic(fmt.Sprintf("core: NodeFragment(%v) out of range", id))
 	}
-	return Fragment{doc: d, ids: []xmltree.NodeID{id}}
+	ids := []xmltree.NodeID{id}
+	return Fragment{doc: d, ids: ids, hash: hashIDs(ids)}
 }
 
 // NewFragment builds a fragment from the given node set. It returns an
@@ -54,7 +78,7 @@ func NewFragment(d *xmltree.Document, ids []xmltree.NodeID) (Fragment, error) {
 			return Fragment{}, fmt.Errorf("core: duplicate node %v", id)
 		}
 	}
-	f := Fragment{doc: d, ids: sorted}
+	f := Fragment{doc: d, ids: sorted, hash: hashIDs(sorted)}
 	if !f.connected() {
 		return Fragment{}, fmt.Errorf("core: nodes %v do not induce a connected subtree", sorted)
 	}
@@ -134,10 +158,17 @@ func (f Fragment) SubsetOf(g Fragment) bool {
 	return i == len(f.ids)
 }
 
+// Hash returns the fragment's cached 64-bit identity hash, computed
+// over its sorted node IDs at construction. Fragments of the same
+// document that are Equal always share a hash; unequal fragments
+// collide only with ~2⁻⁶⁴ probability, and every hash consumer (Set
+// dedup, the pair-join memo) falls back to Equal on collision.
+func (f Fragment) Hash() uint64 { return f.hash }
+
 // Equal reports whether f and g are the same fragment of the same
 // document.
 func (f Fragment) Equal(g Fragment) bool {
-	if f.doc != g.doc || len(f.ids) != len(g.ids) {
+	if f.doc != g.doc || f.hash != g.hash || len(f.ids) != len(g.ids) {
 		return false
 	}
 	for i := range f.ids {
@@ -184,16 +215,29 @@ func (f Fragment) MaxDepth() int {
 // Leaves returns the fragment's leaf nodes: members none of whose
 // children (in the fragment) exist. Definition 8 requires every query
 // keyword to occur on a leaf of the answer fragment.
+//
+// The member-parents are collected into a sorted slice and walked in
+// lockstep with the (already sorted) ids — no map, two allocations
+// total (see BenchmarkFragmentLeaves).
 func (f Fragment) Leaves() []xmltree.NodeID {
-	hasChild := make(map[xmltree.NodeID]bool, len(f.ids))
-	for _, id := range f.ids[1:] {
-		hasChild[f.doc.Parent(id)] = true
+	if len(f.ids) == 1 {
+		return []xmltree.NodeID{f.ids[0]}
 	}
-	var leaves []xmltree.NodeID
+	parents := make([]xmltree.NodeID, 0, len(f.ids)-1)
+	for _, id := range f.ids[1:] {
+		parents = append(parents, f.doc.Parent(id))
+	}
+	slices.Sort(parents)
+	leaves := make([]xmltree.NodeID, 0, len(f.ids))
+	j := 0
 	for _, id := range f.ids {
-		if !hasChild[id] {
-			leaves = append(leaves, id)
+		for j < len(parents) && parents[j] < id {
+			j++
 		}
+		if j < len(parents) && parents[j] == id {
+			continue // id has a child inside the fragment
+		}
+		leaves = append(leaves, id)
 	}
 	return leaves
 }
@@ -220,9 +264,13 @@ func (f Fragment) HasKeyword(term string) bool {
 	return false
 }
 
-// Key returns a canonical string key for the fragment, used for
-// set-level deduplication. Two fragments of the same document have the
-// same key iff they are Equal.
+// Key returns a canonical string key for the fragment. Two fragments
+// of the same document have the same key iff they are Equal.
+//
+// Deprecated: the hot paths no longer use string keys — Set dedup and
+// the pair-join memo run on the cached Hash with Equal fallback, so
+// no per-probe allocation remains. Key survives for external callers
+// that need a printable canonical identity (it allocates).
 func (f Fragment) Key() string {
 	var sb strings.Builder
 	sb.Grow(len(f.ids) * 4)

@@ -7,6 +7,15 @@ import (
 	"repro/internal/xmltree"
 )
 
+// joinPathBuf is the stack buffer for the root-to-LCA connecting
+// path: big enough for two walks in any realistically deep document,
+// spilling to the heap (one extra allocation) only beyond it. Keeping
+// the buffer on the goroutine stack beat both a sync.Pool and an
+// EvalState-threaded scratch in profiles — the join is short enough
+// that pool synchronization costs more than it saves, and it keeps
+// the parallel striped join trivially safe.
+const joinPathBufLen = 48
+
 // JoinCount returns the number of fragment joins performed
 // process-wide since the last ResetJoinCount.
 //
@@ -59,21 +68,60 @@ func JoinCounted(c *obs.EvalCounters, f1, f2 Fragment) Fragment {
 	}
 	d := f1.doc
 	r1, r2 := f1.Root(), f2.Root()
-	l := d.LCA(r1, r2)
-
-	// Gather the connecting paths, excluding nodes already implied by
-	// the fragments' own roots.
-	extra := make([]xmltree.NodeID, 0, d.Depth(r1)+d.Depth(r2)-2*d.Depth(l)+1)
-	for v := r1; v != l; v = d.Parent(v) {
-		extra = append(extra, v)
+	var walkBuf, pathBuf [joinPathBufLen]xmltree.NodeID
+	extra := pathBuf[:0]
+	// Contained-root fast path: roots are pre-order minima, so only
+	// the larger root can lie inside the other fragment's span. When
+	// it is a member, the union of the two node sets is already
+	// connected — the join needs no LCA walk and no connecting path.
+	lo, hi := f1, f2
+	if r2 < r1 {
+		lo, hi = f2, f1
 	}
-	for v := r2; v != l; v = d.Parent(v) {
-		extra = append(extra, v)
+	if !lo.Contains(hi.Root()) {
+		// Gather the connecting paths, excluding nodes already implied
+		// by the fragments' own roots. Each walk is strictly
+		// descending in pre-order IDs and the LCA is the minimum, so
+		// merging the walks from their tails yields extra already
+		// sorted ascending — no sort call on the hot path.
+		l := d.LCA(r1, r2)
+		desc := walkBuf[:0]
+		for v := r1; v != l; v = d.Parent(v) {
+			desc = append(desc, v)
+		}
+		m := len(desc)
+		for v := r2; v != l; v = d.Parent(v) {
+			desc = append(desc, v)
+		}
+		extra = append(extra, l)
+		i, j := m-1, len(desc)-1
+		for i >= 0 && j >= m {
+			if desc[i] < desc[j] {
+				extra = append(extra, desc[i])
+				i--
+			} else {
+				extra = append(extra, desc[j])
+				j--
+			}
+		}
+		for ; i >= 0; i-- {
+			extra = append(extra, desc[i])
+		}
+		for ; j >= m; j-- {
+			extra = append(extra, desc[j])
+		}
 	}
-	extra = append(extra, l)
-
-	ids := mergeIDs(f1.ids, f2.ids, extra)
-	return Fragment{doc: d, ids: ids}
+	var ids []xmltree.NodeID
+	if len(extra) == 0 {
+		ids = mergeIDs(make([]xmltree.NodeID, 0, len(f1.ids)+len(f2.ids)), f1.ids, f2.ids)
+	} else {
+		// The three-way merge replaces per-element sorted insertion,
+		// which cost O(|extra|·n) memmoves and dominated join
+		// profiles on path-heavy workloads.
+		ids = merge3IDs(make([]xmltree.NodeID, 0, len(f1.ids)+len(f2.ids)+len(extra)),
+			f1.ids, f2.ids, extra)
+	}
+	return Fragment{doc: d, ids: ids, hash: hashIDs(ids)}
 }
 
 // JoinAll folds Join over all fragments: ⋈{f1,…,fn} = f1 ⋈ … ⋈ fn
@@ -92,10 +140,11 @@ func JoinAllCounted(c *obs.EvalCounters, fs []Fragment) Fragment {
 	return acc
 }
 
-// mergeIDs merges two sorted ID slices and one small unsorted slice
-// into a fresh sorted duplicate-free slice.
-func mergeIDs(a, b, extra []xmltree.NodeID) []xmltree.NodeID {
-	out := make([]xmltree.NodeID, 0, len(a)+len(b)+len(extra))
+// mergeIDs merges two sorted ID slices into dst (appended from length
+// 0, capacity pre-sized by the caller), returning the sorted
+// duplicate-free result.
+func mergeIDs(dst, a, b []xmltree.NodeID) []xmltree.NodeID {
+	out := dst
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
 		switch {
@@ -113,30 +162,40 @@ func mergeIDs(a, b, extra []xmltree.NodeID) []xmltree.NodeID {
 	}
 	out = append(out, a[i:]...)
 	out = append(out, b[j:]...)
-	for _, id := range extra {
-		out = insertSorted(out, id)
-	}
 	return out
 }
 
-// insertSorted inserts id into the sorted slice s unless present.
-func insertSorted(s []xmltree.NodeID, id xmltree.NodeID) []xmltree.NodeID {
-	lo, hi := 0, len(s)
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if s[mid] < id {
-			lo = mid + 1
-		} else {
-			hi = mid
+// merge3IDs merges three sorted ID slices into dst (appended from
+// length 0, capacity pre-sized by the caller), returning the sorted
+// duplicate-free result. Only used when a join has a non-empty
+// connecting path; the common no-path case takes the tighter two-way
+// merge.
+func merge3IDs(dst, a, b, c []xmltree.NodeID) []xmltree.NodeID {
+	out := dst
+	i, j, k := 0, 0, 0
+	for i < len(a) || j < len(b) || k < len(c) {
+		v := xmltree.NodeID(1<<31 - 1)
+		if i < len(a) {
+			v = a[i]
+		}
+		if j < len(b) && b[j] < v {
+			v = b[j]
+		}
+		if k < len(c) && c[k] < v {
+			v = c[k]
+		}
+		out = append(out, v)
+		if i < len(a) && a[i] == v {
+			i++
+		}
+		if j < len(b) && b[j] == v {
+			j++
+		}
+		for k < len(c) && c[k] == v {
+			k++
 		}
 	}
-	if lo < len(s) && s[lo] == id {
-		return s
-	}
-	s = append(s, 0)
-	copy(s[lo+1:], s[lo:])
-	s[lo] = id
-	return s
+	return out
 }
 
 // validateSameDoc panics unless every fragment belongs to doc; used by

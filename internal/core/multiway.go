@@ -52,14 +52,17 @@ func MultiPowersetJoinTrace(sets []*Set, pred func(Fragment) bool) ([]Candidate,
 // the joins and one powerset expansion per candidate row to c
 // (nil-safe).
 func MultiPowersetJoinTraceCounted(c *obs.EvalCounters, sets []*Set, pred func(Fragment) bool) ([]Candidate, error) {
-	return MultiPowersetJoinTraceCtx(nil, c, sets, pred)
+	return MultiPowersetJoinTraceCtx(nil, NewEvalState(c), sets, pred)
 }
 
 // MultiPowersetJoinTraceCtx is MultiPowersetJoinTraceCounted with
 // cooperative cancellation: the candidate enumeration — the literal
 // exponential loop of Definition 6 — polls ctx once per row and once
-// per amortized batch of member joins.
-func MultiPowersetJoinTraceCtx(ctx context.Context, c *obs.EvalCounters, sets []*Set, pred func(Fragment) bool) ([]Candidate, error) {
+// per amortized batch of member joins. Candidate subsets share fold
+// prefixes (Gosper enumeration revisits the same low-index members),
+// so the member joins run through the evaluation state's pair memo.
+func MultiPowersetJoinTraceCtx(ctx context.Context, st *EvalState, sets []*Set, pred func(Fragment) bool) ([]Candidate, error) {
+	c := st.Counters()
 	if len(sets) == 0 {
 		return nil, nil
 	}
@@ -111,7 +114,7 @@ func MultiPowersetJoinTraceCtx(ctx context.Context, c *obs.EvalCounters, sets []
 			m = (((r ^ m) >> 2) / lsb) | r
 		}
 	}
-	seen := make(map[string]bool)
+	seen := &Set{}
 	rows := make([]Candidate, 0, len(masks))
 	for _, m := range masks {
 		if err := checkCtx(ctx, &tick); err != nil {
@@ -124,14 +127,26 @@ func MultiPowersetJoinTraceCtx(ctx context.Context, c *obs.EvalCounters, sets []
 				inputs = append(inputs, pool.At(i))
 			}
 		}
-		res := JoinAllCounted(c, inputs)
-		k := res.Key()
-		row := Candidate{Inputs: inputs, Result: res, Duplicate: seen[k]}
+		res := joinAllState(st, inputs)
+		c.AddDedupProbes(1)
+		row := Candidate{Inputs: inputs, Result: res, Duplicate: !seen.Add(res)}
 		if pred != nil {
 			row.Filtered = !pred(res)
 		}
-		seen[k] = true
 		rows = append(rows, row)
 	}
 	return rows, nil
+}
+
+// joinAllState folds the fragment join over fs through the evaluation
+// state's pair memo. Panics on an empty slice like JoinAll.
+func joinAllState(st *EvalState, fs []Fragment) Fragment {
+	if len(fs) == 0 {
+		panic("core: JoinAll of empty slice")
+	}
+	acc := fs[0]
+	for _, f := range fs[1:] {
+		acc = st.JoinMemo(acc, f)
+	}
+	return acc
 }

@@ -2,19 +2,27 @@ package core
 
 import "repro/internal/obs"
 
+// unbounded is the fragment budget used by the budget-free wrappers:
+// effectively infinite, so the shared bounded loops serve both entry
+// points without duplicating the join kernel.
+const unbounded = int(^uint(0) >> 1)
+
+// mustSet unwraps a bounded-loop result that cannot have failed (nil
+// context, unbounded budget).
+func mustSet(s *Set, err error) *Set {
+	if err != nil {
+		panic("core: unbounded evaluation failed: " + err.Error())
+	}
+	return s
+}
+
 // PairwiseJoin computes F1 ⋈ F2 (Definition 5): the fragment join of
 // every pair (f1, f2) ∈ F1 × F2, deduplicated. It is commutative,
 // associative, monotone (F ⊆ F ⋈ F) and distributes over union, but is
 // NOT idempotent: joining a set with itself can create fragments not in
 // the set (Section 2.2).
 func PairwiseJoin(f1, f2 *Set) *Set {
-	out := &Set{}
-	for _, a := range f1.frags {
-		for _, b := range f2.frags {
-			out.Add(Join(a, b))
-		}
-	}
-	return out
+	return mustSet(PairwiseJoinBoundedCtx(nil, NewEvalState(nil), f1, f2, unbounded))
 }
 
 // PairwiseJoinFiltered is PairwiseJoin with a selection applied to
@@ -23,15 +31,7 @@ func PairwiseJoin(f1, f2 *Set) *Set {
 // Theorem 3: σ_Pa(F1 ⋈ F2) = σ_Pa(σ_Pa(F1) ⋈ σ_Pa(F2)); callers filter
 // the inputs themselves and pass the same predicate here.
 func PairwiseJoinFiltered(f1, f2 *Set, pred func(Fragment) bool) *Set {
-	out := &Set{}
-	for _, a := range f1.frags {
-		for _, b := range f2.frags {
-			if j := Join(a, b); pred(j) {
-				out.Add(j)
-			}
-		}
-	}
-	return out
+	return mustSet(PairwiseJoinFilteredBoundedCtx(nil, NewEvalState(nil), f1, f2, pred, unbounded))
 }
 
 // SelfJoinTimes computes ⋈_n(F): the pairwise fragment join applied to
@@ -49,22 +49,5 @@ func SelfJoinTimes(f *Set, n int) *Set { return SelfJoinTimesCounted(nil, f, n) 
 // SelfJoinTimesCounted is SelfJoinTimes attributing joins and
 // iterations to c (nil-safe).
 func SelfJoinTimesCounted(c *obs.EvalCounters, f *Set, n int) *Set {
-	if n < 1 {
-		panic("core: SelfJoinTimes requires n >= 1")
-	}
-	acc := f.Clone()
-	frontier := f.Fragments()
-	for i := 1; i < n && len(frontier) > 0; i++ {
-		c.AddFixedPointIterations(1)
-		var next []Fragment
-		for _, a := range frontier {
-			for _, b := range f.Fragments() {
-				if j := JoinCounted(c, a, b); acc.Add(j) {
-					next = append(next, j)
-				}
-			}
-		}
-		frontier = next
-	}
-	return acc
+	return mustSet(SelfJoinTimesBoundedCtx(nil, NewEvalState(c), f, n, unbounded))
 }

@@ -4,20 +4,27 @@ import (
 	"context"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/obs"
 )
 
 // Parallel variants of the join-heavy operations. Fragment join is a
 // pure function over an immutable document, so the outer loop of a
-// pairwise join parallelizes embarrassingly: workers join disjoint
-// stripes of the left operand and the results merge into one
-// deduplicated set. Answer sets are identical to the sequential
-// variants (Set equality is order-insensitive); only insertion order
-// may differ, and canonical presentation uses Set.Sorted anyway.
-// Every worker polls the evaluation context amortized, so a cancelled
-// query stops all its stripe goroutines promptly — stripeJoin always
-// joins its WaitGroup before returning, leaving no goroutine behind.
+// pairwise join parallelizes embarrassingly: workers claim contiguous
+// batches of the left operand, join each batch against all of the
+// right operand into a worker-local deduplicated Set (hash dedup, no
+// per-probe allocation), and the local sets merge once at the end.
+// Answer sets are identical to the sequential variants (Set equality
+// is order-insensitive); only insertion order may differ, and
+// canonical presentation uses Set.Sorted anyway. Every worker polls
+// the evaluation context amortized, so a cancelled query stops all
+// its stripe goroutines promptly — stripeJoin always joins its
+// WaitGroup before returning, leaving no goroutine behind.
+//
+// Workers share the evaluation's atomic counters but not its pair
+// memo (the memo map is not synchronized, and a single striped join
+// never repeats an operand pair anyway).
 
 // ResolveWorkers normalizes a worker-count option: values < 1 mean
 // GOMAXPROCS.
@@ -34,14 +41,14 @@ func ResolveWorkers(n int) int {
 // result (workers may transiently materialize up to one stripe past
 // it).
 func PairwiseJoinFilteredParallel(f1, f2 *Set, pred func(Fragment) bool, workers, maxFragments int) (*Set, error) {
-	return PairwiseJoinFilteredParallelCtx(nil, nil, f1, f2, pred, workers, maxFragments)
+	return PairwiseJoinFilteredParallelCtx(nil, NewEvalState(nil), f1, f2, pred, workers, maxFragments)
 }
 
 // PairwiseJoinFilteredParallelCounted is PairwiseJoinFilteredParallel
 // attributing the work to c. The counter is atomic, so worker
 // goroutines update it directly (nil-safe).
 func PairwiseJoinFilteredParallelCounted(c *obs.EvalCounters, f1, f2 *Set, pred func(Fragment) bool, workers, maxFragments int) (*Set, error) {
-	return PairwiseJoinFilteredParallelCtx(nil, c, f1, f2, pred, workers, maxFragments)
+	return PairwiseJoinFilteredParallelCtx(nil, NewEvalState(c), f1, f2, pred, workers, maxFragments)
 }
 
 // PairwiseJoinFilteredParallelCtx is
@@ -49,47 +56,40 @@ func PairwiseJoinFilteredParallelCounted(c *obs.EvalCounters, f1, f2 *Set, pred 
 // every stripe worker polls ctx and bails, and the merge loop checks
 // once more so a cancellation surfacing after the join still returns
 // promptly.
-func PairwiseJoinFilteredParallelCtx(ctx context.Context, c *obs.EvalCounters, f1, f2 *Set, pred func(Fragment) bool, workers, maxFragments int) (*Set, error) {
+func PairwiseJoinFilteredParallelCtx(ctx context.Context, st *EvalState, f1, f2 *Set, pred func(Fragment) bool, workers, maxFragments int) (*Set, error) {
 	if workers <= 1 || f1.Len() < 2*workers {
-		return PairwiseJoinFilteredBoundedCtx(ctx, c, f1, f2, pred, maxFragments)
+		return PairwiseJoinFilteredBoundedCtx(ctx, st, f1, f2, pred, maxFragments)
 	}
+	c := st.Counters()
 	c.AddPairwiseJoins(1)
 	chunks, err := stripeJoin(ctx, c, f1.Fragments(), f2.Fragments(), pred, workers)
 	if err != nil {
 		return nil, err
 	}
-	out := &Set{}
-	for _, chunk := range chunks {
-		for _, f := range chunk {
-			out.Add(f)
-			if out.Len() > maxFragments {
-				return nil, budgetError("parallel pairwise join", maxFragments)
-			}
-		}
-	}
-	return out, nil
+	return mergeChunks(c, nil, chunks, maxFragments, "parallel pairwise join")
 }
 
 // FilteredFixedPointParallel computes σ_Pa(F⁺) semi-naively with
 // parallel frontier expansion. workers <= 1 falls back to the
 // sequential implementation.
 func FilteredFixedPointParallel(f *Set, pred func(Fragment) bool, workers, maxFragments int) (*Set, error) {
-	return FilteredFixedPointParallelCtx(nil, nil, f, pred, workers, maxFragments)
+	return FilteredFixedPointParallelCtx(nil, NewEvalState(nil), f, pred, workers, maxFragments)
 }
 
 // FilteredFixedPointParallelCounted is FilteredFixedPointParallel
 // attributing the work to c (nil-safe, updated from worker
 // goroutines).
 func FilteredFixedPointParallelCounted(c *obs.EvalCounters, f *Set, pred func(Fragment) bool, workers, maxFragments int) (*Set, error) {
-	return FilteredFixedPointParallelCtx(nil, c, f, pred, workers, maxFragments)
+	return FilteredFixedPointParallelCtx(nil, NewEvalState(c), f, pred, workers, maxFragments)
 }
 
 // FilteredFixedPointParallelCtx is FilteredFixedPointParallelCounted
 // with cooperative cancellation in every frontier expansion.
-func FilteredFixedPointParallelCtx(ctx context.Context, c *obs.EvalCounters, f *Set, pred func(Fragment) bool, workers, maxFragments int) (*Set, error) {
+func FilteredFixedPointParallelCtx(ctx context.Context, st *EvalState, f *Set, pred func(Fragment) bool, workers, maxFragments int) (*Set, error) {
 	if workers <= 1 {
-		return FilteredFixedPointBoundedCtx(ctx, c, f, pred, maxFragments)
+		return FilteredFixedPointBoundedCtx(ctx, st, f, pred, maxFragments)
 	}
+	c := st.Counters()
 	base := f.Select(pred)
 	c.AddFilterPrunes(uint64(f.Len() - base.Len()))
 	acc := base.Clone()
@@ -105,7 +105,8 @@ func FilteredFixedPointParallelCtx(ctx context.Context, c *obs.EvalCounters, f *
 		}
 		var next []Fragment
 		for _, chunk := range chunks {
-			for _, j := range chunk {
+			for _, j := range chunk.Fragments() {
+				c.AddDedupProbes(1)
 				if acc.Add(j) {
 					next = append(next, j)
 					if acc.Len() > maxFragments {
@@ -119,43 +120,84 @@ func FilteredFixedPointParallelCtx(ctx context.Context, c *obs.EvalCounters, f *
 	return acc, nil
 }
 
-// stripeJoin fans the cross product left × right over workers, each
-// joining its stripe of left against all of right and keeping the
-// pred-passing results (locally deduplicated to shrink the merge).
-// Each worker polls ctx amortized with a worker-local tick; on
-// cancellation all workers stop early, the WaitGroup drains, and the
-// context error is returned — no goroutine outlives the call.
-func stripeJoin(ctx context.Context, c *obs.EvalCounters, left, right []Fragment, pred func(Fragment) bool, workers int) ([][]Fragment, error) {
+// mergeChunks folds worker-local sets into dst (allocated when nil),
+// enforcing the fragment budget.
+func mergeChunks(c *obs.EvalCounters, dst *Set, chunks []*Set, maxFragments int, op string) (*Set, error) {
+	if dst == nil {
+		dst = &Set{}
+	}
+	for _, chunk := range chunks {
+		if chunk == nil {
+			continue
+		}
+		for _, f := range chunk.Fragments() {
+			c.AddDedupProbes(1)
+			dst.Add(f)
+			if dst.Len() > maxFragments {
+				return nil, budgetError(op, maxFragments)
+			}
+		}
+	}
+	return dst, nil
+}
+
+// stripeBatch sizes the contiguous batches workers claim from the
+// left operand: small enough to balance skewed join costs across
+// workers, large enough that the atomic claim is amortized.
+func stripeBatch(left, workers int) int {
+	b := left / (workers * 8)
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+// stripeJoin fans the cross product left × right over workers. Each
+// worker claims contiguous batches of left off an atomic cursor,
+// joins them against all of right, and keeps the pred-passing results
+// in a worker-local Set (hash-deduplicated to shrink the merge — no
+// per-probe allocation). Each worker polls ctx amortized with a
+// worker-local tick; on cancellation all workers stop early, the
+// WaitGroup drains, and the context error is returned — no goroutine
+// outlives the call.
+func stripeJoin(ctx context.Context, c *obs.EvalCounters, left, right []Fragment, pred func(Fragment) bool, workers int) ([]*Set, error) {
 	if workers > len(left) {
 		workers = len(left)
 	}
-	chunks := make([][]Fragment, workers)
+	batch := stripeBatch(len(left), workers)
+	var cursor atomic.Int64
+	chunks := make([]*Set, workers)
 	errs := make([]error, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			seen := make(map[string]bool)
-			var local []Fragment
+			local := &Set{}
 			tick := 0
-			for i := w; i < len(left); i += workers {
-				for _, b := range right {
-					if err := checkCtx(ctx, &tick); err != nil {
-						errs[w] = err
-						return
+			for {
+				start := int(cursor.Add(int64(batch))) - batch
+				if start >= len(left) {
+					break
+				}
+				end := start + batch
+				if end > len(left) {
+					end = len(left)
+				}
+				for _, a := range left[start:end] {
+					for _, b := range right {
+						if err := checkCtx(ctx, &tick); err != nil {
+							errs[w] = err
+							return
+						}
+						j := JoinCounted(c, a, b)
+						if !pred(j) {
+							c.AddFilterPrunes(1)
+							continue
+						}
+						c.AddDedupProbes(1)
+						local.Add(j)
 					}
-					j := JoinCounted(c, left[i], b)
-					if !pred(j) {
-						c.AddFilterPrunes(1)
-						continue
-					}
-					k := j.Key()
-					if seen[k] {
-						continue
-					}
-					seen[k] = true
-					local = append(local, j)
 				}
 			}
 			chunks[w] = local

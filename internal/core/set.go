@@ -8,15 +8,24 @@ import (
 )
 
 // Set is a set of fragments of one document. Fragments are
-// deduplicated by value (Fragment.Key) and iteration order is
-// insertion order, which keeps evaluation deterministic and lets the
-// Table 1 reproduction present results in a stable order.
+// deduplicated by value and iteration order is insertion order, which
+// keeps evaluation deterministic and lets the Table 1 reproduction
+// present results in a stable order.
+//
+// Dedup runs on an open-addressed bucket table over the fragments'
+// cached 64-bit hashes with Fragment.Equal as the collision fallback,
+// so membership probes — the innermost operation of every fixed-point
+// iteration — never allocate (the old map[string]int built one string
+// key per probe).
 //
 // The zero Set is empty and ready to use.
 type Set struct {
 	frags []Fragment
-	index map[string]int
+	table []int32 // open-addressed; -1 = empty, else index into frags
 }
+
+// minTableSize is the initial bucket count (power of two).
+const minTableSize = 16
 
 // NewSet builds a set from the given fragments, deduplicating.
 func NewSet(fs ...Fragment) *Set {
@@ -30,14 +39,40 @@ func NewSet(fs ...Fragment) *Set {
 // NodeSet returns the fragment set F = nodes(D): one single-node
 // fragment per document node (Section 2.3's starting set).
 func NodeSet(d *xmltree.Document) *Set {
-	s := &Set{
-		frags: make([]Fragment, 0, d.Len()),
-		index: make(map[string]int, d.Len()),
-	}
+	s := &Set{frags: make([]Fragment, 0, d.Len())}
+	s.growTable(tableSizeFor(d.Len()))
 	for id := xmltree.NodeID(0); int(id) < d.Len(); id++ {
 		s.Add(NodeFragment(d, id))
 	}
 	return s
+}
+
+// tableSizeFor returns the smallest power-of-two bucket count that
+// holds n fragments below the ¾ load factor.
+func tableSizeFor(n int) int {
+	size := minTableSize
+	for size-size/4 <= n {
+		size *= 2
+	}
+	return size
+}
+
+// growTable rebuilds the bucket table at the given power-of-two size,
+// rehashing every present fragment.
+func (s *Set) growTable(size int) {
+	table := make([]int32, size)
+	for i := range table {
+		table[i] = -1
+	}
+	mask := uint64(size - 1)
+	for idx, f := range s.frags {
+		i := f.hash & mask
+		for table[i] >= 0 {
+			i = (i + 1) & mask
+		}
+		table[i] = int32(idx)
+	}
+	s.table = table
 }
 
 // NodeFragments builds a set of single-node fragments from ids.
@@ -49,21 +84,33 @@ func NodeFragments(d *xmltree.Document, ids []xmltree.NodeID) *Set {
 	return s
 }
 
-// Add inserts f, reporting whether it was not already present.
+// Add inserts f, reporting whether it was not already present. A
+// duplicate probe performs zero allocations.
 func (s *Set) Add(f Fragment) bool {
 	if f.IsZero() {
 		panic("core: Add of zero Fragment")
 	}
-	if s.index == nil {
-		s.index = make(map[string]int)
+	if len(s.frags) >= len(s.table)-len(s.table)/4 {
+		size := minTableSize
+		if len(s.table) > 0 {
+			size = len(s.table) * 2
+		}
+		s.growTable(size)
 	}
-	k := f.Key()
-	if _, dup := s.index[k]; dup {
-		return false
+	mask := uint64(len(s.table) - 1)
+	i := f.hash & mask
+	for {
+		t := s.table[i]
+		if t < 0 {
+			s.table[i] = int32(len(s.frags))
+			s.frags = append(s.frags, f)
+			return true
+		}
+		if s.frags[t].Equal(f) {
+			return false
+		}
+		i = (i + 1) & mask
 	}
-	s.index[k] = len(s.frags)
-	s.frags = append(s.frags, f)
-	return true
 }
 
 // AddAll inserts every fragment of t into s and reports how many were
@@ -78,13 +125,23 @@ func (s *Set) AddAll(t *Set) int {
 	return added
 }
 
-// Contains reports whether f ∈ s.
+// Contains reports whether f ∈ s. Never allocates.
 func (s *Set) Contains(f Fragment) bool {
-	if s.index == nil {
+	if len(s.table) == 0 {
 		return false
 	}
-	_, ok := s.index[f.Key()]
-	return ok
+	mask := uint64(len(s.table) - 1)
+	i := f.hash & mask
+	for {
+		t := s.table[i]
+		if t < 0 {
+			return false
+		}
+		if s.frags[t].Equal(f) {
+			return true
+		}
+		i = (i + 1) & mask
+	}
 }
 
 // Len returns |s|.
@@ -101,12 +158,10 @@ func (s *Set) At(i int) Fragment { return s.frags[i] }
 func (s *Set) Clone() *Set {
 	c := &Set{
 		frags: make([]Fragment, len(s.frags)),
-		index: make(map[string]int, len(s.index)),
+		table: make([]int32, len(s.table)),
 	}
 	copy(c.frags, s.frags)
-	for k, v := range s.index {
-		c.index[k] = v
-	}
+	copy(c.table, s.table)
 	return c
 }
 

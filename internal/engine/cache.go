@@ -2,7 +2,7 @@ package engine
 
 import (
 	"container/list"
-	"fmt"
+	"strconv"
 	"sync"
 
 	"repro/internal/query"
@@ -94,6 +94,18 @@ func (e *Engine) CacheLen() int {
 // change the answer set participate (workers and auto-mode chooser
 // settings change the work, not the result — but strategy choice can
 // change which error is returned, so it is included for safety).
+// The key is built by direct appends rather than fmt — the cache sits
+// on the hot path of every repeated query, and Sprintf's reflection
+// costs several allocations per lookup.
 func cacheKey(q query.Query, opts query.Options) string {
-	return fmt.Sprintf("%s|s=%d|a=%t|mf=%d", q.String(), opts.Strategy, opts.Auto, opts.MaxFragments)
+	qs := q.String()
+	b := make([]byte, 0, len(qs)+24)
+	b = append(b, qs...)
+	b = append(b, "|s="...)
+	b = strconv.AppendInt(b, int64(opts.Strategy), 10)
+	b = append(b, "|a="...)
+	b = strconv.AppendBool(b, opts.Auto)
+	b = append(b, "|mf="...)
+	b = strconv.AppendInt(b, int64(opts.MaxFragments), 10)
+	return string(b)
 }

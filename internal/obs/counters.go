@@ -25,6 +25,8 @@ type EvalCounters struct {
 	filterPrunes  atomic.Uint64
 	cacheHits     atomic.Uint64
 	cacheMisses   atomic.Uint64
+	joinMemoHits  atomic.Uint64
+	dedupProbes   atomic.Uint64
 }
 
 // AddJoins counts n fragment joins (Definition 4 applications).
@@ -67,6 +69,24 @@ func (c *EvalCounters) AddFilterPrunes(n uint64) {
 	}
 }
 
+// AddJoinMemoHits counts n fragment joins answered without
+// recomputing Definition 4 — from the per-evaluation pair memo, or as
+// the commutative mirror of a pair just computed in a symmetric F × F
+// pass (the memoized kernel's savings, made visible).
+func (c *EvalCounters) AddJoinMemoHits(n uint64) {
+	if c != nil {
+		c.joinMemoHits.Add(n)
+	}
+}
+
+// AddDedupProbes counts n set-membership probes performed while
+// deduplicating join results into an accumulator set.
+func (c *EvalCounters) AddDedupProbes(n uint64) {
+	if c != nil {
+		c.dedupProbes.Add(n)
+	}
+}
+
 // AddCacheHits counts n result-cache hits.
 func (c *EvalCounters) AddCacheHits(n uint64) {
 	if c != nil {
@@ -89,6 +109,14 @@ func (c *EvalCounters) Joins() uint64 {
 	return c.joins.Load()
 }
 
+// JoinMemoHits returns the memoized-join count (0 on a nil receiver).
+func (c *EvalCounters) JoinMemoHits() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.joinMemoHits.Load()
+}
+
 // Reset zeroes every counter.
 func (c *EvalCounters) Reset() {
 	if c == nil {
@@ -101,6 +129,8 @@ func (c *EvalCounters) Reset() {
 	c.filterPrunes.Store(0)
 	c.cacheHits.Store(0)
 	c.cacheMisses.Store(0)
+	c.joinMemoHits.Store(0)
+	c.dedupProbes.Store(0)
 }
 
 // Snapshot reads every counter at once. The reads are individually
@@ -117,6 +147,8 @@ func (c *EvalCounters) Snapshot() CounterSnapshot {
 		FilterPrunes:         c.filterPrunes.Load(),
 		CacheHits:            c.cacheHits.Load(),
 		CacheMisses:          c.cacheMisses.Load(),
+		JoinMemoHits:         c.joinMemoHits.Load(),
+		DedupProbes:          c.dedupProbes.Load(),
 	}
 }
 
@@ -130,6 +162,8 @@ type CounterSnapshot struct {
 	FilterPrunes         uint64 `json:"filter_prunes"`
 	CacheHits            uint64 `json:"cache_hits"`
 	CacheMisses          uint64 `json:"cache_misses"`
+	JoinMemoHits         uint64 `json:"join_memo_hits"`
+	DedupProbes          uint64 `json:"dedup_probes"`
 }
 
 // process aggregates fragment joins across every evaluation in the

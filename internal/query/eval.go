@@ -100,8 +100,9 @@ type Result struct {
 }
 
 // EvalContext threads the per-evaluation state — the cancellation
-// context, the operator counters and the (possibly nil) trace span —
-// through the strategy implementations.
+// context, the operator counters, the kernel state (pair-join memo)
+// and the (possibly nil) trace span — through the strategy
+// implementations.
 type EvalContext struct {
 	// Ctx carries the evaluation deadline/cancellation; always non-nil
 	// inside EvaluateContext.
@@ -109,6 +110,12 @@ type EvalContext struct {
 	// Counters receives every operator count of this evaluation;
 	// always non-nil inside Evaluate.
 	Counters *obs.EvalCounters
+	// State is the per-evaluation join-kernel state (counters plus the
+	// pair-join memo), shared by every operator of the evaluation so
+	// pairs re-joined across operators — ⊖'s witness pairs re-met by
+	// the budgeted self joins, powerset fold prefixes — are served
+	// from the memo. Always non-nil inside EvaluateContext.
+	State *core.EvalState
 	// Span is the root trace span, nil when tracing is off (all span
 	// operations are nil-safe).
 	Span *obs.Span
@@ -180,6 +187,7 @@ func EvaluateContext(ctx context.Context, x *index.Index, q Query, opts Options)
 	if ec.Counters == nil {
 		ec.Counters = new(obs.EvalCounters)
 	}
+	ec.State = core.NewEvalState(ec.Counters)
 	if opts.Trace {
 		ec.Span = obs.StartSpan("evaluate", "")
 	}
@@ -347,7 +355,7 @@ func evalBruteForce(ctx *EvalContext, seeds []seedRef, q Query, stats *Stats, bu
 		return nil, budgetError(total, budget)
 	}
 	sp := ctx.Span.Start("powerset-join", "")
-	rows, err := core.MultiPowersetJoinTraceCtx(ctx.Ctx, ctx.Counters, seedSets(seeds), nil)
+	rows, err := core.MultiPowersetJoinTraceCtx(ctx.Ctx, ctx.State, seedSets(seeds), nil)
 	if err != nil {
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			return nil, err
@@ -370,9 +378,9 @@ func budgetError(seeds, budget int) error {
 // evalFixedPoints is Sections 3.1/4.2: per-term fixed points (naive or
 // Theorem 1-budgeted, per fp), pairwise-joined left to right, with the
 // whole selection applied last.
-func evalFixedPoints(ctx *EvalContext, seeds []seedRef, q Query, stats *Stats, budget int, fp func(context.Context, *obs.EvalCounters, *core.Set, int) (*core.Set, error)) (*core.Set, error) {
+func evalFixedPoints(ctx *EvalContext, seeds []seedRef, q Query, stats *Stats, budget int, fp func(context.Context, *core.EvalState, *core.Set, int) (*core.Set, error)) (*core.Set, error) {
 	sp := ctx.Span.Start("fixed-point", seeds[0].term)
-	acc, err := fp(ctx.Ctx, ctx.Counters, seeds[0].set, budget)
+	acc, err := fp(ctx.Ctx, ctx.State, seeds[0].set, budget)
 	if err != nil {
 		return nil, err
 	}
@@ -380,7 +388,7 @@ func evalFixedPoints(ctx *EvalContext, seeds []seedRef, q Query, stats *Stats, b
 	stats.FixedPointSizes = append(stats.FixedPointSizes, acc.Len())
 	for _, s := range seeds[1:] {
 		spFP := ctx.Span.Start("fixed-point", s.term)
-		next, err := fp(ctx.Ctx, ctx.Counters, s.set, budget)
+		next, err := fp(ctx.Ctx, ctx.State, s.set, budget)
 		if err != nil {
 			return nil, err
 		}
@@ -388,7 +396,7 @@ func evalFixedPoints(ctx *EvalContext, seeds []seedRef, q Query, stats *Stats, b
 		stats.FixedPointSizes = append(stats.FixedPointSizes, next.Len())
 		spJ := ctx.Span.Start("pairwise-join", "")
 		inL, inR := acc.Len(), next.Len()
-		if acc, err = core.PairwiseJoinBoundedCtx(ctx.Ctx, ctx.Counters, acc, next, budget); err != nil {
+		if acc, err = core.PairwiseJoinBoundedCtx(ctx.Ctx, ctx.State, acc, next, budget); err != nil {
 			return nil, err
 		}
 		spJ.Finish(acc.Len(), inL, inR)
@@ -407,7 +415,7 @@ func evalPushDown(ctx *EvalContext, seeds []seedRef, q Query, stats *Stats, budg
 	pushable := q.Pushable()
 	push := pushable.Apply
 	sp := ctx.Span.Start("filtered-fixed-point", spanFilterDetail(seeds[0].term, pushable.Name))
-	acc, err := core.FilteredFixedPointParallelCtx(ctx.Ctx, ctx.Counters, seeds[0].set, push, workers, budget)
+	acc, err := core.FilteredFixedPointParallelCtx(ctx.Ctx, ctx.State, seeds[0].set, push, workers, budget)
 	if err != nil {
 		return nil, err
 	}
@@ -415,7 +423,7 @@ func evalPushDown(ctx *EvalContext, seeds []seedRef, q Query, stats *Stats, budg
 	stats.FixedPointSizes = append(stats.FixedPointSizes, acc.Len())
 	for _, s := range seeds[1:] {
 		spFP := ctx.Span.Start("filtered-fixed-point", spanFilterDetail(s.term, pushable.Name))
-		next, err := core.FilteredFixedPointParallelCtx(ctx.Ctx, ctx.Counters, s.set, push, workers, budget)
+		next, err := core.FilteredFixedPointParallelCtx(ctx.Ctx, ctx.State, s.set, push, workers, budget)
 		if err != nil {
 			return nil, err
 		}
@@ -423,7 +431,7 @@ func evalPushDown(ctx *EvalContext, seeds []seedRef, q Query, stats *Stats, budg
 		stats.FixedPointSizes = append(stats.FixedPointSizes, next.Len())
 		spJ := ctx.Span.Start("filtered-pairwise-join", pushable.Name)
 		inL, inR := acc.Len(), next.Len()
-		if acc, err = core.PairwiseJoinFilteredParallelCtx(ctx.Ctx, ctx.Counters, acc, next, push, workers, budget); err != nil {
+		if acc, err = core.PairwiseJoinFilteredParallelCtx(ctx.Ctx, ctx.State, acc, next, push, workers, budget); err != nil {
 			return nil, err
 		}
 		spJ.Finish(acc.Len(), inL, inR)
