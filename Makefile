@@ -15,14 +15,16 @@ test:
 # detector (the observability layer counts from worker goroutines, so
 # race coverage is part of correctness here), then the overload tests
 # again explicitly — the admission controller's shed path must hold
-# under the race detector — and the cancellation-overhead benchmark,
-# which keeps the cost of threading a context through the join loops
-# visible on every run.
+# under the race detector — the zero-alloc pin for unsampled tracing,
+# and the cancellation/trace overhead benchmarks, which keep the cost
+# of threading a context (and a span) through the join loops visible
+# on every run.
 check:
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(GO) test -race -run Overload ./internal/httpapi/
-	$(GO) test -run xxx -bench BenchmarkCancellationOverhead -benchtime 200ms ./internal/query/
+	$(GO) test -run TestTraceOverheadZeroAlloc -count=1 ./internal/query/
+	$(GO) test -run xxx -bench 'BenchmarkCancellationOverhead|BenchmarkTraceOverhead' -benchtime 200ms ./internal/query/
 
 race:
 	$(GO) test -race ./...
@@ -35,14 +37,17 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # bench-json runs the kernel benchmarks (plus the join-heaviest
-# end-to-end workload, BenchmarkRFSweep) and emits BENCH_core.json
-# (ns/op, allocs/op, B/op, joins/op) via cmd/benchjson. BENCHTIME
-# trades precision for CI wall clock; the RF sweep is pinned to a
-# single iteration — one op is millions of joins, and allocs/op (the
-# hard-gated number) is deterministic at any iteration count.
+# end-to-end workload, BenchmarkRFSweep, and the trace-overhead pair,
+# which gates the cost of the tracing plumbing on the push-down hot
+# path) and emits BENCH_core.json (ns/op, allocs/op, B/op, joins/op)
+# via cmd/benchjson. BENCHTIME trades precision for CI wall clock; the
+# RF sweep is pinned to a single iteration — one op is millions of
+# joins, and allocs/op (the hard-gated number) is deterministic at any
+# iteration count.
 BENCHTIME ?= 1s
 bench-json:
 	( $(GO) test -run xxx -bench . -benchtime $(BENCHTIME) ./internal/core/ && \
+	  $(GO) test -run xxx -bench BenchmarkTraceOverhead -benchtime $(BENCHTIME) ./internal/query/ && \
 	  $(GO) test -run xxx -bench . -benchtime 1x ./internal/bench/ ) \
 		| $(GO) run ./cmd/benchjson parse > BENCH_core.json
 
@@ -69,10 +74,11 @@ fuzz-smoke:
 # repl-integration runs the replication lifecycle and replica-serving
 # tests under the race detector: catch-up, restart resume, snapshot
 # bootstrap, epoch adoption, byte-identical replica answers, write
-# rejection, and staleness gating.
+# rejection, staleness gating, and the traced end-to-end query (one
+# trace ID stitched across primary, follower stream, and replica).
 repl-integration:
 	$(GO) test -race -count=1 ./internal/repl/
-	$(GO) test -race -count=1 -run 'Replica|Replication' ./internal/httpapi/
+	$(GO) test -race -count=1 -run 'Replica|Replication|Trace' ./internal/httpapi/
 	$(GO) test -race -count=1 -run 'Repl|CacheInvalidation' ./internal/store/
 
 experiments:

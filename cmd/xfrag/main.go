@@ -15,15 +15,18 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/cost"
 	"repro/internal/docgen"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/xmltree"
 )
@@ -116,10 +119,20 @@ func run() error {
 		fmt.Println()
 	}
 
-	ans, err := eng.Run(q, opts)
+	// -trace runs the query under a real trace (the same machinery the
+	// server's flight recorder uses) so the output shows the trace ID,
+	// the structured span tree, and the per-stage latency split.
+	var tr *obs.Trace
+	runCtx := context.Background()
+	if *trace {
+		tr = obs.NewRecorder(1, 0).StartTrace("cli", q.String(), obs.TraceID{})
+		runCtx = obs.ContextWithTrace(runCtx, tr)
+	}
+	ans, err := eng.RunContext(runCtx, q, opts)
 	if err != nil {
 		return err
 	}
+	tr.Finish(ans.Len())
 	if *groupsOff {
 		fmt.Printf("%v → %d fragment(s)\n", q, ans.Len())
 		for _, f := range ans.Fragments() {
@@ -151,9 +164,19 @@ func run() error {
 		fmt.Printf("wrote %s (%d highlighted nodes)\n", *dotOut, len(highlight))
 	}
 
-	if *trace && ans.Result.Trace != nil {
-		fmt.Println("\ntrace:")
-		fmt.Print(ans.Result.Trace.Render())
+	if *trace {
+		fmt.Printf("\ntrace %s:\n", tr.ID())
+		fmt.Print(tr.Root().Render())
+		if total := ans.Result.Stats.Stages.Total(); total > 0 {
+			fmt.Println("stages:")
+			for st := obs.Stage(0); st < obs.NumStages; st++ {
+				ns := ans.Result.Stats.Stages[st]
+				if ns == 0 {
+					continue
+				}
+				fmt.Printf("  %-10s %10v  %5.1f%%\n", st, time.Duration(ns), 100*float64(ns)/float64(total))
+			}
+		}
 	}
 	if *stats {
 		st := ans.Result.Stats

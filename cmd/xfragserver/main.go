@@ -19,6 +19,14 @@
 //	GET  /api/v1/search?q=xquery+optimization&filter=size<=3&limit=10&offset=0&timeout=250ms
 //	GET  /api/v1/explain?q=...&filter=...&strategy=push-down&trace=1
 //	GET  /api/v1/metrics          (JSON; ?format=prom for Prometheus text)
+//	GET  /api/v1/debug/slow       slow-query flight recorder (traced requests over -slow-query)
+//	GET  /api/v1/debug/inflight   traces currently executing, with live durations
+//	GET  /api/v1/debug/trace/{id} every recorded trace for one 32-hex-digit trace ID
+//
+// Tracing: -trace-sample records a fraction of requests as structured
+// span trees in a bounded in-memory flight recorder; any single
+// request can force a trace with ?trace=1 or a sampled W3C
+// Traceparent header (the response echoes the ID in X-Xfrag-Trace-Id).
 //
 // Query endpoints evaluate under a per-request deadline
 // (-query-timeout, shortenable per request with ?timeout=) and behind
@@ -65,6 +73,7 @@ import (
 	"repro/internal/collection"
 	"repro/internal/docgen"
 	"repro/internal/httpapi"
+	"repro/internal/obs"
 	"repro/internal/repl"
 	"repro/internal/snapshot"
 	"repro/internal/store"
@@ -91,8 +100,14 @@ func main() {
 	replRetry := flag.Duration("repl-retry", 250*time.Millisecond, "back-off between replication stream reconnects (with -role=replica)")
 	resultCache := flag.Int("result-cache", 0, "per-document LRU result cache entries; 0 disables (with -data-dir or -role=replica)")
 	pprofOn := flag.Bool("pprof", false, "expose /debug/pprof/ and /debug/vars (profiling; keep off on untrusted networks)")
+	traceSample := flag.Float64("trace-sample", 0, "fraction of requests (0..1] traced into the flight recorder; 0 samples none (requests can still force a trace with ?trace=1 or a sampled Traceparent header)")
+	slowQuery := flag.Duration("slow-query", 250*time.Millisecond, "traced requests at or over this duration land in the slow-query ring at /api/v1/debug/slow")
+	traceBuffer := flag.Int("trace-buffer", 128, "flight recorder ring capacity (recent and slow rings each hold this many traces)")
 	quiet := flag.Bool("quiet", false, "disable the structured request log on stderr")
 	flag.Parse()
+	if *traceSample < 0 || *traceSample > 1 {
+		log.Fatalf("-trace-sample %v out of range (want 0..1)", *traceSample)
+	}
 
 	// Gather the preload set (CLI files, -paper, -snapshot) first; it
 	// is fed to whichever backend is selected.
@@ -120,13 +135,22 @@ func main() {
 		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
 	}
 
+	// One flight recorder for the whole process: the HTTP layer, the
+	// store's async ingest workers, and (on replicas) the replication
+	// follower all record into it, so /api/v1/debug/* sees everything.
+	recorder := obs.NewRecorder(*traceBuffer, *slowQuery)
+
 	cfg := httpapi.Config{
-		Logger:        logger,
-		QueryTimeout:  *queryTimeout,
-		MaxTimeout:    *maxTimeout,
-		MaxConcurrent: *maxConcurrent,
-		MaxQueue:      *admissionQueue,
-		QueueWait:     *admissionWait,
+		Logger:             logger,
+		QueryTimeout:       *queryTimeout,
+		MaxTimeout:         *maxTimeout,
+		MaxConcurrent:      *maxConcurrent,
+		MaxQueue:           *admissionQueue,
+		QueueWait:          *admissionWait,
+		TraceSample:        *traceSample,
+		SlowQueryThreshold: *slowQuery,
+		TraceBuffer:        *traceBuffer,
+		Recorder:           recorder,
 	}
 
 	// The signal context is created before the backend so the
@@ -208,6 +232,7 @@ func main() {
 			Metrics:       st.Metrics(),
 			RetryInterval: *replRetry,
 			Logger:        logger,
+			Recorder:      recorder,
 		}
 		if err := follower.Start(ctx); err != nil {
 			log.Fatalf("replication: %v", err)

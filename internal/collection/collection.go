@@ -13,6 +13,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/engine"
@@ -263,6 +264,13 @@ func (c *Collection) RunContext(ctx context.Context, q query.Query, opts query.O
 		err   error
 	}
 	results := make([]docResult, len(names))
+	// parent is non-nil only on sampled requests: each document then
+	// gets a child span carrying its queue wait (time between search
+	// entry and worker pickup — the pool is bounded, so documents queue
+	// behind each other) with the evaluation and ranking spans nested
+	// under it.
+	parent := obs.SpanFromContext(ctx)
+	enqueued := time.Now()
 	var (
 		wg   sync.WaitGroup
 		next atomic.Int64
@@ -282,17 +290,31 @@ func (c *Collection) RunContext(ctx context.Context, q query.Query, opts query.O
 					continue
 				}
 				eng := engines[i]
-				ans, err := eng.RunContext(ctx, q, opts)
+				docCtx := ctx
+				dsp := parent.Start("document", names[i])
+				if dsp != nil {
+					dsp.SetAttr("queue_wait", time.Since(enqueued).String())
+					docCtx = obs.ContextWithSpan(ctx, dsp)
+				}
+				ans, err := eng.RunContext(docCtx, q, opts)
 				if err != nil {
+					dsp.Finish(0)
 					results[i] = docResult{name: names[i], err: err}
 					continue
 				}
+				rankStart := time.Now()
+				rsp := dsp.Start("rank", "")
 				r := ranking.New(eng.Index(), normalizedTerms(q), ranking.DefaultWeights())
 				var hits []Hit
 				for _, s := range r.Rank(ans.Result.Answers) {
 					hits = append(hits, Hit{Document: names[i], Fragment: s.Fragment, Score: s.Score})
 				}
-				results[i] = docResult{name: names[i], stats: ans.Result.Stats, hits: hits, trace: ans.Result.Trace}
+				rsp.Finish(len(hits), ans.Result.Answers.Len())
+				c.metrics.ObserveStage(obs.StageRank, time.Since(rankStart))
+				stats := ans.Result.Stats
+				stats.Stages.Add(obs.StageRank, time.Since(rankStart))
+				dsp.Finish(len(hits))
+				results[i] = docResult{name: names[i], stats: stats, hits: hits, trace: ans.Result.Trace}
 			}
 		}()
 	}

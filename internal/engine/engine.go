@@ -115,6 +115,13 @@ func (e *Engine) Run(q query.Query, opts query.Options) (*Answer, error) {
 // query-timeout counter, so shed work remains attributable.
 func (e *Engine) RunContext(ctx context.Context, q query.Query, opts query.Options) (*Answer, error) {
 	start := time.Now()
+	if obs.SpanFromContext(ctx) != nil {
+		// A sampled request's trace wants the spans of a real
+		// evaluation, so it bypasses the cache like an explicit
+		// Options.Trace (query.EvaluateContext roots its spans under
+		// the ctx span).
+		opts.Trace = true
+	}
 	var key string
 	cache := e.cache.Load() // one load: hit-check and put use the same cache
 	useCache := cache != nil && !opts.Trace
@@ -140,10 +147,12 @@ func (e *Engine) RunContext(ctx context.Context, q query.Query, opts query.Optio
 		if c, ok := query.IsCanceled(err); ok {
 			e.metrics.Counter(obs.MQueryTimeouts).Add(1)
 			e.metrics.RecordEval(c.Stats.Ops, time.Since(start), 0)
+			e.metrics.RecordStages(c.Stats.Stages)
 		}
 		return nil, err
 	}
 	e.metrics.RecordEval(res.Stats.Ops, time.Since(start), res.Stats.Answers)
+	e.metrics.RecordStages(res.Stats.Stages)
 	ans := &Answer{doc: e.doc, Query: q, Result: res}
 	if useCache {
 		cache.put(key, ans)

@@ -19,10 +19,12 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"math"
 	"net/http"
 	"runtime"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 	"unicode/utf8"
 
@@ -69,6 +71,22 @@ type Config struct {
 	// Replication attaches a primary or replica role (see
 	// ReplicationConfig); nil runs standalone.
 	Replication *ReplicationConfig
+	// TraceSample is the fraction of requests (0..1] traced into the
+	// flight recorder by the deterministic sampler. 0 disables
+	// sampling; a request can still force a trace with ?trace=1 or an
+	// incoming sampled Traceparent header.
+	TraceSample float64
+	// SlowQueryThreshold is the duration at or over which a finished
+	// trace also lands in the slow-query ring served by
+	// /api/v1/debug/slow (default obs.DefaultSlowThreshold).
+	SlowQueryThreshold time.Duration
+	// TraceBuffer is the capacity of each flight-recorder ring
+	// (default 128 traces).
+	TraceBuffer int
+	// Recorder, when set, is used instead of constructing one — lets a
+	// process share one flight recorder between the HTTP layer and the
+	// replication follower so /api/v1/debug/* shows both.
+	Recorder *obs.Recorder
 }
 
 func (c *Config) setDefaults() {
@@ -99,8 +117,13 @@ type Server struct {
 	cfg     Config
 	adm     *admission   // nil when admission control is disabled
 	m       *obs.Metrics // backing registry, for shed/inflight series
+	rec     *obs.Recorder
 	mux     *http.ServeMux
 	handler http.Handler // mux wrapped in Middleware
+	// sampleEvery/sampleSeq implement the deterministic request
+	// sampler: every sampleEvery-th request is traced (0 = never).
+	sampleEvery uint64
+	sampleSeq   atomic.Uint64
 }
 
 // New wraps a collection without an access log. Pass nil to start
@@ -164,6 +187,24 @@ func (s *Server) init(m *obs.Metrics) {
 		s.adm = newAdmission(s.cfg.MaxConcurrent, s.cfg.MaxQueue, s.cfg.QueueWait)
 	}
 	s.m = m
+	s.rec = s.cfg.Recorder
+	if s.rec == nil {
+		s.rec = obs.NewRecorder(s.cfg.TraceBuffer, s.cfg.SlowQueryThreshold)
+	}
+	if s.cfg.TraceSample > 0 {
+		s.sampleEvery = uint64(math.Round(1 / min(s.cfg.TraceSample, 1)))
+		if s.sampleEvery == 0 {
+			s.sampleEvery = 1
+		}
+	}
+	if s.st != nil {
+		// The store's async ingest workers continue request traces; they
+		// need the recorder to land the continuation in.
+		s.st.SetTraceRecorder(s.rec)
+	}
+	// Constant 1-valued gauge carrying version/revision labels — the
+	// Prometheus build-info convention.
+	m.Gauge(obs.BuildInfoSeries()).Set(1)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /readyz", s.handleReady)
@@ -175,6 +216,9 @@ func (s *Server) init(m *obs.Metrics) {
 	s.route("GET", "/explain", s.handleExplain)
 	s.route("GET", "/stats", s.handleStats)
 	s.route("GET", "/metrics", s.handleMetrics)
+	s.route("GET", "/debug/slow", s.handleDebugSlow)
+	s.route("GET", "/debug/inflight", s.handleDebugInflight)
+	s.route("GET", "/debug/trace/{id}", s.handleDebugTrace)
 	s.initReplication()
 	var inner http.Handler = s.mux
 	if s.role() == RoleReplica {
@@ -186,8 +230,15 @@ func (s *Server) init(m *obs.Metrics) {
 			next.ServeHTTP(w, r)
 		})
 	}
-	s.handler = Middleware(inner, s.cfg.Logger, m)
+	// Tracing sits inside Middleware: the request ID is already stamped
+	// on the response when the sampler runs, so a sampled root span can
+	// carry it.
+	s.handler = Middleware(s.traceMiddleware(inner), s.cfg.Logger, m)
 }
+
+// Recorder returns the server's flight recorder (never nil after
+// construction): the store the debug endpoints read from.
+func (s *Server) Recorder() *obs.Recorder { return s.rec }
 
 // route mounts one handler under both the versioned surface
 // (/api/v1/...) and the legacy alias (/api/...). The alias responds
@@ -325,7 +376,14 @@ func (s *Server) handleAddDoc(w http.ResponseWriter, r *http.Request) {
 			s.error(w, r, http.StatusBadRequest, "bad_request", errors.New("async ingest requires a store-backed server (run with -data-dir)"))
 			return
 		}
-		id, err := s.st.Enqueue(req.Name, req.XML)
+		// A traced submit hands its trace ID to the ingest pipeline:
+		// the worker records the parse/index as a continuation trace
+		// under the same ID (see store.EnqueueTraced).
+		var tid obs.TraceID
+		if tr := obs.TraceFromContext(r.Context()); tr != nil {
+			tid = tr.ID()
+		}
+		id, err := s.st.EnqueueTraced(req.Name, req.XML, tid)
 		switch {
 		case errors.Is(err, store.ErrQueueFull):
 			// Backpressure, not failure: the client should retry later.
@@ -441,9 +499,17 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request) bool {
 	if s.adm == nil {
 		return true
 	}
+	waitStart := time.Now()
 	err := s.adm.acquire(r.Context())
 	switch {
 	case err == nil:
+		// Queue wait is the admission stage: how long the request sat
+		// waiting for an evaluation slot before any work started.
+		wait := time.Since(waitStart)
+		s.m.ObserveStage(obs.StageAdmission, wait)
+		if sp := obs.SpanFromContext(r.Context()); sp != nil {
+			sp.SetAttr("admission_wait", wait.String())
+		}
 		s.m.Gauge(obs.MInflightQueries).Set(int64(s.adm.inflight()))
 		return true
 	case errors.Is(err, errShed):
@@ -574,6 +640,17 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 			resp.Errors = map[string]string{}
 		}
 		resp.Errors[name] = e.Error()
+	}
+	if tr := obs.TraceFromContext(r.Context()); tr != nil {
+		// Summarize the request on its flight-recorder record so a slow
+		// entry is diagnosable without replaying the query.
+		tr.SetExtra("query", keywords)
+		if filterSpec != "" {
+			tr.SetExtra("filter", filterSpec)
+		}
+		tr.SetExtra("strategy", stratName)
+		tr.SetExtra("total", resp.Total)
+		tr.SetExtra("returned", resp.Returned)
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -723,7 +800,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			m.WritePrometheus(w, "xfrag")
 			return
 		}
-		writeJSON(w, http.StatusOK, m.Snapshot())
+		body := m.Snapshot()
+		body["build_info"] = obs.BuildInfo()
+		writeJSON(w, http.StatusOK, body)
 		return
 	}
 	if prom {
@@ -735,6 +814,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	body := s.st.Metrics().Snapshot()
+	body["build_info"] = obs.BuildInfo()
 	shards := make([]map[string]any, 0, s.st.Shards())
 	for _, m := range s.st.ShardMetrics() {
 		shards = append(shards, m.Snapshot())

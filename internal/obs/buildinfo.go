@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// MBuildInfo is the conventional build-metadata gauge: constant value
+// 1, identity carried in labels (version, goversion, revision).
+const MBuildInfo = "build_info"
+
+// BuildInfo reports the binary's identity from the embedded module
+// build info: module version, Go toolchain version, and the VCS
+// revision ("unknown" outside a VCS build; a locally modified tree
+// gets a "-modified" suffix).
+func BuildInfo() map[string]string {
+	buildInfoOnce.Do(loadBuildInfo)
+	return buildInfoData
+}
+
+// BuildInfoSeries returns the labeled registry name of the build-info
+// gauge, e.g. build_info{goversion="go1.22",revision="abc123",
+// version="(devel)"}. Register it with Gauge(...).Set(1).
+func BuildInfoSeries() string {
+	buildInfoOnce.Do(loadBuildInfo)
+	return buildInfoSeries
+}
+
+var (
+	buildInfoOnce   sync.Once
+	buildInfoData   map[string]string
+	buildInfoSeries string
+)
+
+func loadBuildInfo() {
+	version, revision, modified := "(devel)", "unknown", false
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if bi.Main.Version != "" {
+			version = bi.Main.Version
+		}
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				revision = s.Value
+			case "vcs.modified":
+				modified = s.Value == "true"
+			}
+		}
+	}
+	if len(revision) > 12 {
+		revision = revision[:12]
+	}
+	if modified {
+		revision += "-modified"
+	}
+	buildInfoData = map[string]string{
+		"version":   version,
+		"goversion": runtime.Version(),
+		"revision":  revision,
+	}
+	buildInfoSeries = LabeledName(MBuildInfo,
+		"goversion", buildInfoData["goversion"],
+		"revision", buildInfoData["revision"],
+		"version", buildInfoData["version"],
+	)
+}

@@ -1,0 +1,317 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Trace is one end-to-end traced operation: a 128-bit ID, a root span
+// whose subtree the instrumented layers grow, and free-form extras
+// (query text, plan, stats) attached by the owning handler. All
+// methods are nil-safe so unsampled paths thread a nil *Trace for
+// free.
+type Trace struct {
+	id   TraceID
+	root *Span
+	rec  *Recorder
+
+	mu         sync.Mutex
+	extra      map[string]any
+	slowExempt bool
+	finished   bool
+}
+
+// ID returns the trace's identifier (zero on nil).
+func (t *Trace) ID() TraceID {
+	if t == nil {
+		return TraceID{}
+	}
+	return t.id
+}
+
+// Root returns the root span (nil on nil).
+func (t *Trace) Root() *Span {
+	if t == nil {
+		return nil
+	}
+	return t.root
+}
+
+// SetExtra attaches a free-form value (plan, stats, query text) that
+// rides along into the flight-recorder record.
+func (t *Trace) SetExtra(k string, v any) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if t.extra == nil {
+		t.extra = make(map[string]any, 4)
+	}
+	t.extra[k] = v
+	t.mu.Unlock()
+}
+
+// SetSlowExempt excludes the trace from the slow ring regardless of
+// duration. Long-lived traces (replication streams) would otherwise
+// evict every slow query the moment they finish.
+func (t *Trace) SetSlowExempt() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.slowExempt = true
+	t.mu.Unlock()
+}
+
+// Finish closes the root span with the given output cardinality and
+// hands the completed trace to the recorder (recent ring always, slow
+// ring when over threshold). Idempotent.
+func (t *Trace) Finish(out int) {
+	if t == nil {
+		return
+	}
+	t.root.Finish(out)
+	t.mu.Lock()
+	done := t.finished
+	t.finished = true
+	t.mu.Unlock()
+	if !done && t.rec != nil {
+		t.rec.finish(t)
+	}
+}
+
+// TraceRecord is the flight recorder's view of one trace: the
+// identifying metadata plus the full span tree. Records in the rings
+// are immutable snapshots.
+type TraceRecord struct {
+	ID         string         `json:"trace_id"`
+	Op         string         `json:"op"`
+	Detail     string         `json:"detail,omitempty"`
+	Start      time.Time      `json:"start"`
+	DurationNS int64          `json:"duration_ns"`
+	InFlight   bool           `json:"in_flight,omitempty"`
+	Extra      map[string]any `json:"extra,omitempty"`
+	Root       *Span          `json:"root,omitempty"`
+}
+
+// ring is a bounded lock-free MPMC record buffer: writers claim a
+// slot with one atomic increment and publish with one atomic pointer
+// store; readers snapshot whatever is published. Overwrites are the
+// eviction policy — the ring holds the most recent len(slots) records.
+type ring struct {
+	slots []atomic.Pointer[TraceRecord]
+	next  atomic.Uint64
+}
+
+func newRing(capacity int) *ring {
+	return &ring{slots: make([]atomic.Pointer[TraceRecord], capacity)}
+}
+
+func (r *ring) add(rec *TraceRecord) {
+	i := r.next.Add(1) - 1
+	r.slots[i%uint64(len(r.slots))].Store(rec)
+}
+
+// snapshot returns the published records newest-first.
+func (r *ring) snapshot() []*TraceRecord {
+	n := r.next.Load()
+	count := uint64(len(r.slots))
+	if n < count {
+		count = n
+	}
+	out := make([]*TraceRecord, 0, count)
+	for i := uint64(0); i < count; i++ {
+		// Walk backwards from the most recently claimed slot.
+		rec := r.slots[(n-1-i)%uint64(len(r.slots))].Load()
+		if rec != nil {
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+// DefaultSlowThreshold classifies a query as slow when no explicit
+// threshold is configured.
+const DefaultSlowThreshold = 250 * time.Millisecond
+
+// Recorder is the slow-query flight recorder: it tracks in-flight
+// traces, keeps every recently finished trace in one bounded ring,
+// and retains traces slower than the threshold in a second ring so a
+// burst of fast queries cannot evict the interesting ones. All
+// methods are nil-safe; a nil recorder disables tracing entirely.
+type Recorder struct {
+	threshold time.Duration
+	recent    *ring
+	slow      *ring
+
+	mu       sync.Mutex
+	inflight map[*Trace]struct{}
+}
+
+// NewRecorder returns a recorder keeping `capacity` records in each
+// ring (default 128) and classifying traces over threshold as slow
+// (default DefaultSlowThreshold).
+func NewRecorder(capacity int, threshold time.Duration) *Recorder {
+	if capacity <= 0 {
+		capacity = 128
+	}
+	if threshold <= 0 {
+		threshold = DefaultSlowThreshold
+	}
+	return &Recorder{
+		threshold: threshold,
+		recent:    newRing(capacity),
+		slow:      newRing(capacity),
+		inflight:  make(map[*Trace]struct{}),
+	}
+}
+
+// Threshold returns the slow classification bound (0 on nil).
+func (r *Recorder) Threshold() time.Duration {
+	if r == nil {
+		return 0
+	}
+	return r.threshold
+}
+
+// StartTrace begins a sampled trace rooted at op/detail. A zero id
+// mints a fresh one (a caller propagating an upstream traceparent
+// passes the parsed ID so the hops share it). Returns nil on a nil
+// recorder, which composes with the nil-safe Trace/Span methods.
+func (r *Recorder) StartTrace(op, detail string, id TraceID) *Trace {
+	if r == nil {
+		return nil
+	}
+	if id.IsZero() {
+		id = NewTraceID()
+	}
+	t := &Trace{id: id, root: StartSpan(op, detail), rec: r}
+	r.mu.Lock()
+	r.inflight[t] = struct{}{}
+	r.mu.Unlock()
+	return t
+}
+
+// finish moves a completed trace from the in-flight set into the
+// rings.
+func (r *Recorder) finish(t *Trace) {
+	r.mu.Lock()
+	delete(r.inflight, t)
+	r.mu.Unlock()
+
+	t.mu.Lock()
+	extra := t.extra
+	exempt := t.slowExempt
+	t.mu.Unlock()
+
+	// Snapshot the tree so ring records are immutable: a straggling
+	// shard goroutine finishing its span after the root closed cannot
+	// race a debug handler marshaling the record.
+	root := t.root.Snapshot()
+	rec := &TraceRecord{
+		ID:         t.id.String(),
+		Op:         root.Op,
+		Detail:     root.Detail,
+		Start:      root.start,
+		DurationNS: root.DurationNS,
+		Extra:      extra,
+		Root:       root,
+	}
+	r.recent.add(rec)
+	if !exempt && time.Duration(root.DurationNS) >= r.threshold {
+		r.slow.add(rec)
+	}
+}
+
+// Slow returns the retained slow-trace records, newest first.
+func (r *Recorder) Slow() []*TraceRecord {
+	if r == nil {
+		return nil
+	}
+	return r.slow.snapshot()
+}
+
+// Recent returns the recently finished traces, newest first.
+func (r *Recorder) Recent() []*TraceRecord {
+	if r == nil {
+		return nil
+	}
+	return r.recent.snapshot()
+}
+
+// Inflight snapshots the currently running traces (span trees are
+// deep-copied, so marshaling them races with nothing).
+func (r *Recorder) Inflight() []*TraceRecord {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	traces := make([]*Trace, 0, len(r.inflight))
+	for t := range r.inflight {
+		traces = append(traces, t)
+	}
+	r.mu.Unlock()
+	out := make([]*TraceRecord, 0, len(traces))
+	for _, t := range traces {
+		t.mu.Lock()
+		var extra map[string]any
+		if len(t.extra) > 0 {
+			extra = make(map[string]any, len(t.extra))
+			for k, v := range t.extra {
+				extra[k] = v
+			}
+		}
+		t.mu.Unlock()
+		root := t.root.Snapshot()
+		out = append(out, &TraceRecord{
+			ID:         t.id.String(),
+			Op:         root.Op,
+			Detail:     root.Detail,
+			Start:      root.start,
+			DurationNS: t.root.Elapsed().Nanoseconds(),
+			InFlight:   true,
+			Extra:      extra,
+			Root:       root,
+		})
+	}
+	return out
+}
+
+// Lookup returns every record (in-flight first, then finished) whose
+// trace ID matches. A query that fanned out over replication can have
+// several records under one ID.
+func (r *Recorder) Lookup(id TraceID) []*TraceRecord {
+	if r == nil {
+		return nil
+	}
+	want := id.String()
+	var out []*TraceRecord
+	seen := make(map[*TraceRecord]struct{})
+	for _, rec := range r.Inflight() {
+		if rec.ID == want {
+			out = append(out, rec)
+		}
+	}
+	for _, rec := range r.recent.snapshot() {
+		if rec.ID != want {
+			continue
+		}
+		if _, dup := seen[rec]; dup {
+			continue
+		}
+		seen[rec] = struct{}{}
+		out = append(out, rec)
+	}
+	for _, rec := range r.slow.snapshot() {
+		if rec.ID != want {
+			continue
+		}
+		if _, dup := seen[rec]; dup {
+			continue
+		}
+		seen[rec] = struct{}{}
+		out = append(out, rec)
+	}
+	return out
+}

@@ -6,6 +6,7 @@ import (
 	"math"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -335,9 +336,23 @@ func (m *Metrics) Snapshot() map[string]any {
 	return out
 }
 
+// splitLabeledName separates a LabeledName-encoded registry name into
+// its base metric name and its label body (without braces). Unlabeled
+// names return an empty label body.
+func splitLabeledName(name string) (base, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 {
+		return name, ""
+	}
+	return name[:i], strings.TrimSuffix(name[i+1:], "}")
+}
+
 // WritePrometheus renders the registry in the Prometheus text
 // exposition format (version 0.0.4), metric names prefixed with
-// prefix + "_". Metrics appear in sorted name order.
+// prefix + "_". Metrics appear in sorted name order. Labeled series
+// (registered via LabeledName) render with their label set and share
+// one # TYPE line per base name; histogram bucket lines merge the
+// series labels with le.
 func (m *Metrics) WritePrometheus(w io.Writer, prefix string) {
 	if m == nil {
 		return
@@ -372,22 +387,49 @@ func (m *Metrics) WritePrometheus(w io.Writer, prefix string) {
 	sort.Strings(ctrNames)
 	sort.Strings(gaugeNames)
 	sort.Strings(histNames)
+	// typed tracks which base names already emitted their # TYPE line:
+	// labeled series of one family share a single declaration.
+	typed := make(map[string]struct{})
+	writeType := func(full, kind string) {
+		if _, done := typed[full]; done {
+			return
+		}
+		typed[full] = struct{}{}
+		fmt.Fprintf(w, "# TYPE %s %s\n", full, kind)
+	}
+	series := func(full, labels string) string {
+		if labels == "" {
+			return full
+		}
+		return full + "{" + labels + "}"
+	}
 	for _, name := range ctrNames {
-		full := prefix + "_" + name
-		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", full, full, ctrs[name].Value())
+		base, labels := splitLabeledName(name)
+		full := prefix + "_" + base
+		writeType(full, "counter")
+		fmt.Fprintf(w, "%s %d\n", series(full, labels), ctrs[name].Value())
 	}
 	for _, name := range gaugeNames {
-		full := prefix + "_" + name
-		fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", full, full, gauges[name].Value())
+		base, labels := splitLabeledName(name)
+		full := prefix + "_" + base
+		writeType(full, "gauge")
+		fmt.Fprintf(w, "%s %d\n", series(full, labels), gauges[name].Value())
 	}
 	for _, name := range histNames {
-		full := prefix + "_" + name
+		base, labels := splitLabeledName(name)
+		full := prefix + "_" + base
 		h := hists[name]
-		fmt.Fprintf(w, "# TYPE %s histogram\n", full)
+		writeType(full, "histogram")
 		for _, b := range h.Buckets() {
-			fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", full, formatBound(b.UpperBound), b.Count)
+			if labels == "" {
+				fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", full, formatBound(b.UpperBound), b.Count)
+			} else {
+				fmt.Fprintf(w, "%s_bucket{%s,le=%q} %d\n", full, labels, formatBound(b.UpperBound), b.Count)
+			}
 		}
-		fmt.Fprintf(w, "%s_sum %s\n", full, strconv.FormatFloat(h.Sum(), 'g', -1, 64))
-		fmt.Fprintf(w, "%s_count %d\n", full, h.Count())
+		// The label set goes after the _sum/_count suffix — a labeled
+		// series is "name_sum{labels}", never "name{labels}_sum".
+		fmt.Fprintf(w, "%s %s\n", series(full+"_sum", labels), strconv.FormatFloat(h.Sum(), 'g', -1, 64))
+		fmt.Fprintf(w, "%s %d\n", series(full+"_count", labels), h.Count())
 	}
 }

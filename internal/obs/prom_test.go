@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPrometheusExpositionGolden pins the full text exposition of a
+// small registry, byte for byte: counters, gauges, labeled series
+// sharing one # TYPE line per family, and histograms with cumulative
+// buckets, a closing +Inf bucket, and labels merged with le on bucket
+// lines (labels after the _sum/_count suffix, per the exposition
+// format).
+func TestPrometheusExpositionGolden(t *testing.T) {
+	m := NewMetrics()
+	m.Counter("queries_total").Add(3)
+	m.Gauge("inflight_queries").Set(2)
+	m.Gauge(LabeledName("build_info", "version", "v1")).Set(1)
+
+	h := m.Histogram("latency_seconds", []float64{0.1, 0.5})
+	h.Observe(0.05) // le=0.1
+	h.Observe(0.25) // le=0.5
+	h.Observe(9)    // +Inf only
+
+	lh := m.Histogram(LabeledName("stage_seconds", "stage", "join"), []float64{0.1})
+	lh.Observe(0.05)
+	lh2 := m.Histogram(LabeledName("stage_seconds", "stage", "merge"), []float64{0.1})
+	lh2.Observe(1)
+
+	var sb strings.Builder
+	m.WritePrometheus(&sb, "x")
+	got := sb.String()
+	want := `# TYPE x_queries_total counter
+x_queries_total 3
+# TYPE x_build_info gauge
+x_build_info{version="v1"} 1
+# TYPE x_inflight_queries gauge
+x_inflight_queries 2
+# TYPE x_latency_seconds histogram
+x_latency_seconds_bucket{le="0.1"} 1
+x_latency_seconds_bucket{le="0.5"} 2
+x_latency_seconds_bucket{le="+Inf"} 3
+x_latency_seconds_sum 9.3
+x_latency_seconds_count 3
+# TYPE x_stage_seconds histogram
+x_stage_seconds_bucket{stage="join",le="0.1"} 1
+x_stage_seconds_bucket{stage="join",le="+Inf"} 1
+x_stage_seconds_sum{stage="join"} 0.05
+x_stage_seconds_count{stage="join"} 1
+x_stage_seconds_bucket{stage="merge",le="0.1"} 0
+x_stage_seconds_bucket{stage="merge",le="+Inf"} 1
+x_stage_seconds_sum{stage="merge"} 1
+x_stage_seconds_count{stage="merge"} 1
+`
+	if got != want {
+		t.Fatalf("exposition mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestPrometheusHistogramCumulative verifies the conformance
+// essentials independent of exact formatting: buckets are cumulative,
+// the +Inf bucket equals the observation count, and _count matches.
+func TestPrometheusHistogramCumulative(t *testing.T) {
+	m := NewMetrics()
+	h := m.Histogram("h", []float64{1, 2, 3})
+	for _, v := range []float64{0.5, 1.5, 1.7, 2.5, 100} {
+		h.Observe(v)
+	}
+	buckets := h.Buckets()
+	if len(buckets) != 4 {
+		t.Fatalf("bucket count = %d, want 3 bounds + Inf", len(buckets))
+	}
+	prev := uint64(0)
+	for _, b := range buckets {
+		if b.Count < prev {
+			t.Fatalf("buckets not cumulative: %v", buckets)
+		}
+		prev = b.Count
+	}
+	if last := buckets[len(buckets)-1]; last.Count != 5 || last.Count != h.Count() {
+		t.Fatalf("+Inf bucket = %d, want count %d", last.Count, h.Count())
+	}
+	var sb strings.Builder
+	m.WritePrometheus(&sb, "x")
+	out := sb.String()
+	if !strings.Contains(out, `x_h_bucket{le="+Inf"} 5`) {
+		t.Fatalf("missing +Inf bucket line:\n%s", out)
+	}
+	if strings.Count(out, "# TYPE x_h histogram") != 1 {
+		t.Fatalf("want exactly one TYPE line:\n%s", out)
+	}
+}

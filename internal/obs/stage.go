@@ -1,0 +1,188 @@
+package obs
+
+import (
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Stage names one phase of the serving path for latency attribution:
+// admission wait, the kernel's algebra phases (selection = seed +
+// final select, reduction = fixed points, join = pairwise/powerset
+// joins), per-document ranking, and the store's top-k merge.
+type Stage int
+
+const (
+	StageAdmission Stage = iota
+	StageSelection
+	StageReduction
+	StageJoin
+	StageRank
+	StageMerge
+	NumStages
+)
+
+// stageNames index by Stage; they are the {stage=...} label values of
+// the per-stage latency histograms.
+var stageNames = [NumStages]string{
+	StageAdmission: "admission",
+	StageSelection: "selection",
+	StageReduction: "reduction",
+	StageJoin:      "join",
+	StageRank:      "rank",
+	StageMerge:     "merge",
+}
+
+// String returns the stage's label value.
+func (st Stage) String() string {
+	if st < 0 || st >= NumStages {
+		return "unknown"
+	}
+	return stageNames[st]
+}
+
+// StageTimings accumulates per-stage wall-clock nanoseconds as a
+// fixed-size array: adding to it never allocates, so the hot path
+// records stage attribution even when the request is unsampled.
+type StageTimings [NumStages]int64
+
+// Add accumulates d into the stage's bucket.
+func (t *StageTimings) Add(st Stage, d time.Duration) {
+	if t == nil || st < 0 || st >= NumStages {
+		return
+	}
+	t[st] += d.Nanoseconds()
+}
+
+// Merge folds another timing set into this one.
+func (t *StageTimings) Merge(o StageTimings) {
+	if t == nil {
+		return
+	}
+	for i := range t {
+		t[i] += o[i]
+	}
+}
+
+// Total returns the summed nanoseconds across stages.
+func (t StageTimings) Total() int64 {
+	var sum int64
+	for _, v := range t {
+		sum += v
+	}
+	return sum
+}
+
+// MarshalJSON renders the timings as {"stage": ns, ...} with zero
+// stages omitted, so traces and stats stay compact.
+func (t StageTimings) MarshalJSON() ([]byte, error) {
+	var sb strings.Builder
+	sb.WriteByte('{')
+	first := true
+	for i, v := range t {
+		if v == 0 {
+			continue
+		}
+		if !first {
+			sb.WriteByte(',')
+		}
+		first = false
+		sb.WriteByte('"')
+		sb.WriteString(Stage(i).String())
+		sb.WriteString(`":`)
+		sb.WriteString(strconv.FormatInt(v, 10))
+	}
+	sb.WriteByte('}')
+	return []byte(sb.String()), nil
+}
+
+// MStageSeconds is the per-stage latency histogram family; series are
+// labeled {stage=...} (and {shard=...,stage=...} in the store's
+// registry) via LabeledName.
+const MStageSeconds = "stage_duration_seconds"
+
+// stageSeries precomputes the labeled series name per stage so the
+// hot path never formats label strings.
+var stageSeries = func() [NumStages]string {
+	var out [NumStages]string
+	for i := range out {
+		out[i] = LabeledName(MStageSeconds, "stage", Stage(i).String())
+	}
+	return out
+}()
+
+// StageSeriesName returns the registry name of a stage's latency
+// histogram, optionally qualified with a shard label. shard < 0 omits
+// the label. The shard-qualified form allocates; callers cache it.
+func StageSeriesName(st Stage, shard int) string {
+	if st < 0 || st >= NumStages {
+		st = 0
+	}
+	if shard < 0 {
+		return stageSeries[st]
+	}
+	return LabeledName(MStageSeconds, "shard", strconv.Itoa(shard), "stage", st.String())
+}
+
+// ObserveStage records one stage latency observation. Nil-safe.
+func (m *Metrics) ObserveStage(st Stage, d time.Duration) {
+	if m == nil || st < 0 || st >= NumStages {
+		return
+	}
+	m.Histogram(stageSeries[st], LatencyBuckets).Observe(d.Seconds())
+}
+
+// RecordStages folds a full timing set into the registry, skipping
+// stages with no time attributed. Nil-safe.
+func (m *Metrics) RecordStages(t StageTimings) {
+	if m == nil {
+		return
+	}
+	for i, ns := range t {
+		if ns == 0 {
+			continue
+		}
+		m.Histogram(stageSeries[i], LatencyBuckets).Observe(time.Duration(ns).Seconds())
+	}
+}
+
+// LabeledName encodes a labeled series name as base{k="v",...}; the
+// Prometheus writer splits it back apart, and the JSON snapshot uses
+// it verbatim as the key. Label pairs must be passed in sorted key
+// order for a canonical name. Values are escaped per the exposition
+// format (backslash, quote, newline).
+func LabeledName(base string, kv ...string) string {
+	if len(kv) == 0 || len(kv)%2 != 0 {
+		return base
+	}
+	var sb strings.Builder
+	sb.Grow(len(base) + 16*len(kv))
+	sb.WriteString(base)
+	sb.WriteByte('{')
+	for i := 0; i < len(kv); i += 2 {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(kv[i])
+		sb.WriteString(`="`)
+		escapeLabelValue(&sb, kv[i+1])
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+func escapeLabelValue(sb *strings.Builder, v string) {
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			sb.WriteString(`\\`)
+		case '"':
+			sb.WriteString(`\"`)
+		case '\n':
+			sb.WriteString(`\n`)
+		default:
+			sb.WriteByte(v[i])
+		}
+	}
+}

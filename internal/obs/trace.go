@@ -2,9 +2,16 @@ package obs
 
 import (
 	"fmt"
+	"sort"
 	"strings"
+	"sync"
 	"time"
 )
+
+// maxSpanChildren bounds one span's child list so a runaway evaluation
+// (or a long-lived replication stream) cannot grow a trace without
+// bound; children past the cap are counted in Dropped instead.
+const maxSpanChildren = 512
 
 // Span is one node of a per-query trace: an operator of the physical
 // evaluation (seed selection, fixed point, pairwise join, final
@@ -14,9 +21,11 @@ import (
 //
 // Every method is nil-safe (a nil *Span no-ops and Start returns
 // nil), so the evaluator threads a span unconditionally and tracing
-// costs nothing when disabled. A span tree is built by a single
-// evaluation goroutine and must not be mutated concurrently; reading
-// a finished tree is safe from any goroutine.
+// costs nothing when disabled. Mutation is safe from multiple
+// goroutines: scatter-gather children are started and finished from
+// shard goroutines, so child append and Finish both take the span's
+// lock. Reading a finished tree is safe from any goroutine; reading a
+// live tree must go through Snapshot.
 type Span struct {
 	// Op names the operator ("evaluate", "seed", "fixed-point",
 	// "pairwise-join", "powerset-join", "select", …).
@@ -29,9 +38,15 @@ type Span struct {
 	Out int `json:"out"`
 	// DurationNS is the operator's wall-clock duration.
 	DurationNS int64 `json:"duration_ns"`
+	// Attrs carries key/value annotations (request ID, queue wait,
+	// shard number) on spans that have them.
+	Attrs map[string]string `json:"attrs,omitempty"`
 	// Children are the nested operator spans, in execution order.
 	Children []*Span `json:"children,omitempty"`
+	// Dropped counts children discarded past the per-span cap.
+	Dropped int `json:"dropped,omitempty"`
 
+	mu    sync.Mutex
 	start time.Time
 }
 
@@ -41,22 +56,48 @@ func StartSpan(op, detail string) *Span {
 }
 
 // Start begins a child span. On a nil receiver it returns nil, so
-// disabled tracing propagates for free.
+// disabled tracing propagates for free. Safe to call from concurrent
+// goroutines sharing one parent (scatter-gather).
 func (s *Span) Start(op, detail string) *Span {
 	if s == nil {
 		return nil
 	}
 	c := &Span{Op: op, Detail: detail, start: time.Now()}
+	s.mu.Lock()
+	if len(s.Children) >= maxSpanChildren {
+		s.Dropped++
+		s.mu.Unlock()
+		// The dropped child still works as a span (its Finish is
+		// harmless); it is just not retained in the tree.
+		return c
+	}
 	s.Children = append(s.Children, c)
+	s.mu.Unlock()
 	return c
 }
 
 // SetDetail replaces the span's detail (used when the strategy is
 // only known after the root span started).
 func (s *Span) SetDetail(d string) {
-	if s != nil {
-		s.Detail = d
+	if s == nil {
+		return
 	}
+	s.mu.Lock()
+	s.Detail = d
+	s.mu.Unlock()
+}
+
+// SetAttr annotates the span with a key/value pair.
+func (s *Span) SetAttr(k, v string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.Attrs == nil {
+		s.Attrs = make(map[string]string, 4)
+	}
+	s.Attrs[k] = v
+	s.mu.Unlock()
 }
 
 // Finish records the output cardinality, optional input
@@ -65,11 +106,14 @@ func (s *Span) Finish(out int, in ...int) {
 	if s == nil {
 		return
 	}
+	d := time.Since(s.start).Nanoseconds()
+	s.mu.Lock()
 	s.Out = out
 	if len(in) > 0 {
 		s.In = append([]int(nil), in...)
 	}
-	s.DurationNS = time.Since(s.start).Nanoseconds()
+	s.DurationNS = d
+	s.mu.Unlock()
 }
 
 // Duration returns the recorded duration.
@@ -77,7 +121,59 @@ func (s *Span) Duration() time.Duration {
 	if s == nil {
 		return 0
 	}
-	return time.Duration(s.DurationNS)
+	s.mu.Lock()
+	d := s.DurationNS
+	s.mu.Unlock()
+	return time.Duration(d)
+}
+
+// Elapsed returns how long the span has been running (its recorded
+// duration once finished, the live wall clock before that).
+func (s *Span) Elapsed() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	d := s.DurationNS
+	start := s.start
+	s.mu.Unlock()
+	if d > 0 {
+		return time.Duration(d)
+	}
+	return time.Since(start)
+}
+
+// Snapshot deep-copies the span tree under its locks, producing a
+// plain tree safe to marshal or walk while the original is still
+// being mutated by in-flight goroutines.
+func (s *Span) Snapshot() *Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	c := &Span{
+		Op:         s.Op,
+		Detail:     s.Detail,
+		Out:        s.Out,
+		DurationNS: s.DurationNS,
+		Dropped:    s.Dropped,
+		start:      s.start,
+	}
+	if len(s.In) > 0 {
+		c.In = append([]int(nil), s.In...)
+	}
+	if len(s.Attrs) > 0 {
+		c.Attrs = make(map[string]string, len(s.Attrs))
+		for k, v := range s.Attrs {
+			c.Attrs[k] = v
+		}
+	}
+	children := append([]*Span(nil), s.Children...)
+	s.mu.Unlock()
+	for _, child := range children {
+		c.Children = append(c.Children, child.Snapshot())
+	}
+	return c
 }
 
 // Render returns the span tree as an indented text outline, one
@@ -86,9 +182,12 @@ func (s *Span) Duration() time.Duration {
 //	evaluate [push-down] in=[] out=4 (412µs)
 //	  seed [xquery] out=2 (3µs)
 //	  …
+//
+// Safe to call while other goroutines still mutate the tree: it walks
+// a snapshot.
 func (s *Span) Render() string {
 	var sb strings.Builder
-	s.render(&sb, 0)
+	s.Snapshot().render(&sb, 0)
 	return sb.String()
 }
 
@@ -104,7 +203,21 @@ func (s *Span) render(sb *strings.Builder, depth int) {
 	if len(s.In) > 0 {
 		fmt.Fprintf(sb, " in=%v", s.In)
 	}
-	fmt.Fprintf(sb, " out=%d (%v)\n", s.Out, s.Duration().Round(time.Microsecond))
+	fmt.Fprintf(sb, " out=%d (%v)", s.Out, time.Duration(s.DurationNS).Round(time.Microsecond))
+	if len(s.Attrs) > 0 {
+		keys := make([]string, 0, len(s.Attrs))
+		for k := range s.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(sb, " %s=%s", k, s.Attrs[k])
+		}
+	}
+	if s.Dropped > 0 {
+		fmt.Fprintf(sb, " dropped=%d", s.Dropped)
+	}
+	sb.WriteByte('\n')
 	for _, c := range s.Children {
 		c.render(sb, depth+1)
 	}

@@ -1,0 +1,372 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceIDRoundTrip(t *testing.T) {
+	id := NewTraceID()
+	if id.IsZero() {
+		t.Fatal("NewTraceID returned the zero ID")
+	}
+	s := id.String()
+	if len(s) != 32 {
+		t.Fatalf("String() = %q, want 32 hex digits", s)
+	}
+	back, ok := ParseTraceID(s)
+	if !ok || back != id {
+		t.Fatalf("ParseTraceID(%q) = %v, %v; want original", s, back, ok)
+	}
+	if _, ok := ParseTraceID("xyz"); ok {
+		t.Fatal("ParseTraceID accepted garbage")
+	}
+	if _, ok := ParseTraceID(strings.Repeat("0", 32)); ok {
+		t.Fatal("ParseTraceID accepted the zero ID")
+	}
+}
+
+func TestTraceIDUnique(t *testing.T) {
+	seen := make(map[TraceID]bool)
+	for i := 0; i < 1000; i++ {
+		id := NewTraceID()
+		if seen[id] {
+			t.Fatalf("duplicate trace ID %s after %d draws", id, i)
+		}
+		seen[id] = true
+	}
+}
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	id := NewTraceID()
+	h := FormatTraceparent(id, true)
+	if len(h) != 55 {
+		t.Fatalf("traceparent %q has length %d, want 55", h, len(h))
+	}
+	got, sampled, ok := ParseTraceparent(h)
+	if !ok || got != id || !sampled {
+		t.Fatalf("ParseTraceparent(%q) = %v sampled=%v ok=%v", h, got, sampled, ok)
+	}
+	h = FormatTraceparent(id, false)
+	if _, sampled, ok := ParseTraceparent(h); !ok || sampled {
+		t.Fatalf("unsampled traceparent parsed as sampled=%v ok=%v", sampled, ok)
+	}
+}
+
+func TestTraceparentRejects(t *testing.T) {
+	valid := FormatTraceparent(NewTraceID(), true)
+	bad := []string{
+		"",
+		"00-short-bad-01",
+		"ff" + valid[2:], // version ff is forbidden
+		"00-" + strings.Repeat("0", 32) + valid[35:], // zero trace ID
+		strings.ReplaceAll(valid, "-", "_"),
+		valid[:54], // truncated
+	}
+	for _, h := range bad {
+		if _, _, ok := ParseTraceparent(h); ok {
+			t.Errorf("ParseTraceparent accepted %q", h)
+		}
+	}
+}
+
+func TestSpanConcurrentFinishers(t *testing.T) {
+	// Shard goroutines start and finish children of one parent while a
+	// debug handler renders, snapshots and marshals the live tree. Run
+	// with -race to verify the locking.
+	root := StartSpan("http", "GET /search")
+	var workers sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		workers.Add(1)
+		go func(i int) {
+			defer workers.Done()
+			for j := 0; j < 100; j++ {
+				c := root.Start("shard", strconv.Itoa(i))
+				c.SetAttr("queue_wait", "1µs")
+				g := c.Start("rank", "")
+				g.Finish(j)
+				c.Finish(j, j+1)
+			}
+		}(i)
+	}
+	stop := make(chan struct{})
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = root.Render()
+			if _, err := json.Marshal(root.Snapshot()); err != nil {
+				t.Errorf("marshal snapshot: %v", err)
+				return
+			}
+		}
+	}()
+	workers.Wait()
+	close(stop)
+	<-readerDone
+	root.Finish(4)
+
+	snap := root.Snapshot()
+	if got := len(snap.Children) + snap.Dropped; got != 8*100 {
+		t.Fatalf("children+dropped = %d, want 800", got)
+	}
+	if snap.Dropped != 8*100-maxSpanChildren {
+		t.Fatalf("dropped = %d, want %d", snap.Dropped, 8*100-maxSpanChildren)
+	}
+}
+
+func TestSpanChildCapStillUsable(t *testing.T) {
+	root := StartSpan("op", "")
+	var last *Span
+	for i := 0; i < maxSpanChildren+5; i++ {
+		last = root.Start("child", "")
+	}
+	// A dropped child still behaves as a span.
+	last.SetAttr("k", "v")
+	last.Finish(1)
+	if last.Out != 1 {
+		t.Fatal("dropped child did not record Finish")
+	}
+	snap := root.Snapshot()
+	if len(snap.Children) != maxSpanChildren || snap.Dropped != 5 {
+		t.Fatalf("children=%d dropped=%d, want %d/5", len(snap.Children), snap.Dropped, maxSpanChildren)
+	}
+	if !strings.Contains(root.Render(), "dropped=5") {
+		t.Fatal("Render does not show the dropped count")
+	}
+}
+
+func TestRecorderSlowRing(t *testing.T) {
+	rec := NewRecorder(4, time.Nanosecond) // everything finished is "slow"
+	tr := rec.StartTrace("http", "GET /search", TraceID{})
+	if tr.ID().IsZero() {
+		t.Fatal("StartTrace with zero ID did not mint one")
+	}
+	time.Sleep(10 * time.Microsecond)
+	tr.Finish(3)
+	if n := len(rec.Recent()); n != 1 {
+		t.Fatalf("recent = %d, want 1", n)
+	}
+	if n := len(rec.Slow()); n != 1 {
+		t.Fatalf("slow = %d, want 1", n)
+	}
+
+	// An exempt trace lands in recent but never in slow.
+	ex := rec.StartTrace("repl-stream", "shard 0", TraceID{})
+	ex.SetSlowExempt()
+	time.Sleep(10 * time.Microsecond)
+	ex.Finish(100)
+	if n := len(rec.Slow()); n != 1 {
+		t.Fatalf("slow after exempt trace = %d, want still 1", n)
+	}
+	if n := len(rec.Recent()); n != 2 {
+		t.Fatalf("recent = %d, want 2", n)
+	}
+}
+
+func TestRecorderFastQueryNotSlow(t *testing.T) {
+	rec := NewRecorder(4, time.Hour)
+	tr := rec.StartTrace("http", "GET /search", TraceID{})
+	tr.Finish(0)
+	if n := len(rec.Slow()); n != 0 {
+		t.Fatalf("slow = %d, want 0 for a fast query", n)
+	}
+	if n := len(rec.Recent()); n != 1 {
+		t.Fatalf("recent = %d, want 1", n)
+	}
+}
+
+func TestRecorderRingEviction(t *testing.T) {
+	rec := NewRecorder(2, time.Hour)
+	for i := 0; i < 5; i++ {
+		rec.StartTrace("op", strconv.Itoa(i), TraceID{}).Finish(i)
+	}
+	recent := rec.Recent()
+	if len(recent) != 2 {
+		t.Fatalf("recent = %d, want ring capacity 2", len(recent))
+	}
+	// Newest first.
+	if recent[0].Detail != "4" || recent[1].Detail != "3" {
+		t.Fatalf("recent order = %s,%s; want 4,3", recent[0].Detail, recent[1].Detail)
+	}
+}
+
+func TestRecorderInflightAndLookup(t *testing.T) {
+	rec := NewRecorder(8, time.Hour)
+	tr := rec.StartTrace("http", "GET /search", TraceID{})
+	tr.SetExtra("query", "xml retrieval")
+	tr.Root().Start("shard", "0").Finish(2)
+
+	inflight := rec.Inflight()
+	if len(inflight) != 1 || !inflight[0].InFlight {
+		t.Fatalf("inflight = %+v, want one in-flight record", inflight)
+	}
+	if inflight[0].DurationNS <= 0 {
+		t.Fatal("in-flight record has no live duration")
+	}
+	got := rec.Lookup(tr.ID())
+	if len(got) != 1 || got[0].Extra["query"] != "xml retrieval" {
+		t.Fatalf("Lookup(inflight) = %+v", got)
+	}
+
+	tr.Finish(2)
+	if n := len(rec.Inflight()); n != 0 {
+		t.Fatalf("inflight after finish = %d, want 0", n)
+	}
+	got = rec.Lookup(tr.ID())
+	if len(got) != 1 || got[0].InFlight {
+		t.Fatalf("Lookup(finished) = %+v, want one finished record", got)
+	}
+	if got[0].Root == nil || len(got[0].Root.Children) != 1 {
+		t.Fatal("finished record lost its span tree")
+	}
+	if n := len(rec.Lookup(NewTraceID())); n != 0 {
+		t.Fatalf("Lookup(unknown) = %d records, want 0", n)
+	}
+}
+
+func TestRecorderFinishIdempotent(t *testing.T) {
+	rec := NewRecorder(8, time.Hour)
+	tr := rec.StartTrace("op", "", TraceID{})
+	tr.Finish(1)
+	tr.Finish(2)
+	tr.Finish(3)
+	if n := len(rec.Recent()); n != 1 {
+		t.Fatalf("recent = %d after triple Finish, want 1", n)
+	}
+}
+
+func TestTraceNilSafety(t *testing.T) {
+	var tr *Trace
+	tr.Finish(0)
+	tr.SetExtra("k", 1)
+	tr.SetSlowExempt()
+	if !tr.ID().IsZero() || tr.Root() != nil {
+		t.Fatal("nil trace leaked state")
+	}
+	var rec *Recorder
+	if rec.StartTrace("op", "", TraceID{}) != nil {
+		t.Fatal("nil recorder started a trace")
+	}
+	if rec.Slow() != nil || rec.Recent() != nil || rec.Inflight() != nil || rec.Lookup(TraceID{}) != nil {
+		t.Fatal("nil recorder returned records")
+	}
+}
+
+func TestContextPropagation(t *testing.T) {
+	ctx := context.Background()
+	if SpanFromContext(ctx) != nil || TraceFromContext(ctx) != nil {
+		t.Fatal("empty context carries a span or trace")
+	}
+	// nil span attaches nothing (the unsampled fast path).
+	if got := ContextWithSpan(ctx, nil); got != ctx {
+		t.Fatal("ContextWithSpan(nil) should return ctx unchanged")
+	}
+	sp := StartSpan("op", "")
+	ctx2 := ContextWithSpan(ctx, sp)
+	if SpanFromContext(ctx2) != sp {
+		t.Fatal("span did not round-trip through context")
+	}
+	rec := NewRecorder(2, time.Hour)
+	tr := rec.StartTrace("http", "", TraceID{})
+	ctx3 := ContextWithTrace(ctx, tr)
+	if TraceFromContext(ctx3) != tr {
+		t.Fatal("trace did not round-trip through context")
+	}
+	if SpanFromContext(ctx3) != tr.Root() {
+		t.Fatal("ContextWithTrace did not attach the root span")
+	}
+}
+
+func TestStageTimings(t *testing.T) {
+	var a StageTimings
+	a.Add(StageSelection, 2*time.Millisecond)
+	a.Add(StageJoin, 3*time.Millisecond)
+	a.Add(StageJoin, time.Millisecond)
+	var b StageTimings
+	b.Add(StageMerge, time.Millisecond)
+	a.Merge(b)
+	if a.Total() != int64(7*time.Millisecond) {
+		t.Fatalf("Total = %d, want 7ms", a.Total())
+	}
+	js, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]int64
+	if err := json.Unmarshal(js, &m); err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 3 || m["join"] != int64(4*time.Millisecond) {
+		t.Fatalf("marshal = %s", js)
+	}
+	if _, zeroPresent := m["admission"]; zeroPresent {
+		t.Fatal("zero stage serialized")
+	}
+}
+
+func TestStageSeriesNames(t *testing.T) {
+	if got := StageSeriesName(StageJoin, -1); got != `stage_duration_seconds{stage="join"}` {
+		t.Fatalf("unsharded name = %q", got)
+	}
+	if got := StageSeriesName(StageMerge, 3); got != `stage_duration_seconds{shard="3",stage="merge"}` {
+		t.Fatalf("sharded name = %q", got)
+	}
+}
+
+func TestLabeledName(t *testing.T) {
+	if got := LabeledName("m", "k", "v"); got != `m{k="v"}` {
+		t.Fatalf("LabeledName = %q", got)
+	}
+	// Values with quotes, backslashes and newlines are escaped.
+	got := LabeledName("m", "k", "a\"b\\c\nd")
+	if got != `m{k="a\"b\\c\nd"}` {
+		t.Fatalf("escaped = %q", got)
+	}
+}
+
+func TestObserveAndRecordStages(t *testing.T) {
+	m := NewMetrics()
+	m.ObserveStage(StageRank, time.Millisecond)
+	var ts StageTimings
+	ts.Add(StageSelection, time.Millisecond)
+	ts.Add(StageJoin, 2*time.Millisecond)
+	m.RecordStages(ts)
+	snap := m.Snapshot()
+	for _, name := range []string{
+		StageSeriesName(StageRank, -1),
+		StageSeriesName(StageSelection, -1),
+		StageSeriesName(StageJoin, -1),
+	} {
+		if _, ok := snap[name]; !ok {
+			t.Errorf("missing series %q in snapshot", name)
+		}
+	}
+	if _, ok := snap[StageSeriesName(StageMerge, -1)]; ok {
+		t.Error("zero stage created a series")
+	}
+}
+
+func TestBuildInfo(t *testing.T) {
+	bi := BuildInfo()
+	for _, k := range []string{"version", "goversion", "revision"} {
+		if bi[k] == "" {
+			t.Errorf("BuildInfo missing %q", k)
+		}
+	}
+	series := BuildInfoSeries()
+	base, labels := splitLabeledName(series)
+	if base != MBuildInfo || !strings.Contains(labels, "goversion=") {
+		t.Fatalf("BuildInfoSeries = %q", series)
+	}
+}

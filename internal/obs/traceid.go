@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// TraceID is a 128-bit trace identifier, W3C Trace Context sized. The
+// zero value means "no trace".
+type TraceID [16]byte
+
+// traceSeq perturbs generated IDs so two IDs minted in the same
+// nanosecond still differ even if crypto/rand fails.
+var traceSeq atomic.Uint64
+
+// NewTraceID returns a random 128-bit trace ID. It never returns the
+// zero ID: if the system randomness source fails, the ID degrades to
+// a timestamp + process-local sequence (unique within the process,
+// which is all the flight recorder needs).
+func NewTraceID() TraceID {
+	var id TraceID
+	if _, err := rand.Read(id[:]); err != nil || id.IsZero() {
+		binary.BigEndian.PutUint64(id[:8], uint64(time.Now().UnixNano()))
+		binary.BigEndian.PutUint64(id[8:], traceSeq.Add(1))
+	}
+	return id
+}
+
+// IsZero reports whether the ID is the "no trace" zero value.
+func (id TraceID) IsZero() bool { return id == TraceID{} }
+
+// String renders the ID as 32 lowercase hex digits.
+func (id TraceID) String() string { return hex.EncodeToString(id[:]) }
+
+// MarshalText lets a TraceID appear as a hex string in JSON.
+func (id TraceID) MarshalText() ([]byte, error) {
+	out := make([]byte, 32)
+	hex.Encode(out, id[:])
+	return out, nil
+}
+
+// UnmarshalText parses 32 hex digits.
+func (id *TraceID) UnmarshalText(b []byte) error {
+	got, ok := ParseTraceID(string(b))
+	if !ok {
+		return errBadTraceID
+	}
+	*id = got
+	return nil
+}
+
+type badTraceIDError struct{}
+
+func (badTraceIDError) Error() string { return "obs: bad trace id (want 32 hex digits)" }
+
+var errBadTraceID = badTraceIDError{}
+
+// ParseTraceID parses a 32-hex-digit trace ID. The all-zero ID is
+// rejected: it means "no trace" everywhere a TraceID travels (and the
+// W3C trace-context spec forbids it on the wire).
+func ParseTraceID(s string) (TraceID, bool) {
+	var id TraceID
+	if len(s) != 32 {
+		return id, false
+	}
+	if _, err := hex.Decode(id[:], []byte(s)); err != nil {
+		return id, false
+	}
+	if id.IsZero() {
+		return id, false
+	}
+	return id, true
+}
+
+// TraceparentHeader carries trace context across HTTP hops, following
+// the W3C Trace Context header shape:
+//
+//	00-<32 hex trace id>-<16 hex parent span id>-<2 hex flags>
+//
+// Flag bit 0 is "sampled": only sampled requests build span trees, so
+// an unsampled hop forwards the ID for log correlation while keeping
+// the hot path allocation-free.
+const TraceparentHeader = "Traceparent"
+
+// FormatTraceparent renders a traceparent header value for the given
+// trace. The parent span ID field is minted fresh per hop (the
+// receiver only needs it to be non-zero).
+func FormatTraceparent(id TraceID, sampled bool) string {
+	var span [8]byte
+	binary.BigEndian.PutUint64(span[:], traceSeq.Add(1)|1)
+	flags := "00"
+	if sampled {
+		flags = "01"
+	}
+	var sb strings.Builder
+	sb.Grow(55)
+	sb.WriteString("00-")
+	sb.WriteString(id.String())
+	sb.WriteByte('-')
+	sb.WriteString(hex.EncodeToString(span[:]))
+	sb.WriteByte('-')
+	sb.WriteString(flags)
+	return sb.String()
+}
+
+// ParseTraceparent parses a traceparent header value, returning the
+// trace ID and the sampled flag. ok is false on any malformed or
+// all-zero input; callers then mint a fresh ID.
+func ParseTraceparent(h string) (id TraceID, sampled bool, ok bool) {
+	// version "00": 2+1+32+1+16+1+2 = 55 bytes, future versions may
+	// append fields after the flags.
+	if len(h) < 55 || h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return TraceID{}, false, false
+	}
+	if h[:2] == "ff" { // forbidden version
+		return TraceID{}, false, false
+	}
+	id, ok = ParseTraceID(h[3:35])
+	if !ok || id.IsZero() {
+		return TraceID{}, false, false
+	}
+	flags, err := hex.DecodeString(h[53:55])
+	if err != nil {
+		return TraceID{}, false, false
+	}
+	return id, flags[0]&1 == 1, true
+}
+
+// spanCtxKey keys the active span in a context.Context.
+type spanCtxKey struct{}
+
+// traceCtxKey keys the owning Trace in a context.Context.
+type traceCtxKey struct{}
+
+// ContextWithSpan returns ctx carrying sp as the active parent span.
+// A nil span returns ctx unchanged, so unsampled paths pay nothing.
+func ContextWithSpan(ctx context.Context, sp *Span) context.Context {
+	if sp == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanCtxKey{}, sp)
+}
+
+// SpanFromContext returns the active span, or nil when the request is
+// unsampled. The nil return composes with the nil-safe Span methods:
+// SpanFromContext(ctx).Start(...) is a no-op without a trace.
+func SpanFromContext(ctx context.Context) *Span {
+	sp, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return sp
+}
+
+// ContextWithTrace returns ctx carrying both the trace and its root
+// span (so SpanFromContext works without a second lookup). A nil
+// trace returns ctx unchanged.
+func ContextWithTrace(ctx context.Context, t *Trace) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ContextWithSpan(ctx, t.Root()), traceCtxKey{}, t)
+}
+
+// TraceFromContext returns the in-flight trace, or nil.
+func TraceFromContext(ctx context.Context) *Trace {
+	t, _ := ctx.Value(traceCtxKey{}).(*Trace)
+	return t
+}

@@ -87,6 +87,11 @@ type Stats struct {
 	Ops obs.CounterSnapshot
 	// Elapsed is wall-clock evaluation time.
 	Elapsed time.Duration
+	// Stages attributes the evaluation's wall-clock time to the
+	// serving-path stages (selection, reduction, join, …). A fixed-size
+	// array so accumulating it never allocates; recorded whether or not
+	// the evaluation is traced.
+	Stages obs.StageTimings
 }
 
 // Result is a query answer (Definition 8) plus evaluation statistics.
@@ -188,7 +193,13 @@ func EvaluateContext(ctx context.Context, x *index.Index, q Query, opts Options)
 		ec.Counters = new(obs.EvalCounters)
 	}
 	ec.State = core.NewEvalState(ec.Counters)
-	if opts.Trace {
+	if parent := obs.SpanFromContext(ctx); parent != nil {
+		// A sampled request carries its span through ctx; root this
+		// evaluation's spans under it so the distributed trace covers
+		// the kernel phases.
+		opts.Trace = true
+		ec.Span = parent.Start("evaluate", "")
+	} else if opts.Trace {
 		ec.Span = obs.StartSpan("evaluate", "")
 	}
 
@@ -226,6 +237,7 @@ func EvaluateContext(ctx context.Context, x *index.Index, q Query, opts Options)
 	if err := ctx.Err(); err != nil {
 		return Result{}, canceled(err)
 	}
+	seedStart := time.Now()
 	for i, alts := range groups {
 		label := ""
 		if i < len(terms) {
@@ -238,9 +250,11 @@ func EvaluateContext(ctx context.Context, x *index.Index, q Query, opts Options)
 		if seeds[i].set.Len() == 0 {
 			// Conjunctive semantics: a group with no witness in the
 			// document empties the answer.
+			stats.Stages.Add(obs.StageSelection, time.Since(seedStart))
 			return finish(core.NewSet()), nil
 		}
 	}
+	stats.Stages.Add(obs.StageSelection, time.Since(seedStart))
 
 	// Evaluate rarest term first: pairwise join cost is the product of
 	// intermediate set sizes, so folding seeds in ascending size keeps
@@ -329,11 +343,13 @@ func seedNodes(x *index.Index, alts []string) []xmltree.NodeID {
 }
 
 // selectAnswers applies the final whole-query selection under a
-// "select" span.
-func selectAnswers(ctx *EvalContext, q Query, candidates *core.Set) *core.Set {
+// "select" span, attributing the time to the selection stage.
+func selectAnswers(ctx *EvalContext, q Query, candidates *core.Set, stats *Stats) *core.Set {
+	start := time.Now()
 	sp := ctx.Span.Start("select", q.Predicate().String())
 	out := candidates.Select(q.predicateFunc())
 	sp.Finish(out.Len(), candidates.Len())
+	stats.Stages.Add(obs.StageSelection, time.Since(start))
 	return out
 }
 
@@ -354,6 +370,7 @@ func evalBruteForce(ctx *EvalContext, seeds []seedRef, q Query, stats *Stats, bu
 	if total < 63 && (int64(1)<<total) > int64(budget) {
 		return nil, budgetError(total, budget)
 	}
+	joinStart := time.Now()
 	sp := ctx.Span.Start("powerset-join", "")
 	rows, err := core.MultiPowersetJoinTraceCtx(ctx.Ctx, ctx.State, seedSets(seeds), nil)
 	if err != nil {
@@ -368,7 +385,8 @@ func evalBruteForce(ctx *EvalContext, seeds []seedRef, q Query, stats *Stats, bu
 		all.Add(r.Result)
 	}
 	sp.Finish(all.Len(), sizes...)
-	return selectAnswers(ctx, q, all), nil
+	stats.Stages.Add(obs.StageJoin, time.Since(joinStart))
+	return selectAnswers(ctx, q, all, stats), nil
 }
 
 func budgetError(seeds, budget int) error {
@@ -379,30 +397,36 @@ func budgetError(seeds, budget int) error {
 // Theorem 1-budgeted, per fp), pairwise-joined left to right, with the
 // whole selection applied last.
 func evalFixedPoints(ctx *EvalContext, seeds []seedRef, q Query, stats *Stats, budget int, fp func(context.Context, *core.EvalState, *core.Set, int) (*core.Set, error)) (*core.Set, error) {
+	fpStart := time.Now()
 	sp := ctx.Span.Start("fixed-point", seeds[0].term)
 	acc, err := fp(ctx.Ctx, ctx.State, seeds[0].set, budget)
 	if err != nil {
 		return nil, err
 	}
 	sp.Finish(acc.Len(), seeds[0].set.Len())
+	stats.Stages.Add(obs.StageReduction, time.Since(fpStart))
 	stats.FixedPointSizes = append(stats.FixedPointSizes, acc.Len())
 	for _, s := range seeds[1:] {
+		fpStart = time.Now()
 		spFP := ctx.Span.Start("fixed-point", s.term)
 		next, err := fp(ctx.Ctx, ctx.State, s.set, budget)
 		if err != nil {
 			return nil, err
 		}
 		spFP.Finish(next.Len(), s.set.Len())
+		stats.Stages.Add(obs.StageReduction, time.Since(fpStart))
 		stats.FixedPointSizes = append(stats.FixedPointSizes, next.Len())
+		joinStart := time.Now()
 		spJ := ctx.Span.Start("pairwise-join", "")
 		inL, inR := acc.Len(), next.Len()
 		if acc, err = core.PairwiseJoinBoundedCtx(ctx.Ctx, ctx.State, acc, next, budget); err != nil {
 			return nil, err
 		}
 		spJ.Finish(acc.Len(), inL, inR)
+		stats.Stages.Add(obs.StageJoin, time.Since(joinStart))
 	}
 	stats.Candidates = acc.Len()
-	return selectAnswers(ctx, q, acc), nil
+	return selectAnswers(ctx, q, acc, stats), nil
 }
 
 // evalPushDown is Section 4.3: the anti-monotonic part of P runs
@@ -414,30 +438,36 @@ func evalFixedPoints(ctx *EvalContext, seeds []seedRef, q Query, stats *Stats, b
 func evalPushDown(ctx *EvalContext, seeds []seedRef, q Query, stats *Stats, budget, workers int) (*core.Set, error) {
 	pushable := q.Pushable()
 	push := pushable.Apply
+	fpStart := time.Now()
 	sp := ctx.Span.Start("filtered-fixed-point", spanFilterDetail(seeds[0].term, pushable.Name))
 	acc, err := core.FilteredFixedPointParallelCtx(ctx.Ctx, ctx.State, seeds[0].set, push, workers, budget)
 	if err != nil {
 		return nil, err
 	}
 	sp.Finish(acc.Len(), seeds[0].set.Len())
+	stats.Stages.Add(obs.StageReduction, time.Since(fpStart))
 	stats.FixedPointSizes = append(stats.FixedPointSizes, acc.Len())
 	for _, s := range seeds[1:] {
+		fpStart = time.Now()
 		spFP := ctx.Span.Start("filtered-fixed-point", spanFilterDetail(s.term, pushable.Name))
 		next, err := core.FilteredFixedPointParallelCtx(ctx.Ctx, ctx.State, s.set, push, workers, budget)
 		if err != nil {
 			return nil, err
 		}
 		spFP.Finish(next.Len(), s.set.Len())
+		stats.Stages.Add(obs.StageReduction, time.Since(fpStart))
 		stats.FixedPointSizes = append(stats.FixedPointSizes, next.Len())
+		joinStart := time.Now()
 		spJ := ctx.Span.Start("filtered-pairwise-join", pushable.Name)
 		inL, inR := acc.Len(), next.Len()
 		if acc, err = core.PairwiseJoinFilteredParallelCtx(ctx.Ctx, ctx.State, acc, next, push, workers, budget); err != nil {
 			return nil, err
 		}
 		spJ.Finish(acc.Len(), inL, inR)
+		stats.Stages.Add(obs.StageJoin, time.Since(joinStart))
 	}
 	stats.Candidates = acc.Len()
-	return selectAnswers(ctx, q, acc), nil
+	return selectAnswers(ctx, q, acc, stats), nil
 }
 
 // spanFilterDetail labels a push-down span with its term and pushed

@@ -1,0 +1,68 @@
+package query
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/filter"
+	"repro/internal/obs"
+)
+
+// BenchmarkTraceOverhead measures the cost of the tracing plumbing on
+// the push-down hot path. "unsampled" threads a bare context (no span
+// attached), which is the steady state for every request the sampler
+// skips — it must cost the same as no tracing at all. "sampled" runs
+// under a live recorder-backed trace, paying for the span tree and
+// per-stage timing attribution.
+func BenchmarkTraceOverhead(b *testing.B) {
+	x := figure1Index(b)
+	q := MustNew([]string{"XQuery", "optimization"}, filter.MaxSize(3))
+	opts := Options{Strategy: cost.PushDown}
+	b.Run("unsampled", func(b *testing.B) {
+		ctx := context.Background()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := EvaluateContext(ctx, x, q, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("sampled", func(b *testing.B) {
+		rec := obs.NewRecorder(4, 0)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tr := rec.StartTrace("bench", "trace overhead", obs.TraceID{})
+			ctx := obs.ContextWithTrace(context.Background(), tr)
+			res, err := EvaluateContext(ctx, x, q, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			tr.Finish(res.Answers.Len())
+		}
+	})
+}
+
+// TestTraceOverheadZeroAlloc pins the acceptance bar for the sampler:
+// an unsampled request (context without a span) must not allocate a
+// single byte more than the plain path. Any regression here means the
+// tracing hooks leaked onto the hot path.
+func TestTraceOverheadZeroAlloc(t *testing.T) {
+	x := figure1Index(t)
+	q := MustNew([]string{"XQuery", "optimization"}, filter.MaxSize(3))
+	opts := Options{Strategy: cost.PushDown}
+	ctx := context.Background()
+	plain := testing.AllocsPerRun(50, func() {
+		if _, err := Evaluate(x, q, opts); err != nil {
+			t.Fatal(err)
+		}
+	})
+	unsampled := testing.AllocsPerRun(50, func() {
+		if _, err := EvaluateContext(ctx, x, q, opts); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if unsampled > plain {
+		t.Fatalf("unsampled traced path allocates more than plain: %.1f > %.1f allocs/op", unsampled, plain)
+	}
+}

@@ -46,6 +46,11 @@ type Follower struct {
 	IdleTimeout time.Duration
 	// Logger, when set, records stream restarts and bootstraps.
 	Logger *slog.Logger
+	// Recorder, when set, records one trace per WAL stream (slow-exempt:
+	// streams are long-lived by design) with a child span per applied
+	// frame batch, and stamps the stream request with a Traceparent
+	// header so the primary echoes the trace ID on every message.
+	Recorder *obs.Recorder
 
 	// mu guards cursors and the connection state below.
 	mu        sync.Mutex
@@ -298,6 +303,18 @@ func (f *Follower) streamOnce(ctx context.Context, shard int, established func()
 	if err != nil {
 		return false, err
 	}
+	// One trace per stream, exempt from the slow ring (streams live for
+	// minutes by design); the Traceparent header makes the primary echo
+	// the trace ID on every message it ships.
+	var tr *obs.Trace
+	if f.Recorder != nil {
+		tr = f.Recorder.StartTrace("repl-stream",
+			fmt.Sprintf("shard %d @ %d/%d", shard, cur.epoch, cur.offset), obs.TraceID{})
+		tr.SetSlowExempt()
+		req.Header.Set(obs.TraceparentHeader, obs.FormatTraceparent(tr.ID(), true))
+	}
+	applied := 0
+	defer func() { tr.Finish(applied) }()
 	resp, err := f.client().Do(req)
 	if err != nil {
 		return false, err
@@ -338,7 +355,10 @@ func (f *Follower) streamOnce(ctx context.Context, shard int, established func()
 		}
 		switch msg.Type {
 		case msgFrames:
-			if err := f.applyFrames(shard, msg); err != nil {
+			n, err := f.applyFrames(shard, msg, tr.Root())
+			applied += n
+			if err != nil {
+				tr.Root().SetAttr("error", err.Error())
 				return got, err
 			}
 		case msgHeartbeat:
@@ -360,9 +380,18 @@ func (f *Follower) streamOnce(ctx context.Context, shard int, established func()
 
 // applyFrames verifies a frames message still matches the shard's
 // cursor (a bootstrap may have moved it while the message was in
-// flight) and applies it. The read-lock excludes bootstrap's
-// ReplaceAll for the duration.
-func (f *Follower) applyFrames(shard int, msg Message) error {
+// flight) and applies it, returning how many records applied. The
+// read-lock excludes bootstrap's ReplaceAll for the duration. A
+// non-nil sp (traced stream) gets one child span per batch, carrying
+// the message's originating trace ID when the primary stamped one.
+func (f *Follower) applyFrames(shard int, msg Message, sp *obs.Span) (int, error) {
+	var asp *obs.Span
+	if sp != nil {
+		asp = sp.Start("apply", fmt.Sprintf("epoch %d offset %d", msg.Epoch, msg.Offset))
+		if msg.Trace != "" {
+			asp.SetAttr("origin_trace", msg.Trace)
+		}
+	}
 	f.applyMu.RLock()
 	defer f.applyMu.RUnlock()
 	f.mu.Lock()
@@ -373,14 +402,17 @@ func (f *Follower) applyFrames(shard int, msg Message) error {
 		// stream is about to be torn down and reopened at the new
 		// position. Dropping it is correct — the snapshot already
 		// contains its effect.
-		return fmt.Errorf("repl: stale frame for shard %d (epoch %d offset %d, cursor at %d/%d)",
+		asp.Finish(0)
+		return 0, fmt.Errorf("repl: stale frame for shard %d (epoch %d offset %d, cursor at %d/%d)",
 			shard, msg.Epoch, msg.Offset, cur.epoch, cur.offset)
 	}
 	applied, err := f.Store.ApplyReplicated(msg.Data)
 	if err != nil {
 		// The frames arrived but failed checksum/decode/apply — data
 		// at this cursor is bad, not the transport.
-		return errDiverged{err}
+		asp.SetAttr("error", err.Error())
+		asp.Finish(0)
+		return 0, errDiverged{err}
 	}
 	f.Metrics.Counter(obs.MReplAppliedRecords).Add(uint64(applied))
 	f.Metrics.Counter(obs.MReplAppliedBytes).Add(uint64(len(msg.Data)))
@@ -394,7 +426,8 @@ func (f *Follower) applyFrames(shard int, msg Message) error {
 		c.syncedAt = time.Now()
 	}
 	f.mu.Unlock()
-	return nil
+	asp.Finish(applied)
+	return applied, nil
 }
 
 // observeTarget records the primary's current position for lag

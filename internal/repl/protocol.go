@@ -56,6 +56,11 @@ type Message struct {
 	Pos store.WALPosition `json:"pos"`
 	// Error carries the detail for type "error".
 	Error string `json:"error,omitempty"`
+	// Trace is the trace ID of the stream that carried this message
+	// (the follower's Traceparent header, echoed by the primary), so a
+	// frame observed on a replica is attributable to the stream — and
+	// therefore the trace — that shipped it. Empty on untraced streams.
+	Trace string `json:"trace,omitempty"`
 }
 
 // Status is the primary's replication identity: how many shards it

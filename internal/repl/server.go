@@ -118,8 +118,18 @@ func (s *Server) handleWAL(w http.ResponseWriter, r *http.Request) {
 	defer active.Add(-1)
 	sent := s.Metrics.Counter(obs.MReplBytesSent)
 
+	// A traced follower stamps its stream request with a Traceparent
+	// header; echoing the trace ID on every message lets the follower
+	// (or anything else reading the stream) attribute each frame to the
+	// originating trace.
+	traceID := ""
+	if id, _, ok := obs.ParseTraceparent(r.Header.Get(obs.TraceparentHeader)); ok {
+		traceID = id.String()
+	}
+
 	enc := json.NewEncoder(w)
 	emit := func(m Message) bool {
+		m.Trace = traceID
 		if err := enc.Encode(m); err != nil {
 			return false
 		}

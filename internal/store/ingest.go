@@ -49,6 +49,10 @@ type job struct {
 	err      string
 	enqueued time.Time
 	finished time.Time
+	// trace is the originating request's trace ID (zero when the
+	// submit request was unsampled): the ingest worker continues the
+	// trace so the async pipeline shows up under the same ID.
+	trace obs.TraceID
 }
 
 // maxRetainedJobs bounds the job table: once past it, the oldest
@@ -142,6 +146,14 @@ func (t *jobTable) get(id string) (Job, bool) {
 // job ID immediately. It fails fast with ErrQueueFull when the
 // bounded queue is at capacity and ErrClosed after Close.
 func (s *Store) Enqueue(name, xml string) (string, error) {
+	return s.EnqueueTraced(name, xml, obs.TraceID{})
+}
+
+// EnqueueTraced is Enqueue carrying the submitting request's trace
+// ID: the ingest worker records the parse/index work as a trace under
+// the same ID, so an async ingest remains attributable end to end. A
+// zero ID (unsampled request) records nothing.
+func (s *Store) EnqueueTraced(name, xml string, trace obs.TraceID) (string, error) {
 	if name == "" || xml == "" {
 		return "", errors.New("store: enqueue needs a name and a body")
 	}
@@ -154,6 +166,7 @@ func (s *Store) Enqueue(name, xml string) (string, error) {
 		return "", ErrClosed
 	}
 	j := s.jobs.add(name, xml)
+	j.trace = trace
 	select {
 	case s.queue <- j:
 	default:
@@ -179,23 +192,54 @@ func (s *Store) ingestWorker() {
 	for j := range s.queue {
 		s.metrics.Gauge(obs.MIngestQueueDepth).Set(int64(len(s.queue)))
 		s.jobs.setStatus(j, JobIndexing, "")
+		// A job submitted by a sampled request continues its trace: the
+		// async pipeline's parse/index work lands in the flight recorder
+		// under the originating trace ID.
+		var tr *obs.Trace
+		if !j.trace.IsZero() {
+			tr = s.recorder.Load().StartTrace("ingest-job", j.name, j.trace)
+			if root := tr.Root(); root != nil {
+				root.SetAttr("job_id", j.id)
+				root.SetAttr("queue_wait", time.Since(j.enqueued).String())
+			}
+		}
 		start := time.Now()
-		err := s.ingestOne(j)
+		err := s.ingestOne(j, tr.Root())
 		s.metrics.Histogram(obs.MIngestSeconds, obs.LatencyBuckets).Observe(time.Since(start).Seconds())
 		s.metrics.Counter(obs.MIngestJobs).Add(1)
 		if err != nil {
 			s.metrics.Counter(obs.MIngestFailures).Add(1)
 			s.jobs.setStatus(j, JobFailed, err.Error())
+			tr.Root().SetAttr("error", err.Error())
+			tr.Finish(0)
 			continue
 		}
 		s.jobs.setStatus(j, JobDone, "")
+		tr.Finish(1)
 	}
 }
 
-func (s *Store) ingestOne(j *job) error {
+func (s *Store) ingestOne(j *job, sp *obs.Span) error {
+	psp := sp.Start("parse", j.name)
 	doc, err := xmltree.ParseString(j.name, j.xml)
+	psp.Finish(docLen(doc))
 	if err != nil {
 		return err
 	}
-	return s.addParsed(j.name, j.xml, doc)
+	isp := sp.Start("index", j.name)
+	err = s.addParsed(j.name, j.xml, doc)
+	out := 0
+	if err == nil {
+		out = 1
+	}
+	isp.Finish(out)
+	return err
+}
+
+// docLen is doc.Len() tolerating the nil document of a failed parse.
+func docLen(doc *xmltree.Document) int {
+	if doc == nil {
+		return 0
+	}
+	return doc.Len()
 }

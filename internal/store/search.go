@@ -4,7 +4,9 @@ import (
 	"container/heap"
 	"context"
 	"sort"
+	"strconv"
 	"sync"
+	"time"
 
 	"repro/internal/collection"
 	"repro/internal/obs"
@@ -49,13 +51,40 @@ func (s *Store) Search(ctx context.Context, keywords, filterSpec string, opts qu
 func (s *Store) Run(ctx context.Context, q query.Query, opts query.Options, k int) (*Result, error) {
 	shardResults := make([]*collection.Result, len(s.shards))
 	shardErrs := make([]error, len(s.shards))
+	// parent is non-nil only for sampled requests: each shard then
+	// contributes a child span, started here but finished by the shard
+	// goroutine (Span child append and Finish are concurrency-safe).
+	// The queue_wait attribute splits scheduling delay from execution.
+	parent := obs.SpanFromContext(ctx)
+	spawned := time.Now()
 	var wg sync.WaitGroup
 	for i, sh := range s.shards {
 		wg.Add(1)
-		go func(i int, sh *collection.Collection) {
+		ssp := parent.Start("shard", strconv.Itoa(i))
+		go func(i int, sh *collection.Collection, ssp *obs.Span) {
 			defer wg.Done()
-			shardResults[i], shardErrs[i] = sh.RunContext(ctx, q, opts)
-		}(i, sh)
+			if ssp != nil {
+				ssp.SetAttr("queue_wait", time.Since(spawned).String())
+			}
+			shardResults[i], shardErrs[i] = sh.RunContext(obs.ContextWithSpan(ctx, ssp), q, opts)
+			hits := 0
+			if shardResults[i] != nil {
+				hits = len(shardResults[i].Hits)
+				// Attribute this shard's kernel stage time under the
+				// store registry's {shard,stage} series (precomputed
+				// names; nothing allocates here when unsampled).
+				var stages obs.StageTimings
+				for _, st := range shardResults[i].PerDocument {
+					stages.Merge(st.Stages)
+				}
+				for stage, ns := range stages {
+					if ns > 0 {
+						s.metrics.Histogram(s.shardStageSeries[i][stage], obs.LatencyBuckets).Observe(time.Duration(ns).Seconds())
+					}
+				}
+			}
+			ssp.Finish(hits)
+		}(i, sh, ssp)
 	}
 	wg.Wait()
 	for _, err := range shardErrs {
@@ -64,6 +93,8 @@ func (s *Store) Run(ctx context.Context, q query.Query, opts query.Options, k in
 		}
 	}
 
+	mergeStart := time.Now()
+	msp := parent.Start("merge", "")
 	out := &Result{PerDocument: make(map[string]query.Stats)}
 	h := &hitHeap{}
 	for _, sr := range shardResults {
@@ -106,6 +137,8 @@ func (s *Store) Run(ctx context.Context, q query.Query, opts query.Options, k in
 			out.Hits[i] = heap.Pop(h).(collection.Hit)
 		}
 	}
+	msp.Finish(len(out.Hits))
+	s.metrics.ObserveStage(obs.StageMerge, time.Since(mergeStart))
 	if ctx.Err() != nil {
 		s.metrics.Counter(obs.MSearchDeadline).Add(1)
 	}

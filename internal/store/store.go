@@ -150,6 +150,14 @@ type Store struct {
 	wals []*walShard
 
 	metrics *obs.Metrics
+	// recorder is the flight recorder sampled traces report into; set
+	// once by SetTraceRecorder (atomic: ingest workers started in Open
+	// read it before the HTTP layer wires it).
+	recorder atomic.Pointer[obs.Recorder]
+	// shardStageSeries precomputes the {shard,stage}-labeled histogram
+	// names so the per-shard scatter-gather attribution allocates
+	// nothing per query: [shard][stage] → registry name.
+	shardStageSeries [][]string
 
 	jobs       *jobTable
 	queue      chan *job
@@ -185,10 +193,15 @@ func Open(opts Options) (*Store, error) {
 	if perShard < 1 {
 		perShard = 1
 	}
+	s.shardStageSeries = make([][]string, opts.Shards)
 	for i := range s.shards {
 		s.shards[i] = collection.New()
 		s.shards[i].SetSearchWorkers(perShard)
 		s.shards[i].SetResultCache(opts.CacheEntries)
+		s.shardStageSeries[i] = make([]string, obs.NumStages)
+		for st := obs.Stage(0); st < obs.NumStages; st++ {
+			s.shardStageSeries[i][st] = obs.StageSeriesName(st, i)
+		}
 	}
 	if opts.Dir != "" {
 		s.wals = make([]*walShard, opts.Shards)
@@ -452,6 +465,15 @@ func (s *Store) Shards() int { return len(s.shards) }
 // Metrics returns the store-level registry (ingest, WAL, compaction
 // and search metrics). Per-shard engine metrics live in ShardMetrics.
 func (s *Store) Metrics() *obs.Metrics { return s.metrics }
+
+// SetTraceRecorder wires the flight recorder sampled queries and
+// traced ingest jobs report into. Safe to call while serving; a nil
+// recorder disables trace recording.
+func (s *Store) SetTraceRecorder(r *obs.Recorder) { s.recorder.Store(r) }
+
+// TraceRecorder returns the wired flight recorder (nil when tracing
+// is disabled).
+func (s *Store) TraceRecorder() *obs.Recorder { return s.recorder.Load() }
 
 // ShardMetrics returns each shard's registry, indexed by shard.
 func (s *Store) ShardMetrics() []*obs.Metrics {
