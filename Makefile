@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check race cover bench bench-json bench-compare fuzz fuzz-smoke repl-integration experiments tools clean
+.PHONY: all build test check race cover bench bench-json bench-compare fuzz fuzz-smoke repl-integration index-integration experiments tools clean
 
 all: build check
 
@@ -48,6 +48,7 @@ BENCHTIME ?= 1s
 bench-json:
 	( $(GO) test -run xxx -bench . -benchtime $(BENCHTIME) ./internal/core/ && \
 	  $(GO) test -run xxx -bench BenchmarkTraceOverhead -benchtime $(BENCHTIME) ./internal/query/ && \
+	  $(GO) test -run xxx -bench BenchmarkPostingSelection -benchtime $(BENCHTIME) ./internal/gindex/ && \
 	  $(GO) test -run xxx -bench . -benchtime 1x ./internal/bench/ ) \
 		| $(GO) run ./cmd/benchjson parse > BENCH_core.json
 
@@ -64,12 +65,15 @@ fuzz:
 	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/xmltree/
 	$(GO) test -fuzz=FuzzParseFilter -fuzztime=30s ./internal/filter/
 	$(GO) test -fuzz=FuzzDecodeFrame -fuzztime=30s ./internal/store/
+	$(GO) test -fuzz=FuzzDecodeSegment -fuzztime=30s ./internal/gindex/
 
-# fuzz-smoke is the CI-sized run of the WAL frame decoder fuzzer: the
-# decoder parses bytes straight off disk after a crash and straight off
-# the network on a replica, so "error, never panic" is load-bearing.
+# fuzz-smoke is the CI-sized run of the crash-path decoders: the WAL
+# frame decoder and the term-index segment decoder both parse bytes
+# straight off disk after a crash (frames also straight off the network
+# on a replica), so "error, never panic" is load-bearing for both.
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzDecodeFrame -fuzztime=10s ./internal/store/
+	$(GO) test -fuzz=FuzzDecodeSegment -fuzztime=10s ./internal/gindex/
 
 # repl-integration runs the replication lifecycle and replica-serving
 # tests under the race detector: catch-up, restart resume, snapshot
@@ -80,6 +84,15 @@ repl-integration:
 	$(GO) test -race -count=1 ./internal/repl/
 	$(GO) test -race -count=1 -run 'Replica|Replication|Trace' ./internal/httpapi/
 	$(GO) test -race -count=1 -run 'Repl|CacheInvalidation' ./internal/store/
+
+# index-integration runs the persistent term-index lifecycle tests
+# under the race detector: segment codec and shard semantics, cold-start
+# posting reuse, crash between flush and merge, corrupt-segment
+# wipe-and-rebuild, posting-first answers matching the tree path, and
+# replica index maintenance from the replication stream.
+index-integration:
+	$(GO) test -race -count=1 ./internal/gindex/
+	$(GO) test -race -count=1 -run 'Index|ColdStart|PostingFirst' ./internal/store/
 
 experiments:
 	$(GO) run ./cmd/xfragbench -exp all

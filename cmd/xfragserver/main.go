@@ -89,6 +89,8 @@ func main() {
 	ingestWorkers := flag.Int("ingest-workers", 4, "background indexing workers for async ingest (with -data-dir)")
 	queueSize := flag.Int("ingest-queue", 256, "async ingest queue bound; a full queue returns 429 (with -data-dir)")
 	bgReplay := flag.Bool("background-replay", false, "recover the WAL in the background and serve /readyz=503 until done (with -data-dir)")
+	indexDir := flag.String("index-dir", "", "persistent global term index directory: restart reuses persisted postings instead of re-tokenizing, and searches prune documents by posting arithmetic (requires -data-dir)")
+	indexFlushBytes := flag.Int64("index-flush-bytes", 0, "per-shard term-index memtable budget before a segment flush; 0 uses the built-in default (with -index-dir)")
 	queryTimeout := flag.Duration("query-timeout", 10*time.Second, "default per-request evaluation deadline for search/explain; 0 disables")
 	maxTimeout := flag.Duration("max-timeout", 0, "cap on the client ?timeout= parameter; 0 caps at -query-timeout")
 	maxConcurrent := flag.Int("max-concurrent", 0, "concurrently evaluating queries before requests queue; 0 means 4×GOMAXPROCS, negative disables admission control")
@@ -175,6 +177,9 @@ func main() {
 			log.Fatal("-role=replica is incompatible with -data-dir: a replica mirrors the primary's log in memory and resyncs on restart")
 		}
 	}
+	if *indexDir != "" && *dataDir == "" {
+		log.Fatal("-index-dir requires -data-dir (the term index is a cache of the WAL)")
+	}
 
 	var (
 		handler  http.Handler
@@ -191,9 +196,14 @@ func main() {
 			QueueSize:        *queueSize,
 			BackgroundReplay: *bgReplay,
 			CacheEntries:     *resultCache,
+			IndexDir:         *indexDir,
+			IndexFlushBytes:  *indexFlushBytes,
 		})
 		if err != nil {
 			log.Fatalf("store %s: %v", *dataDir, err)
+		}
+		if *indexDir != "" {
+			fmt.Printf("xfragserver: persistent term index in %s (%d document(s) covered)\n", *indexDir, st.TermIndex().Docs())
 		}
 		if *bgReplay {
 			fmt.Printf("xfragserver: recovering WAL in background — /readyz reports readiness — listening on %s\n", *addr)
@@ -219,9 +229,13 @@ func main() {
 		handler = httpapi.NewStoreWithConfig(st, cfg)
 	case *role == "replica":
 		var err error
+		// MemoryIndex: the replica builds its term index from the
+		// replicated WAL stream, so posting-first pruning serves the
+		// same answers as the primary.
 		st, err = store.Open(store.Options{
 			Shards:       *shards,
 			CacheEntries: *resultCache,
+			MemoryIndex:  true,
 		})
 		if err != nil {
 			log.Fatalf("replica store: %v", err)

@@ -102,6 +102,25 @@ func (c *Collection) Add(doc *xmltree.Document) error {
 	return nil
 }
 
+// AddWithPostings indexes doc under its name using an
+// already-computed postings map (see engine.NewFromPostings) instead
+// of tokenizing the document again. Semantics otherwise match Add.
+func (c *Collection) AddWithPostings(doc *xmltree.Document, postings map[string][]xmltree.NodeID) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	name := doc.Name()
+	if _, dup := c.engines[name]; dup {
+		return fmt.Errorf("collection: duplicate document %q", name)
+	}
+	eng := engine.NewFromPostings(doc, postings, c.metrics)
+	if c.cacheEntries > 0 {
+		eng.EnableCache(c.cacheEntries)
+	}
+	c.engines[name] = eng
+	c.order = append(c.order, name)
+	return nil
+}
+
 // AddXML parses and indexes an XML document held in a string.
 func (c *Collection) AddXML(name, xml string) error {
 	doc, err := xmltree.ParseString(name, xml)
@@ -241,8 +260,40 @@ func (c *Collection) Run(q query.Query, opts query.Options) (*Result, error) {
 // are reported in Result.Errors; documents already evaluated keep
 // their hits, so the caller gets partial results rather than a hang.
 func (c *Collection) RunContext(ctx context.Context, q query.Query, opts query.Options) (*Result, error) {
+	return c.runContext(ctx, q, opts, nil)
+}
+
+// RunContextOn evaluates the query on only the named documents — the
+// posting-first path: the store's global term index proves most
+// documents answerless and passes the survivors here. Names keep the
+// collection's insertion order regardless of their order in allow;
+// unknown names are skipped (a candidate may race a concurrent
+// Remove). A nil or empty allow evaluates nothing — use RunContext
+// for the unrestricted scan.
+func (c *Collection) RunContextOn(ctx context.Context, q query.Query, opts query.Options, allow []string) (*Result, error) {
+	if allow == nil {
+		allow = []string{}
+	}
+	return c.runContext(ctx, q, opts, allow)
+}
+
+func (c *Collection) runContext(ctx context.Context, q query.Query, opts query.Options, allow []string) (*Result, error) {
 	c.mu.RLock()
-	names := append([]string(nil), c.order...)
+	var names []string
+	if allow == nil {
+		names = append([]string(nil), c.order...)
+	} else {
+		set := make(map[string]struct{}, len(allow))
+		for _, n := range allow {
+			set[n] = struct{}{}
+		}
+		names = make([]string, 0, len(allow))
+		for _, n := range c.order {
+			if _, ok := set[n]; ok {
+				names = append(names, n)
+			}
+		}
+	}
 	engines := make([]*engine.Engine, len(names))
 	for i, n := range names {
 		engines[i] = c.engines[n]

@@ -115,6 +115,37 @@ func DefaultChooser() Chooser {
 	return Chooser{Crossover: 0.6, BruteForceLimit: 8, SampleSize: 16, Seed: 1}
 }
 
+// PostingPrune parameterizes the postings-vs-tree decision for the
+// label-arithmetic pre-filter that runs BEFORE any strategy above: with
+// pushed anti-monotonic bounds in play, witness-pair lower bounds
+// (size ≥ d(wi)+d(wj)−2·d(lca)+1 and friends) can prove an answer set
+// empty straight off the posting lists. The check costs |Wi|·|Wj| LCA
+// computations per group pair, so it only pays while that product is
+// small relative to the joins it can save; past the budget the tree
+// evaluation is entered directly.
+type PostingPrune struct {
+	// PairBudget is the maximum |Wi|·|Wj| witness-pair product (per
+	// group pair, per document) the pre-filter will examine.
+	PairBudget int
+}
+
+// DefaultPostingPrune returns the budget used by the engine and the
+// global index: 4096 pairs is ≤ a few microseconds of O(1) LCA
+// arithmetic, far below the cost of even one materialized join pass
+// over the same seeds.
+func DefaultPostingPrune() PostingPrune {
+	return PostingPrune{PairBudget: 4096}
+}
+
+// PairFeasible reports whether a group pair with the given witness
+// counts fits the budget.
+func (p PostingPrune) PairFeasible(n1, n2 int) bool {
+	if p.PairBudget <= 0 {
+		return false
+	}
+	return n1 > 0 && n2 > 0 && n1 <= p.PairBudget/n2
+}
+
 // Choose selects a strategy for joining the given keyword fragment
 // sets under a filter that is (or is not) anti-monotonic.
 //

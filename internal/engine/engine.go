@@ -50,6 +50,16 @@ func NewWithMetrics(doc *xmltree.Document, m *obs.Metrics) *Engine {
 	return e
 }
 
+// NewFromPostings wraps a document whose inverted index is
+// reconstituted from already-computed postings (term → ascending node
+// IDs, exactly what index.New would have produced), skipping the
+// tokenization scan. The global term index uses it on WAL replay so
+// restart does not re-derive postings the segments already hold. A
+// nil m disables metrics, as in New.
+func NewFromPostings(doc *xmltree.Document, postings map[string][]xmltree.NodeID, m *obs.Metrics) *Engine {
+	return &Engine{doc: doc, idx: index.FromPostings(doc, postings), metrics: m}
+}
+
 // Metrics returns the engine's registry (nil when created without
 // one).
 func (e *Engine) Metrics() *obs.Metrics { return e.metrics }

@@ -28,6 +28,74 @@ type Filter struct {
 	AntiMonotonic bool
 	// Pred maps a fragment to true (keep) or false (discard).
 	Pred func(core.Fragment) bool
+	// Kind and Limit expose the numeric bound of the structural
+	// anti-monotonic filters (size/height/depth/width ≤ N) so the
+	// posting-level pre-filters can evaluate them by label arithmetic
+	// without calling Pred on materialized fragments. BoundNone for
+	// every other filter.
+	Kind  BoundKind
+	Limit int
+}
+
+// BoundKind classifies the structural bound a filter carries, if any.
+type BoundKind int
+
+const (
+	// BoundNone: the filter exposes no posting-evaluable bound.
+	BoundNone BoundKind = iota
+	// BoundMaxSize: size(f) ≤ Limit.
+	BoundMaxSize
+	// BoundMaxHeight: height(f) ≤ Limit.
+	BoundMaxHeight
+	// BoundMaxDepth: document depth of f's deepest node ≤ Limit.
+	BoundMaxDepth
+	// BoundMaxWidth: pre-order span of f ≤ Limit.
+	BoundMaxWidth
+)
+
+// Bounds aggregates the tightest posting-evaluable limits of a clause
+// list. A zero field means "unbounded" for that dimension (no such
+// clause present). All limits come from anti-monotonic clauses, so a
+// fragment-set that provably violates one has a provably empty answer.
+type Bounds struct {
+	Size, Height, Depth, Width int
+}
+
+// Any reports whether at least one dimension is bounded.
+func (b Bounds) Any() bool {
+	return b.Size > 0 || b.Height > 0 || b.Depth > 0 || b.Width > 0
+}
+
+// Pairwise reports whether a dimension usable by the witness-pair
+// lower bounds (everything except Depth, which prunes per group) is
+// set.
+func (b Bounds) Pairwise() bool {
+	return b.Size > 0 || b.Height > 0 || b.Width > 0
+}
+
+// BoundsOf extracts the tightest limit per dimension from the given
+// clauses. Non-structural clauses (and clauses whose constructors
+// predate the Kind field) contribute nothing.
+func BoundsOf(clauses ...Filter) Bounds {
+	var b Bounds
+	tighten := func(cur *int, limit int) {
+		if *cur == 0 || limit < *cur {
+			*cur = limit
+		}
+	}
+	for _, f := range clauses {
+		switch f.Kind {
+		case BoundMaxSize:
+			tighten(&b.Size, f.Limit)
+		case BoundMaxHeight:
+			tighten(&b.Height, f.Limit)
+		case BoundMaxDepth:
+			tighten(&b.Depth, f.Limit)
+		case BoundMaxWidth:
+			tighten(&b.Width, f.Limit)
+		}
+	}
+	return b
 }
 
 // Apply evaluates the predicate; a zero-valued Filter accepts
@@ -64,6 +132,8 @@ func MaxSize(beta int) Filter {
 		Name:          fmt.Sprintf("size<=%d", beta),
 		AntiMonotonic: true,
 		Pred:          func(f core.Fragment) bool { return f.Size() <= beta },
+		Kind:          BoundMaxSize,
+		Limit:         beta,
 	}
 }
 
@@ -75,6 +145,8 @@ func MaxHeight(h int) Filter {
 		Name:          fmt.Sprintf("height<=%d", h),
 		AntiMonotonic: true,
 		Pred:          func(f core.Fragment) bool { return f.Height() <= h },
+		Kind:          BoundMaxHeight,
+		Limit:         h,
 	}
 }
 
@@ -87,6 +159,8 @@ func MaxWidth(w int) Filter {
 		Name:          fmt.Sprintf("width<=%d", w),
 		AntiMonotonic: true,
 		Pred:          func(f core.Fragment) bool { return f.Width() <= w },
+		Kind:          BoundMaxWidth,
+		Limit:         w,
 	}
 }
 
@@ -114,6 +188,8 @@ func MaxDepth(d int) Filter {
 		Name:          fmt.Sprintf("depth<=%d", d),
 		AntiMonotonic: true,
 		Pred:          func(f core.Fragment) bool { return f.MaxDepth() <= d },
+		Kind:          BoundMaxDepth,
+		Limit:         d,
 	}
 }
 

@@ -1,0 +1,37 @@
+package gindex
+
+import (
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/query"
+)
+
+// BenchmarkPostingSelection measures posting-first candidate
+// selection — term-group intersection over the shard's posting lists
+// plus the Dewey witness-pair filter bounds — on a memory shard. It
+// runs on every search before any document is evaluated, so its
+// allocs/op are gated in bench-compare.
+func BenchmarkPostingSelection(b *testing.B) {
+	idx, err := Open(Options{Shards: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sh := idx.Shard(0)
+	for _, d := range testCorpus(b, 512) {
+		sh.Put(d, HashDoc(d))
+	}
+	q, err := query.Parse("alpha retrieval", "size<=3")
+	if err != nil {
+		b.Fatal(err)
+	}
+	pp := cost.DefaultPostingPrune()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := sh.Candidates(q, pp)
+		if !c.Consulted || len(c.Names) == 0 {
+			b.Fatalf("selection returned %d candidates (consulted=%v)", len(c.Names), c.Consulted)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package gindex
+
+import (
+	"encoding/binary"
+	"reflect"
+	"testing"
+
+	"repro/internal/xmltree"
+)
+
+// FuzzDecodeSegment hammers the segment decoder — the function that
+// parses index bytes straight off disk after a crash — with corrupted
+// headers, checksums, counts and truncated tails, mirroring the WAL
+// frame fuzzer in internal/store. The contract: arbitrary input must
+// produce an error, never a panic, an over-read, or a huge
+// count-driven allocation; and any input that decodes must survive a
+// canonical re-encode/decode round trip unchanged.
+func FuzzDecodeSegment(f *testing.F) {
+	// Well-formed segments: populated, empty, superseding.
+	f.Add(encodeSegment(sampleSegment()))
+	f.Add(encodeSegment(&segment{shard: 0, seq: 1}))
+	super := sampleSegment()
+	super.supersede = true
+	f.Add(encodeSegment(super))
+	// Truncations and the empty input.
+	full := encodeSegment(sampleSegment())
+	f.Add([]byte{})
+	f.Add(full[:segHeaderSize])
+	f.Add(full[:len(full)-5])
+	// Checksum mismatch.
+	bad := append([]byte(nil), full...)
+	bad[len(bad)-1] ^= 0xFF
+	f.Add(bad)
+	// Absurd payload length in an otherwise-valid header.
+	huge := append([]byte(nil), full[:segHeaderSize]...)
+	binary.BigEndian.PutUint32(huge[29:], maxSegmentPayload+1)
+	f.Add(huge)
+	// Absurd doc count: header valid, payload claims 2^40 docs.
+	var p []byte
+	p = binary.AppendUvarint(p, 1<<40)
+	crafted := encodeSegment(&segment{shard: 1, seq: 2})
+	crafted = append(crafted[:segHeaderSize], p...)
+	binary.BigEndian.PutUint32(crafted[29:], uint32(len(p)))
+	f.Add(crafted)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		seg, err := decodeSegment(data)
+		if err != nil {
+			return
+		}
+		for _, tp := range seg.terms {
+			for i := 1; i < len(tp.postings); i++ {
+				a, b := tp.postings[i-1], tp.postings[i]
+				if b.Doc < a.Doc || (b.Doc == a.Doc && b.Node <= a.Node) {
+					t.Fatalf("accepted unsorted postings for %q", tp.term)
+				}
+			}
+		}
+		// Canonical re-encode must decode to the identical segment:
+		// proves the decoder read exactly what the encoder defines,
+		// modulo uvarint width (the only permitted representation
+		// slack).
+		re, err := decodeSegment(encodeSegment(seg))
+		if err != nil {
+			t.Fatalf("re-encoded segment does not decode: %v", err)
+		}
+		normalize(seg)
+		normalize(re)
+		if !reflect.DeepEqual(seg, re) {
+			t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", re, seg)
+		}
+	})
+}
+
+// normalize maps empty-but-allocated slices to nil so DeepEqual
+// compares contents, not allocation accidents.
+func normalize(s *segment) {
+	if len(s.docs) == 0 {
+		s.docs = nil
+	}
+	if len(s.tombs) == 0 {
+		s.tombs = nil
+	}
+	if len(s.terms) == 0 {
+		s.terms = nil
+	}
+	for i := range s.terms {
+		for j := range s.terms[i].postings {
+			if len(s.terms[i].postings[j].Dewey) == 0 {
+				s.terms[i].postings[j].Dewey = nil
+			}
+		}
+	}
+}
+
+// FuzzHashDoc pins the fingerprint's stability: hashing a document
+// must equal hashing its serialize-reparse round trip, the property
+// WAL-replay reuse depends on.
+func FuzzHashDoc(f *testing.F) {
+	f.Add("<a><b>hello world</b><c attr=\"x\">text</c></a>")
+	f.Add("<doc><sec>xml retrieval</sec><sec>algebra</sec></doc>")
+	f.Fuzz(func(t *testing.T, xml string) {
+		doc, err := xmltree.ParseString("fuzz.xml", xml)
+		if err != nil {
+			return
+		}
+		h1 := HashDoc(doc)
+		doc2, err := xmltree.ParseString("fuzz.xml", doc.XMLString())
+		if err != nil {
+			t.Fatalf("serialized document does not reparse: %v", err)
+		}
+		if h2 := HashDoc(doc2); h1 != h2 {
+			t.Fatalf("hash not stable across serialize/reparse: %x vs %x", h1, h2)
+		}
+	})
+}

@@ -1,0 +1,735 @@
+// Package gindex is the persistent global term index: per store
+// shard, a map term → sorted posting list of (docID, Dewey label),
+// held in an in-memory memtable and flushed to immutable checksummed
+// segment files. It serves two jobs the per-document indexes cannot:
+//
+//   - Cold start: on restart the store replays its WAL to rebuild
+//     documents, but any document whose (name, content-hash) is
+//     covered by a segment gets its per-document inverted index
+//     reconstituted straight from persisted postings
+//     (index.FromPostings) instead of re-tokenizing every node.
+//   - Posting-first search: before fanning a query out to a shard's
+//     documents, the shard's posting lists answer "which documents can
+//     possibly contain an answer" — conjunction of term groups plus
+//     anti-monotonic size/height/depth/width bounds evaluated by
+//     Dewey-label arithmetic (LCA = longest common prefix) — so only
+//     surviving documents are evaluated by the tree algebra.
+//
+// Durability follows the store's WAL ordering: a document is indexed
+// after its WAL record is durable, so every flushed posting is
+// re-derivable from the log. Crashes between flush and merge are
+// benign (segments are immutable; a merged segment supersedes its
+// inputs only once fully written), and any divergence left by a crash
+// is reconciled against the replayed store on open.
+package gindex
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/obs"
+	"repro/internal/xmltree"
+)
+
+// DefaultFlushBytes is the memtable size that triggers a segment
+// flush when Options.FlushBytes is unset.
+const DefaultFlushBytes = 4 << 20
+
+// mergeEvery is the segment count that triggers a background merge
+// into one superseding segment.
+const mergeEvery = 6
+
+// Options configures an Index.
+type Options struct {
+	// Dir is the index root; one subdirectory per shard is created
+	// under it. Empty means memory-only (replicas): full pruning and
+	// replay-reuse semantics, no files.
+	Dir string
+	// Shards must equal the owning store's shard count; documents are
+	// routed by the same hash.
+	Shards int
+	// FlushBytes is the per-shard memtable budget before a flush.
+	FlushBytes int64
+	// Metrics receives segment/flush/merge gauges and counters; nil
+	// disables them.
+	Metrics *obs.Metrics
+}
+
+// Index is the global term index: one Shard per store shard.
+type Index struct {
+	opts   Options
+	shards []*Shard
+	wg     sync.WaitGroup // in-flight background merges
+}
+
+// HashDoc fingerprints a document's structure and contents (FNV-1a 64
+// over the pre-order parents, tags and texts). The WAL-replay reuse
+// check matches on (name, HashDoc) so a removed-and-re-added name with
+// different content never reuses stale postings. Hashing the parsed
+// tree rather than the raw XML keeps the fingerprint stable across a
+// snapshot round-trip, which stores the same structural record.
+func HashDoc(doc *xmltree.Document) uint64 {
+	h := fnv.New64a()
+	var buf [10]byte
+	writeInt := func(v int) {
+		n := binary.PutUvarint(buf[:], uint64(v))
+		h.Write(buf[:n])
+	}
+	writeInt(doc.Len())
+	for v := xmltree.NodeID(0); int(v) < doc.Len(); v++ {
+		if v > 0 {
+			writeInt(int(doc.Parent(v)))
+		}
+		tag := doc.Tag(v)
+		writeInt(len(tag))
+		io.WriteString(h, tag)
+		text := doc.Text(v)
+		writeInt(len(text))
+		io.WriteString(h, text)
+	}
+	return h.Sum64()
+}
+
+// Open opens (or creates) the index. With a Dir, each shard loads its
+// segment files; any corrupt or unreadable segment fails the open —
+// the caller is expected to wipe and rebuild from its WAL (the index
+// is a cache of the log, never the source of truth).
+func Open(opts Options) (*Index, error) {
+	if opts.Shards <= 0 {
+		opts.Shards = 1
+	}
+	if opts.FlushBytes <= 0 {
+		opts.FlushBytes = DefaultFlushBytes
+	}
+	x := &Index{opts: opts, shards: make([]*Shard, opts.Shards)}
+	for i := range x.shards {
+		sh := &Shard{
+			id:         i,
+			flushBytes: opts.FlushBytes,
+			metrics:    opts.Metrics,
+			idx:        x,
+			docs:       make(map[uint32]docEntry),
+			byName:     make(map[string]uint32),
+			dead:       make(map[uint32]bool),
+			disk:       make(map[string][]Posting),
+			mem:        make(map[string][]Posting),
+		}
+		if opts.Dir != "" {
+			sh.dir = filepath.Join(opts.Dir, fmt.Sprintf("shard-%04d", i))
+			if err := os.MkdirAll(sh.dir, 0o755); err != nil {
+				return nil, err
+			}
+			if err := sh.load(); err != nil {
+				return nil, err
+			}
+		}
+		x.shards[i] = sh
+	}
+	x.updateGauges()
+	return x, nil
+}
+
+// Wipe removes every segment under dir, for rebuilding after a failed
+// Open.
+func Wipe(dir string) error {
+	if dir == "" {
+		return nil
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	for _, e := range entries {
+		if err := os.RemoveAll(filepath.Join(dir, e.Name())); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Persistent reports whether the index writes segments to disk.
+func (x *Index) Persistent() bool { return x.opts.Dir != "" }
+
+// Shards returns the shard count.
+func (x *Index) Shards() int { return len(x.shards) }
+
+// Shard returns shard i.
+func (x *Index) Shard(i int) *Shard { return x.shards[i] }
+
+// Flush flushes every shard's memtable to a segment (no-op for empty
+// memtables and memory-only indexes).
+func (x *Index) Flush() error {
+	var firstErr error
+	for _, sh := range x.shards {
+		if err := sh.Flush(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Close flushes all shards and waits for background merges.
+func (x *Index) Close() error {
+	err := x.Flush()
+	x.wg.Wait()
+	return err
+}
+
+// Docs returns the total live document count across shards.
+func (x *Index) Docs() int {
+	n := 0
+	for _, sh := range x.shards {
+		n += sh.Docs()
+	}
+	return n
+}
+
+// updateGauges refreshes the whole-index gauges.
+func (x *Index) updateGauges() {
+	m := x.opts.Metrics
+	if m == nil {
+		return
+	}
+	var segs, segBytes, memBytes, docs int64
+	for _, sh := range x.shards {
+		sh.mu.RLock()
+		segs += int64(len(sh.segs))
+		for _, sm := range sh.segs {
+			segBytes += sm.bytes
+		}
+		memBytes += sh.memBytes
+		docs += int64(len(sh.byName))
+		sh.mu.RUnlock()
+	}
+	m.Gauge(obs.MIndexSegments).Set(segs)
+	m.Gauge(obs.MIndexSegmentBytes).Set(segBytes)
+	m.Gauge(obs.MIndexMemBytes).Set(memBytes)
+	m.Gauge(obs.MIndexDocs).Set(docs)
+}
+
+// docEntry is the in-memory doc-table row.
+type docEntry struct {
+	name     string
+	nodes    int
+	maxDepth int
+	xmlHash  uint64
+	// flushed marks documents whose postings live in at least one
+	// segment; removing one must persist a tombstone, while an
+	// unflushed (memtable-only) document vanishes with its postings.
+	flushed bool
+}
+
+// segMeta tracks one on-disk segment.
+type segMeta struct {
+	seq   uint64
+	path  string
+	bytes int64
+}
+
+// Shard indexes the documents of one store shard. All methods are
+// safe for concurrent use; lookups take a read lock, mutations and
+// flushes a write lock.
+type Shard struct {
+	mu         sync.RWMutex
+	idx        *Index
+	id         int
+	dir        string // empty: memory-only
+	flushBytes int64
+	metrics    *obs.Metrics
+
+	docs    map[uint32]docEntry
+	byName  map[string]uint32
+	dead    map[uint32]bool
+	nextDoc uint32
+
+	// disk mirrors the union of the on-disk segments' postings; mem is
+	// the memtable. Both hold lists ascending by (Doc, Node), and every
+	// mem doc ID is greater than every disk doc ID (IDs are assigned
+	// monotonically and flush drains the whole memtable), so their
+	// concatenation stays sorted.
+	disk     map[string][]Posting
+	mem      map[string][]Posting
+	memBytes int64
+	memDocs  []uint32
+	memTomb  []uint32
+
+	segs    []segMeta
+	nextSeq uint64
+	merging bool
+}
+
+// load replays the shard's segment files into memory, newest
+// superseding segment first. Leftover temp files from crashed flushes
+// are removed; superseded segment files are deleted.
+func (sh *Shard) load() error {
+	entries, err := os.ReadDir(sh.dir)
+	if err != nil {
+		return err
+	}
+	var segsData []*segment
+	var paths = map[uint64]string{}
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasSuffix(name, ".tmp") {
+			os.Remove(filepath.Join(sh.dir, name))
+			continue
+		}
+		if !strings.HasSuffix(name, ".seg") {
+			continue
+		}
+		path := filepath.Join(sh.dir, name)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return fmt.Errorf("gindex: shard %d: %w", sh.id, err)
+		}
+		seg, err := decodeSegment(data)
+		if err != nil {
+			return fmt.Errorf("gindex: shard %d: %s: %w", sh.id, name, err)
+		}
+		if seg.shard != sh.id {
+			return fmt.Errorf("gindex: shard %d: %s claims shard %d", sh.id, name, seg.shard)
+		}
+		segsData = append(segsData, seg)
+		paths[seg.seq] = path
+	}
+	sort.Slice(segsData, func(i, j int) bool { return segsData[i].seq < segsData[j].seq })
+
+	// A superseding (merged) segment replaces everything before it; a
+	// crash between writing it and deleting its inputs leaves both, so
+	// finish the deletion here.
+	start := 0
+	for i, seg := range segsData {
+		if seg.supersede {
+			start = i
+		}
+	}
+	for _, seg := range segsData[:start] {
+		os.Remove(paths[seg.seq])
+	}
+	segsData = segsData[start:]
+
+	for _, seg := range segsData {
+		for _, d := range seg.docs {
+			if old, ok := sh.byName[d.Name]; ok {
+				// Defensive: a live name reappearing without a
+				// tombstone should not happen; newest wins.
+				sh.dead[old] = true
+			}
+			sh.docs[d.ID] = docEntry{name: d.Name, nodes: d.Nodes, maxDepth: d.MaxDepth, xmlHash: d.XMLHash, flushed: true}
+			sh.byName[d.Name] = d.ID
+		}
+		for _, id := range seg.tombs {
+			if e, ok := sh.docs[id]; ok {
+				sh.dead[id] = true
+				if sh.byName[e.name] == id {
+					delete(sh.byName, e.name)
+				}
+			}
+		}
+		for _, tp := range seg.terms {
+			sh.disk[tp.term] = append(sh.disk[tp.term], tp.postings...)
+		}
+		if seg.nextDoc > sh.nextDoc {
+			sh.nextDoc = seg.nextDoc
+		}
+		if seg.seq >= sh.nextSeq {
+			sh.nextSeq = seg.seq + 1
+		}
+		if fi, err := os.Stat(paths[seg.seq]); err == nil {
+			sh.segs = append(sh.segs, segMeta{seq: seg.seq, path: paths[seg.seq], bytes: fi.Size()})
+		} else {
+			sh.segs = append(sh.segs, segMeta{seq: seg.seq, path: paths[seg.seq]})
+		}
+	}
+	return nil
+}
+
+// Docs returns the live document count.
+func (sh *Shard) Docs() int {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return len(sh.byName)
+}
+
+// Has reports whether name is live with the given content hash —
+// i.e. whether the index already covers this exact document.
+func (sh *Shard) Has(name string, xmlHash uint64) bool {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	id, ok := sh.byName[name]
+	if !ok {
+		return false
+	}
+	return sh.docs[id].xmlHash == xmlHash
+}
+
+// LiveNames returns the live document names, sorted.
+func (sh *Shard) LiveNames() []string {
+	sh.mu.RLock()
+	out := make([]string, 0, len(sh.byName))
+	for name := range sh.byName {
+		out = append(out, name)
+	}
+	sh.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// Put indexes doc under its name, replacing any live document of the
+// same name (tombstone + fresh ID — IDs are never reused). It must be
+// called after the document's WAL record is durable and before the
+// document becomes searchable, so the index never misses a searchable
+// document. Crossing the memtable budget flushes synchronously and
+// may kick off a background merge.
+func (sh *Shard) Put(doc *xmltree.Document, xmlHash uint64) {
+	sh.mu.Lock()
+	sh.removeLocked(doc.Name())
+	id := sh.nextDoc
+	sh.nextDoc++
+	maxDepth := 0
+	var bytes int64
+	for v := xmltree.NodeID(0); int(v) < doc.Len(); v++ {
+		lbl := doc.Dewey(v)
+		if len(lbl) > maxDepth {
+			maxDepth = len(lbl)
+		}
+		for _, term := range doc.Keywords(v) {
+			sh.mem[term] = append(sh.mem[term], Posting{Doc: id, Node: v, Dewey: lbl})
+			bytes += int64(24 + 4*len(lbl) + len(term))
+		}
+	}
+	sh.docs[id] = docEntry{name: doc.Name(), nodes: doc.Len(), maxDepth: maxDepth, xmlHash: xmlHash}
+	sh.byName[doc.Name()] = id
+	sh.memDocs = append(sh.memDocs, id)
+	sh.memBytes += bytes
+	needFlush := sh.dir != "" && sh.memBytes >= sh.flushBytes
+	if needFlush {
+		sh.flushLocked()
+	}
+	sh.mu.Unlock()
+	if needFlush {
+		sh.idx.updateGauges()
+	}
+}
+
+// PutPrebuilt indexes a document whose postings were reconstituted
+// from this very index during WAL replay; it re-registers the doc in
+// the memtable only if it is not already live (the common replay path
+// leaves it untouched).
+func (sh *Shard) PutPrebuilt(doc *xmltree.Document, xmlHash uint64) {
+	if sh.Has(doc.Name(), xmlHash) {
+		return
+	}
+	sh.Put(doc, xmlHash)
+}
+
+// Remove tombstones the live document of the given name; it reports
+// whether one existed.
+func (sh *Shard) Remove(name string) bool {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.removeLocked(name)
+}
+
+func (sh *Shard) removeLocked(name string) bool {
+	id, ok := sh.byName[name]
+	if !ok {
+		return false
+	}
+	delete(sh.byName, name)
+	sh.dead[id] = true
+	if sh.docs[id].flushed {
+		sh.memTomb = append(sh.memTomb, id)
+	}
+	return true
+}
+
+// ResetAll replaces the shard's contents with exactly the given
+// documents (replica ReplaceAll). Memory-mode shards drop everything;
+// persistent shards tombstone and re-add, converging at the next
+// merge.
+func (sh *Shard) ResetAll(docs []*xmltree.Document, hashes []uint64) {
+	sh.mu.Lock()
+	if sh.dir == "" {
+		sh.docs = make(map[uint32]docEntry)
+		sh.byName = make(map[string]uint32)
+		sh.dead = make(map[uint32]bool)
+		sh.mem = make(map[string][]Posting)
+		sh.memBytes = 0
+		sh.memDocs, sh.memTomb = nil, nil
+	} else {
+		// removeLocked mutates byName; collect names first.
+		names := make([]string, 0, len(sh.byName))
+		for name := range sh.byName {
+			names = append(names, name)
+		}
+		for _, name := range names {
+			sh.removeLocked(name)
+		}
+	}
+	sh.mu.Unlock()
+	for i, d := range docs {
+		sh.Put(d, hashes[i])
+	}
+}
+
+// Flush writes the memtable to a new segment. Memory-only shards just
+// keep accumulating (their "segments" are the memtable itself).
+func (sh *Shard) Flush() error {
+	sh.mu.Lock()
+	err := sh.flushLocked()
+	sh.mu.Unlock()
+	sh.idx.updateGauges()
+	return err
+}
+
+// flushLocked drains the memtable into a segment file and mirrors it
+// into the disk map. On write failure the memtable is left intact —
+// the index degrades to less durability, never to wrong contents.
+func (sh *Shard) flushLocked() error {
+	if sh.dir == "" || (len(sh.memDocs) == 0 && len(sh.memTomb) == 0) {
+		return nil
+	}
+	seg := &segment{
+		shard:   sh.id,
+		seq:     sh.nextSeq,
+		nextDoc: sh.nextDoc,
+		tombs:   append([]uint32(nil), sh.memTomb...),
+	}
+	for _, id := range sh.memDocs {
+		if sh.dead[id] {
+			continue
+		}
+		e := sh.docs[id]
+		seg.docs = append(seg.docs, DocInfo{ID: id, Name: e.name, Nodes: e.nodes, MaxDepth: e.maxDepth, XMLHash: e.xmlHash})
+	}
+	for term, posts := range sh.mem {
+		live := posts[:0:0]
+		for _, p := range posts {
+			if !sh.dead[p.Doc] {
+				live = append(live, p)
+			}
+		}
+		if len(live) > 0 {
+			seg.terms = append(seg.terms, termPostings{term: term, postings: live})
+		}
+	}
+	data := encodeSegment(seg)
+	path, err := writeSegmentFile(sh.dir, seg.seq, data)
+	if err != nil {
+		return err
+	}
+	sh.nextSeq++
+	sh.segs = append(sh.segs, segMeta{seq: seg.seq, path: path, bytes: int64(len(data))})
+	for _, tp := range seg.terms {
+		sh.disk[tp.term] = append(sh.disk[tp.term], tp.postings...)
+	}
+	for _, id := range sh.memDocs {
+		if sh.dead[id] && !sh.docs[id].flushed {
+			// Added and removed between flushes: its postings were
+			// dropped above and it exists in no segment — forget it.
+			delete(sh.docs, id)
+			delete(sh.dead, id)
+			continue
+		}
+		e := sh.docs[id]
+		e.flushed = true
+		sh.docs[id] = e
+	}
+	sh.mem = make(map[string][]Posting)
+	sh.memBytes = 0
+	sh.memDocs, sh.memTomb = nil, nil
+	sh.metrics.Counter(obs.MIndexFlushes).Add(1)
+
+	if len(sh.segs) >= mergeEvery && !sh.merging {
+		sh.merging = true
+		sh.idx.wg.Add(1)
+		go sh.mergeSegments()
+	}
+	return nil
+}
+
+// mergeSegments compacts every current segment into one superseding
+// segment: live postings only, no tombstones. It runs in the
+// background but holds the shard lock for the encode+write (segments
+// are small relative to flush cadence; ingest on this shard stalls
+// briefly, queries on other shards do not).
+func (sh *Shard) mergeSegments() {
+	defer sh.idx.wg.Done()
+	sh.mu.Lock()
+	seg := &segment{
+		shard:     sh.id,
+		supersede: true,
+		seq:       sh.nextSeq,
+		nextDoc:   sh.nextDoc,
+	}
+	var deadFlushed []uint32
+	for id, e := range sh.docs {
+		if sh.dead[id] {
+			if e.flushed {
+				deadFlushed = append(deadFlushed, id)
+			}
+			continue
+		}
+		if e.flushed {
+			seg.docs = append(seg.docs, DocInfo{ID: id, Name: e.name, Nodes: e.nodes, MaxDepth: e.maxDepth, XMLHash: e.xmlHash})
+		}
+	}
+	sort.Slice(seg.docs, func(i, j int) bool { return seg.docs[i].ID < seg.docs[j].ID })
+	newDisk := make(map[string][]Posting, len(sh.disk))
+	for term, posts := range sh.disk {
+		live := make([]Posting, 0, len(posts))
+		for _, p := range posts {
+			if !sh.dead[p.Doc] {
+				live = append(live, p)
+			}
+		}
+		if len(live) > 0 {
+			newDisk[term] = live
+			seg.terms = append(seg.terms, termPostings{term: term, postings: live})
+		}
+	}
+	data := encodeSegment(seg)
+	path, err := writeSegmentFile(sh.dir, seg.seq, data)
+	if err != nil {
+		sh.merging = false
+		sh.mu.Unlock()
+		return
+	}
+	sh.nextSeq++
+	old := sh.segs
+	sh.segs = []segMeta{{seq: seg.seq, path: path, bytes: int64(len(data))}}
+	sh.disk = newDisk
+	for _, id := range deadFlushed {
+		delete(sh.docs, id)
+		delete(sh.dead, id)
+	}
+	sh.merging = false
+	sh.metrics.Counter(obs.MIndexMerges).Add(1)
+	sh.mu.Unlock()
+	for _, sm := range old {
+		os.Remove(sm.path)
+	}
+	sh.idx.updateGauges()
+}
+
+// postings returns the merged (disk ++ memtable) posting list for an
+// already-normalized term, dead documents filtered out. Callers must
+// hold at least the read lock; the result is freshly allocated.
+func (sh *Shard) postingsLocked(term string) []Posting {
+	d, m := sh.disk[term], sh.mem[term]
+	if len(d)+len(m) == 0 {
+		return nil
+	}
+	out := make([]Posting, 0, len(d)+len(m))
+	for _, p := range d {
+		if !sh.dead[p.Doc] {
+			out = append(out, p)
+		}
+	}
+	for _, p := range m {
+		if !sh.dead[p.Doc] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Lookup returns the live postings for term (term must already be
+// normalized). Exported for tests and tooling.
+func (sh *Shard) Lookup(term string) []Posting {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.postingsLocked(term)
+}
+
+// ReplaySource captures, once, everything WAL replay needs to skip
+// re-tokenizing covered documents: per live name, the content hash,
+// node count, and the per-document postings regrouped as
+// term → ascending node IDs (the exact shape index.FromPostings
+// wants). Entries are consumed by Take, so a name replayed twice
+// (add, remove, re-add) only reuses postings for its first
+// incarnation — later incarnations re-tokenize, which is always safe.
+type ReplaySource struct {
+	docs map[string]*replayDoc
+}
+
+type replayDoc struct {
+	hash     uint64
+	nodes    int
+	postings map[string][]xmltree.NodeID
+}
+
+// ReplaySource builds the one-shot replay view of this shard.
+func (sh *Shard) ReplaySource() *ReplaySource {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	rs := &ReplaySource{docs: make(map[string]*replayDoc, len(sh.byName))}
+	byID := make(map[uint32]*replayDoc, len(sh.byName))
+	for name, id := range sh.byName {
+		e := sh.docs[id]
+		rd := &replayDoc{hash: e.xmlHash, nodes: e.nodes, postings: make(map[string][]xmltree.NodeID)}
+		rs.docs[name] = rd
+		byID[id] = rd
+	}
+	regroup := func(term string, posts []Posting) {
+		for _, p := range posts {
+			if rd := byID[p.Doc]; rd != nil {
+				rd.postings[term] = append(rd.postings[term], p.Node)
+			}
+		}
+	}
+	for term, posts := range sh.disk {
+		regroup(term, posts)
+	}
+	for term, posts := range sh.mem {
+		regroup(term, posts)
+	}
+	return rs
+}
+
+// KeywordsFromPostings inverts a per-document postings map
+// (term → ascending node IDs, the shape Take returns) back into
+// per-node keyword lists, the exact input Document.InstallKeywords
+// expects. Terms are visited in sorted order, so every node's list
+// comes out sorted and duplicate-free — the postings were derived from
+// those lists in the first place, so the inversion is exact.
+func KeywordsFromPostings(nodes int, postings map[string][]xmltree.NodeID) [][]string {
+	kw := make([][]string, nodes)
+	terms := make([]string, 0, len(postings))
+	for t := range postings {
+		terms = append(terms, t)
+	}
+	sort.Strings(terms)
+	for _, t := range terms {
+		for _, v := range postings[t] {
+			kw[v] = append(kw[v], t)
+		}
+	}
+	return kw
+}
+
+// Take consumes and returns the postings for name if the index covers
+// exactly this document (same content hash and node count); ok is
+// false — and the caller must tokenize — otherwise.
+func (rs *ReplaySource) Take(name string, xmlHash uint64, nodes int) (map[string][]xmltree.NodeID, bool) {
+	if rs == nil {
+		return nil, false
+	}
+	rd := rs.docs[name]
+	if rd == nil || rd.hash != xmlHash || rd.nodes != nodes {
+		return nil, false
+	}
+	delete(rs.docs, name)
+	return rd.postings, true
+}

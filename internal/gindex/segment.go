@@ -1,0 +1,378 @@
+// Segment codec: the on-disk unit of the global term index. A segment
+// is an immutable, checksummed flush of one shard's memtable — a doc
+// table (id, name, structure summary, content hash), a tombstone list
+// (doc IDs from EARLIER segments removed since the last flush), and
+// term → posting lists of (docID, nodeID, Dewey label). Like the WAL
+// frame codec in internal/store, decode parses bytes straight off disk
+// after a crash, so it must error on any corruption — truncation,
+// flipped bits, absurd counts — and never panic or over-allocate
+// (FuzzDecodeSegment enforces this).
+package gindex
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/xmltree"
+)
+
+// segMagic opens every segment file; the trailing byte versions the
+// format.
+var segMagic = [8]byte{'X', 'F', 'G', 'S', 'E', 'G', '0', '1'}
+
+// segHeaderSize is the fixed prefix before the payload: magic(8) +
+// shard(4) + supersede(1) + seq(8) + nextDoc(8) + payloadLen(4) +
+// payloadCRC(4).
+const segHeaderSize = 8 + 4 + 1 + 8 + 8 + 4 + 4
+
+// maxSegmentPayload caps a single segment's payload; anything larger
+// is corruption (a flush happens every few MiB).
+const maxSegmentPayload = 1 << 30
+
+// Posting is one occurrence of a term: the document (shard-local ID),
+// the pre-order node ID, and the node's Dewey label. Depth is
+// len(Dewey) and the LCA of two postings is their labels' longest
+// common prefix, so the structural filter bounds evaluate without the
+// tree.
+type Posting struct {
+	Doc   uint32
+	Node  xmltree.NodeID
+	Dewey xmltree.DeweyLabel
+}
+
+// DocInfo is the per-document structure summary persisted alongside
+// the postings: enough to recognize the document on WAL replay (name +
+// content hash) and to sanity-check the postings against it (node
+// count, max depth).
+type DocInfo struct {
+	ID       uint32
+	Name     string
+	Nodes    int
+	MaxDepth int
+	XMLHash  uint64
+}
+
+// segment is the decoded form of one segment file.
+type segment struct {
+	shard     int
+	supersede bool
+	seq       uint64
+	nextDoc   uint32
+	docs      []DocInfo
+	tombs     []uint32
+	terms     []termPostings
+}
+
+// termPostings pairs one term with its postings, ascending by
+// (Doc, Node).
+type termPostings struct {
+	term     string
+	postings []Posting
+}
+
+// encodeSegment renders a segment to its on-disk bytes. Terms are
+// emitted in sorted order so encoding is deterministic.
+func encodeSegment(s *segment) []byte {
+	sort.SliceStable(s.terms, func(i, j int) bool { return s.terms[i].term < s.terms[j].term })
+
+	var p []byte
+	p = binary.AppendUvarint(p, uint64(len(s.docs)))
+	for _, d := range s.docs {
+		p = binary.AppendUvarint(p, uint64(d.ID))
+		p = binary.AppendUvarint(p, uint64(len(d.Name)))
+		p = append(p, d.Name...)
+		p = binary.AppendUvarint(p, uint64(d.Nodes))
+		p = binary.AppendUvarint(p, uint64(d.MaxDepth))
+		p = binary.AppendUvarint(p, d.XMLHash)
+	}
+	p = binary.AppendUvarint(p, uint64(len(s.tombs)))
+	for _, id := range s.tombs {
+		p = binary.AppendUvarint(p, uint64(id))
+	}
+	p = binary.AppendUvarint(p, uint64(len(s.terms)))
+	for _, tp := range s.terms {
+		p = binary.AppendUvarint(p, uint64(len(tp.term)))
+		p = append(p, tp.term...)
+		p = binary.AppendUvarint(p, uint64(len(tp.postings)))
+		for _, post := range tp.postings {
+			p = binary.AppendUvarint(p, uint64(post.Doc))
+			p = binary.AppendUvarint(p, uint64(post.Node))
+			p = binary.AppendUvarint(p, uint64(len(post.Dewey)))
+			for _, c := range post.Dewey {
+				p = binary.AppendUvarint(p, uint64(c))
+			}
+		}
+	}
+
+	out := make([]byte, segHeaderSize, segHeaderSize+len(p))
+	copy(out, segMagic[:])
+	binary.BigEndian.PutUint32(out[8:], uint32(s.shard))
+	if s.supersede {
+		out[12] = 1
+	}
+	binary.BigEndian.PutUint64(out[13:], s.seq)
+	binary.BigEndian.PutUint64(out[21:], uint64(s.nextDoc))
+	binary.BigEndian.PutUint32(out[29:], uint32(len(p)))
+	binary.BigEndian.PutUint32(out[33:], crc32.ChecksumIEEE(p))
+	return append(out, p...)
+}
+
+// segReader is a bounds-checked uvarint cursor over a payload.
+type segReader struct {
+	b   []byte
+	off int
+}
+
+func (r *segReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("gindex: truncated or overlong uvarint at offset %d", r.off)
+	}
+	r.off += n
+	return v, nil
+}
+
+// count reads a collection count and rejects any value that could not
+// fit in the remaining bytes (each element costs at least min bytes),
+// so corrupt counts cannot drive huge allocations.
+func (r *segReader) count(min int) (int, error) {
+	v, err := r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if min < 1 {
+		min = 1
+	}
+	if v > uint64(len(r.b)-r.off)/uint64(min) {
+		return 0, fmt.Errorf("gindex: count %d exceeds remaining payload", v)
+	}
+	return int(v), nil
+}
+
+func (r *segReader) bytes(n int) ([]byte, error) {
+	if n < 0 || n > len(r.b)-r.off {
+		return nil, fmt.Errorf("gindex: %d-byte field exceeds remaining payload", n)
+	}
+	s := r.b[r.off : r.off+n]
+	r.off += n
+	return s, nil
+}
+
+// decodeSegment parses one segment file's bytes. It returns an error
+// on ANY malformation — wrong magic, bad checksum, trailing garbage,
+// counts that overrun the payload, unsorted posting lists — and never
+// panics; the fuzz target holds it to that.
+func decodeSegment(data []byte) (*segment, error) {
+	if len(data) < segHeaderSize {
+		return nil, fmt.Errorf("gindex: segment too short (%d bytes)", len(data))
+	}
+	if string(data[:8]) != string(segMagic[:]) {
+		return nil, fmt.Errorf("gindex: bad segment magic %q", data[:8])
+	}
+	s := &segment{
+		shard:     int(binary.BigEndian.Uint32(data[8:])),
+		supersede: data[12] != 0,
+		seq:       binary.BigEndian.Uint64(data[13:]),
+	}
+	nextDoc := binary.BigEndian.Uint64(data[21:])
+	if nextDoc > 1<<32-1 {
+		return nil, fmt.Errorf("gindex: nextDoc %d out of range", nextDoc)
+	}
+	s.nextDoc = uint32(nextDoc)
+	plen := binary.BigEndian.Uint32(data[29:])
+	if plen > maxSegmentPayload {
+		return nil, fmt.Errorf("gindex: payload length %d exceeds cap", plen)
+	}
+	if int(plen) != len(data)-segHeaderSize {
+		return nil, fmt.Errorf("gindex: payload length %d does not match file size %d", plen, len(data))
+	}
+	payload := data[segHeaderSize:]
+	if got, want := crc32.ChecksumIEEE(payload), binary.BigEndian.Uint32(data[33:]); got != want {
+		return nil, fmt.Errorf("gindex: segment checksum mismatch (got %08x want %08x)", got, want)
+	}
+
+	r := &segReader{b: payload}
+	nDocs, err := r.count(4)
+	if err != nil {
+		return nil, err
+	}
+	s.docs = make([]DocInfo, 0, nDocs)
+	for i := 0; i < nDocs; i++ {
+		var d DocInfo
+		id, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if id > 1<<32-1 {
+			return nil, fmt.Errorf("gindex: doc id %d out of range", id)
+		}
+		d.ID = uint32(id)
+		nameLen, err := r.count(1)
+		if err != nil {
+			return nil, err
+		}
+		name, err := r.bytes(nameLen)
+		if err != nil {
+			return nil, err
+		}
+		d.Name = string(name)
+		nodes, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		depth, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if nodes > 1<<31-1 || depth > 1<<31-1 {
+			return nil, fmt.Errorf("gindex: doc summary out of range (nodes=%d depth=%d)", nodes, depth)
+		}
+		d.Nodes, d.MaxDepth = int(nodes), int(depth)
+		if d.XMLHash, err = r.uvarint(); err != nil {
+			return nil, err
+		}
+		s.docs = append(s.docs, d)
+	}
+
+	nTombs, err := r.count(1)
+	if err != nil {
+		return nil, err
+	}
+	s.tombs = make([]uint32, 0, nTombs)
+	for i := 0; i < nTombs; i++ {
+		id, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if id > 1<<32-1 {
+			return nil, fmt.Errorf("gindex: tombstone id %d out of range", id)
+		}
+		s.tombs = append(s.tombs, uint32(id))
+	}
+
+	nTerms, err := r.count(3)
+	if err != nil {
+		return nil, err
+	}
+	s.terms = make([]termPostings, 0, nTerms)
+	// Dewey components are sliced out of shared slabs instead of one
+	// allocation per posting: segment decode is on the cold-start path,
+	// and per-posting label allocs were a measurable share of restart.
+	var slab []int32
+	allocDewey := func(n int) xmltree.DeweyLabel {
+		if n > len(slab) {
+			size := 4096
+			if n > size {
+				size = n
+			}
+			slab = make([]int32, size)
+		}
+		lbl := xmltree.DeweyLabel(slab[:n:n])
+		slab = slab[n:]
+		return lbl
+	}
+	for i := 0; i < nTerms; i++ {
+		termLen, err := r.count(1)
+		if err != nil {
+			return nil, err
+		}
+		term, err := r.bytes(termLen)
+		if err != nil {
+			return nil, err
+		}
+		nPosts, err := r.count(3)
+		if err != nil {
+			return nil, err
+		}
+		tp := termPostings{term: string(term), postings: make([]Posting, 0, nPosts)}
+		for j := 0; j < nPosts; j++ {
+			var post Posting
+			doc, err := r.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			node, err := r.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			if doc > 1<<32-1 || node > 1<<31-1 {
+				return nil, fmt.Errorf("gindex: posting ids out of range (doc=%d node=%d)", doc, node)
+			}
+			post.Doc, post.Node = uint32(doc), xmltree.NodeID(node)
+			if j > 0 {
+				prev := tp.postings[j-1]
+				if post.Doc < prev.Doc || (post.Doc == prev.Doc && post.Node <= prev.Node) {
+					return nil, fmt.Errorf("gindex: postings for %q not strictly ascending", tp.term)
+				}
+			}
+			deweyLen, err := r.count(1)
+			if err != nil {
+				return nil, err
+			}
+			if deweyLen > 0 {
+				post.Dewey = allocDewey(deweyLen)
+				for k := 0; k < deweyLen; k++ {
+					c, err := r.uvarint()
+					if err != nil {
+						return nil, err
+					}
+					if c > 1<<31-1 {
+						return nil, fmt.Errorf("gindex: dewey component %d out of range", c)
+					}
+					post.Dewey[k] = int32(c)
+				}
+			}
+			tp.postings = append(tp.postings, post)
+		}
+		s.terms = append(s.terms, tp)
+	}
+	if r.off != len(payload) {
+		return nil, fmt.Errorf("gindex: %d trailing bytes after segment payload", len(payload)-r.off)
+	}
+	return s, nil
+}
+
+// segFileName names a segment file by sequence number; lexical order
+// equals sequence order.
+func segFileName(seq uint64) string {
+	return fmt.Sprintf("seg-%016d.seg", seq)
+}
+
+// writeSegmentFile writes data durably: temp file in the same
+// directory, fsync, rename to the final name, fsync the directory. A
+// crash at any point leaves either no segment or a complete one.
+func writeSegmentFile(dir string, seq uint64, data []byte) (string, error) {
+	tmp, err := os.CreateTemp(dir, "seg-*.tmp")
+	if err != nil {
+		return "", err
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return "", err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return "", err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return "", err
+	}
+	final := filepath.Join(dir, segFileName(seq))
+	if err := os.Rename(tmpName, final); err != nil {
+		os.Remove(tmpName)
+		return "", err
+	}
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return final, nil
+}

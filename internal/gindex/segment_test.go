@@ -1,0 +1,139 @@
+package gindex
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/xmltree"
+)
+
+func sampleSegment() *segment {
+	return &segment{
+		shard:   3,
+		seq:     7,
+		nextDoc: 42,
+		docs: []DocInfo{
+			{ID: 5, Name: "a.xml", Nodes: 9, MaxDepth: 4, XMLHash: 0xdeadbeefcafe},
+			{ID: 41, Name: "b.xml", Nodes: 3, MaxDepth: 2, XMLHash: 1},
+		},
+		tombs: []uint32{2, 3},
+		terms: []termPostings{
+			{term: "zeta", postings: []Posting{
+				{Doc: 5, Node: 1, Dewey: xmltree.DeweyLabel{0, 1}},
+			}},
+			{term: "alpha", postings: []Posting{
+				{Doc: 5, Node: 2, Dewey: xmltree.DeweyLabel{0, 2}},
+				{Doc: 5, Node: 4, Dewey: xmltree.DeweyLabel{0, 2, 1}},
+				{Doc: 41, Node: 0, Dewey: xmltree.DeweyLabel{}},
+			}},
+		},
+	}
+}
+
+func TestSegmentRoundTrip(t *testing.T) {
+	seg := sampleSegment()
+	data := encodeSegment(seg) // sorts terms in place
+	got, err := decodeSegment(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.shard != seg.shard || got.seq != seg.seq || got.nextDoc != seg.nextDoc || got.supersede {
+		t.Fatalf("header mismatch: %+v vs %+v", got, seg)
+	}
+	if !reflect.DeepEqual(got.docs, seg.docs) {
+		t.Fatalf("docs mismatch:\n got %+v\nwant %+v", got.docs, seg.docs)
+	}
+	if !reflect.DeepEqual(got.tombs, seg.tombs) {
+		t.Fatalf("tombs mismatch: %v vs %v", got.tombs, seg.tombs)
+	}
+	if len(got.terms) != len(seg.terms) {
+		t.Fatalf("term count %d, want %d", len(got.terms), len(seg.terms))
+	}
+	// encodeSegment emits terms sorted; alpha now precedes zeta.
+	if got.terms[0].term != "alpha" || got.terms[1].term != "zeta" {
+		t.Fatalf("terms not sorted: %q, %q", got.terms[0].term, got.terms[1].term)
+	}
+	// Empty Dewey labels decode as nil; normalize before comparing.
+	want := seg.terms[0].postings // "alpha" after the in-place sort
+	if want[2].Dewey != nil && len(want[2].Dewey) == 0 {
+		want[2].Dewey = nil
+	}
+	if !reflect.DeepEqual(got.terms[0].postings, want) {
+		t.Fatalf("postings mismatch:\n got %+v\nwant %+v", got.terms[0].postings, want)
+	}
+
+	// Supersede flag survives.
+	seg2 := sampleSegment()
+	seg2.supersede = true
+	got2, err := decodeSegment(encodeSegment(seg2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got2.supersede {
+		t.Fatal("supersede flag lost")
+	}
+}
+
+func TestSegmentDecodeRejectsCorruption(t *testing.T) {
+	base := encodeSegment(sampleSegment())
+	cases := map[string]func() []byte{
+		"empty": func() []byte { return nil },
+		"short": func() []byte { return base[:segHeaderSize-1] },
+		"bad magic": func() []byte {
+			b := append([]byte(nil), base...)
+			b[0] ^= 0xFF
+			return b
+		},
+		"flipped payload byte": func() []byte {
+			b := append([]byte(nil), base...)
+			b[len(b)-1] ^= 0x01
+			return b
+		},
+		"truncated payload": func() []byte { return base[:len(base)-3] },
+		"trailing garbage":  func() []byte { return append(append([]byte(nil), base...), 0xAB) },
+	}
+	for name, mk := range cases {
+		if _, err := decodeSegment(mk()); err == nil {
+			t.Errorf("%s: decode accepted corrupt input", name)
+		}
+	}
+}
+
+func TestSegmentDecodeRejectsUnsortedPostings(t *testing.T) {
+	seg := sampleSegment()
+	seg.terms = []termPostings{{term: "x", postings: []Posting{
+		{Doc: 5, Node: 4, Dewey: xmltree.DeweyLabel{0}},
+		{Doc: 5, Node: 2, Dewey: xmltree.DeweyLabel{0}},
+	}}}
+	if _, err := decodeSegment(encodeSegment(seg)); err == nil {
+		t.Fatal("decode accepted postings out of (doc, node) order")
+	}
+}
+
+func TestWriteSegmentFileDurability(t *testing.T) {
+	dir := t.TempDir()
+	data := encodeSegment(sampleSegment())
+	path, err := writeSegmentFile(dir, 7, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != segFileName(7) {
+		t.Fatalf("unexpected segment name %s", path)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, data) {
+		t.Fatal("segment file bytes differ from encoded data")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("expected exactly the segment file, found %d entries", len(entries))
+	}
+}

@@ -8,6 +8,7 @@
 package index
 
 import (
+	"cmp"
 	"sort"
 
 	"repro/internal/textutil"
@@ -35,6 +36,21 @@ func New(d *xmltree.Document) *Index {
 	// Posting lists are already sorted because nodes were scanned in
 	// pre-order and each node contributes each term once.
 	return idx
+}
+
+// FromPostings builds an Index from an already-computed postings map
+// (term → ascending node IDs), skipping the pre-order tokenization
+// scan entirely. The global term index uses it on restart to
+// reconstitute per-document indexes from persisted segment postings.
+// The map and its slices are owned by the returned Index afterwards;
+// callers must not mutate them. Every term must already be normalized
+// and every list sorted ascending with no duplicates — exactly the
+// shape New produces.
+func FromPostings(d *xmltree.Document, postings map[string][]xmltree.NodeID) *Index {
+	if postings == nil {
+		postings = make(map[string][]xmltree.NodeID)
+	}
+	return &Index{doc: d, postings: postings}
 }
 
 // Document returns the indexed document.
@@ -152,19 +168,50 @@ outer:
 }
 
 func intersectSorted(a, b []xmltree.NodeID) []xmltree.NodeID {
-	out := a[:0]
+	return IntersectSorted(a[:0], a, b)
+}
+
+// IntersectSorted appends the intersection of two ascending,
+// duplicate-free slices to dst and returns it. Instead of the linear
+// O(n+m) merge, mismatches advance by exponential (galloping) search:
+// when one list is much shorter the cost drops to
+// O(short · log(long)), which is the common shape for posting lists —
+// a rare term intersected against a frequent one. dst may alias a's
+// prefix (the in-place a[:0] idiom) because writes trail reads.
+func IntersectSorted[E cmp.Ordered](dst, a, b []E) []E {
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
 		switch {
 		case a[i] == b[j]:
-			out = append(out, a[i])
+			dst = append(dst, a[i])
 			i++
 			j++
 		case a[i] < b[j]:
-			i++
+			i = gallop(a, i, b[j])
 		default:
-			j++
+			j = gallop(b, j, a[i])
 		}
 	}
-	return out
+	return dst
+}
+
+// gallop returns the smallest k ≥ lo with s[k] ≥ target, assuming
+// s[lo] < target: it doubles a probe step until it overshoots, then
+// binary-searches the last bracketed window. Cost is O(log d) where d
+// is the distance advanced, so tight interleavings degrade gracefully
+// to the linear merge's constant-step behavior.
+func gallop[E cmp.Ordered](s []E, lo int, target E) int {
+	step := 1
+	for lo+step < len(s) && s[lo+step] < target {
+		step <<= 1
+	}
+	// s[lo + step>>1] < target (it was the last accepted probe, or is
+	// s[lo] itself when step == 1), so the answer lies in
+	// [lo + step>>1 + 1, lo+step].
+	l := lo + step>>1 + 1
+	h := lo + step + 1
+	if h > len(s) {
+		h = len(s)
+	}
+	return l + sort.Search(h-l, func(k int) bool { return s[l+k] >= target })
 }

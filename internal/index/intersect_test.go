@@ -1,0 +1,103 @@
+package index
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// naiveIntersect is the reference two-pointer merge the galloping
+// version must agree with.
+func naiveIntersect(a, b []int) []int {
+	var out []int
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			out = append(out, a[i])
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return out
+}
+
+func TestIntersectSortedBasic(t *testing.T) {
+	cases := []struct{ a, b, want []int }{
+		{nil, nil, nil},
+		{[]int{1, 2, 3}, nil, nil},
+		{[]int{1, 3, 5}, []int{2, 4, 6}, nil},
+		{[]int{1, 2, 3}, []int{1, 2, 3}, []int{1, 2, 3}},
+		{[]int{1, 5, 9}, []int{5}, []int{5}},
+		// The galloping case: a tiny list against a long run.
+		{[]int{500, 999}, seq(0, 1000), []int{500, 999}},
+		{seq(0, 1000), []int{0, 999}, []int{0, 999}},
+	}
+	for _, c := range cases {
+		got := IntersectSorted(nil, c.a, c.b)
+		if len(got) == 0 {
+			got = nil
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Fatalf("IntersectSorted(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestIntersectSortedInPlace(t *testing.T) {
+	a := []int{1, 3, 5, 7, 9}
+	b := []int{3, 4, 5, 9, 11}
+	got := IntersectSorted(a[:0], a, b)
+	if !reflect.DeepEqual(got, []int{3, 5, 9}) {
+		t.Fatalf("in-place intersect = %v", got)
+	}
+}
+
+// TestIntersectSortedMatchesNaive drives randomized sorted lists of
+// skewed densities through the galloping merge and checks exact
+// agreement with the two-pointer reference.
+func TestIntersectSortedMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 500; trial++ {
+		a := randomSorted(rng, rng.Intn(80), 200)
+		b := randomSorted(rng, rng.Intn(2000), 2200)
+		want := naiveIntersect(a, b)
+		for _, pair := range [][2][]int{{a, b}, {b, a}} {
+			got := IntersectSorted(nil, pair[0], pair[1])
+			if len(got) == 0 {
+				got = nil
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d: galloping %v vs naive %v\na=%v\nb=%v",
+					trial, got, want, pair[0], pair[1])
+			}
+		}
+	}
+}
+
+func seq(lo, hi int) []int {
+	out := make([]int, 0, hi-lo)
+	for v := lo; v < hi; v++ {
+		out = append(out, v)
+	}
+	return out
+}
+
+// randomSorted returns n distinct ascending ints in [0, max).
+func randomSorted(rng *rand.Rand, n, max int) []int {
+	seen := map[int]bool{}
+	for len(seen) < n {
+		seen[rng.Intn(max)] = true
+	}
+	out := make([]int, 0, n)
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -27,6 +27,7 @@ type EvalCounters struct {
 	cacheMisses   atomic.Uint64
 	joinMemoHits  atomic.Uint64
 	dedupProbes   atomic.Uint64
+	postingPrunes atomic.Uint64
 }
 
 // AddJoins counts n fragment joins (Definition 4 applications).
@@ -87,6 +88,16 @@ func (c *EvalCounters) AddDedupProbes(n uint64) {
 	}
 }
 
+// AddPostingPrunes counts n evaluations (or candidate documents)
+// proven answerless by posting-level label arithmetic — witness-pair
+// lower bounds against pushed anti-monotonic limits — before any
+// fragment was materialized or joined.
+func (c *EvalCounters) AddPostingPrunes(n uint64) {
+	if c != nil {
+		c.postingPrunes.Add(n)
+	}
+}
+
 // AddCacheHits counts n result-cache hits.
 func (c *EvalCounters) AddCacheHits(n uint64) {
 	if c != nil {
@@ -131,6 +142,7 @@ func (c *EvalCounters) Reset() {
 	c.cacheMisses.Store(0)
 	c.joinMemoHits.Store(0)
 	c.dedupProbes.Store(0)
+	c.postingPrunes.Store(0)
 }
 
 // Snapshot reads every counter at once. The reads are individually
@@ -149,6 +161,7 @@ func (c *EvalCounters) Snapshot() CounterSnapshot {
 		CacheMisses:          c.cacheMisses.Load(),
 		JoinMemoHits:         c.joinMemoHits.Load(),
 		DedupProbes:          c.dedupProbes.Load(),
+		PostingPrunes:        c.postingPrunes.Load(),
 	}
 }
 
@@ -164,6 +177,7 @@ type CounterSnapshot struct {
 	CacheMisses          uint64 `json:"cache_misses"`
 	JoinMemoHits         uint64 `json:"join_memo_hits"`
 	DedupProbes          uint64 `json:"dedup_probes"`
+	PostingPrunes        uint64 `json:"posting_prunes"`
 }
 
 // process aggregates fragment joins across every evaluation in the

@@ -58,6 +58,21 @@ const (
 	MReplBootstraps     = "repl_bootstraps_total"
 	MReplStreamsActive  = "repl_streams_active"
 	MReplBytesSent      = "repl_bytes_sent_total"
+
+	// Global term index metrics (internal/gindex). Segment/flush/merge
+	// series describe the persistent index's write path; the prefilter
+	// and replay-reuse series quantify what it saves the read path.
+	MIndexSegments     = "index_segments"
+	MIndexSegmentBytes = "index_segment_bytes"
+	MIndexMemBytes     = "index_memtable_bytes"
+	MIndexDocs         = "index_documents"
+	MIndexFlushes      = "index_flushes_total"
+	MIndexMerges       = "index_merges_total"
+	MIndexRebuilds     = "index_rebuilds_total"
+	MIndexReplayReused = "index_replay_reused_total"
+	MIndexPrefilters   = "index_prefilters_total"
+	MIndexPrunedDocs   = "index_pruned_docs_total"
+	MPostingPrunes     = "posting_prunes_total"
 )
 
 // LatencyBuckets are the fixed upper bounds (seconds) for latency
@@ -302,6 +317,7 @@ func (m *Metrics) RecordEval(s CounterSnapshot, elapsed time.Duration, answers i
 	m.Counter(MPowersetExpansions).Add(s.PowersetExpansions)
 	m.Counter(MFixedPointIterations).Add(s.FixedPointIterations)
 	m.Counter(MFilterPrunes).Add(s.FilterPrunes)
+	m.Counter(MPostingPrunes).Add(s.PostingPrunes)
 	m.Counter(MCacheHits).Add(s.CacheHits)
 	m.Counter(MCacheMisses).Add(s.CacheMisses)
 	m.Histogram(MQuerySeconds, LatencyBuckets).Observe(elapsed.Seconds())

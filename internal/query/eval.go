@@ -275,6 +275,28 @@ func EvaluateContext(ctx context.Context, x *index.Index, q Query, opts Options)
 	stats.Strategy = strategy
 	ec.Span.SetDetail(strategy.String())
 
+	// Posting-level pre-filter (the push-down of Theorem 3 lifted to
+	// witnesses): with structural anti-monotonic bounds in play, the
+	// witness-pair lower bounds — any answer contains one witness per
+	// group plus both paths to their LCA — can prove the answer set
+	// empty straight from the seed nodes, before a single fragment
+	// join. It belongs to the push-down strategy only: the unpushed
+	// strategies stay faithful to their paper semantics, including
+	// refusing with a budget error where materialization is infeasible.
+	if strategy == cost.PushDown {
+		if bounds := q.PushBounds(); bounds.Any() {
+			ppStart := time.Now()
+			sp := ec.Span.Start("posting-prune", "")
+			empty := seedsProveEmpty(doc, seeds, bounds, cost.DefaultPostingPrune())
+			sp.Finish(boolToInt(empty))
+			stats.Stages.Add(obs.StageSelection, time.Since(ppStart))
+			if empty {
+				ec.Counters.AddPostingPrunes(1)
+				return finish(core.NewSet()), nil
+			}
+		}
+	}
+
 	var (
 		answers *core.Set
 		err     error

@@ -1,0 +1,111 @@
+package query
+
+import (
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/filter"
+	"repro/internal/xmltree"
+)
+
+const maxIntValue = int(^uint(0) >> 1)
+
+// seedsProveEmpty applies the witness-pair lower bounds to the seed
+// sets: every answer fragment is connected and contains one witness
+// per group, so for any pair of its witnesses (a, b) with LCA l it
+// also contains l and both root-ward paths, forcing
+//
+//	size    ≥ depth(a) + depth(b) − 2·depth(l) + 1
+//	height  ≥ max(depth(a), depth(b)) − depth(l)
+//	width   ≥ max(id(a), id(b)) − id(l)   (pre-order span; l precedes both)
+//	maxdepth ≥ depth of the group witness it contains
+//
+// If, for some group pair, the minimum of a bounded metric over ALL
+// witness pairs exceeds its pushed limit — or some group's minimum
+// witness depth exceeds the depth limit — no answer can exist and the
+// evaluation finishes empty without materializing anything. The tree's
+// O(1) LCA stands in for the Dewey common prefix (both compute the
+// same depths; the tree adds the LCA's node ID, tightening the width
+// bound). pp caps the per-pair work; infeasible pairs prune nothing.
+func seedsProveEmpty(doc *xmltree.Document, seeds []seedRef, b filter.Bounds, pp cost.PostingPrune) bool {
+	if b.Depth > 0 {
+		for _, s := range seeds {
+			minD := maxIntValue
+			for _, f := range s.set.Fragments() {
+				if d := doc.Depth(f.Root()); d < minD {
+					minD = d
+				}
+			}
+			if minD > b.Depth {
+				return true
+			}
+		}
+	}
+	if !b.Pairwise() || len(seeds) < 2 {
+		return false
+	}
+	for i := 0; i < len(seeds); i++ {
+		for j := i + 1; j < len(seeds); j++ {
+			wi, wj := seeds[i].set.Fragments(), seeds[j].set.Fragments()
+			if !pp.PairFeasible(len(wi), len(wj)) {
+				continue
+			}
+			if witnessPairViolated(doc, wi, wj, b) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// witnessPairViolated reports whether every witness pair across the
+// two groups violates some pushed bound. Each metric's minimum over
+// pairs lower-bounds every answer independently (the answer's own
+// witness pair achieves at least the minimum), so the minima may come
+// from different pairs.
+func witnessPairViolated(doc *xmltree.Document, wi, wj []core.Fragment, b filter.Bounds) bool {
+	minSize, minHeight, minWidth := maxIntValue, maxIntValue, maxIntValue
+	for _, fa := range wi {
+		na := fa.Root()
+		da := doc.Depth(na)
+		for _, fc := range wj {
+			nc := fc.Root()
+			dc := doc.Depth(nc)
+			l := doc.LCA(na, nc)
+			dl := doc.Depth(l)
+			if s := da + dc - 2*dl + 1; s < minSize {
+				minSize = s
+			}
+			h := da
+			if dc > h {
+				h = dc
+			}
+			if h -= dl; h < minHeight {
+				minHeight = h
+			}
+			hi := na
+			if nc > hi {
+				hi = nc
+			}
+			if w := int(hi - l); w < minWidth {
+				minWidth = w
+			}
+		}
+	}
+	if b.Size > 0 && minSize > b.Size {
+		return true
+	}
+	if b.Height > 0 && minHeight > b.Height {
+		return true
+	}
+	if b.Width > 0 && minWidth > b.Width {
+		return true
+	}
+	return false
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -196,6 +196,14 @@ func (q Query) Residual() filter.Filter {
 	return filter.And(rest...)
 }
 
+// PushBounds returns the numeric limits carried by the structural
+// anti-monotonic clauses (size/height/depth/width ≤ N), for the
+// posting-level pre-filters. Composite clauses (And/Or/Not results)
+// carry no bound and contribute nothing.
+func (q Query) PushBounds() filter.Bounds {
+	return filter.BoundsOf(q.Filters...)
+}
+
 // HasPushableFilter reports whether at least one clause is
 // anti-monotonic (i.e. Pushable is not just accept-all).
 func (q Query) HasPushableFilter() bool {

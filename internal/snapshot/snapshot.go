@@ -87,6 +87,19 @@ func write(w io.Writer, docs []*xmltree.Document) error {
 
 // ReadDocuments loads every document from a snapshot.
 func ReadDocuments(r io.Reader) ([]*xmltree.Document, error) {
+	return readDocuments(r, false)
+}
+
+// ReadDocumentsDeferred loads documents with keyword derivation
+// deferred (xmltree.Builder.BuildDeferred): the caller must finish or
+// install keywords before searching them. Store recovery uses this so
+// snapshotted documents covered by the persistent term index skip
+// tokenization.
+func ReadDocumentsDeferred(r io.Reader) ([]*xmltree.Document, error) {
+	return readDocuments(r, true)
+}
+
+func readDocuments(r io.Reader, deferred bool) ([]*xmltree.Document, error) {
 	dec := gob.NewDecoder(bufio.NewReader(r))
 	var h header
 	if err := dec.Decode(&h); err != nil {
@@ -107,7 +120,7 @@ func ReadDocuments(r io.Reader) ([]*xmltree.Document, error) {
 		if err := dec.Decode(&rec); err != nil {
 			return nil, fmt.Errorf("snapshot: read document %d: %w", i, err)
 		}
-		d, err := rebuild(rec)
+		d, err := rebuild(rec, deferred)
 		if err != nil {
 			return nil, fmt.Errorf("snapshot: document %d (%s): %w", i, rec.Name, err)
 		}
@@ -131,7 +144,7 @@ func ReadCollection(r io.Reader) (*collection.Collection, error) {
 	return c, nil
 }
 
-func rebuild(rec docRecord) (*xmltree.Document, error) {
+func rebuild(rec docRecord, deferred bool) (*xmltree.Document, error) {
 	n := len(rec.Tags)
 	if n == 0 || len(rec.Texts) != n || len(rec.Parents) != n-1 {
 		return nil, fmt.Errorf("inconsistent record (tags=%d texts=%d parents=%d)",
@@ -148,6 +161,9 @@ func rebuild(rec docRecord) (*xmltree.Document, error) {
 		if err := safeAdd(b, xmltree.NodeID(p), rec.Tags[i], rec.Texts[i]); err != nil {
 			return nil, err
 		}
+	}
+	if deferred {
+		return b.BuildDeferred(), nil
 	}
 	return b.Build(), nil
 }
@@ -218,4 +234,15 @@ func LoadFile(path string) ([]*xmltree.Document, error) {
 	}
 	defer f.Close()
 	return ReadDocuments(f)
+}
+
+// LoadFileDeferred is LoadFile with keyword derivation deferred (see
+// ReadDocumentsDeferred).
+func LoadFileDeferred(path string) ([]*xmltree.Document, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadDocumentsDeferred(f)
 }

@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"sort"
 
+	"repro/internal/gindex"
 	"repro/internal/obs"
 	"repro/internal/snapshot"
 	"repro/internal/xmltree"
@@ -152,6 +153,16 @@ func (s *Store) applyReplicatedRecord(rec walRecord) error {
 			return fmt.Errorf("store: replicated doc %q: %w", rec.name, err)
 		}
 		sh := s.shardFor(rec.name)
+		// Index before the collection swap so the prefilter never
+		// misses the incoming document. For a replace this opens a
+		// moment where the index describes the new revision while the
+		// collection still serves the old one — a prefilter may then
+		// transiently skip the document mid-swap, which is within the
+		// replica's staleness model (the answer matches a query landing
+		// an instant later).
+		if s.gidx != nil {
+			s.gidx.Shard(s.ShardIndex(rec.name)).Put(doc, gindex.HashDoc(doc))
+		}
 		replaced := sh.Remove(rec.name)
 		if err := sh.Add(doc); err != nil {
 			return err
@@ -162,6 +173,9 @@ func (s *Store) applyReplicatedRecord(rec walRecord) error {
 	case walOpRemove:
 		if s.shardFor(rec.name).Remove(rec.name) {
 			s.metrics.Gauge(obs.MStoreDocuments).Add(-1)
+		}
+		if s.gidx != nil {
+			s.gidx.Shard(s.ShardIndex(rec.name)).Remove(rec.name)
 		}
 	default:
 		return fmt.Errorf("store: replicated record has unknown op %d", rec.op)
@@ -194,6 +208,13 @@ func (s *Store) ReplaceAll(docs []*xmltree.Document) error {
 	s.ingestMu.Lock()
 	defer s.ingestMu.Unlock()
 	for i, sh := range s.shards {
+		if s.gidx != nil {
+			hashes := make([]uint64, len(perShard[i]))
+			for j, d := range perShard[i] {
+				hashes[j] = gindex.HashDoc(d)
+			}
+			s.gidx.Shard(i).ResetAll(perShard[i], hashes)
+		}
 		if err := sh.SetAll(perShard[i]); err != nil {
 			return fmt.Errorf("store: bootstrap shard %d: %w", i, err)
 		}

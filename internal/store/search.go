@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/collection"
+	"repro/internal/cost"
 	"repro/internal/obs"
 	"repro/internal/query"
 )
@@ -66,22 +67,36 @@ func (s *Store) Run(ctx context.Context, q query.Query, opts query.Options, k in
 			if ssp != nil {
 				ssp.SetAttr("queue_wait", time.Since(spawned).String())
 			}
-			shardResults[i], shardErrs[i] = sh.RunContext(obs.ContextWithSpan(ctx, ssp), q, opts)
+			shardCtx := obs.ContextWithSpan(ctx, ssp)
+			// Posting-first selection: the shard's term index proves
+			// most documents answerless before any evaluation runs.
+			// Skipped during replay (the index may not yet cover every
+			// already-searchable document) and when the query carries no
+			// term groups for the index to work with.
+			if s.gidx != nil && !s.replaying.Load() {
+				psp := ssp.Start("posting-prefilter", "")
+				cand := s.gidx.Shard(i).Candidates(q, cost.DefaultPostingPrune())
+				psp.Finish(len(cand.Names))
+				if cand.Consulted {
+					s.metrics.Counter(obs.MIndexPrefilters).Add(1)
+					if pruned := cand.Total - len(cand.Names); pruned > 0 {
+						s.metrics.Counter(obs.MIndexPrunedDocs).Add(uint64(pruned))
+					}
+					shardResults[i], shardErrs[i] = sh.RunContextOn(shardCtx, q, opts, cand.Names)
+					hits := 0
+					if shardResults[i] != nil {
+						hits = len(shardResults[i].Hits)
+						s.observeShardStages(i, shardResults[i])
+					}
+					ssp.Finish(hits)
+					return
+				}
+			}
+			shardResults[i], shardErrs[i] = sh.RunContext(shardCtx, q, opts)
 			hits := 0
 			if shardResults[i] != nil {
 				hits = len(shardResults[i].Hits)
-				// Attribute this shard's kernel stage time under the
-				// store registry's {shard,stage} series (precomputed
-				// names; nothing allocates here when unsampled).
-				var stages obs.StageTimings
-				for _, st := range shardResults[i].PerDocument {
-					stages.Merge(st.Stages)
-				}
-				for stage, ns := range stages {
-					if ns > 0 {
-						s.metrics.Histogram(s.shardStageSeries[i][stage], obs.LatencyBuckets).Observe(time.Duration(ns).Seconds())
-					}
-				}
+				s.observeShardStages(i, shardResults[i])
 			}
 			ssp.Finish(hits)
 		}(i, sh, ssp)
@@ -143,6 +158,21 @@ func (s *Store) Run(ctx context.Context, q query.Query, opts query.Options, k in
 		s.metrics.Counter(obs.MSearchDeadline).Add(1)
 	}
 	return out, nil
+}
+
+// observeShardStages attributes one shard's kernel stage time under
+// the store registry's {shard,stage} series (precomputed names;
+// nothing allocates here when unsampled).
+func (s *Store) observeShardStages(i int, sr *collection.Result) {
+	var stages obs.StageTimings
+	for _, st := range sr.PerDocument {
+		stages.Merge(st.Stages)
+	}
+	for stage, ns := range stages {
+		if ns > 0 {
+			s.metrics.Histogram(s.shardStageSeries[i][stage], obs.LatencyBuckets).Observe(time.Duration(ns).Seconds())
+		}
+	}
 }
 
 // betterHit orders hits the way the merged list presents them:

@@ -29,6 +29,7 @@ import (
 
 	"repro/internal/collection"
 	"repro/internal/engine"
+	"repro/internal/gindex"
 	"repro/internal/obs"
 	"repro/internal/snapshot"
 	"repro/internal/xmltree"
@@ -87,6 +88,22 @@ type Options struct {
 	// are immutable: replacing a document swaps in a fresh engine with
 	// a fresh cache, so stale answers cannot survive a replace.
 	CacheEntries int
+	// IndexDir enables the persistent global term index
+	// (internal/gindex): per-shard segment files of term → (doc, Dewey
+	// label) postings. On restart, documents covered by segments skip
+	// re-tokenization, and searches prune documents by posting-list
+	// arithmetic before any per-document evaluation. Requires Dir (the
+	// index is a cache of the WAL; without a log to rebuild from, a
+	// stale index could outlive its documents).
+	IndexDir string
+	// IndexFlushBytes is the per-shard memtable budget before the term
+	// index flushes a segment (default gindex.DefaultFlushBytes).
+	IndexFlushBytes int64
+	// MemoryIndex enables an in-memory (segment-less) global term
+	// index: same posting-first pruning, no files. This is the replica
+	// configuration — followers build it from the replicated WAL
+	// stream. Ignored when IndexDir is set.
+	MemoryIndex bool
 }
 
 // walShard is one shard's write-ahead log plus its replication
@@ -149,6 +166,17 @@ type Store struct {
 	// different shards never contend.
 	wals []*walShard
 
+	// gidx is the global term index (nil unless Options.IndexDir or
+	// MemoryIndex). Mutations keep it ahead of the collections: a
+	// document is Put before it becomes searchable and removed from the
+	// collection before its index entry dies, so posting-first
+	// candidate lists may name documents the collection no longer (or
+	// not yet) holds — skipped harmlessly — but never miss a live one.
+	gidx *gindex.Index
+	// replaySrc holds, per shard, the one-shot replay view of the term
+	// index segments; non-nil only during recovery.
+	replaySrc []*gindex.ReplaySource
+
 	metrics *obs.Metrics
 	// recorder is the flight recorder sampled traces report into; set
 	// once by SetTraceRecorder (atomic: ingest workers started in Open
@@ -182,6 +210,9 @@ type Store struct {
 // to drain the ingest queue and sync the WAL.
 func Open(opts Options) (*Store, error) {
 	opts.setDefaults()
+	if opts.IndexDir != "" && opts.Dir == "" {
+		return nil, errors.New("store: IndexDir requires Dir (the term index is a cache of the WAL)")
+	}
 	s := &Store{
 		opts:    opts,
 		shards:  make([]*collection.Collection, opts.Shards),
@@ -201,6 +232,19 @@ func Open(opts Options) (*Store, error) {
 		s.shardStageSeries[i] = make([]string, obs.NumStages)
 		for st := obs.Stage(0); st < obs.NumStages; st++ {
 			s.shardStageSeries[i][st] = obs.StageSeriesName(st, i)
+		}
+	}
+	if opts.IndexDir != "" || opts.MemoryIndex {
+		gi, err := openGIndex(opts, s.metrics)
+		if err != nil {
+			return nil, err
+		}
+		s.gidx = gi
+		if gi.Persistent() {
+			s.replaySrc = make([]*gindex.ReplaySource, opts.Shards)
+			for i := range s.replaySrc {
+				s.replaySrc[i] = gi.Shard(i).ReplaySource()
+			}
 		}
 	}
 	if opts.Dir != "" {
@@ -240,6 +284,23 @@ func Open(opts Options) (*Store, error) {
 		go s.ingestWorker()
 	}
 	return s, nil
+}
+
+// openGIndex opens the global term index, treating a corrupt
+// persistent index as a cache miss: the segments are wiped and the
+// postings rebuilt from the replayed documents. Only an unreadable
+// directory (not corrupt contents) fails the store open.
+func openGIndex(opts Options, m *obs.Metrics) (*gindex.Index, error) {
+	gopts := gindex.Options{Dir: opts.IndexDir, Shards: opts.Shards, FlushBytes: opts.IndexFlushBytes, Metrics: m}
+	gi, err := gindex.Open(gopts)
+	if err == nil || gopts.Dir == "" {
+		return gi, err
+	}
+	if werr := gindex.Wipe(gopts.Dir); werr != nil {
+		return nil, fmt.Errorf("store: wipe corrupt term index: %w", werr)
+	}
+	m.Counter(obs.MIndexRebuilds).Add(1)
+	return gindex.Open(gopts)
 }
 
 // walMeta is the JSON sidecar persisting each shard's compaction
@@ -328,12 +389,15 @@ func (s *Store) recover() error {
 	}
 	snapPath := filepath.Join(s.opts.Dir, snapshotFile)
 	if _, err := os.Stat(snapPath); err == nil {
-		docs, err := snapshot.LoadFile(snapPath)
+		// Keyword derivation is deferred: addRecovered installs keywords
+		// from persisted postings when the term index covers a document,
+		// and tokenizes only otherwise.
+		docs, err := snapshot.LoadFileDeferred(snapPath)
 		if err != nil {
 			return fmt.Errorf("store: load snapshot: %w", err)
 		}
 		for _, d := range docs {
-			if err := s.shardFor(d.Name()).Add(d); err != nil {
+			if err := s.addRecovered(d); err != nil {
 				return fmt.Errorf("store: snapshot: %w", err)
 			}
 		}
@@ -377,7 +441,65 @@ func (s *Store) recover() error {
 	s.metrics.Counter(obs.MWALReplayed).Add(uint64(totalReplayed))
 	s.metrics.Counter(obs.MWALCorruptSkipped).Add(uint64(totalCorrupt))
 	s.metrics.Gauge(obs.MWALBytes).Set(totalBytes)
+	s.reconcileIndex()
 	return nil
+}
+
+// addRecovered adds one replayed document (from the snapshot or a WAL
+// record), arriving keyword-deferred: when the term index's persisted
+// postings cover this exact document — the cold-start fast path — its
+// keywords AND its inverted index are reconstituted from the postings
+// (no tokenization at all); otherwise keyword derivation is finished
+// here and the document indexed into the term index. Duplicate names
+// error exactly like collection.Add.
+func (s *Store) addRecovered(doc *xmltree.Document) error {
+	name := doc.Name()
+	i := s.ShardIndex(name)
+	sh := s.shards[i]
+	if s.gidx == nil {
+		doc.FinishKeywords()
+		return sh.Add(doc)
+	}
+	h := gindex.HashDoc(doc)
+	if s.replaySrc != nil {
+		if postings, ok := s.replaySrc[i].Take(name, h, doc.Len()); ok {
+			doc.InstallKeywords(gindex.KeywordsFromPostings(doc.Len(), postings))
+			if err := sh.AddWithPostings(doc, postings); err != nil {
+				return err
+			}
+			s.metrics.Counter(obs.MIndexReplayReused).Add(1)
+			return nil
+		}
+	}
+	doc.FinishKeywords()
+	if err := sh.Add(doc); err != nil {
+		return err
+	}
+	s.gidx.Shard(i).Put(doc, h)
+	return nil
+}
+
+// reconcileIndex runs at the end of recovery: term-index entries whose
+// documents did not survive the replay are removed (a crash can lose
+// an unflushed tombstone while its WAL remove record survives), and
+// the reconciled state is flushed so the next restart replays straight
+// from segments. Flush failure degrades durability, not correctness —
+// uncovered documents simply re-tokenize next time — so it does not
+// fail recovery.
+func (s *Store) reconcileIndex() {
+	if s.gidx == nil {
+		return
+	}
+	for i, sh := range s.shards {
+		gsh := s.gidx.Shard(i)
+		for _, name := range gsh.LiveNames() {
+			if sh.Engine(name) == nil {
+				gsh.Remove(name)
+			}
+		}
+	}
+	s.replaySrc = nil
+	_ = s.gidx.Flush()
 }
 
 // migrateLegacyWAL replays a pre-sharding wal.log (if present) into
@@ -427,19 +549,22 @@ func (s *Store) migrateLegacyWAL() (replayed, corrupt int, err error) {
 func (s *Store) applyWALRecord(rec walRecord) error {
 	switch rec.op {
 	case walOpAdd:
-		doc, err := xmltree.ParseString(rec.name, rec.xml)
+		doc, err := xmltree.ParseStringDeferred(rec.name, rec.xml)
 		if err != nil {
 			// The record passed its checksum, so this is a logged
 			// document the current parser rejects — surface it rather
 			// than silently dropping acknowledged data.
 			return fmt.Errorf("store: replay %q: %w", rec.name, err)
 		}
-		if err := s.shardFor(rec.name).Add(doc); err != nil {
+		if err := s.addRecovered(doc); err != nil {
 			// Duplicate of a snapshotted document (see recover).
 			return nil
 		}
 	case walOpRemove:
 		s.shardFor(rec.name).Remove(rec.name)
+		if s.gidx != nil {
+			s.gidx.Shard(s.ShardIndex(rec.name)).Remove(rec.name)
+		}
 	}
 	return nil
 }
@@ -461,6 +586,10 @@ func (s *Store) ShardIndex(name string) int {
 
 // Shards returns the number of shards.
 func (s *Store) Shards() int { return len(s.shards) }
+
+// TermIndex returns the global term index, or nil when the store runs
+// without one (no IndexDir/MemoryIndex option).
+func (s *Store) TermIndex() *gindex.Index { return s.gidx }
 
 // Metrics returns the store-level registry (ingest, WAL, compaction
 // and search metrics). Per-shard engine metrics live in ShardMetrics.
@@ -527,7 +656,23 @@ func (s *Store) addParsed(name, xml string, doc *xmltree.Document) error {
 	if err := s.logRecord(walRecord{op: walOpAdd, name: name, xml: xml}); err != nil {
 		return err
 	}
+	// Term index before collection: from the moment the document is
+	// searchable, posting-first selection can see it. The reverse order
+	// would open a window where a prefilter wrongly prunes a live
+	// document.
+	if s.gidx != nil {
+		s.gidx.Shard(s.ShardIndex(name)).Put(doc, gindex.HashDoc(doc))
+	}
 	if err := sh.Add(doc); err != nil {
+		// A concurrent add of the same name won the race (both passed
+		// the duplicate check under the shared read lock). Re-point the
+		// index entry at the winner's document.
+		if s.gidx != nil {
+			if eng := sh.Engine(name); eng != nil {
+				winner := eng.Document()
+				s.gidx.Shard(s.ShardIndex(name)).Put(winner, gindex.HashDoc(winner))
+			}
+		}
 		return err
 	}
 	s.metrics.Gauge(obs.MStoreDocuments).Add(1)
@@ -543,6 +688,11 @@ func (s *Store) Remove(name string) bool {
 	defer s.ingestMu.RUnlock()
 	if !s.shardFor(name).Remove(name) {
 		return false
+	}
+	// Collection first, index second: in between, a prefilter may list
+	// the name as a candidate, which the evaluation skips as unknown.
+	if s.gidx != nil {
+		s.gidx.Shard(s.ShardIndex(name)).Remove(name)
 	}
 	s.metrics.Gauge(obs.MStoreDocuments).Add(-1)
 	// Log after the in-memory remove: a crash in between replays the
@@ -653,6 +803,12 @@ func (s *Store) compactLocked() error {
 	}
 	s.metrics.Counter(obs.MCompactions).Add(1)
 	s.metrics.Gauge(obs.MWALBytes).Set(0)
+	// Best-effort: keep the term index's segment coverage at least as
+	// fresh as the snapshot that just truncated the logs, so cold-start
+	// reuse keeps pace with compaction.
+	if s.gidx != nil && s.gidx.Persistent() {
+		_ = s.gidx.Flush()
+	}
 	return nil
 }
 
@@ -786,6 +942,11 @@ func (s *Store) Close(ctx context.Context) error {
 			ws.w = nil
 		}
 		ws.mu.Unlock()
+	}
+	if s.gidx != nil {
+		if err := s.gidx.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
 	}
 	return firstErr
 }

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -91,9 +92,14 @@ func replayWAL(r io.ReadSeeker, apply func(walRecord) error) (replayed int, good
 	if _, err := r.Seek(0, io.SeekStart); err != nil {
 		return 0, 0, 0, err
 	}
+	// Buffer the scan: records are small, so reading the file two
+	// syscalls at a time dominates cold start on large logs. Callers
+	// reposition the underlying file by offset afterwards, so the
+	// buffer's read-ahead is harmless.
+	br := bufio.NewReaderSize(r, 512<<10)
 	var hdr [8]byte
 	for {
-		_, err := io.ReadFull(r, hdr[:])
+		_, err := io.ReadFull(br, hdr[:])
 		if err == io.EOF {
 			return replayed, good, corrupt, nil
 		}
@@ -106,7 +112,7 @@ func replayWAL(r io.ReadSeeker, apply func(walRecord) error) (replayed int, good
 			return replayed, good, corrupt + 1, nil
 		}
 		payload := make([]byte, length)
-		if _, err := io.ReadFull(r, payload); err != nil {
+		if _, err := io.ReadFull(br, payload); err != nil {
 			return replayed, good, corrupt + 1, nil
 		}
 		if crc32.ChecksumIEEE(payload) != sum {

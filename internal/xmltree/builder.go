@@ -85,6 +85,20 @@ func (b *Builder) Len() int { return len(b.parent) }
 // sets, term statistics and the LCA table. The Builder must not be used
 // afterwards.
 func (b *Builder) Build() *Document {
+	d := b.BuildDeferred()
+	d.FinishKeywords()
+	return d
+}
+
+// BuildDeferred finalizes the tree structure — subtree intervals and
+// the LCA table — but leaves per-node keyword derivation pending. The
+// caller must invoke FinishKeywords (tokenize) or InstallKeywords
+// (adopt precomputed lists) before the document is searched; until
+// then only the structural accessors (Parent, Tag, Text, Depth,
+// Dewey, …) are valid. WAL replay uses this split to skip
+// tokenization entirely for documents whose postings the persistent
+// term index already holds.
+func (b *Builder) BuildDeferred() *Document {
 	if b.done {
 		panic("xmltree: Build called twice")
 	}
@@ -112,7 +126,19 @@ func (b *Builder) Build() *Document {
 		}
 		d.postEnd[v] = end
 	}
-	for v := 0; v < n; v++ {
+	d.lca = buildLCATable(d)
+	return d
+}
+
+// FinishKeywords derives keywords(n) for every node — tokenize tag and
+// text, drop stop words, sort, deduplicate — the second half of Build.
+// No-op on a document whose keywords are already populated.
+func (d *Document) FinishKeywords() {
+	if d.kwDone {
+		return
+	}
+	d.kwDone = true
+	for v := 0; v < len(d.keywords); v++ {
 		toks := textutil.Tokenize(d.tags[v])
 		toks = append(toks, textutil.Tokenize(d.texts[v])...)
 		toks = textutil.RemoveStopwords(toks)
@@ -121,8 +147,30 @@ func (b *Builder) Build() *Document {
 		toks = dedupSorted(toks)
 		d.keywords[v] = toks
 	}
-	d.lca = buildLCATable(d)
-	return d
+}
+
+// InstallKeywords adopts precomputed per-node keyword lists on a
+// deferred document — each list sorted and duplicate-free, exactly as
+// FinishKeywords would produce (the term index's postings were derived
+// from those lists, so inverting them reconstructs the originals
+// bit-for-bit). Term statistics are rebuilt presence-based: per-node
+// duplicate occurrences collapse to one, which leaves every
+// search-visible structure identical and only the informational
+// Stats() totals approximate. It panics on a length mismatch or a
+// document whose keywords are already populated — both are caller
+// bugs, not data conditions.
+func (d *Document) InstallKeywords(kw [][]string) {
+	if d.kwDone {
+		panic("xmltree: InstallKeywords on a built document")
+	}
+	if len(kw) != len(d.keywords) {
+		panic(fmt.Sprintf("xmltree: InstallKeywords got %d node lists, document has %d nodes", len(kw), len(d.keywords)))
+	}
+	d.kwDone = true
+	d.keywords = kw
+	for v := range kw {
+		d.stats.Add(kw[v]...)
+	}
 }
 
 func dedupSorted(s []string) []string {

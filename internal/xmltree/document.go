@@ -29,8 +29,11 @@ type Document struct {
 	tags  []string
 	texts []string
 
-	// keywords(n), sorted per node for binary-search membership.
+	// keywords(n), sorted per node for binary-search membership. kwDone
+	// marks them populated; a BuildDeferred document is structurally
+	// complete but keyword-less until FinishKeywords or InstallKeywords.
 	keywords [][]string
+	kwDone   bool
 
 	lca *lcaTable
 

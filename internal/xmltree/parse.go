@@ -19,6 +19,31 @@ var ErrNoRoot = errors.New("xmltree: document has no root element")
 // ignored. Content after the root element's close is an error, matching
 // the single-rooted tree of Definition 1.
 func Parse(name string, r io.Reader) (*Document, error) {
+	b, err := parseToBuilder(name, r)
+	if err != nil {
+		return nil, err
+	}
+	return b.Build(), nil
+}
+
+// ParseDeferred parses like Parse but returns a keyword-deferred
+// document (see Builder.BuildDeferred): structure and LCA table built,
+// tokenization pending. WAL replay uses it so documents covered by the
+// persistent term index never pay per-node tokenization.
+func ParseDeferred(name string, r io.Reader) (*Document, error) {
+	b, err := parseToBuilder(name, r)
+	if err != nil {
+		return nil, err
+	}
+	return b.BuildDeferred(), nil
+}
+
+// ParseStringDeferred is ParseDeferred over a string.
+func ParseStringDeferred(name, s string) (*Document, error) {
+	return ParseDeferred(name, strings.NewReader(s))
+}
+
+func parseToBuilder(name string, r io.Reader) (*Builder, error) {
 	dec := xml.NewDecoder(r)
 	var (
 		b     *Builder
@@ -73,7 +98,7 @@ func Parse(name string, r io.Reader) (*Document, error) {
 	if len(stack) != 0 {
 		return nil, fmt.Errorf("xmltree: parse %s: unexpected EOF inside element", name)
 	}
-	return b.Build(), nil
+	return b, nil
 }
 
 // ParseString parses an XML document held in a string.
