@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check race cover bench bench-json bench-compare fuzz fuzz-smoke repl-integration index-integration experiments tools clean
+.PHONY: all build test check race cover bench bench-json bench-compare fuzz fuzz-smoke repl-integration index-integration watch-integration experiments tools clean
 
 all: build check
 
@@ -49,6 +49,7 @@ bench-json:
 	( $(GO) test -run xxx -bench . -benchtime $(BENCHTIME) ./internal/core/ && \
 	  $(GO) test -run xxx -bench BenchmarkTraceOverhead -benchtime $(BENCHTIME) ./internal/query/ && \
 	  $(GO) test -run xxx -bench BenchmarkPostingSelection -benchtime $(BENCHTIME) ./internal/gindex/ && \
+	  $(GO) test -run xxx -bench BenchmarkStandingDelta -benchtime $(BENCHTIME) ./internal/standing/ && \
 	  $(GO) test -run xxx -bench . -benchtime 1x ./internal/bench/ ) \
 		| $(GO) run ./cmd/benchjson parse > BENCH_core.json
 
@@ -93,6 +94,17 @@ repl-integration:
 index-integration:
 	$(GO) test -race -count=1 ./internal/gindex/
 	$(GO) test -race -count=1 -run 'Index|ColdStart|PostingFirst' ./internal/store/
+
+# watch-integration runs the standing-query subsystem under the race
+# detector: subscription lifecycle, delta/reset semantics, the
+# byte-identity soak (materialized view vs from-scratch evaluation),
+# slow-consumer backpressure over SSE, the search fast path served
+# from materialized views, and the watch-on-replica path fed by the
+# replication stream.
+watch-integration:
+	$(GO) test -race -count=1 ./internal/standing/
+	$(GO) test -race -count=1 -run 'Watch|Manifest|FastPath|LegacyAPI' ./internal/httpapi/
+	$(GO) test -race -count=1 -run 'FacadeWatch' .
 
 experiments:
 	$(GO) run ./cmd/xfragbench -exp all

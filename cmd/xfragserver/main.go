@@ -7,11 +7,13 @@
 //	xfragserver -paper -addr :8080          # serve the Figure 1 document
 //	xfragserver -data-dir /var/lib/xfrag -shards 8 -ingest-workers 4
 //
-// Endpoints (the un-versioned /api/* aliases still work but respond
-// with a Deprecation header — build against /api/v1):
+// Endpoints (the retired un-versioned /api/* aliases are gone by
+// default; -legacy-api re-mounts them with a Deprecation header —
+// build against /api/v1):
 //
 //	GET  /healthz                 liveness (process is up)
 //	GET  /readyz                  readiness (503 during WAL replay / queue saturation)
+//	GET  /api/v1                  machine-readable route manifest (method, path, params, deprecation)
 //	GET  /api/v1/docs
 //	POST /api/v1/docs             {"name": "...", "xml": "<...>"}
 //	POST /api/v1/docs?async=1     202 + job ID; 429 when the ingest queue is full
@@ -19,9 +21,20 @@
 //	GET  /api/v1/search?q=xquery+optimization&filter=size<=3&limit=10&offset=0&timeout=250ms
 //	GET  /api/v1/explain?q=...&filter=...&strategy=push-down&trace=1
 //	GET  /api/v1/metrics          (JSON; ?format=prom for Prometheus text)
+//	POST /api/v1/watch            register a standing query → {"id","seq"} + snapshot
+//	GET  /api/v1/watch            list standing queries
+//	GET  /api/v1/watch/{id}       resumable SSE delta stream (Accept: text/event-stream) or long-poll (?since=seq&wait=20s; ?snapshot=1)
+//	DEL  /api/v1/watch/{id}       cancel a standing query
 //	GET  /api/v1/debug/slow       slow-query flight recorder (traced requests over -slow-query)
 //	GET  /api/v1/debug/inflight   traces currently executing, with live durations
 //	GET  /api/v1/debug/trace/{id} every recorded trace for one 32-hex-digit trace ID
+//
+// Standing queries (-max-subscriptions, -watch-buffer): POST
+// /api/v1/watch compiles the query once and materializes its answer
+// set; every subsequent ingest/replace/delete re-runs the algebra on
+// only the affected document and streams precise add/update/remove
+// deltas with per-subscription sequence numbers. Works on replicas
+// too, fed by the replication stream.
 //
 // Tracing: -trace-sample records a fraction of requests as structured
 // span trees in a bounded in-memory flight recorder; any single
@@ -105,6 +118,9 @@ func main() {
 	traceSample := flag.Float64("trace-sample", 0, "fraction of requests (0..1] traced into the flight recorder; 0 samples none (requests can still force a trace with ?trace=1 or a sampled Traceparent header)")
 	slowQuery := flag.Duration("slow-query", 250*time.Millisecond, "traced requests at or over this duration land in the slow-query ring at /api/v1/debug/slow")
 	traceBuffer := flag.Int("trace-buffer", 128, "flight recorder ring capacity (recent and slow rings each hold this many traces)")
+	maxSubscriptions := flag.Int("max-subscriptions", 0, "cap on registered standing queries (/api/v1/watch); 0 means 64, negative disables the watch API")
+	watchBuffer := flag.Int("watch-buffer", 0, "per-subscription event-ring capacity for resumable watch streams; 0 means 256")
+	legacyAPI := flag.Bool("legacy-api", false, "re-mount the retired un-versioned /api/* aliases (deprecated; they answer with a Deprecation header)")
 	quiet := flag.Bool("quiet", false, "disable the structured request log on stderr")
 	flag.Parse()
 	if *traceSample < 0 || *traceSample > 1 {
@@ -153,6 +169,9 @@ func main() {
 		SlowQueryThreshold: *slowQuery,
 		TraceBuffer:        *traceBuffer,
 		Recorder:           recorder,
+		MaxSubscriptions:   *maxSubscriptions,
+		WatchBuffer:        *watchBuffer,
+		LegacyAPI:          *legacyAPI,
 	}
 
 	// The signal context is created before the backend so the

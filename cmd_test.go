@@ -180,7 +180,7 @@ func TestCLIServer(t *testing.T) {
 	}
 	resp.Body.Close()
 
-	resp, err = http.Get("http://127.0.0.1:18472/api/search?q=xquery+optimization&filter=size%3C%3D3")
+	resp, err = http.Get("http://127.0.0.1:18472/api/v1/search?q=xquery+optimization&filter=size%3C%3D3")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -88,7 +88,7 @@ func TestEndToEndHTTP(t *testing.T) {
 
 	// Upload a second document over the wire.
 	body := `{"name":"wire.xml","xml":"<doc><p>xquery optimization pairs</p></doc>"}`
-	resp, err := http.Post(srv.URL+"/api/docs", "application/json", strings.NewReader(body))
+	resp, err := http.Post(srv.URL+"/api/v1/docs", "application/json", strings.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +98,7 @@ func TestEndToEndHTTP(t *testing.T) {
 	}
 
 	// Search across both.
-	resp, err = http.Get(srv.URL + "/api/search?q=xquery+optimization&filter=size%3C%3D3")
+	resp, err = http.Get(srv.URL + "/api/v1/search?q=xquery+optimization&filter=size%3C%3D3")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -24,6 +24,29 @@ import (
 	"repro/internal/xmltree"
 )
 
+// ChangeKind classifies one mutation of a collection's contents.
+type ChangeKind int
+
+const (
+	// ChangeUpsert is a document added or replaced; Name identifies it.
+	ChangeUpsert ChangeKind = iota
+	// ChangeRemove is a document removed; Name identifies it.
+	ChangeRemove
+	// ChangeReset is a wholesale contents swap (SetAll): every
+	// document may have changed, so consumers must re-derive any view
+	// instead of applying per-document deltas. Name is empty.
+	ChangeReset
+)
+
+// Change is one entry of the collection's change feed: the minimal
+// fact a view maintainer needs ("this name changed", not the payload —
+// the consumer looks up the current engine at apply time, which makes
+// dropped intermediate notifications harmless).
+type Change struct {
+	Kind ChangeKind
+	Name string
+}
+
 // Collection is a set of named, indexed documents. Add documents
 // first, then query; Add and Search must not run concurrently with
 // each other, but any number of Searches may run in parallel.
@@ -38,6 +61,10 @@ type Collection struct {
 	// cacheEntries is the per-document result-cache capacity applied
 	// to every engine (0 disables; see SetResultCache).
 	cacheEntries int
+	// listener, when set, observes every mutation (see
+	// SetChangeListener). Called under the write lock, so mutation
+	// order and notification order agree.
+	listener func(Change)
 }
 
 // New returns an empty collection. Every engine it creates shares one
@@ -64,6 +91,24 @@ func (c *Collection) SetSearchWorkers(n int) {
 		n = 0
 	}
 	c.workers = n
+}
+
+// SetChangeListener registers fn to observe every subsequent mutation
+// of the collection's contents: an upsert or remove per document, or a
+// reset after SetAll. fn runs under the collection's write lock — it
+// MUST be fast and non-blocking (hand the change to a queue) and must
+// not call back into the collection. One listener; nil unregisters.
+func (c *Collection) SetChangeListener(fn func(Change)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.listener = fn
+}
+
+// notifyLocked fires the change listener. Caller holds the write lock.
+func (c *Collection) notifyLocked(ch Change) {
+	if c.listener != nil {
+		c.listener(ch)
+	}
 }
 
 // SetResultCache sets the per-document result-cache capacity (in
@@ -99,6 +144,7 @@ func (c *Collection) Add(doc *xmltree.Document) error {
 	}
 	c.engines[name] = eng
 	c.order = append(c.order, name)
+	c.notifyLocked(Change{Kind: ChangeUpsert, Name: name})
 	return nil
 }
 
@@ -118,6 +164,7 @@ func (c *Collection) AddWithPostings(doc *xmltree.Document, postings map[string]
 	}
 	c.engines[name] = eng
 	c.order = append(c.order, name)
+	c.notifyLocked(Change{Kind: ChangeUpsert, Name: name})
 	return nil
 }
 
@@ -157,8 +204,38 @@ func (c *Collection) SetAll(docs []*xmltree.Document) error {
 	c.mu.Lock()
 	c.engines = engines
 	c.order = order
+	// A swap invalidates every per-document delta a watcher may have
+	// derived: signal a reset so views re-snapshot instead of silently
+	// diverging.
+	c.notifyLocked(Change{Kind: ChangeReset})
 	c.mu.Unlock()
 	return nil
+}
+
+// Replace installs doc under its name, replacing any existing document
+// atomically: the new engine is indexed outside the lock and swapped
+// in under a single write-lock acquisition, so a concurrent Search
+// sees the old document or the new one — never a window where the
+// name is absent (which Remove followed by Add would open). Reports
+// whether an existing document was replaced.
+func (c *Collection) Replace(doc *xmltree.Document) bool {
+	c.mu.RLock()
+	cacheEntries := c.cacheEntries
+	c.mu.RUnlock()
+	eng := engine.NewWithMetrics(doc, c.metrics)
+	if cacheEntries > 0 {
+		eng.EnableCache(cacheEntries)
+	}
+	name := doc.Name()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, replaced := c.engines[name]
+	c.engines[name] = eng
+	if !replaced {
+		c.order = append(c.order, name)
+	}
+	c.notifyLocked(Change{Kind: ChangeUpsert, Name: name})
+	return replaced
 }
 
 // Remove drops the named document from the collection, reporting
@@ -176,6 +253,7 @@ func (c *Collection) Remove(name string) bool {
 			break
 		}
 	}
+	c.notifyLocked(Change{Kind: ChangeRemove, Name: name})
 	return true
 }
 
@@ -396,6 +474,34 @@ func (c *Collection) runContext(ctx context.Context, q query.Query, opts query.O
 		return out.Hits[i].Document < out.Hits[j].Document
 	})
 	return out, nil
+}
+
+// RankTerms flattens the query's groups into the plain terms the
+// ranker scores on — the exact term list Search uses, exported so an
+// external view maintainer (internal/standing) can reproduce the
+// collection's ranking byte for byte.
+func RankTerms(q query.Query) []string { return normalizedTerms(q) }
+
+// Snippet renders a fragment's preview text: node texts in document
+// order, joined with an ellipsis separator, truncated UTF-8-safely.
+// The HTTP search surface and the standing-query watch surface both
+// present fragments through this one implementation, so a hit looks
+// identical whether it arrived via a search or a subscription delta.
+func Snippet(f core.Fragment) string {
+	doc := f.Document()
+	snippet := ""
+	for _, id := range f.IDs() {
+		if t := doc.Text(id); t != "" && len(snippet) < 160 {
+			if snippet != "" {
+				snippet += " … "
+			}
+			snippet += t
+		}
+	}
+	if len(snippet) > 200 {
+		snippet = textutil.TruncateUTF8(snippet, 197) + "..."
+	}
+	return snippet
 }
 
 // normalizedTerms flattens the query's groups into the plain terms

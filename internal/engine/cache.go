@@ -90,6 +90,26 @@ func (e *Engine) CacheLen() int {
 	return c.len()
 }
 
+// CacheKey fingerprints a query + options pair exactly as the result
+// cache does. Exported so the standing-query registry can key its
+// materialized views on the same identity — a subscription and a
+// cached answer for the same (query, options) then invalidate and
+// re-warm together, per document, instead of a blunt drop-everything
+// on ingest.
+func CacheKey(q query.Query, opts query.Options) string { return cacheKey(q, opts) }
+
+// CachedAnswer peeks at the result cache: the cached answer for the
+// pair, if present, without evaluating anything. It counts as a cache
+// touch for LRU purposes but records no metrics. Used by tests and
+// the standing-query layer to observe cache warmth.
+func (e *Engine) CachedAnswer(q query.Query, opts query.Options) (*Answer, bool) {
+	c := e.cache.Load()
+	if c == nil {
+		return nil, false
+	}
+	return c.get(cacheKey(q, opts))
+}
+
 // cacheKey fingerprints a query + options pair. Only fields that
 // change the answer set participate (workers and auto-mode chooser
 // settings change the work, not the result — but strategy choice can

@@ -16,10 +16,10 @@ import (
 func TestMetricsEndpointJSON(t *testing.T) {
 	s := testServer(t)
 	// Drive one search so the evaluation counters are live.
-	if rec, _ := get(t, s, "/api/search?q=XQuery+optimization&filter=size<=3"); rec.Code != http.StatusOK {
+	if rec, _ := get(t, s, "/api/v1/search?q=XQuery+optimization&filter=size<=3"); rec.Code != http.StatusOK {
 		t.Fatalf("search = %d", rec.Code)
 	}
-	rec, body := get(t, s, "/api/metrics")
+	rec, body := get(t, s, "/api/v1/metrics")
 	if rec.Code != http.StatusOK {
 		t.Fatalf("metrics = %d", rec.Code)
 	}
@@ -40,10 +40,10 @@ func TestMetricsEndpointJSON(t *testing.T) {
 
 func TestMetricsEndpointPrometheus(t *testing.T) {
 	s := testServer(t)
-	if rec, _ := get(t, s, "/api/search?q=XQuery+optimization"); rec.Code != http.StatusOK {
+	if rec, _ := get(t, s, "/api/v1/search?q=XQuery+optimization"); rec.Code != http.StatusOK {
 		t.Fatalf("search = %d", rec.Code)
 	}
-	req := httptest.NewRequest(http.MethodGet, "/api/metrics?format=prom", nil)
+	req := httptest.NewRequest(http.MethodGet, "/api/v1/metrics?format=prom", nil)
 	rec := httptest.NewRecorder()
 	s.ServeHTTP(rec, req)
 	if rec.Code != http.StatusOK {
@@ -127,21 +127,22 @@ func TestRequestLogging(t *testing.T) {
 
 func TestSearchLimitCap(t *testing.T) {
 	s := testServer(t)
-	rec, body := get(t, s, "/api/search?q=XQuery&limit=1001")
+	rec, body := get(t, s, "/api/v1/search?q=XQuery&limit=1001")
 	if rec.Code != http.StatusBadRequest {
 		t.Fatalf("code = %d, want 400 (%v)", rec.Code, body)
 	}
-	if !strings.Contains(body["error"].(string), "1000") {
-		t.Fatalf("error = %v, want mention of the cap", body["error"])
+	env := body["error"].(map[string]any)
+	if !strings.Contains(env["message"].(string), "1000") {
+		t.Fatalf("error = %v, want mention of the cap", env)
 	}
-	if rec, _ := get(t, s, "/api/search?q=XQuery&limit=1000"); rec.Code != http.StatusOK {
+	if rec, _ := get(t, s, "/api/v1/search?q=XQuery&limit=1000"); rec.Code != http.StatusOK {
 		t.Fatalf("limit=1000 = %d, want 200", rec.Code)
 	}
 }
 
 func TestSearchTotalAndReturned(t *testing.T) {
 	s := testServer(t)
-	rec, body := get(t, s, "/api/search?q=XQuery+optimization&filter=size<=3&limit=2")
+	rec, body := get(t, s, "/api/v1/search?q=XQuery+optimization&filter=size<=3&limit=2")
 	if rec.Code != http.StatusOK {
 		t.Fatalf("code = %d", rec.Code)
 	}
@@ -166,7 +167,7 @@ func TestExplainTrace(t *testing.T) {
 		"push-down":     "push-down",
 	}
 	for _, strat := range []string{"brute-force", "naive", "set-reduction", "push-down"} {
-		rec, body := get(t, s, "/api/explain?q=XQuery+optimization&filter=size<=3&strategy="+strat+"&trace=1")
+		rec, body := get(t, s, "/api/v1/explain?q=XQuery+optimization&filter=size<=3&strategy="+strat+"&trace=1")
 		if rec.Code != http.StatusOK {
 			t.Fatalf("%s: code = %d (%v)", strat, rec.Code, body)
 		}
@@ -194,27 +195,8 @@ func TestExplainTrace(t *testing.T) {
 		}
 	}
 	// Without trace=1 the old shape is preserved.
-	_, body := get(t, s, "/api/explain?q=XQuery&strategy=push-down")
+	_, body := get(t, s, "/api/v1/explain?q=XQuery&strategy=push-down")
 	if _, present := body["traces"]; present {
 		t.Fatal("traces present without trace=1")
-	}
-}
-
-func TestTruncateUTF8(t *testing.T) {
-	// 100 two-byte runes (é) = 200 bytes; cutting at 197 must back up
-	// to a rune boundary (196), never splitting a sequence.
-	s := strings.Repeat("é", 100)
-	got := truncateUTF8(s, 197)
-	if len(got) != 196 {
-		t.Fatalf("len = %d, want 196", len(got))
-	}
-	if !strings.HasSuffix(got, "é") {
-		t.Fatal("truncation split a rune")
-	}
-	if truncateUTF8("abc", 197) != "abc" {
-		t.Fatal("short string should pass through")
-	}
-	if got := truncateUTF8("abcdef", 3); got != "abc" {
-		t.Fatalf("ascii cut = %q, want abc", got)
 	}
 }

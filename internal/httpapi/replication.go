@@ -100,7 +100,7 @@ func (s *Server) initReplication() {
 			panic("httpapi: replica role requires a Follower and a PrimaryURL")
 		}
 	}
-	s.route("GET", "/replication", s.handleReplication)
+	s.addRoute("GET", "/replication", "Replication role, lag and WAL positions.", nil, s.handleReplication)
 }
 
 // role returns the effective replication role.

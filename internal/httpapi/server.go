@@ -23,10 +23,8 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
-	"strings"
 	"sync/atomic"
 	"time"
-	"unicode/utf8"
 
 	"repro/internal/collection"
 	"repro/internal/core"
@@ -34,6 +32,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/obs"
 	"repro/internal/query"
+	"repro/internal/standing"
 	"repro/internal/store"
 )
 
@@ -87,6 +86,17 @@ type Config struct {
 	// process share one flight recorder between the HTTP layer and the
 	// replication follower so /api/v1/debug/* shows both.
 	Recorder *obs.Recorder
+	// LegacyAPI re-mounts the retired un-versioned /api/* aliases
+	// (with Deprecation headers). Default off: only /api/v1 serves.
+	LegacyAPI bool
+	// MaxSubscriptions caps concurrently registered standing queries
+	// (watch subscriptions). 0 means 64; negative disables the watch
+	// API entirely.
+	MaxSubscriptions int
+	// WatchBuffer is the per-subscription event-ring capacity: how
+	// many events a disconnected watcher may miss and still resume via
+	// ?since= without a full re-sync (default 256).
+	WatchBuffer int
 }
 
 func (c *Config) setDefaults() {
@@ -118,6 +128,8 @@ type Server struct {
 	adm     *admission   // nil when admission control is disabled
 	m       *obs.Metrics // backing registry, for shed/inflight series
 	rec     *obs.Recorder
+	reg     *standing.Registry // nil when the watch API is disabled
+	routes  []routeDef
 	mux     *http.ServeMux
 	handler http.Handler // mux wrapped in Middleware
 	// sampleEvery/sampleSeq implement the deterministic request
@@ -205,21 +217,74 @@ func (s *Server) init(m *obs.Metrics) {
 	// Constant 1-valued gauge carrying version/revision labels — the
 	// Prometheus build-info convention.
 	m.Gauge(obs.BuildInfoSeries()).Set(1)
+	if s.cfg.MaxSubscriptions >= 0 {
+		// The standing-query registry taps the corpus change feed —
+		// the same hook primary ingest, replica WAL apply and snapshot
+		// bootstrap all flow through — so watch subscriptions work
+		// identically on a primary, a replica, and an in-memory
+		// collection.
+		s.reg = standing.NewRegistry(s.corpus(), standing.Options{
+			MaxSubscriptions: s.cfg.MaxSubscriptions,
+			Buffer:           s.cfg.WatchBuffer,
+			Metrics:          m,
+		})
+		if s.st != nil {
+			s.st.SetChangeListener(s.reg.Notify)
+		} else {
+			s.coll.SetChangeListener(s.reg.Notify)
+		}
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /readyz", s.handleReady)
-	s.route("GET", "/docs", s.handleListDocs)
-	s.route("POST", "/docs", s.handleAddDoc)
-	s.route("DELETE", "/docs/{name}", s.handleRemoveDoc)
-	s.route("GET", "/jobs/{id}", s.handleJob)
-	s.route("GET", "/search", s.handleSearch)
-	s.route("GET", "/explain", s.handleExplain)
-	s.route("GET", "/stats", s.handleStats)
-	s.route("GET", "/metrics", s.handleMetrics)
-	s.route("GET", "/debug/slow", s.handleDebugSlow)
-	s.route("GET", "/debug/inflight", s.handleDebugInflight)
-	s.route("GET", "/debug/trace/{id}", s.handleDebugTrace)
+	s.addRoute("GET", "/docs", "List indexed documents.", nil, s.handleListDocs)
+	s.addRoute("POST", "/docs", "Add (or asynchronously enqueue) an XML document.", []routeParam{
+		bp("name", "document name"), bp("xml", "document body"),
+		qp("async", "1 enqueues into the ingest pipeline (store-backed servers), answering 202 with a job ID"),
+	}, s.handleAddDoc)
+	s.addRoute("DELETE", "/docs/{name}", "Remove one document.", []routeParam{
+		pp("name", "document name"),
+	}, s.handleRemoveDoc)
+	s.addRoute("GET", "/jobs/{id}", "Status of one async ingest job.", []routeParam{
+		pp("id", "job ID from POST /docs?async=1"),
+	}, s.handleJob)
+	s.addRoute("GET", "/search", "Keyword/filter search with ranked, paginated hits.", []routeParam{
+		qp("q", "keyword query (required)"), qp("filter", "filter spec, e.g. size<=3,height<=2"),
+		qp("strategy", "auto|brute-force|naive|set-reduction|push-down"),
+		qp("limit", "page size (default 20, max 1000)"), qp("offset", "pagination offset"),
+		qp("timeout", "per-request evaluation deadline, e.g. 250ms"),
+		qp("trace", "1 forces a flight-recorder trace"),
+	}, s.handleSearch)
+	s.addRoute("GET", "/explain", "Logical/physical plan for a query; trace=1 also executes it with spans.", []routeParam{
+		qp("q", "keyword query (required)"), qp("filter", "filter spec"),
+		qp("strategy", "evaluation strategy"), qp("trace", "1 executes the query and returns span trees"),
+	}, s.handleExplain)
+	s.addRoute("GET", "/stats", "Corpus-wide document/index sizes.", nil, s.handleStats)
+	s.addRoute("GET", "/metrics", "Metrics registry (JSON; format=prom for Prometheus exposition).", []routeParam{
+		qp("format", "prom selects the Prometheus text format"),
+	}, s.handleMetrics)
+	s.addRoute("GET", "/debug/slow", "Recent slow-query traces from the flight recorder.", nil, s.handleDebugSlow)
+	s.addRoute("GET", "/debug/inflight", "Currently executing traced requests.", nil, s.handleDebugInflight)
+	s.addRoute("GET", "/debug/trace/{id}", "One recorded trace by ID.", []routeParam{
+		pp("id", "trace ID"),
+	}, s.handleDebugTrace)
+	if s.reg != nil {
+		s.addRoute("POST", "/watch", "Register a standing query; answers {id, seq} plus the materialized snapshot.", []routeParam{
+			bp("query", "keyword query (required)"), bp("filter", "filter spec"), bp("strategy", "evaluation strategy"),
+		}, s.handleWatchCreate)
+		s.addRoute("GET", "/watch", "List live standing-query subscriptions.", nil, s.handleWatchList)
+		s.addRoute("GET", "/watch/{id}", "Stream a subscription: SSE when Accept: text/event-stream, else long-poll JSON.", []routeParam{
+			pp("id", "subscription ID"),
+			qp("since", "resume after this sequence number (default 0)"),
+			qp("wait", "long-poll hold time, e.g. 20s (long-poll only)"),
+			qp("snapshot", "1 returns the materialized answer set instead of events (long-poll only)"),
+		}, s.handleWatchGet)
+		s.addRoute("DELETE", "/watch/{id}", "Cancel a subscription.", []routeParam{
+			pp("id", "subscription ID"),
+		}, s.handleWatchDelete)
+	}
 	s.initReplication()
+	s.mountRoutes()
 	var inner http.Handler = s.mux
 	if s.role() == RoleReplica {
 		// Stamp lag headers on every replica response, before the
@@ -240,19 +305,26 @@ func (s *Server) init(m *obs.Metrics) {
 // construction): the store the debug endpoints read from.
 func (s *Server) Recorder() *obs.Recorder { return s.rec }
 
-// route mounts one handler under both the versioned surface
-// (/api/v1/...) and the legacy alias (/api/...). The alias responds
-// with an RFC 9745 Deprecation header plus a Link to its
-// successor-version so clients can migrate mechanically.
-func (s *Server) route(method, path string, h http.HandlerFunc) {
-	s.mux.HandleFunc(method+" /api/v1"+path, func(w http.ResponseWriter, r *http.Request) {
-		h(w, r.WithContext(context.WithValue(r.Context(), ctxKeyV1, true)))
-	})
-	s.mux.HandleFunc(method+" /api"+path, func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Deprecation", "true")
-		w.Header().Set("Link", "</api/v1"+strings.TrimPrefix(r.URL.Path, "/api")+`>; rel="successor-version"`)
-		h(w, r)
-	})
+// corpus returns the backing document source as the standing-query
+// Corpus view (both backends satisfy it).
+func (s *Server) corpus() standing.Corpus {
+	if s.st != nil {
+		return s.st
+	}
+	return s.coll
+}
+
+// Watch returns the standing-query registry (nil when the watch API
+// is disabled via a negative MaxSubscriptions).
+func (s *Server) Watch() *standing.Registry { return s.reg }
+
+// Close releases the server's background resources: the standing-query
+// delta worker stops and every live subscription is canceled. The
+// backing collection/store is the caller's to close.
+func (s *Server) Close() {
+	if s.reg != nil {
+		s.reg.Close()
+	}
 }
 
 // Collection returns the backing collection (nil when the server is
@@ -589,6 +661,39 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		}
 		offset = n
 	}
+	q, err := query.Parse(keywords, filterSpec)
+	if err != nil {
+		s.error(w, r, http.StatusBadRequest, "bad_request", err)
+		return
+	}
+	resp := SearchResponse{Query: keywords, Filter: filterSpec, Strategy: stratName, Limit: limit, Offset: offset}
+	// Materialized-view fast path: a search matching a registered
+	// standing query is served from its answer set — O(page), no
+	// evaluation, no admission slot — and stays warm across ingest
+	// because the delta worker keeps the view current per affected
+	// document. Sampled/traced requests skip it: their trace wants
+	// the spans of a real evaluation.
+	if s.reg != nil && obs.TraceFromContext(r.Context()) == nil {
+		if sub, ok := s.reg.Lookup(q, opts); ok {
+			s.m.Counter(obs.MStandingCacheHits).Add(1)
+			vhits := sub.Snapshot()
+			resp.Total = len(vhits)
+			if offset < len(vhits) {
+				vhits = vhits[offset:]
+			} else {
+				vhits = nil
+			}
+			for _, h := range vhits {
+				if len(resp.Hits) == limit {
+					break
+				}
+				resp.Hits = append(resp.Hits, SearchHit(h))
+			}
+			resp.Returned = len(resp.Hits)
+			writeJSON(w, http.StatusOK, resp)
+			return
+		}
+	}
 	ctx, cancel, err := s.queryDeadline(r)
 	if err != nil {
 		s.error(w, r, http.StatusBadRequest, "bad_request", err)
@@ -600,7 +705,6 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	}
 	defer s.release()
 
-	resp := SearchResponse{Query: keywords, Filter: filterSpec, Strategy: stratName, Limit: limit, Offset: offset}
 	var (
 		hits []collection.Hit
 		errs map[string]error
@@ -609,14 +713,14 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		// Store-backed: deadline-aware scatter-gather with a global
 		// top-k merge — the context carries the client disconnect and
 		// the evaluation deadline down to the per-shard join loops.
-		res, err := s.st.Search(ctx, keywords, filterSpec, opts, offset+limit)
+		res, err := s.st.Run(ctx, q, opts, offset+limit)
 		if err != nil {
 			s.error(w, r, http.StatusBadRequest, "bad_request", err)
 			return
 		}
 		hits, errs, resp.Total = res.Hits, res.Errors, res.Total
 	} else {
-		res, err := s.coll.SearchContext(ctx, keywords, filterSpec, opts)
+		res, err := s.coll.RunContext(ctx, q, opts)
 		if err != nil {
 			s.error(w, r, http.StatusBadRequest, "bad_request", err)
 			return
@@ -658,19 +762,8 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 func toHit(h collection.Hit) SearchHit {
 	ids := h.Fragment.IDs()
 	nodes := make([]int32, len(ids))
-	doc := h.Fragment.Document()
-	snippet := ""
 	for i, id := range ids {
 		nodes[i] = int32(id)
-		if t := doc.Text(id); t != "" && len(snippet) < 160 {
-			if snippet != "" {
-				snippet += " … "
-			}
-			snippet += t
-		}
-	}
-	if len(snippet) > 200 {
-		snippet = truncateUTF8(snippet, 197) + "..."
 	}
 	return SearchHit{
 		Document: h.Document,
@@ -678,21 +771,11 @@ func toHit(h collection.Hit) SearchHit {
 		Root:     int32(h.Fragment.Root()),
 		Size:     h.Fragment.Size(),
 		Score:    h.Score,
-		Snippet:  snippet,
+		// One snippet implementation for search hits and watch
+		// deltas, so a fragment presents identically on both
+		// surfaces (and the view byte-identity holds).
+		Snippet: collection.Snippet(h.Fragment),
 	}
-}
-
-// truncateUTF8 cuts s to at most max bytes without splitting a UTF-8
-// sequence: the cut backs up to the nearest rune start.
-func truncateUTF8(s string, max int) string {
-	if len(s) <= max {
-		return s
-	}
-	cut := max
-	for cut > 0 && !utf8.RuneStart(s[cut]) {
-		cut--
-	}
-	return s[:cut]
 }
 
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {

@@ -43,7 +43,7 @@ func TestHealth(t *testing.T) {
 }
 
 func TestListDocs(t *testing.T) {
-	rec, body := get(t, testServer(t), "/api/docs")
+	rec, body := get(t, testServer(t), "/api/v1/docs")
 	if rec.Code != http.StatusOK {
 		t.Fatalf("code = %d", rec.Code)
 	}
@@ -59,7 +59,7 @@ func TestListDocs(t *testing.T) {
 
 func TestSearchEndpoint(t *testing.T) {
 	s := testServer(t)
-	rec, _ := get(t, s, "/api/search?q=xquery+optimization&filter=size%3C%3D3")
+	rec, _ := get(t, s, "/api/v1/search?q=xquery+optimization&filter=size%3C%3D3")
 	if rec.Code != http.StatusOK {
 		t.Fatalf("code = %d: %s", rec.Code, rec.Body.String())
 	}
@@ -86,7 +86,7 @@ func TestSearchEndpoint(t *testing.T) {
 
 func TestSearchLimit(t *testing.T) {
 	s := testServer(t)
-	rec, _ := get(t, s, "/api/search?q=xquery+optimization&filter=size%3C%3D3&limit=2")
+	rec, _ := get(t, s, "/api/v1/search?q=xquery+optimization&filter=size%3C%3D3&limit=2")
 	var resp SearchResponse
 	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
 		t.Fatal(err)
@@ -99,21 +99,21 @@ func TestSearchLimit(t *testing.T) {
 func TestSearchErrors(t *testing.T) {
 	s := testServer(t)
 	cases := []string{
-		"/api/search",                          // missing q
-		"/api/search?q=x&filter=bogus%3C%3D3",  // bad filter
-		"/api/search?q=x&strategy=warp-drive",  // bad strategy
-		"/api/search?q=x&limit=zero",           // bad limit
-		"/api/search?q=x&limit=-3",             // bad limit
-		"/api/explain",                         // missing q
-		"/api/explain?q=x&strategy=warp-drive", // bad strategy
+		"/api/v1/search",                          // missing q
+		"/api/v1/search?q=x&filter=bogus%3C%3D3",  // bad filter
+		"/api/v1/search?q=x&strategy=warp-drive",  // bad strategy
+		"/api/v1/search?q=x&limit=zero",           // bad limit
+		"/api/v1/search?q=x&limit=-3",             // bad limit
+		"/api/v1/explain",                         // missing q
+		"/api/v1/explain?q=x&strategy=warp-drive", // bad strategy
 	}
 	for _, path := range cases {
 		rec, body := get(t, s, path)
 		if rec.Code != http.StatusBadRequest {
 			t.Errorf("%s → %d, want 400", path, rec.Code)
 		}
-		if body["error"] == "" {
-			t.Errorf("%s → missing error message", path)
+		if body["error"] == nil {
+			t.Errorf("%s → missing error envelope", path)
 		}
 	}
 }
@@ -121,14 +121,14 @@ func TestSearchErrors(t *testing.T) {
 func TestAddDocEndpoint(t *testing.T) {
 	s := testServer(t)
 	body := `{"name":"added.xml","xml":"<doc><par>xquery optimization together</par></doc>"}`
-	req := httptest.NewRequest(http.MethodPost, "/api/docs", strings.NewReader(body))
+	req := httptest.NewRequest(http.MethodPost, "/api/v1/docs", strings.NewReader(body))
 	rec := httptest.NewRecorder()
 	s.ServeHTTP(rec, req)
 	if rec.Code != http.StatusCreated {
 		t.Fatalf("code = %d: %s", rec.Code, rec.Body.String())
 	}
 	// The new document is searchable.
-	rec2, _ := get(t, s, "/api/search?q=xquery+optimization&filter=size%3C%3D3")
+	rec2, _ := get(t, s, "/api/v1/search?q=xquery+optimization&filter=size%3C%3D3")
 	var resp SearchResponse
 	if err := json.Unmarshal(rec2.Body.Bytes(), &resp); err != nil {
 		t.Fatal(err)
@@ -154,7 +154,7 @@ func TestAddDocErrors(t *testing.T) {
 		`{"name":"figure1.xml","xml":"<a/>"}`, // duplicate
 	}
 	for _, body := range cases {
-		req := httptest.NewRequest(http.MethodPost, "/api/docs", strings.NewReader(body))
+		req := httptest.NewRequest(http.MethodPost, "/api/v1/docs", strings.NewReader(body))
 		rec := httptest.NewRecorder()
 		s.ServeHTTP(rec, req)
 		if rec.Code != http.StatusBadRequest {
@@ -165,7 +165,7 @@ func TestAddDocErrors(t *testing.T) {
 
 func TestExplainEndpoint(t *testing.T) {
 	s := testServer(t)
-	rec, body := get(t, s, "/api/explain?q=xquery+optimization&filter=size%3C%3D3&strategy=push-down")
+	rec, body := get(t, s, "/api/v1/explain?q=xquery+optimization&filter=size%3C%3D3&strategy=push-down")
 	if rec.Code != http.StatusOK {
 		t.Fatalf("code = %d", rec.Code)
 	}
@@ -181,11 +181,11 @@ func TestExplainEndpoint(t *testing.T) {
 
 func TestMethodRouting(t *testing.T) {
 	s := testServer(t)
-	req := httptest.NewRequest(http.MethodDelete, "/api/docs", nil)
+	req := httptest.NewRequest(http.MethodDelete, "/api/v1/docs", nil)
 	rec := httptest.NewRecorder()
 	s.ServeHTTP(rec, req)
 	if rec.Code != http.StatusMethodNotAllowed && rec.Code != http.StatusNotFound {
-		t.Fatalf("DELETE /api/docs = %d", rec.Code)
+		t.Fatalf("DELETE /api/v1/docs = %d", rec.Code)
 	}
 }
 
@@ -199,7 +199,7 @@ func TestNewNilCollection(t *testing.T) {
 
 func TestStatsEndpoint(t *testing.T) {
 	s := testServer(t)
-	rec, body := get(t, s, "/api/stats")
+	rec, body := get(t, s, "/api/v1/stats")
 	if rec.Code != http.StatusOK {
 		t.Fatalf("code = %d", rec.Code)
 	}
@@ -213,20 +213,20 @@ func TestStatsEndpoint(t *testing.T) {
 
 func TestRemoveDocEndpoint(t *testing.T) {
 	s := testServer(t)
-	req := httptest.NewRequest(http.MethodDelete, "/api/docs/figure1.xml", nil)
+	req := httptest.NewRequest(http.MethodDelete, "/api/v1/docs/figure1.xml", nil)
 	rec := httptest.NewRecorder()
 	s.ServeHTTP(rec, req)
 	if rec.Code != http.StatusOK {
 		t.Fatalf("delete = %d: %s", rec.Code, rec.Body.String())
 	}
 	// Gone from the listing.
-	_, body := get(t, s, "/api/docs")
+	_, body := get(t, s, "/api/v1/docs")
 	if body["documents"] != nil {
 		t.Fatalf("documents after delete = %v", body["documents"])
 	}
 	// Second delete 404s.
 	rec2 := httptest.NewRecorder()
-	s.ServeHTTP(rec2, httptest.NewRequest(http.MethodDelete, "/api/docs/figure1.xml", nil))
+	s.ServeHTTP(rec2, httptest.NewRequest(http.MethodDelete, "/api/v1/docs/figure1.xml", nil))
 	if rec2.Code != http.StatusNotFound {
 		t.Fatalf("second delete = %d", rec2.Code)
 	}
@@ -234,7 +234,7 @@ func TestRemoveDocEndpoint(t *testing.T) {
 
 func TestSearchWithDisjunctionOverHTTP(t *testing.T) {
 	s := testServer(t)
-	rec, _ := get(t, s, "/api/search?q=xquery+rewriting%7Coptimization&filter=size%3C%3D3")
+	rec, _ := get(t, s, "/api/v1/search?q=xquery+rewriting%7Coptimization&filter=size%3C%3D3")
 	if rec.Code != http.StatusOK {
 		t.Fatalf("code = %d: %s", rec.Code, rec.Body.String())
 	}

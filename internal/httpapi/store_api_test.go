@@ -34,7 +34,7 @@ func postDoc(t *testing.T, s *Server, path, name, xml string) *httptest.Response
 
 func TestAsyncIngestOverHTTP(t *testing.T) {
 	s, st := storeServer(t, store.Options{Shards: 4, IngestWorkers: 2})
-	w := postDoc(t, s, "/api/docs?async=1", "async.xml", "<doc><par>xquery async ingest</par></doc>")
+	w := postDoc(t, s, "/api/v1/docs?async=1", "async.xml", "<doc><par>xquery async ingest</par></doc>")
 	if w.Code != http.StatusAccepted {
 		t.Fatalf("async add: %d %s", w.Code, w.Body)
 	}
@@ -53,7 +53,7 @@ func TestAsyncIngestOverHTTP(t *testing.T) {
 	var job store.Job
 	deadline := time.Now().Add(10 * time.Second)
 	for {
-		req := httptest.NewRequest("GET", "/api/jobs/"+accepted.Job, nil)
+		req := httptest.NewRequest("GET", "/api/v1/jobs/"+accepted.Job, nil)
 		jw := httptest.NewRecorder()
 		s.ServeHTTP(jw, req)
 		if jw.Code != http.StatusOK {
@@ -78,7 +78,7 @@ func TestAsyncIngestOverHTTP(t *testing.T) {
 	}
 
 	// The document is searchable through the deadline-aware path.
-	req := httptest.NewRequest("GET", "/api/search?q=xquery+async", nil)
+	req := httptest.NewRequest("GET", "/api/v1/search?q=xquery+async", nil)
 	sw := httptest.NewRecorder()
 	s.ServeHTTP(sw, req)
 	if sw.Code != http.StatusOK {
@@ -95,11 +95,11 @@ func TestAsyncIngestOverHTTP(t *testing.T) {
 
 func TestAsyncRequiresStore(t *testing.T) {
 	s := New(nil)
-	w := postDoc(t, s, "/api/docs?async=1", "a.xml", "<a>x</a>")
+	w := postDoc(t, s, "/api/v1/docs?async=1", "a.xml", "<a>x</a>")
 	if w.Code != http.StatusBadRequest {
 		t.Fatalf("async on collection-backed server: %d, want 400", w.Code)
 	}
-	req := httptest.NewRequest("GET", "/api/jobs/job-1", nil)
+	req := httptest.NewRequest("GET", "/api/v1/jobs/job-1", nil)
 	jw := httptest.NewRecorder()
 	s.ServeHTTP(jw, req)
 	if jw.Code != http.StatusNotFound {
@@ -109,7 +109,7 @@ func TestAsyncRequiresStore(t *testing.T) {
 
 func TestJobNotFound(t *testing.T) {
 	s, _ := storeServer(t, store.Options{Shards: 2})
-	req := httptest.NewRequest("GET", "/api/jobs/job-42", nil)
+	req := httptest.NewRequest("GET", "/api/v1/jobs/job-42", nil)
 	w := httptest.NewRecorder()
 	s.ServeHTTP(w, req)
 	if w.Code != http.StatusNotFound {
@@ -120,17 +120,17 @@ func TestJobNotFound(t *testing.T) {
 func TestStoreBackedCRUDAndStats(t *testing.T) {
 	s, _ := storeServer(t, store.Options{Shards: 4})
 	for i := 0; i < 6; i++ {
-		w := postDoc(t, s, "/api/docs", fmt.Sprintf("d%d.xml", i), "<doc><par>xquery shard test</par></doc>")
+		w := postDoc(t, s, "/api/v1/docs", fmt.Sprintf("d%d.xml", i), "<doc><par>xquery shard test</par></doc>")
 		if w.Code != http.StatusCreated {
 			t.Fatalf("add %d: %d %s", i, w.Code, w.Body)
 		}
 	}
 	// Duplicate rejected.
-	if w := postDoc(t, s, "/api/docs", "d0.xml", "<a>x</a>"); w.Code != http.StatusBadRequest {
+	if w := postDoc(t, s, "/api/v1/docs", "d0.xml", "<a>x</a>"); w.Code != http.StatusBadRequest {
 		t.Fatalf("duplicate add: %d", w.Code)
 	}
 	// List sees all six.
-	req := httptest.NewRequest("GET", "/api/docs", nil)
+	req := httptest.NewRequest("GET", "/api/v1/docs", nil)
 	w := httptest.NewRecorder()
 	s.ServeHTTP(w, req)
 	var list struct {
@@ -143,13 +143,13 @@ func TestStoreBackedCRUDAndStats(t *testing.T) {
 		t.Fatalf("list: %d docs, want 6", len(list.Documents))
 	}
 	// Remove one.
-	req = httptest.NewRequest("DELETE", "/api/docs/d3.xml", nil)
+	req = httptest.NewRequest("DELETE", "/api/v1/docs/d3.xml", nil)
 	w = httptest.NewRecorder()
 	s.ServeHTTP(w, req)
 	if w.Code != http.StatusOK {
 		t.Fatalf("remove: %d %s", w.Code, w.Body)
 	}
-	req = httptest.NewRequest("DELETE", "/api/docs/d3.xml", nil)
+	req = httptest.NewRequest("DELETE", "/api/v1/docs/d3.xml", nil)
 	w = httptest.NewRecorder()
 	s.ServeHTTP(w, req)
 	if w.Code != http.StatusNotFound {
@@ -167,7 +167,7 @@ func TestStoreBackedCRUDAndStats(t *testing.T) {
 		t.Fatalf("health: %s", w.Body)
 	}
 	// Stats aggregates across shards.
-	req = httptest.NewRequest("GET", "/api/stats", nil)
+	req = httptest.NewRequest("GET", "/api/v1/stats", nil)
 	w = httptest.NewRecorder()
 	s.ServeHTTP(w, req)
 	var stats map[string]any
@@ -181,17 +181,17 @@ func TestStoreBackedCRUDAndStats(t *testing.T) {
 
 func TestStoreMetricsEndpoint(t *testing.T) {
 	s, _ := storeServer(t, store.Options{Shards: 2})
-	if w := postDoc(t, s, "/api/docs", "m.xml", "<doc><par>metric doc</par></doc>"); w.Code != http.StatusCreated {
+	if w := postDoc(t, s, "/api/v1/docs", "m.xml", "<doc><par>metric doc</par></doc>"); w.Code != http.StatusCreated {
 		t.Fatalf("add: %d", w.Code)
 	}
-	req := httptest.NewRequest("GET", "/api/search?q=metric", nil)
+	req := httptest.NewRequest("GET", "/api/v1/search?q=metric", nil)
 	w := httptest.NewRecorder()
 	s.ServeHTTP(w, req)
 	if w.Code != http.StatusOK {
 		t.Fatalf("search: %d", w.Code)
 	}
 
-	req = httptest.NewRequest("GET", "/api/metrics", nil)
+	req = httptest.NewRequest("GET", "/api/v1/metrics", nil)
 	w = httptest.NewRecorder()
 	s.ServeHTTP(w, req)
 	var body map[string]any
@@ -206,7 +206,7 @@ func TestStoreMetricsEndpoint(t *testing.T) {
 		t.Fatalf("metrics missing per-shard registries: %s", w.Body)
 	}
 
-	req = httptest.NewRequest("GET", "/api/metrics?format=prom", nil)
+	req = httptest.NewRequest("GET", "/api/v1/metrics?format=prom", nil)
 	w = httptest.NewRecorder()
 	s.ServeHTTP(w, req)
 	prom := w.Body.String()
@@ -227,13 +227,13 @@ func TestStoreMetricsEndpoint(t *testing.T) {
 func TestSearchDeadlineOverHTTP(t *testing.T) {
 	s, _ := storeServer(t, store.Options{Shards: 4})
 	for i := 0; i < 8; i++ {
-		if w := postDoc(t, s, "/api/docs", fmt.Sprintf("t%d.xml", i), "<doc><par>timeout probe</par></doc>"); w.Code != http.StatusCreated {
+		if w := postDoc(t, s, "/api/v1/docs", fmt.Sprintf("t%d.xml", i), "<doc><par>timeout probe</par></doc>"); w.Code != http.StatusCreated {
 			t.Fatalf("add: %d", w.Code)
 		}
 	}
 	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
 	defer cancel()
-	req := httptest.NewRequest("GET", "/api/search?q=timeout", nil).WithContext(ctx)
+	req := httptest.NewRequest("GET", "/api/v1/search?q=timeout", nil).WithContext(ctx)
 	w := httptest.NewRecorder()
 	s.ServeHTTP(w, req)
 	if w.Code != http.StatusOK {

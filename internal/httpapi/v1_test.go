@@ -16,12 +16,23 @@ import (
 	"repro/internal/store"
 )
 
+// legacyServer builds a server that opts back into the retired
+// un-versioned /api aliases, as -legacy-api does.
+func legacyServer(t testing.TB) *Server {
+	t.Helper()
+	coll := collection.New()
+	if err := coll.Add(docgen.FigureOne()); err != nil {
+		t.Fatal(err)
+	}
+	return NewWithConfig(coll, Config{LegacyAPI: true})
+}
+
 // TestV1ErrorEnvelope checks the two error shapes: /api/v1 responds
 // with {"error":{"code","message","request_id"}}, the deprecated
-// /api alias keeps the original flat {"error":"message"} that existing
-// clients parse.
+// /api alias (when opted back in) keeps the original flat
+// {"error":"message"} that existing clients parse.
 func TestV1ErrorEnvelope(t *testing.T) {
-	s := testServer(t)
+	s := legacyServer(t)
 
 	rec := httptest.NewRecorder()
 	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/api/v1/search", nil))
@@ -51,11 +62,24 @@ func TestV1ErrorEnvelope(t *testing.T) {
 	}
 }
 
-// TestV1DeprecationAliases checks every legacy route answers
-// identically to its v1 twin but flags itself deprecated with a
-// successor-version link.
-func TestV1DeprecationAliases(t *testing.T) {
+// TestLegacyAPIDefaultOff checks the un-versioned aliases are gone
+// unless -legacy-api opts back in: the default server 404s them.
+func TestLegacyAPIDefaultOff(t *testing.T) {
 	s := testServer(t)
+	for _, path := range []string{"/api/docs", "/api/search?q=xquery", "/api/stats", "/api/metrics"} {
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+		if rec.Code != http.StatusNotFound {
+			t.Fatalf("%s = %d, want 404 with legacy API off", path, rec.Code)
+		}
+	}
+}
+
+// TestV1DeprecationAliases checks every legacy route (behind the
+// -legacy-api opt-in) answers identically to its v1 twin but flags
+// itself deprecated with a successor-version link.
+func TestV1DeprecationAliases(t *testing.T) {
+	s := legacyServer(t)
 	for _, path := range []string{"/docs", "/search?q=xquery", "/stats", "/metrics"} {
 		legacy, _ := get(t, s, "/api"+path)
 		v1, _ := get(t, s, "/api/v1"+path)

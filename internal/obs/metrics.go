@@ -73,6 +73,24 @@ const (
 	MIndexPrefilters   = "index_prefilters_total"
 	MIndexPrunedDocs   = "index_pruned_docs_total"
 	MPostingPrunes     = "posting_prunes_total"
+
+	// Standing-query metrics (internal/standing). Deltas count
+	// per-document re-evaluations applied to materialized views;
+	// events count the add/remove/update deltas actually emitted to
+	// subscribers; resets count full re-snapshots (bootstrap swaps and
+	// change-queue overflow recovery); dropped counts change
+	// notifications the bounded queue shed (each schedules a resync,
+	// so views stay correct — the counter measures pressure, not
+	// loss). Cache hits count searches served straight from a
+	// materialized view.
+	MStandingSubscriptions = "standing_subscriptions"
+	MStandingDeltas        = "standing_deltas_total"
+	MStandingEvents        = "standing_events_total"
+	MStandingResets        = "standing_resets_total"
+	MStandingDropped       = "standing_changes_dropped_total"
+	MStandingCacheHits     = "standing_cache_hits_total"
+	MStandingErrors        = "standing_errors_total"
+	MStandingDeltaSeconds  = "standing_delta_seconds"
 )
 
 // LatencyBuckets are the fixed upper bounds (seconds) for latency

@@ -163,11 +163,10 @@ func (s *Store) applyReplicatedRecord(rec walRecord) error {
 		if s.gidx != nil {
 			s.gidx.Shard(s.ShardIndex(rec.name)).Put(doc, gindex.HashDoc(doc))
 		}
-		replaced := sh.Remove(rec.name)
-		if err := sh.Add(doc); err != nil {
-			return err
-		}
-		if !replaced {
+		// Atomic replace: a reader never observes the name absent
+		// mid-swap, and the change feed sees one upsert instead of a
+		// remove+add pair a watcher would relay as two deltas.
+		if !sh.Replace(doc) {
 			s.metrics.Gauge(obs.MStoreDocuments).Add(1)
 		}
 	case walOpRemove:

@@ -595,6 +595,19 @@ func (s *Store) TermIndex() *gindex.Index { return s.gidx }
 // and search metrics). Per-shard engine metrics live in ShardMetrics.
 func (s *Store) Metrics() *obs.Metrics { return s.metrics }
 
+// SetChangeListener registers fn on every shard's change feed: fn
+// observes each document upsert/remove and each wholesale shard reset,
+// regardless of how the mutation arrived — synchronous Add, the async
+// ingest pipeline, WAL-replay recovery, a replicated apply on a
+// follower, or a snapshot bootstrap (ReplaceAll). fn runs under shard
+// write locks and MUST be fast and non-blocking (see
+// collection.SetChangeListener). One listener; nil unregisters.
+func (s *Store) SetChangeListener(fn func(collection.Change)) {
+	for _, sh := range s.shards {
+		sh.SetChangeListener(fn)
+	}
+}
+
 // SetTraceRecorder wires the flight recorder sampled queries and
 // traced ingest jobs report into. Safe to call while serving; a nil
 // recorder disables trace recording.

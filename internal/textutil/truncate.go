@@ -1,0 +1,16 @@
+package textutil
+
+import "unicode/utf8"
+
+// TruncateUTF8 cuts s to at most max bytes without splitting a UTF-8
+// sequence: the cut backs up to the nearest rune start.
+func TruncateUTF8(s string, max int) string {
+	if len(s) <= max {
+		return s
+	}
+	cut := max
+	for cut > 0 && !utf8.RuneStart(s[cut]) {
+		cut--
+	}
+	return s[:cut]
+}

@@ -1,0 +1,25 @@
+package textutil
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTruncateUTF8(t *testing.T) {
+	// 100 two-byte runes (é) = 200 bytes; cutting at 197 must back up
+	// to a rune boundary (196), never splitting a sequence.
+	s := strings.Repeat("é", 100)
+	got := TruncateUTF8(s, 197)
+	if len(got) != 196 {
+		t.Fatalf("len = %d, want 196", len(got))
+	}
+	if !strings.HasSuffix(got, "é") {
+		t.Fatal("truncation split a rune")
+	}
+	if TruncateUTF8("abc", 197) != "abc" {
+		t.Fatal("short string should pass through")
+	}
+	if got := TruncateUTF8("abcdef", 3); got != "abc" {
+		t.Fatalf("ascii cut = %q, want abc", got)
+	}
+}

@@ -1,0 +1,85 @@
+package xfrag
+
+import (
+	"context"
+
+	"repro/internal/standing"
+)
+
+// Standing-query (watch) surface: register a query once and receive
+// precise add/update/remove deltas as the collection changes, instead
+// of re-running the search. The algebra makes the deltas exact: every
+// answer fragment lives in one document (Definition 2), so a document
+// change re-evaluates only that document.
+type (
+	// Watcher maintains materialized answer sets for standing queries
+	// over a collection and streams their deltas.
+	Watcher = standing.Registry
+	// Subscription is one registered standing query: its materialized
+	// view plus a resumable, sequence-numbered event stream.
+	Subscription = standing.Subscription
+	// WatchEvent is one numbered delta or reset on a subscription.
+	WatchEvent = standing.Event
+	// WatchHit is one materialized answer fragment, in the search
+	// API's serving shape.
+	WatchHit = standing.Hit
+)
+
+// Watch errors, re-exported for errors.Is.
+var (
+	// ErrTooManySubscriptions rejects Watch past the watcher's cap.
+	ErrTooManySubscriptions = standing.ErrTooManySubscriptions
+	// ErrWatchTooOld reports a resume point that fell off the event
+	// ring; re-sync from Subscription.SyntheticReset.
+	ErrWatchTooOld = standing.ErrTooOld
+	// ErrWatchCanceled reports the subscription was canceled.
+	ErrWatchCanceled = standing.ErrCanceled
+)
+
+// WatchOption tunes a Watcher.
+type WatchOption func(*standing.Options)
+
+// WithMaxSubscriptions caps concurrently registered standing queries
+// (default 64).
+func WithMaxSubscriptions(n int) WatchOption {
+	return func(o *standing.Options) { o.MaxSubscriptions = n }
+}
+
+// WithWatchBuffer sets the per-subscription event-ring capacity: how
+// many events a disconnected consumer may miss and still resume via
+// Subscription.EventsSince without a re-sync (default 256).
+func WithWatchBuffer(n int) WatchOption {
+	return func(o *standing.Options) { o.Buffer = n }
+}
+
+// NewWatcher attaches a standing-query watcher to the collection's
+// change feed and starts its delta worker. Close the watcher when done.
+//
+//	w := xfrag.NewWatcher(coll)
+//	defer w.Close()
+//	sub, err := xfrag.Watch(w, "xquery optimization", "size<=3")
+func NewWatcher(c *Collection, options ...WatchOption) *Watcher {
+	opts := standing.Options{Metrics: c.Metrics()}
+	for _, o := range options {
+		o(&opts)
+	}
+	w := standing.NewRegistry(c, opts)
+	c.SetChangeListener(w.Notify)
+	return w
+}
+
+// Watch registers a standing query on w, materializing its current
+// answer set synchronously. It accepts the same functional options as
+// QueryContext (strategy, workers, fragment budget); WithTimeout and
+// WithTrace are ignored — a standing query is evaluated by the
+// watcher's worker, not under a request deadline.
+func Watch(w *Watcher, keywords, filterSpec string, options ...QueryOption) (*Subscription, error) {
+	cfg := newQueryConfig(options)
+	return w.Register(keywords, filterSpec, cfg.opts, "")
+}
+
+// WaitWatch blocks until the subscription has events past since (as
+// Subscription.Wait), returning them with the new resume point.
+func WaitWatch(ctx context.Context, sub *Subscription, since uint64) ([]WatchEvent, uint64, error) {
+	return sub.Wait(ctx, since)
+}

@@ -1,0 +1,55 @@
+package xfrag_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	xfrag "repro"
+)
+
+func TestFacadeWatch(t *testing.T) {
+	coll := xfrag.NewCollection()
+	if err := coll.Add(xfrag.FigureOneDocument()); err != nil {
+		t.Fatal(err)
+	}
+	w := xfrag.NewWatcher(coll, xfrag.WithMaxSubscriptions(2), xfrag.WithWatchBuffer(8))
+	defer w.Close()
+
+	sub, err := xfrag.Watch(w, "xquery optimization", "size<=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Matches() != 4 {
+		t.Fatalf("figure 1 standing query materialized %d matches, want 4", sub.Matches())
+	}
+
+	// Ingest a matching document and wait for its delta.
+	doc, err := xfrag.ParseDocument("facade.xml", "<doc><par>xquery optimization facade</par></doc>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coll.Add(doc); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	events, seq, err := xfrag.WaitWatch(ctx, sub, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 || events[0].Doc != "facade.xml" || len(events[0].Added) == 0 {
+		t.Fatalf("events = %+v", events)
+	}
+	if seq != 1 {
+		t.Fatalf("seq = %d, want 1", seq)
+	}
+
+	// The cap holds, with the re-exported error.
+	if _, err := xfrag.Watch(w, "a", ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := xfrag.Watch(w, "b", ""); err != xfrag.ErrTooManySubscriptions {
+		t.Fatalf("over-cap watch = %v", err)
+	}
+}
