@@ -50,6 +50,7 @@ bench-json:
 	  $(GO) test -run xxx -bench BenchmarkTraceOverhead -benchtime $(BENCHTIME) ./internal/query/ && \
 	  $(GO) test -run xxx -bench BenchmarkPostingSelection -benchtime $(BENCHTIME) ./internal/gindex/ && \
 	  $(GO) test -run xxx -bench BenchmarkStandingDelta -benchtime $(BENCHTIME) ./internal/standing/ && \
+	  $(GO) test -run xxx -bench BenchmarkPlanChoose -benchtime $(BENCHTIME) ./internal/engine/ && \
 	  $(GO) test -run xxx -bench . -benchtime 1x ./internal/bench/ ) \
 		| $(GO) run ./cmd/benchjson parse > BENCH_core.json
 

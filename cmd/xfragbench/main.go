@@ -34,7 +34,8 @@ var experiments = []struct {
 		return bench.FormatStrategyRows(bench.StrategySweep(bench.DefaultStrategySweep()))
 	}},
 	{"perf-rf", "reduction-factor cost trade-off (crossover v)", func() string {
-		return bench.FormatRFRows(bench.RFSweep(7))
+		return bench.FormatRFRows(bench.RFSweep(7)) + "\n" +
+			bench.FormatAdaptiveRows(bench.AdaptiveSweep())
 	}},
 	{"perf-scale", "push-down latency vs. document size", func() string {
 		return bench.FormatScaleRows(bench.ScaleSweep(7))

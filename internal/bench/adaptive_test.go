@@ -1,0 +1,41 @@
+package bench
+
+import "testing"
+
+// TestAdaptiveSweepBeatsFixed pins the perf-rf adaptive acceptance
+// criterion: at every sweep point the plan's join cost is no worse
+// than the best fixed strategy, and at some point it is strictly
+// better than both. Answer identity across the three evaluations is
+// asserted inside AdaptiveSweep itself (it panics on divergence).
+func TestAdaptiveSweepBeatsFixed(t *testing.T) {
+	rows := AdaptiveSweep()
+	if len(rows) != 4 {
+		t.Fatalf("sweep returned %d rows, want 4", len(rows))
+	}
+	strictly := false
+	for _, r := range rows {
+		best := r.NaiveJoins
+		if r.SetReductionJoins < best {
+			best = r.SetReductionJoins
+		}
+		if r.AdaptiveJoins > best {
+			t.Fatalf("placement %v/%v: adaptive %d joins, best fixed %d",
+				r.AlphaChain, r.BetaChain, r.AdaptiveJoins, best)
+		}
+		if r.AdaptiveJoins < r.NaiveJoins && r.AdaptiveJoins < r.SetReductionJoins {
+			strictly = true
+		}
+		if r.Answers == 0 {
+			t.Fatalf("placement %v/%v: empty answer set", r.AlphaChain, r.BetaChain)
+		}
+	}
+	if !strictly {
+		t.Fatal("adaptive never strictly beat both fixed strategies")
+	}
+	// The mixed placements must actually plan differently per set —
+	// the whole point of per-set choice over first-set-wins.
+	mixed := rows[1]
+	if mixed.SetStrategies[0] == mixed.SetStrategies[1] {
+		t.Fatalf("mixed placement planned %v for both sets", mixed.SetStrategies)
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/ranking"
+	"repro/internal/stats"
 	"repro/internal/textutil"
 	"repro/internal/xmltree"
 )
@@ -65,6 +66,10 @@ type Collection struct {
 	// SetChangeListener). Called under the write lock, so mutation
 	// order and notification order agree.
 	listener func(Change)
+	// stats, when set, is maintained incrementally on every mutation
+	// path under the write lock (see SetStatsShard), so planner
+	// statistics can never drift from the installed engines.
+	stats *stats.Shard
 }
 
 // New returns an empty collection. Every engine it creates shares one
@@ -111,6 +116,61 @@ func (c *Collection) notifyLocked(ch Change) {
 	}
 }
 
+// SetStatsShard attaches a per-shard statistics accumulator that the
+// collection maintains incrementally on every mutation path — direct
+// writes, async ingest, WAL replay, replica apply and SetAll all funnel
+// through Add/AddWithPostings/Replace/Remove/SetAll, so hooking those
+// five methods under the write lock covers them all. The shard is
+// rebuilt from the current contents on attach, so ordering relative to
+// earlier mutations does not matter. nil detaches.
+func (c *Collection) SetStatsShard(s *stats.Shard) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats = s
+	if s == nil {
+		return
+	}
+	s.Reset()
+	for _, name := range c.order {
+		eng := c.engines[name]
+		s.ObserveUpsert(eng.Document(), eng.Index())
+	}
+	c.publishEpochLocked()
+}
+
+// StatsShard returns the attached statistics shard (nil if none).
+func (c *Collection) StatsShard() *stats.Shard {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.stats
+}
+
+// observeUpsertLocked feeds one installed engine into the statistics
+// shard. Caller holds the write lock.
+func (c *Collection) observeUpsertLocked(eng *engine.Engine) {
+	if c.stats == nil {
+		return
+	}
+	c.stats.ObserveUpsert(eng.Document(), eng.Index())
+	c.publishEpochLocked()
+}
+
+// observeRemoveLocked subtracts one departing engine from the
+// statistics shard. Caller holds the write lock.
+func (c *Collection) observeRemoveLocked(eng *engine.Engine) {
+	if c.stats == nil {
+		return
+	}
+	c.stats.ObserveRemove(eng.Document(), eng.Index())
+	c.publishEpochLocked()
+}
+
+// publishEpochLocked mirrors the statistics epoch onto the metrics
+// registry so drift (and the re-planning it triggers) is observable.
+func (c *Collection) publishEpochLocked() {
+	c.metrics.Gauge(obs.MPlannerStatsEpoch).Set(int64(c.stats.StatsEpoch()))
+}
+
 // SetResultCache sets the per-document result-cache capacity (in
 // entries) applied to every current and future engine. n <= 0
 // disables caching. Invalidation rides on engine immutability:
@@ -144,6 +204,7 @@ func (c *Collection) Add(doc *xmltree.Document) error {
 	}
 	c.engines[name] = eng
 	c.order = append(c.order, name)
+	c.observeUpsertLocked(eng)
 	c.notifyLocked(Change{Kind: ChangeUpsert, Name: name})
 	return nil
 }
@@ -164,6 +225,7 @@ func (c *Collection) AddWithPostings(doc *xmltree.Document, postings map[string]
 	}
 	c.engines[name] = eng
 	c.order = append(c.order, name)
+	c.observeUpsertLocked(eng)
 	c.notifyLocked(Change{Kind: ChangeUpsert, Name: name})
 	return nil
 }
@@ -204,6 +266,13 @@ func (c *Collection) SetAll(docs []*xmltree.Document) error {
 	c.mu.Lock()
 	c.engines = engines
 	c.order = order
+	if c.stats != nil {
+		c.stats.Reset()
+		for _, name := range order {
+			c.stats.ObserveUpsert(engines[name].Document(), engines[name].Index())
+		}
+		c.publishEpochLocked()
+	}
 	// A swap invalidates every per-document delta a watcher may have
 	// derived: signal a reset so views re-snapshot instead of silently
 	// diverging.
@@ -229,11 +298,14 @@ func (c *Collection) Replace(doc *xmltree.Document) bool {
 	name := doc.Name()
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	_, replaced := c.engines[name]
+	old, replaced := c.engines[name]
 	c.engines[name] = eng
 	if !replaced {
 		c.order = append(c.order, name)
+	} else {
+		c.observeRemoveLocked(old)
 	}
+	c.observeUpsertLocked(eng)
 	c.notifyLocked(Change{Kind: ChangeUpsert, Name: name})
 	return replaced
 }
@@ -243,9 +315,11 @@ func (c *Collection) Replace(doc *xmltree.Document) bool {
 func (c *Collection) Remove(name string) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if _, ok := c.engines[name]; !ok {
+	old, ok := c.engines[name]
+	if !ok {
 		return false
 	}
+	c.observeRemoveLocked(old)
 	delete(c.engines, name)
 	for i, n := range c.order {
 		if n == name {

@@ -1,0 +1,151 @@
+package cost
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/docgen"
+	"repro/internal/xmltree"
+)
+
+// chainSet builds the chooser-shaped input: single-node fragments in
+// preorder over one document, here a root chain of the given depth.
+func chainSet(t testing.TB, depth int) *core.Set {
+	t.Helper()
+	b := xmltree.NewBuilder("chain", "root", "")
+	parent := xmltree.NodeID(0)
+	for i := 0; i < depth; i++ {
+		parent = b.AddNode(parent, "lvl", "")
+	}
+	d := b.Build()
+	fs := core.NewSet()
+	for id := xmltree.NodeID(0); int(id) < d.Len(); id++ {
+		fs.Add(core.NodeFragment(d, id))
+	}
+	return fs
+}
+
+// TestEstimateRFZeroAllocOnSeedSets pins the hot auto path: seed sets
+// are single-node fragments in preorder, and estimating their RF must
+// not allocate — the old implementation built a fresh
+// rand.New(rand.NewSource(seed)) per call.
+func TestEstimateRFZeroAllocOnSeedSets(t *testing.T) {
+	fs := chainSet(t, 100) // n=101 > sample, so no exact-small-set path
+	var sink float64
+	allocs := testing.AllocsPerRun(100, func() {
+		sink = EstimateRF(fs, 16, 1)
+	})
+	if allocs != 0 {
+		t.Fatalf("EstimateRF on a seed set allocated %v allocs/run, want 0", allocs)
+	}
+	if sink <= 0.9 {
+		t.Fatalf("chain RF = %v, want ~(n-2)/n", sink)
+	}
+}
+
+// TestStructuralRFExactOnRandomTrees cross-checks the allocation-free
+// structural estimate against the full iterative reduction ⊖ on random
+// documents and random preorder-sorted witness subsets: for
+// single-node sets the two must agree exactly.
+func TestStructuralRFExactOnRandomTrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 40; trial++ {
+		doc, err := docgen.Generate(docgen.Config{
+			Seed: int64(trial + 1), Sections: 2 + trial%3, MeanFanout: 2 + trial%4, Depth: 1 + trial%3, VocabSize: 30,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := doc.Len()
+		picked := make(map[xmltree.NodeID]bool)
+		limit := n - 2
+		if limit > 57 {
+			limit = 57 // cap |F|: the ⊖ ground truth is O(|F|³) joins
+		}
+		want := 3 + rng.Intn(limit)
+		for len(picked) < want && len(picked) < n {
+			picked[xmltree.NodeID(rng.Intn(n))] = true
+		}
+		fs := core.NewSet()
+		for id := xmltree.NodeID(0); int(id) < n; id++ {
+			if picked[id] {
+				fs.Add(core.NodeFragment(doc, id))
+			}
+		}
+		got := EstimateRF(fs, 4, 1) // sample tiny: must not matter, structural path is exact
+		exact := core.ReductionFactor(fs)
+		if got != exact {
+			t.Fatalf("trial %d: structural RF = %v, exact ⊖ RF = %v (|F|=%d)", trial, got, exact, fs.Len())
+		}
+	}
+}
+
+// TestEliminableWitnessesMatchesReduce checks the raw-ID variant the
+// statistics layer uses against the same ground truth.
+func TestEliminableWitnessesMatchesReduce(t *testing.T) {
+	doc, err := docgen.Generate(docgen.Config{Seed: 5, Sections: 3, MeanFanout: 3, Depth: 2, VocabSize: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 25; trial++ {
+		limit := doc.Len() - 3
+		if limit > 47 {
+			limit = 47
+		}
+		picked := make(map[xmltree.NodeID]bool)
+		for len(picked) < 3+rng.Intn(limit) {
+			picked[xmltree.NodeID(rng.Intn(doc.Len()))] = true
+		}
+		var ids []xmltree.NodeID
+		fs := core.NewSet()
+		for id := xmltree.NodeID(0); int(id) < doc.Len(); id++ {
+			if picked[id] {
+				ids = append(ids, id)
+				fs.Add(core.NodeFragment(doc, id))
+			}
+		}
+		got := EliminableWitnesses(doc, ids)
+		exact := fs.Len() - core.Reduce(fs).Len()
+		if got != exact {
+			t.Fatalf("trial %d: EliminableWitnesses = %d, ⊖ eliminated %d (|F|=%d)", trial, got, exact, len(ids))
+		}
+	}
+}
+
+// TestChooseEachPerSet verifies the first-set-wins fix: a high-RF
+// chain set and a zero-RF scatter set in one query get different
+// strategies, while the headline stays what Choose used to report.
+func TestChooseEachPerSet(t *testing.T) {
+	c := Chooser{Crossover: 0.25, BruteForceLimit: 4, SampleSize: 32, Seed: 1}
+	chain := chainSet(t, 25)
+
+	bs := xmltree.NewBuilder("star", "root", "")
+	for i := 0; i < 30; i++ {
+		bs.AddNode(0, "leaf", "")
+	}
+	starDoc := bs.Build()
+	star := core.NewSet()
+	for id := xmltree.NodeID(1); int(id) < starDoc.Len(); id++ {
+		star.Add(core.NodeFragment(starDoc, id))
+	}
+
+	headline, perSet, rfs := c.ChooseEach([]*core.Set{chain, star}, false)
+	if headline != SetReduction {
+		t.Fatalf("headline = %v, want SetReduction", headline)
+	}
+	if len(perSet) != 2 || perSet[0] != SetReduction || perSet[1] != Naive {
+		t.Fatalf("perSet = %v, want [SetReduction Naive]", perSet)
+	}
+	if rfs[0] < c.Crossover || rfs[1] != 0 {
+		t.Fatalf("rfs = %v", rfs)
+	}
+	if got := c.Choose([]*core.Set{chain, star}, false); got != headline {
+		t.Fatalf("Choose = %v disagrees with ChooseEach headline %v", got, headline)
+	}
+
+	if h, ps, _ := c.ChooseEach([]*core.Set{chain, star}, true); h != PushDown || ps != nil {
+		t.Fatalf("anti-monotonic ChooseEach = %v %v, want PushDown nil", h, ps)
+	}
+}

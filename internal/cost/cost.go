@@ -8,21 +8,26 @@
 package cost
 
 import (
-	"math/rand"
-
 	"repro/internal/core"
+	"repro/internal/xmltree"
 )
 
-// EstimateRF estimates the reduction factor of fs by sampling: it
-// draws sample elements and tests each against the joins of
-// sample-sized random pairs, extrapolating the eliminated proportion.
-// sample ≤ 0 defaults to 16. For |fs| ≤ 2 the RF is exactly 0
-// (Definition 10 can eliminate nothing). The estimate is deterministic
-// for a given seed.
+// EstimateRF estimates the reduction factor of fs. Seed sets — the
+// only sets the auto chooser ever estimates — consist of single-node
+// fragments in preorder, and for those the RF is computed exactly in
+// one allocation-free scan (see structuralRF). General sets fall back
+// to sampling: draw sample elements and test each against the joins of
+// sample-sized pseudo-random pairs, extrapolating the eliminated
+// proportion. sample ≤ 0 defaults to 16. For |fs| ≤ 2 the RF is
+// exactly 0 (Definition 10 can eliminate nothing). The estimate is
+// deterministic for a given seed.
 func EstimateRF(fs *core.Set, sample int, seed int64) float64 {
 	n := fs.Len()
 	if n <= 2 {
 		return 0
+	}
+	if rf, ok := structuralRF(fs); ok {
+		return rf
 	}
 	if sample <= 0 {
 		sample = 16
@@ -31,17 +36,20 @@ func EstimateRF(fs *core.Set, sample int, seed int64) float64 {
 		// Small set: compute exactly.
 		return core.ReductionFactor(fs)
 	}
-	rng := rand.New(rand.NewSource(seed))
 	frags := fs.Fragments()
 	eliminated := 0
 	probes := sample
 	pairTrials := sample
+	state := uint64(seed)
+	var k, i, j uint64
 	for p := 0; p < probes; p++ {
-		k := rng.Intn(n)
+		k, state = splitmix64(state)
+		k %= uint64(n)
 		fk := frags[k]
 		for t := 0; t < pairTrials; t++ {
-			i := rng.Intn(n)
-			j := rng.Intn(n)
+			i, state = splitmix64(state)
+			j, state = splitmix64(state)
+			i, j = i%uint64(n), j%uint64(n)
 			if i == k || j == k || i == j {
 				continue
 			}
@@ -52,6 +60,117 @@ func EstimateRF(fs *core.Set, sample int, seed int64) float64 {
 		}
 	}
 	return float64(eliminated) / float64(probes)
+}
+
+// splitmix64 is the SplitMix64 step: it returns one pseudo-random
+// value and the advanced state. Replaces the per-call
+// rand.New(rand.NewSource(seed)) that used to dominate EstimateRF's
+// allocation profile on the auto path.
+func splitmix64(s uint64) (uint64, uint64) {
+	s += 0x9E3779B97F4A7C15
+	z := s
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return z, s
+}
+
+// structuralRF computes the exact reduction factor of a set of
+// single-node fragments over one document without a single join. A
+// single-node fragment k is eliminable (Definition 10) iff node k lies
+// strictly on the tree path between two other witnesses, i.e. iff k is
+// interior to the Steiner tree of the witness set — and the Steiner
+// leaves that witness the elimination are themselves never eliminable,
+// so the iterative reduction ⊖ converges to exactly the interior
+// count. With witnesses sorted by preorder ID, "interior" collapses to
+// extent arithmetic (SubtreeEnd is the largest ID inside the subtree,
+// inclusive): for k not the preorder minimum, eliminated(k) ⟺
+// the next witness falls inside subtree(k); for the minimum, the other
+// witnesses must additionally span two distinct child subtrees.
+// Returns ok=false (caller falls back to sampling) when fragments are
+// not single-node, span documents, or are not preorder-sorted.
+func structuralRF(fs *core.Set) (float64, bool) {
+	n := fs.Len()
+	doc := fs.At(0).Document()
+	for i := 0; i < n; i++ {
+		f := fs.At(i)
+		if f.Size() != 1 || f.Document() != doc {
+			return 0, false
+		}
+		if i > 0 && f.Root() <= fs.At(i-1).Root() {
+			return 0, false
+		}
+	}
+	last := fs.At(n - 1).Root()
+	eliminated := 0
+	for k := 0; k < n-1; k++ {
+		id := fs.At(k).Root()
+		end := doc.SubtreeEnd(id)
+		if fs.At(k+1).Root() > end {
+			continue // no witness inside subtree(id)
+		}
+		if k > 0 || last > end {
+			// A witness inside and one outside: id is on the path
+			// between them.
+			eliminated++
+			continue
+		}
+		// k is the preorder minimum and every other witness sits in its
+		// subtree: id is interior iff they span two child subtrees.
+		c := childContaining(doc, id, fs.At(1).Root())
+		if last > doc.SubtreeEnd(c) {
+			eliminated++
+		}
+	}
+	return float64(eliminated) / float64(n), true
+}
+
+// childContaining returns the child of parent whose subtree contains
+// w (which must be a strict descendant of parent). Children are stored
+// in preorder, so this is a binary search for the greatest child ≤ w.
+func childContaining(doc *xmltree.Document, parent, w xmltree.NodeID) xmltree.NodeID {
+	kids := doc.Children(parent)
+	lo, hi := 0, len(kids)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if kids[mid] <= w {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return kids[lo]
+}
+
+// EliminableWitnesses counts, among the preorder-sorted witness nodes
+// ids, those eliminable under Definition 10 when each witness seeds a
+// single-node fragment — the statistics layer's per-term ingredient
+// for estimating RF without sampling. Same extent arithmetic as
+// structuralRF, operating on raw node IDs.
+func EliminableWitnesses(doc *xmltree.Document, ids []xmltree.NodeID) int {
+	n := len(ids)
+	if n <= 2 {
+		return 0
+	}
+	last := ids[n-1]
+	eliminated := 0
+	for k := 0; k < n-1; k++ {
+		end := doc.SubtreeEnd(ids[k])
+		if ids[k+1] > end {
+			continue
+		}
+		if k > 0 || last > end {
+			eliminated++
+			continue
+		}
+		c := childContaining(doc, ids[k], ids[1])
+		if last > doc.SubtreeEnd(c) {
+			eliminated++
+		}
+	}
+	return eliminated
 }
 
 // Strategy identifies one of the three evaluation strategies of
@@ -156,20 +275,80 @@ func (p PostingPrune) PairFeasible(n1, n2 int) bool {
 // computing ⊖ up front) and the checking-based iteration (Naive);
 // tiny inputs use the literal evaluation.
 func (c Chooser) Choose(sets []*core.Set, antiMonotonic bool) Strategy {
+	headline, _, _ := c.ChooseEach(sets, antiMonotonic)
+	return headline
+}
+
+// ChooseEach is Choose deciding per seed set instead of
+// first-set-wins: each fixed-point computation gets the strategy its
+// own RF estimate justifies, so one chain-shaped set no longer forces
+// the ⊖ pre-computation onto scattered-leaf sets where the checking
+// iteration is cheaper. It returns the headline strategy (PushDown and
+// BruteForce remain whole-query decisions; otherwise SetReduction if
+// any set crosses the crossover, Naive if none does — matching what
+// Choose used to report), the per-set strategies, and the per-set RF
+// estimates. perSet and rfs are nil when the headline decision
+// bypasses per-set estimation (PushDown, BruteForce).
+func (c Chooser) ChooseEach(sets []*core.Set, antiMonotonic bool) (Strategy, []Strategy, []float64) {
 	if antiMonotonic {
-		return PushDown
+		return PushDown, nil, nil
 	}
 	total := 0
 	for _, s := range sets {
 		total += s.Len()
 	}
 	if total <= c.BruteForceLimit {
-		return BruteForce
+		return BruteForce, nil, nil
 	}
-	for _, s := range sets {
-		if EstimateRF(s, c.SampleSize, c.Seed) >= c.Crossover {
-			return SetReduction
+	headline := Naive
+	perSet := make([]Strategy, len(sets))
+	rfs := make([]float64, len(sets))
+	for i, s := range sets {
+		rfs[i] = EstimateRF(s, c.SampleSize, c.Seed)
+		if rfs[i] >= c.Crossover {
+			perSet[i] = SetReduction
+			headline = SetReduction
+		} else {
+			perSet[i] = Naive
 		}
 	}
-	return Naive
+	return headline, perSet, rfs
+}
+
+// TermStats aggregates what a statistics provider knows about one
+// term's witnesses across a shard's documents.
+type TermStats struct {
+	// Postings is the total posting-list length (seed fragments the
+	// term contributes) summed over documents.
+	Postings uint64
+	// Docs is the number of documents containing the term.
+	Docs uint64
+	// Eliminable is the number of postings eliminable under
+	// Definition 10 within their own document (EliminableWitnesses,
+	// summed over documents) — the numerator of the stats-based RF.
+	Eliminable uint64
+}
+
+// RF returns the statistics-estimated reduction factor
+// Eliminable/Postings (0 for an absent term).
+func (t TermStats) RF() float64 {
+	if t.Postings == 0 {
+		return 0
+	}
+	return float64(t.Eliminable) / float64(t.Postings)
+}
+
+// StatsProvider is what the planner consumes: incrementally maintained
+// per-shard statistics (internal/stats implements it) that replace
+// query-time RF sampling on the hot auto path.
+type StatsProvider interface {
+	// TermStats returns the aggregate for one normalized term; ok is
+	// false when the term is unknown to the shard.
+	TermStats(term string) (TermStats, bool)
+	// DocCount is the number of documents in the shard.
+	DocCount() int
+	// StatsEpoch is a counter advanced by every observed mutation;
+	// plans stamp the epoch they were computed at so drift can trigger
+	// re-planning.
+	StatsEpoch() uint64
 }

@@ -98,6 +98,51 @@ func BoundsOf(clauses ...Filter) Bounds {
 	return b
 }
 
+// evalRank orders clauses by expected evaluation cost: structural
+// bound checks (size/height/depth/width ≤ N) are O(1) label
+// arithmetic, other anti-monotonic clauses are cheap structural
+// predicates, and everything else (content predicates, composites) may
+// walk the fragment.
+func (f Filter) evalRank() int {
+	switch {
+	case f.Kind != BoundNone:
+		return 0
+	case f.AntiMonotonic:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// OrderCheapFirst returns the clauses reordered for short-circuit
+// conjunction evaluation: constant-time structural bounds first, then
+// remaining anti-monotonic clauses, then the rest. The sort is stable,
+// and an already-ordered list is returned as-is without copying.
+// Sound for any conjunction — reordering ∧ is the planner's simplest
+// algebraic rewrite — but callers that render clause lists should keep
+// the original order for display.
+func OrderCheapFirst(fs []Filter) []Filter {
+	ordered := true
+	for i := 1; i < len(fs); i++ {
+		if fs[i].evalRank() < fs[i-1].evalRank() {
+			ordered = false
+			break
+		}
+	}
+	if ordered {
+		return fs
+	}
+	out := make([]Filter, 0, len(fs))
+	for rank := 0; rank <= 2; rank++ {
+		for _, f := range fs {
+			if f.evalRank() == rank {
+				out = append(out, f)
+			}
+		}
+	}
+	return out
+}
+
 // Apply evaluates the predicate; a zero-valued Filter accepts
 // everything.
 func (f Filter) Apply(frag core.Fragment) bool {

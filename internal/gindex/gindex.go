@@ -653,6 +653,27 @@ func (sh *Shard) Lookup(term string) []Posting {
 	return sh.postingsLocked(term)
 }
 
+// TermPostingStats summarizes a term's live postings without
+// materializing them: how many live documents contain it and the total
+// occurrence (node) count across them. This is the index-side ground
+// truth the planner's incrementally-maintained per-shard statistics
+// (internal/stats) can be cross-checked against.
+func (sh *Shard) TermPostingStats(term string) (docs, nodes int) {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	seen := make(map[uint32]struct{})
+	for _, src := range [2][]Posting{sh.disk[term], sh.mem[term]} {
+		for _, p := range src {
+			if sh.dead[p.Doc] {
+				continue
+			}
+			nodes++
+			seen[p.Doc] = struct{}{}
+		}
+	}
+	return len(seen), nodes
+}
+
 // ReplaySource captures, once, everything WAL replay needs to skip
 // re-tokenizing covered documents: per live name, the content hash,
 // node count, and the per-document postings regrouped as

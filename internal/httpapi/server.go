@@ -810,6 +810,36 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		"physical": q.PhysicalPlan(strat).Render(),
 		"strategy": strat.String(),
 	}
+	if s.st != nil {
+		// The adaptive planner's view: the compiled plan each shard's
+		// plan cache would serve this query on the auto path, with the
+		// statistics it was derived from. Served through the real
+		// caches, so outcome shows hit/miss/replan as a search would.
+		plans := s.st.ExplainPlans(q, cost.DefaultChooser())
+		shardPlans := make([]map[string]any, 0, len(plans))
+		for _, sp := range plans {
+			entry := map[string]any{
+				"shard":   sp.Shard,
+				"outcome": sp.Outcome.String(),
+			}
+			if p := sp.Plan; p != nil {
+				strats := make([]string, len(p.SetStrategies))
+				for i, ss := range p.SetStrategies {
+					strats[i] = ss.String()
+				}
+				entry["strategy"] = p.Strategy.String()
+				entry["set_strategies"] = strats
+				entry["rf_estimates"] = p.RFs
+				entry["expected_seeds"] = p.ExpectedSeeds
+				entry["join_order"] = p.Order
+				entry["stats_epoch"] = p.Epoch
+				entry["docs"] = p.Docs
+				entry["physical"] = q.PhysicalPlanFor(p.Strategy, p).Render()
+			}
+			shardPlans = append(shardPlans, entry)
+		}
+		body["plan"] = shardPlans
+	}
 	if qs.Get("trace") == "1" {
 		// Run the query for real with span recording: the plan above is
 		// the static picture, the trace is what actually executed (per

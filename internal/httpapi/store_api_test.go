@@ -212,15 +212,57 @@ func TestStoreMetricsEndpoint(t *testing.T) {
 	prom := w.Body.String()
 	// Only the shard holding the document has recorded anything (an
 	// empty registry exports no series), so assert on the store-level
-	// gauges plus the presence of a shard-prefixed series.
+	// gauges plus the presence of a shard-prefixed series. The planner
+	// series exist from open (counters) and first mutation (epoch).
 	for _, want := range []string{
 		"# TYPE xfrag_store_documents gauge",
 		"# TYPE xfrag_ingest_queue_depth gauge",
+		"# TYPE xfrag_planner_plan_misses_total counter",
+		"# TYPE xfrag_planner_plan_hits_total counter",
+		"# TYPE xfrag_planner_replans_total counter",
+		"planner_stats_epoch",
 		"xfrag_shard",
 	} {
 		if !strings.Contains(prom, want) {
 			t.Fatalf("prometheus output missing %q:\n%s", want, prom)
 		}
+	}
+}
+
+// TestExplainPlanOverHTTP checks a store-backed explain reports the
+// adaptive planner's per-shard compiled plan: strategies, statistics
+// estimates, join order and cache outcome.
+func TestExplainPlanOverHTTP(t *testing.T) {
+	s, _ := storeServer(t, store.Options{Shards: 2})
+	if w := postDoc(t, s, "/api/v1/docs", "p.xml", "<doc><sec>xquery plans</sec><sec>xquery costs</sec></doc>"); w.Code != http.StatusCreated {
+		t.Fatalf("add: %d", w.Code)
+	}
+	rec, body := get(t, s, "/api/v1/explain?q=xquery+plans")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("explain: %d", rec.Code)
+	}
+	plans, ok := body["plan"].([]any)
+	if !ok || len(plans) != 2 {
+		t.Fatalf("explain plan section = %v", body["plan"])
+	}
+	first := plans[0].(map[string]any)
+	if first["outcome"] != "miss" {
+		t.Fatalf("first explain outcome = %v, want miss", first["outcome"])
+	}
+	strats, ok := first["set_strategies"].([]any)
+	if !ok || len(strats) != 2 {
+		t.Fatalf("set_strategies = %v", first["set_strategies"])
+	}
+	if _, ok := first["rf_estimates"].([]any); !ok {
+		t.Fatalf("rf_estimates = %v", first["rf_estimates"])
+	}
+	if _, ok := first["physical"].(string); !ok {
+		t.Fatalf("physical = %v", first["physical"])
+	}
+	// Same shape again: served from the plan cache.
+	_, body = get(t, s, "/api/v1/explain?q=xquery+plans")
+	if out := body["plan"].([]any)[0].(map[string]any)["outcome"]; out != "hit" {
+		t.Fatalf("second explain outcome = %v, want hit", out)
 	}
 }
 

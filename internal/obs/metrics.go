@@ -91,6 +91,15 @@ const (
 	MStandingCacheHits     = "standing_cache_hits_total"
 	MStandingErrors        = "standing_errors_total"
 	MStandingDeltaSeconds  = "standing_delta_seconds"
+
+	// Adaptive-planner metrics (internal/engine plan cache + per-shard
+	// statistics). Hits serve a cached plan, misses compile one, replans
+	// recompile after statistics drift; the epoch gauge exposes the
+	// shard's statistics version so drift is observable externally.
+	MPlannerPlanHits   = "planner_plan_hits_total"
+	MPlannerPlanMisses = "planner_plan_misses_total"
+	MPlannerReplans    = "planner_replans_total"
+	MPlannerStatsEpoch = "planner_stats_epoch"
 )
 
 // LatencyBuckets are the fixed upper bounds (seconds) for latency

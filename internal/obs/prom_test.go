@@ -14,7 +14,9 @@ import (
 func TestPrometheusExpositionGolden(t *testing.T) {
 	m := NewMetrics()
 	m.Counter("queries_total").Add(3)
+	m.Counter(MPlannerPlanHits).Add(5)
 	m.Gauge("inflight_queries").Set(2)
+	m.Gauge(MPlannerStatsEpoch).Set(7)
 	m.Gauge(LabeledName("build_info", "version", "v1")).Set(1)
 
 	h := m.Histogram("latency_seconds", []float64{0.1, 0.5})
@@ -30,12 +32,16 @@ func TestPrometheusExpositionGolden(t *testing.T) {
 	var sb strings.Builder
 	m.WritePrometheus(&sb, "x")
 	got := sb.String()
-	want := `# TYPE x_queries_total counter
+	want := `# TYPE x_planner_plan_hits_total counter
+x_planner_plan_hits_total 5
+# TYPE x_queries_total counter
 x_queries_total 3
 # TYPE x_build_info gauge
 x_build_info{version="v1"} 1
 # TYPE x_inflight_queries gauge
 x_inflight_queries 2
+# TYPE x_planner_stats_epoch gauge
+x_planner_stats_epoch 7
 # TYPE x_latency_seconds histogram
 x_latency_seconds_bucket{le="0.1"} 1
 x_latency_seconds_bucket{le="0.5"} 2

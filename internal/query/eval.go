@@ -25,6 +25,12 @@ type Options struct {
 	// Chooser parameterizes Auto; the zero value is replaced by
 	// cost.DefaultChooser.
 	Chooser cost.Chooser
+	// Plan, when non-nil and Auto is set, supplies the per-set
+	// strategies a per-shard planner compiled from maintained
+	// statistics, replacing query-time RF estimation. Push-down and
+	// brute-force remain evaluation-time decisions (see query.Plan);
+	// a plan that does not match the query's group count is ignored.
+	Plan *Plan
 	// MaxFragments caps how many fragments any intermediate set may
 	// hold before evaluation aborts with core.ErrBudgetExceeded (the
 	// powerset join is worst-case exponential; Section 3.1). Zero
@@ -64,8 +70,23 @@ func (o Options) maxFragments() int {
 // race-free — concurrent evaluations never contribute to each other's
 // Stats.
 type Stats struct {
-	// Strategy actually used (relevant with Options.Auto).
+	// Strategy actually used (relevant with Options.Auto). When
+	// per-set choice was in play this is the headline: SetReduction if
+	// any fixed point used it, Naive otherwise.
 	Strategy cost.Strategy
+	// SetStrategies is the strategy per fixed point (term order) when
+	// the auto chooser or a compiled plan decided per set; nil for
+	// forced strategies and for the whole-query decisions (PushDown,
+	// BruteForce).
+	SetStrategies []cost.Strategy
+	// RFEstimates are the per-set reduction-factor estimates that
+	// drove the choice (term order): statistics-derived when a plan
+	// was used, structural/sampled otherwise. Nil when no per-set
+	// estimation happened.
+	RFEstimates []float64
+	// Planned reports the strategies came from a compiled per-shard
+	// plan rather than query-time estimation.
+	Planned bool
 	// SeedSizes are |Fi| per query term, in term order.
 	SeedSizes []int
 	// FixedPointSizes are |Fi⁺| per term (or the filtered fixed-point
@@ -127,11 +148,12 @@ type EvalContext struct {
 }
 
 // seedRef pairs one conjunctive group's seed set with its display
-// term, so trace spans stay labeled after the seeds are re-ordered by
-// size.
+// term and group index, so trace spans stay labeled and per-set
+// strategies stay attributable after the seeds are re-ordered by size.
 type seedRef struct {
-	set  *core.Set
-	term string
+	set   *core.Set
+	term  string
+	group int
 }
 
 // Canceled reports an evaluation stopped by its context — the error
@@ -244,7 +266,7 @@ func EvaluateContext(ctx context.Context, x *index.Index, q Query, opts Options)
 			label = terms[i]
 		}
 		sp := ec.Span.Start("seed", label)
-		seeds[i] = seedRef{set: core.NodeFragments(doc, seedNodes(x, alts)), term: label}
+		seeds[i] = seedRef{set: core.NodeFragments(doc, seedNodes(x, alts)), term: label, group: i}
 		stats.SeedSizes[i] = seeds[i].set.Len()
 		sp.Finish(seeds[i].set.Len())
 		if seeds[i].set.Len() == 0 {
@@ -265,12 +287,36 @@ func EvaluateContext(ctx context.Context, x *index.Index, q Query, opts Options)
 	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].set.Len() < ordered[j].set.Len() })
 
 	strategy := opts.Strategy
+	var perSet []cost.Strategy
 	if opts.Auto {
 		ch := opts.Chooser
 		if ch == (cost.Chooser{}) {
 			ch = cost.DefaultChooser()
 		}
-		strategy = ch.Choose(seedSets(seeds), q.HasPushableFilter())
+		total := 0
+		for _, r := range seeds {
+			total += r.set.Len()
+		}
+		switch {
+		case q.HasPushableFilter():
+			// Theorem 3: an anti-monotonic clause always makes
+			// push-down the right whole-query choice.
+			strategy = cost.PushDown
+		case total <= ch.BruteForceLimit:
+			// Brute-force feasibility is decided on the ACTUAL seed
+			// count of this document — never by a plan, whose
+			// shard-level averages could force the exponential
+			// powerset evaluation where it is infeasible.
+			strategy = cost.BruteForce
+		case opts.Plan.usable(len(seeds)):
+			strategy = opts.Plan.Strategy
+			perSet = opts.Plan.SetStrategies
+			stats.RFEstimates = opts.Plan.RFs
+			stats.Planned = true
+		default:
+			strategy, perSet, stats.RFEstimates = ch.ChooseEach(seedSets(seeds), false)
+		}
+		stats.SetStrategies = perSet
 	}
 	stats.Strategy = strategy
 	ec.Span.SetDetail(strategy.String())
@@ -305,10 +351,8 @@ func EvaluateContext(ctx context.Context, x *index.Index, q Query, opts Options)
 	switch strategy {
 	case cost.BruteForce:
 		answers, err = evalBruteForce(ec, ordered, q, &stats, budget)
-	case cost.Naive:
-		answers, err = evalFixedPoints(ec, ordered, q, &stats, budget, core.FixedPointNaiveBoundedCtx)
-	case cost.SetReduction:
-		answers, err = evalFixedPoints(ec, ordered, q, &stats, budget, core.FixedPointBoundedCtx)
+	case cost.Naive, cost.SetReduction:
+		answers, err = evalFixedPoints(ec, ordered, q, &stats, budget, perSet)
 	case cost.PushDown:
 		workers := opts.Workers
 		if workers < 0 {
@@ -415,13 +459,32 @@ func budgetError(seeds, budget int) error {
 	return fmt.Errorf("query: brute force over %d seed fragments exceeds the %d-fragment budget: %w", seeds, budget, core.ErrBudgetExceeded)
 }
 
+// fixedPointFn is the shape shared by the naive (checking) and
+// set-reduction (Theorem 1-budgeted) fixed-point computations.
+type fixedPointFn = func(context.Context, *core.EvalState, *core.Set, int) (*core.Set, error)
+
+// fixedPointFor picks the fixed-point computation for one seed set:
+// its per-set strategy when the chooser or plan decided per set, the
+// evaluation's headline strategy otherwise.
+func fixedPointFor(stats *Stats, perSet []cost.Strategy, ref seedRef) fixedPointFn {
+	s := stats.Strategy
+	if perSet != nil && ref.group >= 0 && ref.group < len(perSet) {
+		s = perSet[ref.group]
+	}
+	if s == cost.SetReduction {
+		return core.FixedPointBoundedCtx
+	}
+	return core.FixedPointNaiveBoundedCtx
+}
+
 // evalFixedPoints is Sections 3.1/4.2: per-term fixed points (naive or
-// Theorem 1-budgeted, per fp), pairwise-joined left to right, with the
-// whole selection applied last.
-func evalFixedPoints(ctx *EvalContext, seeds []seedRef, q Query, stats *Stats, budget int, fp func(context.Context, *core.EvalState, *core.Set, int) (*core.Set, error)) (*core.Set, error) {
+// Theorem 1-budgeted, chosen per set from perSet when present),
+// pairwise-joined in ascending seed-size order, with the whole
+// selection applied last.
+func evalFixedPoints(ctx *EvalContext, seeds []seedRef, q Query, stats *Stats, budget int, perSet []cost.Strategy) (*core.Set, error) {
 	fpStart := time.Now()
 	sp := ctx.Span.Start("fixed-point", seeds[0].term)
-	acc, err := fp(ctx.Ctx, ctx.State, seeds[0].set, budget)
+	acc, err := fixedPointFor(stats, perSet, seeds[0])(ctx.Ctx, ctx.State, seeds[0].set, budget)
 	if err != nil {
 		return nil, err
 	}
@@ -431,7 +494,7 @@ func evalFixedPoints(ctx *EvalContext, seeds []seedRef, q Query, stats *Stats, b
 	for _, s := range seeds[1:] {
 		fpStart = time.Now()
 		spFP := ctx.Span.Start("fixed-point", s.term)
-		next, err := fp(ctx.Ctx, ctx.State, s.set, budget)
+		next, err := fixedPointFor(stats, perSet, s)(ctx.Ctx, ctx.State, s.set, budget)
 		if err != nil {
 			return nil, err
 		}
@@ -459,7 +522,9 @@ func evalFixedPoints(ctx *EvalContext, seeds []seedRef, q Query, stats *Stats, b
 // set-reduction strategy.
 func evalPushDown(ctx *EvalContext, seeds []seedRef, q Query, stats *Stats, budget, workers int) (*core.Set, error) {
 	pushable := q.Pushable()
-	push := pushable.Apply
+	// Evaluate the pushed conjunction cheap-clauses-first; span labels
+	// keep the query's clause order via pushable.Name.
+	push := q.pushableFunc()
 	fpStart := time.Now()
 	sp := ctx.Span.Start("filtered-fixed-point", spanFilterDetail(seeds[0].term, pushable.Name))
 	acc, err := core.FilteredFixedPointParallelCtx(ctx.Ctx, ctx.State, seeds[0].set, push, workers, budget)

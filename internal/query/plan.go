@@ -68,6 +68,30 @@ func (q Query) PhysicalPlan(s cost.Strategy) *PlanNode {
 	}
 }
 
+// PhysicalPlanFor renders the evaluation tree a compiled plan
+// executes: terms appear in the plan's cheapest-set-first join order
+// and each fixed point carries its per-set iteration scheme (the
+// planner's two algebraic rewrites made visible). Falls back to
+// PhysicalPlan when the plan cannot steer this query (nil, group
+// mismatch, or a whole-query strategy).
+func (q Query) PhysicalPlanFor(s cost.Strategy, p *Plan) *PlanNode {
+	if !p.usable(len(q.Terms)) || (s != cost.Naive && s != cost.SetReduction) {
+		return q.PhysicalPlan(s)
+	}
+	fp := func(i int) *PlanNode {
+		detail := "until-stable"
+		if p.SetStrategies[i] == cost.SetReduction {
+			detail = "|⊖(F)| iterations"
+		}
+		return &PlanNode{Op: "fixpoint", Detail: detail, Children: []*PlanNode{leaf(q.Terms[i])}}
+	}
+	node := fp(p.Order[0])
+	for _, i := range p.Order[1:] {
+		node = &PlanNode{Op: "⋈", Children: []*PlanNode{node, fp(i)}}
+	}
+	return &PlanNode{Op: "σ", Detail: q.Predicate().String(), Children: []*PlanNode{node}}
+}
+
 func fixpointChain(terms []string, fpOp, fpDetail, joinOp string) *PlanNode {
 	fp := func(t string) *PlanNode {
 		return &PlanNode{Op: fpOp, Detail: fpDetail, Children: []*PlanNode{leaf(t)}}

@@ -1,0 +1,123 @@
+package query
+
+import (
+	"sort"
+
+	"repro/internal/cost"
+)
+
+// Plan is a compiled physical plan for one query shape on one shard:
+// the per-set strategy choices and the statistics they were derived
+// from. Plans are computed from a cost.StatsProvider (per-shard
+// maintained aggregates) instead of query-time RF sampling, cached by
+// the engine's plan cache, and stamped with the statistics epoch so
+// drift can trigger re-planning.
+//
+// A plan never selects BruteForce or PushDown: push-down depends only
+// on the query's own filters and brute-force feasibility depends on
+// the ACTUAL per-document seed count — shard-level averages could
+// declare the exponential powerset evaluation feasible for a document
+// where it is not, turning answers into budget errors. Both remain
+// evaluation-time decisions (eval.go applies them before consulting
+// the plan), so a plan can only ever steer the Naive/SetReduction
+// choice, which never changes answer sets.
+type Plan struct {
+	// Strategy is the headline choice: SetReduction if any set crosses
+	// the crossover, Naive otherwise.
+	Strategy cost.Strategy
+	// SetStrategies is the strategy per conjunctive group, in group
+	// order.
+	SetStrategies []cost.Strategy
+	// RFs are the stats-estimated reduction factors per group.
+	RFs []float64
+	// ExpectedSeeds is the expected per-document seed count per group
+	// (postings / documents).
+	ExpectedSeeds []float64
+	// Order lists group indices cheapest-first (ascending expected
+	// seeds) — the join order the plan predicts; evaluation re-derives
+	// the order from actual seed sizes, which can only be more
+	// accurate.
+	Order []int
+	// Epoch is the statistics epoch the plan was computed at, and Docs
+	// the shard's document count then; both feed the drift check.
+	Epoch uint64
+	// Docs is the shard's document count at planning time.
+	Docs int
+}
+
+// usable reports whether the plan can steer an evaluation over n
+// conjunctive groups.
+func (p *Plan) usable(n int) bool {
+	if p == nil || len(p.SetStrategies) != n {
+		return false
+	}
+	for _, s := range p.SetStrategies {
+		if s != cost.Naive && s != cost.SetReduction {
+			return false
+		}
+	}
+	return true
+}
+
+// PlanQuery compiles a plan for q from per-shard statistics. The RF of
+// a group is estimated as the posting-weighted aggregate of its
+// alternatives' eliminable-witness counts; a group whose terms the
+// shard has never seen plans as Naive with RF 0 (evaluation
+// short-circuits to an empty answer anyway when a group has no
+// witnesses). Phrase alternatives are approximated by their first
+// word's statistics — a superset of the phrase's witnesses, which can
+// only overestimate seeds, never misestimate eliminability direction.
+func PlanQuery(q Query, ch cost.Chooser, prov cost.StatsProvider) *Plan {
+	if ch == (cost.Chooser{}) {
+		ch = cost.DefaultChooser()
+	}
+	groups := q.Groups
+	if groups == nil {
+		for _, t := range q.Terms {
+			groups = append(groups, []string{t})
+		}
+	}
+	docs := prov.DocCount()
+	p := &Plan{
+		Strategy:      cost.Naive,
+		SetStrategies: make([]cost.Strategy, len(groups)),
+		RFs:           make([]float64, len(groups)),
+		ExpectedSeeds: make([]float64, len(groups)),
+		Order:         make([]int, len(groups)),
+		Epoch:         prov.StatsEpoch(),
+		Docs:          docs,
+	}
+	for i, alts := range groups {
+		var agg cost.TermStats
+		for _, alt := range alts {
+			term := alt
+			if IsPhrase(alt) {
+				if words := PhraseWords(alt); len(words) > 0 {
+					term = words[0]
+				}
+			}
+			if ts, ok := prov.TermStats(term); ok {
+				agg.Postings += ts.Postings
+				agg.Eliminable += ts.Eliminable
+				if ts.Docs > agg.Docs {
+					agg.Docs = ts.Docs
+				}
+			}
+		}
+		p.RFs[i] = agg.RF()
+		if docs > 0 {
+			p.ExpectedSeeds[i] = float64(agg.Postings) / float64(docs)
+		}
+		if p.RFs[i] >= ch.Crossover {
+			p.SetStrategies[i] = cost.SetReduction
+			p.Strategy = cost.SetReduction
+		} else {
+			p.SetStrategies[i] = cost.Naive
+		}
+		p.Order[i] = i
+	}
+	sort.SliceStable(p.Order, func(a, b int) bool {
+		return p.ExpectedSeeds[p.Order[a]] < p.ExpectedSeeds[p.Order[b]]
+	})
+	return p
+}

@@ -228,8 +228,26 @@ func (q Query) String() string {
 	return sb.String()
 }
 
-// predicateFunc adapts the full predicate for core.Set.Select.
+// predicateFunc adapts the full predicate for core.Set.Select, with
+// clauses reordered cheap-first (structural bounds, then other
+// anti-monotonic clauses, then content predicates) so the conjunction
+// short-circuits on the cheapest test. Display strings (Predicate,
+// String) keep the query's clause order.
 func (q Query) predicateFunc() func(core.Fragment) bool {
-	p := q.Predicate()
+	p := filter.And(filter.OrderCheapFirst(q.Filters)...)
+	return p.Apply
+}
+
+// pushableFunc is Pushable's predicate with the same cheap-first
+// clause ordering, for the filtered fixed points and joins of the
+// push-down strategy.
+func (q Query) pushableFunc() func(core.Fragment) bool {
+	var anti []filter.Filter
+	for _, f := range q.Filters {
+		if f.AntiMonotonic {
+			anti = append(anti, f)
+		}
+	}
+	p := filter.And(filter.OrderCheapFirst(anti)...)
 	return p.Apply
 }

@@ -1,0 +1,191 @@
+// Package stats maintains cheap per-shard statistics for the
+// cost-based planner: document and node counts, size/height/depth
+// histograms, and per-term posting aggregates (posting length,
+// document frequency, structurally eliminable witnesses). Counters are
+// updated incrementally on every mutation path — direct writes, async
+// ingest, WAL replay, replica apply, and SetAll snapshot swaps all
+// funnel through collection.Collection's write lock, which calls
+// ObserveUpsert/ObserveRemove/Reset — so the planner estimates RF from
+// maintained aggregates instead of sampling joins at query time. Every
+// observation advances an epoch; compiled plans stamp the epoch they
+// were planned at, and drift past a threshold triggers re-planning.
+package stats
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/cost"
+	"repro/internal/index"
+	"repro/internal/xmltree"
+)
+
+// Buckets is the number of power-of-two histogram buckets: bucket i
+// counts values v with 2^(i-1) < v ≤ 2^i (bucket 0 counts v ≤ 1), and
+// the last bucket absorbs everything larger.
+const Buckets = 16
+
+// Histogram is a fixed power-of-two bucket array (see Buckets).
+type Histogram [Buckets]uint64
+
+// bucketOf maps a value to its histogram bucket.
+func bucketOf(v int) int {
+	if v <= 1 {
+		return 0
+	}
+	b := bits.Len(uint(v - 1))
+	if b >= Buckets {
+		return Buckets - 1
+	}
+	return b
+}
+
+// termAgg accumulates one term's statistics across the shard's
+// documents. Removal recomputes the same quantities from the departing
+// document and subtracts, so no per-document state is retained.
+type termAgg struct {
+	postings   uint64
+	docs       uint64
+	eliminable uint64
+}
+
+// Shard is one shard's statistics. Mutations arrive serialized under
+// the owning collection's write lock; reads (the planner, explain,
+// metrics) take the internal read lock. The epoch is atomic so the
+// plan cache's hit path never takes a lock here.
+type Shard struct {
+	mu     sync.RWMutex
+	docs   int
+	nodes  uint64
+	size   Histogram // per-document node counts
+	height Histogram // per-document root heights
+	depth  Histogram // per-node depths
+	terms  map[string]*termAgg
+	epoch  atomic.Uint64
+}
+
+// NewShard returns an empty statistics shard.
+func NewShard() *Shard {
+	return &Shard{terms: make(map[string]*termAgg)}
+}
+
+// ObserveUpsert folds one document (with its index) into the
+// statistics. The caller must pair it with ObserveRemove of the exact
+// same document when the document leaves or is replaced.
+func (s *Shard) ObserveUpsert(doc *xmltree.Document, x *index.Index) {
+	s.observe(doc, x, +1)
+}
+
+// ObserveRemove subtracts a previously observed document.
+func (s *Shard) ObserveRemove(doc *xmltree.Document, x *index.Index) {
+	s.observe(doc, x, -1)
+}
+
+func (s *Shard) observe(doc *xmltree.Document, x *index.Index, sign int) {
+	if s == nil || doc == nil || x == nil {
+		return
+	}
+	s.mu.Lock()
+	s.docs += sign
+	n := doc.Len()
+	s.nodes += uint64(sign * n)
+	s.size[bucketOf(n)] += uint64(sign)
+	s.height[bucketOf(doc.Height(0)+1)] += uint64(sign)
+	for id := 0; id < n; id++ {
+		s.depth[bucketOf(doc.Depth(xmltree.NodeID(id))+1)] += uint64(sign)
+	}
+	for _, t := range x.Terms() {
+		ids := x.LookupExact(t)
+		agg := s.terms[t]
+		if agg == nil {
+			if sign < 0 {
+				continue // defensive: removal of an unobserved term
+			}
+			agg = &termAgg{}
+			s.terms[t] = agg
+		}
+		agg.postings += uint64(sign * len(ids))
+		agg.docs += uint64(sign)
+		agg.eliminable += uint64(sign * cost.EliminableWitnesses(doc, ids))
+		if agg.postings == 0 && agg.docs == 0 {
+			delete(s.terms, t)
+		}
+	}
+	s.mu.Unlock()
+	s.epoch.Add(1)
+}
+
+// Reset clears every counter (SetAll snapshot swaps start from an
+// empty shard before re-observing the new contents) and advances the
+// epoch.
+func (s *Shard) Reset() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.docs = 0
+	s.nodes = 0
+	s.size = Histogram{}
+	s.height = Histogram{}
+	s.depth = Histogram{}
+	s.terms = make(map[string]*termAgg)
+	s.mu.Unlock()
+	s.epoch.Add(1)
+}
+
+// TermStats implements cost.StatsProvider.
+func (s *Shard) TermStats(term string) (cost.TermStats, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	agg, ok := s.terms[term]
+	if !ok {
+		return cost.TermStats{}, false
+	}
+	return cost.TermStats{Postings: agg.postings, Docs: agg.docs, Eliminable: agg.eliminable}, true
+}
+
+// DocCount implements cost.StatsProvider.
+func (s *Shard) DocCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.docs
+}
+
+// StatsEpoch implements cost.StatsProvider. Lock-free: the plan
+// cache's hit path polls it on every query.
+func (s *Shard) StatsEpoch() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.epoch.Load()
+}
+
+// Summary is a point-in-time copy of the shard's aggregates, for
+// explain output and metrics.
+type Summary struct {
+	Docs   int
+	Nodes  uint64
+	Terms  int
+	Epoch  uint64
+	Size   Histogram
+	Height Histogram
+	Depth  Histogram
+}
+
+// Snapshot returns a consistent copy of the aggregates.
+func (s *Shard) Snapshot() Summary {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return Summary{
+		Docs:   s.docs,
+		Nodes:  s.nodes,
+		Terms:  len(s.terms),
+		Epoch:  s.epoch.Load(),
+		Size:   s.size,
+		Height: s.height,
+		Depth:  s.depth,
+	}
+}
+
+var _ cost.StatsProvider = (*Shard)(nil)

@@ -1,0 +1,111 @@
+package stats
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/docgen"
+	"repro/internal/index"
+)
+
+func genDoc(t *testing.T, seed int64) (*index.Index, *core.Set) {
+	t.Helper()
+	doc, err := docgen.Generate(docgen.Config{Seed: seed, Sections: 3, MeanFanout: 3, Depth: 2, VocabSize: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return index.New(doc), nil
+}
+
+func TestObserveUpsertAggregatesTerms(t *testing.T) {
+	x, _ := genDoc(t, 1)
+	s := NewShard()
+	s.ObserveUpsert(x.Document(), x)
+
+	if s.DocCount() != 1 {
+		t.Fatalf("DocCount = %d, want 1", s.DocCount())
+	}
+	for _, term := range x.Terms() {
+		ids := x.LookupExact(term)
+		ts, ok := s.TermStats(term)
+		if !ok {
+			t.Fatalf("term %q missing from stats", term)
+		}
+		if int(ts.Postings) != len(ids) || ts.Docs != 1 {
+			t.Fatalf("term %q: stats %+v, want postings=%d docs=1", term, ts, len(ids))
+		}
+		if want := cost.EliminableWitnesses(x.Document(), ids); int(ts.Eliminable) != want {
+			t.Fatalf("term %q: eliminable %d, want %d", term, ts.Eliminable, want)
+		}
+		// The stats-estimated RF must equal the exact seed-set RF on a
+		// single-document shard.
+		fs := core.NodeFragments(x.Document(), ids)
+		if exact := core.ReductionFactor(fs); len(ids) > 2 && ts.RF() != exact {
+			t.Fatalf("term %q: stats RF %v, exact RF %v", term, ts.RF(), exact)
+		}
+	}
+}
+
+func TestObserveRemoveInverts(t *testing.T) {
+	x1, _ := genDoc(t, 1)
+	x2, _ := genDoc(t, 2)
+
+	only2 := NewShard()
+	only2.ObserveUpsert(x2.Document(), x2)
+
+	both := NewShard()
+	both.ObserveUpsert(x1.Document(), x1)
+	both.ObserveUpsert(x2.Document(), x2)
+	both.ObserveRemove(x1.Document(), x1)
+
+	a, b := both.Snapshot(), only2.Snapshot()
+	a.Epoch, b.Epoch = 0, 0 // epochs differ by construction
+	if a != b {
+		t.Fatalf("after remove: %+v\nwant %+v", a, b)
+	}
+	for _, term := range x2.Terms() {
+		ta, oka := both.TermStats(term)
+		tb, okb := only2.TermStats(term)
+		if oka != okb || ta != tb {
+			t.Fatalf("term %q: %+v/%v vs %+v/%v", term, ta, oka, tb, okb)
+		}
+	}
+	for _, term := range x1.Terms() {
+		if _, ok := only2.TermStats(term); ok {
+			continue // shared vocabulary; covered above
+		}
+		if ts, ok := both.TermStats(term); ok {
+			t.Fatalf("term %q should be gone after removal, still %+v", term, ts)
+		}
+	}
+}
+
+func TestEpochAdvancesAndResetClears(t *testing.T) {
+	x, _ := genDoc(t, 3)
+	s := NewShard()
+	e0 := s.StatsEpoch()
+	s.ObserveUpsert(x.Document(), x)
+	e1 := s.StatsEpoch()
+	if e1 <= e0 {
+		t.Fatalf("epoch did not advance on upsert: %d -> %d", e0, e1)
+	}
+	s.Reset()
+	e2 := s.StatsEpoch()
+	if e2 <= e1 {
+		t.Fatalf("epoch did not advance on reset: %d -> %d", e1, e2)
+	}
+	snap := s.Snapshot()
+	if snap.Docs != 0 || snap.Nodes != 0 || snap.Terms != 0 {
+		t.Fatalf("reset left residue: %+v", snap)
+	}
+}
+
+func TestBucketOf(t *testing.T) {
+	cases := map[int]int{0: 0, 1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 1 << 20: Buckets - 1}
+	for v, want := range cases {
+		if got := bucketOf(v); got != want {
+			t.Errorf("bucketOf(%d) = %d, want %d", v, got, want)
+		}
+	}
+}

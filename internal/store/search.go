@@ -68,6 +68,15 @@ func (s *Store) Run(ctx context.Context, q query.Query, opts query.Options, k in
 				ssp.SetAttr("queue_wait", time.Since(spawned).String())
 			}
 			shardCtx := obs.ContextWithSpan(ctx, ssp)
+			// Adaptive planning: on the auto path each shard consults
+			// its plan cache (compiled from maintained statistics)
+			// instead of sampling RF per query. The plan only steers the
+			// Naive/SetReduction choice, so a stale plan is suboptimal,
+			// never wrong.
+			shardOpts := opts
+			if opts.Auto && shardOpts.Plan == nil {
+				shardOpts.Plan, _ = s.planShard(i, q, opts.Chooser)
+			}
 			// Posting-first selection: the shard's term index proves
 			// most documents answerless before any evaluation runs.
 			// Skipped during replay (the index may not yet cover every
@@ -82,7 +91,7 @@ func (s *Store) Run(ctx context.Context, q query.Query, opts query.Options, k in
 					if pruned := cand.Total - len(cand.Names); pruned > 0 {
 						s.metrics.Counter(obs.MIndexPrunedDocs).Add(uint64(pruned))
 					}
-					shardResults[i], shardErrs[i] = sh.RunContextOn(shardCtx, q, opts, cand.Names)
+					shardResults[i], shardErrs[i] = sh.RunContextOn(shardCtx, q, shardOpts, cand.Names)
 					hits := 0
 					if shardResults[i] != nil {
 						hits = len(shardResults[i].Hits)
@@ -92,7 +101,7 @@ func (s *Store) Run(ctx context.Context, q query.Query, opts query.Options, k in
 					return
 				}
 			}
-			shardResults[i], shardErrs[i] = sh.RunContext(shardCtx, q, opts)
+			shardResults[i], shardErrs[i] = sh.RunContext(shardCtx, q, shardOpts)
 			hits := 0
 			if shardResults[i] != nil {
 				hits = len(shardResults[i].Hits)

@@ -28,15 +28,23 @@ import (
 	"sync/atomic"
 
 	"repro/internal/collection"
+	"repro/internal/cost"
 	"repro/internal/engine"
 	"repro/internal/gindex"
 	"repro/internal/obs"
+	"repro/internal/query"
 	"repro/internal/snapshot"
+	"repro/internal/stats"
 	"repro/internal/xmltree"
 )
 
 // snapshotFile is the compaction snapshot's name inside Options.Dir.
 const snapshotFile = "store.snap"
+
+// planCacheCapacity bounds each shard's plan cache. Plans are tiny
+// (a few slices per cached query shape), so the cap exists only to
+// bound adversarial shape churn, not memory pressure.
+const planCacheCapacity = 128
 
 // legacyWALFile is the single-log layout used before the WAL was
 // split per shard; an existing log is migrated on open (see recover).
@@ -155,6 +163,14 @@ type Store struct {
 	opts   Options
 	shards []*collection.Collection
 
+	// stats holds one statistics shard per collection shard, maintained
+	// incrementally by the collection on every mutation path (direct
+	// writes, async ingest, WAL replay, replica apply, SetAll). plans
+	// holds the matching per-shard plan caches: compiled physical plans
+	// keyed on query shape, re-planned when the statistics epoch drifts.
+	stats []*stats.Shard
+	plans []*engine.PlanCache
+
 	// ingestMu fences mutations against compaction: every
 	// WAL-append+index pair holds it for read, Compact holds it for
 	// write, so a compaction snapshot never misses a logged-but-not-
@@ -225,10 +241,17 @@ func Open(opts Options) (*Store, error) {
 		perShard = 1
 	}
 	s.shardStageSeries = make([][]string, opts.Shards)
+	s.stats = make([]*stats.Shard, opts.Shards)
+	s.plans = make([]*engine.PlanCache, opts.Shards)
 	for i := range s.shards {
 		s.shards[i] = collection.New()
 		s.shards[i].SetSearchWorkers(perShard)
 		s.shards[i].SetResultCache(opts.CacheEntries)
+		// Statistics attach before recovery so WAL replay, snapshot
+		// loads and replica bootstrap all feed the planner aggregates.
+		s.stats[i] = stats.NewShard()
+		s.shards[i].SetStatsShard(s.stats[i])
+		s.plans[i] = engine.NewPlanCache(planCacheCapacity, 0)
 		s.shardStageSeries[i] = make([]string, obs.NumStages)
 		for st := obs.Stage(0); st < obs.NumStages; st++ {
 			s.shardStageSeries[i][st] = obs.StageSeriesName(st, i)
@@ -279,6 +302,9 @@ func Open(opts Options) (*Store, error) {
 	s.metrics.Counter(obs.MIngestFailures)
 	s.metrics.Counter(obs.MIngestRejected)
 	s.metrics.Histogram(obs.MIngestSeconds, obs.LatencyBuckets)
+	s.metrics.Counter(obs.MPlannerPlanHits)
+	s.metrics.Counter(obs.MPlannerPlanMisses)
+	s.metrics.Counter(obs.MPlannerReplans)
 	for i := 0; i < opts.IngestWorkers; i++ {
 		s.workers.Add(1)
 		go s.ingestWorker()
@@ -624,6 +650,47 @@ func (s *Store) ShardMetrics() []*obs.Metrics {
 		out[i] = sh.Metrics()
 	}
 	return out
+}
+
+// ShardStatsSummary returns shard i's maintained planner statistics.
+func (s *Store) ShardStatsSummary(i int) stats.Summary {
+	return s.stats[i].Snapshot()
+}
+
+// ShardPlan is one shard's compiled plan for a query, as served by its
+// plan cache.
+type ShardPlan struct {
+	Shard   int
+	Plan    *query.Plan
+	Outcome engine.PlanOutcome
+}
+
+// ExplainPlans runs every shard's planner for q — through the real
+// plan caches, so explain shows exactly the plan a search would use
+// (and warms the cache for one). Planner counters advance as on the
+// search path.
+func (s *Store) ExplainPlans(q query.Query, ch cost.Chooser) []ShardPlan {
+	out := make([]ShardPlan, len(s.shards))
+	for i := range s.shards {
+		p, outcome := s.planShard(i, q, ch)
+		out[i] = ShardPlan{Shard: i, Plan: p, Outcome: outcome}
+	}
+	return out
+}
+
+// planShard serves shard i's compiled plan for q from its plan cache,
+// advancing the planner counters.
+func (s *Store) planShard(i int, q query.Query, ch cost.Chooser) (*query.Plan, engine.PlanOutcome) {
+	p, outcome := s.plans[i].Plan(q, ch, s.stats[i])
+	switch outcome {
+	case engine.PlanHit:
+		s.metrics.Counter(obs.MPlannerPlanHits).Add(1)
+	case engine.PlanReplan:
+		s.metrics.Counter(obs.MPlannerReplans).Add(1)
+	default:
+		s.metrics.Counter(obs.MPlannerPlanMisses).Add(1)
+	}
+	return p, outcome
 }
 
 // Add indexes a parsed document synchronously: the mutation is
